@@ -1,0 +1,116 @@
+// E7 — Benign anomaly census: how often does normal traffic look like an
+// evader?
+//
+// Paper dependency: diversion triggers on small segments and out-of-order
+// delivery, both of which occur naturally. This census measures, per
+// traffic profile, the fraction of packets and flows exhibiting each
+// anomaly class — the numbers that justify the 2p-1 threshold and the
+// FIN exemption.
+#include "bench_util.hpp"
+#include "core/engine.hpp"
+#include "flow/flow_key.hpp"
+#include "net/seq.hpp"
+
+#include <map>
+#include <set>
+
+using namespace sdt;
+
+namespace {
+
+struct Census {
+  std::uint64_t data_packets = 0;
+  std::uint64_t below_threshold = 0;   // payload in (0, 2p-1)
+  std::uint64_t final_small = 0;       // small and FIN-bearing (exempt class)
+  std::uint64_t ooo_packets = 0;
+  std::set<std::string> flows;
+  std::set<std::string> small_flows;
+  std::set<std::string> ooo_flows;
+};
+
+Census take_census(const evasion::GeneratedTrace& trace, std::size_t threshold) {
+  Census c;
+  std::map<std::string, std::uint32_t> next_seq;
+  for (const auto& p : trace.packets) {
+    const auto pv = net::PacketView::parse(p.frame, net::LinkType::raw_ipv4);
+    if (!pv.ok() || !pv.has_tcp) continue;
+    const flow::FlowRef ref = flow::make_flow_ref(pv);
+    const std::string fkey =
+        ref.key.str() + (ref.dir == flow::Direction::a_to_b ? ">" : "<");
+    c.flows.insert(ref.key.str());
+    if (pv.l4_payload.empty()) continue;
+    ++c.data_packets;
+
+    if (pv.l4_payload.size() < threshold) {
+      if (pv.tcp.fin()) {
+        ++c.final_small;
+      } else {
+        ++c.below_threshold;
+        c.small_flows.insert(ref.key.str());
+      }
+    }
+    auto it = next_seq.find(fkey);
+    if (it != next_seq.end() && pv.tcp.seq() != it->second) {
+      ++c.ooo_packets;
+      c.ooo_flows.insert(ref.key.str());
+    }
+    const std::uint32_t end = pv.tcp.seq() +
+                              static_cast<std::uint32_t>(pv.l4_payload.size()) +
+                              (pv.tcp.fin() ? 1u : 0u);
+    if (it == next_seq.end() || net::seq_gt(end, it->second)) {
+      next_seq[fkey] = end;
+    }
+  }
+  return c;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("E7: benign anomaly census",
+                "benign small-segment and reordering rates bound the false "
+                "diversion the 2p-1 threshold can cause");
+
+  std::printf("%10s %8s %6s | %10s %10s %10s | %10s %10s\n", "profile",
+              "reorder", "2p-1", "small pkt%", "finsml pkt%", "ooo pkt%",
+              "small flw%", "ooo flw%");
+  std::printf("----------------------------+----------------------------------+"
+              "----------------------\n");
+
+  struct Profile {
+    const char* name;
+    double interactive;
+    double reorder;
+  };
+  for (const Profile prof : {Profile{"bulk", 0.0, 0.0},
+                             Profile{"typical", 0.02, 0.002},
+                             Profile{"chatty", 0.10, 0.002},
+                             Profile{"lossy", 0.02, 0.02}}) {
+    evasion::TrafficConfig tc;
+    tc.flows = 400;
+    tc.seed = 7;
+    tc.interactive_fraction = prof.interactive;
+    tc.reorder_rate = prof.reorder;
+    const auto trace = evasion::generate_benign(tc);
+
+    for (const std::size_t p : {4u, 8u, 16u}) {
+      const Census c = take_census(trace, 2 * p - 1);
+      const double dp = static_cast<double>(c.data_packets);
+      const double nf = static_cast<double>(c.flows.size());
+      std::printf("%10s %7.1f%% %6zu | %9.2f%% %9.2f%% %9.2f%% | %9.2f%% %9.2f%%\n",
+                  prof.name, 100.0 * prof.reorder, 2 * p - 1,
+                  100.0 * static_cast<double>(c.below_threshold) / dp,
+                  100.0 * static_cast<double>(c.final_small) / dp,
+                  100.0 * static_cast<double>(c.ooo_packets) / dp,
+                  100.0 * static_cast<double>(c.small_flows.size()) / nf,
+                  100.0 * static_cast<double>(c.ooo_flows.size()) / nf);
+    }
+  }
+
+  std::printf(
+      "\nexpected shape: 'finsml' (small final segment with FIN) is common\n"
+      "and exempt; non-final small segments concentrate in interactive\n"
+      "flows; reordering scales the ooo row — together these are the benign\n"
+      "diversion floor E4 observes end-to-end.\n");
+  return 0;
+}

@@ -1,0 +1,105 @@
+// E1 — Evasion-detection matrix.
+//
+// Paper claim: Split-Detect detects all byte-string evasions (Section on
+// the detection theorem); the naive per-packet matcher is defeated by the
+// Ptacek-Newsham transforms; the conventional IPS detects what its single
+// reassembly policy reconstructs.
+//
+// Each transform delivers the same signature-bearing stream; every cell is
+// the detector's verdict over 20 randomized instances (different payloads,
+// signature positions and segment luck).
+#include "bench_util.hpp"
+#include "sim/replay.hpp"
+#include "util/rng.hpp"
+
+using namespace sdt;
+
+namespace {
+
+struct CellResult {
+  int sig_detected = 0;
+  int conflict_only = 0;
+  int evaded = 0;
+};
+
+const char* fmt_cell(const CellResult& c, char* buf, std::size_t n) {
+  if (c.evaded == 0 && c.conflict_only == 0) {
+    std::snprintf(buf, n, "detected %d/20", c.sig_detected);
+  } else if (c.evaded == 0) {
+    std::snprintf(buf, n, "det %d + conf %d", c.sig_detected, c.conflict_only);
+  } else {
+    std::snprintf(buf, n, "EVADED %d/20", c.evaded);
+  }
+  return buf;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("E1: evasion-detection matrix",
+                "\"we prove that under certain assumptions this scheme can "
+                "detect all byte-string evasions\" — Split-Detect column "
+                "must be clean; naive per-packet must be evadable");
+
+  core::SignatureSet sigs;
+  sigs.add("e1-sig", std::string_view("E1_MATRIX_SIGNATURE_0123456789AB"));
+
+  std::printf("%-22s | %-16s | %-16s | %-16s\n", "evasion", "naive", "conventional",
+              "split-detect");
+  std::printf("%-22s-+-%-16s-+-%-16s-+-%-16s\n", "----------------------",
+              "----------------", "----------------", "----------------");
+
+  for (evasion::EvasionKind kind : evasion::kAllEvasions) {
+    CellResult naive_c, conv_c, sd_c;
+    for (int trial = 0; trial < 20; ++trial) {
+      Rng rng(static_cast<std::uint64_t>(trial) * 31 + 7);
+      Bytes stream = evasion::generate_payload(rng, 1000 + rng.below(3000), 0.3);
+      const std::size_t at =
+          64 + static_cast<std::size_t>(
+                   rng.below(stream.size() - sigs[0].bytes.size() - 128));
+      std::copy(sigs[0].bytes.begin(), sigs[0].bytes.end(),
+                stream.begin() + static_cast<std::ptrdiff_t>(at));
+      evasion::EvasionParams params;
+      params.sig_lo = at;
+      params.sig_hi = at + sigs[0].bytes.size();
+      const auto pkts =
+          evasion::forge_evasion(kind, evasion::Endpoints{}, stream, params,
+                                 rng, 0);
+
+      auto judge = [&](sim::Detector& det, CellResult& cell) {
+        sim::replay(det, pkts);
+        bool sig = false;
+        for (auto id : det.alerted_signatures()) {
+          sig |= id != core::kConflictAlertId;
+        }
+        if (sig) {
+          ++cell.sig_detected;
+        } else if (det.total_alerts() > 0) {
+          ++cell.conflict_only;
+        } else {
+          ++cell.evaded;
+        }
+      };
+
+      sim::NaivePerPacketDetector naive(sigs);
+      sim::ConventionalDetector conv(sigs);
+      core::SplitDetectConfig cfg;
+      cfg.fast.piece_len = 8;
+      cfg.min_ttl = 2;  // deployment knowledge: hosts >= 2 hops behind us
+      sim::SplitDetectDetector sd(sigs, cfg);
+      judge(naive, naive_c);
+      judge(conv, conv_c);
+      judge(sd, sd_c);
+    }
+    char b1[32], b2[32], b3[32];
+    std::printf("%-22s | %-16s | %-16s | %-16s\n",
+                evasion::to_string(kind), fmt_cell(naive_c, b1, sizeof b1),
+                fmt_cell(conv_c, b2, sizeof b2), fmt_cell(sd_c, b3, sizeof b3));
+  }
+
+  std::printf(
+      "\nexpected shape: naive evaded by segmentation/fragmentation rows;\n"
+      "split-detect never evaded (conflicting-content rows surface as\n"
+      "normalizer-conflict alerts, which block the flow).\n");
+  return 0;
+}

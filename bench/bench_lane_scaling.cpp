@@ -1,0 +1,68 @@
+// A3 — Lane scaling: the parallel deployment behind the 20 Gbps claim.
+//
+// A line-card implementation reaches 20 Gbps by running several independent
+// detector lanes behind a flow-hash load balancer. Because lanes share no
+// state, scaling is bounded only by load balance: the busiest lane is the
+// critical path. This bench shards one trace across 1..16 lanes for both
+// engines and reports aggregate rate, speedup and hash imbalance — plus the
+// invariant that sharding changes no verdict (same alerts at every width).
+#include <memory>
+
+#include "bench_util.hpp"
+#include "sim/sharding.hpp"
+
+using namespace sdt;
+
+int main() {
+  bench::banner("A3: lane scaling (flow-hash parallel deployment)",
+                "per-flow independence means Split-Detect parallelizes by "
+                "flow hashing; the busiest lane bounds the line rate");
+
+  const core::SignatureSet sigs = evasion::default_corpus(16);
+  evasion::TrafficConfig tc;
+  tc.flows = 800;
+  tc.seed = 4;
+  evasion::AttackMix mix;
+  mix.attack_fraction = 0.02;
+  mix.kind = evasion::EvasionKind::tiny_segments;
+  const auto trace = evasion::generate_mixed(tc, sigs, mix);
+  std::printf("workload: %zu packets, %s, %zu flows (%zu attacks)\n\n",
+              trace.packets.size(),
+              human_bytes(static_cast<double>(trace.total_bytes)).c_str(),
+              trace.flows, trace.attack_flows);
+
+  for (const char* which : {"split-detect", "conventional"}) {
+    std::printf("%s:\n", which);
+    std::printf("%6s %14s %10s %11s %10s %8s\n", "lanes", "aggregate",
+                "speedup", "bottleneck", "imbalance", "alerts");
+    double base_gbps = 0.0;
+    for (const std::size_t lanes : {1u, 2u, 4u, 8u, 16u}) {
+      auto make = [&]() -> std::unique_ptr<sim::Detector> {
+        if (std::string(which) == "split-detect") {
+          core::SplitDetectConfig cfg;
+          cfg.fast.piece_len = 8;
+          return std::make_unique<sim::SplitDetectDetector>(sigs, cfg);
+        }
+        return std::make_unique<sim::ConventionalDetector>(sigs);
+      };
+      const sim::LaneScalingReport rep =
+          sim::lane_scaling(make, trace.packets, lanes);
+      const double gbps = rep.aggregate_gbps();
+      if (lanes == 1) base_gbps = gbps;
+      std::printf("%6zu %11.2f Gb %9.2fx %8.2f ms %9.2fx %8llu\n", lanes,
+                  gbps, base_gbps > 0 ? gbps / base_gbps : 0.0,
+                  static_cast<double>(rep.bottleneck_ns()) / 1e6,
+                  rep.imbalance(),
+                  static_cast<unsigned long long>(rep.total_alerts));
+    }
+    std::printf("\n");
+  }
+
+  std::printf(
+      "expected shape: near-linear speedup limited by hash imbalance (the\n"
+      "heavy-tailed flow-size distribution makes perfect balance\n"
+      "impossible); the alert count is identical at every lane width —\n"
+      "flow-hash sharding is verdict-preserving because all engine state\n"
+      "is per-flow. Wall-clock Gbps are host-relative (see E3).\n");
+  return 0;
+}

@@ -1,0 +1,110 @@
+// Kernel microbenchmarks (google-benchmark): the per-byte costs underlying
+// E3/E6 — Aho-Corasick dense vs sparse layouts, piece vs whole-signature
+// pattern sets, and the BMH single-pattern verifier. These are the ablation
+// numbers for the design choices DESIGN.md calls out (dense DFA on the fast
+// path; pieces keep the automaton small).
+#include <benchmark/benchmark.h>
+
+#include "core/splitter.hpp"
+#include "evasion/corpus.hpp"
+#include "evasion/traffic_gen.hpp"
+#include "match/single_match.hpp"
+#include "util/rng.hpp"
+
+using namespace sdt;
+
+namespace {
+
+Bytes payload_mb() {
+  Rng rng(31);
+  return evasion::generate_payload(rng, 1 << 20, 0.0);
+}
+
+match::AhoCorasick whole_matcher(match::AcLayout layout) {
+  match::AhoCorasick::Builder b;
+  for (const core::Signature& s : evasion::default_corpus(16)) b.add(s.bytes);
+  return b.build(layout);
+}
+
+void BM_AcScan_PiecesDense(benchmark::State& state) {
+  const core::SignatureSet sigs = evasion::default_corpus(16);
+  const core::PieceSet ps(sigs, 8, match::AcLayout::dense_dfa);
+  const Bytes data = payload_mb();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ps.matcher().contains_any(data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(data.size()));
+}
+BENCHMARK(BM_AcScan_PiecesDense);
+
+void BM_AcScan_PiecesSparse(benchmark::State& state) {
+  const core::SignatureSet sigs = evasion::default_corpus(16);
+  const core::PieceSet ps(sigs, 8, match::AcLayout::sparse_nfa);
+  const Bytes data = payload_mb();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ps.matcher().contains_any(data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(data.size()));
+}
+BENCHMARK(BM_AcScan_PiecesSparse);
+
+void BM_AcScan_WholeSigsDense(benchmark::State& state) {
+  const match::AhoCorasick ac = whole_matcher(match::AcLayout::dense_dfa);
+  const Bytes data = payload_mb();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ac.contains_any(data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(data.size()));
+}
+BENCHMARK(BM_AcScan_WholeSigsDense);
+
+void BM_AcScan_WholeSigsSparse(benchmark::State& state) {
+  const match::AhoCorasick ac = whole_matcher(match::AcLayout::sparse_nfa);
+  const Bytes data = payload_mb();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ac.contains_any(data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(data.size()));
+}
+BENCHMARK(BM_AcScan_WholeSigsSparse);
+
+void BM_BmhVerify(benchmark::State& state) {
+  const core::SignatureSet sigs = evasion::default_corpus(16);
+  const match::Bmh bmh(sigs[0].bytes);
+  const Bytes data = payload_mb();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bmh.contains(data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(data.size()));
+}
+BENCHMARK(BM_BmhVerify);
+
+void BM_AcStreaming_ChunkSize(benchmark::State& state) {
+  // Streaming scan cost vs chunk size: the conventional IPS scans
+  // reassembled chunks; smaller chunks mean more per-call overhead.
+  const match::AhoCorasick ac = whole_matcher(match::AcLayout::dense_dfa);
+  const Bytes data = payload_mb();
+  const auto chunk = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    match::AhoCorasick::State s = match::AhoCorasick::kRoot;
+    std::size_t hits = 0;
+    for (std::size_t off = 0; off < data.size(); off += chunk) {
+      const std::size_t n = std::min(chunk, data.size() - off);
+      s = ac.scan(ByteView(data).subspan(off, n), s,
+                  [&](match::AhoCorasick::Match) { ++hits; });
+    }
+    benchmark::DoNotOptimize(hits);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(data.size()));
+}
+BENCHMARK(BM_AcStreaming_ChunkSize)->Arg(64)->Arg(512)->Arg(1460)->Arg(65536);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,109 @@
+// A2 — Ablation: phase-optimized piece selection (the paper's rare-piece
+// refinement).
+//
+// The tiling phase of the split is a free parameter per signature;
+// choosing it against a sample of representative benign payload removes
+// the chance-piece-hit diversions that dominate E4 at realistic piece
+// lengths. This ablation measures benign flow diversion, plain vs
+// phase-optimized, across piece lengths and payload mixes — and verifies
+// detection is unimpaired.
+#include "bench_util.hpp"
+#include "core/engine.hpp"
+#include "util/rng.hpp"
+
+using namespace sdt;
+
+namespace {
+
+struct Outcome {
+  std::uint64_t flows_diverted = 0;
+  std::uint64_t piece_hits = 0;
+  bool attack_detected = false;
+};
+
+Outcome run(const core::SignatureSet& sigs, core::SplitDetectConfig cfg,
+            const evasion::GeneratedTrace& benign) {
+  core::SplitDetectEngine engine(sigs, cfg);
+  std::vector<core::Alert> alerts;
+  for (const auto& p : benign.packets) {
+    engine.process(p, net::LinkType::raw_ipv4, alerts);
+  }
+  Outcome o;
+  o.flows_diverted = engine.stats().fast.flows_diverted;
+  o.piece_hits = engine.stats().fast.piece_hits;
+
+  // Detection check: one tiny-segment attack with a random corpus entry.
+  Rng rng(17);
+  const core::Signature& sig =
+      sigs[static_cast<std::uint32_t>(rng.below(sigs.size()))];
+  Bytes stream = evasion::generate_payload(rng, 2000, 0.5);
+  std::copy(sig.bytes.begin(), sig.bytes.end(), stream.begin() + 700);
+  evasion::EvasionParams params;
+  params.sig_lo = 700;
+  params.sig_hi = 700 + sig.bytes.size();
+  const auto pkts = evasion::forge_evasion(
+      evasion::EvasionKind::tiny_segments, evasion::Endpoints{}, stream,
+      params, rng, 0);
+  const std::size_t before = alerts.size();
+  for (const auto& p : pkts) {
+    engine.process(p, net::LinkType::raw_ipv4, alerts);
+  }
+  for (std::size_t i = before; i < alerts.size(); ++i) {
+    o.attack_detected |= alerts[i].signature_id == sig.id;
+  }
+  return o;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("A2: phase-optimized splitting (rare-piece ablation)",
+                "chance piece hits on benign payload cost diversions; "
+                "choosing the tiling phase against a traffic sample removes "
+                "the avoidable ones at zero detection cost");
+
+  Rng rng(2006);
+  const Bytes sample = evasion::generate_payload(rng, 1 << 19, 1.0);
+
+  std::printf("%4s %6s | %16s %16s | %10s | %s\n", "p", "text%",
+              "plain div.flows", "optimized", "reduction", "detection");
+  std::printf("------------+-----------------------------------+------------+----------\n");
+
+  for (const double text : {1.0, 0.5}) {
+    evasion::TrafficConfig tc;
+    tc.flows = 300;
+    tc.seed = 77;
+    tc.text_fraction = text;
+    const auto trace = evasion::generate_benign(tc);
+
+    for (const std::size_t p : {6u, 8u, 12u}) {
+      const core::SignatureSet sigs = evasion::default_corpus(2 * p);
+
+      core::SplitDetectConfig plain;
+      plain.fast.piece_len = p;
+      core::SplitDetectConfig opt = plain;
+      opt.fast.piece_phase_sample = sample;
+
+      const Outcome a = run(sigs, plain, trace);
+      const Outcome b = run(sigs, opt, trace);
+      const double reduction =
+          a.flows_diverted == 0
+              ? 0.0
+              : 100.0 * (1.0 - static_cast<double>(b.flows_diverted) /
+                                   static_cast<double>(a.flows_diverted));
+      std::printf("%4zu %5.0f%% | %16llu %16llu | %9.1f%% | %s/%s\n", p,
+                  100.0 * text,
+                  static_cast<unsigned long long>(a.flows_diverted),
+                  static_cast<unsigned long long>(b.flows_diverted), reduction,
+                  a.attack_detected ? "ok" : "MISS",
+                  b.attack_detected ? "ok" : "MISS");
+    }
+  }
+
+  std::printf(
+      "\nexpected shape: meaningful diversion reduction on text-heavy\n"
+      "traffic (where corpus pieces align with protocol substrings), no\n"
+      "change to detection. Residual diversions come from pieces anchored\n"
+      "at signature edges (immovable) and genuinely small segments.\n");
+  return 0;
+}

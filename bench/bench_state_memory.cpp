@@ -1,0 +1,106 @@
+// E2 — Per-flow state: Split-Detect vs conventional IPS.
+//
+// Paper claim: "the processing and storage requirements of this scheme can
+// be 10% of that required by a conventional IPS" and "current IPS standards
+// require keeping state for 1 million connections".
+//
+// Method: provision both engines for N connections, establish N concurrent
+// clean flows (one in-order data packet each direction), and measure the
+// true heap footprint via the byte-exact memory accounting. A second
+// scenario adds a reordered 1460-byte segment to a fraction of flows, which
+// the conventional IPS must buffer but the fast path only counts.
+#include "bench_util.hpp"
+#include "core/conventional_ips.hpp"
+#include "core/fast_path.hpp"
+#include "net/builder.hpp"
+#include "util/stats.hpp"
+
+using namespace sdt;
+
+namespace {
+
+net::PacketView make_pkt(Bytes& storage, std::uint32_t flow_id,
+                         std::uint32_t seq, std::size_t len,
+                         std::uint32_t extra_gap = 0) {
+  net::Ipv4Spec ip{.src = net::Ipv4Addr(0x0a000000u + flow_id),
+                   .dst = net::Ipv4Addr(192, 168, 0, 1)};
+  net::TcpSpec t{.src_port = static_cast<std::uint16_t>(1024 + flow_id % 60000),
+                 .dst_port = 80,
+                 .seq = seq + extra_gap};
+  storage = net::build_tcp_packet(ip, t, Bytes(len, 0x5a));
+  return net::PacketView::parse(storage, net::LinkType::raw_ipv4);
+}
+
+struct Scenario {
+  std::size_t flows;
+  double reordered_fraction;
+};
+
+}  // namespace
+
+int main() {
+  bench::banner(
+      "E2: per-flow state memory (1M-connection sizing)",
+      "\"storage requirements can be 10% of a conventional IPS\" / \"state "
+      "for 1 million connections\"");
+
+  core::SignatureSet sigs = evasion::default_corpus(16);
+
+  std::printf("%9s %6s | %14s %10s | %14s %10s | %7s\n", "flows", "ooo%",
+              "fast-path", "B/flow", "conventional", "B/flow", "ratio");
+  std::printf("----------------+----------------------------+---------------"
+              "-------------+--------\n");
+
+  for (const Scenario sc : {Scenario{10'000, 0.0}, Scenario{100'000, 0.0},
+                            Scenario{1'000'000, 0.0}, Scenario{100'000, 0.02},
+                            Scenario{100'000, 0.10}}) {
+    core::FastPathConfig fc;
+    fc.piece_len = 8;
+    fc.max_flows = sc.flows;
+    // Tolerant config so reordered benign flows are counted, not diverted —
+    // we are measuring steady-state state here, not detection.
+    fc.ooo_limit = 255;
+    fc.small_segment_limit = 255;
+    core::FastPath fast(sigs, fc);
+
+    core::ConventionalIpsConfig cc;
+    cc.max_flows = sc.flows;
+    core::ConventionalIps conv(sigs, cc);
+
+    std::vector<core::Alert> alerts;
+    Bytes storage;
+    for (std::uint32_t i = 0; i < sc.flows; ++i) {
+      const bool reorder = (static_cast<double>(i % 1000) / 1000.0) <
+                           sc.reordered_fraction;
+      {
+        const auto pv = make_pkt(storage, i, 1000, 512);
+        fast.process(pv, i);
+        conv.process(pv, i, alerts);
+      }
+      if (reorder) {
+        // A segment 1460 bytes ahead of the hole: conventional buffers it.
+        const auto pv = make_pkt(storage, i, 1512, 1460, 1460);
+        fast.process(pv, i);
+        conv.process(pv, i, alerts);
+      }
+    }
+
+    const double fast_total = static_cast<double>(fast.flow_state_bytes());
+    const double conv_total = static_cast<double>(conv.flow_state_bytes());
+    const double ratio = fast_total / conv_total;
+    std::printf("%9zu %5.1f%% | %14s %10.1f | %14s %10.1f | %6.1f%%\n",
+                sc.flows, 100.0 * sc.reordered_fraction,
+                human_bytes(fast_total).c_str(),
+                fast_total / static_cast<double>(sc.flows),
+                human_bytes(conv_total).c_str(),
+                conv_total / static_cast<double>(sc.flows), 100.0 * ratio);
+  }
+
+  std::printf(
+      "\nfast-path record: %zu bytes packed (+ table key/links); the\n"
+      "conventional engine pays two reassemblers + chunk maps per flow and\n"
+      "additionally buffers every out-of-order byte.\n",
+      sizeof(core::FastFlowState));
+  std::printf("paper: fast path ~10%% of conventional state at 1M flows.\n");
+  return 0;
+}

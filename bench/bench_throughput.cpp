@@ -1,0 +1,124 @@
+// E3 — Processing cost and line-rate feasibility.
+//
+// Paper claim: "processing ... requirements of this scheme can be 10% of
+// that required by a conventional IPS, allowing reasonable cost
+// implementations at 20 Gbps" (where conventional IPS stalls above 10 Gbps).
+//
+// Method: replay the identical benign trace through each detector several
+// times (hot caches, like a steady-state appliance), take the best run, and
+// convert ns/byte into sustainable Gbps per core and cores needed for
+// 10/20 Gbps. Absolute numbers are host-dependent; the paper's claim is the
+// *ratio* between the architectures.
+#include <algorithm>
+#include <memory>
+
+#include "bench_util.hpp"
+#include "sim/cost_model.hpp"
+#include "sim/line_rate.hpp"
+#include "sim/replay.hpp"
+
+using namespace sdt;
+
+namespace {
+
+/// Best of N runs, each on a *fresh* detector: flow state from a previous
+/// pass must not leak into the measurement (a reused Split-Detect instance
+/// would see every replayed flow as a sequence anomaly and divert it).
+template <typename MakeDetector>
+sim::ReplayResult best_of(MakeDetector make,
+                          const std::vector<net::Packet>& pkts, int runs) {
+  sim::ReplayResult best;
+  for (int i = 0; i < runs; ++i) {
+    auto det = make();
+    const sim::ReplayResult r = sim::replay(*det, pkts);
+    if (best.wall_ns == 0 || r.wall_ns < best.wall_ns) best = r;
+  }
+  return best;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("E3: processing cost & 20 Gbps feasibility",
+                "\"processing requirements can be 10% of a conventional "
+                "IPS, allowing reasonable cost implementations at 20 Gbps\"");
+
+  const core::SignatureSet sigs = evasion::default_corpus(16);
+  const auto trace = bench::standard_benign(600, /*reorder=*/0.002);
+  std::printf("workload: %zu packets, %s, %zu flows, 0.2%% reordering\n\n",
+              trace.packets.size(),
+              human_bytes(static_cast<double>(trace.total_bytes)).c_str(),
+              trace.flows);
+
+  std::printf("%-18s %10s %10s %12s %11s %11s\n", "detector", "ns/pkt",
+              "ns/byte", "Gbps/core", "cores@10G", "cores@20G");
+  std::printf("%-18s %10s %10s %12s %11s %11s\n", "------------------",
+              "----------", "----------", "------------", "-----------",
+              "-----------");
+
+  double conv_nspb = 0.0, sd_nspb = 0.0;
+  auto report = [&](auto make) {
+    const sim::ReplayResult r = best_of(make, trace.packets, 5);
+    const auto e10 = sim::cores_for_line_rate(10.0, r.ns_per_byte());
+    const auto e20 = sim::cores_for_line_rate(20.0, r.ns_per_byte());
+    std::printf("%-18s %10.1f %10.3f %12.2f %11.2f %11.2f\n",
+                r.detector.c_str(), r.ns_per_packet(), r.ns_per_byte(),
+                r.gbps_per_core(), e10.cores_needed, e20.cores_needed);
+    return r.ns_per_byte();
+  };
+
+  report([&] { return std::make_unique<sim::NaivePerPacketDetector>(sigs); });
+  conv_nspb =
+      report([&] { return std::make_unique<sim::ConventionalDetector>(sigs); });
+  sd_nspb = report([&] {
+    core::SplitDetectConfig cfg;
+    cfg.fast.piece_len = 8;
+    return std::make_unique<sim::SplitDetectDetector>(sigs, cfg);
+  });
+
+  std::printf(
+      "\nsoftware wall-clock, split-detect / conventional: %.0f%%\n"
+      "(on a CPU the byte scan dominates BOTH paths, so wall-clock cannot\n"
+      "separate the architectures — the paper's 10%% is about line-card\n"
+      "hardware where stateful DRAM work dominates; see the model below)\n",
+      100.0 * sd_nspb / conv_nspb);
+
+  // ---- hardware cost model (the paper's framing) -------------------------
+  std::printf("\nhardware-model cost (measured op counts x modeled budgets:\n"
+              "DRAM access 50ns, fast-memory access 10ns, DRAM stream 0.25ns/B,\non-chip scan 0.05ns/B — see sim/cost_model.hpp for the accounting):\n\n");
+  std::printf("%-24s %14s %14s %9s\n", "configuration", "modeled ms",
+              "ns/byte", "vs conv");
+  std::printf("%-24s %14s %14s %9s\n", "------------------------",
+              "--------------", "--------------", "---------");
+
+  const sim::HardwareCostModel hw;
+  double conv_model_ns = 0.0;
+  {
+    sim::ConventionalDetector conv(sigs);
+    sim::replay(conv, trace.packets);
+    conv_model_ns = sim::conventional_cost_ns(conv.ips().stats(), hw);
+    std::printf("%-24s %14.2f %14.3f %8.1f%%\n", "conventional-ips",
+                conv_model_ns / 1e6,
+                conv_model_ns / static_cast<double>(trace.total_bytes), 100.0);
+  }
+  for (const std::size_t p : {8u, 12u, 16u}) {
+    core::SplitDetectConfig cfg;
+    cfg.fast.piece_len = p;
+    const core::SignatureSet psigs = evasion::default_corpus(2 * p);
+    sim::SplitDetectDetector sd(psigs, cfg);
+    sim::replay(sd, trace.packets);
+    const double ns = sim::splitdetect_cost_ns(sd.engine().stats(), hw);
+    char label[32];
+    std::snprintf(label, sizeof label, "split-detect (p=%zu)", p);
+    std::printf("%-24s %14.2f %14.3f %8.1f%%\n", label, ns / 1e6,
+                ns / static_cast<double>(trace.total_bytes),
+                100.0 * ns / conv_model_ns);
+  }
+
+  std::printf(
+      "\npaper: ~10%%. Expected shape: the modeled ratio lands near 10%%\n"
+      "once the piece length keeps benign diversion low (p=16); at small p\n"
+      "chance piece hits divert flows whose double (fast+slow) processing\n"
+      "erodes the advantage — exactly the trade-off E4/E5 quantify.\n");
+  return 0;
+}

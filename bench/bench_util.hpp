@@ -1,0 +1,42 @@
+// Shared helpers for the experiment benches: standard workloads, table
+// printing, and the experiment banner that ties a binary back to the
+// DESIGN.md per-experiment index.
+#pragma once
+
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "evasion/corpus.hpp"
+#include "evasion/traffic_gen.hpp"
+#include "util/stats.hpp"
+
+namespace sdt::bench {
+
+inline void banner(const char* exp_id, const char* claim) {
+  std::printf("\n=== %s ===\n", exp_id);
+  std::printf("reproduces: %s\n\n", claim);
+}
+
+inline void row(const char* fmt, ...) {
+  va_list ap;
+  va_start(ap, fmt);
+  std::vprintf(fmt, ap);
+  va_end(ap);
+  std::printf("\n");
+}
+
+/// The standard benign workload used across experiments (seeded, so every
+/// bench sees the identical trace for a given parameterization).
+inline evasion::GeneratedTrace standard_benign(std::size_t flows,
+                                               double reorder_rate = 0.0,
+                                               std::uint64_t seed = 20060811) {
+  evasion::TrafficConfig tc;
+  tc.flows = flows;
+  tc.seed = seed;
+  tc.reorder_rate = reorder_rate;
+  return evasion::generate_benign(tc);
+}
+
+}  // namespace sdt::bench

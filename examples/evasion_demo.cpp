@@ -1,0 +1,67 @@
+// Evasion demo: runs every FragRoute-class transform against three
+// detectors and prints who caught what — the Ptacek-Newsham story in one
+// table.
+//
+//   $ ./evasion_demo
+//
+// Expected shape: the naive per-packet matcher catches only the undisguised
+// control ('none'); the conventional IPS and Split-Detect catch everything
+// (the conflicting-content attacks surface as normalizer conflicts).
+#include <cstdio>
+
+#include "evasion/corpus.hpp"
+#include "evasion/traffic_gen.hpp"
+#include "evasion/transforms.hpp"
+#include "sim/replay.hpp"
+#include "util/rng.hpp"
+
+int main() {
+  using namespace sdt;
+
+  core::SignatureSet sigs;
+  sigs.add("demo-signature", std::string_view("EVASION_DEMO_SIGNATURE_BYTES_01"));
+
+  std::printf("%-22s | %-18s | %-18s | %-18s\n", "evasion", "naive per-packet",
+              "conventional IPS", "split-detect");
+  std::printf("%.22s-+-%.18s-+-%.18s-+-%.18s\n",
+              "----------------------", "------------------",
+              "------------------", "------------------");
+
+  for (evasion::EvasionKind kind : evasion::kAllEvasions) {
+    Rng rng(2024);
+    Bytes stream = evasion::generate_payload(rng, 2500, 0.5);
+    const std::size_t at = 900;
+    std::copy(sigs[0].bytes.begin(), sigs[0].bytes.end(),
+              stream.begin() + static_cast<std::ptrdiff_t>(at));
+    evasion::EvasionParams params;
+    params.sig_lo = at;
+    params.sig_hi = at + sigs[0].bytes.size();
+    params.tiny_seg_size = 4;
+    const auto pkts = evasion::forge_evasion(kind, evasion::Endpoints{},
+                                             stream, params, rng, 0);
+
+    auto verdict = [&](sim::Detector& det) -> const char* {
+      sim::replay(det, pkts);
+      for (std::uint32_t id : det.alerted_signatures()) {
+        if (id != core::kConflictAlertId) return "DETECTED";
+      }
+      return det.total_alerts() > 0 ? "conflict alert" : "evaded";
+    };
+
+    sim::NaivePerPacketDetector naive(sigs);
+    sim::ConventionalDetector conv(sigs);
+    core::SplitDetectConfig sd_cfg;
+    sd_cfg.fast.piece_len = 8;
+    sd_cfg.min_ttl = 2;  // protected hosts sit >= 2 hops behind the IPS
+    sim::SplitDetectDetector sd(sigs, sd_cfg);
+
+    std::printf("%-22s | %-18s | %-18s | %-18s\n", to_string(kind),
+                verdict(naive), verdict(conv), verdict(sd));
+  }
+
+  std::printf(
+      "\nNote: 'conflict alert' means the engine flagged two different\n"
+      "contents for the same byte range (the ambiguity itself), which a\n"
+      "normalizing IPS treats as an attack.\n");
+  return 0;
+}

@@ -1,0 +1,141 @@
+// Offline IPS gateway: run any pcap capture through the Split-Detect
+// two-path pipeline and print verdicts plus engine statistics.
+//
+//   $ ./ips_gateway capture.pcap                  # default corpus, p = 8
+//   $ ./ips_gateway capture.pcap 12               # piece length 12
+//   $ ./ips_gateway capture.pcap 8 my.rules       # Snort-style rule file
+//   $ ./ips_gateway capture.pcap 8 my.rules --json  # machine-readable output
+//
+// Works on Ethernet and raw-IPv4 captures. If no path is given, forges a
+// small mixed trace to a temp file first so the example is self-contained.
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+
+#include "core/engine.hpp"
+#include "core/report.hpp"
+#include "core/rules.hpp"
+#include "evasion/corpus.hpp"
+#include "evasion/trace_io.hpp"
+#include "evasion/traffic_gen.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+std::string make_demo_capture() {
+  using namespace sdt;
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "sdt_gateway_demo.pcap")
+          .string();
+  evasion::TrafficConfig tc;
+  tc.flows = 300;
+  tc.seed = 42;
+  evasion::AttackMix mix;
+  mix.attack_fraction = 0.03;
+  mix.kind = evasion::EvasionKind::combo_tiny_ooo;
+  const auto trace =
+      evasion::generate_mixed(tc, evasion::default_corpus(32), mix);
+  evasion::write_trace(path, trace.packets);
+  std::printf("no capture given; forged %zu-packet demo trace at %s\n",
+              trace.packets.size(), path.c_str());
+  return path;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace sdt;
+
+  const bool json = argc > 1 && std::string(argv[argc - 1]) == "--json";
+  if (json) --argc;
+
+  const std::string path = argc > 1 ? argv[1] : make_demo_capture();
+  const std::size_t piece_len =
+      argc > 2 ? static_cast<std::size_t>(std::atoi(argv[2])) : 8;
+
+  core::SignatureSet sigs;
+  if (argc > 3) {
+    core::RuleParseResult rules;
+    try {
+      rules = core::load_rules_file(argv[3]);
+    } catch (const Error& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 2;
+    }
+    for (const auto& skip : rules.skipped) {
+      std::fprintf(stderr, "rules: skipped line %zu: %s\n", skip.line,
+                   skip.reason.c_str());
+    }
+    // Rules too short to split at this piece length stay unusable here;
+    // report rather than silently weaken the split guarantee.
+    core::SignatureSet usable;
+    for (const auto& s : rules.signatures) {
+      if (s.bytes.size() >= 2 * piece_len) {
+        usable.add(s.name, ByteView(s.bytes));
+      } else {
+        std::fprintf(stderr, "rules: '%s' shorter than 2p=%zu, dropped\n",
+                     s.name.c_str(), 2 * piece_len);
+      }
+    }
+    sigs = std::move(usable);
+  } else {
+    sigs = evasion::default_corpus(2 * piece_len);
+  }
+  if (sigs.empty()) {
+    std::fprintf(stderr, "no usable signatures\n");
+    return 2;
+  }
+  std::printf("loaded %zu signatures (piece length %zu, min usable %zu)\n",
+              sigs.size(), piece_len, 2 * piece_len);
+
+  core::SplitDetectConfig cfg;
+  cfg.fast.piece_len = piece_len;
+  core::SplitDetectEngine engine(sigs, cfg);
+
+  core::PcapRunResult result;
+  try {
+    result = core::run_pcap(engine, path);
+  } catch (const Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+
+  if (json) {
+    std::printf("{\"alerts\":%s,\"stats\":%s}\n",
+                core::alerts_json(result.alerts, sigs).c_str(),
+                core::stats_json(engine).c_str());
+    return result.alerts.empty() ? 0 : 1;
+  }
+
+  for (const core::Alert& a : result.alerts) {
+    const char* name = a.signature_id == core::kConflictAlertId
+                           ? "(conflicting retransmission)"
+                       : a.signature_id == core::kUrgentAlertId
+                           ? "(urgent-mode ambiguity)"
+                           : sigs[a.signature_id].name.c_str();
+    std::printf("ALERT %-28s flow %s  source=%s\n", name,
+                a.flow.str().c_str(), a.source);
+  }
+
+  const core::SplitDetectStats& st = engine.stats();
+  std::printf("\n=== engine statistics ===\n");
+  std::printf("packets processed        %llu\n",
+              static_cast<unsigned long long>(st.packets));
+  std::printf("alerts                   %llu\n",
+              static_cast<unsigned long long>(st.alerts));
+  std::printf("slow-path packet share   %.2f%%\n",
+              100.0 * st.slow_packet_fraction());
+  std::printf("fast-path flows seen     %llu (diverted %llu)\n",
+              static_cast<unsigned long long>(st.fast.flows_seen),
+              static_cast<unsigned long long>(st.fast.flows_diverted));
+  std::printf("fast-path bytes scanned  %s\n",
+              human_bytes(static_cast<double>(st.fast.bytes_scanned)).c_str());
+  std::printf("slow-path bytes scanned  %s\n",
+              human_bytes(static_cast<double>(st.slow.bytes_scanned)).c_str());
+  std::printf("fast-path state          %s\n",
+              human_bytes(static_cast<double>(engine.fast_path().flow_state_bytes())).c_str());
+  std::printf("slow-path state          %s\n",
+              human_bytes(static_cast<double>(engine.slow_path().flow_state_bytes())).c_str());
+  return result.alerts.empty() ? 0 : 1;
+}

@@ -1,0 +1,71 @@
+// Quickstart: the smallest useful Split-Detect program.
+//
+// Builds an engine from three signatures, forges a few packets (one benign
+// flow, one tiny-segment evasion attack), and prints the verdicts.
+//
+//   $ ./quickstart
+#include <cstdio>
+
+#include "core/engine.hpp"
+#include "evasion/transforms.hpp"
+#include "util/rng.hpp"
+
+int main() {
+  using namespace sdt;
+
+  // 1. A signature set (exact byte strings, >= 2 * piece_len each).
+  core::SignatureSet sigs;
+  sigs.add("demo-backdoor", std::string_view("CONNECT_BACKDOOR_4711"));
+  sigs.add("demo-traversal", std::string_view("/../../../../etc/passwd"));
+  sigs.add("demo-shellcode", std::string_view("\x90\x90\x90\x90\x31\xc0\x50\x68\x2f\x2f\x73\x68"));
+
+  // 2. The engine: piece length p = 6, everything else default.
+  core::SplitDetectConfig cfg;
+  cfg.fast.piece_len = 6;
+  core::SplitDetectEngine engine(sigs, cfg);
+
+  // 3. Traffic: a benign flow and a FragRoute-style tiny-segment attack
+  //    carrying signature 0.
+  Rng rng(1);
+  evasion::Endpoints benign_ep;
+  benign_ep.client_port = 40001;
+  const Bytes benign_stream = to_bytes("GET /index.html HTTP/1.1\r\nHost: example\r\n\r\n");
+  auto benign = evasion::forge_evasion(evasion::EvasionKind::none, benign_ep,
+                                       benign_stream, {}, rng, 1000);
+
+  evasion::Endpoints attack_ep;
+  attack_ep.client_port = 40002;
+  Bytes attack_stream = to_bytes("prefix padding CONNECT_BACKDOOR_4711 suffix padding");
+  evasion::EvasionParams params;
+  params.sig_lo = 15;
+  params.sig_hi = 15 + 21;
+  params.tiny_seg_size = 4;  // 4-byte TCP segments, classic evasion
+  auto attack = evasion::forge_evasion(evasion::EvasionKind::tiny_segments,
+                                       attack_ep, attack_stream, params, rng,
+                                       2000);
+
+  // 4. Run both flows through the engine.
+  std::vector<core::Alert> alerts;
+  auto run = [&](const std::vector<net::Packet>& pkts, const char* label) {
+    std::size_t diverted = 0;
+    for (const net::Packet& p : pkts) {
+      const core::Action a = engine.process(p, net::LinkType::raw_ipv4, alerts);
+      if (a != core::Action::forward) ++diverted;
+    }
+    std::printf("%-8s %3zu packets, %zu sent to the slow path\n", label,
+                pkts.size(), diverted);
+  };
+  run(benign, "benign:");
+  run(attack, "attack:");
+
+  // 5. Verdicts.
+  for (const core::Alert& a : alerts) {
+    std::printf("ALERT: signature '%s' on flow %s (source: %s)\n",
+                sigs[a.signature_id].name.c_str(), a.flow.str().c_str(),
+                a.source);
+  }
+  std::printf("fast path scanned %llu bytes; slow path reassembled %llu\n",
+              static_cast<unsigned long long>(engine.stats().fast.bytes_scanned),
+              static_cast<unsigned long long>(engine.stats().slow.reassembled_bytes));
+  return alerts.empty() ? 1 : 0;
+}

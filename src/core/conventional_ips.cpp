@@ -1,0 +1,240 @@
+#include "core/conventional_ips.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "net/checksum.hpp"
+
+namespace sdt::core {
+
+ConventionalIps::ConventionalIps(const SignatureSet& sigs,
+                                 ConventionalIpsConfig cfg)
+    : sigs_(sigs), cfg_(cfg), defrag_(cfg.defrag), table_({cfg.max_flows}) {
+  match::AhoCorasick::Builder b;
+  for (const Signature& s : sigs_) b.add(s.bytes);
+  ac_ = b.build(cfg_.layout);
+  const auto reasm_cfg = cfg_.reasm;
+  table_.set_value_factory([reasm_cfg] { return ConnState(reasm_cfg); });
+}
+
+std::size_t ConventionalIps::process(const net::PacketView& pv,
+                                     std::uint64_t now_usec,
+                                     std::vector<Alert>& alerts) {
+  const std::size_t before = alerts.size();
+  ++stats_.packets;
+  stats_.bytes += pv.frame.size();
+
+  if (pv.is_fragment()) {
+    if (auto datagram = defrag_.add(pv, now_usec)) {
+      const net::PacketView whole = net::PacketView::parse_ipv4(*datagram);
+      // Reprocess the rebuilt datagram (it is no longer a fragment).
+      // Bytes were already counted for the fragments themselves.
+      --stats_.packets;
+      stats_.bytes -= whole.frame.size();
+      process(whole, now_usec, alerts);
+    }
+    return alerts.size() - before;
+  }
+
+  if (!pv.ok()) {
+    ++stats_.bad_packets;
+    return 0;
+  }
+
+  // Insertion-attack filters (mirrors the fast path; see fast_path.cpp).
+  if (cfg_.min_ttl != 0 && pv.ipv4.ttl() < cfg_.min_ttl) {
+    ++stats_.low_ttl_ignored;
+    return 0;
+  }
+  if (cfg_.verify_checksums) {
+    const ByteView l4 = pv.ip_datagram.subspan(pv.ipv4.header_len());
+    if (net::transport_checksum(pv.ipv4.src(), pv.ipv4.dst(),
+                                pv.ipv4.protocol(), l4) != 0) {
+      ++stats_.bad_checksum_ignored;
+      return 0;
+    }
+  }
+
+  if (pv.has_tcp) {
+    process_tcp(pv, now_usec, alerts);
+  } else if (pv.has_udp) {
+    process_udp(pv, now_usec, alerts);
+  }
+  return alerts.size() - before;
+}
+
+void ConventionalIps::process_tcp(const net::PacketView& pv,
+                                  std::uint64_t now_usec,
+                                  std::vector<Alert>& alerts) {
+  ++stats_.tcp_segments;
+  const flow::FlowRef ref = flow::make_flow_ref(pv);
+
+  if (pv.tcp.urg() && pv.tcp.urgent_pointer() != 0 &&
+      !pv.l4_payload.empty()) {
+    ++stats_.urgent_segments;
+    if (cfg_.alert_on_urgent_data) {
+      bool created_urg = false;
+      ConnState& ucs = table_.get_or_create(ref.key, now_usec, &created_urg);
+      if (created_urg) ++stats_.flows_seen;
+      if (!already_alerted(ucs, kUrgentAlertId)) {
+        ++stats_.alerts;
+        alerts.push_back(
+            Alert{ref.key, kUrgentAlertId, now_usec, 0, "normalizer-urgent"});
+      }
+    }
+    // Normalize: continue processing the segment with its data in-band
+    // (the most common stack behaviour) after flagging the ambiguity.
+  }
+
+  // A bare ACK/RST for a flow we do not track (e.g. the final ACK of a
+  // close we already reclaimed) carries no stream bytes: stay stateless.
+  if (table_.find(ref.key) == nullptr && pv.l4_payload.empty() &&
+      !pv.tcp.syn() && !pv.tcp.fin()) {
+    return;
+  }
+
+  bool created = false;
+  ConnState& cs = table_.get_or_create(ref.key, now_usec, &created);
+  if (created) ++stats_.flows_seen;
+
+  const reassembly::SegmentEvent ev =
+      cs.conn.deliver(ref.dir, pv.tcp, pv.l4_payload);
+  if (ev.out_of_order) ++stats_.out_of_order_segments;
+  if (ev.overlap) ++stats_.overlapping_segments;
+  if (ev.conflicting_overlap) {
+    ++stats_.conflicting_overlaps;
+    if (cfg_.alert_on_conflicting_overlap &&
+        !already_alerted(cs, kConflictAlertId)) {
+      ++stats_.alerts;
+      alerts.push_back(Alert{ref.key, kConflictAlertId, now_usec,
+                             cs.stream_pos[static_cast<std::size_t>(ref.dir)],
+                             "normalizer-conflict"});
+    }
+  }
+  if (ev.retransmission) ++stats_.retransmissions;
+
+  const Bytes chunk = cs.conn.side(ref.dir).read_available();
+  if (!chunk.empty()) {
+    stats_.reassembled_bytes += chunk.size();
+    scan_stream(ref.key, cs, ref.dir, chunk, now_usec, alerts);
+  }
+
+  if (cs.conn.closed()) table_.erase(ref.key);
+}
+
+void ConventionalIps::process_udp(const net::PacketView& pv,
+                                  std::uint64_t now_usec,
+                                  std::vector<Alert>& alerts) {
+  ++stats_.udp_datagrams;
+  stats_.bytes_scanned += pv.l4_payload.size();
+  const flow::FlowRef ref = flow::make_flow_ref(pv);
+  ac_.scan(pv.l4_payload, match::AhoCorasick::kRoot,
+           [&](match::AhoCorasick::Match m) {
+             ++stats_.alerts;
+             alerts.push_back(Alert{ref.key, m.pattern_id, now_usec,
+                                    m.end_offset, "udp"});
+           });
+}
+
+void ConventionalIps::scan_stream(const flow::FlowKey& key, ConnState& cs,
+                                  flow::Direction dir, ByteView chunk,
+                                  std::uint64_t now_usec,
+                                  std::vector<Alert>& alerts) {
+  const auto d = static_cast<std::size_t>(dir);
+  stats_.bytes_scanned += chunk.size();
+  cs.ac_state[d] = ac_.scan(chunk, cs.ac_state[d], [&](match::AhoCorasick::Match m) {
+    if (already_alerted(cs, m.pattern_id)) return;
+    ++stats_.alerts;
+    alerts.push_back(Alert{key, m.pattern_id, now_usec,
+                           cs.stream_pos[d] + m.end_offset, "slow-path"});
+  });
+  cs.stream_pos[d] += chunk.size();
+
+  if (cs.adopted && !cs.suffix_done[d]) {
+    Bytes& head = cs.head[d];
+    head.insert(head.end(), chunk.begin(), chunk.end());
+    anchored_suffix_check(key, cs, dir, now_usec, alerts);
+    if (head.size() >= sigs_.max_length()) {
+      cs.suffix_done[d] = true;
+      head.clear();
+      head.shrink_to_fit();
+    }
+  }
+}
+
+void ConventionalIps::anchored_suffix_check(const flow::FlowKey& key,
+                                            ConnState& cs, flow::Direction dir,
+                                            std::uint64_t now_usec,
+                                            std::vector<Alert>& alerts) {
+  const auto d = static_cast<std::size_t>(dir);
+  const Bytes& head = cs.head[d];
+  const std::size_t slack =
+      cs.suffix_slack[d] != 0
+          ? std::min<std::size_t>(cs.suffix_slack[d], cfg_.takeover_slack)
+          : cfg_.takeover_slack;
+  for (const Signature& s : sigs_) {
+    const std::size_t L = s.bytes.size();
+    if (L < cfg_.min_suffix_len) continue;
+    const std::size_t max_missing =
+        std::min(slack, L - cfg_.min_suffix_len);
+    for (std::size_t j = 1; j <= max_missing; ++j) {
+      const std::size_t suffix_len = L - j;
+      if (head.size() < suffix_len) continue;
+      if (std::memcmp(head.data(), s.bytes.data() + j, suffix_len) == 0) {
+        if (!already_alerted(cs, s.id)) {
+          ++stats_.alerts;
+          alerts.push_back(
+              Alert{key, s.id, now_usec, suffix_len, "takeover-suffix"});
+        }
+        break;
+      }
+    }
+  }
+}
+
+bool ConventionalIps::already_alerted(ConnState& cs, std::uint32_t sig_id) {
+  if (std::find(cs.alerted.begin(), cs.alerted.end(), sig_id) !=
+      cs.alerted.end()) {
+    return true;
+  }
+  cs.alerted.push_back(sig_id);
+  return false;
+}
+
+void ConventionalIps::adopt_flow(
+    const flow::FlowKey& key,
+    const std::optional<std::uint32_t> (&base_seq)[2],
+    std::uint64_t now_usec, const std::uint16_t (&prefix_leak)[2]) {
+  bool created = false;
+  ConnState& cs = table_.get_or_create(key, now_usec, &created);
+  if (created) ++stats_.flows_seen;
+  cs.adopted = true;
+  for (std::size_t d = 0; d < 2; ++d) {
+    // First pin wins: re-adoption (e.g. a second fragment completing after
+    // the flow was already taken over) must not move an established origin.
+    auto& side = cs.conn.side(static_cast<flow::Direction>(d));
+    if (base_seq[d] && !side.started()) side.set_base(*base_seq[d]);
+    if (cs.suffix_slack[d] == 0) cs.suffix_slack[d] = prefix_leak[d];
+  }
+}
+
+void ConventionalIps::expire(std::uint64_t now_usec) {
+  table_.expire_idle(now_usec, cfg_.flow_idle_timeout_usec);
+  defrag_.expire(now_usec);
+}
+
+std::size_t ConventionalIps::memory_bytes() const {
+  return flow_state_bytes() + ac_.memory_bytes();
+}
+
+std::size_t ConventionalIps::flow_state_bytes() const {
+  std::size_t n = table_.memory_bytes() + defrag_.memory_bytes();
+  table_.for_each([&n](const flow::FlowKey&, const ConnState& cs) {
+    n += cs.conn.memory_bytes() - sizeof(cs.conn);  // slab already counts sizeof
+    n += cs.head[0].capacity() + cs.head[1].capacity();
+    n += cs.alerted.capacity() * sizeof(std::uint32_t);
+  });
+  return n;
+}
+
+}  // namespace sdt::core

@@ -1,0 +1,106 @@
+#include "core/engine.hpp"
+
+#include "pcap/pcapng.hpp"
+
+namespace sdt::core {
+
+namespace {
+
+ConventionalIpsConfig slow_config(const SplitDetectConfig& cfg) {
+  ConventionalIpsConfig c;
+  c.reasm = cfg.slow_reasm;
+  c.defrag = cfg.defrag;
+  c.max_flows = cfg.slow_max_flows;
+  c.layout = cfg.fast.layout;
+  // Clean packets can leak up to 3p-3 signature-prefix bytes past the fast
+  // path before diversion (p-1 via edge packets, plus 2p-2 via one
+  // FIN-pending small segment). The anchored takeover check covers them.
+  c.takeover_slack = 3 * cfg.fast.piece_len - 3;
+  // A diverted flow shipping two different versions of one byte range is
+  // mounting a policy-ambiguity evasion; normalize-or-alert. Likewise for
+  // urgent-mode data (the fast path diverts it here for exactly this).
+  c.alert_on_conflicting_overlap = true;
+  c.alert_on_urgent_data = true;
+  c.verify_checksums = cfg.fast.verify_checksums;
+  c.min_ttl = cfg.min_ttl;
+  return c;
+}
+
+}  // namespace
+
+namespace {
+
+FastPathConfig fast_config(const SplitDetectConfig& cfg) {
+  FastPathConfig f = cfg.fast;
+  if (cfg.min_ttl != 0) f.min_ttl = cfg.min_ttl;
+  return f;
+}
+
+}  // namespace
+
+SplitDetectEngine::SplitDetectEngine(const SignatureSet& sigs,
+                                     SplitDetectConfig cfg)
+    : fast_(sigs, fast_config(cfg)),
+      slow_(sigs, slow_config(cfg)),
+      defrag_(cfg.defrag) {}
+
+Action SplitDetectEngine::process(const net::PacketView& pv,
+                                  std::uint64_t now_usec,
+                                  std::vector<Alert>& alerts) {
+  ++stats_.packets;
+  const FastDecision d = fast_.process(pv, now_usec);
+  if (d.action == Action::forward) return Action::forward;
+
+  ++stats_.diverted_packets;
+
+  if (d.takeover) {
+    slow_.adopt_flow(d.takeover->key, d.takeover->base_seq, now_usec,
+                     d.takeover->prefix_leak);
+  }
+
+  std::size_t new_alerts = 0;
+  if (d.reason == DivertReason::ip_fragment) {
+    // Engine-level defragmentation: once the datagram is whole we both know
+    // the flow (pin it to the slow path, with the fast path's sequence
+    // bases, so no later clean packet can leave a hole in the slow-path
+    // stream) and can hand it over for matching.
+    if (auto datagram = defrag_.add(pv, now_usec)) {
+      const net::PacketView whole = net::PacketView::parse_ipv4(*datagram);
+      if (whole.ok()) {
+        const flow::FlowRef ref = flow::make_flow_ref(whole);
+        const FastDecision::Takeover t = fast_.force_divert(ref.key, now_usec);
+        slow_.adopt_flow(t.key, t.base_seq, now_usec, t.prefix_leak);
+      }
+      new_alerts = slow_.process(whole, now_usec, alerts);
+    }
+  } else {
+    new_alerts = slow_.process(pv, now_usec, alerts);
+  }
+
+  stats_.alerts += new_alerts;
+  return new_alerts > 0 ? Action::alert : Action::divert;
+}
+
+Action SplitDetectEngine::process(const net::Packet& pkt, net::LinkType lt,
+                                  std::vector<Alert>& alerts) {
+  const net::PacketView pv = net::PacketView::parse(pkt.frame, lt);
+  return process(pv, pkt.ts_usec, alerts);
+}
+
+void SplitDetectEngine::expire(std::uint64_t now_usec) {
+  fast_.expire(now_usec);
+  slow_.expire(now_usec);
+  defrag_.expire(now_usec);
+}
+
+PcapRunResult run_pcap(SplitDetectEngine& engine, const std::string& path) {
+  const auto reader = pcap::open_capture(path);  // classic pcap or pcapng
+  PcapRunResult r;
+  while (auto pkt = reader->next()) {
+    ++r.packets;
+    engine.process(*pkt, reader->link_type(), r.alerts);
+  }
+  return r;
+}
+
+}  // namespace sdt::core

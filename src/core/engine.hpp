@@ -1,0 +1,105 @@
+// SplitDetectEngine — the public face of the library.
+//
+// Wires the fast path to the slow path:
+//
+//           packet ─► FastPath ──forward──────────────────► out
+//                        │ divert (piece / anomaly / frag)
+//                        ▼
+//               engine defragmenter (fragments only)
+//                        │ whole datagrams + diverted segments
+//                        ▼
+//                ConventionalIps (slow path) ──alerts──► caller
+//
+// Diversion is sticky per flow; adoption passes the fast path's expected
+// sequence numbers so the slow path reassembles exactly the bytes the fast
+// path did not clear, and the takeover-suffix rule (see
+// conventional_ips.hpp) closes the ≤3p-3-byte prefix window.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/conventional_ips.hpp"
+#include "core/fast_path.hpp"
+#include "core/signature.hpp"
+#include "core/verdict.hpp"
+#include "pcap/pcap.hpp"
+
+namespace sdt::core {
+
+struct SplitDetectConfig {
+  FastPathConfig fast;
+  /// Slow-path sizing: diverted flows only, so a fraction of fast-path size.
+  std::size_t slow_max_flows = 1 << 17;
+  reassembly::TcpReassemblerConfig slow_reasm;
+  reassembly::IpDefragConfig defrag;
+  /// Hop distance to the nearest protected host, when known: lets both
+  /// paths drop TTL-insertion chaff outright (0 = unknown; the decoys then
+  /// surface as normalizer conflicts instead). Applied to fast and slow.
+  std::uint8_t min_ttl = 0;
+};
+
+struct SplitDetectStats {
+  FastPathStats fast;
+  ConventionalIpsStats slow;
+  std::uint64_t packets = 0;
+  std::uint64_t alerts = 0;
+  std::uint64_t diverted_packets = 0;  // all packets sent to the slow path
+
+  /// Fraction of packets that needed slow-path processing.
+  double slow_packet_fraction() const {
+    return packets == 0 ? 0.0
+                        : static_cast<double>(diverted_packets) /
+                              static_cast<double>(packets);
+  }
+};
+
+/// The Split-Detect IPS: per-packet fast path, diversion, slow-path
+/// reassembly for the diverted remainder.
+class SplitDetectEngine {
+ public:
+  SplitDetectEngine(const SignatureSet& sigs, SplitDetectConfig cfg = {});
+
+  /// Process one packet; any alerts are appended. Returns the action taken.
+  Action process(const net::PacketView& pv, std::uint64_t now_usec,
+                 std::vector<Alert>& alerts);
+
+  /// Convenience: parse + process one captured packet.
+  Action process(const net::Packet& pkt, net::LinkType lt,
+                 std::vector<Alert>& alerts);
+
+  /// Drive housekeeping (flow expiry in both paths).
+  void expire(std::uint64_t now_usec);
+
+  const SplitDetectStats& stats() const {
+    stats_.fast = fast_.stats();
+    stats_.slow = slow_.stats();
+    return stats_;
+  }
+  const FastPath& fast_path() const { return fast_; }
+  const ConventionalIps& slow_path() const { return slow_; }
+
+  /// Per-flow state held by both paths together (the E2 metric for
+  /// Split-Detect as a whole system).
+  std::size_t flow_state_bytes() const {
+    return fast_.flow_state_bytes() + slow_.flow_state_bytes();
+  }
+  std::size_t memory_bytes() const {
+    return fast_.memory_bytes() + slow_.memory_bytes();
+  }
+
+ private:
+  FastPath fast_;
+  ConventionalIps slow_;
+  reassembly::IpDefragmenter defrag_;
+  mutable SplitDetectStats stats_;
+};
+
+/// One-call offline convenience: run a whole pcap file through an engine.
+struct PcapRunResult {
+  std::uint64_t packets = 0;
+  std::vector<Alert> alerts;
+};
+PcapRunResult run_pcap(SplitDetectEngine& engine, const std::string& path);
+
+}  // namespace sdt::core

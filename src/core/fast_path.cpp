@@ -1,0 +1,225 @@
+#include "core/fast_path.hpp"
+
+#include "net/checksum.hpp"
+#include "net/seq.hpp"
+
+namespace sdt::core {
+
+FastPath::FastPath(const SignatureSet& sigs, FastPathConfig cfg)
+    : sigs_(sigs),
+      cfg_(std::move(cfg)),
+      pieces_(cfg_.piece_phase_sample.empty()
+                  ? PieceSet(sigs, cfg_.piece_len, cfg_.layout)
+                  : PieceSet(sigs, cfg_.piece_len, cfg_.layout,
+                             cfg_.piece_phase_sample)),
+      table_({cfg_.max_flows}) {}
+
+namespace {
+
+/// Leaked-prefix bound per direction at takeover time. A clean packet
+/// overhanging a signature's start can pass at most p-1 of its bytes
+/// (more would contain the first piece); one small segment forwarded
+/// under the FIN exemption can pass up to 2p-2 more. The direction's
+/// small-segment history tells which bound applies.
+std::uint16_t leak_bound(const FastFlowState& st, std::size_t d,
+                         std::size_t p) {
+  const auto dbit = static_cast<std::uint8_t>(1u << d);
+  const bool small_leaked =
+      (st.pending_small & dbit) != 0 || st.small_count[d] != 0;
+  return static_cast<std::uint16_t>(small_leaked ? 3 * p - 3 : p - 1);
+}
+
+FastDecision::Takeover make_takeover(const flow::FlowKey& key,
+                                     const FastFlowState& st, std::size_t p) {
+  FastDecision::Takeover t;
+  t.key = key;
+  for (std::size_t i = 0; i < 2; ++i) {
+    if (st.have_seq & (1u << i)) t.base_seq[i] = st.next_seq[i];
+    t.prefix_leak[i] = leak_bound(st, i, p);
+  }
+  return t;
+}
+
+}  // namespace
+
+FastDecision FastPath::divert(FastFlowState& st, const flow::FlowRef& ref,
+                              DivertReason reason) {
+  FastDecision d;
+  d.action = Action::divert;
+  d.reason = reason;
+  if (st.diverted == 0) {
+    st.diverted = 1;
+    ++stats_.flows_diverted;
+    d.takeover = make_takeover(ref.key, st, cfg_.piece_len);
+  }
+  return d;
+}
+
+FastDecision::Takeover FastPath::force_divert(const flow::FlowKey& key,
+                                              std::uint64_t now_usec) {
+  FastFlowState& st = table_.get_or_create(key, now_usec);
+  const FastDecision::Takeover t = make_takeover(key, st, cfg_.piece_len);
+  if (st.diverted == 0) {
+    st.diverted = 1;
+    ++stats_.flows_diverted;
+  }
+  return t;
+}
+
+FastDecision FastPath::process(const net::PacketView& pv,
+                               std::uint64_t now_usec) {
+  ++stats_.packets;
+  stats_.bytes += pv.frame.size();
+
+  // Fragments bypass L4 parsing entirely: off to the slow path, which
+  // defragments and (via the engine) pins the revealed flow to it.
+  if (pv.is_fragment()) {
+    ++stats_.fragment_diverts;
+    return FastDecision{Action::divert, DivertReason::ip_fragment, {}};
+  }
+  if (!pv.ok()) {
+    ++stats_.bad_packets;
+    return FastDecision{Action::divert, DivertReason::bad_packet, {}};
+  }
+
+  // Insertion-attack filters: a packet the victim will never accept must
+  // not touch IPS state. Forward it untouched (it is inert on the wire).
+  if (cfg_.min_ttl != 0 && pv.ipv4.ttl() < cfg_.min_ttl) {
+    ++stats_.low_ttl_ignored;
+    return FastDecision{Action::forward, DivertReason::none, {}};
+  }
+  if (cfg_.verify_checksums) {
+    const ByteView l4 = pv.ip_datagram.subspan(pv.ipv4.header_len());
+    if (net::transport_checksum(pv.ipv4.src(), pv.ipv4.dst(),
+                                pv.ipv4.protocol(), l4) != 0) {
+      ++stats_.bad_checksum_ignored;
+      return FastDecision{Action::forward, DivertReason::none, {}};
+    }
+  }
+
+  if (pv.has_udp) {
+    ++stats_.udp_datagrams;
+    stats_.bytes_scanned += pv.l4_payload.size();
+    if (pieces_.matcher().contains_any(pv.l4_payload)) {
+      ++stats_.piece_hits;
+      // Datagram-level diversion: the slow path runs the full match.
+      return FastDecision{Action::divert, DivertReason::piece_match, {}};
+    }
+    return FastDecision{Action::forward, DivertReason::none, {}};
+  }
+  if (!pv.has_tcp) {
+    return FastDecision{Action::forward, DivertReason::none, {}};
+  }
+
+  ++stats_.tcp_segments;
+  const flow::FlowRef ref = flow::make_flow_ref(pv);
+  bool created = false;
+  FastFlowState& st = table_.get_or_create(ref.key, now_usec, &created);
+  if (created) ++stats_.flows_seen;
+
+  if (st.diverted) {
+    ++stats_.diverted_packets;
+    return FastDecision{Action::divert, DivertReason::already_diverted, {}};
+  }
+
+  const auto d = static_cast<std::size_t>(ref.dir);
+  const std::uint8_t dbit = static_cast<std::uint8_t>(1u << d);
+  const ByteView payload = pv.l4_payload;
+  const net::TcpView& tcp = pv.tcp;
+
+  // (1) Stateless piece scan. A whole piece inside one packet is the
+  // attacker's forced move when segments are large and in order.
+  if (!payload.empty()) {
+    stats_.bytes_scanned += payload.size();
+    if (pieces_.matcher().contains_any(payload)) {
+      ++stats_.piece_hits;
+      return divert(st, ref, DivertReason::piece_match);
+    }
+  }
+
+  // (2) Urgent-mode data: whether the receiving application sees the
+  // urgent byte in-band is stack-dependent — an ambiguity an evader can
+  // ride. Urgent segments are rare in benign traffic; divert.
+  if (tcp.urg() && tcp.urgent_pointer() != 0 && !payload.empty()) {
+    ++stats_.urgent_diverts;
+    return divert(st, ref, DivertReason::urgent_data);
+  }
+
+  // (3) Payload after this direction's FIN is a protocol violation the
+  // receiving stack would discard; an evader shipping bytes there is
+  // hiding them from us, so divert. (A bare FIN retransmission is fine.)
+  if ((st.fin_seen & dbit) && !payload.empty()) {
+    ++stats_.ooo_anomalies;
+    return divert(st, ref, DivertReason::out_of_order);
+  }
+  if (tcp.fin()) st.fin_seen |= dbit;
+
+  // (4) A pending small segment is absolved by a bare FIN, confirmed as an
+  // anomaly by any further data in that direction.
+  if (st.pending_small & dbit) {
+    if (tcp.fin() && payload.empty()) {
+      st.pending_small = static_cast<std::uint8_t>(st.pending_small & ~dbit);
+    } else if (!payload.empty()) {
+      st.pending_small = static_cast<std::uint8_t>(st.pending_small & ~dbit);
+      ++stats_.small_segment_anomalies;
+      if (++st.small_count[d] >= cfg_.small_segment_limit) {
+        return divert(st, ref, DivertReason::small_segment);
+      }
+    }
+  }
+
+  // (5) Small-segment check (below the 2p-1 threshold). Must precede
+  // sequence tracking so a diverting packet is not yet folded into
+  // next_seq — the slow path has to accept this very packet.
+  if (!payload.empty() && payload.size() < cfg_.effective_min_payload()) {
+    if (tcp.fin() && cfg_.fin_exempts_last_small) {
+      // Final data segment of this direction: legitimately small.
+    } else if (cfg_.fin_exempts_last_small) {
+      st.pending_small = static_cast<std::uint8_t>(st.pending_small | dbit);
+    } else {
+      ++stats_.small_segment_anomalies;
+      if (++st.small_count[d] >= cfg_.small_segment_limit) {
+        return divert(st, ref, DivertReason::small_segment);
+      }
+    }
+  }
+
+  // (6) Sequence tracking: one 32-bit expected-next per direction.
+  const std::uint32_t seg_len =
+      static_cast<std::uint32_t>(payload.size()) + (tcp.syn() ? 1u : 0u) +
+      (tcp.fin() ? 1u : 0u);
+  if ((st.have_seq & dbit) == 0) {
+    if (seg_len != 0) {
+      st.next_seq[d] = tcp.seq() + seg_len;
+      st.have_seq |= dbit;
+    }
+  } else if (seg_len != 0 || !payload.empty()) {
+    if (tcp.seq() != st.next_seq[d]) {
+      ++stats_.ooo_anomalies;
+      // Divert *before* resyncing: the takeover base must be the first
+      // byte the fast path has not forwarded, so the slow path accepts
+      // both this packet and any later hole-filling segments.
+      if (++st.ooo_count[d] >= cfg_.ooo_limit) {
+        return divert(st, ref, DivertReason::out_of_order);
+      }
+      // Tolerated anomaly: resync so one reordering event costs one
+      // anomaly, not a cascade.
+      if (net::seq_gt(tcp.seq() + seg_len, st.next_seq[d])) {
+        st.next_seq[d] = tcp.seq() + seg_len;
+      }
+    } else {
+      st.next_seq[d] = tcp.seq() + seg_len;
+    }
+  }
+
+  // (7) State reclamation on a *sequence-valid* RST only. An out-of-window
+  // RST would be ignored by the receiver; erasing on it would let an
+  // attacker reset our sequence baseline while the real connection lives.
+  if (tcp.rst() && (st.have_seq & dbit) && tcp.seq() == st.next_seq[d]) {
+    table_.erase(ref.key);
+  }
+
+  return FastDecision{Action::forward, DivertReason::none, {}};
+}
+
+}  // namespace sdt::core

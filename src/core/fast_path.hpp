@@ -1,0 +1,159 @@
+// The Split-Detect fast path — the second half of the paper's contribution.
+//
+// Per packet it does only three cheap things:
+//   1. one flow-table lookup into a *16-byte* per-flow record,
+//   2. a stateless Aho-Corasick scan of the packet payload for signature
+//      pieces (the automaton restarts at the root every packet — no
+//      cross-packet matcher state, hence no reassembly),
+//   3. constant-time anomaly checks (segment size, expected sequence
+//      number, fragment bit).
+// Any piece hit or anomaly diverts the flow to the slow path.
+//
+// The FIN exemption: the final data segment of a direction is legitimately
+// small, so a small segment is held as *pending* and only becomes an
+// anomaly if more data follows it (a bare FIN absolves it). The detection
+// theorem survives this: if the pending small segment completed a signature
+// delivery, some earlier or current packet must already have contained a
+// whole piece (see the case analysis in tests/core/theorem_test.cpp).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "core/splitter.hpp"
+#include "core/verdict.hpp"
+#include "flow/flow_table.hpp"
+#include "net/packet.hpp"
+
+namespace sdt::core {
+
+struct FastPathConfig {
+  /// Piece length p. Signatures must all be >= 2p bytes.
+  std::size_t piece_len = 8;
+  /// Segments with 0 < payload < min_payload are small-segment anomalies.
+  /// 0 means "derive 2p-1 from piece_len" (the theorem's threshold).
+  std::size_t min_payload = 0;
+  /// Number of small-segment anomalies tolerated before diversion. The
+  /// provable-detection configuration is 1.
+  std::uint8_t small_segment_limit = 1;
+  /// Number of sequence anomalies tolerated before diversion. Provable
+  /// configuration is 1.
+  std::uint8_t ooo_limit = 1;
+  /// Forgive a small data segment immediately followed by that direction's
+  /// FIN (the common benign end-of-stream shape). Safe per the theorem.
+  bool fin_exempts_last_small = true;
+  /// Verify TCP/UDP checksums and ignore failures entirely: a segment the
+  /// receiver will drop must not influence IPS state (the classic
+  /// bad-checksum insertion attack). Costs one pass over the payload.
+  bool verify_checksums = true;
+  /// When non-zero, ignore segments whose TTL cannot reach the protected
+  /// hosts (the TTL insertion attack). Requires knowing the topology —
+  /// 0 disables, leaving those decoys to the conflict alert instead.
+  std::uint8_t min_ttl = 0;
+  std::size_t max_flows = 1 << 20;
+  std::uint64_t flow_idle_timeout_usec = 60ull * 1000 * 1000;
+  match::AcLayout layout = match::AcLayout::dense_dfa;
+  /// Optional sample of representative benign payload. When non-empty, the
+  /// splitter picks, per signature, the tiling phase whose pieces occur
+  /// least often in this sample — cutting chance-piece-hit diversions (the
+  /// paper's rare-piece refinement; see optimized_piece_offsets).
+  Bytes piece_phase_sample;
+
+  std::size_t effective_min_payload() const {
+    return min_payload != 0 ? min_payload : 2 * piece_len - 1;
+  }
+};
+
+/// The entire per-flow fast-path state. The paper's storage claim rests on
+/// this being an order of magnitude smaller than reassembly state.
+struct FastFlowState {
+  std::uint32_t next_seq[2] = {0, 0};  // expected next seq per direction
+  std::uint8_t have_seq = 0;           // bit d: next_seq[d] valid
+  std::uint8_t pending_small = 0;      // bit d: unforgiven small segment
+  std::uint8_t small_count[2] = {0, 0};
+  std::uint8_t ooo_count[2] = {0, 0};
+  std::uint8_t diverted = 0;
+  std::uint8_t fin_seen = 0;  // bit d: FIN observed in direction d
+};
+static_assert(sizeof(FastFlowState) == 16,
+              "fast-path flow record must stay 16 bytes");
+
+struct FastPathStats {
+  std::uint64_t packets = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t bytes_scanned = 0;
+  std::uint64_t tcp_segments = 0;
+  std::uint64_t udp_datagrams = 0;
+  std::uint64_t flows_seen = 0;
+  std::uint64_t flows_diverted = 0;
+  std::uint64_t piece_hits = 0;
+  std::uint64_t small_segment_anomalies = 0;
+  std::uint64_t ooo_anomalies = 0;
+  std::uint64_t fragment_diverts = 0;
+  std::uint64_t bad_packets = 0;
+  std::uint64_t bad_checksum_ignored = 0;
+  std::uint64_t low_ttl_ignored = 0;
+  std::uint64_t urgent_diverts = 0;
+  std::uint64_t diverted_packets = 0;  // packets of already-diverted flows
+};
+
+/// The fast path's decision for one packet.
+struct FastDecision {
+  Action action = Action::forward;
+  DivertReason reason = DivertReason::none;
+  /// Set when this packet newly diverts a TCP flow: what the slow path
+  /// needs to adopt it (flow key, per-direction expected sequence bases,
+  /// and how many signature-prefix bytes may have leaked past the fast
+  /// path in each direction — p-1 via a clean edge packet, plus 2p-2 more
+  /// only if a small segment was forwarded under the FIN exemption).
+  struct Takeover {
+    flow::FlowKey key;
+    std::optional<std::uint32_t> base_seq[2];
+    std::uint16_t prefix_leak[2] = {0, 0};
+  };
+  std::optional<Takeover> takeover;
+};
+
+class FastPath {
+ public:
+  FastPath(const SignatureSet& sigs, FastPathConfig cfg = {});
+
+  /// Classify one packet. Never alerts by itself (TCP alerts come from the
+  /// slow path after diversion; UDP piece hits divert the datagram so the
+  /// slow path can run the full-signature match).
+  FastDecision process(const net::PacketView& pv, std::uint64_t now_usec);
+
+  /// Pin a flow to the slow path from outside the per-packet loop (the
+  /// engine calls this when IP defragmentation reveals which flow has been
+  /// fragmenting). Returns the takeover info the slow path needs; the
+  /// per-direction bases reflect what the fast path has forwarded so far.
+  FastDecision::Takeover force_divert(const flow::FlowKey& key,
+                                      std::uint64_t now_usec);
+
+  void expire(std::uint64_t now_usec) {
+    table_.expire_idle(now_usec, cfg_.flow_idle_timeout_usec);
+  }
+
+  const FastPathStats& stats() const { return stats_; }
+  const FastPathConfig& config() const { return cfg_; }
+  const PieceSet& pieces() const { return pieces_; }
+  std::size_t flows() const { return table_.size(); }
+
+  /// Per-flow state footprint (table only — the automaton is shared).
+  std::size_t flow_state_bytes() const { return table_.memory_bytes(); }
+  std::size_t memory_bytes() const {
+    return flow_state_bytes() + pieces_.memory_bytes();
+  }
+
+ private:
+  FastDecision divert(FastFlowState& st, const flow::FlowRef& ref,
+                      DivertReason reason);
+
+  const SignatureSet& sigs_;
+  FastPathConfig cfg_;
+  FastPathStats stats_;
+  PieceSet pieces_;
+  flow::FlowTable<FastFlowState> table_;
+};
+
+}  // namespace sdt::core

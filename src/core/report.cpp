@@ -1,0 +1,85 @@
+#include "core/report.hpp"
+
+#include "util/json.hpp"
+
+namespace sdt::core {
+
+std::string stats_json(const SplitDetectEngine& engine) {
+  const SplitDetectStats& st = engine.stats();
+  JsonWriter j;
+  j.begin_object();
+  j.field("packets", st.packets);
+  j.field("alerts", st.alerts);
+  j.field("diverted_packets", st.diverted_packets);
+  j.field("slow_packet_fraction", st.slow_packet_fraction());
+
+  j.key("fast_path").begin_object();
+  j.field("packets", st.fast.packets);
+  j.field("bytes", st.fast.bytes);
+  j.field("bytes_scanned", st.fast.bytes_scanned);
+  j.field("tcp_segments", st.fast.tcp_segments);
+  j.field("udp_datagrams", st.fast.udp_datagrams);
+  j.field("flows_seen", st.fast.flows_seen);
+  j.field("flows_diverted", st.fast.flows_diverted);
+  j.field("piece_hits", st.fast.piece_hits);
+  j.field("small_segment_anomalies", st.fast.small_segment_anomalies);
+  j.field("ooo_anomalies", st.fast.ooo_anomalies);
+  j.field("fragment_diverts", st.fast.fragment_diverts);
+  j.field("urgent_diverts", st.fast.urgent_diverts);
+  j.field("bad_packets", st.fast.bad_packets);
+  j.field("bad_checksum_ignored", st.fast.bad_checksum_ignored);
+  j.field("low_ttl_ignored", st.fast.low_ttl_ignored);
+  j.field("flow_state_bytes",
+          static_cast<std::uint64_t>(engine.fast_path().flow_state_bytes()));
+  j.field("flows", static_cast<std::uint64_t>(engine.fast_path().flows()));
+  j.end_object();
+
+  j.key("slow_path").begin_object();
+  j.field("packets", st.slow.packets);
+  j.field("tcp_segments", st.slow.tcp_segments);
+  j.field("udp_datagrams", st.slow.udp_datagrams);
+  j.field("reassembled_bytes", st.slow.reassembled_bytes);
+  j.field("bytes_scanned", st.slow.bytes_scanned);
+  j.field("alerts", st.slow.alerts);
+  j.field("out_of_order_segments", st.slow.out_of_order_segments);
+  j.field("overlapping_segments", st.slow.overlapping_segments);
+  j.field("conflicting_overlaps", st.slow.conflicting_overlaps);
+  j.field("retransmissions", st.slow.retransmissions);
+  j.field("urgent_segments", st.slow.urgent_segments);
+  j.field("flows_seen", st.slow.flows_seen);
+  j.field("flow_state_bytes",
+          static_cast<std::uint64_t>(engine.slow_path().flow_state_bytes()));
+  j.field("flows", static_cast<std::uint64_t>(engine.slow_path().flows()));
+  j.end_object();
+
+  j.end_object();
+  return j.str();
+}
+
+std::string alerts_json(const std::vector<Alert>& alerts,
+                        const SignatureSet& sigs) {
+  JsonWriter j;
+  j.begin_array();
+  for (const Alert& a : alerts) {
+    j.begin_object();
+    if (a.signature_id == kConflictAlertId) {
+      j.field("signature", "normalizer-conflict");
+    } else if (a.signature_id == kUrgentAlertId) {
+      j.field("signature", "normalizer-urgent");
+    } else if (a.signature_id < sigs.size()) {
+      j.field("signature", sigs[a.signature_id].name);
+      j.field("signature_id", static_cast<std::uint64_t>(a.signature_id));
+    } else {
+      j.field("signature_id", static_cast<std::uint64_t>(a.signature_id));
+    }
+    j.field("flow", a.flow.str());
+    j.field("ts_usec", a.ts_usec);
+    j.field("stream_offset", a.stream_offset);
+    j.field("source", a.source);
+    j.end_object();
+  }
+  j.end_array();
+  return j.str();
+}
+
+}  // namespace sdt::core

@@ -1,0 +1,20 @@
+// Structured (JSON) export of engine statistics and alerts, for dashboards
+// and log pipelines.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/engine.hpp"
+
+namespace sdt::core {
+
+/// Full engine snapshot: fast/slow counters, state sizes, derived ratios.
+std::string stats_json(const SplitDetectEngine& engine);
+
+/// One alert per array element; signature names resolved via `sigs` when
+/// available, sentinels rendered as "normalizer-conflict"/"urgent".
+std::string alerts_json(const std::vector<Alert>& alerts,
+                        const SignatureSet& sigs);
+
+}  // namespace sdt::core

@@ -1,0 +1,238 @@
+#include "core/rules.hpp"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace sdt::core {
+
+namespace {
+
+int hex_digit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+/// One `key:value;` or bare `key;` option inside the parenthesized block.
+struct Option {
+  std::string key;
+  std::string value;  // quotes stripped for quoted values
+};
+
+/// Split the option block respecting quotes and \-escapes.
+std::vector<Option> split_options(std::string_view block) {
+  std::vector<Option> out;
+  std::size_t i = 0;
+  while (i < block.size()) {
+    while (i < block.size() &&
+           std::isspace(static_cast<unsigned char>(block[i]))) {
+      ++i;
+    }
+    if (i >= block.size()) break;
+
+    Option opt;
+    // key up to ':' or ';'
+    const std::size_t key_start = i;
+    while (i < block.size() && block[i] != ':' && block[i] != ';') ++i;
+    opt.key = std::string(block.substr(key_start, i - key_start));
+    while (!opt.key.empty() && std::isspace(static_cast<unsigned char>(
+                                   opt.key.back()))) {
+      opt.key.pop_back();
+    }
+
+    if (i < block.size() && block[i] == ':') {
+      ++i;
+      while (i < block.size() &&
+             std::isspace(static_cast<unsigned char>(block[i]))) {
+        ++i;
+      }
+      if (i < block.size() && block[i] == '"') {
+        ++i;
+        std::string v;
+        bool closed = false;
+        while (i < block.size()) {
+          const char c = block[i++];
+          if (c == '\\' && i < block.size()) {
+            v.push_back('\\');
+            v.push_back(block[i++]);
+          } else if (c == '"') {
+            closed = true;
+            break;
+          } else {
+            v.push_back(c);
+          }
+        }
+        if (!closed) throw ParseError("rules: unterminated quoted value");
+        opt.value = std::move(v);
+        while (i < block.size() && block[i] != ';') ++i;
+      } else {
+        const std::size_t v_start = i;
+        while (i < block.size() && block[i] != ';') ++i;
+        opt.value = std::string(block.substr(v_start, i - v_start));
+        while (!opt.value.empty() &&
+               std::isspace(static_cast<unsigned char>(opt.value.back()))) {
+          opt.value.pop_back();
+        }
+      }
+    }
+    if (i < block.size() && block[i] == ';') ++i;
+    if (!opt.key.empty()) out.push_back(std::move(opt));
+  }
+  return out;
+}
+
+}  // namespace
+
+Bytes decode_content(std::string_view pattern) {
+  Bytes out;
+  bool in_hex = false;
+  int pending = -1;
+  for (std::size_t i = 0; i < pattern.size(); ++i) {
+    const char c = pattern[i];
+    if (in_hex) {
+      if (c == '|') {
+        if (pending >= 0) throw ParseError("content: odd hex digit count");
+        in_hex = false;
+      } else if (std::isspace(static_cast<unsigned char>(c))) {
+        continue;
+      } else {
+        const int d = hex_digit(c);
+        if (d < 0) {
+          throw ParseError(std::string("content: bad hex char '") + c + "'");
+        }
+        if (pending < 0) {
+          pending = d;
+        } else {
+          out.push_back(static_cast<std::uint8_t>((pending << 4) | d));
+          pending = -1;
+        }
+      }
+      continue;
+    }
+    if (c == '|') {
+      in_hex = true;
+      pending = -1;
+    } else if (c == '\\') {
+      if (i + 1 >= pattern.size()) {
+        throw ParseError("content: dangling backslash");
+      }
+      out.push_back(static_cast<std::uint8_t>(pattern[++i]));
+    } else {
+      out.push_back(static_cast<std::uint8_t>(c));
+    }
+  }
+  if (in_hex) throw ParseError("content: unterminated |hex| section");
+  if (out.empty()) throw ParseError("content: empty pattern");
+  return out;
+}
+
+RuleParseResult parse_rules(std::string_view text) {
+  RuleParseResult result;
+
+  std::size_t line_no = 0;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    // Extract one logical line (honoring trailing-backslash continuations).
+    std::string line;
+    std::size_t this_line = line_no + 1;
+    while (pos < text.size()) {
+      ++line_no;
+      const std::size_t eol = text.find('\n', pos);
+      std::string_view raw =
+          text.substr(pos, eol == std::string_view::npos ? std::string_view::npos
+                                                         : eol - pos);
+      pos = eol == std::string_view::npos ? text.size() : eol + 1;
+      if (!raw.empty() && raw.back() == '\r') raw.remove_suffix(1);
+      if (!raw.empty() && raw.back() == '\\') {
+        line.append(raw.substr(0, raw.size() - 1));
+        continue;  // continuation
+      }
+      line.append(raw);
+      break;
+    }
+
+    // Trim + skip blanks/comments.
+    std::size_t b = 0;
+    while (b < line.size() && std::isspace(static_cast<unsigned char>(line[b]))) {
+      ++b;
+    }
+    if (b == line.size() || line[b] == '#') continue;
+    const std::string_view lv = std::string_view(line).substr(b);
+
+    if (lv.substr(0, 6) != "alert ") {
+      result.skipped.push_back(
+          {this_line, "unsupported action (only 'alert' rules)"});
+      continue;
+    }
+
+    const std::size_t open = lv.find('(');
+    const std::size_t close = lv.rfind(')');
+    if (open == std::string_view::npos || close == std::string_view::npos ||
+        close < open) {
+      result.skipped.push_back({this_line, "missing option block"});
+      continue;
+    }
+
+    std::vector<Option> opts;
+    try {
+      opts = split_options(lv.substr(open + 1, close - open - 1));
+    } catch (const ParseError& e) {
+      result.skipped.push_back({this_line, e.what()});
+      continue;
+    }
+
+    std::string msg;
+    std::string sid;
+    std::vector<std::string> contents;
+    for (const Option& o : opts) {
+      if (o.key == "msg") {
+        msg = o.value;
+      } else if (o.key == "sid") {
+        sid = o.value;
+      } else if (o.key == "content") {
+        contents.push_back(o.value);
+      }
+      // other options tolerated and ignored (out of exact-match scope)
+    }
+
+    if (contents.empty()) {
+      result.skipped.push_back({this_line, "no content field"});
+      continue;
+    }
+    if (contents.size() > 1) {
+      result.skipped.push_back(
+          {this_line, "multiple content fields (beyond exact-match scope)"});
+      continue;
+    }
+
+    Bytes bytes;
+    try {
+      bytes = decode_content(contents[0]);
+    } catch (const ParseError& e) {
+      result.skipped.push_back({this_line, e.what()});
+      continue;
+    }
+
+    std::string name = msg;
+    if (name.empty()) {
+      name = sid.empty() ? "rule:" + std::to_string(this_line) : "sid:" + sid;
+    }
+    result.signatures.add(std::move(name), ByteView(bytes));
+  }
+
+  return result;
+}
+
+RuleParseResult load_rules_file(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw IoError("rules: cannot open '" + path + "'");
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  return parse_rules(ss.str());
+}
+
+}  // namespace sdt::core

@@ -1,0 +1,52 @@
+// Snort-style rule file loading (exact-string subset).
+//
+// The paper's scope is "the simplest form of signature, an exact string
+// match"; this loader accepts the corresponding subset of the classic rule
+// grammar so real-world rule bases can drive the engines:
+//
+//   alert tcp any any -> any 80 (msg:"IIS cmd.exe"; \
+//       content:"cmd.exe?/c+dir"; sid:1001;)
+//   alert tcp any any -> any any (content:"|90 90 90 90|init"; sid:1002;)
+//
+// Supported: `alert` rules; one `content` option per rule, with Snort's
+// |hex| escapes and \-escaped characters; `msg` (becomes the signature
+// name, else "sid:<n>" or "rule:<line>"); `sid`. Everything else in the
+// option block is tolerated and ignored (the engine has no port/direction
+// predicates — DESIGN.md documents this as out of scope). Rules this
+// subset cannot express faithfully (multiple content fields, pcre,
+// non-alert actions) are *skipped and reported*, never silently mangled.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/signature.hpp"
+
+namespace sdt::core {
+
+struct RuleParseResult {
+  SignatureSet signatures;
+
+  struct Skipped {
+    std::size_t line = 0;      // 1-based line in the input
+    std::string reason;
+  };
+  std::vector<Skipped> skipped;
+
+  std::size_t parsed() const { return signatures.size(); }
+};
+
+/// Parse rules from a string. Throws ParseError only on structurally
+/// unrecoverable input (unterminated quote/parenthesis); per-rule issues
+/// land in `skipped`.
+RuleParseResult parse_rules(std::string_view text);
+
+/// Load and parse a rule file. Throws IoError if unreadable.
+RuleParseResult load_rules_file(const std::string& path);
+
+/// Decode a Snort content pattern: |hex| sections and backslash escapes.
+/// Throws ParseError on malformed input.
+Bytes decode_content(std::string_view pattern);
+
+}  // namespace sdt::core

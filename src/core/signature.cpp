@@ -1,0 +1,25 @@
+#include "core/signature.hpp"
+
+#include "util/error.hpp"
+
+namespace sdt::core {
+
+std::uint32_t SignatureSet::add(std::string name, ByteView bytes) {
+  if (bytes.empty()) {
+    throw InvalidArgument("SignatureSet: empty signature '" + name + "'");
+  }
+  Signature s;
+  s.id = static_cast<std::uint32_t>(sigs_.size());
+  s.name = std::move(name);
+  s.bytes.assign(bytes.begin(), bytes.end());
+  max_len_ = std::max(max_len_, s.bytes.size());
+  min_len_ = std::min(min_len_, s.bytes.size());
+  sigs_.push_back(std::move(s));
+  return sigs_.back().id;
+}
+
+std::uint32_t SignatureSet::add(std::string name, std::string_view ascii) {
+  return add(std::move(name), view_of(ascii));
+}
+
+}  // namespace sdt::core

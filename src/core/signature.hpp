@@ -1,0 +1,43 @@
+// Signature model: exact byte-string signatures (the paper's focus) and the
+// set container shared by both engines.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/bytes.hpp"
+
+namespace sdt::core {
+
+struct Signature {
+  std::uint32_t id = 0;
+  std::string name;
+  Bytes bytes;
+};
+
+/// Immutable-after-setup collection of signatures. Both the conventional
+/// IPS and Split-Detect are constructed from the same set, so experiments
+/// compare engines on identical rule bases.
+class SignatureSet {
+ public:
+  /// Add a signature; returns its id. Throws InvalidArgument on empty bytes.
+  std::uint32_t add(std::string name, ByteView bytes);
+  std::uint32_t add(std::string name, std::string_view ascii);
+
+  const Signature& operator[](std::uint32_t id) const { return sigs_[id]; }
+  std::size_t size() const { return sigs_.size(); }
+  bool empty() const { return sigs_.empty(); }
+  std::size_t max_length() const { return max_len_; }
+  std::size_t min_length() const { return min_len_; }
+
+  auto begin() const { return sigs_.begin(); }
+  auto end() const { return sigs_.end(); }
+
+ private:
+  std::vector<Signature> sigs_;
+  std::size_t max_len_ = 0;
+  std::size_t min_len_ = SIZE_MAX;
+};
+
+}  // namespace sdt::core

@@ -1,0 +1,96 @@
+// Signature splitting — the first half of the paper's contribution.
+//
+// A signature of length L >= 2p is cut into pieces of length exactly p:
+// tiled at offsets 0, p, 2p, ... (every tile that fits entirely) plus one
+// piece anchored at the end, [L-p, L). Pieces may overlap when p does not
+// divide L; the Aho-Corasick automaton absorbs the redundancy.
+//
+// This tiling yields the covering property the detection theorem rests on:
+//
+//   (W)  every window of 2p-1 consecutive signature bytes contains at
+//        least one complete piece, and every prefix or suffix of length
+//        >= p contains the first or last piece.
+//
+// Consequently an attacker who delivers the signature using only in-order
+// TCP segments of payload >= 2p-1 must place some complete piece inside a
+// single segment, where the stateless per-packet scanner sees it. The only
+// alternatives — small segments, out-of-order or overlapping sequence
+// numbers, IP fragments — are precisely the anomalies that divert the flow
+// to the slow path. (Property-tested in tests/core/theorem_test.cpp.)
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/signature.hpp"
+#include "match/aho_corasick.hpp"
+
+namespace sdt::core {
+
+/// One piece of one signature.
+struct Piece {
+  std::uint32_t signature_id = 0;
+  std::uint32_t offset = 0;  // byte offset of the piece within the signature
+};
+
+/// Piece offsets for a signature of length `len` with piece length `p`.
+/// Requires len >= 2 * p (throws InvalidArgument otherwise): shorter
+/// signatures cannot be safely split and must stay on the slow path
+/// unsplit — SplitDetectConfig::piece_len must be chosen against the
+/// rule base's minimum signature length.
+std::vector<std::uint32_t> piece_offsets(std::size_t len, std::size_t p);
+
+/// Phase-shifted tiling: pieces at offsets `phase, phase+p, phase+2p, …`
+/// (every tile fully inside the signature) plus the first piece anchored
+/// at 0 and the last anchored at len-p. For every phase in [0, p) this
+/// preserves the covering property (W) — the tiling phase is a *free
+/// parameter* of the split.
+std::vector<std::uint32_t> piece_offsets_with_phase(std::size_t len,
+                                                    std::size_t p,
+                                                    std::size_t phase);
+
+/// The paper's rare-piece refinement: chance occurrences of a piece in
+/// benign payload cost a slow-path diversion each, and pieces that align
+/// with common protocol substrings (" HTTP/1.", "GET /...") fire
+/// constantly (bench E5). Since the phase is free, pick — per signature —
+/// the phase whose pieces occur least often in a sample of representative
+/// benign payload. Returns the chosen offsets.
+std::vector<std::uint32_t> optimized_piece_offsets(ByteView sig, std::size_t p,
+                                                   ByteView benign_sample);
+
+/// The fast path's pattern database: every piece of every signature,
+/// compiled into one Aho-Corasick automaton, with the reverse mapping from
+/// matcher pattern id back to (signature, offset).
+class PieceSet {
+ public:
+  PieceSet() = default;
+  PieceSet(const SignatureSet& sigs, std::size_t piece_len,
+           match::AcLayout layout = match::AcLayout::dense_dfa);
+
+  /// Phase-optimized construction: per-signature tiling phases chosen to
+  /// minimize chance piece hits against `benign_sample` (see
+  /// optimized_piece_offsets). Detection guarantees are identical.
+  PieceSet(const SignatureSet& sigs, std::size_t piece_len,
+           match::AcLayout layout, ByteView benign_sample);
+
+  std::size_t piece_len() const { return piece_len_; }
+  std::size_t piece_count() const { return pieces_.size(); }
+  const match::AhoCorasick& matcher() const { return ac_; }
+
+  /// The piece behind an AhoCorasick pattern id.
+  const Piece& piece(std::uint32_t pattern_id) const {
+    return pieces_[pattern_id];
+  }
+
+  /// Fast-path memory cost (automaton + mapping).
+  std::size_t memory_bytes() const {
+    return ac_.memory_bytes() + pieces_.capacity() * sizeof(Piece);
+  }
+
+ private:
+  std::size_t piece_len_ = 0;
+  match::AhoCorasick ac_;
+  std::vector<Piece> pieces_;
+};
+
+}  // namespace sdt::core

@@ -1,0 +1,39 @@
+#include "core/verdict.hpp"
+
+namespace sdt::core {
+
+const char* to_string(Action a) {
+  switch (a) {
+    case Action::forward:
+      return "forward";
+    case Action::divert:
+      return "divert";
+    case Action::alert:
+      return "alert";
+  }
+  return "unknown";
+}
+
+const char* to_string(DivertReason r) {
+  switch (r) {
+    case DivertReason::none:
+      return "none";
+    case DivertReason::piece_match:
+      return "piece_match";
+    case DivertReason::small_segment:
+      return "small_segment";
+    case DivertReason::out_of_order:
+      return "out_of_order";
+    case DivertReason::ip_fragment:
+      return "ip_fragment";
+    case DivertReason::bad_packet:
+      return "bad_packet";
+    case DivertReason::urgent_data:
+      return "urgent_data";
+    case DivertReason::already_diverted:
+      return "already_diverted";
+  }
+  return "unknown";
+}
+
+}  // namespace sdt::core

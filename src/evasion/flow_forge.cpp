@@ -1,0 +1,205 @@
+#include "evasion/flow_forge.hpp"
+
+#include <algorithm>
+
+#include "net/headers.hpp"
+#include "util/error.hpp"
+
+namespace sdt::evasion {
+
+FlowForge::FlowForge(Endpoints ep, std::uint64_t start_ts_usec,
+                     std::uint64_t gap_usec)
+    : ep_(ep), ts_(start_ts_usec), gap_(gap_usec) {}
+
+void FlowForge::emit(Bytes datagram) {
+  pkts_.emplace_back(ts_, std::move(datagram));
+  ts_ += gap_;
+}
+
+Bytes FlowForge::client_packet(const Seg& seg, std::uint8_t flags) const {
+  net::Ipv4Spec ip;
+  ip.src = ep_.client;
+  ip.dst = ep_.server;
+  ip.id = ip_id_;
+  ip.ttl = seg.ttl;
+  net::TcpSpec tcp;
+  tcp.src_port = ep_.client_port;
+  tcp.dst_port = ep_.server_port;
+  tcp.seq = ep_.client_isn + 1 + static_cast<std::uint32_t>(seg.rel_off);
+  tcp.ack = ep_.server_isn + 1;
+  tcp.flags = flags;
+  if (seg.urg) {
+    tcp.flags = static_cast<std::uint8_t>(tcp.flags | net::kTcpUrg);
+    tcp.urgent_pointer = seg.urgent_pointer;
+  }
+  Bytes pkt = net::build_tcp_packet(ip, tcp, seg.data);
+  if (seg.corrupt_checksum) {
+    // Flip the TCP checksum in place; the IPv4 header stays valid so the
+    // packet still routes — only the receiving TCP discards it.
+    const std::size_t csum_off = 20 + 16;
+    pkt[csum_off] = static_cast<std::uint8_t>(~pkt[csum_off]);
+  }
+  return pkt;
+}
+
+void FlowForge::handshake() {
+  {
+    net::Ipv4Spec ip{.src = ep_.client, .dst = ep_.server, .id = ip_id_++};
+    net::TcpSpec t{.src_port = ep_.client_port,
+                   .dst_port = ep_.server_port,
+                   .seq = ep_.client_isn,
+                   .ack = 0,
+                   .flags = net::kTcpSyn};
+    emit(net::build_tcp_packet(ip, t, {}));
+  }
+  {
+    net::Ipv4Spec ip{.src = ep_.server, .dst = ep_.client, .id = ip_id_++};
+    net::TcpSpec t{.src_port = ep_.server_port,
+                   .dst_port = ep_.client_port,
+                   .seq = ep_.server_isn,
+                   .ack = ep_.client_isn + 1,
+                   .flags = static_cast<std::uint8_t>(net::kTcpSyn | net::kTcpAck)};
+    emit(net::build_tcp_packet(ip, t, {}));
+  }
+  {
+    net::Ipv4Spec ip{.src = ep_.client, .dst = ep_.server, .id = ip_id_++};
+    net::TcpSpec t{.src_port = ep_.client_port,
+                   .dst_port = ep_.server_port,
+                   .seq = ep_.client_isn + 1,
+                   .ack = ep_.server_isn + 1,
+                   .flags = net::kTcpAck};
+    emit(net::build_tcp_packet(ip, t, {}));
+  }
+}
+
+void FlowForge::client_segment(const Seg& seg) {
+  std::uint8_t flags = net::kTcpAck;
+  if (seg.fin) flags = static_cast<std::uint8_t>(flags | net::kTcpFin);
+  ++ip_id_;
+  emit(client_packet(seg, flags));
+  client_sent_ = std::max(client_sent_, seg.rel_off + seg.data.size() +
+                                            (seg.fin ? 1u : 0u));
+}
+
+void FlowForge::client_segment_fragmented(const Seg& seg,
+                                          std::size_t frag_payload,
+                                          bool reverse_order) {
+  std::uint8_t flags = net::kTcpAck;
+  if (seg.fin) flags = static_cast<std::uint8_t>(flags | net::kTcpFin);
+  ++ip_id_;
+  const Bytes whole = client_packet(seg, flags);
+  std::vector<Bytes> frags = net::fragment_ipv4(whole, frag_payload);
+  if (reverse_order) std::reverse(frags.begin(), frags.end());
+  for (Bytes& frag : frags) emit(std::move(frag));
+  client_sent_ = std::max(client_sent_, seg.rel_off + seg.data.size() +
+                                            (seg.fin ? 1u : 0u));
+}
+
+void FlowForge::raw_datagram(Bytes datagram) { emit(std::move(datagram)); }
+
+void FlowForge::server_data(ByteView stream, std::size_t mss) {
+  if (mss == 0) throw InvalidArgument("FlowForge: mss == 0");
+  for (std::size_t off = 0; off < stream.size(); off += mss) {
+    const std::size_t n = std::min(mss, stream.size() - off);
+    net::Ipv4Spec ip{.src = ep_.server, .dst = ep_.client, .id = ip_id_++};
+    net::TcpSpec t{.src_port = ep_.server_port,
+                   .dst_port = ep_.client_port,
+                   .seq = ep_.server_isn + 1 +
+                          static_cast<std::uint32_t>(server_sent_ + off),
+                   .ack = ep_.client_isn + 1 +
+                          static_cast<std::uint32_t>(client_sent_),
+                   .flags = net::kTcpAck};
+    emit(net::build_tcp_packet(ip, t, stream.subspan(off, n)));
+  }
+  server_sent_ += stream.size();
+}
+
+void FlowForge::server_ack() {
+  net::Ipv4Spec ip{.src = ep_.server, .dst = ep_.client, .id = ip_id_++};
+  net::TcpSpec t{.src_port = ep_.server_port,
+                 .dst_port = ep_.client_port,
+                 .seq = ep_.server_isn + 1 +
+                        static_cast<std::uint32_t>(server_sent_),
+                 .ack = ep_.client_isn + 1 +
+                        static_cast<std::uint32_t>(client_sent_),
+                 .flags = net::kTcpAck};
+  emit(net::build_tcp_packet(ip, t, {}));
+}
+
+void FlowForge::close() {
+  {
+    Seg fin;
+    fin.rel_off = client_sent_;
+    fin.fin = true;
+    client_segment(fin);
+  }
+  {
+    net::Ipv4Spec ip{.src = ep_.server, .dst = ep_.client, .id = ip_id_++};
+    net::TcpSpec t{.src_port = ep_.server_port,
+                   .dst_port = ep_.client_port,
+                   .seq = ep_.server_isn + 1 +
+                          static_cast<std::uint32_t>(server_sent_),
+                   .ack = ep_.client_isn + 1 +
+                          static_cast<std::uint32_t>(client_sent_),
+                   .flags = static_cast<std::uint8_t>(net::kTcpFin | net::kTcpAck)};
+    emit(net::build_tcp_packet(ip, t, {}));
+  }
+  {
+    net::Ipv4Spec ip{.src = ep_.client, .dst = ep_.server, .id = ip_id_++};
+    net::TcpSpec t{.src_port = ep_.client_port,
+                   .dst_port = ep_.server_port,
+                   .seq = ep_.client_isn + 1 +
+                          static_cast<std::uint32_t>(client_sent_),
+                   .ack = ep_.server_isn + 2 +
+                          static_cast<std::uint32_t>(server_sent_),
+                   .flags = net::kTcpAck};
+    emit(net::build_tcp_packet(ip, t, {}));
+  }
+}
+
+std::vector<Seg> plan_plain(ByteView stream, std::size_t mss,
+                            bool fin_on_last) {
+  if (mss == 0) throw InvalidArgument("plan_plain: mss == 0");
+  std::vector<Seg> plan;
+  for (std::size_t off = 0; off < stream.size(); off += mss) {
+    const std::size_t n = std::min(mss, stream.size() - off);
+    Seg s;
+    s.rel_off = off;
+    s.data.assign(stream.begin() + static_cast<std::ptrdiff_t>(off),
+                  stream.begin() + static_cast<std::ptrdiff_t>(off + n));
+    s.fin = fin_on_last && off + n == stream.size();
+    plan.push_back(std::move(s));
+  }
+  if (plan.empty() && fin_on_last) {
+    Seg s;
+    s.fin = true;
+    plan.push_back(std::move(s));
+  }
+  return plan;
+}
+
+std::vector<Seg> plan_tiny(ByteView stream, std::size_t seg_size) {
+  return plan_plain(stream, seg_size, true);
+}
+
+std::vector<Seg> plan_tiny_window(ByteView stream, std::size_t mss,
+                                  std::size_t seg_size, std::size_t lo,
+                                  std::size_t hi) {
+  if (lo > hi || hi > stream.size()) {
+    throw InvalidArgument("plan_tiny_window: bad window");
+  }
+  std::vector<Seg> plan;
+  auto append = [&](std::vector<Seg> part, std::size_t base) {
+    for (Seg& s : part) {
+      s.rel_off += base;
+      plan.push_back(std::move(s));
+    }
+  };
+  append(plan_plain(stream.subspan(0, lo), mss, false), 0);
+  append(plan_plain(stream.subspan(lo, hi - lo), seg_size, false), lo);
+  append(plan_plain(stream.subspan(hi), mss, true), hi);
+  if (hi == stream.size() && !plan.empty()) plan.back().fin = true;
+  return plan;
+}
+
+}  // namespace sdt::evasion

@@ -1,0 +1,120 @@
+// FlowForge: materialize TCP conversations as captured packets.
+//
+// Attacks and the traffic generator first *plan* a segment sequence (what
+// bytes at what relative stream offsets, in what order) and then forge the
+// actual IPv4/TCP packets with correct checksums. Keeping the plan explicit
+// makes the evasion transforms composable and unit-testable without packet
+// parsing.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/addr.hpp"
+#include "net/builder.hpp"
+#include "net/packet.hpp"
+#include "util/bytes.hpp"
+
+namespace sdt::evasion {
+
+/// The two endpoints of a forged connection.
+struct Endpoints {
+  net::Ipv4Addr client{10, 0, 0, 1};
+  net::Ipv4Addr server{10, 0, 0, 2};
+  std::uint16_t client_port = 40000;
+  std::uint16_t server_port = 80;
+  std::uint32_t client_isn = 1000;
+  std::uint32_t server_isn = 5000;
+};
+
+/// One planned client->server segment: payload at a relative offset of the
+/// client's data stream (0 = first byte after the SYN).
+///
+/// The insertion-attack fields model packets the *IPS* sees but the victim
+/// never accepts: a corrupted checksum (receiver drops it), a TTL too low
+/// to reach the victim, or urgent-mode bytes the receiving application
+/// consumes out of band.
+struct Seg {
+  std::uint64_t rel_off = 0;
+  Bytes data;
+  bool fin = false;
+  bool urg = false;
+  std::uint16_t urgent_pointer = 0;
+  bool corrupt_checksum = false;
+  std::uint8_t ttl = 64;
+};
+
+/// A planned conversation: handshake, client segments (possibly reordered,
+/// overlapping, or hostile), optional server echo data.
+class FlowForge {
+ public:
+  FlowForge(Endpoints ep, std::uint64_t start_ts_usec,
+            std::uint64_t gap_usec = 50);
+
+  /// SYN, SYN|ACK, ACK.
+  void handshake();
+
+  /// Emit one planned client segment verbatim.
+  void client_segment(const Seg& seg);
+
+  /// Emit all planned segments in plan order.
+  void client_segments(const std::vector<Seg>& plan) {
+    for (const Seg& s : plan) client_segment(s);
+  }
+
+  /// In-order server->client data (for bidirectional scenarios).
+  void server_data(ByteView stream, std::size_t mss);
+
+  /// Pure ACK from the server covering everything sent so far.
+  void server_ack();
+
+  /// Client FIN (bare) + server FIN|ACK + client ACK.
+  void close();
+
+  /// A fragmented client segment: the TCP packet is built, then split into
+  /// IPv4 fragments of at most `frag_payload` bytes each, emitted in order
+  /// or reversed.
+  void client_segment_fragmented(const Seg& seg, std::size_t frag_payload,
+                                 bool reverse_order = false);
+
+  /// Arbitrary pre-built IPv4 datagram (hostile fragment crafting).
+  void raw_datagram(Bytes datagram);
+
+  std::uint64_t now() const { return ts_; }
+  const Endpoints& endpoints() const { return ep_; }
+
+  /// The forged conversation, in emission order.
+  std::vector<net::Packet> take() { return std::move(pkts_); }
+
+ private:
+  Bytes client_packet(const Seg& seg, std::uint8_t flags) const;
+  void emit(Bytes datagram);
+
+  Endpoints ep_;
+  std::uint64_t ts_;
+  std::uint64_t gap_;
+  std::uint64_t client_sent_ = 0;  // highest rel_off+len emitted
+  std::uint64_t server_sent_ = 0;
+  std::uint16_t ip_id_ = 1;
+  std::vector<net::Packet> pkts_;
+};
+
+// ---------------------------------------------------------------------------
+// Segment planners (the evasion building blocks).
+// ---------------------------------------------------------------------------
+
+/// In-order segmentation at `mss` bytes per segment; FIN rides the last
+/// data segment when `fin_on_last`.
+std::vector<Seg> plan_plain(ByteView stream, std::size_t mss,
+                            bool fin_on_last = true);
+
+/// FragRoute-style tiny segments: every segment carries `seg_size` bytes.
+std::vector<Seg> plan_tiny(ByteView stream, std::size_t seg_size);
+
+/// Split only a window [lo, hi) of the stream into tiny segments (targeted
+/// at a known signature position); the rest ships at `mss`.
+std::vector<Seg> plan_tiny_window(ByteView stream, std::size_t mss,
+                                  std::size_t seg_size, std::size_t lo,
+                                  std::size_t hi);
+
+}  // namespace sdt::evasion

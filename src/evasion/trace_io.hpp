@@ -1,0 +1,27 @@
+// Trace persistence helpers: write generated packet sequences to real pcap
+// files (consumable by tcpdump/wireshark) and read them back.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "pcap/pcap.hpp"
+
+namespace sdt::evasion {
+
+/// Write packets (raw IPv4 datagrams) to a pcap file.
+inline void write_trace(const std::string& path,
+                        const std::vector<net::Packet>& pkts) {
+  pcap::Writer w(path, net::LinkType::raw_ipv4);
+  for (const net::Packet& p : pkts) w.write(p);
+}
+
+/// Serialize packets to an in-memory pcap capture.
+inline Bytes trace_bytes(const std::vector<net::Packet>& pkts) {
+  pcap::Writer w(net::LinkType::raw_ipv4);
+  for (const net::Packet& p : pkts) w.write(p);
+  return w.take();
+}
+
+}  // namespace sdt::evasion

@@ -1,0 +1,190 @@
+#include "evasion/traffic_gen.hpp"
+
+#include <algorithm>
+
+#include "flow/flow_key.hpp"
+#include "net/headers.hpp"
+
+namespace sdt::evasion {
+
+namespace {
+
+const char* const kWords[] = {
+    "GET",     "POST",   "HTTP/1.1", "Host:",   "Accept:",  "text/html",
+    "gzip",    "keep",   "alive",    "Cookie:", "session",  "id",
+    "Mozilla", "en-US",  "chunked",  "Length:", "200",      "OK",
+    "div",     "class",  "href",     "span",    "script",   "static",
+    "image",   "png",    "cache",    "control", "no-store", "etag",
+};
+
+void append_text(Rng& rng, Bytes& out, std::size_t target) {
+  while (out.size() < target) {
+    const char* w = kWords[rng.below(std::size(kWords))];
+    while (*w != '\0' && out.size() < target) {
+      out.push_back(static_cast<std::uint8_t>(*w++));
+    }
+    if (out.size() < target) {
+      out.push_back(rng.chance(0.1) ? std::uint8_t{'\n'} : std::uint8_t{' '});
+    }
+  }
+}
+
+Endpoints endpoints_for_flow(std::size_t i, Rng& rng) {
+  Endpoints ep;
+  ep.client = net::Ipv4Addr(10, static_cast<std::uint8_t>(1 + i / 65536 % 200),
+                            static_cast<std::uint8_t>(i / 256 % 256),
+                            static_cast<std::uint8_t>(i % 256));
+  ep.server = net::Ipv4Addr(192, 168, static_cast<std::uint8_t>(i * 7 % 256),
+                            static_cast<std::uint8_t>(i * 13 % 256));
+  ep.client_port = static_cast<std::uint16_t>(1024 + rng.below(60000));
+  static constexpr std::uint16_t kPorts[] = {80, 443, 25, 8080, 993, 22};
+  ep.server_port = kPorts[rng.below(std::size(kPorts))];
+  ep.client_isn = static_cast<std::uint32_t>(rng.next());
+  ep.server_isn = static_cast<std::uint32_t>(rng.next());
+  return ep;
+}
+
+/// Swap adjacent data packets of one flow's emission with probability r.
+void reorder_flow(std::vector<net::Packet>& pkts, Rng& rng, double r) {
+  if (r <= 0.0 || pkts.size() < 4) return;
+  for (std::size_t i = 3; i + 1 < pkts.size(); ++i) {  // skip the handshake
+    if (rng.chance(r)) {
+      std::swap(pkts[i].frame, pkts[i + 1].frame);
+      ++i;
+    }
+  }
+}
+
+std::vector<net::Packet> forge_benign_flow(std::size_t index,
+                                           const TrafficConfig& cfg, Rng& rng,
+                                           std::uint64_t start_ts,
+                                           std::uint64_t* payload_bytes) {
+  FlowForge f(endpoints_for_flow(index, rng), start_ts);
+  f.handshake();
+
+  const bool interactive = rng.chance(cfg.interactive_fraction);
+  const std::size_t mss = rng.chance(cfg.small_mtu_fraction) ? 536 : cfg.mss;
+
+  if (interactive) {
+    // ssh/chat-like: a burst of genuinely small client segments.
+    const std::size_t n = static_cast<std::size_t>(rng.range(5, 40));
+    std::uint64_t off = 0;
+    for (std::size_t k = 0; k < n; ++k) {
+      Seg s;
+      s.rel_off = off;
+      s.data = generate_payload(rng, static_cast<std::size_t>(rng.range(1, 24)),
+                                cfg.text_fraction);
+      off += s.data.size();
+      *payload_bytes += s.data.size();
+      f.client_segment(s);
+      if (cfg.with_acks && k % 2 == 1) f.server_ack();
+    }
+    f.close();
+  } else {
+    // Request/response: small request, heavy-tailed response.
+    const Bytes request = generate_payload(
+        rng,
+        static_cast<std::size_t>(rng.range(cfg.min_request, cfg.max_request)),
+        cfg.text_fraction);
+    *payload_bytes += request.size();
+    f.client_segments(plan_plain(request, mss, false));
+    if (cfg.with_acks) f.server_ack();
+
+    const std::size_t resp_len = static_cast<std::size_t>(
+        rng.pareto(cfg.pareto_alpha, cfg.min_response, cfg.max_response));
+    const Bytes response = generate_payload(rng, resp_len, cfg.text_fraction);
+    *payload_bytes += response.size();
+    f.server_data(response, mss);
+    f.close();
+  }
+
+  std::vector<net::Packet> pkts = f.take();
+  reorder_flow(pkts, rng, cfg.reorder_rate);
+  return pkts;
+}
+
+std::vector<net::Packet> forge_attack_flow(std::size_t index,
+                                           const TrafficConfig& cfg, Rng& rng,
+                                           std::uint64_t start_ts,
+                                           const core::SignatureSet& sigs,
+                                           const AttackMix& mix,
+                                           std::uint64_t* payload_bytes) {
+  // An otherwise benign-looking payload with one signature embedded.
+  const core::Signature& sig =
+      sigs[static_cast<std::uint32_t>(rng.below(sigs.size()))];
+  const std::size_t padding =
+      static_cast<std::size_t>(rng.range(200, 4000));
+  Bytes stream = generate_payload(rng, padding, cfg.text_fraction);
+  const std::size_t pos =
+      static_cast<std::size_t>(rng.below(stream.size() - sig.bytes.size()));
+  std::copy(sig.bytes.begin(), sig.bytes.end(),
+            stream.begin() + static_cast<std::ptrdiff_t>(pos));
+  *payload_bytes += stream.size();
+
+  EvasionParams params = mix.params;
+  params.mss = cfg.mss;
+  params.sig_lo = pos;
+  params.sig_hi = pos + sig.bytes.size();
+  return forge_evasion(mix.kind, endpoints_for_flow(index, rng), stream,
+                       params, rng, start_ts);
+}
+
+GeneratedTrace generate(const TrafficConfig& cfg,
+                        const core::SignatureSet* sigs, const AttackMix* mix) {
+  Rng rng(cfg.seed);
+  GeneratedTrace out;
+  out.flows = cfg.flows;
+
+  std::vector<std::vector<net::Packet>> per_flow;
+  per_flow.reserve(cfg.flows);
+  for (std::size_t i = 0; i < cfg.flows; ++i) {
+    const std::uint64_t start = cfg.start_ts_usec + i * cfg.flow_spacing_usec;
+    const bool attack = mix != nullptr && rng.chance(mix->attack_fraction);
+    if (attack) {
+      ++out.attack_flows;
+      per_flow.push_back(forge_attack_flow(i, cfg, rng, start, *sigs, *mix,
+                                           &out.payload_bytes));
+    } else {
+      per_flow.push_back(
+          forge_benign_flow(i, cfg, rng, start, &out.payload_bytes));
+    }
+  }
+
+  std::size_t total = 0;
+  for (const auto& v : per_flow) total += v.size();
+  out.packets.reserve(total);
+  for (auto& v : per_flow) {
+    for (auto& p : v) out.packets.push_back(std::move(p));
+  }
+  std::stable_sort(out.packets.begin(), out.packets.end(),
+                   [](const net::Packet& a, const net::Packet& b) {
+                     return a.ts_usec < b.ts_usec;
+                   });
+  for (const auto& p : out.packets) out.total_bytes += p.frame.size();
+  return out;
+}
+
+}  // namespace
+
+Bytes generate_payload(Rng& rng, std::size_t n, double text_fraction) {
+  Bytes out;
+  out.reserve(n);
+  if (rng.chance(text_fraction)) {
+    append_text(rng, out, n);
+  } else {
+    out = rng.random_bytes(n);
+  }
+  return out;
+}
+
+GeneratedTrace generate_benign(const TrafficConfig& cfg) {
+  return generate(cfg, nullptr, nullptr);
+}
+
+GeneratedTrace generate_mixed(const TrafficConfig& cfg,
+                              const core::SignatureSet& sigs,
+                              const AttackMix& mix) {
+  return generate(cfg, &sigs, &mix);
+}
+
+}  // namespace sdt::evasion

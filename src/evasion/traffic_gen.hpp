@@ -1,0 +1,83 @@
+// Synthetic benign/mixed traffic — the reproduction's substitute for the
+// paper's real traces (see DESIGN.md, substitutions table).
+//
+// The generator controls exactly the trace properties the evaluation
+// depends on:
+//   * packet-size mix (the classic tri-modal Internet profile:
+//     ACK-sized / ~576 B path-MTU / MSS-sized),
+//   * heavy-tailed flow sizes (bounded-Pareto response lengths),
+//   * flow concurrency (staggered starts, interleaved emission),
+//   * benign anomaly rates: interactive flows with genuinely small
+//     segments, and a configurable packet reordering rate,
+//   * payload content class (random binary vs. HTTP-like text) which
+//     drives the piece false-positive rate.
+// Everything is seeded, so every experiment is reproducible bit-for-bit.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/signature.hpp"
+#include "evasion/transforms.hpp"
+#include "net/packet.hpp"
+#include "util/rng.hpp"
+
+namespace sdt::evasion {
+
+struct TrafficConfig {
+  std::size_t flows = 200;
+  std::uint64_t seed = 1;
+  std::uint64_t start_ts_usec = 1000ull * 1000 * 1000;
+  /// Microseconds between consecutive flow starts (controls concurrency).
+  std::uint64_t flow_spacing_usec = 500;
+  std::size_t mss = 1460;
+  /// Fraction of flows that are interactive (ssh/chat-like): many small
+  /// client segments. These are the honest cost of small-segment diversion.
+  double interactive_fraction = 0.02;
+  /// Per-packet probability that a data packet is swapped with its
+  /// successor within the flow (benign network reordering).
+  double reorder_rate = 0.0;
+  /// Fraction of flows segmented at 536 bytes instead of the MSS (the
+  /// legacy path-MTU mode of the tri-modal mix).
+  double small_mtu_fraction = 0.15;
+  /// Fraction of payload bytes drawn from HTTP-like text (vs. random
+  /// binary).
+  double text_fraction = 0.5;
+  /// Client request size range (uniform).
+  std::size_t min_request = 80;
+  std::size_t max_request = 700;
+  /// Server response size range (bounded Pareto, alpha below).
+  std::size_t min_response = 300;
+  std::size_t max_response = 256 * 1024;
+  double pareto_alpha = 1.2;
+  /// Emit server ACKs for client data (adds the ACK mode to the mix).
+  bool with_acks = true;
+};
+
+struct GeneratedTrace {
+  std::vector<net::Packet> packets;
+  std::size_t flows = 0;
+  std::uint64_t total_bytes = 0;     // sum of frame bytes
+  std::uint64_t payload_bytes = 0;   // application bytes carried
+  std::size_t attack_flows = 0;      // mixed traces only
+};
+
+/// Purely benign traffic.
+GeneratedTrace generate_benign(const TrafficConfig& cfg);
+
+/// Benign traffic with a fraction of flows replaced by evasion attacks.
+/// Each attack flow embeds one randomly chosen signature at a random
+/// position of an otherwise benign payload and delivers it via `kind`.
+struct AttackMix {
+  double attack_fraction = 0.01;
+  EvasionKind kind = EvasionKind::tiny_segments;
+  EvasionParams params;
+};
+GeneratedTrace generate_mixed(const TrafficConfig& cfg,
+                              const core::SignatureSet& sigs,
+                              const AttackMix& mix);
+
+/// One payload buffer in the generator's content model (exposed for E5).
+Bytes generate_payload(Rng& rng, std::size_t n, double text_fraction);
+
+}  // namespace sdt::evasion

@@ -1,0 +1,275 @@
+#include "evasion/transforms.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace sdt::evasion {
+
+const char* to_string(EvasionKind k) {
+  switch (k) {
+    case EvasionKind::none:
+      return "none";
+    case EvasionKind::tiny_segments:
+      return "tiny_segments";
+    case EvasionKind::tiny_window:
+      return "tiny_window";
+    case EvasionKind::out_of_order:
+      return "out_of_order";
+    case EvasionKind::overlap_rewrite:
+      return "overlap_rewrite";
+    case EvasionKind::overlap_decoy:
+      return "overlap_decoy";
+    case EvasionKind::modified_retransmit:
+      return "modified_retransmit";
+    case EvasionKind::ip_tiny_fragments:
+      return "ip_tiny_fragments";
+    case EvasionKind::ip_frag_out_of_order:
+      return "ip_frag_out_of_order";
+    case EvasionKind::post_fin_data:
+      return "post_fin_data";
+    case EvasionKind::combo_tiny_ooo:
+      return "combo_tiny_ooo";
+    case EvasionKind::bad_checksum_decoy:
+      return "bad_checksum_decoy";
+    case EvasionKind::ttl_decoy:
+      return "ttl_decoy";
+    case EvasionKind::urg_desync:
+      return "urg_desync";
+  }
+  return "unknown";
+}
+
+namespace {
+
+struct Window {
+  std::size_t lo;
+  std::size_t hi;
+};
+
+/// The signature window, defaulting to the whole stream when unset.
+Window window_of(const EvasionParams& p, std::size_t stream_len) {
+  if (p.sig_hi == 0 || p.sig_hi > stream_len || p.sig_lo >= p.sig_hi) {
+    return {0, stream_len};
+  }
+  return {p.sig_lo, p.sig_hi};
+}
+
+/// Copy of `stream` with the window overwritten by deterministic garbage
+/// that differs from the original in every byte.
+Bytes garbled(ByteView stream, Window w) {
+  Bytes g(stream.begin(), stream.end());
+  for (std::size_t i = w.lo; i < w.hi; ++i) {
+    g[i] = static_cast<std::uint8_t>(~g[i]);
+  }
+  return g;
+}
+
+/// Shuffle the plan's delivery order; segments keep their offsets. The FIN
+/// segment (if any) stays last so the conversation remains deliverable.
+void shuffle_plan(std::vector<Seg>& plan, Rng& rng) {
+  if (plan.size() < 2) return;
+  const bool fin_last = plan.back().fin;
+  const std::size_t n = fin_last ? plan.size() - 1 : plan.size();
+  for (std::size_t i = n; i > 1; --i) {
+    const auto j = static_cast<std::size_t>(rng.below(i));
+    std::swap(plan[i - 1], plan[j]);
+  }
+}
+
+/// Segments (at mss granularity) covering the window, with `content` bytes.
+std::vector<Seg> cover_window(ByteView content, Window w, std::size_t mss) {
+  std::vector<Seg> out;
+  for (std::size_t off = w.lo; off < w.hi; off += mss) {
+    const std::size_t n = std::min(mss, w.hi - off);
+    Seg s;
+    s.rel_off = off;
+    s.data.assign(content.begin() + static_cast<std::ptrdiff_t>(off),
+                  content.begin() + static_cast<std::ptrdiff_t>(off + n));
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<net::Packet> forge_evasion(EvasionKind kind, Endpoints ep,
+                                       ByteView stream,
+                                       const EvasionParams& params, Rng& rng,
+                                       std::uint64_t start_ts_usec) {
+  FlowForge f(ep, start_ts_usec);
+  f.handshake();
+  const Window w = window_of(params, stream.size());
+
+  switch (kind) {
+    case EvasionKind::none: {
+      f.client_segments(plan_plain(stream, params.mss, false));
+      break;
+    }
+    case EvasionKind::tiny_segments: {
+      f.client_segments(plan_tiny(stream, params.tiny_seg_size));
+      return f.take();  // plan carried FIN
+    }
+    case EvasionKind::tiny_window: {
+      f.client_segments(plan_tiny_window(stream, params.mss,
+                                         params.tiny_seg_size, w.lo, w.hi));
+      return f.take();
+    }
+    case EvasionKind::out_of_order: {
+      std::vector<Seg> plan = plan_plain(stream, params.mss, false);
+      shuffle_plan(plan, rng);
+      f.client_segments(plan);
+      break;
+    }
+    case EvasionKind::overlap_rewrite:
+    case EvasionKind::overlap_decoy:
+    case EvasionKind::modified_retransmit: {
+      // The working form of the Ptacek-Newsham overlap attacks operates on
+      // the receiver's *out-of-order buffer*: a rewrite of bytes the stack
+      // has already delivered to the application changes nothing. So the
+      // attacker (1) delivers the stream up to a hole just before the
+      // signature window, (2) sends the window out-of-order — garbage and
+      // real bytes overlapping, in policy-dependent order — (3) sends the
+      // rest, and (4) finally plugs the hole, at which point the stack
+      // resolves the overlaps and delivers the signature.
+      const std::size_t hole = w.lo > 0 ? w.lo - 1 : 0;
+      const Bytes decoy = garbled(stream, w);
+      // Honest prefix up to the hole.
+      f.client_segments(plan_plain(stream.subspan(0, hole), params.mss, false));
+      const ByteView first_view =
+          kind == EvasionKind::overlap_decoy ? ByteView(stream) : ByteView(decoy);
+      const ByteView second_view =
+          kind == EvasionKind::overlap_decoy ? ByteView(decoy) : ByteView(stream);
+      // Both versions of the window land in the OOO buffer. For
+      // modified_retransmit the second copy re-sends whole segments; for
+      // the overlap variants it re-covers the window directly — on the
+      // wire the difference is segment alignment.
+      Window cover = w;
+      if (kind == EvasionKind::modified_retransmit) {
+        cover.lo = (w.lo / params.mss) * params.mss;
+        cover.lo = std::max(cover.lo, hole + 1);
+      }
+      for (Seg& s : cover_window(first_view, cover, params.mss)) {
+        f.client_segment(s);
+      }
+      // Remainder of the stream after the window (still leaving the hole).
+      f.client_segments([&] {
+        std::vector<Seg> tail = plan_plain(stream.subspan(w.hi), params.mss, false);
+        for (Seg& s : tail) s.rel_off += w.hi;
+        return tail;
+      }());
+      for (Seg& s : cover_window(second_view, cover, params.mss)) {
+        f.client_segment(s);
+      }
+      // Plug the one-byte hole: the receiver now delivers everything.
+      if (w.lo > 0) {
+        Seg plug;
+        plug.rel_off = hole;
+        plug.data.assign(stream.begin() + static_cast<std::ptrdiff_t>(hole),
+                         stream.begin() + static_cast<std::ptrdiff_t>(hole + 1));
+        f.client_segment(plug);
+      }
+      break;
+    }
+    case EvasionKind::ip_tiny_fragments: {
+      for (const Seg& s : plan_plain(stream, params.mss, false)) {
+        f.client_segment_fragmented(s, params.frag_payload);
+      }
+      break;
+    }
+    case EvasionKind::ip_frag_out_of_order: {
+      for (const Seg& s : plan_plain(stream, params.mss, false)) {
+        f.client_segment_fragmented(s, params.frag_payload, /*reverse=*/true);
+      }
+      break;
+    }
+    case EvasionKind::post_fin_data: {
+      // Deliver a prefix, declare FIN at the true end of stream (leaving a
+      // hole), then fill the hole. The receiver delivers everything; an IPS
+      // that finalizes the flow at FIN never sees the hole being filled.
+      const std::size_t cut = w.lo + (w.hi - w.lo) / 2;
+      f.client_segments(plan_plain(stream.subspan(0, cut), params.mss, false));
+      Seg fin;
+      fin.rel_off = stream.size();
+      fin.fin = true;
+      f.client_segment(fin);
+      std::vector<Seg> tail = plan_plain(stream.subspan(cut), params.mss, false);
+      for (Seg& s : tail) s.rel_off += cut;
+      f.client_segments(tail);
+      return f.take();  // FIN already sent
+    }
+    case EvasionKind::combo_tiny_ooo: {
+      std::vector<Seg> plan = plan_tiny(stream, params.tiny_seg_size);
+      shuffle_plan(plan, rng);
+      f.client_segments(plan);
+      return f.take();
+    }
+    case EvasionKind::bad_checksum_decoy:
+    case EvasionKind::ttl_decoy: {
+      // Insertion attack: before each real segment of the signature window,
+      // ship a garbage decoy for the same range that the IPS may accept but
+      // the victim never will — corrupted TCP checksum, or a TTL that
+      // expires en route. An IPS trusting first-arrival data is blinded.
+      const Bytes decoy_content = garbled(stream, w);
+      const std::vector<Seg> plan = plan_plain(stream, params.mss, false);
+      for (const Seg& s : plan) {
+        if (s.rel_off + s.data.size() > w.lo && s.rel_off < w.hi) {
+          Seg d;
+          d.rel_off = s.rel_off;
+          d.data.assign(
+              decoy_content.begin() + static_cast<std::ptrdiff_t>(s.rel_off),
+              decoy_content.begin() +
+                  static_cast<std::ptrdiff_t>(s.rel_off + s.data.size()));
+          if (kind == EvasionKind::bad_checksum_decoy) {
+            d.corrupt_checksum = true;
+          } else {
+            d.ttl = params.decoy_ttl;
+          }
+          f.client_segment(d);
+        }
+        f.client_segment(s);
+      }
+      break;
+    }
+    case EvasionKind::urg_desync: {
+      // Insert one byte in the middle of the signature and mark it urgent:
+      // a stack delivering urgent data out of band hands the application
+      // the unbroken signature, while an in-band interpretation sees it
+      // split by the extra byte.
+      const std::size_t insert_at = (w.lo + w.hi) / 2;
+      f.client_segments(
+          plan_plain(stream.subspan(0, w.lo), params.mss, false));
+      Seg s;
+      s.rel_off = w.lo;
+      s.data.assign(stream.begin() + static_cast<std::ptrdiff_t>(w.lo),
+                    stream.begin() + static_cast<std::ptrdiff_t>(insert_at));
+      s.data.push_back(0xAA);  // the urgent byte
+      s.urg = true;
+      // RFC 793 semantics as commonly implemented: the pointer indexes the
+      // byte following the urgent data, relative to the segment sequence.
+      s.urgent_pointer = static_cast<std::uint16_t>(s.data.size());
+      f.client_segment(s);
+      std::vector<Seg> tail =
+          plan_plain(stream.subspan(insert_at), params.mss, false);
+      // Everything after the urgent byte shifts one sequence number up.
+      for (Seg& t : tail) t.rel_off += insert_at + 1;
+      f.client_segments(tail);
+      Seg fin;
+      fin.rel_off = stream.size() + 1;
+      fin.fin = true;
+      f.client_segment(fin);
+      return f.take();
+    }
+  }
+
+  f.close();
+  return f.take();
+}
+
+Bytes delivered_stream(EvasionKind kind, ByteView stream) {
+  (void)kind;  // every catalog transform delivers the stream verbatim on
+               // its target stack class (see per-case comments above)
+  return Bytes(stream.begin(), stream.end());
+}
+
+}  // namespace sdt::evasion

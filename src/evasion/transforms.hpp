@@ -1,0 +1,81 @@
+// The FragRoute-class evasion catalog (Ptacek & Newsham attacks).
+//
+// Every transform takes an application byte stream that contains a
+// signature and emits a forged packet conversation that delivers exactly
+// that stream to a typical receiving TCP/IP stack while making naive
+// per-packet signature matching fail. E1 runs each of these against the
+// three detectors (naive per-packet matcher, conventional IPS,
+// Split-Detect).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "evasion/flow_forge.hpp"
+#include "util/rng.hpp"
+
+namespace sdt::evasion {
+
+enum class EvasionKind : std::uint8_t {
+  none,                 // plain MSS-sized in-order delivery (control)
+  tiny_segments,        // whole stream in small segments
+  tiny_window,          // only the signature region in small segments
+  out_of_order,         // full-size segments delivered shuffled
+  overlap_rewrite,      // garbage first, overlapping rewrite with real bytes
+  overlap_decoy,        // real bytes first, overlapping garbage on top
+  modified_retransmit,  // retransmission carries different content
+  ip_tiny_fragments,    // every segment shipped as 8..16-byte IP fragments
+  ip_frag_out_of_order, // IP fragments delivered in reverse order
+  post_fin_data,        // signature tail delivered after the FIN
+  combo_tiny_ooo,       // tiny segments, shuffled
+  bad_checksum_decoy,   // garbage decoys with corrupted TCP checksums
+  ttl_decoy,            // garbage decoys that expire before the victim
+  urg_desync,           // an inserted byte consumed as urgent/out-of-band
+};
+
+inline constexpr EvasionKind kAllEvasions[] = {
+    EvasionKind::none,
+    EvasionKind::tiny_segments,
+    EvasionKind::tiny_window,
+    EvasionKind::out_of_order,
+    EvasionKind::overlap_rewrite,
+    EvasionKind::overlap_decoy,
+    EvasionKind::modified_retransmit,
+    EvasionKind::ip_tiny_fragments,
+    EvasionKind::ip_frag_out_of_order,
+    EvasionKind::post_fin_data,
+    EvasionKind::combo_tiny_ooo,
+    EvasionKind::bad_checksum_decoy,
+    EvasionKind::ttl_decoy,
+    EvasionKind::urg_desync,
+};
+
+const char* to_string(EvasionKind k);
+
+struct EvasionParams {
+  std::size_t mss = 1460;
+  std::size_t tiny_seg_size = 4;
+  std::size_t frag_payload = 16;
+  /// Where the signature starts/ends in the stream (required by the
+  /// targeted transforms; harmless for the others).
+  std::size_t sig_lo = 0;
+  std::size_t sig_hi = 0;
+  /// TTL of ttl_decoy segments; must be below the victim's hop distance.
+  std::uint8_t decoy_ttl = 1;
+};
+
+/// Forge a full conversation (handshake + transformed data + close) that
+/// delivers `stream` client->server under evasion `kind`.
+std::vector<net::Packet> forge_evasion(EvasionKind kind, Endpoints ep,
+                                       ByteView stream,
+                                       const EvasionParams& params, Rng& rng,
+                                       std::uint64_t start_ts_usec);
+
+/// The stream a receiving stack reconstructs from this transform, given the
+/// transform's semantics. For every transform in the catalog this equals
+/// the input stream on at least one mainstream stack — i.e. the attack
+/// genuinely delivers its payload. Used by tests as ground truth.
+Bytes delivered_stream(EvasionKind kind, ByteView stream);
+
+}  // namespace sdt::evasion

@@ -1,0 +1,88 @@
+// Bidirectional flow identity: the canonicalized TCP/UDP 5-tuple.
+//
+// Both directions of a connection map to the same FlowKey; the direction of
+// a particular packet relative to the canonical order is reported alongside
+// so per-direction state (sequence tracking) stays separate.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+#include "net/addr.hpp"
+#include "net/packet.hpp"
+#include "util/hash.hpp"
+
+namespace sdt::flow {
+
+enum class Direction : std::uint8_t {
+  a_to_b = 0,  // packet travels from the canonical 'a' endpoint to 'b'
+  b_to_a = 1,
+};
+
+inline Direction reverse(Direction d) {
+  return d == Direction::a_to_b ? Direction::b_to_a : Direction::a_to_b;
+}
+
+struct FlowKey {
+  net::Ipv4Addr a_ip;
+  net::Ipv4Addr b_ip;
+  std::uint16_t a_port = 0;
+  std::uint16_t b_port = 0;
+  std::uint8_t proto = 0;
+
+  friend constexpr auto operator<=>(const FlowKey&, const FlowKey&) = default;
+
+  std::uint64_t hash() const {
+    std::uint64_t h = (std::uint64_t{a_ip.value()} << 32) | b_ip.value();
+    h = hash_combine(h, (std::uint64_t{a_port} << 32) |
+                            (std::uint64_t{b_port} << 16) | proto);
+    return h;
+  }
+
+  std::string str() const {
+    return a_ip.str() + ":" + std::to_string(a_port) + " <-> " + b_ip.str() +
+           ":" + std::to_string(b_port) + "/" + std::to_string(proto);
+  }
+};
+
+/// A packet's flow identity: canonical key + this packet's direction.
+struct FlowRef {
+  FlowKey key;
+  Direction dir = Direction::a_to_b;
+};
+
+/// Canonicalize (src,dst,sport,dport,proto): the numerically smaller
+/// (ip,port) endpoint becomes 'a'.
+inline FlowRef make_flow_ref(net::Ipv4Addr src, net::Ipv4Addr dst,
+                             std::uint16_t sport, std::uint16_t dport,
+                             std::uint8_t proto) {
+  FlowRef r;
+  r.key.proto = proto;
+  const std::uint64_t s = (std::uint64_t{src.value()} << 16) | sport;
+  const std::uint64_t d = (std::uint64_t{dst.value()} << 16) | dport;
+  if (s <= d) {
+    r.key.a_ip = src;
+    r.key.b_ip = dst;
+    r.key.a_port = sport;
+    r.key.b_port = dport;
+    r.dir = Direction::a_to_b;
+  } else {
+    r.key.a_ip = dst;
+    r.key.b_ip = src;
+    r.key.a_port = dport;
+    r.key.b_port = sport;
+    r.dir = Direction::b_to_a;
+  }
+  return r;
+}
+
+/// Flow identity of a parsed packet. Requires pv.has_tcp or pv.has_udp.
+inline FlowRef make_flow_ref(const net::PacketView& pv) {
+  const std::uint16_t sport = pv.has_tcp ? pv.tcp.src_port() : pv.udp.src_port();
+  const std::uint16_t dport = pv.has_tcp ? pv.tcp.dst_port() : pv.udp.dst_port();
+  return make_flow_ref(pv.ipv4.src(), pv.ipv4.dst(), sport, dport,
+                       pv.ipv4.protocol());
+}
+
+}  // namespace sdt::flow

@@ -1,0 +1,282 @@
+// Bounded flow table: open-addressing index over a slab of per-flow records,
+// with an intrusive LRU list for capacity eviction and an idle-timeout sweep.
+//
+// Built rather than borrowed because the paper's evaluation hinges on
+// *byte-exact* per-flow state accounting at 1M-connection scale:
+// memory_bytes() reports the true footprint (slab + index), which the
+// E2 state-memory experiment compares between the fast path and the
+// conventional IPS.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <vector>
+
+#include "flow/flow_key.hpp"
+#include "util/error.hpp"
+
+namespace sdt::flow {
+
+/// Hash table keyed by FlowKey holding V per flow. Not thread-safe (one
+/// table per pipeline lane, as in real line-card designs).
+template <typename V>
+class FlowTable {
+ public:
+  struct Config {
+    std::size_t max_flows = 1 << 20;
+  };
+
+  /// Called with the key and value of a flow forced out (LRU eviction or
+  /// idle expiry) before the slot is reused.
+  using EvictFn = std::function<void(const FlowKey&, V&)>;
+
+  explicit FlowTable(Config cfg) : max_flows_(cfg.max_flows) {
+    if (max_flows_ == 0) throw InvalidArgument("FlowTable: max_flows == 0");
+    slab_.reserve(max_flows_);
+    bucket_count_ = 1;
+    while (bucket_count_ < max_flows_ * 2) bucket_count_ <<= 1;
+    buckets_.assign(bucket_count_, kEmpty);
+  }
+
+  void set_evict_callback(EvictFn fn) { evict_fn_ = std::move(fn); }
+
+  /// Factory for new values (defaults to value-initialization). Lets callers
+  /// stamp configuration into each fresh per-flow record.
+  void set_value_factory(std::function<V()> fn) { factory_ = std::move(fn); }
+
+  std::size_t size() const { return live_; }
+  std::size_t max_flows() const { return max_flows_; }
+  std::uint64_t evictions() const { return evictions_; }
+  std::uint64_t expirations() const { return expirations_; }
+
+  /// Total bytes held: slab storage + bucket index + object overhead.
+  std::size_t memory_bytes() const {
+    return slab_.capacity() * sizeof(Entry) +
+           buckets_.capacity() * sizeof(std::uint32_t) + sizeof(*this);
+  }
+
+  /// Bytes per tracked flow at current occupancy (the E2 metric).
+  double bytes_per_flow() const {
+    return live_ == 0 ? 0.0
+                      : static_cast<double>(memory_bytes()) /
+                            static_cast<double>(live_);
+  }
+
+  /// Look up without touching LRU order. nullptr if absent.
+  V* find(const FlowKey& key) {
+    const std::uint32_t idx = find_slot(key);
+    return idx == kNone ? nullptr : &slab_[idx].value;
+  }
+  const V* find(const FlowKey& key) const {
+    const std::uint32_t idx = find_slot(key);
+    return idx == kNone ? nullptr : &slab_[idx].value;
+  }
+
+  /// Find or default-construct the flow, refreshing its LRU position and
+  /// last-seen time. Evicts the least-recently-used flow when full.
+  /// `created`, if non-null, reports whether a new record was made.
+  V& get_or_create(const FlowKey& key, std::uint64_t now_usec,
+                   bool* created = nullptr) {
+    std::uint32_t idx = find_slot(key);
+    if (idx != kNone) {
+      touch(idx, now_usec);
+      if (created) *created = false;
+      return slab_[idx].value;
+    }
+    if (created) *created = true;
+    if (live_ >= max_flows_) evict_lru();
+    idx = allocate(key, now_usec);
+    insert_index(key.hash(), idx);
+    lru_push_front(idx);
+    ++live_;
+    return slab_[idx].value;
+  }
+
+  /// Remove a flow if present. Returns true when something was erased.
+  bool erase(const FlowKey& key) {
+    const std::uint32_t idx = find_slot(key);
+    if (idx == kNone) return false;
+    remove_entry(idx);
+    return true;
+  }
+
+  /// Expire flows idle for at least `idle_usec`. Returns the count expired.
+  std::size_t expire_idle(std::uint64_t now_usec, std::uint64_t idle_usec) {
+    std::size_t n = 0;
+    while (lru_tail_ != kNone) {
+      Entry& e = slab_[lru_tail_];
+      if (now_usec - e.last_seen < idle_usec) break;
+      ++expirations_;
+      if (evict_fn_) evict_fn_(e.key, e.value);
+      remove_entry(lru_tail_);
+      ++n;
+    }
+    return n;
+  }
+
+  /// Visit all live flows (unspecified order).
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (std::uint32_t i = lru_head_; i != kNone; i = slab_[i].lru_next) {
+      fn(slab_[i].key, slab_[i].value);
+    }
+  }
+  template <typename Fn>
+  void for_each(Fn&& fn) {
+    for (std::uint32_t i = lru_head_; i != kNone; i = slab_[i].lru_next) {
+      fn(slab_[i].key, slab_[i].value);
+    }
+  }
+
+ private:
+  struct Entry {
+    FlowKey key;
+    V value{};
+    std::uint64_t last_seen = 0;
+    std::uint32_t lru_prev = kNone;
+    std::uint32_t lru_next = kNone;
+    std::uint32_t free_next = kNone;  // freelist link when dead
+    bool live = false;
+  };
+
+  static constexpr std::uint32_t kNone = std::numeric_limits<std::uint32_t>::max();
+  static constexpr std::uint32_t kEmpty = kNone;
+  static constexpr std::uint32_t kTombstone = kNone - 1;
+
+  // ---- index -------------------------------------------------------------
+
+  std::size_t bucket_of(std::uint64_t hash) const {
+    return static_cast<std::size_t>(hash) & (bucket_count_ - 1);
+  }
+
+  std::uint32_t find_slot(const FlowKey& key) const {
+    std::size_t b = bucket_of(key.hash());
+    for (std::size_t probes = 0; probes < bucket_count_; ++probes) {
+      const std::uint32_t v = buckets_[b];
+      if (v == kEmpty) return kNone;
+      if (v != kTombstone && slab_[v].key == key) return v;
+      b = (b + 1) & (bucket_count_ - 1);
+    }
+    return kNone;
+  }
+
+  void insert_index(std::uint64_t hash, std::uint32_t idx) {
+    std::size_t b = bucket_of(hash);
+    while (buckets_[b] != kEmpty && buckets_[b] != kTombstone) {
+      b = (b + 1) & (bucket_count_ - 1);
+    }
+    if (buckets_[b] == kTombstone) --tombstones_;
+    buckets_[b] = idx;
+  }
+
+  void erase_index(const FlowKey& key, std::uint32_t idx) {
+    std::size_t b = bucket_of(key.hash());
+    for (std::size_t probes = 0; probes < bucket_count_; ++probes) {
+      if (buckets_[b] == idx) {
+        buckets_[b] = kTombstone;
+        ++tombstones_;
+        break;
+      }
+      b = (b + 1) & (bucket_count_ - 1);
+    }
+    // Rebuild only after the dying entry is both tombstoned and marked
+    // not-live, so it cannot be resurrected into the fresh index.
+    if (tombstones_ > bucket_count_ / 4) rebuild_index();
+  }
+
+  void rebuild_index() {
+    buckets_.assign(bucket_count_, kEmpty);
+    tombstones_ = 0;
+    for (std::uint32_t i = 0; i < slab_.size(); ++i) {
+      if (slab_[i].live) insert_index(slab_[i].key.hash(), i);
+    }
+  }
+
+  // ---- slab --------------------------------------------------------------
+
+  std::uint32_t allocate(const FlowKey& key, std::uint64_t now_usec) {
+    std::uint32_t idx;
+    if (free_head_ != kNone) {
+      idx = free_head_;
+      free_head_ = slab_[idx].free_next;
+    } else {
+      idx = static_cast<std::uint32_t>(slab_.size());
+      slab_.emplace_back();
+    }
+    Entry& e = slab_[idx];
+    e.key = key;
+    e.value = factory_ ? factory_() : V{};
+    e.last_seen = now_usec;
+    e.lru_prev = e.lru_next = kNone;
+    e.live = true;
+    return idx;
+  }
+
+  void remove_entry(std::uint32_t idx) {
+    Entry& e = slab_[idx];
+    e.live = false;  // must precede erase_index: a rebuild must skip us
+    erase_index(e.key, idx);
+    lru_unlink(idx);
+    e.value = V{};  // release any heap the value holds
+    e.free_next = free_head_;
+    free_head_ = idx;
+    --live_;
+  }
+
+  void evict_lru() {
+    const std::uint32_t victim = lru_tail_;
+    ++evictions_;
+    if (evict_fn_) evict_fn_(slab_[victim].key, slab_[victim].value);
+    remove_entry(victim);
+  }
+
+  // ---- LRU list (head = most recent) --------------------------------------
+
+  void lru_push_front(std::uint32_t idx) {
+    Entry& e = slab_[idx];
+    e.lru_prev = kNone;
+    e.lru_next = lru_head_;
+    if (lru_head_ != kNone) slab_[lru_head_].lru_prev = idx;
+    lru_head_ = idx;
+    if (lru_tail_ == kNone) lru_tail_ = idx;
+  }
+
+  void lru_unlink(std::uint32_t idx) {
+    Entry& e = slab_[idx];
+    if (e.lru_prev != kNone) {
+      slab_[e.lru_prev].lru_next = e.lru_next;
+    } else {
+      lru_head_ = e.lru_next;
+    }
+    if (e.lru_next != kNone) {
+      slab_[e.lru_next].lru_prev = e.lru_prev;
+    } else {
+      lru_tail_ = e.lru_prev;
+    }
+    e.lru_prev = e.lru_next = kNone;
+  }
+
+  void touch(std::uint32_t idx, std::uint64_t now_usec) {
+    slab_[idx].last_seen = now_usec;
+    if (lru_head_ == idx) return;
+    lru_unlink(idx);
+    lru_push_front(idx);
+  }
+
+  std::size_t max_flows_;
+  std::size_t bucket_count_ = 0;
+  std::size_t tombstones_ = 0;
+  std::size_t live_ = 0;
+  std::uint64_t evictions_ = 0;
+  std::uint64_t expirations_ = 0;
+  std::uint32_t lru_head_ = kNone;
+  std::uint32_t lru_tail_ = kNone;
+  std::uint32_t free_head_ = kNone;
+  std::vector<Entry> slab_;
+  std::vector<std::uint32_t> buckets_;
+  EvictFn evict_fn_;
+  std::function<V()> factory_;
+};
+
+}  // namespace sdt::flow

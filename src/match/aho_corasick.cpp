@@ -1,0 +1,271 @@
+#include "match/aho_corasick.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <deque>
+#include <map>
+
+#include "util/error.hpp"
+#include "util/hash.hpp"
+
+namespace sdt::match {
+
+namespace {
+
+/// Build-time trie node: ordered edge map (becomes the sparse layout) plus
+/// the pattern ids terminating exactly here.
+struct TrieNode {
+  std::map<std::uint8_t, std::uint32_t> next;
+  std::vector<std::uint32_t> ends;
+  std::uint32_t fail = 0;
+};
+
+}  // namespace
+
+std::uint32_t AhoCorasick::Builder::add(ByteView pattern) {
+  if (pattern.empty()) {
+    throw InvalidArgument("AhoCorasick: empty pattern");
+  }
+  patterns_.emplace_back(pattern.begin(), pattern.end());
+  return static_cast<std::uint32_t>(patterns_.size() - 1);
+}
+
+AhoCorasick AhoCorasick::Builder::build(AcLayout layout) const {
+  std::vector<TrieNode> trie(1);
+
+  for (std::uint32_t id = 0; id < patterns_.size(); ++id) {
+    std::uint32_t s = 0;
+    for (std::uint8_t b : patterns_[id]) {
+      auto it = trie[s].next.find(b);
+      if (it == trie[s].next.end()) {
+        trie.emplace_back();
+        it = trie[s].next.emplace(b, static_cast<std::uint32_t>(trie.size() - 1))
+                 .first;
+      }
+      s = it->second;
+    }
+    trie[s].ends.push_back(id);
+  }
+
+  // BFS failure links; merge suffix outputs so out(s) is complete.
+  std::deque<std::uint32_t> queue;
+  for (auto& [b, nxt] : trie[0].next) {
+    trie[nxt].fail = 0;
+    queue.push_back(nxt);
+  }
+  while (!queue.empty()) {
+    const std::uint32_t s = queue.front();
+    queue.pop_front();
+    for (auto& [b, nxt] : trie[s].next) {
+      std::uint32_t f = trie[s].fail;
+      while (f != 0 && trie[f].next.find(b) == trie[f].next.end()) {
+        f = trie[f].fail;
+      }
+      auto it = trie[f].next.find(b);
+      const std::uint32_t target =
+          (it != trie[f].next.end() && it->second != nxt) ? it->second : 0;
+      trie[nxt].fail = target;
+      const auto& inherited = trie[target].ends;
+      trie[nxt].ends.insert(trie[nxt].ends.end(), inherited.begin(),
+                            inherited.end());
+      queue.push_back(nxt);
+    }
+  }
+
+  AhoCorasick ac;
+  ac.layout_ = layout;
+  ac.node_count_ = trie.size();
+  ac.patterns_ = patterns_;
+  ac.out_.resize(trie.size());
+  for (std::size_t i = 0; i < trie.size(); ++i) {
+    ac.out_[i] = trie[i].ends;
+    std::sort(ac.out_[i].begin(), ac.out_[i].end());
+  }
+
+  if (layout == AcLayout::dense_dfa) {
+    // Close the automaton into a DFA: next-state defined for every byte.
+    ac.dense_.assign(trie.size() * 256, kRoot);
+    std::deque<std::uint32_t> bfs;
+    for (int b = 0; b < 256; ++b) {
+      auto it = trie[0].next.find(static_cast<std::uint8_t>(b));
+      ac.dense_[static_cast<std::size_t>(b)] =
+          it != trie[0].next.end() ? it->second : 0;
+    }
+    for (auto& [b, nxt] : trie[0].next) bfs.push_back(nxt);
+    while (!bfs.empty()) {
+      const std::uint32_t s = bfs.front();
+      bfs.pop_front();
+      const std::size_t base = std::size_t{s} * 256;
+      const std::size_t fail_base = std::size_t{trie[s].fail} * 256;
+      for (int b = 0; b < 256; ++b) {
+        auto it = trie[s].next.find(static_cast<std::uint8_t>(b));
+        if (it != trie[s].next.end()) {
+          ac.dense_[base + static_cast<std::size_t>(b)] = it->second;
+          bfs.push_back(it->second);
+        } else {
+          ac.dense_[base + static_cast<std::size_t>(b)] =
+              ac.dense_[fail_base + static_cast<std::size_t>(b)];
+        }
+      }
+    }
+  } else {
+    ac.sparse_.resize(trie.size());
+    for (std::size_t i = 0; i < trie.size(); ++i) {
+      ac.sparse_[i].fail = trie[i].fail;
+      ac.sparse_[i].edges_begin = static_cast<std::uint32_t>(ac.edge_bytes_.size());
+      ac.sparse_[i].edge_count = static_cast<std::uint16_t>(trie[i].next.size());
+      for (auto& [b, nxt] : trie[i].next) {
+        ac.edge_bytes_.push_back(b);
+        ac.edge_next_.push_back(nxt);
+      }
+    }
+  }
+
+  return ac;
+}
+
+AhoCorasick::State AhoCorasick::step_sparse(State s, std::uint8_t b) const {
+  for (;;) {
+    const SparseNode& n = sparse_[s];
+    const auto* begin = edge_bytes_.data() + n.edges_begin;
+    const auto* end = begin + n.edge_count;
+    const auto* it = std::lower_bound(begin, end, b);
+    if (it != end && *it == b) {
+      return edge_next_[n.edges_begin +
+                        static_cast<std::uint32_t>(it - begin)];
+    }
+    if (s == kRoot) return kRoot;
+    s = n.fail;
+  }
+}
+
+namespace {
+// Blob layout: magic, layout byte, counts, patterns, outputs, transitions,
+// FNV-64 of everything after the magic.
+constexpr char kAcMagic[8] = {'S', 'D', 'T', 'A', 'C', '0', '0', '1'};
+}  // namespace
+
+Bytes AhoCorasick::serialize() const {
+  ByteWriter w;
+  w.bytes(ByteView(reinterpret_cast<const std::uint8_t*>(kAcMagic), 8));
+  w.u8(static_cast<std::uint8_t>(layout_));
+  w.u32le(static_cast<std::uint32_t>(node_count_));
+  w.u32le(static_cast<std::uint32_t>(patterns_.size()));
+  for (const Bytes& p : patterns_) {
+    w.u32le(static_cast<std::uint32_t>(p.size()));
+    w.bytes(p);
+  }
+  for (const auto& o : out_) {
+    w.u32le(static_cast<std::uint32_t>(o.size()));
+    for (std::uint32_t id : o) w.u32le(id);
+  }
+  if (layout_ == AcLayout::dense_dfa) {
+    for (State s : dense_) w.u32le(s);
+  } else {
+    for (const SparseNode& n : sparse_) {
+      w.u32le(n.edges_begin);
+      w.u16le(n.edge_count);
+      w.u32le(n.fail);
+    }
+    w.u32le(static_cast<std::uint32_t>(edge_bytes_.size()));
+    w.bytes(edge_bytes_);
+    for (State s : edge_next_) w.u32le(s);
+  }
+  const std::uint64_t digest = fnv1a64(w.view().subspan(8));
+  ByteWriter tail;
+  tail.u32le(static_cast<std::uint32_t>(digest & 0xffffffff));
+  tail.u32le(static_cast<std::uint32_t>(digest >> 32));
+  Bytes out = w.take();
+  const Bytes t = tail.take();
+  out.insert(out.end(), t.begin(), t.end());
+  return out;
+}
+
+AhoCorasick AhoCorasick::deserialize(ByteView blob) {
+  if (blob.size() < 8 + 8 ||
+      std::memcmp(blob.data(), kAcMagic, 8) != 0) {
+    throw ParseError("AhoCorasick: bad blob magic/size");
+  }
+  const ByteView payload = blob.subspan(8, blob.size() - 16);
+  const ByteView digest_bytes = blob.subspan(blob.size() - 8);
+  const std::uint64_t want =
+      std::uint64_t{rd_u8(digest_bytes, 0)} |
+      std::uint64_t{digest_bytes[1]} << 8 | std::uint64_t{digest_bytes[2]} << 16 |
+      std::uint64_t{digest_bytes[3]} << 24 | std::uint64_t{digest_bytes[4]} << 32 |
+      std::uint64_t{digest_bytes[5]} << 40 | std::uint64_t{digest_bytes[6]} << 48 |
+      std::uint64_t{digest_bytes[7]} << 56;
+  if (fnv1a64(payload) != want) {
+    throw ParseError("AhoCorasick: blob integrity check failed");
+  }
+
+  ByteReader r(payload);
+  AhoCorasick ac;
+  const std::uint8_t layout = r.u8();
+  if (layout > 1) throw ParseError("AhoCorasick: unknown layout");
+  ac.layout_ = static_cast<AcLayout>(layout);
+  ac.node_count_ = r.u32le();
+  const std::uint32_t npat = r.u32le();
+  if (ac.node_count_ > (1u << 28) || npat > (1u << 24)) {
+    throw ParseError("AhoCorasick: implausible blob counts");
+  }
+  ac.patterns_.reserve(npat);
+  for (std::uint32_t i = 0; i < npat; ++i) {
+    const std::uint32_t len = r.u32le();
+    const ByteView p = r.bytes(len);
+    ac.patterns_.emplace_back(p.begin(), p.end());
+  }
+  ac.out_.resize(ac.node_count_);
+  for (auto& o : ac.out_) {
+    const std::uint32_t n = r.u32le();
+    if (n > npat) throw ParseError("AhoCorasick: bad output list");
+    o.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      const std::uint32_t id = r.u32le();
+      if (id >= npat) throw ParseError("AhoCorasick: bad pattern id");
+      o.push_back(id);
+    }
+  }
+  if (ac.layout_ == AcLayout::dense_dfa) {
+    ac.dense_.resize(ac.node_count_ * 256);
+    for (auto& s : ac.dense_) {
+      s = r.u32le();
+      if (s >= ac.node_count_) throw ParseError("AhoCorasick: bad state");
+    }
+  } else {
+    ac.sparse_.resize(ac.node_count_);
+    for (auto& n : ac.sparse_) {
+      n.edges_begin = r.u32le();
+      n.edge_count = r.u16le();
+      n.fail = r.u32le();
+      if (n.fail >= ac.node_count_) throw ParseError("AhoCorasick: bad fail");
+    }
+    const std::uint32_t nedges = r.u32le();
+    const ByteView eb = r.bytes(nedges);
+    ac.edge_bytes_.assign(eb.begin(), eb.end());
+    ac.edge_next_.resize(nedges);
+    for (auto& s : ac.edge_next_) {
+      s = r.u32le();
+      if (s >= ac.node_count_) throw ParseError("AhoCorasick: bad edge state");
+    }
+    for (const auto& n : ac.sparse_) {
+      if (std::size_t{n.edges_begin} + n.edge_count > nedges) {
+        throw ParseError("AhoCorasick: edge range out of bounds");
+      }
+    }
+  }
+  if (r.remaining() != 0) throw ParseError("AhoCorasick: trailing bytes");
+  return ac;
+}
+
+std::size_t AhoCorasick::memory_bytes() const {
+  std::size_t n = sizeof(*this);
+  n += dense_.capacity() * sizeof(State);
+  n += sparse_.capacity() * sizeof(SparseNode);
+  n += edge_bytes_.capacity();
+  n += edge_next_.capacity() * sizeof(State);
+  for (const auto& o : out_) n += sizeof(o) + o.capacity() * sizeof(std::uint32_t);
+  for (const auto& p : patterns_) n += sizeof(p) + p.capacity();
+  return n;
+}
+
+}  // namespace sdt::match

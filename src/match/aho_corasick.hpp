@@ -1,0 +1,161 @@
+// Multi-pattern exact string matching: Aho-Corasick automaton.
+//
+// Two state layouts are provided because the paper's feasibility argument is
+// about the memory/speed trade-off of the fast-path matcher:
+//   * dense_dfa   — full 256-way next-state table per state (one load per
+//                   byte; the layout a line-rate implementation uses);
+//   * sparse_nfa  — per-state sorted (byte -> next) edges plus failure
+//                   links (compact; several probes per byte).
+// memory_bytes() reports the true footprint of the chosen layout, which the
+// E6 automaton-size experiment sweeps.
+//
+// The matcher is streaming: scanning resumes from a caller-held State, so
+// the conventional IPS can match across segment boundaries of a reassembled
+// stream while the Split-Detect fast path deliberately restarts at kRoot for
+// every packet (that is the point of the paper).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/bytes.hpp"
+
+namespace sdt::match {
+
+enum class AcLayout : std::uint8_t {
+  dense_dfa,
+  sparse_nfa,
+};
+
+class AhoCorasick {
+ public:
+  using State = std::uint32_t;
+  static constexpr State kRoot = 0;
+
+  /// A pattern occurrence: pattern(id) ends at data[end_offset - 1].
+  struct Match {
+    std::uint32_t pattern_id;
+    std::size_t end_offset;
+  };
+
+  /// Incrementally assemble the pattern set, then build().
+  class Builder {
+   public:
+    /// Returns the id the matcher will report for this pattern.
+    /// Empty patterns are rejected (InvalidArgument). Duplicate byte strings
+    /// get distinct ids and are all reported.
+    std::uint32_t add(ByteView pattern);
+
+    std::size_t pattern_count() const { return patterns_.size(); }
+
+    AhoCorasick build(AcLayout layout = AcLayout::dense_dfa) const;
+
+   private:
+    std::vector<Bytes> patterns_;
+  };
+
+  AhoCorasick() = default;
+
+  std::size_t pattern_count() const { return patterns_.size(); }
+  std::size_t state_count() const { return node_count_; }
+  AcLayout layout() const { return layout_; }
+  ByteView pattern(std::uint32_t id) const { return patterns_[id]; }
+
+  /// Bytes held by the automaton (transition structures + output lists +
+  /// pattern copies).
+  std::size_t memory_bytes() const;
+
+  /// Advance one byte from state s.
+  State step(State s, std::uint8_t b) const {
+    return layout_ == AcLayout::dense_dfa ? step_dense(s, b) : step_sparse(s, b);
+  }
+
+  /// True if any pattern ends in state s.
+  bool accepting(State s) const { return !out_[s].empty(); }
+
+  /// Pattern ids ending at state s (includes suffix-pattern outputs).
+  const std::vector<std::uint32_t>& outputs(State s) const { return out_[s]; }
+
+  /// Scan data starting from `s`; call on_match(Match) for every occurrence;
+  /// return the state after the last byte (feed it back in to continue the
+  /// stream).
+  template <typename Fn>
+  State scan(ByteView data, State s, Fn&& on_match) const {
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      s = step(s, data[i]);
+      if (accepting(s)) {
+        for (std::uint32_t id : out_[s]) {
+          on_match(Match{id, i + 1});
+        }
+      }
+    }
+    return s;
+  }
+
+  /// Collect all matches in one buffer (convenience for tests/slow path).
+  std::vector<Match> find_all(ByteView data) const {
+    std::vector<Match> ms;
+    scan(data, kRoot, [&](Match m) { ms.push_back(m); });
+    return ms;
+  }
+
+  /// Per-packet mode: does this buffer contain any pattern? Early-exits on
+  /// the first hit; always starts from the root (no cross-packet state).
+  bool contains_any(ByteView data) const {
+    State s = kRoot;
+    for (std::uint8_t b : data) {
+      s = step(s, b);
+      if (accepting(s)) return true;
+    }
+    return false;
+  }
+
+  /// Per-packet mode returning the first matching pattern id, or -1.
+  std::int64_t first_match(ByteView data) const {
+    State s = kRoot;
+    for (std::uint8_t b : data) {
+      s = step(s, b);
+      if (accepting(s)) return out_[s].front();
+    }
+    return -1;
+  }
+
+  /// Serialize the compiled automaton to a self-contained blob (versioned,
+  /// integrity-checked). The deployment story: compile the rule base
+  /// offline, ship the blob to the line card, load in O(size).
+  Bytes serialize() const;
+
+  /// Rebuild from a serialize() blob. Throws ParseError on version
+  /// mismatch, truncation or corruption (FNV integrity check).
+  static AhoCorasick deserialize(ByteView blob);
+
+ private:
+  friend class Builder;
+
+  State step_dense(State s, std::uint8_t b) const {
+    return dense_[std::size_t{s} * 256 + b];
+  }
+
+  State step_sparse(State s, std::uint8_t b) const;
+
+  AcLayout layout_ = AcLayout::dense_dfa;
+  std::size_t node_count_ = 0;
+  std::vector<Bytes> patterns_;
+  std::vector<std::vector<std::uint32_t>> out_;
+
+  // dense_dfa layout
+  std::vector<State> dense_;
+
+  // sparse_nfa layout
+  struct SparseNode {
+    std::uint32_t edges_begin = 0;  // into edge_bytes_/edge_next_
+    std::uint16_t edge_count = 0;
+    State fail = kRoot;
+  };
+  std::vector<SparseNode> sparse_;
+  std::vector<std::uint8_t> edge_bytes_;
+  std::vector<State> edge_next_;
+};
+
+}  // namespace sdt::match

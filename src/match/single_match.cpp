@@ -1,0 +1,54 @@
+#include "match/single_match.hpp"
+
+#include <cstring>
+
+#include "util/error.hpp"
+
+namespace sdt::match {
+
+Bmh::Bmh(ByteView pattern) : pattern_(pattern.begin(), pattern.end()) {
+  if (pattern_.empty()) throw InvalidArgument("Bmh: empty pattern");
+  const std::size_t m = pattern_.size();
+  skip_.fill(m);
+  for (std::size_t i = 0; i + 1 < m; ++i) {
+    skip_[pattern_[i]] = m - 1 - i;
+  }
+}
+
+std::optional<std::size_t> Bmh::find(ByteView haystack, std::size_t from) const {
+  const std::size_t m = pattern_.size();
+  const std::size_t n = haystack.size();
+  if (n < m || from > n - m) return std::nullopt;
+  std::size_t pos = from;
+  while (pos + m <= n) {
+    if (haystack[pos + m - 1] == pattern_[m - 1] &&
+        std::memcmp(haystack.data() + pos, pattern_.data(), m - 1) == 0) {
+      return pos;
+    }
+    pos += skip_[haystack[pos + m - 1]];
+  }
+  return std::nullopt;
+}
+
+std::vector<std::size_t> Bmh::find_all(ByteView haystack) const {
+  std::vector<std::size_t> out;
+  std::size_t from = 0;
+  while (auto p = find(haystack, from)) {
+    out.push_back(*p);
+    from = *p + 1;
+  }
+  return out;
+}
+
+std::vector<std::size_t> naive_find_all(ByteView haystack, ByteView needle) {
+  std::vector<std::size_t> out;
+  if (needle.empty() || haystack.size() < needle.size()) return out;
+  for (std::size_t i = 0; i + needle.size() <= haystack.size(); ++i) {
+    if (std::memcmp(haystack.data() + i, needle.data(), needle.size()) == 0) {
+      out.push_back(i);
+    }
+  }
+  return out;
+}
+
+}  // namespace sdt::match

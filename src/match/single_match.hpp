@@ -1,0 +1,38 @@
+// Single-pattern search: Boyer-Moore-Horspool (slow-path verification of a
+// specific signature) and a naive scan (test oracle).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "util/bytes.hpp"
+
+namespace sdt::match {
+
+/// Boyer-Moore-Horspool matcher for one pattern. Construction precomputes
+/// the bad-character skip table; the pattern bytes are copied.
+class Bmh {
+ public:
+  explicit Bmh(ByteView pattern);
+
+  ByteView pattern() const { return pattern_; }
+
+  /// Offset of the first occurrence at or after `from`, or nullopt.
+  std::optional<std::size_t> find(ByteView haystack, std::size_t from = 0) const;
+
+  /// All (possibly overlapping) occurrence offsets.
+  std::vector<std::size_t> find_all(ByteView haystack) const;
+
+  bool contains(ByteView haystack) const { return find(haystack).has_value(); }
+
+ private:
+  Bytes pattern_;
+  std::array<std::size_t, 256> skip_{};
+};
+
+/// Naive O(n*m) search — the reference oracle for property tests.
+std::vector<std::size_t> naive_find_all(ByteView haystack, ByteView needle);
+
+}  // namespace sdt::match

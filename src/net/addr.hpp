@@ -1,0 +1,34 @@
+// IPv4 address strong type. Stored in host byte order; serialization to the
+// wire is explicit via the packet builder/parser.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace sdt::net {
+
+class Ipv4Addr {
+ public:
+  constexpr Ipv4Addr() = default;
+  constexpr explicit Ipv4Addr(std::uint32_t host_order) : v_(host_order) {}
+  constexpr Ipv4Addr(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                     std::uint8_t d)
+      : v_((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+           (std::uint32_t{c} << 8) | std::uint32_t{d}) {}
+
+  constexpr std::uint32_t value() const { return v_; }
+
+  friend constexpr auto operator<=>(Ipv4Addr, Ipv4Addr) = default;
+
+  std::string str() const {
+    return std::to_string((v_ >> 24) & 0xff) + "." +
+           std::to_string((v_ >> 16) & 0xff) + "." +
+           std::to_string((v_ >> 8) & 0xff) + "." + std::to_string(v_ & 0xff);
+  }
+
+ private:
+  std::uint32_t v_ = 0;
+};
+
+}  // namespace sdt::net

@@ -1,0 +1,140 @@
+#include "net/builder.hpp"
+
+#include "net/checksum.hpp"
+#include "net/packet.hpp"
+#include "util/error.hpp"
+
+namespace sdt::net {
+
+Bytes build_ipv4(const Ipv4Spec& ip, ByteView l4_bytes) {
+  if (ip.fragment_offset % 8 != 0) {
+    throw InvalidArgument("build_ipv4: fragment offset must be 8-byte aligned");
+  }
+  const std::size_t total = kIpv4MinHeaderLen + l4_bytes.size();
+  if (total > 0xffff) {
+    throw InvalidArgument("build_ipv4: datagram exceeds 65535 bytes");
+  }
+
+  ByteWriter w(total);
+  w.u8(0x45);  // version 4, IHL 5
+  w.u8(ip.tos);
+  w.u16be(static_cast<std::uint16_t>(total));
+  w.u16be(ip.id);
+  std::uint16_t ff = static_cast<std::uint16_t>(ip.fragment_offset / 8);
+  if (ip.dont_fragment) ff = static_cast<std::uint16_t>(ff | kIpFlagDf);
+  if (ip.more_fragments) ff = static_cast<std::uint16_t>(ff | kIpFlagMf);
+  w.u16be(ff);
+  w.u8(ip.ttl);
+  w.u8(ip.protocol);
+  w.u16be(0);  // checksum placeholder
+  w.u32be(ip.src.value());
+  w.u32be(ip.dst.value());
+
+  const std::uint16_t csum = checksum(w.view());
+  w.patch_u16be(10, csum);
+  w.bytes(l4_bytes);
+  return w.take();
+}
+
+Bytes build_tcp(Ipv4Addr src, Ipv4Addr dst, const TcpSpec& tcp,
+                ByteView payload) {
+  if (tcp.options.size() % 4 != 0 || tcp.options.size() > 40) {
+    throw InvalidArgument("build_tcp: options must be 4-byte aligned, <= 40");
+  }
+  const std::size_t header_len = kTcpMinHeaderLen + tcp.options.size();
+  ByteWriter w(header_len + payload.size());
+  w.u16be(tcp.src_port);
+  w.u16be(tcp.dst_port);
+  w.u32be(tcp.seq);
+  w.u32be(tcp.ack);
+  w.u8(static_cast<std::uint8_t>((header_len / 4) << 4));
+  w.u8(tcp.flags);
+  w.u16be(tcp.window);
+  w.u16be(0);  // checksum placeholder
+  w.u16be(tcp.urgent_pointer);
+  w.bytes(tcp.options);
+  w.bytes(payload);
+
+  const std::uint16_t csum = transport_checksum(
+      src, dst, static_cast<std::uint8_t>(IpProto::tcp), w.view());
+  w.patch_u16be(16, csum);
+  return w.take();
+}
+
+Bytes build_udp(Ipv4Addr src, Ipv4Addr dst, std::uint16_t src_port,
+                std::uint16_t dst_port, ByteView payload) {
+  const std::size_t len = kUdpHeaderLen + payload.size();
+  if (len > 0xffff) throw InvalidArgument("build_udp: payload too large");
+  ByteWriter w(len);
+  w.u16be(src_port);
+  w.u16be(dst_port);
+  w.u16be(static_cast<std::uint16_t>(len));
+  w.u16be(0);
+  w.bytes(payload);
+  std::uint16_t csum = transport_checksum(
+      src, dst, static_cast<std::uint8_t>(IpProto::udp), w.view());
+  if (csum == 0) csum = 0xffff;  // RFC 768: 0 is transmitted as all-ones
+  w.patch_u16be(6, csum);
+  return w.take();
+}
+
+Bytes build_tcp_packet(const Ipv4Spec& ip, const TcpSpec& tcp,
+                       ByteView payload) {
+  Ipv4Spec spec = ip;
+  spec.protocol = static_cast<std::uint8_t>(IpProto::tcp);
+  return build_ipv4(spec, build_tcp(ip.src, ip.dst, tcp, payload));
+}
+
+Bytes build_udp_packet(const Ipv4Spec& ip, std::uint16_t src_port,
+                       std::uint16_t dst_port, ByteView payload) {
+  Ipv4Spec spec = ip;
+  spec.protocol = static_cast<std::uint8_t>(IpProto::udp);
+  return build_ipv4(spec, build_udp(ip.src, ip.dst, src_port, dst_port, payload));
+}
+
+Bytes wrap_ethernet(ByteView ip_datagram) {
+  ByteWriter w(kEthernetHeaderLen + ip_datagram.size());
+  static constexpr std::uint8_t kDst[6] = {0x02, 0, 0, 0, 0, 0x02};
+  static constexpr std::uint8_t kSrc[6] = {0x02, 0, 0, 0, 0, 0x01};
+  w.bytes(ByteView(kDst, 6));
+  w.bytes(ByteView(kSrc, 6));
+  w.u16be(kEtherTypeIpv4);
+  w.bytes(ip_datagram);
+  return w.take();
+}
+
+std::vector<Bytes> fragment_ipv4(ByteView ip_datagram,
+                                 std::size_t mtu_payload) {
+  PacketView pv = PacketView::parse_ipv4(ip_datagram);
+  if (!pv.has_ipv4 || pv.ipv4.is_fragment()) {
+    throw InvalidArgument("fragment_ipv4: need a whole, parseable datagram");
+  }
+  if (mtu_payload < 8) {
+    throw InvalidArgument("fragment_ipv4: mtu_payload must be >= 8");
+  }
+
+  const Ipv4View& ip = pv.ipv4;
+  const ByteView body = pv.ip_datagram.subspan(ip.header_len());
+  if (body.size() <= mtu_payload) {
+    return {Bytes(ip_datagram.begin(), ip_datagram.end())};
+  }
+
+  const std::size_t step = mtu_payload - (mtu_payload % 8);
+  std::vector<Bytes> out;
+  for (std::size_t off = 0; off < body.size(); off += step) {
+    const std::size_t n = std::min(step, body.size() - off);
+    Ipv4Spec spec;
+    spec.src = ip.src();
+    spec.dst = ip.dst();
+    spec.protocol = ip.protocol();
+    spec.ttl = ip.ttl();
+    spec.tos = ip.tos();
+    spec.id = ip.id();
+    spec.fragment_offset = off;
+    spec.more_fragments = off + n < body.size();
+    out.push_back(build_ipv4(spec, body.subspan(off, n)));
+  }
+  return out;
+}
+
+}  // namespace sdt::net

@@ -1,0 +1,74 @@
+// Packet construction: well-formed IPv4/TCP/UDP datagrams with correct
+// lengths and checksums. The evasion library layers hostile fragmentation
+// and overlap on top of these primitives.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/addr.hpp"
+#include "net/headers.hpp"
+#include "util/bytes.hpp"
+
+namespace sdt::net {
+
+/// Fields of an IPv4 datagram under construction. Total length and header
+/// checksum are computed; everything else is caller-controlled so tests can
+/// craft hostile values.
+struct Ipv4Spec {
+  Ipv4Addr src;
+  Ipv4Addr dst;
+  std::uint8_t protocol = static_cast<std::uint8_t>(IpProto::tcp);
+  std::uint8_t ttl = 64;
+  std::uint8_t tos = 0;
+  std::uint16_t id = 0;
+  bool dont_fragment = false;
+  bool more_fragments = false;
+  std::size_t fragment_offset = 0;  // bytes; must be a multiple of 8
+};
+
+/// Build an IPv4 datagram around `l4_bytes` (header checksum filled in).
+Bytes build_ipv4(const Ipv4Spec& ip, ByteView l4_bytes);
+
+/// Fields of a TCP segment under construction.
+struct TcpSpec {
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint32_t seq = 0;
+  std::uint32_t ack = 0;
+  std::uint8_t flags = kTcpAck;
+  std::uint16_t window = 65535;
+  std::uint16_t urgent_pointer = 0;
+  /// Raw options bytes (build with TcpOptionsBuilder). Must be a 4-byte
+  /// multiple, at most 40 bytes; violations throw InvalidArgument.
+  Bytes options;
+};
+
+/// Build a TCP header + payload with a valid checksum for the given
+/// pseudo-header addresses.
+Bytes build_tcp(Ipv4Addr src, Ipv4Addr dst, const TcpSpec& tcp,
+                ByteView payload);
+
+/// Build a UDP header + payload with a valid checksum.
+Bytes build_udp(Ipv4Addr src, Ipv4Addr dst, std::uint16_t src_port,
+                std::uint16_t dst_port, ByteView payload);
+
+/// Convenience: full IPv4+TCP datagram.
+Bytes build_tcp_packet(const Ipv4Spec& ip, const TcpSpec& tcp,
+                       ByteView payload);
+
+/// Convenience: full IPv4+UDP datagram.
+Bytes build_udp_packet(const Ipv4Spec& ip, std::uint16_t src_port,
+                       std::uint16_t dst_port, ByteView payload);
+
+/// Wrap an IPv4 datagram in an Ethernet II frame (synthetic MACs).
+Bytes wrap_ethernet(ByteView ip_datagram);
+
+/// Split an IPv4 datagram into fragments whose payloads are at most
+/// `mtu_payload` bytes (rounded down to a multiple of 8 except the last).
+/// Standards-conformant fragmentation; hostile variants live in sdt::evasion.
+/// Throws InvalidArgument if the datagram is not parseable or mtu_payload < 8.
+std::vector<Bytes> fragment_ipv4(ByteView ip_datagram,
+                                 std::size_t mtu_payload);
+
+}  // namespace sdt::net

@@ -1,0 +1,37 @@
+#include "net/checksum.hpp"
+
+namespace sdt::net {
+
+std::uint32_t checksum_partial(ByteView data, std::uint32_t sum) {
+  std::size_t i = 0;
+  const std::size_t n = data.size();
+  for (; i + 1 < n; i += 2) {
+    sum += (std::uint32_t{data[i]} << 8) | data[i + 1];
+  }
+  if (i < n) sum += std::uint32_t{data[i]} << 8;  // odd trailing byte
+  return sum;
+}
+
+std::uint16_t checksum_finish(std::uint32_t sum) {
+  while (sum >> 16) sum = (sum & 0xffff) + (sum >> 16);
+  return static_cast<std::uint16_t>(~sum & 0xffff);
+}
+
+std::uint16_t checksum(ByteView data) {
+  return checksum_finish(checksum_partial(data));
+}
+
+std::uint16_t transport_checksum(Ipv4Addr src, Ipv4Addr dst,
+                                 std::uint8_t proto, ByteView segment) {
+  std::uint32_t sum = 0;
+  sum += src.value() >> 16;
+  sum += src.value() & 0xffff;
+  sum += dst.value() >> 16;
+  sum += dst.value() & 0xffff;
+  sum += proto;
+  sum += static_cast<std::uint32_t>(segment.size());
+  sum = checksum_partial(segment, sum);
+  return checksum_finish(sum);
+}
+
+}  // namespace sdt::net

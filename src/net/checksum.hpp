@@ -1,0 +1,28 @@
+// RFC 1071 Internet checksum, plus the TCP/UDP pseudo-header variant.
+#pragma once
+
+#include <cstdint>
+
+#include "net/addr.hpp"
+#include "util/bytes.hpp"
+
+namespace sdt::net {
+
+/// One's-complement sum of the data, not yet folded or complemented.
+/// Useful for incremental composition (pseudo-header + segment).
+std::uint32_t checksum_partial(ByteView data, std::uint32_t sum = 0);
+
+/// Fold a partial sum and complement it into a final checksum value.
+std::uint16_t checksum_finish(std::uint32_t sum);
+
+/// Checksum over a single buffer (IPv4 header checksum).
+std::uint16_t checksum(ByteView data);
+
+/// TCP/UDP checksum: pseudo-header(src, dst, proto, length) + segment bytes.
+/// `segment` must contain the transport header with its checksum field
+/// zeroed (when computing) or as received (when verifying — result 0 means
+/// valid).
+std::uint16_t transport_checksum(Ipv4Addr src, Ipv4Addr dst,
+                                 std::uint8_t proto, ByteView segment);
+
+}  // namespace sdt::net

@@ -1,0 +1,142 @@
+// Header view classes: zero-copy accessors over validated header bytes.
+//
+// A view is only constructed by PacketView::parse (or by tests that know the
+// bytes are long enough); accessors are then unchecked single loads. This
+// keeps bounds checks to one per layer on the fast path, per the design of
+// high-speed packet pipelines.
+#pragma once
+
+#include <cstdint>
+
+#include "net/addr.hpp"
+#include "util/bytes.hpp"
+
+namespace sdt::net {
+
+enum class IpProto : std::uint8_t {
+  icmp = 1,
+  tcp = 6,
+  udp = 17,
+};
+
+/// pcap link-layer types we understand (values match the pcap spec).
+enum class LinkType : std::uint32_t {
+  ethernet = 1,
+  raw_ipv4 = 101,
+};
+
+// TCP flag bits (low byte of the flags field).
+inline constexpr std::uint8_t kTcpFin = 0x01;
+inline constexpr std::uint8_t kTcpSyn = 0x02;
+inline constexpr std::uint8_t kTcpRst = 0x04;
+inline constexpr std::uint8_t kTcpPsh = 0x08;
+inline constexpr std::uint8_t kTcpAck = 0x10;
+inline constexpr std::uint8_t kTcpUrg = 0x20;
+
+inline constexpr std::size_t kEthernetHeaderLen = 14;
+inline constexpr std::uint16_t kEtherTypeIpv4 = 0x0800;
+inline constexpr std::size_t kIpv4MinHeaderLen = 20;
+inline constexpr std::size_t kTcpMinHeaderLen = 20;
+inline constexpr std::size_t kUdpHeaderLen = 8;
+
+// IPv4 fragmentation bits in the flags/fragment-offset field.
+inline constexpr std::uint16_t kIpFlagDf = 0x4000;
+inline constexpr std::uint16_t kIpFlagMf = 0x2000;
+inline constexpr std::uint16_t kIpFragOffsetMask = 0x1fff;
+
+/// View over an Ethernet II header. `data` must hold ≥ 14 bytes.
+class EthernetView {
+ public:
+  explicit EthernetView(ByteView h) : h_(h) {}
+  ByteView dst_mac() const { return h_.subspan(0, 6); }
+  ByteView src_mac() const { return h_.subspan(6, 6); }
+  std::uint16_t ether_type() const { return rd_u16be(h_, 12); }
+
+ private:
+  ByteView h_;
+};
+
+/// View over an IPv4 header. `h` must hold the full header (ihl bytes).
+class Ipv4View {
+ public:
+  Ipv4View() = default;
+  explicit Ipv4View(ByteView h) : h_(h) {}
+
+  std::uint8_t version() const { return h_[0] >> 4; }
+  std::size_t header_len() const { return std::size_t{h_[0] & 0xfu} * 4; }
+  std::uint8_t tos() const { return h_[1]; }
+  std::uint16_t total_length() const { return rd_u16be(h_, 2); }
+  std::uint16_t id() const { return rd_u16be(h_, 4); }
+  std::uint16_t flags_frag() const { return rd_u16be(h_, 6); }
+  bool dont_fragment() const { return (flags_frag() & kIpFlagDf) != 0; }
+  bool more_fragments() const { return (flags_frag() & kIpFlagMf) != 0; }
+  /// Fragment offset in bytes (the wire field is in 8-byte units).
+  std::size_t fragment_offset() const {
+    return static_cast<std::size_t>(flags_frag() & kIpFragOffsetMask) * 8;
+  }
+  /// True if this datagram is any fragment of a larger one.
+  bool is_fragment() const {
+    return more_fragments() || fragment_offset() != 0;
+  }
+  std::uint8_t ttl() const { return h_[8]; }
+  std::uint8_t protocol() const { return h_[9]; }
+  std::uint16_t header_checksum() const { return rd_u16be(h_, 10); }
+  Ipv4Addr src() const { return Ipv4Addr{rd_u32be(h_, 12)}; }
+  Ipv4Addr dst() const { return Ipv4Addr{rd_u32be(h_, 16)}; }
+  ByteView options() const {
+    return h_.subspan(kIpv4MinHeaderLen, header_len() - kIpv4MinHeaderLen);
+  }
+  ByteView raw() const { return h_; }
+
+ private:
+  ByteView h_;
+};
+
+/// View over a TCP header. `h` must hold the full header (data-offset bytes).
+class TcpView {
+ public:
+  TcpView() = default;
+  explicit TcpView(ByteView h) : h_(h) {}
+
+  std::uint16_t src_port() const { return rd_u16be(h_, 0); }
+  std::uint16_t dst_port() const { return rd_u16be(h_, 2); }
+  std::uint32_t seq() const { return rd_u32be(h_, 4); }
+  std::uint32_t ack() const { return rd_u32be(h_, 8); }
+  std::size_t header_len() const {
+    return static_cast<std::size_t>(h_[12] >> 4) * 4;
+  }
+  std::uint8_t flags() const { return h_[13]; }
+  bool fin() const { return (flags() & kTcpFin) != 0; }
+  bool syn() const { return (flags() & kTcpSyn) != 0; }
+  bool rst() const { return (flags() & kTcpRst) != 0; }
+  bool psh() const { return (flags() & kTcpPsh) != 0; }
+  bool ack_flag() const { return (flags() & kTcpAck) != 0; }
+  bool urg() const { return (flags() & kTcpUrg) != 0; }
+  std::uint16_t window() const { return rd_u16be(h_, 14); }
+  std::uint16_t checksum() const { return rd_u16be(h_, 16); }
+  std::uint16_t urgent_pointer() const { return rd_u16be(h_, 18); }
+  ByteView options() const {
+    return h_.subspan(kTcpMinHeaderLen, header_len() - kTcpMinHeaderLen);
+  }
+  ByteView raw() const { return h_; }
+
+ private:
+  ByteView h_;
+};
+
+/// View over a UDP header (fixed 8 bytes).
+class UdpView {
+ public:
+  UdpView() = default;
+  explicit UdpView(ByteView h) : h_(h) {}
+
+  std::uint16_t src_port() const { return rd_u16be(h_, 0); }
+  std::uint16_t dst_port() const { return rd_u16be(h_, 2); }
+  std::uint16_t length() const { return rd_u16be(h_, 4); }
+  std::uint16_t checksum() const { return rd_u16be(h_, 6); }
+
+ private:
+  ByteView h_;
+};
+
+}  // namespace sdt::net

@@ -1,0 +1,124 @@
+#include "net/packet.hpp"
+
+namespace sdt::net {
+
+const char* to_string(ParseStatus s) {
+  switch (s) {
+    case ParseStatus::ok:
+      return "ok";
+    case ParseStatus::truncated_l2:
+      return "truncated_l2";
+    case ParseStatus::not_ipv4:
+      return "not_ipv4";
+    case ParseStatus::truncated_l3:
+      return "truncated_l3";
+    case ParseStatus::bad_ip_header:
+      return "bad_ip_header";
+    case ParseStatus::fragment:
+      return "fragment";
+    case ParseStatus::unsupported_proto:
+      return "unsupported_proto";
+    case ParseStatus::truncated_l4:
+      return "truncated_l4";
+  }
+  return "unknown";
+}
+
+PacketView PacketView::parse(ByteView frame, LinkType lt) {
+  PacketView pv;
+  pv.frame = frame;
+
+  ByteView l3 = frame;
+  if (lt == LinkType::ethernet) {
+    if (frame.size() < kEthernetHeaderLen) {
+      pv.status = ParseStatus::truncated_l2;
+      return pv;
+    }
+    EthernetView eth(frame);
+    if (eth.ether_type() != kEtherTypeIpv4) {
+      pv.status = ParseStatus::not_ipv4;
+      return pv;
+    }
+    l3 = frame.subspan(kEthernetHeaderLen);
+  }
+
+  PacketView inner = parse_ipv4(l3);
+  inner.frame = frame;
+  return inner;
+}
+
+PacketView PacketView::parse_ipv4(ByteView datagram) {
+  PacketView pv;
+  pv.frame = datagram;
+
+  if (datagram.size() < kIpv4MinHeaderLen) {
+    pv.status = ParseStatus::truncated_l3;
+    return pv;
+  }
+  if ((datagram[0] >> 4) != 4) {
+    pv.status = ParseStatus::not_ipv4;
+    return pv;
+  }
+  const std::size_t ihl = std::size_t{datagram[0] & 0xfu} * 4;
+  if (ihl < kIpv4MinHeaderLen) {
+    pv.status = ParseStatus::bad_ip_header;
+    return pv;
+  }
+  const std::uint16_t total_len = rd_u16be(datagram, 2);
+  if (total_len < ihl) {
+    pv.status = ParseStatus::bad_ip_header;
+    return pv;
+  }
+  if (datagram.size() < total_len) {
+    pv.status = ParseStatus::truncated_l3;
+    return pv;
+  }
+  // Trim any link-layer padding beyond the IP total length.
+  pv.ip_datagram = datagram.subspan(0, total_len);
+  pv.ipv4 = Ipv4View(pv.ip_datagram.subspan(0, ihl));
+  pv.has_ipv4 = true;
+
+  if (pv.ipv4.is_fragment()) {
+    pv.status = ParseStatus::fragment;
+    return pv;
+  }
+
+  const ByteView l4 = pv.ip_datagram.subspan(ihl);
+  switch (pv.ipv4.protocol()) {
+    case static_cast<std::uint8_t>(IpProto::tcp): {
+      pv.proto = IpProto::tcp;
+      if (l4.size() < kTcpMinHeaderLen) {
+        pv.status = ParseStatus::truncated_l4;
+        return pv;
+      }
+      const std::size_t doff = static_cast<std::size_t>(l4[12] >> 4) * 4;
+      if (doff < kTcpMinHeaderLen || doff > l4.size()) {
+        pv.status = ParseStatus::truncated_l4;
+        return pv;
+      }
+      pv.tcp = TcpView(l4.subspan(0, doff));
+      pv.l4_payload = l4.subspan(doff);
+      pv.has_tcp = true;
+      break;
+    }
+    case static_cast<std::uint8_t>(IpProto::udp): {
+      pv.proto = IpProto::udp;
+      if (l4.size() < kUdpHeaderLen) {
+        pv.status = ParseStatus::truncated_l4;
+        return pv;
+      }
+      pv.udp = UdpView(l4.subspan(0, kUdpHeaderLen));
+      pv.l4_payload = l4.subspan(kUdpHeaderLen);
+      pv.has_udp = true;
+      break;
+    }
+    default:
+      pv.status = ParseStatus::unsupported_proto;
+      return pv;
+  }
+
+  pv.status = ParseStatus::ok;
+  return pv;
+}
+
+}  // namespace sdt::net

@@ -1,0 +1,68 @@
+// PacketView: one-pass, zero-copy decode of a captured frame down to the
+// transport payload.
+//
+// Parsing returns a status enum rather than throwing: malformed frames are
+// an expected input class for an IPS (and an attack vector), so the fast
+// path must classify them at wire speed, not unwind stacks.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "net/headers.hpp"
+#include "util/bytes.hpp"
+
+namespace sdt::net {
+
+enum class ParseStatus : std::uint8_t {
+  ok,
+  truncated_l2,
+  not_ipv4,           // non-IPv4 ethertype or IP version != 4
+  truncated_l3,       // frame shorter than the IPv4 header claims
+  bad_ip_header,      // IHL < 20 or > total length
+  fragment,           // valid IPv4 fragment: L4 cannot be parsed here
+  unsupported_proto,  // L4 protocol we do not decode (forwarded untouched)
+  truncated_l4,       // transport header runs past the datagram
+};
+
+const char* to_string(ParseStatus s);
+
+/// Decoded layers of a single frame. Views alias the original buffer, which
+/// must outlive the PacketView.
+struct PacketView {
+  ParseStatus status = ParseStatus::ok;
+
+  ByteView frame;        // entire captured frame
+  ByteView ip_datagram;  // IPv4 header + payload (as captured, may be a fragment)
+  Ipv4View ipv4;         // valid when status >= truncated_l3 stages passed
+  bool has_ipv4 = false;
+
+  IpProto proto = IpProto::tcp;  // meaningful only when has_l4
+  bool has_tcp = false;
+  bool has_udp = false;
+  TcpView tcp;
+  UdpView udp;
+  ByteView l4_payload;  // TCP/UDP payload bytes
+
+  bool ok() const { return status == ParseStatus::ok; }
+  /// A fragment parses "successfully" to L3 only.
+  bool is_fragment() const { return status == ParseStatus::fragment; }
+
+  /// Decode `frame` captured with link type `lt`.
+  static PacketView parse(ByteView frame, LinkType lt);
+
+  /// Decode an IPv4 datagram directly (used after defragmentation).
+  static PacketView parse_ipv4(ByteView datagram);
+};
+
+/// An owned packet: capture timestamp (µs since epoch) + frame bytes.
+struct Packet {
+  std::uint64_t ts_usec = 0;
+  Bytes frame;
+
+  Packet() = default;
+  Packet(std::uint64_t ts, Bytes f) : ts_usec(ts), frame(std::move(f)) {}
+};
+
+}  // namespace sdt::net

@@ -1,0 +1,41 @@
+// TCP sequence-number arithmetic. Sequence numbers live on a 2^32 circle;
+// ordinary integer comparison is wrong across wraparound. These helpers
+// implement RFC 793 serial-number comparison, used by the reassembler and
+// the fast-path flow tracker.
+#pragma once
+
+#include <cstdint>
+
+namespace sdt::net {
+
+/// a < b on the sequence circle (true iff a precedes b within a half-window).
+inline bool seq_lt(std::uint32_t a, std::uint32_t b) {
+  return static_cast<std::int32_t>(a - b) < 0;
+}
+
+inline bool seq_leq(std::uint32_t a, std::uint32_t b) {
+  return static_cast<std::int32_t>(a - b) <= 0;
+}
+
+inline bool seq_gt(std::uint32_t a, std::uint32_t b) { return seq_lt(b, a); }
+
+inline bool seq_geq(std::uint32_t a, std::uint32_t b) { return seq_leq(b, a); }
+
+/// Signed distance from b to a (a - b) on the circle.
+inline std::int32_t seq_diff(std::uint32_t a, std::uint32_t b) {
+  return static_cast<std::int32_t>(a - b);
+}
+
+inline std::uint32_t seq_add(std::uint32_t a, std::uint32_t n) {
+  return a + n;  // modular by construction
+}
+
+inline std::uint32_t seq_max(std::uint32_t a, std::uint32_t b) {
+  return seq_lt(a, b) ? b : a;
+}
+
+inline std::uint32_t seq_min(std::uint32_t a, std::uint32_t b) {
+  return seq_lt(a, b) ? a : b;
+}
+
+}  // namespace sdt::net

@@ -1,0 +1,16 @@
+#include "net/tcp_options.hpp"
+
+namespace sdt::net {
+
+std::optional<std::uint16_t> find_mss(ByteView options) {
+  for (TcpOptionIterator it(options); it.valid(); it.next()) {
+    const TcpOption& o = it.option();
+    if (o.kind == static_cast<std::uint8_t>(TcpOptionKind::mss) &&
+        o.data.size() == 2) {
+      return rd_u16be(o.data, 0);
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace sdt::net

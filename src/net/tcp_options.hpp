@@ -1,0 +1,131 @@
+// TCP option parsing and construction.
+//
+// An IPS must walk the options region defensively: hostile packets carry
+// truncated, zero-length, or padding-abusing options, both to desynchronize
+// parsers and to vary header sizes for fragmentation games. The iterator
+// here never reads past the view and flags malformation explicitly.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "util/bytes.hpp"
+
+namespace sdt::net {
+
+enum class TcpOptionKind : std::uint8_t {
+  end_of_options = 0,
+  nop = 1,
+  mss = 2,
+  window_scale = 3,
+  sack_permitted = 4,
+  sack = 5,
+  timestamps = 8,
+};
+
+struct TcpOption {
+  std::uint8_t kind = 0;
+  ByteView data;  // option payload (without kind/length bytes)
+};
+
+/// Walks the raw options bytes of a TCP header. Usage:
+///
+///   for (TcpOptionIterator it(tcp.options()); it.valid(); it.next()) {
+///     use(it.option());
+///   }
+///   if (it.malformed()) { ... }   // truncated length field etc.
+class TcpOptionIterator {
+ public:
+  explicit TcpOptionIterator(ByteView options) : rest_(options) { parse(); }
+
+  bool valid() const { return has_current_; }
+  bool malformed() const { return malformed_; }
+  const TcpOption& option() const { return current_; }
+
+  void next() {
+    has_current_ = false;
+    parse();
+  }
+
+ private:
+  void parse() {
+    while (!rest_.empty()) {
+      const std::uint8_t kind = rest_[0];
+      if (kind == static_cast<std::uint8_t>(TcpOptionKind::end_of_options)) {
+        rest_ = {};
+        return;
+      }
+      if (kind == static_cast<std::uint8_t>(TcpOptionKind::nop)) {
+        rest_ = rest_.subspan(1);
+        continue;
+      }
+      if (rest_.size() < 2) {
+        malformed_ = true;
+        rest_ = {};
+        return;
+      }
+      const std::uint8_t len = rest_[1];
+      if (len < 2 || len > rest_.size()) {
+        malformed_ = true;
+        rest_ = {};
+        return;
+      }
+      current_.kind = kind;
+      current_.data = rest_.subspan(2, len - 2);
+      rest_ = rest_.subspan(len);
+      has_current_ = true;
+      return;
+    }
+  }
+
+  ByteView rest_;
+  TcpOption current_;
+  bool has_current_ = false;
+  bool malformed_ = false;
+};
+
+/// Builder for a TCP options block; pads the result to a 4-byte multiple.
+class TcpOptionsBuilder {
+ public:
+  TcpOptionsBuilder& mss(std::uint16_t value) {
+    w_.u8(2).u8(4).u16be(value);
+    return *this;
+  }
+  TcpOptionsBuilder& window_scale(std::uint8_t shift) {
+    w_.u8(3).u8(3).u8(shift);
+    return *this;
+  }
+  TcpOptionsBuilder& sack_permitted() {
+    w_.u8(4).u8(2);
+    return *this;
+  }
+  TcpOptionsBuilder& timestamps(std::uint32_t tsval, std::uint32_t tsecr) {
+    w_.u8(8).u8(10).u32be(tsval).u32be(tsecr);
+    return *this;
+  }
+  TcpOptionsBuilder& nop() {
+    w_.u8(1);
+    return *this;
+  }
+  /// Arbitrary (possibly hostile) raw option bytes.
+  TcpOptionsBuilder& raw(ByteView bytes) {
+    w_.bytes(bytes);
+    return *this;
+  }
+
+  /// Final options block, NOP-padded to a 4-byte multiple (max 40 bytes).
+  Bytes build() {
+    Bytes out = w_.take();
+    while (out.size() % 4 != 0) out.push_back(1);  // NOP padding
+    return out;
+  }
+
+ private:
+  ByteWriter w_;
+};
+
+/// Convenience: the MSS advertised in a SYN's options, if present and
+/// well-formed.
+std::optional<std::uint16_t> find_mss(ByteView options);
+
+}  // namespace sdt::net

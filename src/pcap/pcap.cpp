@@ -1,0 +1,184 @@
+#include "pcap/pcap.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace sdt::pcap {
+
+namespace {
+
+std::unique_ptr<std::istream> open_input(const std::string& path) {
+  auto f = std::make_unique<std::ifstream>(path, std::ios::binary);
+  if (!*f) throw IoError("pcap::Reader: cannot open '" + path + "'");
+  return f;
+}
+
+}  // namespace
+
+Reader::Reader(const std::string& path) : stream_(open_input(path)) {
+  parse_global_header();
+}
+
+Reader::Reader(Bytes data)
+    : stream_(std::make_unique<std::istringstream>(
+          std::string(reinterpret_cast<const char*>(data.data()), data.size()),
+          std::ios::binary)) {
+  parse_global_header();
+}
+
+std::uint32_t Reader::u32(const std::uint8_t* p) const {
+  // pcap headers are in the writer's native order. We classify the file by
+  // assembling the magic little-endian; "swapped" therefore means the file
+  // is big-endian relative to that convention.
+  if (swapped_) {
+    return std::uint32_t{p[0]} << 24 | std::uint32_t{p[1]} << 16 |
+           std::uint32_t{p[2]} << 8 | std::uint32_t{p[3]};
+  }
+  return std::uint32_t{p[0]} | std::uint32_t{p[1]} << 8 |
+         std::uint32_t{p[2]} << 16 | std::uint32_t{p[3]} << 24;
+}
+
+std::uint16_t Reader::u16(const std::uint8_t* p) const {
+  if (swapped_) return static_cast<std::uint16_t>(p[1] | (p[0] << 8));
+  return static_cast<std::uint16_t>(p[0] | (p[1] << 8));
+}
+
+void Reader::parse_global_header() {
+  std::uint8_t h[24];
+  stream_->read(reinterpret_cast<char*>(h), sizeof h);
+  if (stream_->gcount() != sizeof h) {
+    throw ParseError("pcap: file shorter than global header");
+  }
+  // Assemble the magic little-endian and classify.
+  const std::uint32_t magic_le = std::uint32_t{h[0]} | std::uint32_t{h[1]} << 8 |
+                                 std::uint32_t{h[2]} << 16 |
+                                 std::uint32_t{h[3]} << 24;
+  switch (magic_le) {
+    case kMagicUsec:
+      swapped_ = false;
+      nsec_ = false;
+      break;
+    case kMagicNsec:
+      swapped_ = false;
+      nsec_ = true;
+      break;
+    case kMagicUsecSwapped:
+      swapped_ = true;
+      nsec_ = false;
+      break;
+    case kMagicNsecSwapped:
+      swapped_ = true;
+      nsec_ = true;
+      break;
+    default:
+      throw ParseError("pcap: bad magic");
+  }
+  const std::uint16_t ver_major = u16(h + 4);
+  if (ver_major != 2) {
+    throw ParseError("pcap: unsupported version " + std::to_string(ver_major));
+  }
+  snaplen_ = u32(h + 16);
+  link_type_ = static_cast<net::LinkType>(u32(h + 20));
+}
+
+std::optional<net::Packet> Reader::next() {
+  std::uint8_t rh[16];
+  stream_->read(reinterpret_cast<char*>(rh), sizeof rh);
+  const auto got = static_cast<std::size_t>(stream_->gcount());
+  if (got == 0) return std::nullopt;  // clean EOF
+  if (got < sizeof rh) {
+    truncated_ = true;
+    return std::nullopt;
+  }
+  const std::uint32_t ts_sec = u32(rh);
+  const std::uint32_t ts_sub = u32(rh + 4);
+  const std::uint32_t incl_len = u32(rh + 8);
+  // orig_len at rh+12 is informational only.
+
+  if (incl_len > 256 * 1024 * 1024) {
+    // A record this large is certainly corruption; stop rather than allocate.
+    truncated_ = true;
+    return std::nullopt;
+  }
+
+  Bytes frame(incl_len);
+  stream_->read(reinterpret_cast<char*>(frame.data()),
+                static_cast<std::streamsize>(incl_len));
+  if (static_cast<std::size_t>(stream_->gcount()) < incl_len) {
+    truncated_ = true;
+    return std::nullopt;
+  }
+
+  const std::uint64_t usec =
+      std::uint64_t{ts_sec} * 1000000 + (nsec_ ? ts_sub / 1000 : ts_sub);
+  ++count_;
+  return net::Packet{usec, std::move(frame)};
+}
+
+std::vector<net::Packet> Reader::read_all() {
+  std::vector<net::Packet> out;
+  while (auto p = next()) out.push_back(std::move(*p));
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+
+Writer::Writer(const std::string& path, net::LinkType lt, std::uint32_t snaplen)
+    : path_(path), snaplen_(snaplen) {
+  auto f = std::make_unique<std::ofstream>(path, std::ios::binary);
+  if (!*f) throw IoError("pcap::Writer: cannot open '" + path + "'");
+  stream_ = std::move(f);
+  write_global_header(lt, snaplen);
+}
+
+Writer::Writer(net::LinkType lt, std::uint32_t snaplen) : snaplen_(snaplen) {
+  stream_ = std::make_unique<std::ostringstream>(std::ios::binary);
+  write_global_header(lt, snaplen);
+}
+
+Writer::~Writer() = default;
+
+void Writer::write_global_header(net::LinkType lt, std::uint32_t snaplen) {
+  ByteWriter w(24);
+  w.u32le(kMagicUsec);
+  w.u16le(2);  // version 2.4
+  w.u16le(4);
+  w.u32le(0);  // thiszone
+  w.u32le(0);  // sigfigs
+  w.u32le(snaplen);
+  w.u32le(static_cast<std::uint32_t>(lt));
+  const Bytes h = w.take();
+  stream_->write(reinterpret_cast<const char*>(h.data()),
+                 static_cast<std::streamsize>(h.size()));
+}
+
+void Writer::write(const net::Packet& pkt) { write(pkt.ts_usec, pkt.frame); }
+
+void Writer::write(std::uint64_t ts_usec, ByteView frame) {
+  const std::size_t incl =
+      std::min<std::size_t>(frame.size(), snaplen_ ? snaplen_ : frame.size());
+  ByteWriter w(16 + incl);
+  w.u32le(static_cast<std::uint32_t>(ts_usec / 1000000));
+  w.u32le(static_cast<std::uint32_t>(ts_usec % 1000000));
+  w.u32le(static_cast<std::uint32_t>(incl));
+  w.u32le(static_cast<std::uint32_t>(frame.size()));
+  w.bytes(frame.subspan(0, incl));
+  const Bytes rec = w.take();
+  stream_->write(reinterpret_cast<const char*>(rec.data()),
+                 static_cast<std::streamsize>(rec.size()));
+  if (!*stream_) throw IoError("pcap::Writer: write failed");
+  ++count_;
+}
+
+Bytes Writer::take() {
+  auto* ss = dynamic_cast<std::ostringstream*>(stream_.get());
+  if (ss == nullptr) {
+    throw InvalidArgument("pcap::Writer::take: not an in-memory writer");
+  }
+  const std::string s = ss->str();
+  return Bytes(s.begin(), s.end());
+}
+
+}  // namespace sdt::pcap

@@ -1,0 +1,93 @@
+// Classic libpcap capture-file reader/writer, implemented from the file
+// format specification (no libpcap dependency).
+//
+// Supported: both byte orders, microsecond (0xa1b2c3d4) and nanosecond
+// (0xa1b23c4d) magic, arbitrary snap lengths. Timestamps are normalized to
+// microseconds on read.
+#pragma once
+
+#include <cstdint>
+#include <istream>
+#include <memory>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "net/headers.hpp"
+#include "net/packet.hpp"
+#include "util/bytes.hpp"
+
+namespace sdt::pcap {
+
+inline constexpr std::uint32_t kMagicUsec = 0xa1b2c3d4;
+inline constexpr std::uint32_t kMagicNsec = 0xa1b23c4d;
+inline constexpr std::uint32_t kMagicUsecSwapped = 0xd4c3b2a1;
+inline constexpr std::uint32_t kMagicNsecSwapped = 0x4d3cb2a1;
+
+/// Reads packets from a pcap stream. Throws IoError / ParseError on a file
+/// that cannot be opened or whose global header is malformed; a record that
+/// is truncated mid-file ends iteration (next() returns nullopt) and sets
+/// truncated().
+class Reader {
+ public:
+  /// Open a capture file on disk.
+  explicit Reader(const std::string& path);
+  /// Read from an in-memory capture (tests, synthesized traces).
+  explicit Reader(Bytes data);
+
+  net::LinkType link_type() const { return link_type_; }
+  std::uint32_t snaplen() const { return snaplen_; }
+  /// True once a short record was hit at end of file.
+  bool truncated() const { return truncated_; }
+  std::uint64_t packets_read() const { return count_; }
+
+  /// Next packet, or nullopt at end of stream.
+  std::optional<net::Packet> next();
+
+  /// Drain the whole stream.
+  std::vector<net::Packet> read_all();
+
+ private:
+  void parse_global_header();
+  std::uint32_t u32(const std::uint8_t* p) const;
+  std::uint16_t u16(const std::uint8_t* p) const;
+
+  std::unique_ptr<std::istream> stream_;
+  bool swapped_ = false;
+  bool nsec_ = false;
+  bool truncated_ = false;
+  net::LinkType link_type_ = net::LinkType::ethernet;
+  std::uint32_t snaplen_ = 0;
+  std::uint64_t count_ = 0;
+};
+
+/// Writes packets to a pcap stream (native byte order, microsecond magic).
+class Writer {
+ public:
+  Writer(const std::string& path, net::LinkType lt,
+         std::uint32_t snaplen = 262144);
+  /// In-memory writer; collect the bytes with take().
+  explicit Writer(net::LinkType lt, std::uint32_t snaplen = 262144);
+  ~Writer();
+
+  Writer(const Writer&) = delete;
+  Writer& operator=(const Writer&) = delete;
+
+  void write(const net::Packet& pkt);
+  void write(std::uint64_t ts_usec, ByteView frame);
+  std::uint64_t packets_written() const { return count_; }
+
+  /// For the in-memory variant: the full capture produced so far.
+  Bytes take();
+
+ private:
+  void write_global_header(net::LinkType lt, std::uint32_t snaplen);
+
+  std::unique_ptr<std::ostream> stream_;
+  std::string path_;  // empty for in-memory
+  std::uint32_t snaplen_ = 0;
+  std::uint64_t count_ = 0;
+};
+
+}  // namespace sdt::pcap

@@ -1,0 +1,313 @@
+#include "pcap/pcapng.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "pcap/pcap.hpp"
+#include "util/error.hpp"
+
+namespace sdt::pcap {
+
+namespace {
+
+std::unique_ptr<std::istream> open_input(const std::string& path) {
+  auto f = std::make_unique<std::ifstream>(path, std::ios::binary);
+  if (!*f) throw IoError("pcapng: cannot open '" + path + "'");
+  return f;
+}
+
+std::unique_ptr<std::istream> memory_input(Bytes data) {
+  return std::make_unique<std::istringstream>(
+      std::string(reinterpret_cast<const char*>(data.data()), data.size()),
+      std::ios::binary);
+}
+
+}  // namespace
+
+NgReader::NgReader(const std::string& path) : stream_(open_input(path)) {}
+
+NgReader::NgReader(Bytes data) : stream_(memory_input(std::move(data))) {}
+
+bool NgReader::read_exact(std::uint8_t* dst, std::size_t n) {
+  stream_->read(reinterpret_cast<char*>(dst),
+                static_cast<std::streamsize>(n));
+  return static_cast<std::size_t>(stream_->gcount()) == n;
+}
+
+std::uint32_t NgReader::u32(const std::uint8_t* p) const {
+  if (swapped_) {
+    return std::uint32_t{p[0]} << 24 | std::uint32_t{p[1]} << 16 |
+           std::uint32_t{p[2]} << 8 | std::uint32_t{p[3]};
+  }
+  return std::uint32_t{p[0]} | std::uint32_t{p[1]} << 8 |
+         std::uint32_t{p[2]} << 16 | std::uint32_t{p[3]} << 24;
+}
+
+std::uint16_t NgReader::u16(const std::uint8_t* p) const {
+  if (swapped_) return static_cast<std::uint16_t>((p[0] << 8) | p[1]);
+  return static_cast<std::uint16_t>(p[0] | (p[1] << 8));
+}
+
+void NgReader::parse_section_header(ByteView body) {
+  if (body.size() < 16) throw ParseError("pcapng: SHB too short");
+  // The byte-order magic was already consumed for endianness detection by
+  // the caller (raw bytes in body[0..4)).
+  const std::uint32_t bom_le = std::uint32_t{body[0]} |
+                               std::uint32_t{body[1]} << 8 |
+                               std::uint32_t{body[2]} << 16 |
+                               std::uint32_t{body[3]} << 24;
+  if (bom_le == kNgByteOrderMagic) {
+    swapped_ = false;
+  } else if (bom_le == 0x4d3c2b1a) {
+    swapped_ = true;
+  } else {
+    throw ParseError("pcapng: bad byte-order magic");
+  }
+  const std::uint16_t major = u16(body.data() + 4);
+  if (major != 1) {
+    throw ParseError("pcapng: unsupported major version " +
+                     std::to_string(major));
+  }
+  // New section: interfaces are section-scoped.
+  interfaces_.clear();
+  seen_shb_ = true;
+}
+
+void NgReader::parse_interface_description(ByteView body) {
+  if (body.size() < 8) return;  // malformed IDB: skip
+  Interface ifc;
+  ifc.link_type = static_cast<net::LinkType>(u16(body.data()));
+  // Walk options for if_tsresol (code 9).
+  std::size_t off = 8;
+  while (off + 4 <= body.size()) {
+    const std::uint16_t code = u16(body.data() + off);
+    const std::uint16_t len = u16(body.data() + off + 2);
+    off += 4;
+    if (off + len > body.size()) break;
+    if (code == 0) break;  // opt_endofopt
+    if (code == 9 && len >= 1) {
+      const std::uint8_t res = body[off];
+      if (res & 0x80) {
+        ifc.ticks_per_sec = 1ull << (res & 0x7f);
+      } else {
+        std::uint64_t t = 1;
+        for (std::uint8_t i = 0; i < res && i < 19; ++i) t *= 10;
+        ifc.ticks_per_sec = t;
+      }
+    }
+    off += (len + 3u) & ~3u;  // options are 4-byte padded
+  }
+  if (!have_first_link_) {
+    first_link_type_ = ifc.link_type;
+    have_first_link_ = true;
+  }
+  interfaces_.push_back(ifc);
+}
+
+std::optional<net::Packet> NgReader::parse_enhanced_packet(ByteView body) {
+  if (body.size() < 20) return std::nullopt;
+  const std::uint32_t if_id = u32(body.data());
+  const std::uint64_t ts = (std::uint64_t{u32(body.data() + 4)} << 32) |
+                           u32(body.data() + 8);
+  const std::uint32_t cap_len = u32(body.data() + 12);
+  if (20 + cap_len > body.size()) return std::nullopt;
+
+  const Interface ifc = if_id < interfaces_.size() ? interfaces_[if_id]
+                                                   : Interface{};
+  last_link_type_ = ifc.link_type;
+  const std::uint64_t usec =
+      ifc.ticks_per_sec == 1'000'000
+          ? ts
+          : static_cast<std::uint64_t>(
+                static_cast<double>(ts) * 1e6 /
+                static_cast<double>(ifc.ticks_per_sec));
+  Bytes frame(body.begin() + 20, body.begin() + 20 + cap_len);
+  return net::Packet{usec, std::move(frame)};
+}
+
+std::optional<net::Packet> NgReader::parse_simple_packet(ByteView body) {
+  if (body.size() < 4) return std::nullopt;
+  const std::uint32_t orig_len = u32(body.data());
+  const std::size_t cap_len =
+      std::min<std::size_t>(orig_len, body.size() - 4);
+  const Interface ifc = !interfaces_.empty() ? interfaces_[0] : Interface{};
+  last_link_type_ = ifc.link_type;
+  Bytes frame(body.begin() + 4,
+              body.begin() + 4 + static_cast<std::ptrdiff_t>(cap_len));
+  return net::Packet{0, std::move(frame)};  // SPBs carry no timestamp
+}
+
+std::optional<net::Packet> NgReader::next() {
+  for (;;) {
+    std::uint8_t hdr[8];
+    stream_->read(reinterpret_cast<char*>(hdr), sizeof hdr);
+    const auto got = static_cast<std::size_t>(stream_->gcount());
+    if (got == 0) return std::nullopt;  // clean EOF
+    if (got < sizeof hdr) {
+      truncated_ = true;
+      return std::nullopt;
+    }
+
+    // Block type is endian-sensitive except for the SHB, whose type is a
+    // palindrome; total length must be decoded with the SECTION's
+    // endianness — for an SHB we must peek at the BOM first.
+    const std::uint32_t raw_type_le = std::uint32_t{hdr[0]} |
+                                      std::uint32_t{hdr[1]} << 8 |
+                                      std::uint32_t{hdr[2]} << 16 |
+                                      std::uint32_t{hdr[3]} << 24;
+    const bool is_shb = raw_type_le == kNgSectionHeader;
+
+    if (!seen_shb_ && !is_shb) {
+      throw ParseError("pcapng: file does not start with a section header");
+    }
+
+    std::uint32_t total_len;
+    if (is_shb) {
+      // Peek the BOM to learn endianness before trusting total_len.
+      std::uint8_t bom[4];
+      if (!read_exact(bom, 4)) {
+        truncated_ = true;
+        return std::nullopt;
+      }
+      const std::uint32_t bom_le = std::uint32_t{bom[0]} |
+                                   std::uint32_t{bom[1]} << 8 |
+                                   std::uint32_t{bom[2]} << 16 |
+                                   std::uint32_t{bom[3]} << 24;
+      if (bom_le == kNgByteOrderMagic) {
+        swapped_ = false;
+      } else if (bom_le == 0x4d3c2b1a) {
+        swapped_ = true;
+      } else {
+        throw ParseError("pcapng: bad byte-order magic");
+      }
+      total_len = u32(hdr + 4);
+      if (total_len < 28 || total_len % 4 != 0) {
+        throw ParseError("pcapng: bad SHB length");
+      }
+      Bytes body(total_len - 12);  // block minus 8B header and 4B trailer
+      std::copy(bom, bom + 4, body.begin());
+      if (!read_exact(body.data() + 4, body.size() - 4)) {
+        truncated_ = true;
+        return std::nullopt;
+      }
+      std::uint8_t shb_tail[4];
+      if (!read_exact(shb_tail, 4)) {
+        truncated_ = true;
+        return std::nullopt;
+      }
+      parse_section_header(body);
+      continue;
+    }
+
+    const std::uint32_t type = u32(hdr);
+    total_len = u32(hdr + 4);
+    if (total_len < 12 || total_len % 4 != 0 ||
+        total_len > 256u * 1024 * 1024) {
+      truncated_ = true;  // structurally broken: stop
+      return std::nullopt;
+    }
+    Bytes body(total_len - 12);
+    if (!read_exact(body.data(), body.size())) {
+      truncated_ = true;
+      return std::nullopt;
+    }
+    std::uint8_t tail[4];
+    if (!read_exact(tail, 4)) {
+      truncated_ = true;
+      return std::nullopt;
+    }
+
+    switch (type) {
+      case kNgInterfaceDescription:
+        parse_interface_description(body);
+        break;
+      case kNgEnhancedPacket:
+        if (auto p = parse_enhanced_packet(body)) {
+          ++count_;
+          return p;
+        }
+        break;
+      case kNgSimplePacket:
+        if (auto p = parse_simple_packet(body)) {
+          ++count_;
+          return p;
+        }
+        break;
+      default:
+        break;  // statistics, name resolution, custom blocks: skip
+    }
+  }
+}
+
+std::vector<net::Packet> NgReader::read_all() {
+  std::vector<net::Packet> out;
+  while (auto p = next()) out.push_back(std::move(*p));
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+
+namespace {
+
+class ClassicAdapter final : public CaptureReader {
+ public:
+  explicit ClassicAdapter(Reader r) : r_(std::move(r)) {}
+  net::LinkType link_type() const override { return r_.link_type(); }
+  bool truncated() const override { return r_.truncated(); }
+  std::optional<net::Packet> next() override { return r_.next(); }
+
+ private:
+  Reader r_;
+};
+
+class NgAdapter final : public CaptureReader {
+ public:
+  explicit NgAdapter(NgReader r) : r_(std::move(r)) {
+    // pcapng learns its link type from the first IDB, which precedes the
+    // first packet; prefetch one packet so link_type() is meaningful
+    // immediately (symmetry with the classic reader's global header).
+    pending_ = r_.next();
+  }
+  net::LinkType link_type() const override { return r_.link_type(); }
+  bool truncated() const override { return r_.truncated(); }
+  std::optional<net::Packet> next() override {
+    if (pending_) {
+      auto p = std::move(pending_);
+      pending_.reset();
+      return p;
+    }
+    return r_.next();
+  }
+
+ private:
+  NgReader r_;
+  std::optional<net::Packet> pending_;
+};
+
+bool looks_like_ng(const std::uint8_t magic[4]) {
+  return magic[0] == 0x0a && magic[1] == 0x0d && magic[2] == 0x0d &&
+         magic[3] == 0x0a;
+}
+
+}  // namespace
+
+std::unique_ptr<CaptureReader> open_capture(const std::string& path) {
+  std::ifstream probe(path, std::ios::binary);
+  if (!probe) throw IoError("open_capture: cannot open '" + path + "'");
+  std::uint8_t magic[4] = {};
+  probe.read(reinterpret_cast<char*>(magic), 4);
+  probe.close();
+  if (looks_like_ng(magic)) {
+    return std::make_unique<NgAdapter>(NgReader(path));
+  }
+  return std::make_unique<ClassicAdapter>(Reader(path));
+}
+
+std::unique_ptr<CaptureReader> open_capture(Bytes data) {
+  if (data.size() >= 4 && looks_like_ng(data.data())) {
+    return std::make_unique<NgAdapter>(NgReader(std::move(data)));
+  }
+  return std::make_unique<ClassicAdapter>(Reader(std::move(data)));
+}
+
+}  // namespace sdt::pcap

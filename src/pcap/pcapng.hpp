@@ -1,0 +1,86 @@
+// pcapng (the Wireshark-default capture format) reader, implemented from
+// the block-structure specification. Read-only, covering what offline IPS
+// analysis needs: Section Header (both byte orders, multiple sections),
+// Interface Description (link type, if_tsresol), Enhanced and Simple
+// Packet Blocks. Unknown block types are skipped by design.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/headers.hpp"
+#include "net/packet.hpp"
+#include "util/bytes.hpp"
+
+namespace sdt::pcap {
+
+inline constexpr std::uint32_t kNgSectionHeader = 0x0a0d0d0a;
+inline constexpr std::uint32_t kNgInterfaceDescription = 1;
+inline constexpr std::uint32_t kNgSimplePacket = 3;
+inline constexpr std::uint32_t kNgEnhancedPacket = 6;
+inline constexpr std::uint32_t kNgByteOrderMagic = 0x1a2b3c4d;
+
+/// Reads packets from a pcapng stream. Timestamps are normalized to
+/// microseconds using each interface's if_tsresol (default 1e-6).
+class NgReader {
+ public:
+  explicit NgReader(const std::string& path);
+  explicit NgReader(Bytes data);
+
+  /// Link type of the interface packets are returned from. pcapng allows
+  /// per-interface link types; mixed-linktype captures report each packet
+  /// against its own interface via last_link_type().
+  net::LinkType link_type() const { return first_link_type_; }
+  net::LinkType last_link_type() const { return last_link_type_; }
+  bool truncated() const { return truncated_; }
+  std::uint64_t packets_read() const { return count_; }
+
+  std::optional<net::Packet> next();
+  std::vector<net::Packet> read_all();
+
+ private:
+  struct Interface {
+    net::LinkType link_type = net::LinkType::ethernet;
+    /// Ticks per second of this interface's timestamps.
+    std::uint64_t ticks_per_sec = 1'000'000;
+  };
+
+  bool read_exact(std::uint8_t* dst, std::size_t n);
+  std::uint32_t u32(const std::uint8_t* p) const;
+  std::uint16_t u16(const std::uint8_t* p) const;
+  void parse_section_header(ByteView body);
+  void parse_interface_description(ByteView body);
+  std::optional<net::Packet> parse_enhanced_packet(ByteView body);
+  std::optional<net::Packet> parse_simple_packet(ByteView body);
+
+  std::unique_ptr<std::istream> stream_;
+  bool swapped_ = false;
+  bool truncated_ = false;
+  bool seen_shb_ = false;
+  net::LinkType first_link_type_ = net::LinkType::ethernet;
+  net::LinkType last_link_type_ = net::LinkType::ethernet;
+  bool have_first_link_ = false;
+  std::vector<Interface> interfaces_;
+  std::uint64_t count_ = 0;
+};
+
+/// Unified capture access: sniffs the magic and opens classic pcap or
+/// pcapng transparently.
+class CaptureReader {
+ public:
+  virtual ~CaptureReader() = default;
+  virtual net::LinkType link_type() const = 0;
+  virtual bool truncated() const = 0;
+  virtual std::optional<net::Packet> next() = 0;
+};
+
+/// Open any supported capture file. Throws ParseError on an unrecognized
+/// magic, IoError if unreadable.
+std::unique_ptr<CaptureReader> open_capture(const std::string& path);
+/// Same, over an in-memory capture.
+std::unique_ptr<CaptureReader> open_capture(Bytes data);
+
+}  // namespace sdt::pcap

@@ -1,0 +1,52 @@
+// Per-connection TCP reassembly: one TcpReassembler per direction plus the
+// connection-level bookkeeping a conventional IPS keeps for every flow.
+#pragma once
+
+#include "flow/flow_key.hpp"
+#include "net/headers.hpp"
+#include "reassembly/tcp_reassembler.hpp"
+
+namespace sdt::reassembly {
+
+/// Both directions of one TCP connection. This struct *is* the per-flow
+/// state of the conventional IPS; its memory_bytes() is what the E2
+/// experiment weighs against the fast path's 16-byte record.
+class TcpConnection {
+ public:
+  explicit TcpConnection(TcpReassemblerConfig cfg = {})
+      : dirs_{TcpReassembler(cfg), TcpReassembler(cfg)} {}
+
+  TcpConnection(const TcpConnection&) = default;
+  TcpConnection& operator=(const TcpConnection&) = default;
+  TcpConnection(TcpConnection&&) = default;
+  TcpConnection& operator=(TcpConnection&&) = default;
+
+  /// Feed a segment travelling in direction `dir`.
+  SegmentEvent deliver(flow::Direction dir, const net::TcpView& tcp,
+                       ByteView payload) {
+    if (tcp.rst()) closed_ = true;
+    return side(dir).add(tcp.seq(), payload, tcp.syn(), tcp.fin());
+  }
+
+  TcpReassembler& side(flow::Direction dir) {
+    return dirs_[static_cast<std::size_t>(dir)];
+  }
+  const TcpReassembler& side(flow::Direction dir) const {
+    return dirs_[static_cast<std::size_t>(dir)];
+  }
+
+  bool closed() const {
+    return closed_ || (dirs_[0].stream_complete() && dirs_[1].stream_complete());
+  }
+
+  std::size_t memory_bytes() const {
+    return sizeof(*this) - 2 * sizeof(TcpReassembler) +
+           dirs_[0].memory_bytes() + dirs_[1].memory_bytes();
+  }
+
+ private:
+  TcpReassembler dirs_[2];
+  bool closed_ = false;
+};
+
+}  // namespace sdt::reassembly

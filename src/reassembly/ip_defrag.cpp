@@ -1,0 +1,208 @@
+#include "reassembly/ip_defrag.hpp"
+
+#include "net/builder.hpp"
+#include "net/checksum.hpp"
+#include "net/headers.hpp"
+
+namespace sdt::reassembly {
+
+namespace {
+
+/// Defrag contexts are keyed by (src, dst, proto, IP id). We pack that into
+/// a FlowKey directly (no canonicalization — fragments are directional).
+flow::FlowKey defrag_key(const net::Ipv4View& ip) {
+  flow::FlowKey k;
+  k.a_ip = ip.src();
+  k.b_ip = ip.dst();
+  k.a_port = ip.id();
+  k.b_port = 0;
+  k.proto = ip.protocol();
+  return k;
+}
+
+/// Estimated heap cost of one std::map node beyond the payload itself.
+constexpr std::size_t kMapNodeOverhead = 48;
+
+}  // namespace
+
+IpDefragmenter::IpDefragmenter(IpDefragConfig cfg)
+    : cfg_(cfg), table_({cfg.max_pending_datagrams}) {}
+
+std::optional<Bytes> IpDefragmenter::add(const net::PacketView& pv,
+                                         std::uint64_t now_usec) {
+  if (!pv.has_ipv4 || !pv.ipv4.is_fragment()) return std::nullopt;
+  ++stats_.fragments_in;
+
+  const net::Ipv4View& ip = pv.ipv4;
+  const std::size_t off = ip.fragment_offset();
+  const ByteView data = pv.ip_datagram.subspan(ip.header_len());
+
+  if (off + data.size() > cfg_.max_datagram_bytes) {
+    ++stats_.dropped_oversize;
+    return std::nullopt;
+  }
+
+  const bool at_capacity = table_.size() >= cfg_.max_pending_datagrams;
+  bool created = false;
+  Pending& p = table_.get_or_create(defrag_key(ip), now_usec, &created);
+  if (created && at_capacity) ++stats_.dropped_table_full;  // evicted an LRU
+
+  // Keep the offset-zero fragment's header as the rebuild template (fall
+  // back to whichever header arrived first).
+  if (p.header.empty() || off == 0) {
+    ByteView h = pv.ip_datagram.subspan(0, ip.header_len());
+    p.header.assign(h.begin(), h.end());
+  }
+
+  if (!ip.more_fragments()) {
+    const std::size_t end = off + data.size();
+    if (!p.have_last || cfg_.policy == IpOverlapPolicy::last) {
+      p.total_len = end;
+    }
+    p.have_last = true;
+  }
+
+  insert_chunk(p, off, data);
+
+  if (complete(p)) {
+    Bytes out = assemble(p);
+    table_.erase(defrag_key(ip));
+    ++stats_.datagrams_out;
+    return out;
+  }
+  return std::nullopt;
+}
+
+void IpDefragmenter::insert_chunk(Pending& p, std::size_t off, ByteView data) {
+  if (data.empty()) return;
+  std::size_t begin = off;
+  std::size_t end = off + data.size();
+
+  // Find chunks intersecting [begin, end).
+  auto it = p.chunks.lower_bound(begin);
+  if (it != p.chunks.begin()) {
+    auto prev = std::prev(it);
+    if (prev->first + prev->second.size() > begin) it = prev;
+  }
+
+  Bytes incoming(data.begin(), data.end());
+
+  while (it != p.chunks.end() && it->first < end) {
+    const std::size_t c_begin = it->first;
+    const std::size_t c_end = c_begin + it->second.size();
+    if (c_end <= begin) {
+      ++it;
+      continue;
+    }
+    ++stats_.overlaps;
+    if (cfg_.policy == IpOverlapPolicy::first) {
+      // Existing bytes win: carve the incoming range around this chunk.
+      if (c_begin <= begin && c_end >= end) return;  // fully covered
+      if (c_begin > begin) {
+        // Insert the non-overlapped prefix, then continue after the chunk.
+        const std::size_t n = c_begin - begin;
+        Bytes prefix(incoming.begin(), incoming.begin() + static_cast<std::ptrdiff_t>(n));
+        p.byte_count += prefix.size();
+        p.chunks.emplace(begin, std::move(prefix));
+      }
+      if (c_end >= end) return;
+      incoming.erase(incoming.begin(),
+                     incoming.begin() + static_cast<std::ptrdiff_t>(c_end - begin));
+      begin = c_end;
+      ++it;
+    } else {
+      // Incoming bytes win: trim or split the existing chunk.
+      if (c_begin < begin) {
+        const std::size_t keep = begin - c_begin;
+        Bytes tail;
+        if (c_end > end) {
+          tail.assign(it->second.begin() + static_cast<std::ptrdiff_t>(end - c_begin),
+                      it->second.end());
+        }
+        p.byte_count -= it->second.size() - keep;
+        it->second.resize(keep);
+        if (!tail.empty()) {
+          p.byte_count += tail.size();
+          p.chunks.emplace(end, std::move(tail));
+        }
+        ++it;
+      } else if (c_end > end) {
+        // Keep only the suffix beyond the incoming range.
+        Bytes tail(it->second.begin() + static_cast<std::ptrdiff_t>(end - c_begin),
+                   it->second.end());
+        p.byte_count -= end - c_begin;
+        p.chunks.erase(it);
+        p.chunks.emplace(end, std::move(tail));
+        break;  // nothing past `end` can intersect
+      } else {
+        // Fully covered by incoming: drop it.
+        p.byte_count -= it->second.size();
+        it = p.chunks.erase(it);
+      }
+    }
+  }
+
+  if (!incoming.empty()) {
+    p.byte_count += incoming.size();
+    p.chunks.emplace(begin, std::move(incoming));
+  }
+}
+
+bool IpDefragmenter::complete(const Pending& p) {
+  if (!p.have_last || p.total_len == 0) return false;
+  std::size_t expect = 0;
+  for (const auto& [off, chunk] : p.chunks) {
+    if (off > expect) return false;
+    expect = std::max(expect, off + chunk.size());
+    if (expect >= p.total_len) return true;
+  }
+  return expect >= p.total_len;
+}
+
+Bytes IpDefragmenter::assemble(Pending& p) const {
+  // Rebuild: header template with fragmentation cleared + payload bytes.
+  Bytes header = p.header;
+  const std::size_t ihl = static_cast<std::size_t>(header[0] & 0xf) * 4;
+  const std::size_t total = ihl + p.total_len;
+  wr_u16be(header, 2, static_cast<std::uint16_t>(total));
+  // Clear MF and offset, keep DF.
+  const std::uint16_t ff = rd_u16be(header, 6);
+  wr_u16be(header, 6, static_cast<std::uint16_t>(ff & net::kIpFlagDf));
+  wr_u16be(header, 10, 0);
+  const std::uint16_t csum = net::checksum(ByteView(header.data(), ihl));
+  wr_u16be(header, 10, csum);
+
+  Bytes out;
+  out.reserve(total);
+  out.insert(out.end(), header.begin(), header.end());
+  std::size_t copied = 0;
+  for (const auto& [off, chunk] : p.chunks) {
+    if (off >= p.total_len) break;
+    // Chunks are non-overlapping and contiguous through total_len; trim any
+    // bytes past the declared end.
+    const std::size_t take = std::min(chunk.size(), p.total_len - off);
+    out.insert(out.end(), chunk.begin(),
+               chunk.begin() + static_cast<std::ptrdiff_t>(take));
+    copied += take;
+    if (copied >= p.total_len) break;
+  }
+  return out;
+}
+
+std::size_t IpDefragmenter::expire(std::uint64_t now_usec) {
+  return table_.expire_idle(now_usec, cfg_.timeout_usec);
+}
+
+std::size_t IpDefragmenter::memory_bytes() const {
+  std::size_t n = table_.memory_bytes();
+  table_.for_each([&n](const flow::FlowKey&, const Pending& p) {
+    n += p.header.capacity();
+    for (const auto& [off, chunk] : p.chunks) {
+      (void)off;
+      n += chunk.capacity() + kMapNodeOverhead;
+    }
+  });
+  return n;
+}
+
+}  // namespace sdt::reassembly

@@ -1,0 +1,79 @@
+// IPv4 datagram defragmentation with selectable overlap policy.
+//
+// Overlapping fragments are the oldest Ptacek-Newsham ambiguity: different
+// receiving stacks keep different bytes, so an IPS that resolves overlaps
+// differently from the protected host is blind. The policy enum makes the
+// choice explicit; the conventional-IPS slow path defragments with the
+// policy of the protected target.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+
+#include "flow/flow_table.hpp"
+#include "net/packet.hpp"
+#include "util/bytes.hpp"
+
+namespace sdt::reassembly {
+
+enum class IpOverlapPolicy : std::uint8_t {
+  first,  // bytes received first win (BSD-right / Windows behaviour class)
+  last,   // bytes received last win (Cisco IOS / some Linux behaviour class)
+};
+
+struct IpDefragConfig {
+  IpOverlapPolicy policy = IpOverlapPolicy::first;
+  std::size_t max_pending_datagrams = 4096;
+  std::size_t max_datagram_bytes = 65535;
+  std::uint64_t timeout_usec = 30ull * 1000 * 1000;
+};
+
+struct IpDefragStats {
+  std::uint64_t fragments_in = 0;
+  std::uint64_t datagrams_out = 0;
+  std::uint64_t overlaps = 0;
+  std::uint64_t timeouts = 0;
+  std::uint64_t dropped_oversize = 0;
+  std::uint64_t dropped_table_full = 0;
+};
+
+/// Reassembles IPv4 fragments into whole datagrams.
+class IpDefragmenter {
+ public:
+  explicit IpDefragmenter(IpDefragConfig cfg = {});
+
+  /// Feed one fragment (pv.is_fragment() must be true). Returns the rebuilt
+  /// whole datagram (fresh IPv4 header, MF=0, offset=0) once the last hole
+  /// closes, otherwise nullopt.
+  std::optional<Bytes> add(const net::PacketView& pv, std::uint64_t now_usec);
+
+  /// Drop reassembly contexts older than the timeout. Returns count dropped.
+  std::size_t expire(std::uint64_t now_usec);
+
+  const IpDefragStats& stats() const { return stats_; }
+  std::size_t pending() const { return table_.size(); }
+  /// Bytes held across all partial datagrams (buffers + table).
+  std::size_t memory_bytes() const;
+
+ private:
+  struct Pending {
+    // Byte-ranges received so far: offset -> chunk (non-overlapping).
+    std::map<std::size_t, Bytes> chunks;
+    std::size_t total_len = 0;  // known once the MF=0 fragment arrives, else 0
+    std::size_t byte_count = 0;
+    bool have_last = false;
+    // A template of the first fragment's header for rebuilding.
+    Bytes header;
+  };
+
+  void insert_chunk(Pending& p, std::size_t off, ByteView data);
+  static bool complete(const Pending& p);
+  Bytes assemble(Pending& p) const;
+
+  IpDefragConfig cfg_;
+  IpDefragStats stats_;
+  flow::FlowTable<Pending> table_;
+};
+
+}  // namespace sdt::reassembly

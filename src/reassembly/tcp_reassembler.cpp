@@ -1,0 +1,252 @@
+#include "reassembly/tcp_reassembler.hpp"
+
+#include <cstring>
+
+namespace sdt::reassembly {
+
+namespace {
+constexpr std::size_t kMapNodeOverhead = 48;
+}
+
+const char* to_string(TcpOverlapPolicy p) {
+  switch (p) {
+    case TcpOverlapPolicy::first:
+      return "first";
+    case TcpOverlapPolicy::last:
+      return "last";
+    case TcpOverlapPolicy::bsd:
+      return "bsd";
+    case TcpOverlapPolicy::linux_:
+      return "linux";
+    case TcpOverlapPolicy::windows:
+      return "windows";
+    case TcpOverlapPolicy::solaris:
+      return "solaris";
+  }
+  return "unknown";
+}
+
+TcpReassembler::TcpReassembler(TcpReassemblerConfig cfg) : cfg_(cfg) {}
+
+std::uint64_t TcpReassembler::unwrap(std::uint32_t seq) {
+  const std::int32_t d = net::seq_diff(seq, anchor_seq_);
+  const std::uint64_t off = anchor_off_ + static_cast<std::uint64_t>(
+                                              static_cast<std::int64_t>(d));
+  // Advance the anchor to the highest offset seen so the 32-bit window
+  // tracks the stream head.
+  if (static_cast<std::int64_t>(off - anchor_off_) > 0) {
+    anchor_off_ = off;
+    anchor_seq_ = seq;
+  }
+  return off;
+}
+
+SegmentEvent TcpReassembler::add(std::uint32_t seq, ByteView payload,
+                                 bool syn, bool fin) {
+  SegmentEvent ev;
+
+  if (!started_) {
+    started_ = true;
+    // Data begins one past the SYN, at the SYN segment's seq+1; for a
+    // mid-stream capture, at the first segment's seq.
+    anchor_seq_ = syn ? seq + 1 : seq;
+    anchor_off_ = 0;
+    next_emit_ = 0;
+  }
+
+  std::uint64_t off = unwrap(syn ? seq + 1 : seq);
+
+  // A segment can unwrap to before stream offset 0 (data preceding the
+  // first segment of a mid-stream capture). Clip those bytes away.
+  if (static_cast<std::int64_t>(off) < 0) {
+    const std::uint64_t before = 0 - off;
+    if (before >= payload.size()) {
+      ev.accepted = true;
+      ev.retransmission = true;
+      return ev;
+    }
+    payload = payload.subspan(static_cast<std::size_t>(before));
+    off = 0;
+    ev.retransmission = true;
+  }
+
+  if (fin) {
+    saw_fin_ = true;
+    fin_offset_ = off + payload.size();
+  }
+  if (payload.empty()) {
+    ev.accepted = true;
+    return ev;
+  }
+
+  std::uint64_t begin = off;
+  std::uint64_t end = off + payload.size();
+  ByteView data = payload;
+
+  // Clip data already delivered: that part is by definition a
+  // retransmission (possibly a conflicting one, but those bytes are gone —
+  // a conventional IPS has already acted on them).
+  if (begin < next_emit_) {
+    ev.retransmission = true;
+    const std::uint64_t skip = std::min(next_emit_ - begin, static_cast<std::uint64_t>(data.size()));
+    data = data.subspan(static_cast<std::size_t>(skip));
+    begin += skip;
+    if (data.empty()) {
+      ev.accepted = true;
+      return ev;
+    }
+  }
+
+  if (begin > next_emit_) ev.out_of_order = true;
+
+  if (buffered_ + data.size() > cfg_.max_buffered_bytes) {
+    ev.dropped_overflow = true;
+    return ev;
+  }
+
+  insert_piece(begin, data, off, ev);
+  (void)end;
+  ev.accepted = true;
+  return ev;
+}
+
+bool TcpReassembler::new_wins(std::uint64_t new_orig_start,
+                              std::uint64_t new_end, const Chunk& o,
+                              std::uint64_t o_start) const {
+  const std::uint64_t o_end = o_start + o.data.size();
+  switch (cfg_.policy) {
+    case TcpOverlapPolicy::first:
+      return false;
+    case TcpOverlapPolicy::last:
+      return true;
+    case TcpOverlapPolicy::bsd:
+      return new_orig_start < o.orig_start;
+    case TcpOverlapPolicy::linux_:
+      return new_orig_start <= o.orig_start;
+    case TcpOverlapPolicy::windows:
+      return new_orig_start < o.orig_start && new_end >= o_end;
+    case TcpOverlapPolicy::solaris:
+      return new_end > o_end;
+  }
+  return false;
+}
+
+void TcpReassembler::insert_piece(std::uint64_t start, ByteView data,
+                                  std::uint64_t orig_start, SegmentEvent& ev) {
+  std::uint64_t begin = start;
+  const std::uint64_t end = start + data.size();
+
+  auto it = chunks_.lower_bound(begin);
+  if (it != chunks_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->first + prev->second.data.size() > begin) it = prev;
+  }
+
+  // Remaining incoming bytes always span [begin, end); `data` is re-sliced
+  // as the front is consumed.
+  auto advance_to = [&](std::uint64_t new_begin) {
+    data = data.subspan(static_cast<std::size_t>(new_begin - begin));
+    begin = new_begin;
+  };
+
+  while (it != chunks_.end() && it->first < end && !data.empty()) {
+    const std::uint64_t c_begin = it->first;
+    Chunk& c = it->second;
+    const std::uint64_t c_end = c_begin + c.data.size();
+    if (c_end <= begin) {
+      ++it;
+      continue;
+    }
+
+    ev.overlap = true;
+
+    // Compare overlapping bytes to detect inconsistent retransmission.
+    const std::uint64_t ov_begin = std::max(begin, c_begin);
+    const std::uint64_t ov_end = std::min(end, c_end);
+    const std::size_t ov_len = static_cast<std::size_t>(ov_end - ov_begin);
+    const std::uint8_t* new_p =
+        data.data() + static_cast<std::size_t>(ov_begin - begin);
+    const std::uint8_t* old_p =
+        c.data.data() + static_cast<std::size_t>(ov_begin - c_begin);
+    if (std::memcmp(new_p, old_p, ov_len) != 0) {
+      ev.conflicting_overlap = true;
+      conflicting_bytes_ += ov_len;
+    }
+
+    if (new_wins(orig_start, end, c, c_begin)) {
+      // Trim / split the old chunk around the incoming range.
+      if (c_begin < begin) {
+        // Keep old prefix [c_begin, begin); re-key the remainder handled below.
+        const std::size_t keep = static_cast<std::size_t>(begin - c_begin);
+        Bytes tail;
+        if (c_end > end) {
+          tail.assign(c.data.begin() + static_cast<std::ptrdiff_t>(end - c_begin),
+                      c.data.end());
+        }
+        buffered_ -= c.data.size() - keep;
+        c.data.resize(keep);
+        if (!tail.empty()) {
+          buffered_ += tail.size();
+          const std::uint64_t tail_orig = c.orig_start;
+          it = chunks_.emplace(end, Chunk{std::move(tail), tail_orig}).first;
+        } else {
+          ++it;
+        }
+      } else if (c_end > end) {
+        // Keep old suffix [end, c_end).
+        Bytes tail(c.data.begin() + static_cast<std::ptrdiff_t>(end - c_begin),
+                   c.data.end());
+        const std::uint64_t tail_orig = c.orig_start;
+        buffered_ -= static_cast<std::size_t>(end - c_begin);
+        chunks_.erase(it);
+        it = chunks_.emplace(end, Chunk{std::move(tail), tail_orig}).first;
+      } else {
+        // Old chunk fully covered: drop it.
+        buffered_ -= c.data.size();
+        it = chunks_.erase(it);
+      }
+    } else {
+      // Old bytes win: emit the incoming prefix before the old chunk, then
+      // skip past it.
+      if (c_begin > begin) {
+        const std::size_t n = static_cast<std::size_t>(c_begin - begin);
+        buffered_ += n;
+        chunks_.emplace(begin,
+                        Chunk{Bytes(data.begin(),
+                                    data.begin() + static_cast<std::ptrdiff_t>(n)),
+                              orig_start});
+      }
+      if (c_end >= end) return;  // rest of incoming fully covered
+      advance_to(c_end);
+      ++it;
+    }
+  }
+
+  if (!data.empty()) {
+    buffered_ += data.size();
+    chunks_.emplace(begin, Chunk{Bytes(data.begin(), data.end()), orig_start});
+  }
+}
+
+Bytes TcpReassembler::read_available() {
+  Bytes out;
+  auto it = chunks_.begin();
+  while (it != chunks_.end() && it->first == next_emit_) {
+    out.insert(out.end(), it->second.data.begin(), it->second.data.end());
+    next_emit_ += it->second.data.size();
+    buffered_ -= it->second.data.size();
+    it = chunks_.erase(it);
+  }
+  return out;
+}
+
+std::size_t TcpReassembler::memory_bytes() const {
+  std::size_t n = sizeof(*this);
+  for (const auto& [off, c] : chunks_) {
+    (void)off;
+    n += c.data.capacity() + sizeof(Chunk) + kMapNodeOverhead;
+  }
+  return n;
+}
+
+}  // namespace sdt::reassembly

@@ -1,0 +1,131 @@
+// Single-direction TCP stream reassembly with target-based overlap policies.
+//
+// This is the stateful machinery the paper argues a >10 Gbps fast path
+// cannot afford: per-flow segment buffers, ordered chunk maps, and
+// policy-dependent conflict resolution. It serves three roles here:
+//   1. substrate of the conventional-IPS baseline (and Split-Detect's slow
+//      path),
+//   2. the memory yardstick for the E2 state experiment,
+//   3. the demonstrator for E9 (the same hostile segment sequence yields
+//      different byte streams under different policies — the root
+//      Ptacek-Newsham ambiguity).
+//
+// The six policies implement the well-known *behaviour classes* of overlap
+// resolution (first/BSD/Linux/Windows/Solaris/last). They are faithful to
+// the published target-based reassembly classification at the granularity
+// of "which segment wins an overlapping byte range given their starting
+// points", which is the property the evasion experiments exercise.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "net/seq.hpp"
+#include "util/bytes.hpp"
+
+namespace sdt::reassembly {
+
+enum class TcpOverlapPolicy : std::uint8_t {
+  first,    // existing bytes always win
+  last,     // newest bytes always win
+  bsd,      // new wins only where the new segment starts strictly earlier
+  linux_,   // new wins where the new segment starts earlier or at the same seq
+  windows,  // new wins only when it starts earlier AND covers the old chunk
+  solaris,  // new wins when it extends past the old chunk's end
+};
+
+const char* to_string(TcpOverlapPolicy p);
+
+struct TcpReassemblerConfig {
+  TcpOverlapPolicy policy = TcpOverlapPolicy::bsd;
+  /// Cap on buffered out-of-order bytes per direction (conventional IPS
+  /// memory guard; segments past the cap are dropped and counted).
+  std::size_t max_buffered_bytes = 1 << 20;
+};
+
+/// What the reassembler observed about one incoming segment. These are the
+/// signals a normalizing IPS alerts on, and the ground truth the fast-path
+/// anomaly detectors approximate.
+struct SegmentEvent {
+  bool accepted = false;
+  bool out_of_order = false;        // created or extended a hole
+  bool retransmission = false;      // overlapped already-delivered data
+  bool overlap = false;             // overlapped buffered data
+  bool conflicting_overlap = false; // overlapped with *different* bytes
+  bool dropped_overflow = false;    // rejected by the buffer cap
+};
+
+/// Reassembles one direction of one TCP connection into an in-order byte
+/// stream. Sequence numbers are unwrapped internally to 64-bit stream
+/// offsets, so multi-gigabyte streams and seq wraparound are handled.
+class TcpReassembler {
+ public:
+  explicit TcpReassembler(TcpReassemblerConfig cfg = {});
+
+  /// Feed one segment. `syn`/`fin` describe the segment's flags (SYN and FIN
+  /// each occupy one sequence number).
+  SegmentEvent add(std::uint32_t seq, ByteView payload, bool syn, bool fin);
+
+  /// Pin stream offset 0 to sequence number `seq` before any segment is
+  /// fed. Used by mid-stream takeover: the fast path hands over its
+  /// expected-next sequence number, so bytes it already forwarded unwrap to
+  /// negative offsets and are clipped as already-delivered.
+  void set_base(std::uint32_t seq) {
+    started_ = true;
+    anchor_seq_ = seq;
+    anchor_off_ = 0;
+    next_emit_ = 0;
+  }
+
+  /// True once the stream origin is pinned (by set_base or a first segment).
+  bool started() const { return started_; }
+
+  /// Contiguous bytes now available in order. Consumes them.
+  Bytes read_available();
+
+  /// Stream offset of the next byte read_available() will deliver.
+  std::uint64_t next_emit_offset() const { return next_emit_; }
+
+  /// True once FIN's position has been reached by delivery.
+  bool stream_complete() const { return saw_fin_ && next_emit_ >= fin_offset_; }
+  bool saw_fin() const { return saw_fin_; }
+
+  std::size_t buffered_bytes() const { return buffered_; }
+  std::size_t buffered_chunks() const { return chunks_.size(); }
+
+  /// Heap footprint of this direction's reassembly state.
+  std::size_t memory_bytes() const;
+
+  std::uint64_t conflicting_bytes() const { return conflicting_bytes_; }
+
+ private:
+  struct Chunk {
+    Bytes data;
+    std::uint64_t orig_start;  // stream offset where the carrying segment began
+  };
+
+  /// Map incoming 32-bit seq to a 64-bit stream offset near the last seen.
+  std::uint64_t unwrap(std::uint32_t seq);
+
+  /// Should the new segment's bytes win over chunk `o` for their overlap?
+  bool new_wins(std::uint64_t new_orig_start, std::uint64_t new_end,
+                const Chunk& o, std::uint64_t o_start) const;
+
+  void insert_piece(std::uint64_t start, ByteView data,
+                    std::uint64_t orig_start, SegmentEvent& ev);
+
+  TcpReassemblerConfig cfg_;
+  bool started_ = false;
+  std::uint32_t anchor_seq_ = 0;   // 32-bit seq corresponding to anchor_off_
+  std::uint64_t anchor_off_ = 0;
+  std::uint64_t next_emit_ = 0;
+  bool saw_fin_ = false;
+  std::uint64_t fin_offset_ = 0;
+  std::size_t buffered_ = 0;
+  std::uint64_t conflicting_bytes_ = 0;
+  // Non-overlapping buffered chunks keyed by current start offset.
+  std::map<std::uint64_t, Chunk> chunks_;
+};
+
+}  // namespace sdt::reassembly

@@ -1,0 +1,46 @@
+// Line-rate feasibility model: converts measured per-byte costs and
+// per-flow state into the deployment-level quantities the paper argues
+// about — cores needed at 10/20 Gbps, memory at 1M connections.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace sdt::sim {
+
+struct LineRateEstimate {
+  double target_gbps = 0.0;
+  double measured_ns_per_byte = 0.0;
+  double gbps_per_core = 0.0;
+  double cores_needed = 0.0;
+};
+
+/// Cores needed to sustain `target_gbps` given a measured per-byte cost.
+inline LineRateEstimate cores_for_line_rate(double target_gbps,
+                                            double ns_per_byte) {
+  LineRateEstimate e;
+  e.target_gbps = target_gbps;
+  e.measured_ns_per_byte = ns_per_byte;
+  e.gbps_per_core = ns_per_byte > 0.0 ? 8.0 / ns_per_byte : 0.0;
+  e.cores_needed = e.gbps_per_core > 0.0 ? target_gbps / e.gbps_per_core : 0.0;
+  return e;
+}
+
+struct StateEstimate {
+  std::uint64_t connections = 0;
+  double bytes_per_flow = 0.0;
+  double total_bytes = 0.0;
+};
+
+/// Memory to track `connections` concurrent flows at a measured per-flow
+/// cost (the paper's 1M-connection sizing).
+inline StateEstimate state_for_connections(std::uint64_t connections,
+                                           double bytes_per_flow) {
+  StateEstimate e;
+  e.connections = connections;
+  e.bytes_per_flow = bytes_per_flow;
+  e.total_bytes = static_cast<double>(connections) * bytes_per_flow;
+  return e;
+}
+
+}  // namespace sdt::sim

@@ -1,0 +1,44 @@
+#include "sim/sharding.hpp"
+
+#include "util/error.hpp"
+
+namespace sdt::sim {
+
+std::vector<std::vector<net::Packet>> shard_by_address_pair(
+    const std::vector<net::Packet>& pkts, std::size_t lanes,
+    net::LinkType lt) {
+  if (lanes == 0) throw InvalidArgument("shard_by_address_pair: lanes == 0");
+  std::vector<std::vector<net::Packet>> out(lanes);
+  for (const net::Packet& p : pkts) {
+    const auto pv = net::PacketView::parse(p.frame, lt);
+    std::size_t lane = 0;
+    if (pv.has_ipv4) {
+      // Direction-independent: mix each address, combine commutatively so
+      // both directions of a conversation land in the same lane.
+      const std::uint64_t pair = mix64(pv.ipv4.src().value()) ^
+                                 mix64(pv.ipv4.dst().value());
+      lane = static_cast<std::size_t>(mix64(pair) % lanes);
+    }
+    out[lane].push_back(p);
+  }
+  return out;
+}
+
+LaneScalingReport lane_scaling(
+    const std::function<std::unique_ptr<Detector>()>& make_detector,
+    const std::vector<net::Packet>& pkts, std::size_t lanes,
+    net::LinkType lt) {
+  LaneScalingReport rep;
+  rep.lanes = lanes;
+  const auto shards = shard_by_address_pair(pkts, lanes, lt);
+  for (const auto& shard : shards) {
+    auto det = make_detector();
+    ReplayResult r = replay(*det, shard, lt);
+    rep.total_bytes += r.bytes;
+    rep.total_alerts += r.alerts;
+    rep.per_lane.push_back(std::move(r));
+  }
+  return rep;
+}
+
+}  // namespace sdt::sim

@@ -1,0 +1,63 @@
+// Lane sharding: the deployment shape behind "reasonable cost
+// implementations at 20 Gbps" — several detector lanes behind a flow-hash
+// load balancer, each lane owning its flows outright (no shared state, no
+// locks; the design every line-card IPS uses).
+//
+// Packets are partitioned by a hash of (src ip, dst ip): address-pair
+// affinity keeps every packet of a flow — including IP fragments, which
+// have no port fields — in one lane. The simulator runs the lanes
+// sequentially and reports the *bottleneck* lane, which is what bounds a
+// parallel deployment's line rate.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "sim/replay.hpp"
+#include "util/hash.hpp"
+
+namespace sdt::sim {
+
+struct LaneScalingReport {
+  std::size_t lanes = 0;
+  std::vector<ReplayResult> per_lane;
+  std::uint64_t total_bytes = 0;
+  std::uint64_t total_alerts = 0;
+
+  /// Wall time of the busiest lane — the parallel deployment's critical path.
+  std::uint64_t bottleneck_ns() const {
+    std::uint64_t m = 0;
+    for (const auto& r : per_lane) m = std::max(m, r.wall_ns);
+    return m;
+  }
+  /// Aggregate sustainable rate with all lanes running concurrently.
+  double aggregate_gbps() const {
+    const std::uint64_t ns = bottleneck_ns();
+    return ns ? static_cast<double>(total_bytes) * 8.0 /
+                    static_cast<double>(ns)
+              : 0.0;
+  }
+  /// Byte-load imbalance: busiest lane / ideal share.
+  double imbalance() const {
+    std::uint64_t m = 0;
+    for (const auto& r : per_lane) m = std::max(m, r.bytes);
+    const double ideal =
+        static_cast<double>(total_bytes) / static_cast<double>(lanes);
+    return ideal > 0 ? static_cast<double>(m) / ideal : 0.0;
+  }
+};
+
+/// Split `pkts` into per-lane streams by address-pair hash.
+std::vector<std::vector<net::Packet>> shard_by_address_pair(
+    const std::vector<net::Packet>& pkts, std::size_t lanes,
+    net::LinkType lt = net::LinkType::raw_ipv4);
+
+/// Run one independent detector per lane and measure each.
+LaneScalingReport lane_scaling(
+    const std::function<std::unique_ptr<Detector>()>& make_detector,
+    const std::vector<net::Packet>& pkts, std::size_t lanes,
+    net::LinkType lt = net::LinkType::raw_ipv4);
+
+}  // namespace sdt::sim

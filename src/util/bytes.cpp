@@ -1,0 +1,50 @@
+#include "util/bytes.hpp"
+
+#include <array>
+#include <cctype>
+
+namespace sdt {
+
+std::string hex_dump(ByteView b, std::size_t max_bytes) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out;
+  const std::size_t n = std::min(b.size(), max_bytes);
+  out.reserve(n * 3 + 8);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i != 0) out.push_back(' ');
+    out.push_back(kHex[b[i] >> 4]);
+    out.push_back(kHex[b[i] & 0xf]);
+  }
+  if (b.size() > max_bytes) out += " ...";
+  return out;
+}
+
+namespace {
+int hex_digit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+}  // namespace
+
+Bytes from_hex(std::string_view hex) {
+  Bytes out;
+  out.reserve(hex.size() / 2);
+  int hi = -1;
+  for (char c : hex) {
+    if (std::isspace(static_cast<unsigned char>(c))) continue;
+    const int d = hex_digit(c);
+    if (d < 0) throw ParseError(std::string("from_hex: bad character '") + c + "'");
+    if (hi < 0) {
+      hi = d;
+    } else {
+      out.push_back(static_cast<std::uint8_t>((hi << 4) | d));
+      hi = -1;
+    }
+  }
+  if (hi >= 0) throw ParseError("from_hex: odd number of hex digits");
+  return out;
+}
+
+}  // namespace sdt

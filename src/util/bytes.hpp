@@ -1,0 +1,211 @@
+// Byte-buffer primitives: views, owned buffers, bounds-checked big-endian
+// readers/writers, and hex helpers.
+//
+// All packet-facing interfaces in this project traffic in ByteView /
+// MutableByteView (std::span) rather than (pointer, length) pairs.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace sdt {
+
+using ByteView = std::span<const std::uint8_t>;
+using MutableByteView = std::span<std::uint8_t>;
+using Bytes = std::vector<std::uint8_t>;
+
+/// Bytes of an ASCII string (no terminating NUL).
+inline Bytes to_bytes(std::string_view s) {
+  return Bytes(s.begin(), s.end());
+}
+
+/// View over an ASCII string's bytes. The string must outlive the view.
+inline ByteView view_of(std::string_view s) {
+  return ByteView(reinterpret_cast<const std::uint8_t*>(s.data()), s.size());
+}
+
+inline std::string to_string(ByteView b) {
+  return std::string(reinterpret_cast<const char*>(b.data()), b.size());
+}
+
+inline bool equal(ByteView a, ByteView b) {
+  return a.size() == b.size() &&
+         (a.empty() || std::memcmp(a.data(), b.data(), a.size()) == 0);
+}
+
+// ---------------------------------------------------------------------------
+// Unchecked fixed-offset big-endian accessors. Callers must have validated
+// bounds (PacketView does so once per layer).
+// ---------------------------------------------------------------------------
+
+inline std::uint8_t rd_u8(ByteView b, std::size_t off) { return b[off]; }
+
+inline std::uint16_t rd_u16be(ByteView b, std::size_t off) {
+  return static_cast<std::uint16_t>((std::uint16_t{b[off]} << 8) | b[off + 1]);
+}
+
+inline std::uint32_t rd_u32be(ByteView b, std::size_t off) {
+  return (std::uint32_t{b[off]} << 24) | (std::uint32_t{b[off + 1]} << 16) |
+         (std::uint32_t{b[off + 2]} << 8) | std::uint32_t{b[off + 3]};
+}
+
+inline void wr_u8(MutableByteView b, std::size_t off, std::uint8_t v) {
+  b[off] = v;
+}
+
+inline void wr_u16be(MutableByteView b, std::size_t off, std::uint16_t v) {
+  b[off] = static_cast<std::uint8_t>(v >> 8);
+  b[off + 1] = static_cast<std::uint8_t>(v & 0xff);
+}
+
+inline void wr_u32be(MutableByteView b, std::size_t off, std::uint32_t v) {
+  b[off] = static_cast<std::uint8_t>(v >> 24);
+  b[off + 1] = static_cast<std::uint8_t>((v >> 16) & 0xff);
+  b[off + 2] = static_cast<std::uint8_t>((v >> 8) & 0xff);
+  b[off + 3] = static_cast<std::uint8_t>(v & 0xff);
+}
+
+// ---------------------------------------------------------------------------
+// Bounds-checked sequential reader (file formats, options walks).
+// ---------------------------------------------------------------------------
+
+/// Sequential reader over a ByteView. Reads advance a cursor; running past
+/// the end throws ParseError (file-format code) — use remaining()/can_read()
+/// to probe first where errors are expected.
+class ByteReader {
+ public:
+  explicit ByteReader(ByteView data) : data_(data) {}
+
+  std::size_t offset() const { return off_; }
+  std::size_t remaining() const { return data_.size() - off_; }
+  bool can_read(std::size_t n) const { return remaining() >= n; }
+
+  std::uint8_t u8() {
+    require(1);
+    return data_[off_++];
+  }
+  std::uint16_t u16be() {
+    require(2);
+    auto v = rd_u16be(data_, off_);
+    off_ += 2;
+    return v;
+  }
+  std::uint32_t u32be() {
+    require(4);
+    auto v = rd_u32be(data_, off_);
+    off_ += 4;
+    return v;
+  }
+  std::uint16_t u16le() {
+    require(2);
+    auto v = static_cast<std::uint16_t>(std::uint16_t{data_[off_]} |
+                                        (std::uint16_t{data_[off_ + 1]} << 8));
+    off_ += 2;
+    return v;
+  }
+  std::uint32_t u32le() {
+    require(4);
+    auto v = std::uint32_t{data_[off_]} | (std::uint32_t{data_[off_ + 1]} << 8) |
+             (std::uint32_t{data_[off_ + 2]} << 16) |
+             (std::uint32_t{data_[off_ + 3]} << 24);
+    off_ += 4;
+    return v;
+  }
+
+  ByteView bytes(std::size_t n) {
+    require(n);
+    ByteView v = data_.subspan(off_, n);
+    off_ += n;
+    return v;
+  }
+
+  void skip(std::size_t n) {
+    require(n);
+    off_ += n;
+  }
+
+ private:
+  void require(std::size_t n) const {
+    if (remaining() < n) {
+      throw ParseError("ByteReader: truncated input (need " +
+                       std::to_string(n) + " bytes, have " +
+                       std::to_string(remaining()) + ")");
+    }
+  }
+
+  ByteView data_;
+  std::size_t off_ = 0;
+};
+
+/// Sequential appender building an owned byte buffer.
+class ByteWriter {
+ public:
+  ByteWriter() = default;
+  explicit ByteWriter(std::size_t reserve) { buf_.reserve(reserve); }
+
+  std::size_t size() const { return buf_.size(); }
+
+  ByteWriter& u8(std::uint8_t v) {
+    buf_.push_back(v);
+    return *this;
+  }
+  ByteWriter& u16be(std::uint16_t v) {
+    buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+    buf_.push_back(static_cast<std::uint8_t>(v & 0xff));
+    return *this;
+  }
+  ByteWriter& u32be(std::uint32_t v) {
+    buf_.push_back(static_cast<std::uint8_t>(v >> 24));
+    buf_.push_back(static_cast<std::uint8_t>((v >> 16) & 0xff));
+    buf_.push_back(static_cast<std::uint8_t>((v >> 8) & 0xff));
+    buf_.push_back(static_cast<std::uint8_t>(v & 0xff));
+    return *this;
+  }
+  ByteWriter& u16le(std::uint16_t v) {
+    buf_.push_back(static_cast<std::uint8_t>(v & 0xff));
+    buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+    return *this;
+  }
+  ByteWriter& u32le(std::uint32_t v) {
+    buf_.push_back(static_cast<std::uint8_t>(v & 0xff));
+    buf_.push_back(static_cast<std::uint8_t>((v >> 8) & 0xff));
+    buf_.push_back(static_cast<std::uint8_t>((v >> 16) & 0xff));
+    buf_.push_back(static_cast<std::uint8_t>(v >> 24));
+    return *this;
+  }
+  ByteWriter& bytes(ByteView v) {
+    buf_.insert(buf_.end(), v.begin(), v.end());
+    return *this;
+  }
+  ByteWriter& fill(std::size_t n, std::uint8_t v) {
+    buf_.insert(buf_.end(), n, v);
+    return *this;
+  }
+
+  /// Patch a previously written big-endian u16 in place.
+  void patch_u16be(std::size_t off, std::uint16_t v) {
+    wr_u16be(buf_, off, v);
+  }
+
+  Bytes take() { return std::move(buf_); }
+  ByteView view() const { return buf_; }
+
+ private:
+  Bytes buf_;
+};
+
+/// "de ad be ef"-style dump, for diagnostics and test failure messages.
+std::string hex_dump(ByteView b, std::size_t max_bytes = 64);
+
+/// Parse a hex string ("deadbeef", whitespace permitted) into bytes.
+/// Throws ParseError on odd length or non-hex characters.
+Bytes from_hex(std::string_view hex);
+
+}  // namespace sdt

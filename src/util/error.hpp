@@ -1,0 +1,37 @@
+// Error hierarchy shared by all splitdetect libraries.
+//
+// Construction-time and I/O failures throw; hot-path parsing returns
+// std::optional / error enums instead (see net/packet_view.hpp) so that the
+// fast path never pays for exception machinery on malformed input.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace sdt {
+
+/// Base class for all errors thrown by splitdetect libraries.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A byte sequence could not be decoded (bad header, truncated record, ...).
+class ParseError : public Error {
+ public:
+  explicit ParseError(const std::string& what) : Error(what) {}
+};
+
+/// A file could not be opened / read / written.
+class IoError : public Error {
+ public:
+  explicit IoError(const std::string& what) : Error(what) {}
+};
+
+/// An argument violated a documented precondition.
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+}  // namespace sdt

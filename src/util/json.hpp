@@ -1,0 +1,138 @@
+// Minimal JSON writer — enough for stats/report export without a
+// dependency. Handles string escaping and nesting; the caller provides
+// well-formed begin/end pairing (asserted in debug builds via the depth
+// bookkeeping).
+#pragma once
+
+#include <cassert>
+#include <cstdio>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace sdt {
+
+class JsonWriter {
+ public:
+  JsonWriter& begin_object() {
+    separator();
+    out_.push_back('{');
+    fresh_ = true;
+    ++depth_;
+    return *this;
+  }
+  JsonWriter& end_object() {
+    assert(depth_ > 0);
+    out_.push_back('}');
+    fresh_ = false;
+    --depth_;
+    return *this;
+  }
+  JsonWriter& begin_array() {
+    separator();
+    out_.push_back('[');
+    fresh_ = true;
+    ++depth_;
+    return *this;
+  }
+  JsonWriter& end_array() {
+    assert(depth_ > 0);
+    out_.push_back(']');
+    fresh_ = false;
+    --depth_;
+    return *this;
+  }
+
+  JsonWriter& key(std::string_view k) {
+    separator();
+    quote(k);
+    out_.push_back(':');
+    fresh_ = true;  // the value follows without a comma
+    return *this;
+  }
+
+  JsonWriter& value(std::string_view v) {
+    separator();
+    quote(v);
+    return *this;
+  }
+  JsonWriter& value(const char* v) { return value(std::string_view(v)); }
+  JsonWriter& value(std::uint64_t v) {
+    separator();
+    out_ += std::to_string(v);
+    return *this;
+  }
+  JsonWriter& value(std::int64_t v) {
+    separator();
+    out_ += std::to_string(v);
+    return *this;
+  }
+  JsonWriter& value(double v) {
+    separator();
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.6g", v);
+    out_ += buf;
+    return *this;
+  }
+  JsonWriter& value(bool v) {
+    separator();
+    out_ += v ? "true" : "false";
+    return *this;
+  }
+
+  /// key + scalar in one call.
+  template <typename T>
+  JsonWriter& field(std::string_view k, T v) {
+    key(k);
+    return value(v);
+  }
+
+  const std::string& str() const {
+    assert(depth_ == 0);
+    return out_;
+  }
+
+ private:
+  void separator() {
+    if (!fresh_) out_.push_back(',');
+    fresh_ = false;
+  }
+
+  void quote(std::string_view s) {
+    out_.push_back('"');
+    for (const char c : s) {
+      switch (c) {
+        case '"':
+          out_ += "\\\"";
+          break;
+        case '\\':
+          out_ += "\\\\";
+          break;
+        case '\n':
+          out_ += "\\n";
+          break;
+        case '\r':
+          out_ += "\\r";
+          break;
+        case '\t':
+          out_ += "\\t";
+          break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof buf, "\\u%04x", static_cast<unsigned char>(c));
+            out_ += buf;
+          } else {
+            out_.push_back(c);
+          }
+      }
+    }
+    out_.push_back('"');
+  }
+
+  std::string out_;
+  bool fresh_ = true;
+  int depth_ = 0;
+};
+
+}  // namespace sdt

@@ -1,0 +1,20 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+namespace sdt {
+
+std::uint64_t Rng::pareto(double alpha, std::uint64_t lo, std::uint64_t hi) {
+  if (lo >= hi) return lo;
+  // Bounded Pareto inverse transform on [lo, hi].
+  const double l = static_cast<double>(lo);
+  const double h = static_cast<double>(hi);
+  const double u = uniform();
+  const double la = std::pow(l, alpha);
+  const double ha = std::pow(h, alpha);
+  const double x = std::pow(-(u * ha - u * la - ha) / (ha * la), -1.0 / alpha);
+  const auto v = static_cast<std::uint64_t>(x);
+  return v < lo ? lo : (v > hi ? hi : v);
+}
+
+}  // namespace sdt

@@ -1,0 +1,119 @@
+// Small statistics helpers shared by the simulator, benches and tests:
+// streaming mean/variance, fixed-bucket histograms with quantiles, and
+// human-readable unit formatting.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace sdt {
+
+/// Welford streaming mean / variance / min / max.
+class RunningStats {
+ public:
+  void add(double x) {
+    ++n_;
+    const double d = x - mean_;
+    mean_ += d / static_cast<double>(n_);
+    m2_ += d * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+
+  std::uint64_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const { return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0; }
+  double stddev() const { return std::sqrt(variance()); }
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Exact-quantile histogram: stores samples, sorts lazily. Fine for the
+/// bench/e2e scale used here (≤ a few million samples).
+class Histogram {
+ public:
+  void add(double x) {
+    samples_.push_back(x);
+    sorted_ = false;
+  }
+
+  std::size_t count() const { return samples_.size(); }
+
+  double quantile(double q) {
+    if (samples_.empty()) return 0.0;
+    sort_once();
+    const double pos = q * static_cast<double>(samples_.size() - 1);
+    const auto lo = static_cast<std::size_t>(pos);
+    const std::size_t hi = std::min(lo + 1, samples_.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+  }
+
+  double mean() const {
+    if (samples_.empty()) return 0.0;
+    double s = 0.0;
+    for (double x : samples_) s += x;
+    return s / static_cast<double>(samples_.size());
+  }
+
+ private:
+  void sort_once() {
+    if (!sorted_) {
+      std::sort(samples_.begin(), samples_.end());
+      sorted_ = true;
+    }
+  }
+
+  std::vector<double> samples_;
+  bool sorted_ = true;
+};
+
+/// "12.3 K" / "4.56 M" / "7.89 G" formatting for bench tables.
+inline std::string human_count(double v) {
+  const char* suffix = "";
+  if (v >= 1e9) {
+    v /= 1e9;
+    suffix = " G";
+  } else if (v >= 1e6) {
+    v /= 1e6;
+    suffix = " M";
+  } else if (v >= 1e3) {
+    v /= 1e3;
+    suffix = " K";
+  }
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.3g%s", v, suffix);
+  return buf;
+}
+
+/// Bytes with IEC suffix ("1.5 MiB").
+inline std::string human_bytes(double v) {
+  const char* suffix = " B";
+  if (v >= 1024.0 * 1024.0 * 1024.0) {
+    v /= 1024.0 * 1024.0 * 1024.0;
+    suffix = " GiB";
+  } else if (v >= 1024.0 * 1024.0) {
+    v /= 1024.0 * 1024.0;
+    suffix = " MiB";
+  } else if (v >= 1024.0) {
+    v /= 1024.0;
+    suffix = " KiB";
+  }
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.3g%s", v, suffix);
+  return buf;
+}
+
+}  // namespace sdt

@@ -1,0 +1,292 @@
+#include "core/fast_path.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/builder.hpp"
+
+namespace sdt::core {
+namespace {
+
+constexpr std::size_t kP = 4;  // piece length for these tests
+// min payload threshold = 2p-1 = 7
+
+SignatureSet test_sigs() {
+  SignatureSet s;
+  s.add("sig", std::string_view("EVIL_SIGNATURE_BYTES"));  // L=20
+  return s;
+}
+
+FastPathConfig test_cfg() {
+  FastPathConfig cfg;
+  cfg.piece_len = kP;
+  return cfg;
+}
+
+struct PacketMaker {
+  net::Ipv4Addr src{10, 0, 0, 1};
+  net::Ipv4Addr dst{10, 0, 0, 2};
+  std::uint16_t sport = 4000;
+  std::uint16_t dport = 80;
+
+  net::PacketView make(std::uint32_t seq, ByteView payload,
+                       std::uint8_t flags = net::kTcpAck) {
+    net::Ipv4Spec ip{.src = src, .dst = dst};
+    net::TcpSpec t{.src_port = sport,
+                   .dst_port = dport,
+                   .seq = seq,
+                   .flags = flags};
+    store_.push_back(net::build_tcp_packet(ip, t, payload));
+    return net::PacketView::parse(store_.back(), net::LinkType::raw_ipv4);
+  }
+
+  std::vector<Bytes> store_;
+};
+
+TEST(FastPath, FlowRecordIsSixteenBytes) {
+  EXPECT_EQ(sizeof(FastFlowState), 16u);
+}
+
+TEST(FastPath, CleanLargeInOrderSegmentsForward) {
+  const SignatureSet sigs = test_sigs();
+  FastPath fp(sigs, test_cfg());
+  PacketMaker pm;
+  std::uint32_t seq = 100;
+  for (int i = 0; i < 10; ++i) {
+    const Bytes payload(100, static_cast<std::uint8_t>('a' + i));
+    const FastDecision d = fp.process(pm.make(seq, payload), 1000);
+    EXPECT_EQ(d.action, Action::forward) << i;
+    seq += 100;
+  }
+  EXPECT_EQ(fp.stats().flows_diverted, 0u);
+  EXPECT_EQ(fp.flows(), 1u);
+}
+
+TEST(FastPath, PieceInPayloadDiverts) {
+  const SignatureSet sigs = test_sigs();
+  FastPath fp(sigs, test_cfg());
+  PacketMaker pm;
+  // Payload contains the piece "EVIL" (offset 0 of the signature).
+  const Bytes payload = to_bytes("xxxxEVILxxxx");
+  const FastDecision d = fp.process(pm.make(1, payload), 0);
+  EXPECT_EQ(d.action, Action::divert);
+  EXPECT_EQ(d.reason, DivertReason::piece_match);
+  ASSERT_TRUE(d.takeover.has_value());
+  EXPECT_EQ(fp.stats().piece_hits, 1u);
+}
+
+TEST(FastPath, DivertedFlowStaysDiverted) {
+  const SignatureSet sigs = test_sigs();
+  FastPath fp(sigs, test_cfg());
+  PacketMaker pm;
+  fp.process(pm.make(1, to_bytes("withEVILpiece")), 0);
+  const FastDecision d = fp.process(pm.make(100, Bytes(50, 'x')), 1);
+  EXPECT_EQ(d.action, Action::divert);
+  EXPECT_EQ(d.reason, DivertReason::already_diverted);
+  EXPECT_FALSE(d.takeover.has_value());  // takeover announced only once
+  EXPECT_EQ(fp.stats().flows_diverted, 1u);
+  EXPECT_EQ(fp.stats().diverted_packets, 1u);
+}
+
+TEST(FastPath, SmallSegmentDivertsAfterConfirmation) {
+  const SignatureSet sigs = test_sigs();
+  FastPath fp(sigs, test_cfg());
+  PacketMaker pm;
+  // 3 bytes < 7 (=2p-1): pending, forwarded.
+  EXPECT_EQ(fp.process(pm.make(100, to_bytes("abc")), 0).action,
+            Action::forward);
+  // Further data confirms the anomaly → divert.
+  const FastDecision d = fp.process(pm.make(103, Bytes(100, 'z')), 1);
+  EXPECT_EQ(d.action, Action::divert);
+  EXPECT_EQ(d.reason, DivertReason::small_segment);
+}
+
+TEST(FastPath, BareFinAbsolvesPendingSmallSegment) {
+  const SignatureSet sigs = test_sigs();
+  FastPath fp(sigs, test_cfg());
+  PacketMaker pm;
+  EXPECT_EQ(fp.process(pm.make(100, to_bytes("bye")), 0).action,
+            Action::forward);
+  // Bare FIN: the small segment was the stream tail — benign.
+  EXPECT_EQ(fp.process(pm.make(103, {}, net::kTcpFin | net::kTcpAck), 1).action,
+            Action::forward);
+  EXPECT_EQ(fp.stats().flows_diverted, 0u);
+  EXPECT_EQ(fp.stats().small_segment_anomalies, 0u);
+}
+
+TEST(FastPath, SmallFinalSegmentWithFinForgiven) {
+  const SignatureSet sigs = test_sigs();
+  FastPath fp(sigs, test_cfg());
+  PacketMaker pm;
+  fp.process(pm.make(100, Bytes(50, 'a')), 0);
+  const FastDecision d =
+      fp.process(pm.make(150, to_bytes("end"), net::kTcpFin | net::kTcpAck), 1);
+  EXPECT_EQ(d.action, Action::forward);
+  EXPECT_EQ(fp.stats().flows_diverted, 0u);
+}
+
+TEST(FastPath, SmallSegmentWithoutExemptionDivertsImmediately) {
+  const SignatureSet sigs = test_sigs();
+  FastPathConfig cfg = test_cfg();
+  cfg.fin_exempts_last_small = false;
+  FastPath fp(sigs, cfg);
+  PacketMaker pm;
+  const FastDecision d = fp.process(pm.make(100, to_bytes("abc")), 0);
+  EXPECT_EQ(d.action, Action::divert);
+  EXPECT_EQ(d.reason, DivertReason::small_segment);
+}
+
+TEST(FastPath, OutOfOrderDiverts) {
+  const SignatureSet sigs = test_sigs();
+  FastPath fp(sigs, test_cfg());
+  PacketMaker pm;
+  EXPECT_EQ(fp.process(pm.make(100, Bytes(20, 'a')), 0).action,
+            Action::forward);
+  // Jump forward: leaves a hole.
+  const FastDecision d = fp.process(pm.make(200, Bytes(20, 'b')), 1);
+  EXPECT_EQ(d.action, Action::divert);
+  EXPECT_EQ(d.reason, DivertReason::out_of_order);
+  ASSERT_TRUE(d.takeover.has_value());
+  // Takeover base is the expected-next seq, so the slow path will wait for
+  // the hole to fill.
+  EXPECT_EQ(d.takeover->base_seq[static_cast<std::size_t>(
+                flow::Direction::a_to_b)],
+            std::optional<std::uint32_t>(120));
+}
+
+TEST(FastPath, OverlappingRetransmissionDiverts) {
+  const SignatureSet sigs = test_sigs();
+  FastPath fp(sigs, test_cfg());
+  PacketMaker pm;
+  fp.process(pm.make(100, Bytes(20, 'a')), 0);
+  const FastDecision d = fp.process(pm.make(110, Bytes(20, 'b')), 1);
+  EXPECT_EQ(d.action, Action::divert);
+  EXPECT_EQ(d.reason, DivertReason::out_of_order);
+}
+
+TEST(FastPath, PureAcksNeverAnomalous) {
+  const SignatureSet sigs = test_sigs();
+  FastPath fp(sigs, test_cfg());
+  PacketMaker pm;
+  fp.process(pm.make(100, Bytes(20, 'a')), 0);
+  // Empty ACK with a stale sequence number (e.g. keepalive).
+  EXPECT_EQ(fp.process(pm.make(90, {}, net::kTcpAck), 1).action,
+            Action::forward);
+  EXPECT_EQ(fp.stats().ooo_anomalies, 0u);
+}
+
+TEST(FastPath, DataAfterFinDiverts) {
+  const SignatureSet sigs = test_sigs();
+  FastPath fp(sigs, test_cfg());
+  PacketMaker pm;
+  fp.process(pm.make(100, Bytes(20, 'a')), 0);
+  fp.process(pm.make(120, {}, net::kTcpFin | net::kTcpAck), 1);
+  const FastDecision d = fp.process(pm.make(121, Bytes(20, 'b')), 2);
+  EXPECT_EQ(d.action, Action::divert);
+}
+
+TEST(FastPath, FragmentDivertsWithoutFlowState) {
+  const SignatureSet sigs = test_sigs();
+  FastPath fp(sigs, test_cfg());
+  net::Ipv4Spec ip{.src = net::Ipv4Addr(1, 1, 1, 1),
+                   .dst = net::Ipv4Addr(2, 2, 2, 2),
+                   .more_fragments = true};
+  const Bytes frag = net::build_ipv4(ip, Bytes(64, 0));
+  const auto pv = net::PacketView::parse(frag, net::LinkType::raw_ipv4);
+  const FastDecision d = fp.process(pv, 0);
+  EXPECT_EQ(d.action, Action::divert);
+  EXPECT_EQ(d.reason, DivertReason::ip_fragment);
+  EXPECT_EQ(fp.flows(), 0u);
+}
+
+TEST(FastPath, MalformedPacketDiverts) {
+  const SignatureSet sigs = test_sigs();
+  FastPath fp(sigs, test_cfg());
+  const Bytes junk = from_hex("4f00");
+  const auto pv = net::PacketView::parse(junk, net::LinkType::raw_ipv4);
+  EXPECT_EQ(fp.process(pv, 0).action, Action::divert);
+  EXPECT_EQ(fp.process(pv, 0).reason, DivertReason::bad_packet);
+}
+
+TEST(FastPath, UdpPieceHitDiverts) {
+  const SignatureSet sigs = test_sigs();
+  FastPath fp(sigs, test_cfg());
+  net::Ipv4Spec ip{.src = net::Ipv4Addr(10, 0, 0, 1),
+                   .dst = net::Ipv4Addr(10, 0, 0, 2)};
+  const Bytes with_piece =
+      net::build_udp_packet(ip, 53, 53, to_bytes("xEVILx"));
+  const Bytes clean = net::build_udp_packet(ip, 53, 53, to_bytes("benign"));
+  EXPECT_EQ(fp.process(net::PacketView::parse(with_piece, net::LinkType::raw_ipv4), 0)
+                .action,
+            Action::divert);
+  EXPECT_EQ(fp.process(net::PacketView::parse(clean, net::LinkType::raw_ipv4), 0)
+                .action,
+            Action::forward);
+}
+
+TEST(FastPath, ValidRstReclaimsState) {
+  const SignatureSet sigs = test_sigs();
+  FastPath fp(sigs, test_cfg());
+  PacketMaker pm;
+  fp.process(pm.make(100, Bytes(20, 'a')), 0);
+  EXPECT_EQ(fp.flows(), 1u);
+  fp.process(pm.make(120, {}, net::kTcpRst), 1);
+  EXPECT_EQ(fp.flows(), 0u);
+}
+
+TEST(FastPath, OutOfWindowRstKeepsState) {
+  const SignatureSet sigs = test_sigs();
+  FastPath fp(sigs, test_cfg());
+  PacketMaker pm;
+  fp.process(pm.make(100, Bytes(20, 'a')), 0);
+  fp.process(pm.make(555, {}, net::kTcpRst), 1);  // bogus seq
+  EXPECT_EQ(fp.flows(), 1u);
+}
+
+TEST(FastPath, IdleFlowsExpire) {
+  const SignatureSet sigs = test_sigs();
+  FastPathConfig cfg = test_cfg();
+  cfg.flow_idle_timeout_usec = 1000;
+  FastPath fp(sigs, cfg);
+  PacketMaker pm;
+  fp.process(pm.make(100, Bytes(20, 'a')), 0);
+  fp.expire(10'000);
+  EXPECT_EQ(fp.flows(), 0u);
+}
+
+TEST(FastPath, ConfigurableAnomalyBudget) {
+  const SignatureSet sigs = test_sigs();
+  FastPathConfig cfg = test_cfg();
+  cfg.ooo_limit = 3;
+  FastPath fp(sigs, cfg);
+  PacketMaker pm;
+  fp.process(pm.make(100, Bytes(20, 'a')), 0);
+  EXPECT_EQ(fp.process(pm.make(300, Bytes(20, 'b')), 1).action,
+            Action::forward);  // anomaly 1
+  EXPECT_EQ(fp.process(pm.make(600, Bytes(20, 'c')), 2).action,
+            Action::forward);  // anomaly 2
+  EXPECT_EQ(fp.process(pm.make(900, Bytes(20, 'd')), 3).action,
+            Action::divert);  // anomaly 3 hits the limit
+}
+
+TEST(FastPath, TheDirectionsTrackIndependently) {
+  const SignatureSet sigs = test_sigs();
+  FastPath fp(sigs, test_cfg());
+  PacketMaker fwd;
+  PacketMaker rev;
+  rev.src = fwd.dst;
+  rev.dst = fwd.src;
+  rev.sport = fwd.dport;
+  rev.dport = fwd.sport;
+  fp.process(fwd.make(100, Bytes(20, 'a')), 0);
+  fp.process(rev.make(5000, Bytes(20, 'b')), 1);
+  // In-order continuation on both sides: no anomaly.
+  EXPECT_EQ(fp.process(fwd.make(120, Bytes(20, 'c')), 2).action,
+            Action::forward);
+  EXPECT_EQ(fp.process(rev.make(5020, Bytes(20, 'd')), 3).action,
+            Action::forward);
+  EXPECT_EQ(fp.stats().ooo_anomalies, 0u);
+  EXPECT_EQ(fp.flows(), 1u);
+}
+
+}  // namespace
+}  // namespace sdt::core

@@ -1,0 +1,196 @@
+// Insertion-attack defenses: packets the victim never accepts (bad
+// checksum, expired TTL, urgent-mode bytes) must not desynchronize either
+// engine. These are the Ptacek-Newsham "insertion" class, complementing the
+// "evasion" class the theorem covers.
+#include <gtest/gtest.h>
+
+#include "core/conventional_ips.hpp"
+#include "core/engine.hpp"
+#include "core/fast_path.hpp"
+#include "evasion/flow_forge.hpp"
+#include "evasion/traffic_gen.hpp"
+#include "evasion/transforms.hpp"
+#include "util/rng.hpp"
+
+namespace sdt::core {
+namespace {
+
+SignatureSet test_sigs() {
+  SignatureSet s;
+  s.add("sig", std::string_view("INSERTION_TEST_SIGNATURE"));
+  return s;
+}
+
+net::PacketView parse(const net::Packet& p) {
+  return net::PacketView::parse(p.frame, net::LinkType::raw_ipv4);
+}
+
+TEST(FastPathInsertion, BadChecksumSegmentIgnoredEntirely) {
+  const SignatureSet sigs = test_sigs();
+  FastPathConfig cfg;
+  cfg.piece_len = 6;
+  FastPath fp(sigs, cfg);
+
+  evasion::FlowForge f(evasion::Endpoints{}, 0);
+  // Decoy with a whole signature piece inside — but a corrupt checksum.
+  evasion::Seg decoy;
+  decoy.data = to_bytes("xxINSERTION_TESTxx padding to stay large......");
+  decoy.corrupt_checksum = true;
+  f.client_segment(decoy);
+  // Clean benign segment at the same offset.
+  evasion::Seg real;
+  real.data = Bytes(64, 'n');
+  f.client_segment(real);
+
+  const auto pkts = f.take();
+  EXPECT_EQ(fp.process(parse(pkts[0]), 0).action, Action::forward);
+  EXPECT_EQ(fp.stats().bad_checksum_ignored, 1u);
+  EXPECT_EQ(fp.stats().piece_hits, 0u);  // never scanned
+  // The real segment establishes state as if the decoy never existed, so
+  // no sequence anomaly fires.
+  EXPECT_EQ(fp.process(parse(pkts[1]), 1).action, Action::forward);
+  EXPECT_EQ(fp.stats().ooo_anomalies, 0u);
+}
+
+TEST(FastPathInsertion, ChecksumVerificationCanBeDisabled) {
+  const SignatureSet sigs = test_sigs();
+  FastPathConfig cfg;
+  cfg.piece_len = 6;
+  cfg.verify_checksums = false;
+  FastPath fp(sigs, cfg);
+
+  evasion::FlowForge f(evasion::Endpoints{}, 0);
+  evasion::Seg decoy;
+  decoy.data = to_bytes("xxINSERTION_TESTxx");
+  decoy.corrupt_checksum = true;
+  f.client_segment(decoy);
+  const auto pkts = f.take();
+  // Without verification the decoy's piece content is scanned and trips.
+  EXPECT_EQ(fp.process(parse(pkts[0]), 0).action, Action::divert);
+}
+
+TEST(FastPathInsertion, LowTtlIgnoredWhenTopologyKnown) {
+  const SignatureSet sigs = test_sigs();
+  FastPathConfig cfg;
+  cfg.piece_len = 6;
+  cfg.min_ttl = 2;
+  FastPath fp(sigs, cfg);
+
+  evasion::FlowForge f(evasion::Endpoints{}, 0);
+  evasion::Seg decoy;
+  decoy.data = to_bytes("garbage garbage garbage garbage");
+  decoy.ttl = 1;
+  f.client_segment(decoy);
+  evasion::Seg real;
+  real.data = Bytes(64, 'n');
+  f.client_segment(real);
+  const auto pkts = f.take();
+
+  EXPECT_EQ(fp.process(parse(pkts[0]), 0).action, Action::forward);
+  EXPECT_EQ(fp.stats().low_ttl_ignored, 1u);
+  EXPECT_EQ(fp.process(parse(pkts[1]), 1).action, Action::forward);
+  EXPECT_EQ(fp.stats().ooo_anomalies, 0u);
+}
+
+TEST(FastPathInsertion, UrgentDataDiverts) {
+  const SignatureSet sigs = test_sigs();
+  FastPathConfig cfg;
+  cfg.piece_len = 6;
+  FastPath fp(sigs, cfg);
+
+  evasion::FlowForge f(evasion::Endpoints{}, 0);
+  evasion::Seg s;
+  s.data = Bytes(64, 'u');
+  s.urg = true;
+  s.urgent_pointer = 10;
+  f.client_segment(s);
+  const auto pkts = f.take();
+  const FastDecision d = fp.process(parse(pkts[0]), 0);
+  EXPECT_EQ(d.action, Action::divert);
+  EXPECT_EQ(d.reason, DivertReason::urgent_data);
+  EXPECT_EQ(fp.stats().urgent_diverts, 1u);
+}
+
+TEST(FastPathInsertion, UrgFlagWithoutPointerIsNotDiverted) {
+  // Some stacks send URG=1 up=0 legitimately; only a positioned urgent
+  // byte creates the ambiguity.
+  const SignatureSet sigs = test_sigs();
+  FastPathConfig cfg;
+  cfg.piece_len = 6;
+  FastPath fp(sigs, cfg);
+  evasion::FlowForge f(evasion::Endpoints{}, 0);
+  evasion::Seg s;
+  s.data = Bytes(64, 'u');
+  s.urg = true;
+  s.urgent_pointer = 0;
+  f.client_segment(s);
+  EXPECT_EQ(fp.process(parse(f.take()[0]), 0).action, Action::forward);
+}
+
+TEST(ConventionalInsertion, BadChecksumSegmentNotReassembled) {
+  const SignatureSet sigs = test_sigs();
+  ConventionalIps ips(sigs);
+
+  evasion::FlowForge f(evasion::Endpoints{}, 0);
+  f.handshake();
+  // The signature arrives only via a bad-checksum segment: the victim
+  // never sees it, and neither must the (verifying) IPS.
+  evasion::Seg s;
+  s.data = to_bytes("xxINSERTION_TEST_SIGNATURExx");
+  s.corrupt_checksum = true;
+  f.client_segment(s);
+  std::vector<Alert> alerts;
+  for (const auto& p : f.take()) ips.process(parse(p), p.ts_usec, alerts);
+  EXPECT_TRUE(alerts.empty());
+  EXPECT_EQ(ips.stats().bad_checksum_ignored, 1u);
+}
+
+TEST(ConventionalInsertion, UrgentAlertWhenEnabled) {
+  const SignatureSet sigs = test_sigs();
+  ConventionalIpsConfig cfg;
+  cfg.alert_on_urgent_data = true;
+  ConventionalIps ips(sigs, cfg);
+
+  evasion::FlowForge f(evasion::Endpoints{}, 0);
+  f.handshake();
+  evasion::Seg s;
+  s.data = Bytes(32, 'q');
+  s.urg = true;
+  s.urgent_pointer = 5;
+  f.client_segment(s);
+  f.client_segment(s);  // duplicate: alert must not repeat
+  std::vector<Alert> alerts;
+  for (const auto& p : f.take()) ips.process(parse(p), p.ts_usec, alerts);
+  ASSERT_EQ(alerts.size(), 1u);
+  EXPECT_EQ(alerts[0].signature_id, kUrgentAlertId);
+  EXPECT_STREQ(alerts[0].source, "normalizer-urgent");
+}
+
+TEST(EngineInsertion, TtlDecoyWithTopologyIsFullyDetected) {
+  const SignatureSet sigs = test_sigs();
+  SplitDetectConfig cfg;
+  cfg.fast.piece_len = 6;
+  cfg.min_ttl = 3;
+  SplitDetectEngine engine(sigs, cfg);
+
+  Rng rng(5);
+  Bytes stream = evasion::generate_payload(rng, 1200, 0.0);
+  std::copy(sigs[0].bytes.begin(), sigs[0].bytes.end(), stream.begin() + 500);
+  evasion::EvasionParams params;
+  params.sig_lo = 500;
+  params.sig_hi = 500 + sigs[0].bytes.size();
+  params.decoy_ttl = 2;  // below min_ttl
+  const auto pkts = evasion::forge_evasion(evasion::EvasionKind::ttl_decoy,
+                                           evasion::Endpoints{}, stream,
+                                           params, rng, 0);
+  std::vector<Alert> alerts;
+  for (const auto& p : pkts) {
+    engine.process(p, net::LinkType::raw_ipv4, alerts);
+  }
+  ASSERT_FALSE(alerts.empty());
+  EXPECT_EQ(alerts[0].signature_id, 0u);  // the signature itself
+  EXPECT_GT(engine.stats().fast.low_ttl_ignored, 0u);
+}
+
+}  // namespace
+}  // namespace sdt::core

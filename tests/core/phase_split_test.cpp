@@ -1,0 +1,159 @@
+// Phase-optimized splitting: same detection guarantees, fewer chance hits.
+#include <gtest/gtest.h>
+
+#include "core/engine.hpp"
+#include "core/splitter.hpp"
+#include "match/single_match.hpp"
+#include "evasion/corpus.hpp"
+#include "evasion/traffic_gen.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace sdt::core {
+namespace {
+
+TEST(PhaseOffsets, PhaseZeroMatchesPlainTilingPlusAnchors) {
+  // phase 0: identical to piece_offsets (0-tiling already includes 0; the
+  // L-p anchor is added by both).
+  EXPECT_EQ(piece_offsets_with_phase(16, 4, 0), piece_offsets(16, 4));
+  EXPECT_EQ(piece_offsets_with_phase(18, 4, 0), piece_offsets(18, 4));
+}
+
+TEST(PhaseOffsets, ShiftedTilingKeepsAnchors) {
+  // L=16, p=4, phase=2: anchors 0 and 12, tiles 2,6,10 (14 would not fit
+  // fully... 14+4=18>16, so not included; 12 already the anchor).
+  EXPECT_EQ(piece_offsets_with_phase(16, 4, 2),
+            (std::vector<std::uint32_t>{0, 2, 6, 10, 12}));
+}
+
+TEST(PhaseOffsets, RejectsBadArguments) {
+  EXPECT_THROW(piece_offsets_with_phase(16, 4, 4), InvalidArgument);
+  EXPECT_THROW(piece_offsets_with_phase(7, 4, 0), InvalidArgument);
+  EXPECT_THROW(piece_offsets_with_phase(16, 0, 0), InvalidArgument);
+}
+
+/// Property (W) holds for EVERY phase: all (L, p, phase) with L <= 60.
+class PhaseWindowProperty : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(PhaseWindowProperty, EveryWindowContainsAPieceForAllPhases) {
+  const std::size_t p = GetParam();
+  for (std::size_t L = 2 * p; L <= 60; ++L) {
+    for (std::size_t phase = 0; phase < p; ++phase) {
+      const auto offs = piece_offsets_with_phase(L, p, phase);
+      EXPECT_EQ(offs.front(), 0u);
+      EXPECT_EQ(offs.back(), L - p);
+      const std::size_t w = 2 * p - 1;
+      for (std::size_t x = 0; x + w <= L; ++x) {
+        bool covered = false;
+        for (const std::uint32_t o : offs) {
+          if (o >= x && o + p <= x + w) {
+            covered = true;
+            break;
+          }
+        }
+        EXPECT_TRUE(covered)
+            << "L=" << L << " p=" << p << " phase=" << phase << " x=" << x;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PieceLens, PhaseWindowProperty,
+                         ::testing::Values(2, 3, 4, 5, 8));
+
+TEST(OptimizedOffsets, AvoidsSampleAlignedPieces) {
+  // Signature whose phase-0 *interior* piece is exactly a hot substring of
+  // the sample traffic; the optimizer must shift the tiling phase so every
+  // piece misses it. (The 0 and L-p anchors cannot be moved — the hot
+  // region must not sit at the signature's edges for this to be winnable.)
+  const Bytes sig = to_bytes("abcdefghHOTPIECEijklmnop");  // L=24, p=8
+  Bytes sample;
+  for (int i = 0; i < 200; ++i) {
+    const Bytes junk = to_bytes(" filler HOTPIECE filler ");
+    sample.insert(sample.end(), junk.begin(), junk.end());
+  }
+
+  // Count sample hits for plain vs optimized offsets.
+  auto hits = [&](const std::vector<std::uint32_t>& offs) {
+    std::size_t n = 0;
+    for (const std::uint32_t o : offs) {
+      n += match::naive_find_all(sample, ByteView(sig).subspan(o, 8)).size();
+    }
+    return n;
+  };
+  const std::size_t plain_hits = hits(piece_offsets(sig.size(), 8));
+  const auto opt = optimized_piece_offsets(sig, 8, sample);
+  const std::size_t opt_hits = hits(opt);
+  EXPECT_GT(plain_hits, 0u);  // the [8,16) piece IS "HOTPIECE"
+  EXPECT_EQ(opt_hits, 0u);
+}
+
+TEST(OptimizedOffsets, DegradesGracefullyOnEmptySample) {
+  const Bytes sig = to_bytes("ABCDEFGHIJKLMNOP");
+  const auto offs = optimized_piece_offsets(sig, 4, ByteView{});
+  // No sample evidence: phase 0 wins ties.
+  EXPECT_EQ(offs, piece_offsets_with_phase(16, 4, 0));
+}
+
+TEST(PhaseOptimizedPieceSet, StillDetectsEveryEvasion) {
+  // Full engine with a phase sample: the theorem still holds (spot-check
+  // via the tiny-segment and out-of-order transforms).
+  SignatureSet sigs;
+  sigs.add("s", std::string_view("PHASE_OPT_SIGNATURE_BYTES_00"));
+  Rng rng(3);
+  SplitDetectConfig cfg;
+  cfg.fast.piece_len = 7;
+  cfg.fast.piece_phase_sample = evasion::generate_payload(rng, 1 << 16, 1.0);
+
+  for (const auto kind : {evasion::EvasionKind::tiny_segments,
+                          evasion::EvasionKind::out_of_order,
+                          evasion::EvasionKind::none}) {
+    SplitDetectEngine engine(sigs, cfg);
+    Bytes stream = evasion::generate_payload(rng, 1500, 0.5);
+    std::copy(sigs[0].bytes.begin(), sigs[0].bytes.end(), stream.begin() + 600);
+    evasion::EvasionParams params;
+    params.sig_lo = 600;
+    params.sig_hi = 600 + sigs[0].bytes.size();
+    const auto pkts = evasion::forge_evasion(kind, evasion::Endpoints{},
+                                             stream, params, rng, 0);
+    std::vector<Alert> alerts;
+    for (const auto& p : pkts) {
+      engine.process(p, net::LinkType::raw_ipv4, alerts);
+    }
+    ASSERT_FALSE(alerts.empty()) << to_string(kind);
+    EXPECT_EQ(alerts[0].signature_id, 0u) << to_string(kind);
+  }
+}
+
+TEST(PhaseOptimizedPieceSet, ReducesBenignDiversion) {
+  // End-to-end: text-heavy benign traffic against the text-y corpus; the
+  // phase-optimized engine must divert no more flows than the plain one.
+  const SignatureSet sigs = evasion::default_corpus(16);
+  evasion::TrafficConfig tc;
+  tc.flows = 150;
+  tc.seed = 31;
+  tc.text_fraction = 1.0;
+  const auto trace = evasion::generate_benign(tc);
+
+  Rng rng(9);
+  SplitDetectConfig plain_cfg;
+  plain_cfg.fast.piece_len = 8;
+  SplitDetectConfig opt_cfg = plain_cfg;
+  opt_cfg.fast.piece_phase_sample = evasion::generate_payload(rng, 1 << 18, 1.0);
+
+  auto diverted = [&](const SplitDetectConfig& cfg) {
+    SplitDetectEngine engine(sigs, cfg);
+    std::vector<Alert> alerts;
+    for (const auto& p : trace.packets) {
+      engine.process(p, net::LinkType::raw_ipv4, alerts);
+    }
+    EXPECT_TRUE(alerts.empty());
+    return engine.stats().fast.flows_diverted;
+  };
+  const auto plain = diverted(plain_cfg);
+  const auto opt = diverted(opt_cfg);
+  EXPECT_LE(opt, plain);
+}
+
+}  // namespace
+}  // namespace sdt::core

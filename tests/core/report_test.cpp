@@ -1,0 +1,58 @@
+#include "core/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include "evasion/traffic_gen.hpp"
+#include "evasion/transforms.hpp"
+#include "util/rng.hpp"
+
+namespace sdt::core {
+namespace {
+
+TEST(Report, StatsJsonShape) {
+  SignatureSet sigs;
+  sigs.add("r-sig", std::string_view("REPORT_TEST_SIGNATURE_00"));
+  SplitDetectConfig cfg;
+  cfg.fast.piece_len = 6;
+  SplitDetectEngine engine(sigs, cfg);
+
+  Rng rng(1);
+  Bytes stream = evasion::generate_payload(rng, 900, 0.5);
+  std::copy(sigs[0].bytes.begin(), sigs[0].bytes.end(), stream.begin() + 300);
+  evasion::EvasionParams params;
+  params.sig_lo = 300;
+  params.sig_hi = 300 + sigs[0].bytes.size();
+  std::vector<Alert> alerts;
+  for (const auto& p :
+       evasion::forge_evasion(evasion::EvasionKind::tiny_segments,
+                              evasion::Endpoints{}, stream, params, rng, 0)) {
+    engine.process(p, net::LinkType::raw_ipv4, alerts);
+  }
+
+  const std::string json = stats_json(engine);
+  EXPECT_NE(json.find("\"fast_path\":{"), std::string::npos);
+  EXPECT_NE(json.find("\"slow_path\":{"), std::string::npos);
+  EXPECT_NE(json.find("\"flows_diverted\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"alerts\":"), std::string::npos);
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+
+  const std::string alerts_j = alerts_json(alerts, sigs);
+  EXPECT_NE(alerts_j.find("\"signature\":\"r-sig\""), std::string::npos);
+  EXPECT_NE(alerts_j.find("\"source\":\"slow-path\""), std::string::npos);
+  EXPECT_EQ(alerts_j.front(), '[');
+}
+
+TEST(Report, SentinelAlertsNamed) {
+  SignatureSet sigs;
+  sigs.add("x", std::string_view("0123456789AB"));
+  std::vector<Alert> alerts;
+  alerts.push_back(Alert{{}, kConflictAlertId, 0, 0, "normalizer-conflict"});
+  alerts.push_back(Alert{{}, kUrgentAlertId, 0, 0, "normalizer-urgent"});
+  const std::string j = alerts_json(alerts, sigs);
+  EXPECT_NE(j.find("\"signature\":\"normalizer-conflict\""), std::string::npos);
+  EXPECT_NE(j.find("\"signature\":\"normalizer-urgent\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sdt::core

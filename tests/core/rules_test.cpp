@@ -1,0 +1,140 @@
+#include "core/rules.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace sdt::core {
+namespace {
+
+TEST(DecodeContent, PlainAscii) {
+  EXPECT_EQ(decode_content("cmd.exe"), to_bytes("cmd.exe"));
+}
+
+TEST(DecodeContent, HexSections) {
+  EXPECT_EQ(decode_content("|90 90|AB|00|"), from_hex("9090 4142 00"));
+  EXPECT_EQ(decode_content("|de ad be ef|"), from_hex("deadbeef"));
+}
+
+TEST(DecodeContent, EscapedCharacters) {
+  EXPECT_EQ(decode_content("a\\\"b\\\\c\\;d\\|e"), to_bytes("a\"b\\c;d|e"));
+}
+
+TEST(DecodeContent, Errors) {
+  EXPECT_THROW(decode_content("|zz|"), ParseError);
+  EXPECT_THROW(decode_content("|9|"), ParseError);
+  EXPECT_THROW(decode_content("|90"), ParseError);
+  EXPECT_THROW(decode_content("tail\\"), ParseError);
+  EXPECT_THROW(decode_content(""), ParseError);
+}
+
+TEST(ParseRules, BasicRule) {
+  const auto r = parse_rules(
+      R"(alert tcp any any -> any 80 (msg:"IIS probe"; content:"cmd.exe"; sid:1001;))");
+  ASSERT_EQ(r.parsed(), 1u);
+  EXPECT_TRUE(r.skipped.empty());
+  EXPECT_EQ(r.signatures[0].name, "IIS probe");
+  EXPECT_EQ(r.signatures[0].bytes, to_bytes("cmd.exe"));
+}
+
+TEST(ParseRules, HexContentAndMissingMsg) {
+  const auto r =
+      parse_rules("alert tcp any any -> any any (content:\"|41 42|C\"; sid:7;)");
+  ASSERT_EQ(r.parsed(), 1u);
+  EXPECT_EQ(r.signatures[0].name, "sid:7");
+  EXPECT_EQ(r.signatures[0].bytes, to_bytes("ABC"));
+}
+
+TEST(ParseRules, NameFallsBackToLineNumber) {
+  const auto r = parse_rules("\nalert tcp a a -> a a (content:\"x1\";)");
+  ASSERT_EQ(r.parsed(), 1u);
+  EXPECT_EQ(r.signatures[0].name, "rule:2");
+}
+
+TEST(ParseRules, CommentsAndBlanksIgnored) {
+  const auto r = parse_rules(
+      "# a comment\n"
+      "\n"
+      "   # indented comment\n"
+      "alert tcp any any -> any any (msg:\"m\"; content:\"zz\";)\n");
+  EXPECT_EQ(r.parsed(), 1u);
+  EXPECT_TRUE(r.skipped.empty());
+}
+
+TEST(ParseRules, LineContinuation) {
+  const auto r = parse_rules(
+      "alert tcp any any -> any 80 (msg:\"long\"; \\\n"
+      "    content:\"split across lines\"; sid:5;)\n");
+  ASSERT_EQ(r.parsed(), 1u);
+  EXPECT_EQ(r.signatures[0].bytes, to_bytes("split across lines"));
+}
+
+TEST(ParseRules, SkipsUnsupportedAction) {
+  const auto r =
+      parse_rules("drop tcp any any -> any any (content:\"x\";)");
+  EXPECT_EQ(r.parsed(), 0u);
+  ASSERT_EQ(r.skipped.size(), 1u);
+  EXPECT_EQ(r.skipped[0].line, 1u);
+  EXPECT_NE(r.skipped[0].reason.find("unsupported action"), std::string::npos);
+}
+
+TEST(ParseRules, SkipsMultiContent) {
+  const auto r = parse_rules(
+      "alert tcp a a -> a a (content:\"one\"; content:\"two\";)");
+  EXPECT_EQ(r.parsed(), 0u);
+  ASSERT_EQ(r.skipped.size(), 1u);
+  EXPECT_NE(r.skipped[0].reason.find("multiple content"), std::string::npos);
+}
+
+TEST(ParseRules, SkipsMissingContentAndBadHex) {
+  const auto r = parse_rules(
+      "alert tcp a a -> a a (msg:\"no content\";)\n"
+      "alert tcp a a -> a a (content:\"|xx|\";)\n");
+  EXPECT_EQ(r.parsed(), 0u);
+  EXPECT_EQ(r.skipped.size(), 2u);
+}
+
+TEST(ParseRules, SkipsMissingOptionBlock) {
+  const auto r = parse_rules("alert tcp any any -> any any\n");
+  EXPECT_EQ(r.parsed(), 0u);
+  ASSERT_EQ(r.skipped.size(), 1u);
+}
+
+TEST(ParseRules, QuotedSemicolonsAndParens) {
+  const auto r = parse_rules(
+      "alert tcp a a -> a a (msg:\"has ; and ) inside\"; content:\"a;b)c\";)");
+  ASSERT_EQ(r.parsed(), 1u);
+  EXPECT_EQ(r.signatures[0].name, "has ; and ) inside");
+  EXPECT_EQ(r.signatures[0].bytes, to_bytes("a;b)c"));
+}
+
+TEST(ParseRules, IgnoresUnknownOptions) {
+  const auto r = parse_rules(
+      "alert tcp a a -> a a (msg:\"m\"; flow:to_server,established; "
+      "content:\"q9\"; nocase; classtype:web-application-attack; rev:3;)");
+  ASSERT_EQ(r.parsed(), 1u);
+}
+
+TEST(ParseRules, ExampleRulesFileLoads) {
+  const auto r = load_rules_file(std::string(SDT_SOURCE_DIR) +
+                                 "/rules/example.rules");
+  EXPECT_EQ(r.parsed(), 8u);
+  EXPECT_EQ(r.skipped.size(), 3u);
+  // Binary content decoded: the nop-sled rule starts with 0x90.
+  bool found = false;
+  for (const auto& s : r.signatures) {
+    if (s.name == "x86 nop sled + setuid") {
+      found = true;
+      EXPECT_EQ(s.bytes[0], 0x90);
+      EXPECT_EQ(s.bytes.size(), 16u);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(ParseRules, MissingFileThrows) {
+  EXPECT_THROW(load_rules_file("/nonexistent.rules"), IoError);
+}
+
+}  // namespace
+}  // namespace sdt::core

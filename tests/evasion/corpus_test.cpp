@@ -1,0 +1,52 @@
+#include "evasion/corpus.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace sdt::evasion {
+namespace {
+
+TEST(Corpus, HasRealisticSizeSpread) {
+  const auto sigs = default_corpus();
+  EXPECT_GE(sigs.size(), 40u);
+  EXPECT_GE(sigs.min_length(), 16u);
+  EXPECT_GE(sigs.max_length(), 60u);
+  EXPECT_LE(sigs.max_length(), 128u);
+}
+
+TEST(Corpus, MinLenFilters) {
+  const auto all = default_corpus();
+  const auto long_only = default_corpus(48);
+  EXPECT_LT(long_only.size(), all.size());
+  EXPECT_GT(long_only.size(), 5u);
+  for (const auto& s : long_only) EXPECT_GE(s.bytes.size(), 48u);
+}
+
+TEST(Corpus, NamesAreUnique) {
+  const auto sigs = default_corpus();
+  std::set<std::string> names;
+  for (const auto& s : sigs) names.insert(s.name);
+  EXPECT_EQ(names.size(), sigs.size());
+}
+
+TEST(Corpus, BinarySignaturesKeepEmbeddedNuls) {
+  const auto sigs = default_corpus();
+  bool found_nul = false;
+  for (const auto& s : sigs) {
+    for (auto b : s.bytes) found_nul |= b == 0;
+  }
+  EXPECT_TRUE(found_nul);
+}
+
+TEST(Corpus, SyntheticCorpusShape) {
+  Rng rng(1);
+  const auto sigs = synthetic_corpus(25, 40, rng);
+  EXPECT_EQ(sigs.size(), 25u);
+  for (const auto& s : sigs) EXPECT_EQ(s.bytes.size(), 40u);
+  // Distinct contents.
+  EXPECT_NE(sigs[0].bytes, sigs[1].bytes);
+}
+
+}  // namespace
+}  // namespace sdt::evasion

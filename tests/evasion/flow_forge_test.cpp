@@ -1,0 +1,157 @@
+#include "evasion/flow_forge.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/checksum.hpp"
+#include "net/packet.hpp"
+#include "reassembly/tcp_reassembler.hpp"
+#include "util/error.hpp"
+
+namespace sdt::evasion {
+namespace {
+
+/// All packets must be parseable IPv4 with verifying checksums.
+void expect_well_formed(const std::vector<net::Packet>& pkts) {
+  for (const net::Packet& p : pkts) {
+    const auto pv = net::PacketView::parse(p.frame, net::LinkType::raw_ipv4);
+    ASSERT_TRUE(pv.has_ipv4);
+    EXPECT_EQ(net::checksum(pv.ipv4.raw()), 0);
+    if (pv.ok() && pv.has_tcp) {
+      const ByteView seg = pv.ip_datagram.subspan(pv.ipv4.header_len());
+      EXPECT_EQ(net::transport_checksum(pv.ipv4.src(), pv.ipv4.dst(), 6, seg),
+                0);
+    }
+  }
+}
+
+TEST(FlowForge, HandshakeShape) {
+  FlowForge f(Endpoints{}, 100, 10);
+  f.handshake();
+  const auto pkts = f.take();
+  ASSERT_EQ(pkts.size(), 3u);
+  expect_well_formed(pkts);
+  const auto syn = net::PacketView::parse(pkts[0].frame, net::LinkType::raw_ipv4);
+  const auto synack =
+      net::PacketView::parse(pkts[1].frame, net::LinkType::raw_ipv4);
+  const auto ack = net::PacketView::parse(pkts[2].frame, net::LinkType::raw_ipv4);
+  EXPECT_TRUE(syn.tcp.syn());
+  EXPECT_FALSE(syn.tcp.ack_flag());
+  EXPECT_TRUE(synack.tcp.syn());
+  EXPECT_TRUE(synack.tcp.ack_flag());
+  EXPECT_EQ(synack.tcp.ack(), syn.tcp.seq() + 1);
+  EXPECT_EQ(ack.tcp.ack(), synack.tcp.seq() + 1);
+  // Timestamps advance by the configured gap.
+  EXPECT_EQ(pkts[0].ts_usec, 100u);
+  EXPECT_EQ(pkts[1].ts_usec, 110u);
+  EXPECT_EQ(pkts[2].ts_usec, 120u);
+}
+
+TEST(FlowForge, SegmentSeqDerivedFromRelOffset) {
+  Endpoints ep;
+  FlowForge f(ep, 0);
+  Seg s;
+  s.rel_off = 77;
+  s.data = to_bytes("x");
+  f.client_segment(s);
+  const auto pkts = f.take();
+  const auto pv = net::PacketView::parse(pkts[0].frame, net::LinkType::raw_ipv4);
+  EXPECT_EQ(pv.tcp.seq(), ep.client_isn + 1 + 77);
+}
+
+TEST(FlowForge, CloseEmitsFinExchange) {
+  FlowForge f(Endpoints{}, 0);
+  f.handshake();
+  Seg s;
+  s.data = to_bytes("data");
+  f.client_segment(s);
+  f.close();
+  const auto pkts = f.take();
+  ASSERT_EQ(pkts.size(), 7u);  // 3 handshake + data + FIN + FIN|ACK + ACK
+  const auto fin = net::PacketView::parse(pkts[4].frame, net::LinkType::raw_ipv4);
+  EXPECT_TRUE(fin.tcp.fin());
+  // FIN comes after the 4 data bytes.
+  EXPECT_EQ(fin.tcp.seq(), Endpoints{}.client_isn + 1 + 4);
+  expect_well_formed(pkts);
+}
+
+TEST(FlowForge, WholeConversationReassembles) {
+  const Bytes stream = to_bytes(
+      "a moderately long application stream for reassembly verification");
+  FlowForge f(Endpoints{}, 0);
+  f.handshake();
+  f.client_segments(plan_plain(stream, 7, false));
+  f.close();
+
+  reassembly::TcpReassembler r{reassembly::TcpReassemblerConfig{}};
+  for (const net::Packet& p : f.take()) {
+    const auto pv = net::PacketView::parse(p.frame, net::LinkType::raw_ipv4);
+    if (!pv.ok() || !pv.has_tcp) continue;
+    if (pv.tcp.src_port() != Endpoints{}.client_port) continue;
+    r.add(pv.tcp.seq(), pv.l4_payload, pv.tcp.syn(), pv.tcp.fin());
+  }
+  EXPECT_TRUE(equal(r.read_available(), stream));
+  EXPECT_TRUE(r.stream_complete());
+}
+
+TEST(FlowForge, FragmentedSegmentReversesCleanly) {
+  FlowForge f(Endpoints{}, 0);
+  Seg s;
+  s.data = Bytes(100, 'q');
+  f.client_segment_fragmented(s, 16, /*reverse=*/true);
+  const auto pkts = f.take();
+  ASSERT_GT(pkts.size(), 2u);
+  // First emitted fragment is the tail (highest offset).
+  const auto first = net::PacketView::parse(pkts[0].frame, net::LinkType::raw_ipv4);
+  const auto last =
+      net::PacketView::parse(pkts.back().frame, net::LinkType::raw_ipv4);
+  EXPECT_GT(first.ipv4.fragment_offset(), last.ipv4.fragment_offset());
+  expect_well_formed(pkts);
+}
+
+TEST(PlanPlain, CoversStreamExactly) {
+  const Bytes stream(1000, 'p');
+  const auto plan = plan_plain(stream, 300, true);
+  ASSERT_EQ(plan.size(), 4u);
+  std::size_t expect_off = 0;
+  for (const Seg& s : plan) {
+    EXPECT_EQ(s.rel_off, expect_off);
+    expect_off += s.data.size();
+  }
+  EXPECT_EQ(expect_off, stream.size());
+  EXPECT_TRUE(plan.back().fin);
+  EXPECT_FALSE(plan.front().fin);
+}
+
+TEST(PlanPlain, EmptyStreamWithFin) {
+  const auto plan = plan_plain(ByteView{}, 100, true);
+  ASSERT_EQ(plan.size(), 1u);
+  EXPECT_TRUE(plan[0].fin);
+  EXPECT_TRUE(plan[0].data.empty());
+}
+
+TEST(PlanPlain, RejectsZeroMss) {
+  EXPECT_THROW(plan_plain(to_bytes("x"), 0), InvalidArgument);
+}
+
+TEST(PlanTinyWindow, MixesSegmentSizes) {
+  const Bytes stream(100, 'w');
+  const auto plan = plan_tiny_window(stream, 30, 3, 40, 60);
+  // Segments inside [40,60) are 3 bytes; outside, up to 30.
+  std::size_t covered = 0;
+  for (const Seg& s : plan) {
+    if (s.rel_off >= 40 && s.rel_off < 60) {
+      EXPECT_LE(s.data.size(), 3u);
+    }
+    covered += s.data.size();
+  }
+  EXPECT_EQ(covered, 100u);
+}
+
+TEST(PlanTinyWindow, RejectsBadWindow) {
+  const Bytes stream(10, 'x');
+  EXPECT_THROW(plan_tiny_window(stream, 5, 2, 8, 4), InvalidArgument);
+  EXPECT_THROW(plan_tiny_window(stream, 5, 2, 0, 11), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace sdt::evasion

@@ -1,0 +1,153 @@
+#include "evasion/traffic_gen.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "evasion/corpus.hpp"
+#include "flow/flow_key.hpp"
+#include "net/seq.hpp"
+#include "net/packet.hpp"
+
+namespace sdt::evasion {
+namespace {
+
+TEST(TrafficGen, DeterministicForSameSeed) {
+  TrafficConfig cfg;
+  cfg.flows = 20;
+  cfg.seed = 77;
+  const GeneratedTrace a = generate_benign(cfg);
+  const GeneratedTrace b = generate_benign(cfg);
+  ASSERT_EQ(a.packets.size(), b.packets.size());
+  for (std::size_t i = 0; i < a.packets.size(); ++i) {
+    EXPECT_EQ(a.packets[i].ts_usec, b.packets[i].ts_usec);
+    ASSERT_TRUE(equal(a.packets[i].frame, b.packets[i].frame)) << i;
+  }
+}
+
+TEST(TrafficGen, DifferentSeedsProduceDifferentTraces) {
+  TrafficConfig cfg;
+  cfg.flows = 10;
+  cfg.seed = 1;
+  const auto a = generate_benign(cfg);
+  cfg.seed = 2;
+  const auto b = generate_benign(cfg);
+  EXPECT_NE(a.packets.size(), b.packets.size());
+}
+
+TEST(TrafficGen, TimestampsAreSorted) {
+  TrafficConfig cfg;
+  cfg.flows = 30;
+  const auto trace = generate_benign(cfg);
+  for (std::size_t i = 1; i < trace.packets.size(); ++i) {
+    EXPECT_LE(trace.packets[i - 1].ts_usec, trace.packets[i].ts_usec);
+  }
+}
+
+TEST(TrafficGen, AllPacketsParse) {
+  TrafficConfig cfg;
+  cfg.flows = 25;
+  const auto trace = generate_benign(cfg);
+  std::uint64_t bytes = 0;
+  for (const auto& p : trace.packets) {
+    const auto pv = net::PacketView::parse(p.frame, net::LinkType::raw_ipv4);
+    EXPECT_TRUE(pv.ok()) << net::to_string(pv.status);
+    bytes += p.frame.size();
+  }
+  EXPECT_EQ(bytes, trace.total_bytes);
+  EXPECT_GT(trace.payload_bytes, 0u);
+  EXPECT_LT(trace.payload_bytes, trace.total_bytes);
+}
+
+TEST(TrafficGen, GeneratesRequestedFlowCount) {
+  TrafficConfig cfg;
+  cfg.flows = 40;
+  const auto trace = generate_benign(cfg);
+  std::set<std::string> flows;
+  for (const auto& p : trace.packets) {
+    const auto pv = net::PacketView::parse(p.frame, net::LinkType::raw_ipv4);
+    if (pv.ok() && pv.has_tcp) flows.insert(flow::make_flow_ref(pv).key.str());
+  }
+  EXPECT_EQ(flows.size(), 40u);
+}
+
+TEST(TrafficGen, PacketSizeMixIsTriModal) {
+  TrafficConfig cfg;
+  cfg.flows = 100;
+  cfg.seed = 3;
+  cfg.min_response = 4000;  // every response spans several segments
+  const auto trace = generate_benign(cfg);
+  std::size_t acks = 0, mss_sized = 0, mid = 0;
+  for (const auto& p : trace.packets) {
+    const auto pv = net::PacketView::parse(p.frame, net::LinkType::raw_ipv4);
+    if (!pv.ok() || !pv.has_tcp) continue;
+    if (pv.l4_payload.empty()) {
+      ++acks;
+    } else if (pv.l4_payload.size() == 1460) {
+      ++mss_sized;
+    } else if (pv.l4_payload.size() == 536) {
+      ++mid;
+    }
+  }
+  EXPECT_GT(acks, 100u);
+  EXPECT_GT(mss_sized, 100u);
+  EXPECT_GT(mid, 20u);
+}
+
+TEST(TrafficGen, ReorderRateIntroducesSequenceInversions) {
+  TrafficConfig cfg;
+  cfg.flows = 60;
+  cfg.seed = 4;
+  cfg.reorder_rate = 0.0;
+  const auto none = generate_benign(cfg);
+  cfg.reorder_rate = 0.3;
+  const auto some = generate_benign(cfg);
+
+  auto inversions = [](const GeneratedTrace& t) {
+    std::map<std::string, std::uint32_t> last_seq;
+    std::size_t inv = 0;
+    for (const auto& p : t.packets) {
+      const auto pv = net::PacketView::parse(p.frame, net::LinkType::raw_ipv4);
+      if (!pv.ok() || !pv.has_tcp || pv.l4_payload.empty()) continue;
+      const std::string k =
+          flow::make_flow_ref(pv).key.str() +
+          (pv.tcp.src_port() < pv.tcp.dst_port() ? "<" : ">");
+      auto it = last_seq.find(k);
+      if (it != last_seq.end() && net::seq_lt(pv.tcp.seq(), it->second)) ++inv;
+      last_seq[k] = pv.tcp.seq();
+    }
+    return inv;
+  };
+  EXPECT_EQ(inversions(none), 0u);
+  EXPECT_GT(inversions(some), 5u);
+}
+
+TEST(TrafficGen, MixedTraceEmbedsAttacks) {
+  TrafficConfig cfg;
+  cfg.flows = 50;
+  cfg.seed = 8;
+  const auto sigs = default_corpus(32);
+  AttackMix mix;
+  mix.attack_fraction = 0.3;
+  mix.kind = EvasionKind::tiny_segments;
+  const auto trace = generate_mixed(cfg, sigs, mix);
+  EXPECT_GT(trace.attack_flows, 5u);
+  EXPECT_LT(trace.attack_flows, 30u);
+  EXPECT_EQ(trace.flows, 50u);
+}
+
+TEST(TrafficGen, PayloadGeneratorRespectsLengthAndMode) {
+  Rng rng(5);
+  const Bytes text = generate_payload(rng, 500, 1.0);
+  const Bytes binary = generate_payload(rng, 500, 0.0);
+  EXPECT_EQ(text.size(), 500u);
+  EXPECT_EQ(binary.size(), 500u);
+  // Text mode stays printable-ish.
+  std::size_t printable = 0;
+  for (auto b : text) printable += (b >= 0x20 && b < 0x7f) || b == '\n';
+  EXPECT_EQ(printable, text.size());
+}
+
+}  // namespace
+}  // namespace sdt::evasion

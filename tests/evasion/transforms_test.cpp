@@ -1,0 +1,208 @@
+// Validates that every evasion transform is a *working* attack: the forged
+// conversation, pushed through a receiving stack model (IP defrag + TCP
+// reassembly with the transform's target overlap policy), delivers exactly
+// the intended byte stream. An "evasion" that fails to deliver its payload
+// would make the E1 matrix meaningless.
+#include "evasion/transforms.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "net/checksum.hpp"
+#include "reassembly/ip_defrag.hpp"
+#include "reassembly/tcp_reassembler.hpp"
+#include "util/rng.hpp"
+
+namespace sdt::evasion {
+namespace {
+
+/// The overlap policy of the stack each transform targets.
+reassembly::TcpOverlapPolicy target_policy(EvasionKind k) {
+  switch (k) {
+    case EvasionKind::overlap_rewrite:
+    case EvasionKind::modified_retransmit:
+      return reassembly::TcpOverlapPolicy::last;  // favour-new stack class
+    case EvasionKind::overlap_decoy:
+      return reassembly::TcpOverlapPolicy::first;  // favour-old stack class
+    default:
+      return reassembly::TcpOverlapPolicy::bsd;
+  }
+}
+
+/// Receiving stack model: checksum-verify, TTL-expire (victim sits 2 hops
+/// behind the tap), defragment, reassemble client->server, deliver urgent
+/// bytes out of band.
+Bytes receive(const std::vector<net::Packet>& pkts,
+              reassembly::TcpOverlapPolicy policy) {
+  constexpr std::uint8_t kVictimHops = 2;
+  reassembly::IpDefragmenter defrag;
+  reassembly::TcpReassemblerConfig rc;
+  rc.policy = policy;
+  reassembly::TcpReassembler r(rc);
+  Bytes out;
+  std::vector<std::uint64_t> urgent_offsets;  // in-band stream offsets
+  std::uint64_t base_seq = 0;
+  bool have_base = false;
+
+  auto feed_tcp = [&](const net::PacketView& pv) {
+    if (!pv.ok() || !pv.has_tcp) return;
+    if (pv.tcp.src_port() != Endpoints{}.client_port) return;
+    if (net::transport_checksum(pv.ipv4.src(), pv.ipv4.dst(), 6,
+                                pv.ip_datagram.subspan(pv.ipv4.header_len())) !=
+        0) {
+      return;  // the stack silently drops it
+    }
+    if (!have_base) {
+      base_seq = pv.tcp.seq() + (pv.tcp.syn() ? 1 : 0);
+      have_base = true;
+    }
+    if (pv.tcp.urg() && pv.tcp.urgent_pointer() != 0 &&
+        !pv.l4_payload.empty()) {
+      // RFC 793: the urgent byte sits just before the pointer; the app
+      // receives it out of band, i.e. not in the in-band stream.
+      urgent_offsets.push_back(pv.tcp.seq() - base_seq +
+                               pv.tcp.urgent_pointer() - 1);
+    }
+    r.add(pv.tcp.seq(), pv.l4_payload, pv.tcp.syn(), pv.tcp.fin());
+    const Bytes chunk = r.read_available();
+    out.insert(out.end(), chunk.begin(), chunk.end());
+  };
+
+  for (const net::Packet& p : pkts) {
+    const auto pv = net::PacketView::parse(p.frame, net::LinkType::raw_ipv4);
+    if (!pv.has_ipv4 || pv.ipv4.ttl() < kVictimHops) continue;  // expired
+    if (pv.is_fragment()) {
+      if (auto whole = defrag.add(pv, p.ts_usec)) {
+        feed_tcp(net::PacketView::parse_ipv4(*whole));
+      }
+    } else {
+      feed_tcp(pv);
+    }
+  }
+
+  // Strip urgent bytes from the in-band stream (descending order keeps
+  // earlier offsets valid).
+  std::sort(urgent_offsets.rbegin(), urgent_offsets.rend());
+  for (const std::uint64_t off : urgent_offsets) {
+    if (off < out.size()) {
+      out.erase(out.begin() + static_cast<std::ptrdiff_t>(off));
+    }
+  }
+  return out;
+}
+
+class TransformDelivery : public ::testing::TestWithParam<EvasionKind> {};
+
+TEST_P(TransformDelivery, TargetStackReceivesIntendedStream) {
+  const EvasionKind kind = GetParam();
+  Rng rng(42);
+  Bytes stream(1500, 0);
+  for (auto& b : stream) b = static_cast<std::uint8_t>(rng.below(256));
+
+  EvasionParams params;
+  params.sig_lo = 600;
+  params.sig_hi = 700;
+  const auto pkts =
+      forge_evasion(kind, Endpoints{}, stream, params, rng, 1000);
+  ASSERT_FALSE(pkts.empty());
+
+  const Bytes received = receive(pkts, target_policy(kind));
+  const Bytes expected = delivered_stream(kind, stream);
+  ASSERT_EQ(received.size(), expected.size()) << to_string(kind);
+  EXPECT_TRUE(equal(received, expected)) << to_string(kind);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, TransformDelivery,
+                         ::testing::ValuesIn(kAllEvasions),
+                         [](const auto& param_info) {
+                           return std::string(to_string(param_info.param));
+                         });
+
+TEST(Transforms, TinySegmentsAreActuallyTiny) {
+  Rng rng(1);
+  const Bytes stream(200, 'a');
+  EvasionParams params;
+  params.tiny_seg_size = 4;
+  const auto pkts = forge_evasion(EvasionKind::tiny_segments, Endpoints{},
+                                  stream, params, rng, 0);
+  std::size_t data_packets = 0;
+  for (const auto& p : pkts) {
+    const auto pv = net::PacketView::parse(p.frame, net::LinkType::raw_ipv4);
+    if (pv.ok() && pv.has_tcp && !pv.l4_payload.empty()) {
+      EXPECT_LE(pv.l4_payload.size(), 4u);
+      ++data_packets;
+    }
+  }
+  EXPECT_EQ(data_packets, 50u);
+}
+
+TEST(Transforms, TinyWindowOnlySplitsTheWindow) {
+  Rng rng(2);
+  const Bytes stream(3000, 'b');
+  EvasionParams params;
+  params.mss = 1000;
+  params.tiny_seg_size = 5;
+  params.sig_lo = 1500;
+  params.sig_hi = 1560;
+  const auto pkts = forge_evasion(EvasionKind::tiny_window, Endpoints{},
+                                  stream, params, rng, 0);
+  std::size_t tiny = 0, large = 0;
+  for (const auto& p : pkts) {
+    const auto pv = net::PacketView::parse(p.frame, net::LinkType::raw_ipv4);
+    if (!pv.ok() || !pv.has_tcp || pv.l4_payload.empty()) continue;
+    if (pv.l4_payload.size() <= 5) {
+      ++tiny;
+    } else {
+      ++large;
+    }
+  }
+  EXPECT_EQ(tiny, 12u);  // 60-byte window at 5 bytes each
+  EXPECT_GE(large, 3u);
+}
+
+TEST(Transforms, FragmentAttacksEmitOnlyFragments) {
+  Rng rng(3);
+  const Bytes stream(500, 'c');
+  EvasionParams params;
+  const auto pkts = forge_evasion(EvasionKind::ip_tiny_fragments, Endpoints{},
+                                  stream, params, rng, 0);
+  std::size_t fragments = 0;
+  for (const auto& p : pkts) {
+    const auto pv = net::PacketView::parse(p.frame, net::LinkType::raw_ipv4);
+    if (pv.is_fragment()) ++fragments;
+  }
+  EXPECT_GT(fragments, 10u);
+}
+
+TEST(Transforms, PostFinDataSendsFinBeforeTail) {
+  Rng rng(4);
+  const Bytes stream(400, 'd');
+  EvasionParams params;
+  params.sig_lo = 100;
+  params.sig_hi = 200;
+  const auto pkts = forge_evasion(EvasionKind::post_fin_data, Endpoints{},
+                                  stream, params, rng, 0);
+  // Find the FIN; assert data follows it.
+  std::size_t fin_at = pkts.size();
+  for (std::size_t i = 0; i < pkts.size(); ++i) {
+    const auto pv = net::PacketView::parse(pkts[i].frame, net::LinkType::raw_ipv4);
+    if (pv.ok() && pv.has_tcp && pv.tcp.fin()) fin_at = i;
+  }
+  ASSERT_LT(fin_at, pkts.size() - 1);
+  bool data_after = false;
+  for (std::size_t i = fin_at + 1; i < pkts.size(); ++i) {
+    const auto pv = net::PacketView::parse(pkts[i].frame, net::LinkType::raw_ipv4);
+    data_after |= pv.ok() && pv.has_tcp && !pv.l4_payload.empty();
+  }
+  EXPECT_TRUE(data_after);
+}
+
+TEST(Transforms, EveryKindHasAName) {
+  for (EvasionKind k : kAllEvasions) {
+    EXPECT_STRNE(to_string(k), "unknown");
+  }
+}
+
+}  // namespace
+}  // namespace sdt::evasion

@@ -1,0 +1,62 @@
+#include "flow/flow_key.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/builder.hpp"
+
+namespace sdt::flow {
+namespace {
+
+TEST(FlowKey, BothDirectionsCanonicalize) {
+  const net::Ipv4Addr a(10, 0, 0, 1), b(10, 0, 0, 2);
+  const FlowRef fwd = make_flow_ref(a, b, 1000, 80, 6);
+  const FlowRef rev = make_flow_ref(b, a, 80, 1000, 6);
+  EXPECT_EQ(fwd.key, rev.key);
+  EXPECT_NE(fwd.dir, rev.dir);
+  EXPECT_EQ(reverse(fwd.dir), rev.dir);
+}
+
+TEST(FlowKey, PortBreaksTieOnSameIp) {
+  const net::Ipv4Addr ip(127, 0, 0, 1);
+  const FlowRef fwd = make_flow_ref(ip, ip, 1000, 2000, 6);
+  const FlowRef rev = make_flow_ref(ip, ip, 2000, 1000, 6);
+  EXPECT_EQ(fwd.key, rev.key);
+  EXPECT_EQ(fwd.dir, Direction::a_to_b);
+  EXPECT_EQ(rev.dir, Direction::b_to_a);
+}
+
+TEST(FlowKey, ProtocolDistinguishes) {
+  const net::Ipv4Addr a(1, 1, 1, 1), b(2, 2, 2, 2);
+  EXPECT_NE(make_flow_ref(a, b, 1, 2, 6).key, make_flow_ref(a, b, 1, 2, 17).key);
+}
+
+TEST(FlowKey, HashStableAndDirectionless) {
+  const net::Ipv4Addr a(1, 2, 3, 4), b(5, 6, 7, 8);
+  const auto h1 = make_flow_ref(a, b, 10, 20, 6).key.hash();
+  const auto h2 = make_flow_ref(b, a, 20, 10, 6).key.hash();
+  EXPECT_EQ(h1, h2);
+  EXPECT_NE(h1, make_flow_ref(a, b, 11, 20, 6).key.hash());
+}
+
+TEST(FlowKey, FromPacketView) {
+  net::Ipv4Spec ip{.src = net::Ipv4Addr(10, 0, 0, 1),
+                   .dst = net::Ipv4Addr(10, 0, 0, 2)};
+  net::TcpSpec t{.src_port = 4444, .dst_port = 80};
+  const Bytes pkt = net::build_tcp_packet(ip, t, to_bytes("x"));
+  const auto pv = net::PacketView::parse(pkt, net::LinkType::raw_ipv4);
+  const FlowRef ref = make_flow_ref(pv);
+  EXPECT_EQ(ref.key.a_ip, net::Ipv4Addr(10, 0, 0, 1));
+  EXPECT_EQ(ref.key.a_port, 4444);
+  EXPECT_EQ(ref.key.proto, 6);
+  EXPECT_EQ(ref.dir, Direction::a_to_b);
+}
+
+TEST(FlowKey, StrIsHumanReadable) {
+  const FlowRef ref =
+      make_flow_ref(net::Ipv4Addr(1, 2, 3, 4), net::Ipv4Addr(5, 6, 7, 8), 9,
+                    10, 6);
+  EXPECT_EQ(ref.key.str(), "1.2.3.4:9 <-> 5.6.7.8:10/6");
+}
+
+}  // namespace
+}  // namespace sdt::flow

@@ -1,0 +1,207 @@
+#include "flow/flow_table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace sdt::flow {
+namespace {
+
+FlowKey key(std::uint32_t n) {
+  FlowKey k;
+  k.a_ip = net::Ipv4Addr(n);
+  k.b_ip = net::Ipv4Addr(n + 1);
+  k.a_port = static_cast<std::uint16_t>(n & 0xffff);
+  k.b_port = 80;
+  k.proto = 6;
+  return k;
+}
+
+TEST(FlowTable, CreateFindErase) {
+  FlowTable<int> t({16});
+  bool created = false;
+  t.get_or_create(key(1), 100, &created) = 7;
+  EXPECT_TRUE(created);
+  ASSERT_NE(t.find(key(1)), nullptr);
+  EXPECT_EQ(*t.find(key(1)), 7);
+  EXPECT_EQ(t.find(key(2)), nullptr);
+  EXPECT_TRUE(t.erase(key(1)));
+  EXPECT_FALSE(t.erase(key(1)));
+  EXPECT_EQ(t.size(), 0u);
+}
+
+TEST(FlowTable, GetOrCreateIsIdempotent) {
+  FlowTable<int> t({16});
+  t.get_or_create(key(5), 1) = 42;
+  bool created = true;
+  EXPECT_EQ(t.get_or_create(key(5), 2, &created), 42);
+  EXPECT_FALSE(created);
+  EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(FlowTable, RejectsZeroCapacity) {
+  EXPECT_THROW(FlowTable<int>({0}), InvalidArgument);
+}
+
+TEST(FlowTable, EvictsLruWhenFull) {
+  FlowTable<int> t({3});
+  std::vector<FlowKey> evicted;
+  t.set_evict_callback([&](const FlowKey& k, int&) { evicted.push_back(k); });
+  t.get_or_create(key(1), 10) = 1;
+  t.get_or_create(key(2), 20) = 2;
+  t.get_or_create(key(3), 30) = 3;
+  // Touch key(1) so key(2) becomes LRU.
+  t.get_or_create(key(1), 40);
+  t.get_or_create(key(4), 50) = 4;
+  EXPECT_EQ(t.size(), 3u);
+  ASSERT_EQ(evicted.size(), 1u);
+  EXPECT_EQ(evicted[0], key(2));
+  EXPECT_EQ(t.find(key(2)), nullptr);
+  EXPECT_NE(t.find(key(1)), nullptr);
+  EXPECT_EQ(t.evictions(), 1u);
+}
+
+TEST(FlowTable, ExpireIdleSweepsOldFlows) {
+  FlowTable<int> t({8});
+  t.get_or_create(key(1), 1'000'000);
+  t.get_or_create(key(2), 2'000'000);
+  t.get_or_create(key(3), 9'000'000);
+  const std::size_t n = t.expire_idle(10'000'000, 5'000'000);
+  EXPECT_EQ(n, 2u);
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_NE(t.find(key(3)), nullptr);
+  EXPECT_EQ(t.expirations(), 2u);
+}
+
+TEST(FlowTable, TouchProtectsFromExpiry) {
+  FlowTable<int> t({8});
+  t.get_or_create(key(1), 1'000'000);
+  t.get_or_create(key(1), 9'500'000);  // refresh
+  EXPECT_EQ(t.expire_idle(10'000'000, 5'000'000), 0u);
+}
+
+TEST(FlowTable, ValueFactoryStampsNewEntries) {
+  FlowTable<int> t({4});
+  t.set_value_factory([] { return 99; });
+  EXPECT_EQ(t.get_or_create(key(1), 1), 99);
+}
+
+TEST(FlowTable, ValueResetOnReuseAfterErase) {
+  FlowTable<std::vector<int>> t({4});
+  t.get_or_create(key(1), 1).push_back(5);
+  t.erase(key(1));
+  EXPECT_TRUE(t.get_or_create(key(1), 2).empty());
+}
+
+TEST(FlowTable, ForEachVisitsAllLive) {
+  FlowTable<int> t({8});
+  for (std::uint32_t i = 0; i < 5; ++i) t.get_or_create(key(i), i) = static_cast<int>(i);
+  t.erase(key(2));
+  int count = 0, sum = 0;
+  t.for_each([&](const FlowKey&, const int& v) {
+    ++count;
+    sum += v;
+  });
+  EXPECT_EQ(count, 4);
+  EXPECT_EQ(sum, 0 + 1 + 3 + 4);
+}
+
+TEST(FlowTable, MemoryAccountingScalesWithCapacity) {
+  FlowTable<int> small({64});
+  FlowTable<int> big({4096});
+  for (std::uint32_t i = 0; i < 64; ++i) {
+    small.get_or_create(key(i), i);
+    big.get_or_create(key(i), i);
+  }
+  EXPECT_GT(big.memory_bytes(), small.memory_bytes());
+  EXPECT_GT(small.bytes_per_flow(), 0.0);
+}
+
+TEST(FlowTable, EraseViaTombstonesKeepsLookupsCorrect) {
+  // Enough churn to force tombstone cleanup (rebuild_index).
+  FlowTable<int> t({128});
+  for (std::uint32_t round = 0; round < 50; ++round) {
+    for (std::uint32_t i = 0; i < 100; ++i) {
+      t.get_or_create(key(round * 1000 + i), round) = static_cast<int>(i);
+    }
+    for (std::uint32_t i = 0; i < 100; ++i) {
+      EXPECT_TRUE(t.erase(key(round * 1000 + i)));
+    }
+  }
+  EXPECT_EQ(t.size(), 0u);
+}
+
+/// Randomized differential test against std::map + manual LRU.
+class FlowTableFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FlowTableFuzz, MatchesReferenceModel) {
+  Rng rng(GetParam());
+  constexpr std::size_t kCap = 32;
+  FlowTable<int> t({kCap});
+  std::map<FlowKey, int> model;
+  std::vector<FlowKey> lru;  // front = most recent
+
+  auto model_touch = [&](const FlowKey& k) {
+    for (auto it = lru.begin(); it != lru.end(); ++it) {
+      if (*it == k) {
+        lru.erase(it);
+        break;
+      }
+    }
+    lru.insert(lru.begin(), k);
+  };
+
+  for (std::uint64_t step = 0; step < 3000; ++step) {
+    const auto n = static_cast<std::uint32_t>(rng.below(64));
+    const FlowKey k = key(n);
+    switch (rng.below(3)) {
+      case 0: {  // get_or_create
+        int& v = t.get_or_create(k, step);
+        if (model.find(k) == model.end()) {
+          if (model.size() >= kCap) {
+            const FlowKey victim = lru.back();
+            lru.pop_back();
+            model.erase(victim);
+          }
+          model[k] = 0;
+          v = static_cast<int>(n);
+          model[k] = static_cast<int>(n);
+        }
+        model_touch(k);
+        break;
+      }
+      case 1: {  // find (no LRU effect)
+        int* v = t.find(k);
+        auto it = model.find(k);
+        ASSERT_EQ(v != nullptr, it != model.end()) << "step " << step;
+        if (v != nullptr) EXPECT_EQ(*v, it->second);
+        break;
+      }
+      case 2: {  // erase
+        const bool did = t.erase(k);
+        auto it = model.find(k);
+        ASSERT_EQ(did, it != model.end()) << "step " << step;
+        if (did) {
+          model.erase(it);
+          for (auto lit = lru.begin(); lit != lru.end(); ++lit) {
+            if (*lit == k) {
+              lru.erase(lit);
+              break;
+            }
+          }
+        }
+        break;
+      }
+    }
+    ASSERT_EQ(t.size(), model.size()) << "step " << step;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FlowTableFuzz,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace sdt::flow

@@ -1,0 +1,175 @@
+// Failure injection and hostile-input robustness: an IPS parses attacker
+// bytes for a living, so nothing in the pipeline may crash, hang, or leak
+// state on garbage — truncated captures, random frames, hostile header
+// fields, fragment bombs.
+#include <gtest/gtest.h>
+
+#include "core/engine.hpp"
+#include "evasion/corpus.hpp"
+#include "net/builder.hpp"
+#include "pcap/pcap.hpp"
+#include "util/rng.hpp"
+
+namespace sdt {
+namespace {
+
+core::SplitDetectEngine make_engine() {
+  static const core::SignatureSet sigs = evasion::default_corpus(16);
+  core::SplitDetectConfig cfg;
+  cfg.fast.piece_len = 8;
+  cfg.fast.max_flows = 1024;
+  cfg.slow_max_flows = 256;
+  return core::SplitDetectEngine(sigs, cfg);
+}
+
+TEST(Robustness, RandomBytesAsPacketsNeverCrash) {
+  auto engine = make_engine();
+  Rng rng(1);
+  std::vector<core::Alert> alerts;
+  for (int i = 0; i < 20000; ++i) {
+    const Bytes junk = rng.random_bytes(rng.below(200));
+    const auto pv = net::PacketView::parse(junk, net::LinkType::raw_ipv4);
+    engine.process(pv, static_cast<std::uint64_t>(i), alerts);
+  }
+  // Random bytes are overwhelmingly unparseable; whatever parses must not
+  // produce signature alerts (32+ byte random match: impossible).
+  for (const auto& a : alerts) {
+    EXPECT_TRUE(a.signature_id == core::kConflictAlertId ||
+                a.signature_id == core::kUrgentAlertId);
+  }
+}
+
+TEST(Robustness, MutatedRealPacketsNeverCrash) {
+  auto engine = make_engine();
+  Rng rng(2);
+  std::vector<core::Alert> alerts;
+  net::Ipv4Spec ip{.src = net::Ipv4Addr(10, 0, 0, 1),
+                   .dst = net::Ipv4Addr(10, 0, 0, 2)};
+  net::TcpSpec t{.src_port = 1234, .dst_port = 80, .seq = 1};
+  const Bytes base = net::build_tcp_packet(ip, t, Bytes(100, 'x'));
+
+  for (int i = 0; i < 20000; ++i) {
+    Bytes pkt = base;
+    // Flip 1-8 random bytes anywhere (headers included).
+    const std::size_t flips = 1 + rng.below(8);
+    for (std::size_t f = 0; f < flips; ++f) {
+      pkt[rng.below(pkt.size())] ^= static_cast<std::uint8_t>(rng.next());
+    }
+    // Occasionally truncate.
+    if (rng.chance(0.3)) pkt.resize(1 + rng.below(pkt.size()));
+    const auto pv = net::PacketView::parse(pkt, net::LinkType::raw_ipv4);
+    engine.process(pv, static_cast<std::uint64_t>(i), alerts);
+  }
+  SUCCEED();
+}
+
+TEST(Robustness, PcapReaderSurvivesRandomFiles) {
+  Rng rng(3);
+  for (int i = 0; i < 500; ++i) {
+    Bytes junk = rng.random_bytes(24 + rng.below(400));
+    if (rng.chance(0.5)) {
+      // Plant a valid magic so parsing proceeds into the records.
+      junk[0] = 0xd4;
+      junk[1] = 0xc3;
+      junk[2] = 0xb2;
+      junk[3] = 0xa1;
+      junk[4] = 0x02;
+      junk[5] = 0x00;
+      junk[6] = 0x04;
+      junk[7] = 0x00;
+    }
+    try {
+      pcap::Reader r(std::move(junk));
+      while (r.next()) {
+      }
+    } catch (const Error&) {
+      // Throwing a typed error is fine; crashing is not.
+    }
+  }
+  SUCCEED();
+}
+
+TEST(Robustness, FragmentBombStaysBounded) {
+  // Thousands of never-completing fragment sets must not grow memory
+  // beyond the configured caps.
+  auto engine = make_engine();
+  std::vector<core::Alert> alerts;
+  for (std::uint32_t i = 0; i < 20000; ++i) {
+    net::Ipv4Spec s{.src = net::Ipv4Addr(i),
+                    .dst = net::Ipv4Addr(10, 0, 0, 2),
+                    .protocol = 6,
+                    .id = static_cast<std::uint16_t>(i),
+                    .more_fragments = true};
+    const Bytes frag = net::build_ipv4(s, Bytes(128, 1));
+    engine.process(net::PacketView::parse(frag, net::LinkType::raw_ipv4), i,
+                   alerts);
+  }
+  EXPECT_TRUE(alerts.empty());
+  // Engine defrag contexts capped (IpDefragConfig::max_pending_datagrams).
+  EXPECT_LT(engine.memory_bytes(), 512u * 1024 * 1024);
+}
+
+TEST(Robustness, OverlappingFragmentSplinters) {
+  // Teardrop-style pathological fragment overlap patterns.
+  auto engine = make_engine();
+  Rng rng(4);
+  std::vector<core::Alert> alerts;
+  for (int iter = 0; iter < 300; ++iter) {
+    const std::uint16_t id = static_cast<std::uint16_t>(iter);
+    for (int f = 0; f < 20; ++f) {
+      const std::size_t off = rng.below(64) * 8;
+      const std::size_t len = 8 + rng.below(16) * 8;
+      net::Ipv4Spec s{.src = net::Ipv4Addr(1, 2, 3, 4),
+                      .dst = net::Ipv4Addr(10, 0, 0, 2),
+                      .protocol = 6,
+                      .id = id,
+                      .more_fragments = rng.chance(0.8),
+                      .fragment_offset = off};
+      const Bytes frag = net::build_ipv4(s, Bytes(len, static_cast<std::uint8_t>(f)));
+      engine.process(net::PacketView::parse(frag, net::LinkType::raw_ipv4),
+                     static_cast<std::uint64_t>(iter * 100 + f), alerts);
+    }
+  }
+  SUCCEED();
+}
+
+TEST(Robustness, SeqWraparoundFloodOnOneFlow) {
+  // Hostile sequence numbers sweeping the whole 32-bit circle on one flow.
+  auto engine = make_engine();
+  Rng rng(5);
+  std::vector<core::Alert> alerts;
+  for (int i = 0; i < 5000; ++i) {
+    net::Ipv4Spec ip{.src = net::Ipv4Addr(10, 0, 0, 1),
+                     .dst = net::Ipv4Addr(10, 0, 0, 2)};
+    net::TcpSpec t{.src_port = 999,
+                   .dst_port = 80,
+                   .seq = static_cast<std::uint32_t>(rng.next())};
+    const Bytes pkt = net::build_tcp_packet(ip, t, Bytes(32, 'w'));
+    engine.process(net::PacketView::parse(pkt, net::LinkType::raw_ipv4),
+                   static_cast<std::uint64_t>(i), alerts);
+  }
+  // The flow diverts immediately; the slow path's buffered bytes must stay
+  // within its per-direction cap.
+  EXPECT_LT(engine.slow_path().flow_state_bytes(), 128u * 1024 * 1024);
+}
+
+TEST(Robustness, EngineStateBoundedUnderFlowChurn) {
+  auto engine = make_engine();
+  Rng rng(6);
+  std::vector<core::Alert> alerts;
+  for (std::uint32_t i = 0; i < 50000; ++i) {
+    net::Ipv4Spec ip{.src = net::Ipv4Addr(0x0a000000 + i),
+                     .dst = net::Ipv4Addr(10, 0, 0, 2)};
+    net::TcpSpec t{.src_port = static_cast<std::uint16_t>(i % 60000 + 1024),
+                   .dst_port = 80,
+                   .seq = 1};
+    const Bytes pkt = net::build_tcp_packet(ip, t, Bytes(64, 'c'));
+    engine.process(net::PacketView::parse(pkt, net::LinkType::raw_ipv4), i,
+                   alerts);
+  }
+  // 50k distinct flows through a 1024-flow table: LRU keeps it capped.
+  EXPECT_LE(engine.fast_path().flows(), 1024u);
+}
+
+}  // namespace
+}  // namespace sdt

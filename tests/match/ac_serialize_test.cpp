@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include "match/aho_corasick.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace sdt::match {
+namespace {
+
+AhoCorasick sample(AcLayout layout) {
+  AhoCorasick::Builder b;
+  b.add(to_bytes("he"));
+  b.add(to_bytes("she"));
+  b.add(to_bytes("his"));
+  b.add(to_bytes("hers"));
+  b.add(from_hex("009000ff"));
+  return b.build(layout);
+}
+
+void expect_equivalent(const AhoCorasick& a, const AhoCorasick& b,
+                       ByteView hay) {
+  auto collect = [&](const AhoCorasick& ac) {
+    std::vector<std::pair<std::uint32_t, std::size_t>> v;
+    for (const auto& m : ac.find_all(hay)) v.emplace_back(m.pattern_id, m.end_offset);
+    return v;
+  };
+  EXPECT_EQ(collect(a), collect(b));
+}
+
+class AcSerialize : public ::testing::TestWithParam<AcLayout> {};
+
+TEST_P(AcSerialize, RoundTripPreservesEverything) {
+  const AhoCorasick ac = sample(GetParam());
+  const Bytes blob = ac.serialize();
+  const AhoCorasick back = AhoCorasick::deserialize(blob);
+
+  EXPECT_EQ(back.layout(), ac.layout());
+  EXPECT_EQ(back.state_count(), ac.state_count());
+  EXPECT_EQ(back.pattern_count(), ac.pattern_count());
+  for (std::uint32_t i = 0; i < ac.pattern_count(); ++i) {
+    EXPECT_TRUE(equal(back.pattern(i), ac.pattern(i)));
+  }
+  const Bytes hay = to_bytes("ushers and his heraldry");
+  expect_equivalent(ac, back, hay);
+}
+
+TEST_P(AcSerialize, RoundTripOnRandomPatternSets) {
+  Rng rng(7);
+  for (int iter = 0; iter < 10; ++iter) {
+    AhoCorasick::Builder b;
+    const std::size_t n = 1 + rng.below(40);
+    for (std::size_t i = 0; i < n; ++i) {
+      b.add(rng.random_bytes(1 + rng.below(24)));
+    }
+    const AhoCorasick ac = b.build(GetParam());
+    const AhoCorasick back = AhoCorasick::deserialize(ac.serialize());
+    const Bytes hay = rng.random_bytes(2000);
+    expect_equivalent(ac, back, hay);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Layouts, AcSerialize,
+                         ::testing::Values(AcLayout::dense_dfa,
+                                           AcLayout::sparse_nfa));
+
+TEST(AcSerializeErrors, RejectsBadMagic) {
+  Bytes blob = sample(AcLayout::dense_dfa).serialize();
+  blob[0] = 'X';
+  EXPECT_THROW(AhoCorasick::deserialize(blob), ParseError);
+}
+
+TEST(AcSerializeErrors, RejectsTruncation) {
+  const Bytes blob = sample(AcLayout::sparse_nfa).serialize();
+  for (const std::size_t keep : {std::size_t{4}, std::size_t{20}, blob.size() - 1}) {
+    EXPECT_THROW(
+        AhoCorasick::deserialize(ByteView(blob).subspan(0, keep)), ParseError)
+        << keep;
+  }
+}
+
+TEST(AcSerializeErrors, DetectsBitFlips) {
+  const Bytes orig = sample(AcLayout::dense_dfa).serialize();
+  Rng rng(5);
+  for (int i = 0; i < 50; ++i) {
+    Bytes blob = orig;
+    blob[9 + rng.below(blob.size() - 17)] ^= 0x01;  // inside the payload
+    EXPECT_THROW(AhoCorasick::deserialize(blob), ParseError) << i;
+  }
+}
+
+TEST(AcSerializeErrors, EmptyBlob) {
+  EXPECT_THROW(AhoCorasick::deserialize(ByteView{}), ParseError);
+}
+
+}  // namespace
+}  // namespace sdt::match

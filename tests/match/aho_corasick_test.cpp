@@ -1,0 +1,187 @@
+#include "match/aho_corasick.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "match/single_match.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace sdt::match {
+namespace {
+
+AhoCorasick make(std::initializer_list<const char*> patterns,
+                 AcLayout layout = AcLayout::dense_dfa) {
+  AhoCorasick::Builder b;
+  for (const char* p : patterns) b.add(to_bytes(p));
+  return b.build(layout);
+}
+
+/// (pattern_id, end_offset) pairs, sorted, for easy comparison.
+std::vector<std::pair<std::uint32_t, std::size_t>> hits(const AhoCorasick& ac,
+                                                        ByteView data) {
+  std::vector<std::pair<std::uint32_t, std::size_t>> out;
+  for (const auto& m : ac.find_all(data)) {
+    out.emplace_back(m.pattern_id, m.end_offset);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+TEST(AhoCorasick, RejectsEmptyPattern) {
+  AhoCorasick::Builder b;
+  EXPECT_THROW(b.add(ByteView{}), InvalidArgument);
+}
+
+TEST(AhoCorasick, SinglePatternBasic) {
+  const AhoCorasick ac = make({"abc"});
+  const Bytes hay = to_bytes("xxabcxabc");
+  const auto h = hits(ac, hay);
+  ASSERT_EQ(h.size(), 2u);
+  EXPECT_EQ(h[0], std::make_pair(0u, std::size_t{5}));
+  EXPECT_EQ(h[1], std::make_pair(0u, std::size_t{9}));
+}
+
+TEST(AhoCorasick, ClassicMultiPattern) {
+  // The canonical he/she/his/hers example.
+  const AhoCorasick ac = make({"he", "she", "his", "hers"});
+  const Bytes hay = to_bytes("ushers");
+  const auto h = hits(ac, hay);
+  // "she" ends at 4, "he" ends at 4, "hers" ends at 6.
+  std::vector<std::pair<std::uint32_t, std::size_t>> expect{
+      {0, 4}, {1, 4}, {3, 6}};
+  EXPECT_EQ(h, expect);
+}
+
+TEST(AhoCorasick, PatternInsidePatternBothReported) {
+  const AhoCorasick ac = make({"abcd", "bc"});
+  const auto h = hits(ac, to_bytes("abcd"));
+  std::vector<std::pair<std::uint32_t, std::size_t>> expect{{0, 4}, {1, 3}};
+  EXPECT_EQ(h, expect);
+}
+
+TEST(AhoCorasick, DuplicatePatternsGetDistinctIds) {
+  const AhoCorasick ac = make({"dup", "dup"});
+  const auto h = hits(ac, to_bytes("xdupx"));
+  ASSERT_EQ(h.size(), 2u);
+  EXPECT_EQ(h[0].first, 0u);
+  EXPECT_EQ(h[1].first, 1u);
+}
+
+TEST(AhoCorasick, OverlappingOccurrences) {
+  const AhoCorasick ac = make({"aa"});
+  EXPECT_EQ(hits(ac, to_bytes("aaaa")).size(), 3u);
+}
+
+TEST(AhoCorasick, BinaryPatterns) {
+  AhoCorasick::Builder b;
+  b.add(from_hex("00ff00"));
+  b.add(from_hex("909090"));
+  const AhoCorasick ac = b.build();
+  const Bytes hay = from_hex("aa00ff00bb909090");
+  EXPECT_EQ(ac.find_all(hay).size(), 2u);
+}
+
+TEST(AhoCorasick, ContainsAnyEarlyExit) {
+  const AhoCorasick ac = make({"needle"});
+  EXPECT_TRUE(ac.contains_any(to_bytes("hay needle hay")));
+  EXPECT_FALSE(ac.contains_any(to_bytes("hay hay hay")));
+  EXPECT_FALSE(ac.contains_any(ByteView{}));
+}
+
+TEST(AhoCorasick, FirstMatchReturnsId) {
+  const AhoCorasick ac = make({"bbb", "aa"});
+  EXPECT_EQ(ac.first_match(to_bytes("xxaaxbbb")), 1);
+  EXPECT_EQ(ac.first_match(to_bytes("zzz")), -1);
+}
+
+TEST(AhoCorasick, StreamingAcrossChunksEqualsOneShot) {
+  const AhoCorasick ac = make({"hello", "world", "lowo"});
+  const Bytes hay = to_bytes("say helloworld again helloworld");
+
+  std::vector<std::pair<std::uint32_t, std::size_t>> streamed;
+  AhoCorasick::State s = AhoCorasick::kRoot;
+  std::size_t base = 0;
+  for (std::size_t chunk = 1; base < hay.size(); base += chunk, chunk = (chunk % 5) + 1) {
+    const std::size_t n = std::min(chunk, hay.size() - base);
+    s = ac.scan(ByteView(hay).subspan(base, n), s, [&](AhoCorasick::Match m) {
+      streamed.emplace_back(m.pattern_id, base + m.end_offset);
+    });
+  }
+  std::sort(streamed.begin(), streamed.end());
+  EXPECT_EQ(streamed, hits(ac, hay));
+}
+
+TEST(AhoCorasick, DenseAndSparseAgree) {
+  const AhoCorasick dense = make({"he", "she", "his", "hers", "x"},
+                                 AcLayout::dense_dfa);
+  const AhoCorasick sparse = make({"he", "she", "his", "hers", "x"},
+                                  AcLayout::sparse_nfa);
+  const Bytes hay = to_bytes("xhishershex and she said x");
+  EXPECT_EQ(hits(dense, hay), hits(sparse, hay));
+  EXPECT_EQ(dense.state_count(), sparse.state_count());
+}
+
+TEST(AhoCorasick, SparseUsesLessMemoryThanDense) {
+  AhoCorasick::Builder b;
+  Rng rng(7);
+  for (int i = 0; i < 50; ++i) b.add(rng.random_bytes(32));
+  const AhoCorasick dense = b.build(AcLayout::dense_dfa);
+  const AhoCorasick sparse = b.build(AcLayout::sparse_nfa);
+  EXPECT_LT(sparse.memory_bytes(), dense.memory_bytes() / 10);
+}
+
+TEST(AhoCorasick, StateAndPatternCounts) {
+  const AhoCorasick ac = make({"ab", "abc"});
+  EXPECT_EQ(ac.pattern_count(), 2u);
+  // root + a + ab + abc
+  EXPECT_EQ(ac.state_count(), 4u);
+  EXPECT_EQ(sdt::to_string(ac.pattern(1)), "abc");
+}
+
+class AcLayoutFuzz
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, AcLayout>> {};
+
+TEST_P(AcLayoutFuzz, AgreesWithNaiveOracleOnRandomInput) {
+  const auto [seed, layout] = GetParam();
+  Rng rng(seed);
+
+  // Small alphabet so patterns actually occur.
+  auto rand_bytes = [&](std::size_t n) {
+    Bytes b(n);
+    for (auto& c : b) c = static_cast<std::uint8_t>('a' + rng.below(4));
+    return b;
+  };
+
+  std::vector<Bytes> patterns;
+  AhoCorasick::Builder b;
+  const std::size_t np = 1 + rng.below(8);
+  for (std::size_t i = 0; i < np; ++i) {
+    patterns.push_back(rand_bytes(1 + rng.below(6)));
+    b.add(patterns.back());
+  }
+  const AhoCorasick ac = b.build(layout);
+  const Bytes hay = rand_bytes(400);
+
+  // Expected: all naive occurrences of every pattern (dedup on identical
+  // byte strings is not performed — ids are distinct even for duplicates).
+  std::vector<std::pair<std::uint32_t, std::size_t>> expected;
+  for (std::uint32_t id = 0; id < patterns.size(); ++id) {
+    for (std::size_t pos : naive_find_all(hay, patterns[id])) {
+      expected.emplace_back(id, pos + patterns[id].size());
+    }
+  }
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(hits(ac, hay), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, AcLayoutFuzz,
+    ::testing::Combine(::testing::Range<std::uint64_t>(1, 13),
+                       ::testing::Values(AcLayout::dense_dfa,
+                                         AcLayout::sparse_nfa)));
+
+}  // namespace
+}  // namespace sdt::match

@@ -1,0 +1,82 @@
+#include "match/single_match.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace sdt::match {
+namespace {
+
+TEST(Bmh, RejectsEmptyPattern) {
+  EXPECT_THROW(Bmh{ByteView{}}, InvalidArgument);
+}
+
+TEST(Bmh, FindsFirstOccurrence) {
+  const Bmh m(to_bytes("needle"));
+  const Bytes hay = to_bytes("hay needle hay needle");
+  auto p = m.find(hay);
+  ASSERT_TRUE(p);
+  EXPECT_EQ(*p, 4u);
+}
+
+TEST(Bmh, FindFromOffset) {
+  const Bmh m(to_bytes("ab"));
+  const Bytes hay = to_bytes("ab ab ab");
+  EXPECT_EQ(m.find(hay, 1).value(), 3u);
+  EXPECT_EQ(m.find(hay, 7), std::nullopt);
+}
+
+TEST(Bmh, PatternLongerThanHaystack) {
+  const Bmh m(to_bytes("longpattern"));
+  EXPECT_FALSE(m.find(to_bytes("short")));
+}
+
+TEST(Bmh, ExactLengthMatch) {
+  const Bmh m(to_bytes("whole"));
+  EXPECT_EQ(m.find(to_bytes("whole")).value(), 0u);
+}
+
+TEST(Bmh, SingleBytePattern) {
+  const Bmh m(from_hex("00"));
+  const Bytes hay = from_hex("ff00ff00");
+  EXPECT_EQ(m.find_all(hay), (std::vector<std::size_t>{1, 3}));
+}
+
+TEST(Bmh, OverlappingMatches) {
+  const Bmh m(to_bytes("aa"));
+  EXPECT_EQ(m.find_all(to_bytes("aaaa")), (std::vector<std::size_t>{0, 1, 2}));
+}
+
+TEST(Bmh, BinaryContent) {
+  const Bmh m(from_hex("deadbeef"));
+  Bytes hay = from_hex("00deadbeef00dead");
+  EXPECT_EQ(m.find_all(hay), (std::vector<std::size_t>{1}));
+  EXPECT_TRUE(m.contains(hay));
+}
+
+TEST(NaiveFindAll, EmptyAndTrivialCases) {
+  EXPECT_TRUE(naive_find_all(to_bytes("abc"), ByteView{}).empty());
+  EXPECT_TRUE(naive_find_all(ByteView{}, to_bytes("a")).empty());
+  EXPECT_EQ(naive_find_all(to_bytes("a"), to_bytes("a")),
+            (std::vector<std::size_t>{0}));
+}
+
+class BmhFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BmhFuzz, AgreesWithNaive) {
+  Rng rng(GetParam());
+  for (int iter = 0; iter < 50; ++iter) {
+    Bytes pattern(1 + rng.below(8));
+    for (auto& c : pattern) c = static_cast<std::uint8_t>('a' + rng.below(3));
+    Bytes hay(rng.below(300));
+    for (auto& c : hay) c = static_cast<std::uint8_t>('a' + rng.below(3));
+    const Bmh m(pattern);
+    EXPECT_EQ(m.find_all(hay), naive_find_all(hay, pattern));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BmhFuzz, ::testing::Range<std::uint64_t>(1, 9));
+
+}  // namespace
+}  // namespace sdt::match

@@ -1,0 +1,155 @@
+#include "net/builder.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/checksum.hpp"
+#include "net/packet.hpp"
+
+namespace sdt::net {
+namespace {
+
+TEST(Builder, Ipv4HeaderChecksumValid) {
+  Ipv4Spec ip{.src = Ipv4Addr(192, 168, 0, 1), .dst = Ipv4Addr(192, 168, 0, 2)};
+  const Bytes pkt = build_ipv4(ip, to_bytes("payload"));
+  // Re-summing the header including its checksum must give zero.
+  EXPECT_EQ(checksum(ByteView(pkt).subspan(0, 20)), 0);
+}
+
+TEST(Builder, TcpChecksumValid) {
+  const Ipv4Addr src(1, 2, 3, 4), dst(5, 6, 7, 8);
+  TcpSpec t{.src_port = 9999, .dst_port = 80, .seq = 7, .ack = 9};
+  const Bytes seg = build_tcp(src, dst, t, to_bytes("data!"));
+  EXPECT_EQ(transport_checksum(src, dst, 6, seg), 0);
+}
+
+TEST(Builder, UdpChecksumValid) {
+  const Ipv4Addr src(1, 2, 3, 4), dst(5, 6, 7, 8);
+  const Bytes seg = build_udp(src, dst, 53, 1024, to_bytes("q"));
+  EXPECT_EQ(transport_checksum(src, dst, 17, seg), 0);
+}
+
+TEST(Builder, RoundTripAllFields) {
+  Ipv4Spec ip{.src = Ipv4Addr(10, 1, 2, 3),
+              .dst = Ipv4Addr(10, 4, 5, 6),
+              .ttl = 33,
+              .tos = 0x10,
+              .id = 777,
+              .dont_fragment = true};
+  TcpSpec t{.src_port = 1111,
+            .dst_port = 2222,
+            .seq = 0xdeadbeef,
+            .ack = 0xfeedface,
+            .flags = static_cast<std::uint8_t>(kTcpPsh | kTcpAck),
+            .window = 4321,
+            .urgent_pointer = 5};
+  const Bytes payload = to_bytes("roundtrip");
+  const Bytes pkt = build_tcp_packet(ip, t, payload);
+  const PacketView pv = PacketView::parse(pkt, LinkType::raw_ipv4);
+  ASSERT_TRUE(pv.ok());
+  EXPECT_EQ(pv.ipv4.ttl(), 33);
+  EXPECT_EQ(pv.ipv4.tos(), 0x10);
+  EXPECT_EQ(pv.ipv4.id(), 777);
+  EXPECT_TRUE(pv.ipv4.dont_fragment());
+  EXPECT_FALSE(pv.ipv4.is_fragment());
+  EXPECT_EQ(pv.tcp.seq(), 0xdeadbeefu);
+  EXPECT_EQ(pv.tcp.ack(), 0xfeedfaceu);
+  EXPECT_TRUE(pv.tcp.psh());
+  EXPECT_EQ(pv.tcp.window(), 4321);
+  EXPECT_EQ(pv.tcp.urgent_pointer(), 5);
+  EXPECT_TRUE(equal(pv.l4_payload, payload));
+}
+
+TEST(Builder, RejectsUnalignedFragmentOffset) {
+  Ipv4Spec ip{.src = Ipv4Addr(1, 1, 1, 1),
+              .dst = Ipv4Addr(2, 2, 2, 2),
+              .fragment_offset = 3};
+  EXPECT_THROW(build_ipv4(ip, {}), InvalidArgument);
+}
+
+TEST(Builder, RejectsOversizeDatagram) {
+  Ipv4Spec ip{.src = Ipv4Addr(1, 1, 1, 1), .dst = Ipv4Addr(2, 2, 2, 2)};
+  const Bytes big(70000, 0);
+  EXPECT_THROW(build_ipv4(ip, big), InvalidArgument);
+}
+
+TEST(Builder, WrapEthernetParses) {
+  Ipv4Spec ip{.src = Ipv4Addr(9, 9, 9, 9), .dst = Ipv4Addr(8, 8, 8, 8)};
+  const Bytes frame =
+      wrap_ethernet(build_udp_packet(ip, 1, 2, to_bytes("eth")));
+  const PacketView pv = PacketView::parse(frame, LinkType::ethernet);
+  ASSERT_TRUE(pv.ok());
+  EXPECT_EQ(sdt::to_string(pv.l4_payload), "eth");
+}
+
+class FragmentRoundTrip : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FragmentRoundTrip, FragmentsCoverDatagramExactly) {
+  const std::size_t mtu_payload = GetParam();
+  Ipv4Spec ip{.src = Ipv4Addr(10, 0, 0, 1),
+              .dst = Ipv4Addr(10, 0, 0, 2),
+              .id = 42};
+  Bytes body(1000, 0);
+  for (std::size_t i = 0; i < body.size(); ++i) {
+    body[i] = static_cast<std::uint8_t>(i & 0xff);
+  }
+  TcpSpec t{.src_port = 1, .dst_port = 2, .seq = 0};
+  const Bytes whole = build_tcp_packet(ip, t, body);
+  const std::vector<Bytes> frags = fragment_ipv4(whole, mtu_payload);
+  ASSERT_GT(frags.size(), 1u);
+
+  // Reassemble by hand and compare with the original datagram body.
+  Bytes rebuilt(whole.size() - 20, 0xAA);
+  std::size_t covered = 0;
+  for (const Bytes& f : frags) {
+    const PacketView pv = PacketView::parse(f, LinkType::raw_ipv4);
+    ASSERT_TRUE(pv.has_ipv4);
+    ASSERT_TRUE(pv.is_fragment());
+    EXPECT_EQ(pv.ipv4.id(), 42);
+    EXPECT_EQ(checksum(ByteView(f).subspan(0, 20)), 0);  // per-fragment csum
+    const ByteView data = pv.ip_datagram.subspan(pv.ipv4.header_len());
+    const std::size_t off = pv.ipv4.fragment_offset();
+    ASSERT_LE(off + data.size(), rebuilt.size());
+    std::copy(data.begin(), data.end(),
+              rebuilt.begin() + static_cast<std::ptrdiff_t>(off));
+    covered += data.size();
+  }
+  EXPECT_EQ(covered, rebuilt.size());
+  EXPECT_TRUE(equal(rebuilt, ByteView(whole).subspan(20)));
+  // Only the last fragment may clear MF.
+  for (std::size_t i = 0; i + 1 < frags.size(); ++i) {
+    EXPECT_TRUE(PacketView::parse(frags[i], LinkType::raw_ipv4)
+                    .ipv4.more_fragments());
+  }
+  EXPECT_FALSE(PacketView::parse(frags.back(), LinkType::raw_ipv4)
+                   .ipv4.more_fragments());
+}
+
+INSTANTIATE_TEST_SUITE_P(MtuSweep, FragmentRoundTrip,
+                         ::testing::Values(8, 16, 64, 100, 512));
+
+TEST(Fragmenter, SmallDatagramUnfragmented) {
+  Ipv4Spec ip{.src = Ipv4Addr(1, 1, 1, 1), .dst = Ipv4Addr(2, 2, 2, 2)};
+  TcpSpec t{.src_port = 1, .dst_port = 2};
+  const Bytes whole = build_tcp_packet(ip, t, to_bytes("tiny"));
+  const auto frags = fragment_ipv4(whole, 512);
+  ASSERT_EQ(frags.size(), 1u);
+  EXPECT_TRUE(equal(frags[0], whole));
+}
+
+TEST(Fragmenter, RejectsTinyMtu) {
+  Ipv4Spec ip{.src = Ipv4Addr(1, 1, 1, 1), .dst = Ipv4Addr(2, 2, 2, 2)};
+  TcpSpec t{.src_port = 1, .dst_port = 2};
+  const Bytes whole = build_tcp_packet(ip, t, to_bytes("x"));
+  EXPECT_THROW(fragment_ipv4(whole, 4), InvalidArgument);
+}
+
+TEST(Fragmenter, RejectsFragmentInput) {
+  Ipv4Spec ip{.src = Ipv4Addr(1, 1, 1, 1),
+              .dst = Ipv4Addr(2, 2, 2, 2),
+              .more_fragments = true};
+  const Bytes frag = build_ipv4(ip, Bytes(64, 0));
+  EXPECT_THROW(fragment_ipv4(frag, 16), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace sdt::net

@@ -1,0 +1,166 @@
+#include "net/packet.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/builder.hpp"
+
+namespace sdt::net {
+namespace {
+
+Bytes sample_tcp_packet(ByteView payload = {}) {
+  Ipv4Spec ip{.src = Ipv4Addr(10, 0, 0, 1), .dst = Ipv4Addr(10, 0, 0, 2)};
+  TcpSpec tcp{.src_port = 1234, .dst_port = 80, .seq = 1000, .ack = 2000};
+  return build_tcp_packet(ip, tcp, payload);
+}
+
+TEST(PacketView, ParsesRawIpv4Tcp) {
+  const Bytes payload = to_bytes("GET / HTTP/1.0\r\n");
+  const Bytes pkt = sample_tcp_packet(payload);
+  const PacketView pv = PacketView::parse(pkt, LinkType::raw_ipv4);
+  ASSERT_TRUE(pv.ok());
+  ASSERT_TRUE(pv.has_tcp);
+  EXPECT_EQ(pv.ipv4.src().str(), "10.0.0.1");
+  EXPECT_EQ(pv.ipv4.dst().str(), "10.0.0.2");
+  EXPECT_EQ(pv.tcp.src_port(), 1234);
+  EXPECT_EQ(pv.tcp.dst_port(), 80);
+  EXPECT_EQ(pv.tcp.seq(), 1000u);
+  EXPECT_TRUE(equal(pv.l4_payload, payload));
+}
+
+TEST(PacketView, ParsesEthernetFrame) {
+  const Bytes pkt = wrap_ethernet(sample_tcp_packet(to_bytes("x")));
+  const PacketView pv = PacketView::parse(pkt, LinkType::ethernet);
+  ASSERT_TRUE(pv.ok());
+  EXPECT_TRUE(pv.has_tcp);
+  EXPECT_EQ(pv.l4_payload.size(), 1u);
+}
+
+TEST(PacketView, RejectsNonIpEthertype) {
+  Bytes pkt = wrap_ethernet(sample_tcp_packet());
+  pkt[12] = 0x08;
+  pkt[13] = 0x06;  // ARP
+  const PacketView pv = PacketView::parse(pkt, LinkType::ethernet);
+  EXPECT_EQ(pv.status, ParseStatus::not_ipv4);
+}
+
+TEST(PacketView, RejectsShortEthernetFrame) {
+  const Bytes pkt = from_hex("0102030405");
+  EXPECT_EQ(PacketView::parse(pkt, LinkType::ethernet).status,
+            ParseStatus::truncated_l2);
+}
+
+TEST(PacketView, RejectsTruncatedIpHeader) {
+  const Bytes pkt = from_hex("450000");
+  EXPECT_EQ(PacketView::parse(pkt, LinkType::raw_ipv4).status,
+            ParseStatus::truncated_l3);
+}
+
+TEST(PacketView, RejectsWrongIpVersion) {
+  Bytes pkt = sample_tcp_packet();
+  pkt[0] = static_cast<std::uint8_t>(0x65);  // version 6
+  EXPECT_EQ(PacketView::parse(pkt, LinkType::raw_ipv4).status,
+            ParseStatus::not_ipv4);
+}
+
+TEST(PacketView, RejectsBogusIhl) {
+  Bytes pkt = sample_tcp_packet();
+  pkt[0] = 0x41;  // IHL = 4 words < 20 bytes
+  EXPECT_EQ(PacketView::parse(pkt, LinkType::raw_ipv4).status,
+            ParseStatus::bad_ip_header);
+}
+
+TEST(PacketView, RejectsTotalLengthBeyondCapture) {
+  Bytes pkt = sample_tcp_packet();
+  wr_u16be(pkt, 2, static_cast<std::uint16_t>(pkt.size() + 10));
+  EXPECT_EQ(PacketView::parse(pkt, LinkType::raw_ipv4).status,
+            ParseStatus::truncated_l3);
+}
+
+TEST(PacketView, TrimsLinkPadding) {
+  const Bytes payload = to_bytes("abc");
+  Bytes pkt = sample_tcp_packet(payload);
+  pkt.insert(pkt.end(), 10, 0x00);  // Ethernet-style trailing padding
+  const PacketView pv = PacketView::parse(pkt, LinkType::raw_ipv4);
+  ASSERT_TRUE(pv.ok());
+  EXPECT_TRUE(equal(pv.l4_payload, payload));
+}
+
+TEST(PacketView, ClassifiesFragment) {
+  Ipv4Spec ip{.src = Ipv4Addr(1, 1, 1, 1),
+              .dst = Ipv4Addr(2, 2, 2, 2),
+              .more_fragments = true};
+  const Bytes pkt = build_ipv4(ip, to_bytes("12345678"));
+  const PacketView pv = PacketView::parse(pkt, LinkType::raw_ipv4);
+  EXPECT_TRUE(pv.is_fragment());
+  EXPECT_TRUE(pv.has_ipv4);
+  EXPECT_FALSE(pv.has_tcp);
+}
+
+TEST(PacketView, NonFirstFragmentHasOffset) {
+  Ipv4Spec ip{.src = Ipv4Addr(1, 1, 1, 1),
+              .dst = Ipv4Addr(2, 2, 2, 2),
+              .fragment_offset = 64};
+  const Bytes pkt = build_ipv4(ip, to_bytes("tail"));
+  const PacketView pv = PacketView::parse(pkt, LinkType::raw_ipv4);
+  EXPECT_TRUE(pv.is_fragment());
+  EXPECT_EQ(pv.ipv4.fragment_offset(), 64u);
+  EXPECT_FALSE(pv.ipv4.more_fragments());
+}
+
+TEST(PacketView, ParsesUdp) {
+  Ipv4Spec ip{.src = Ipv4Addr(10, 0, 0, 1), .dst = Ipv4Addr(10, 0, 0, 9)};
+  const Bytes pkt = build_udp_packet(ip, 53, 5353, to_bytes("dns-ish"));
+  const PacketView pv = PacketView::parse(pkt, LinkType::raw_ipv4);
+  ASSERT_TRUE(pv.ok());
+  ASSERT_TRUE(pv.has_udp);
+  EXPECT_EQ(pv.udp.src_port(), 53);
+  EXPECT_EQ(pv.udp.dst_port(), 5353);
+  EXPECT_EQ(sdt::to_string(pv.l4_payload), "dns-ish");
+}
+
+TEST(PacketView, UnsupportedProtocolForwarded) {
+  Ipv4Spec ip{.src = Ipv4Addr(1, 1, 1, 1),
+              .dst = Ipv4Addr(2, 2, 2, 2),
+              .protocol = 47};  // GRE
+  const Bytes pkt = build_ipv4(ip, to_bytes("opaque"));
+  EXPECT_EQ(PacketView::parse(pkt, LinkType::raw_ipv4).status,
+            ParseStatus::unsupported_proto);
+}
+
+TEST(PacketView, RejectsTruncatedTcpHeader) {
+  Ipv4Spec ip{.src = Ipv4Addr(1, 1, 1, 1), .dst = Ipv4Addr(2, 2, 2, 2)};
+  const Bytes pkt = build_ipv4(ip, from_hex("04d20050"));  // 4-byte "TCP"
+  EXPECT_EQ(PacketView::parse(pkt, LinkType::raw_ipv4).status,
+            ParseStatus::truncated_l4);
+}
+
+TEST(PacketView, RejectsTcpDataOffsetBeyondSegment) {
+  Bytes pkt = sample_tcp_packet();
+  // data offset = 15 words (60 bytes) but segment is only 20 bytes.
+  pkt[20 + 12] = 0xf0;
+  EXPECT_EQ(PacketView::parse(pkt, LinkType::raw_ipv4).status,
+            ParseStatus::truncated_l4);
+}
+
+TEST(PacketView, TcpFlagsDecoded) {
+  Ipv4Spec ip{.src = Ipv4Addr(1, 1, 1, 1), .dst = Ipv4Addr(2, 2, 2, 2)};
+  TcpSpec t{.src_port = 1,
+            .dst_port = 2,
+            .flags = static_cast<std::uint8_t>(kTcpSyn | kTcpAck)};
+  const Bytes pkt = build_tcp_packet(ip, t, {});
+  const PacketView pv = PacketView::parse(pkt, LinkType::raw_ipv4);
+  ASSERT_TRUE(pv.ok());
+  EXPECT_TRUE(pv.tcp.syn());
+  EXPECT_TRUE(pv.tcp.ack_flag());
+  EXPECT_FALSE(pv.tcp.fin());
+  EXPECT_FALSE(pv.tcp.rst());
+}
+
+TEST(PacketView, ParseStatusNames) {
+  EXPECT_STREQ(to_string(ParseStatus::ok), "ok");
+  EXPECT_STREQ(to_string(ParseStatus::fragment), "fragment");
+  EXPECT_STREQ(to_string(ParseStatus::truncated_l4), "truncated_l4");
+}
+
+}  // namespace
+}  // namespace sdt::net

@@ -1,0 +1,67 @@
+#include "net/seq.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sdt::net {
+namespace {
+
+TEST(Seq, OrdinaryComparisons) {
+  EXPECT_TRUE(seq_lt(1, 2));
+  EXPECT_FALSE(seq_lt(2, 2));
+  EXPECT_TRUE(seq_leq(2, 2));
+  EXPECT_TRUE(seq_gt(3, 2));
+  EXPECT_TRUE(seq_geq(3, 3));
+}
+
+TEST(Seq, WraparoundComparisons) {
+  const std::uint32_t near_max = 0xfffffff0u;
+  const std::uint32_t wrapped = 0x00000010u;
+  // 0x10 comes *after* 0xfffffff0 on the circle.
+  EXPECT_TRUE(seq_lt(near_max, wrapped));
+  EXPECT_FALSE(seq_lt(wrapped, near_max));
+  EXPECT_TRUE(seq_gt(wrapped, near_max));
+}
+
+TEST(Seq, DiffSigned) {
+  EXPECT_EQ(seq_diff(10, 4), 6);
+  EXPECT_EQ(seq_diff(4, 10), -6);
+  EXPECT_EQ(seq_diff(0x00000005u, 0xfffffffbu), 10);
+  EXPECT_EQ(seq_diff(0xfffffffbu, 0x00000005u), -10);
+}
+
+TEST(Seq, AddWraps) {
+  EXPECT_EQ(seq_add(0xffffffffu, 1), 0u);
+  EXPECT_EQ(seq_add(0xfffffff0u, 0x20), 0x10u);
+}
+
+TEST(Seq, MinMaxOnCircle) {
+  EXPECT_EQ(seq_max(0xfffffff0u, 0x10u), 0x10u);
+  EXPECT_EQ(seq_min(0xfffffff0u, 0x10u), 0xfffffff0u);
+  EXPECT_EQ(seq_max(5u, 9u), 9u);
+}
+
+struct SeqCase {
+  std::uint32_t a;
+  std::uint32_t b;
+  bool a_lt_b;
+};
+
+class SeqCompare : public ::testing::TestWithParam<SeqCase> {};
+
+TEST_P(SeqCompare, MatchesExpectation) {
+  const SeqCase c = GetParam();
+  EXPECT_EQ(seq_lt(c.a, c.b), c.a_lt_b);
+  if (c.a != c.b) EXPECT_EQ(seq_lt(c.b, c.a), !c.a_lt_b);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Circle, SeqCompare,
+    ::testing::Values(SeqCase{0, 1, true}, SeqCase{0, 0x7fffffff, true},
+                      SeqCase{0, 0x80000001, false},
+                      SeqCase{0xffffffff, 0, true},
+                      SeqCase{0x80000000, 0xffffffff, true},
+                      SeqCase{42, 42, false},
+                      SeqCase{0xdeadbeef, 0xdeadbef0, true}));
+
+}  // namespace
+}  // namespace sdt::net

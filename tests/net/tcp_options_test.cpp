@@ -1,0 +1,112 @@
+#include "net/tcp_options.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/builder.hpp"
+#include "net/checksum.hpp"
+#include "net/packet.hpp"
+
+namespace sdt::net {
+namespace {
+
+TEST(TcpOptions, BuilderProducesAlignedBlock) {
+  const Bytes opts = TcpOptionsBuilder().mss(1460).build();
+  EXPECT_EQ(opts.size() % 4, 0u);
+  EXPECT_EQ(opts, from_hex("0204 05b4"));
+}
+
+TEST(TcpOptions, BuilderPadsWithNops) {
+  const Bytes opts = TcpOptionsBuilder().window_scale(7).build();
+  // 3 bytes of option + 1 NOP pad.
+  EXPECT_EQ(opts, from_hex("0303 07 01"));
+}
+
+TEST(TcpOptions, FullSynOptionSet) {
+  const Bytes opts = TcpOptionsBuilder()
+                         .mss(1400)
+                         .sack_permitted()
+                         .timestamps(0x11223344, 0)
+                         .window_scale(7)
+                         .build();
+  std::vector<std::uint8_t> kinds;
+  TcpOptionIterator it{ByteView(opts)};
+  for (; it.valid(); it.next()) kinds.push_back(it.option().kind);
+  EXPECT_FALSE(it.malformed());
+  EXPECT_EQ(kinds, (std::vector<std::uint8_t>{2, 4, 8, 3}));
+}
+
+TEST(TcpOptions, IteratorSkipsNopsAndStopsAtEol) {
+  const Bytes opts = from_hex("01 01 0204 ffff 00 0303 07");  // EOL hides wscale
+  std::vector<std::uint8_t> kinds;
+  TcpOptionIterator it{ByteView(opts)};
+  for (; it.valid(); it.next()) kinds.push_back(it.option().kind);
+  EXPECT_EQ(kinds, (std::vector<std::uint8_t>{2}));
+  EXPECT_FALSE(it.malformed());
+}
+
+TEST(TcpOptions, TruncatedLengthIsMalformed) {
+  const Bytes opts = from_hex("02");  // MSS kind but no length byte
+  TcpOptionIterator it{ByteView(opts)};
+  EXPECT_FALSE(it.valid());
+  EXPECT_TRUE(it.malformed());
+}
+
+TEST(TcpOptions, LengthBeyondBufferIsMalformed) {
+  const Bytes opts = from_hex("02 0a 1122");  // claims 10 bytes, has 4
+  TcpOptionIterator it{ByteView(opts)};
+  EXPECT_FALSE(it.valid());
+  EXPECT_TRUE(it.malformed());
+}
+
+TEST(TcpOptions, ZeroLengthOptionIsMalformed) {
+  const Bytes opts = from_hex("05 00 05 01");
+  TcpOptionIterator it{ByteView(opts)};
+  EXPECT_FALSE(it.valid());
+  EXPECT_TRUE(it.malformed());
+}
+
+TEST(TcpOptions, FindMss) {
+  const Bytes opts = TcpOptionsBuilder().sack_permitted().mss(1234).build();
+  EXPECT_EQ(find_mss(opts), std::optional<std::uint16_t>(1234));
+  EXPECT_EQ(find_mss(TcpOptionsBuilder().sack_permitted().build()),
+            std::nullopt);
+}
+
+TEST(TcpOptions, RoundTripThroughBuiltPacket) {
+  Ipv4Spec ip{.src = Ipv4Addr(1, 1, 1, 1), .dst = Ipv4Addr(2, 2, 2, 2)};
+  TcpSpec t{.src_port = 1,
+            .dst_port = 2,
+            .flags = kTcpSyn,
+            .options = TcpOptionsBuilder().mss(1460).window_scale(2).build()};
+  const Bytes pkt = build_tcp_packet(ip, t, {});
+  const PacketView pv = PacketView::parse(pkt, LinkType::raw_ipv4);
+  ASSERT_TRUE(pv.ok());
+  EXPECT_EQ(pv.tcp.header_len(), 28u);
+  EXPECT_EQ(find_mss(pv.tcp.options()), std::optional<std::uint16_t>(1460));
+  // Checksum still verifies with options present.
+  EXPECT_EQ(transport_checksum(ip.src, ip.dst, 6,
+                               pv.ip_datagram.subspan(pv.ipv4.header_len())),
+            0);
+}
+
+TEST(TcpOptions, BuilderRejectsOversizeOrMisaligned) {
+  Ipv4Spec ip{.src = Ipv4Addr(1, 1, 1, 1), .dst = Ipv4Addr(2, 2, 2, 2)};
+  TcpSpec t;
+  t.options = Bytes(44, 1);  // > 40
+  EXPECT_THROW(build_tcp(ip.src, ip.dst, t, {}), InvalidArgument);
+  t.options = Bytes(3, 1);  // misaligned
+  EXPECT_THROW(build_tcp(ip.src, ip.dst, t, {}), InvalidArgument);
+}
+
+TEST(TcpOptions, PayloadStartsAfterOptions) {
+  Ipv4Spec ip{.src = Ipv4Addr(1, 1, 1, 1), .dst = Ipv4Addr(2, 2, 2, 2)};
+  TcpSpec t{.src_port = 1, .dst_port = 2};
+  t.options = TcpOptionsBuilder().timestamps(1, 2).build();
+  const Bytes pkt = build_tcp_packet(ip, t, to_bytes("DATA"));
+  const PacketView pv = PacketView::parse(pkt, LinkType::raw_ipv4);
+  ASSERT_TRUE(pv.ok());
+  EXPECT_EQ(sdt::to_string(pv.l4_payload), "DATA");
+}
+
+}  // namespace
+}  // namespace sdt::net

@@ -1,0 +1,181 @@
+#include "pcap/pcap.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "net/builder.hpp"
+#include "util/error.hpp"
+
+namespace sdt::pcap {
+namespace {
+
+Bytes tcp_pkt(std::uint32_t seq, ByteView payload) {
+  net::Ipv4Spec ip{.src = net::Ipv4Addr(1, 1, 1, 1),
+                   .dst = net::Ipv4Addr(2, 2, 2, 2)};
+  net::TcpSpec t{.src_port = 1, .dst_port = 2, .seq = seq};
+  return net::build_tcp_packet(ip, t, payload);
+}
+
+TEST(Pcap, InMemoryRoundTrip) {
+  Writer w(net::LinkType::raw_ipv4);
+  const Bytes p1 = tcp_pkt(1, to_bytes("one"));
+  const Bytes p2 = tcp_pkt(2, to_bytes("two!"));
+  w.write(1111111, p1);
+  w.write(2222222, p2);
+  EXPECT_EQ(w.packets_written(), 2u);
+
+  Reader r(w.take());
+  EXPECT_EQ(r.link_type(), net::LinkType::raw_ipv4);
+  auto a = r.next();
+  ASSERT_TRUE(a);
+  EXPECT_EQ(a->ts_usec, 1111111u);
+  EXPECT_TRUE(equal(a->frame, p1));
+  auto b = r.next();
+  ASSERT_TRUE(b);
+  EXPECT_EQ(b->ts_usec, 2222222u);
+  EXPECT_TRUE(equal(b->frame, p2));
+  EXPECT_FALSE(r.next());
+  EXPECT_FALSE(r.truncated());
+  EXPECT_EQ(r.packets_read(), 2u);
+}
+
+TEST(Pcap, FileRoundTrip) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "sdt_pcap_test.pcap").string();
+  {
+    Writer w(path, net::LinkType::ethernet, 65535);
+    w.write(42, net::wrap_ethernet(tcp_pkt(9, to_bytes("file"))));
+  }
+  Reader r(path);
+  EXPECT_EQ(r.link_type(), net::LinkType::ethernet);
+  EXPECT_EQ(r.snaplen(), 65535u);
+  const auto all = r.read_all();
+  ASSERT_EQ(all.size(), 1u);
+  EXPECT_EQ(all[0].ts_usec, 42u);
+  std::remove(path.c_str());
+}
+
+TEST(Pcap, SnaplenTruncatesStoredFrame) {
+  Writer w(net::LinkType::raw_ipv4, /*snaplen=*/10);
+  const Bytes p = tcp_pkt(1, to_bytes("very long payload indeed"));
+  w.write(5, p);
+  Reader r(w.take());
+  auto pkt = r.next();
+  ASSERT_TRUE(pkt);
+  EXPECT_EQ(pkt->frame.size(), 10u);
+  EXPECT_TRUE(equal(pkt->frame, ByteView(p).subspan(0, 10)));
+}
+
+TEST(Pcap, ReadsBigEndianFiles) {
+  // Hand-craft a big-endian (swapped relative to us) capture: global header
+  // + one 4-byte record.
+  ByteWriter w;
+  w.u32be(kMagicUsec);  // magic stored big-endian == "swapped" when read LE
+  w.u16be(2).u16be(4);
+  w.u32be(0).u32be(0);
+  w.u32be(65535);
+  w.u32be(101);       // LINKTYPE_RAW
+  w.u32be(7);         // ts_sec
+  w.u32be(123);       // ts_usec
+  w.u32be(4);         // incl_len
+  w.u32be(4);         // orig_len
+  w.bytes(from_hex("aabbccdd"));
+
+  Reader r(w.take());
+  EXPECT_EQ(r.link_type(), net::LinkType::raw_ipv4);
+  auto pkt = r.next();
+  ASSERT_TRUE(pkt);
+  EXPECT_EQ(pkt->ts_usec, 7u * 1000000 + 123);
+  EXPECT_EQ(pkt->frame, from_hex("aabbccdd"));
+}
+
+TEST(Pcap, ReadsNanosecondMagic) {
+  ByteWriter w;
+  w.u32le(kMagicNsec);
+  w.u16le(2).u16le(4);
+  w.u32le(0).u32le(0).u32le(65535).u32le(101);
+  w.u32le(1);          // ts_sec
+  w.u32le(999999000);  // ts_nsec
+  w.u32le(2).u32le(2);
+  w.bytes(from_hex("0102"));
+
+  Reader r(w.take());
+  auto pkt = r.next();
+  ASSERT_TRUE(pkt);
+  EXPECT_EQ(pkt->ts_usec, 1u * 1000000 + 999999);
+}
+
+TEST(Pcap, RejectsBadMagic) {
+  Bytes junk(24, 0x5a);
+  EXPECT_THROW(Reader{junk}, ParseError);
+}
+
+TEST(Pcap, RejectsShortGlobalHeader) {
+  Bytes junk(10, 0);
+  EXPECT_THROW(Reader{junk}, ParseError);
+}
+
+TEST(Pcap, RejectsUnsupportedVersion) {
+  ByteWriter w;
+  w.u32le(kMagicUsec);
+  w.u16le(9).u16le(0);  // version 9.0
+  w.u32le(0).u32le(0).u32le(65535).u32le(101);
+  EXPECT_THROW(Reader{w.take()}, ParseError);
+}
+
+TEST(Pcap, TruncatedRecordHeaderEndsIteration) {
+  Writer w(net::LinkType::raw_ipv4);
+  w.write(1, tcp_pkt(1, to_bytes("a")));
+  Bytes data = w.take();
+  data.resize(data.size() - tcp_pkt(1, to_bytes("a")).size() - 8);  // cut
+  Reader r(std::move(data));
+  EXPECT_FALSE(r.next());
+  EXPECT_TRUE(r.truncated());
+}
+
+TEST(Pcap, TruncatedRecordBodyEndsIteration) {
+  Writer w(net::LinkType::raw_ipv4);
+  w.write(1, tcp_pkt(1, to_bytes("abcdef")));
+  Bytes data = w.take();
+  data.resize(data.size() - 3);
+  Reader r(std::move(data));
+  EXPECT_FALSE(r.next());
+  EXPECT_TRUE(r.truncated());
+}
+
+TEST(Pcap, HugeRecordLengthTreatedAsCorruption) {
+  ByteWriter w;
+  w.u32le(kMagicUsec);
+  w.u16le(2).u16le(4);
+  w.u32le(0).u32le(0).u32le(65535).u32le(101);
+  w.u32le(0).u32le(0);
+  w.u32le(0xf0000000u);  // absurd incl_len
+  w.u32le(0xf0000000u);
+  Reader r(w.take());
+  EXPECT_FALSE(r.next());
+  EXPECT_TRUE(r.truncated());
+}
+
+TEST(Pcap, MissingFileThrowsIoError) {
+  EXPECT_THROW(Reader{"/nonexistent/path/foo.pcap"}, IoError);
+}
+
+TEST(Pcap, EmptyCaptureYieldsNothing) {
+  Writer w(net::LinkType::ethernet);
+  Reader r(w.take());
+  EXPECT_FALSE(r.next());
+  EXPECT_FALSE(r.truncated());
+}
+
+TEST(Pcap, TakeOnFileWriterThrows) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "sdt_pcap_take.pcap").string();
+  Writer w(path, net::LinkType::raw_ipv4);
+  EXPECT_THROW(w.take(), InvalidArgument);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace sdt::pcap

@@ -1,0 +1,211 @@
+#include "pcap/pcapng.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/builder.hpp"
+#include "pcap/pcap.hpp"
+#include "util/error.hpp"
+
+namespace sdt::pcap {
+namespace {
+
+/// Little-endian pcapng block: header + 4-padded body + trailing length.
+Bytes block_le(std::uint32_t type, ByteView body) {
+  const std::size_t padded = (body.size() + 3) & ~std::size_t{3};
+  const std::uint32_t total = static_cast<std::uint32_t>(12 + padded);
+  ByteWriter w;
+  w.u32le(type).u32le(total).bytes(body);
+  w.fill(padded - body.size(), 0);
+  w.u32le(total);
+  return w.take();
+}
+
+Bytes shb_le() {
+  ByteWriter body;
+  body.u32le(kNgByteOrderMagic);
+  body.u16le(1).u16le(0);                  // version 1.0
+  body.u32le(0xffffffff).u32le(0xffffffff);  // section length: unknown
+  return block_le(kNgSectionHeader, body.view());
+}
+
+Bytes idb_le(std::uint16_t link_type, ByteView options = {}) {
+  ByteWriter body;
+  body.u16le(link_type).u16le(0);
+  body.u32le(0);  // snaplen 0 = unlimited
+  body.bytes(options);
+  return block_le(kNgInterfaceDescription, body.view());
+}
+
+Bytes epb_le(std::uint32_t if_id, std::uint64_t ts, ByteView frame) {
+  ByteWriter body;
+  body.u32le(if_id);
+  body.u32le(static_cast<std::uint32_t>(ts >> 32));
+  body.u32le(static_cast<std::uint32_t>(ts & 0xffffffff));
+  body.u32le(static_cast<std::uint32_t>(frame.size()));
+  body.u32le(static_cast<std::uint32_t>(frame.size()));
+  body.bytes(frame);
+  return block_le(kNgEnhancedPacket, body.view());
+}
+
+Bytes cat(std::initializer_list<Bytes> parts) {
+  Bytes out;
+  for (const Bytes& p : parts) out.insert(out.end(), p.begin(), p.end());
+  return out;
+}
+
+Bytes sample_frame() {
+  net::Ipv4Spec ip{.src = net::Ipv4Addr(1, 1, 1, 1),
+                   .dst = net::Ipv4Addr(2, 2, 2, 2)};
+  net::TcpSpec t{.src_port = 1, .dst_port = 2, .seq = 10};
+  return net::build_tcp_packet(ip, t, to_bytes("ngpayload"));
+}
+
+TEST(Pcapng, ReadsEnhancedPackets) {
+  const Bytes frame = sample_frame();
+  NgReader r(cat({shb_le(), idb_le(101), epb_le(0, 5'000'123, frame)}));
+  auto p = r.next();
+  ASSERT_TRUE(p);
+  EXPECT_EQ(p->ts_usec, 5'000'123u);  // default resolution: microseconds
+  EXPECT_TRUE(equal(p->frame, frame));
+  EXPECT_EQ(r.link_type(), net::LinkType::raw_ipv4);
+  EXPECT_FALSE(r.next());
+  EXPECT_FALSE(r.truncated());
+  EXPECT_EQ(r.packets_read(), 1u);
+}
+
+TEST(Pcapng, HonorsNanosecondTsresol) {
+  // if_tsresol option: code 9, value 9 → 1e-9 ticks.
+  ByteWriter opts;
+  opts.u16le(9).u16le(1).u8(9).fill(3, 0);  // padded to 4
+  const Bytes frame = sample_frame();
+  NgReader r(cat({shb_le(), idb_le(101, opts.view()),
+                  epb_le(0, 2'000'000'500, frame)}));
+  auto p = r.next();
+  ASSERT_TRUE(p);
+  EXPECT_EQ(p->ts_usec, 2'000'000u);  // 2.0000005 s → µs
+}
+
+TEST(Pcapng, Power2Tsresol) {
+  ByteWriter opts;
+  opts.u16le(9).u16le(1).u8(0x80 | 20).fill(3, 0);  // 2^-20 ticks
+  const Bytes frame = sample_frame();
+  NgReader r(cat({shb_le(), idb_le(101, opts.view()),
+                  epb_le(0, 1u << 20, frame)}));  // exactly one second
+  auto p = r.next();
+  ASSERT_TRUE(p);
+  EXPECT_EQ(p->ts_usec, 1'000'000u);
+}
+
+TEST(Pcapng, SkipsUnknownBlocks) {
+  const Bytes custom = block_le(0x0bad, to_bytes("whatever"));
+  const Bytes frame = sample_frame();
+  NgReader r(cat({shb_le(), custom, idb_le(101), custom,
+                  epb_le(0, 1, frame), custom}));
+  EXPECT_TRUE(r.next());
+  EXPECT_FALSE(r.next());
+}
+
+TEST(Pcapng, SimplePacketBlock) {
+  const Bytes frame = sample_frame();
+  ByteWriter body;
+  body.u32le(static_cast<std::uint32_t>(frame.size()));
+  body.bytes(frame);
+  NgReader r(cat({shb_le(), idb_le(101),
+                  block_le(kNgSimplePacket, body.view())}));
+  auto p = r.next();
+  ASSERT_TRUE(p);
+  EXPECT_TRUE(equal(p->frame, frame));
+  EXPECT_EQ(p->ts_usec, 0u);
+}
+
+TEST(Pcapng, MultipleSectionsResetInterfaces) {
+  const Bytes frame = sample_frame();
+  NgReader r(cat({shb_le(), idb_le(101), epb_le(0, 1, frame),
+                  shb_le(), idb_le(1), epb_le(0, 2, frame)}));
+  ASSERT_TRUE(r.next());
+  EXPECT_EQ(r.last_link_type(), net::LinkType::raw_ipv4);
+  ASSERT_TRUE(r.next());
+  EXPECT_EQ(r.last_link_type(), net::LinkType::ethernet);
+}
+
+TEST(Pcapng, BigEndianSection) {
+  // Hand-craft a big-endian SHB+IDB+EPB.
+  auto block_be = [](std::uint32_t type, ByteView body) {
+    const std::size_t padded = (body.size() + 3) & ~std::size_t{3};
+    const std::uint32_t total = static_cast<std::uint32_t>(12 + padded);
+    ByteWriter w;
+    w.u32be(type).u32be(total).bytes(body);
+    w.fill(padded - body.size(), 0);
+    w.u32be(total);
+    return w.take();
+  };
+  ByteWriter shb_body;
+  shb_body.u32be(kNgByteOrderMagic);
+  shb_body.u16be(1).u16be(0);
+  shb_body.u32be(0xffffffff).u32be(0xffffffff);
+  ByteWriter idb_body;
+  idb_body.u16be(101).u16be(0).u32be(0);
+  const Bytes frame = sample_frame();
+  ByteWriter epb_body;
+  epb_body.u32be(0).u32be(0).u32be(777);
+  epb_body.u32be(static_cast<std::uint32_t>(frame.size()));
+  epb_body.u32be(static_cast<std::uint32_t>(frame.size()));
+  epb_body.bytes(frame);
+
+  NgReader r(cat({block_be(kNgSectionHeader, shb_body.view()),
+                  block_be(kNgInterfaceDescription, idb_body.view()),
+                  block_be(kNgEnhancedPacket, epb_body.view())}));
+  auto p = r.next();
+  ASSERT_TRUE(p);
+  EXPECT_EQ(p->ts_usec, 777u);
+  EXPECT_TRUE(equal(p->frame, frame));
+  EXPECT_EQ(r.link_type(), net::LinkType::raw_ipv4);
+}
+
+TEST(Pcapng, RejectsMissingSectionHeader) {
+  NgReader r(cat({idb_le(101)}));
+  EXPECT_THROW(r.next(), ParseError);
+}
+
+TEST(Pcapng, RejectsBadByteOrderMagic) {
+  ByteWriter body;
+  body.u32le(0x12345678);
+  body.u16le(1).u16le(0).u32le(0xffffffff).u32le(0xffffffff);
+  NgReader r(block_le(kNgSectionHeader, body.view()));
+  EXPECT_THROW(r.next(), ParseError);
+}
+
+TEST(Pcapng, TruncatedBlockEndsIteration) {
+  Bytes data = cat({shb_le(), idb_le(101), epb_le(0, 1, sample_frame())});
+  data.resize(data.size() - 7);
+  NgReader r(std::move(data));
+  EXPECT_FALSE(r.next());
+  EXPECT_TRUE(r.truncated());
+}
+
+TEST(OpenCapture, SniffsBothFormats) {
+  const Bytes frame = sample_frame();
+  // classic
+  Writer w(net::LinkType::raw_ipv4);
+  w.write(123, frame);
+  auto classic = open_capture(w.take());
+  EXPECT_EQ(classic->link_type(), net::LinkType::raw_ipv4);
+  auto p1 = classic->next();
+  ASSERT_TRUE(p1);
+  EXPECT_EQ(p1->ts_usec, 123u);
+  // pcapng
+  auto ng = open_capture(cat({shb_le(), idb_le(101), epb_le(0, 456, frame)}));
+  EXPECT_EQ(ng->link_type(), net::LinkType::raw_ipv4);
+  auto p2 = ng->next();
+  ASSERT_TRUE(p2);
+  EXPECT_EQ(p2->ts_usec, 456u);
+  EXPECT_FALSE(ng->next());
+}
+
+TEST(OpenCapture, UnknownMagicFallsBackToClassicError) {
+  Bytes junk(64, 0x77);
+  EXPECT_THROW(open_capture(std::move(junk)), ParseError);
+}
+
+}  // namespace
+}  // namespace sdt::pcap

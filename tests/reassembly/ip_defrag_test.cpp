@@ -1,0 +1,224 @@
+#include "reassembly/ip_defrag.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/builder.hpp"
+#include "net/checksum.hpp"
+#include "util/rng.hpp"
+
+namespace sdt::reassembly {
+namespace {
+
+Bytes whole_tcp_datagram(ByteView payload, std::uint16_t id = 7) {
+  net::Ipv4Spec ip{.src = net::Ipv4Addr(10, 0, 0, 1),
+                   .dst = net::Ipv4Addr(10, 0, 0, 2),
+                   .id = id};
+  net::TcpSpec t{.src_port = 1234, .dst_port = 80, .seq = 1};
+  return net::build_tcp_packet(ip, t, payload);
+}
+
+net::PacketView view(const Bytes& pkt) {
+  return net::PacketView::parse_ipv4(pkt);
+}
+
+/// Feed fragments in the given order; returns the reassembled datagram
+/// produced by the last completing fragment (if any).
+std::optional<Bytes> feed(IpDefragmenter& d, const std::vector<Bytes>& frags,
+                          std::uint64_t t0 = 1000) {
+  std::optional<Bytes> out;
+  std::uint64_t t = t0;
+  for (const Bytes& f : frags) {
+    auto r = d.add(view(f), t++);
+    if (r) out = std::move(r);
+  }
+  return out;
+}
+
+TEST(IpDefrag, InOrderReassembly) {
+  IpDefragmenter d;
+  const Bytes payload(100, 'z');
+  const Bytes whole = whole_tcp_datagram(payload);
+  const auto out = feed(d, net::fragment_ipv4(whole, 16));
+  ASSERT_TRUE(out);
+  const auto pv = view(*out);
+  ASSERT_TRUE(pv.ok());
+  ASSERT_TRUE(pv.has_tcp);
+  EXPECT_TRUE(equal(pv.l4_payload, payload));
+  EXPECT_FALSE(pv.ipv4.is_fragment());
+  // Rebuilt header checksum must verify.
+  EXPECT_EQ(net::checksum(ByteView(*out).subspan(0, pv.ipv4.header_len())), 0);
+  EXPECT_EQ(d.stats().datagrams_out, 1u);
+  EXPECT_EQ(d.pending(), 0u);
+}
+
+TEST(IpDefrag, ReverseOrderReassembly) {
+  IpDefragmenter d;
+  const Bytes whole = whole_tcp_datagram(Bytes(200, 'q'));
+  auto frags = net::fragment_ipv4(whole, 24);
+  std::reverse(frags.begin(), frags.end());
+  const auto out = feed(d, frags);
+  ASSERT_TRUE(out);
+  EXPECT_TRUE(equal(view(*out).l4_payload, Bytes(200, 'q')));
+}
+
+TEST(IpDefrag, RandomOrderReassembly) {
+  Rng rng(99);
+  for (int iter = 0; iter < 20; ++iter) {
+    IpDefragmenter d;
+    Bytes payload(50 + rng.below(800));
+    for (auto& b : payload) b = static_cast<std::uint8_t>(rng.below(256));
+    const Bytes whole =
+        whole_tcp_datagram(payload, static_cast<std::uint16_t>(iter));
+    auto frags = net::fragment_ipv4(whole, 8 + rng.below(64));
+    rng.shuffle(frags);
+    const auto out = feed(d, frags);
+    ASSERT_TRUE(out) << "iter " << iter;
+    EXPECT_TRUE(equal(view(*out).l4_payload, payload));
+  }
+}
+
+TEST(IpDefrag, IncompleteNeverEmits) {
+  IpDefragmenter d;
+  auto frags = net::fragment_ipv4(whole_tcp_datagram(Bytes(100, 'x')), 16);
+  frags.pop_back();  // never send the last fragment
+  EXPECT_FALSE(feed(d, frags));
+  EXPECT_EQ(d.pending(), 1u);
+}
+
+TEST(IpDefrag, MissingMiddleFragmentNeverEmits) {
+  IpDefragmenter d;
+  auto frags = net::fragment_ipv4(whole_tcp_datagram(Bytes(100, 'x')), 16);
+  ASSERT_GT(frags.size(), 2u);
+  frags.erase(frags.begin() + 1);
+  EXPECT_FALSE(feed(d, frags));
+}
+
+TEST(IpDefrag, InterleavedDatagramsKeptSeparate) {
+  IpDefragmenter d;
+  const Bytes pa(64, 'a'), pb(64, 'b');
+  auto fa = net::fragment_ipv4(whole_tcp_datagram(pa, 1), 16);
+  auto fb = net::fragment_ipv4(whole_tcp_datagram(pb, 2), 16);
+  std::vector<Bytes> mixed;
+  for (std::size_t i = 0; i < fa.size(); ++i) {
+    mixed.push_back(fa[i]);
+    mixed.push_back(fb[i]);
+  }
+  IpDefragmenter d2;
+  std::vector<Bytes> outs;
+  std::uint64_t t = 0;
+  for (const auto& f : mixed) {
+    if (auto r = d2.add(view(f), t++)) outs.push_back(std::move(*r));
+  }
+  ASSERT_EQ(outs.size(), 2u);
+  EXPECT_TRUE(equal(view(outs[0]).l4_payload, pa));
+  EXPECT_TRUE(equal(view(outs[1]).l4_payload, pb));
+}
+
+TEST(IpDefrag, OverlapFirstPolicyKeepsOldBytes) {
+  IpDefragConfig cfg;
+  cfg.policy = IpOverlapPolicy::first;
+  IpDefragmenter d(cfg);
+  // Craft: fragment 0 covers [0,16) with 'A'; overlapping frag covers
+  // [8,24) with 'B'; final frag [24,32) closes.
+  net::Ipv4Spec ip{.src = net::Ipv4Addr(1, 1, 1, 1),
+                   .dst = net::Ipv4Addr(2, 2, 2, 2),
+                   .protocol = 17,
+                   .id = 5};
+  auto frag = [&](std::size_t off, std::size_t len, char c, bool mf) {
+    net::Ipv4Spec s = ip;
+    s.fragment_offset = off;
+    s.more_fragments = mf;
+    return net::build_ipv4(s, Bytes(len, static_cast<std::uint8_t>(c)));
+  };
+  std::optional<Bytes> out;
+  std::uint64_t t = 0;
+  for (const Bytes& f :
+       {frag(0, 16, 'A', true), frag(8, 16, 'B', true), frag(24, 8, 'C', false)}) {
+    if (auto r = d.add(view(f), t++)) out = std::move(r);
+  }
+  ASSERT_TRUE(out);
+  const ByteView body = ByteView(*out).subspan(20);
+  ASSERT_EQ(body.size(), 32u);
+  EXPECT_EQ(body[8], 'A');   // old byte kept
+  EXPECT_EQ(body[15], 'A');
+  EXPECT_EQ(body[16], 'B');  // non-overlapped part of new frag
+  EXPECT_EQ(d.stats().overlaps, 1u);
+}
+
+TEST(IpDefrag, OverlapLastPolicyTakesNewBytes) {
+  IpDefragConfig cfg;
+  cfg.policy = IpOverlapPolicy::last;
+  IpDefragmenter d(cfg);
+  net::Ipv4Spec ip{.src = net::Ipv4Addr(1, 1, 1, 1),
+                   .dst = net::Ipv4Addr(2, 2, 2, 2),
+                   .protocol = 17,
+                   .id = 6};
+  auto frag = [&](std::size_t off, std::size_t len, char c, bool mf) {
+    net::Ipv4Spec s = ip;
+    s.fragment_offset = off;
+    s.more_fragments = mf;
+    return net::build_ipv4(s, Bytes(len, static_cast<std::uint8_t>(c)));
+  };
+  std::optional<Bytes> out;
+  std::uint64_t t = 0;
+  for (const Bytes& f :
+       {frag(0, 16, 'A', true), frag(8, 16, 'B', true), frag(24, 8, 'C', false)}) {
+    if (auto r = d.add(view(f), t++)) out = std::move(r);
+  }
+  ASSERT_TRUE(out);
+  const ByteView body = ByteView(*out).subspan(20);
+  EXPECT_EQ(body[7], 'A');
+  EXPECT_EQ(body[8], 'B');  // new byte wins
+  EXPECT_EQ(body[15], 'B');
+}
+
+TEST(IpDefrag, TimeoutExpiresPending) {
+  IpDefragConfig cfg;
+  cfg.timeout_usec = 1000;
+  IpDefragmenter d(cfg);
+  auto frags = net::fragment_ipv4(whole_tcp_datagram(Bytes(100, 'x')), 16);
+  d.add(view(frags[0]), 0);
+  EXPECT_EQ(d.pending(), 1u);
+  EXPECT_EQ(d.expire(5000), 1u);
+  EXPECT_EQ(d.pending(), 0u);
+}
+
+TEST(IpDefrag, OversizeFragmentRejected) {
+  IpDefragmenter d;
+  net::Ipv4Spec s{.src = net::Ipv4Addr(1, 1, 1, 1),
+                  .dst = net::Ipv4Addr(2, 2, 2, 2),
+                  .protocol = 17,
+                  .fragment_offset = 65528};
+  const Bytes f = net::build_ipv4(s, Bytes(64, 0));  // would exceed 65535
+  EXPECT_FALSE(d.add(view(f), 0));
+  EXPECT_EQ(d.stats().dropped_oversize, 1u);
+  EXPECT_EQ(d.pending(), 0u);
+}
+
+TEST(IpDefrag, MemoryBoundedUnderFragmentFlood) {
+  IpDefragConfig cfg;
+  cfg.max_pending_datagrams = 64;
+  IpDefragmenter d(cfg);
+  // Thousands of first-fragments from distinct datagrams; table must stay
+  // bounded via LRU eviction.
+  for (std::uint32_t i = 0; i < 5000; ++i) {
+    net::Ipv4Spec s{.src = net::Ipv4Addr(i),
+                    .dst = net::Ipv4Addr(2, 2, 2, 2),
+                    .protocol = 17,
+                    .id = static_cast<std::uint16_t>(i),
+                    .more_fragments = true};
+    d.add(view(net::build_ipv4(s, Bytes(64, 1))), i);
+  }
+  EXPECT_LE(d.pending(), 64u);
+  EXPECT_LT(d.memory_bytes(), 10u * 1024 * 1024);
+}
+
+TEST(IpDefrag, NonFragmentInputIgnored) {
+  IpDefragmenter d;
+  const Bytes whole = whole_tcp_datagram(to_bytes("notafrag"));
+  EXPECT_FALSE(d.add(view(whole), 0));
+  EXPECT_EQ(d.stats().fragments_in, 0u);
+}
+
+}  // namespace
+}  // namespace sdt::reassembly

@@ -1,0 +1,98 @@
+#include "sim/replay.hpp"
+
+#include <gtest/gtest.h>
+
+#include "evasion/traffic_gen.hpp"
+#include "evasion/transforms.hpp"
+#include "sim/line_rate.hpp"
+#include "util/rng.hpp"
+
+namespace sdt::sim {
+namespace {
+
+core::SignatureSet test_sigs() {
+  core::SignatureSet s;
+  s.add("m", std::string_view("REPLAY_TEST_SIGNATURE_01"));
+  return s;
+}
+
+std::vector<net::Packet> attack_trace(evasion::EvasionKind kind) {
+  Rng rng(9);
+  Bytes stream = evasion::generate_payload(rng, 1200, 0.5);
+  const core::SignatureSet sigs = test_sigs();
+  const auto& sig = sigs[0].bytes;
+  std::copy(sig.begin(), sig.end(), stream.begin() + 400);
+  evasion::EvasionParams params;
+  params.sig_lo = 400;
+  params.sig_hi = 400 + sig.size();
+  return forge_evasion(kind, evasion::Endpoints{}, stream, params, rng, 0);
+}
+
+TEST(Replay, CountsPacketsAndBytes) {
+  const core::SignatureSet sigs = test_sigs();
+  SplitDetectDetector det(sigs);
+  const auto pkts = attack_trace(evasion::EvasionKind::none);
+  const ReplayResult r = replay(det, pkts);
+  EXPECT_EQ(r.packets, pkts.size());
+  std::uint64_t bytes = 0;
+  for (const auto& p : pkts) bytes += p.frame.size();
+  EXPECT_EQ(r.bytes, bytes);
+  EXPECT_GT(r.ns_per_byte(), 0.0);
+  EXPECT_EQ(r.detector, "split-detect");
+}
+
+TEST(Replay, NaiveDetectorCatchesPlainButMissesTiny) {
+  const core::SignatureSet sigs = test_sigs();
+  {
+    NaivePerPacketDetector naive(sigs);
+    replay(naive, attack_trace(evasion::EvasionKind::none));
+    EXPECT_EQ(naive.alerted_signatures(), std::vector<std::uint32_t>{0});
+  }
+  {
+    NaivePerPacketDetector naive(sigs);
+    replay(naive, attack_trace(evasion::EvasionKind::tiny_segments));
+    EXPECT_TRUE(naive.alerted_signatures().empty());  // evaded!
+  }
+}
+
+TEST(Replay, SplitDetectCatchesTinyWhereNaiveFails) {
+  const core::SignatureSet sigs = test_sigs();
+  SplitDetectDetector det(sigs);
+  replay(det, attack_trace(evasion::EvasionKind::tiny_segments));
+  EXPECT_EQ(det.alerted_signatures(), std::vector<std::uint32_t>{0});
+}
+
+TEST(Replay, ConventionalCatchesTinyToo) {
+  const core::SignatureSet sigs = test_sigs();
+  ConventionalDetector det(sigs);
+  replay(det, attack_trace(evasion::EvasionKind::tiny_segments));
+  EXPECT_EQ(det.alerted_signatures(), std::vector<std::uint32_t>{0});
+}
+
+TEST(Replay, FlowStateReported) {
+  const core::SignatureSet sigs = test_sigs();
+  evasion::TrafficConfig tc;
+  tc.flows = 10;
+  const auto trace = evasion::generate_benign(tc);
+  SplitDetectDetector sd(sigs);
+  ConventionalDetector conv(sigs);
+  NaivePerPacketDetector naive(sigs);
+  EXPECT_GT(replay(sd, trace.packets).flow_state_bytes, 0u);
+  EXPECT_GT(replay(conv, trace.packets).flow_state_bytes, 0u);
+  EXPECT_EQ(replay(naive, trace.packets).flow_state_bytes, 0u);
+}
+
+TEST(LineRate, CoreMath) {
+  // 1 ns/byte → 8 Gbps per core → 20 Gbps needs 2.5 cores.
+  const LineRateEstimate e = cores_for_line_rate(20.0, 1.0);
+  EXPECT_DOUBLE_EQ(e.gbps_per_core, 8.0);
+  EXPECT_DOUBLE_EQ(e.cores_needed, 2.5);
+}
+
+TEST(LineRate, StateMath) {
+  const StateEstimate e = state_for_connections(1'000'000, 56.0);
+  EXPECT_DOUBLE_EQ(e.total_bytes, 56e6);
+}
+
+}  // namespace
+}  // namespace sdt::sim

@@ -1,0 +1,106 @@
+#include "sim/sharding.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <map>
+#include <set>
+
+#include "evasion/corpus.hpp"
+#include "evasion/traffic_gen.hpp"
+#include "flow/flow_key.hpp"
+#include "util/error.hpp"
+
+namespace sdt::sim {
+namespace {
+
+evasion::GeneratedTrace mixed_trace() {
+  evasion::TrafficConfig tc;
+  tc.flows = 120;
+  tc.seed = 12;
+  evasion::AttackMix mix;
+  mix.attack_fraction = 0.1;
+  mix.kind = evasion::EvasionKind::combo_tiny_ooo;
+  return evasion::generate_mixed(tc, evasion::default_corpus(16), mix);
+}
+
+TEST(Sharding, RejectsZeroLanes) {
+  EXPECT_THROW(shard_by_address_pair({}, 0), InvalidArgument);
+}
+
+TEST(Sharding, PartitionIsCompleteAndDisjoint) {
+  const auto trace = mixed_trace();
+  const auto shards = shard_by_address_pair(trace.packets, 4);
+  std::size_t total = 0;
+  for (const auto& s : shards) total += s.size();
+  EXPECT_EQ(total, trace.packets.size());
+}
+
+TEST(Sharding, FlowAffinityHolds) {
+  // Every packet of a flow — both directions — must land in one lane.
+  const auto trace = mixed_trace();
+  const auto shards = shard_by_address_pair(trace.packets, 8);
+  std::map<std::string, std::size_t> flow_lane;
+  for (std::size_t lane = 0; lane < shards.size(); ++lane) {
+    for (const auto& p : shards[lane]) {
+      const auto pv = net::PacketView::parse(p.frame, net::LinkType::raw_ipv4);
+      if (!pv.has_ipv4) continue;
+      // Address-pair key (direction-independent).
+      const auto a = pv.ipv4.src().value();
+      const auto b = pv.ipv4.dst().value();
+      const std::string key = a < b ? std::to_string(a) + "-" + std::to_string(b)
+                                    : std::to_string(b) + "-" + std::to_string(a);
+      auto [it, inserted] = flow_lane.emplace(key, lane);
+      if (!inserted) EXPECT_EQ(it->second, lane) << key;
+    }
+  }
+  EXPECT_GT(flow_lane.size(), 50u);
+}
+
+TEST(Sharding, LanesPreserveRelativeOrderWithinFlow) {
+  const auto trace = mixed_trace();
+  const auto shards = shard_by_address_pair(trace.packets, 4);
+  for (const auto& s : shards) {
+    for (std::size_t i = 1; i < s.size(); ++i) {
+      EXPECT_LE(s[i - 1].ts_usec, s[i].ts_usec);
+    }
+  }
+}
+
+TEST(Sharding, VerdictsInvariantUnderLaneCount) {
+  const auto trace = mixed_trace();
+  const core::SignatureSet sigs = evasion::default_corpus(16);
+
+  auto alert_flows = [&](std::size_t lanes) {
+    auto make = [&]() -> std::unique_ptr<Detector> {
+      core::SplitDetectConfig cfg;
+      cfg.fast.piece_len = 8;
+      return std::make_unique<SplitDetectDetector>(sigs, cfg);
+    };
+    const LaneScalingReport rep = lane_scaling(make, trace.packets, lanes);
+    return rep.total_alerts;
+  };
+
+  const auto one = alert_flows(1);
+  EXPECT_GT(one, 0u);
+  EXPECT_EQ(alert_flows(3), one);
+  EXPECT_EQ(alert_flows(8), one);
+}
+
+TEST(Sharding, ReportMathIsConsistent) {
+  const auto trace = mixed_trace();
+  auto make = [&]() -> std::unique_ptr<Detector> {
+    static const core::SignatureSet sigs = evasion::default_corpus(16);
+    return std::make_unique<NaivePerPacketDetector>(sigs);
+  };
+  const LaneScalingReport rep = lane_scaling(make, trace.packets, 4);
+  EXPECT_EQ(rep.lanes, 4u);
+  EXPECT_EQ(rep.per_lane.size(), 4u);
+  EXPECT_EQ(rep.total_bytes, trace.total_bytes);
+  EXPECT_GE(rep.imbalance(), 1.0);
+  EXPECT_LE(rep.imbalance(), 4.0);
+  EXPECT_GT(rep.bottleneck_ns(), 0u);
+}
+
+}  // namespace
+}  // namespace sdt::sim

@@ -1,0 +1,132 @@
+#include "util/bytes.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace sdt {
+namespace {
+
+TEST(Bytes, ToBytesAndBack) {
+  const Bytes b = to_bytes("hello");
+  EXPECT_EQ(b.size(), 5u);
+  EXPECT_EQ(to_string(b), "hello");
+}
+
+TEST(Bytes, ViewOfAliasesString) {
+  const std::string s = "abc";
+  const ByteView v = view_of(s);
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[0], 'a');
+}
+
+TEST(Bytes, EqualComparesContent) {
+  const Bytes a = to_bytes("xyz");
+  const Bytes b = to_bytes("xyz");
+  const Bytes c = to_bytes("xyw");
+  EXPECT_TRUE(equal(a, b));
+  EXPECT_FALSE(equal(a, c));
+  EXPECT_FALSE(equal(a, ByteView(a).subspan(1)));
+  EXPECT_TRUE(equal(ByteView{}, ByteView{}));
+}
+
+TEST(Bytes, BigEndianAccessors) {
+  Bytes buf(8, 0);
+  wr_u16be(buf, 0, 0x1234);
+  wr_u32be(buf, 2, 0xdeadbeef);
+  wr_u8(buf, 6, 0x7f);
+  EXPECT_EQ(rd_u16be(buf, 0), 0x1234);
+  EXPECT_EQ(rd_u32be(buf, 2), 0xdeadbeefu);
+  EXPECT_EQ(rd_u8(buf, 6), 0x7f);
+  EXPECT_EQ(buf[0], 0x12);  // big-endian on the wire
+  EXPECT_EQ(buf[1], 0x34);
+}
+
+TEST(ByteReader, ReadsSequentially) {
+  const Bytes b = from_hex("01 0203 04050607");
+  ByteReader r{ByteView(b)};
+  EXPECT_EQ(r.u8(), 0x01);
+  EXPECT_EQ(r.u16be(), 0x0203);
+  EXPECT_EQ(r.u32be(), 0x04050607u);
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(ByteReader, LittleEndianReads) {
+  const Bytes b = from_hex("3412 efbeadde");
+  ByteReader r{ByteView(b)};
+  EXPECT_EQ(r.u16le(), 0x1234);
+  EXPECT_EQ(r.u32le(), 0xdeadbeefu);
+}
+
+TEST(ByteReader, ThrowsOnTruncation) {
+  const Bytes b = from_hex("0102");
+  ByteReader r{ByteView(b)};
+  r.u8();
+  EXPECT_THROW(r.u32be(), ParseError);
+  // The failed read must not consume anything.
+  EXPECT_EQ(r.remaining(), 1u);
+  EXPECT_EQ(r.u8(), 0x02);
+}
+
+TEST(ByteReader, BytesAndSkip) {
+  const Bytes b = from_hex("aabbccdd");
+  ByteReader r{ByteView(b)};
+  r.skip(1);
+  const ByteView v = r.bytes(2);
+  EXPECT_EQ(v[0], 0xbb);
+  EXPECT_EQ(v[1], 0xcc);
+  EXPECT_TRUE(r.can_read(1));
+  EXPECT_FALSE(r.can_read(2));
+}
+
+TEST(ByteWriter, BuildsBuffer) {
+  ByteWriter w;
+  w.u8(1).u16be(0x0203).u32be(0x04050607).fill(2, 0xee);
+  const Bytes b = w.take();
+  EXPECT_EQ(b, from_hex("01 0203 04050607 eeee"));
+}
+
+TEST(ByteWriter, LittleEndianWrites) {
+  ByteWriter w;
+  w.u16le(0x1234).u32le(0xdeadbeef);
+  EXPECT_EQ(w.take(), from_hex("3412 efbeadde"));
+}
+
+TEST(ByteWriter, PatchU16) {
+  ByteWriter w;
+  w.u16be(0).u8(0xaa);
+  w.patch_u16be(0, 0xbeef);
+  EXPECT_EQ(w.take(), from_hex("beef aa"));
+}
+
+TEST(ByteWriter, AppendView) {
+  ByteWriter w;
+  const Bytes payload = to_bytes("xy");
+  w.bytes(payload);
+  EXPECT_EQ(to_string(w.view()), "xy");
+}
+
+TEST(FromHex, ParsesWithWhitespace) {
+  EXPECT_EQ(from_hex("de ad\tbe\nef"), from_hex("deadbeef"));
+}
+
+TEST(FromHex, RejectsOddLength) {
+  EXPECT_THROW(from_hex("abc"), ParseError);
+}
+
+TEST(FromHex, RejectsNonHex) {
+  EXPECT_THROW(from_hex("zz"), ParseError);
+}
+
+TEST(FromHex, UpperAndLowerCase) {
+  EXPECT_EQ(from_hex("DEADBEEF"), from_hex("deadbeef"));
+}
+
+TEST(HexDump, FormatsAndTruncates) {
+  const Bytes b = from_hex("0a0b0c");
+  EXPECT_EQ(hex_dump(b), "0a 0b 0c");
+  EXPECT_EQ(hex_dump(b, 2), "0a 0b ...");
+}
+
+}  // namespace
+}  // namespace sdt

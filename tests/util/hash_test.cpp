@@ -1,0 +1,41 @@
+#include "util/hash.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace sdt {
+namespace {
+
+TEST(Hash, Fnv1a64KnownVectors) {
+  // Published FNV-1a test vectors.
+  EXPECT_EQ(fnv1a64(ByteView{}), 0xcbf29ce484222325ULL);
+  const Bytes a = to_bytes("a");
+  EXPECT_EQ(fnv1a64(a), 0xaf63dc4c8601ec8cULL);
+  const Bytes foobar = to_bytes("foobar");
+  EXPECT_EQ(fnv1a64(foobar), 0x85944171f73967e8ULL);
+}
+
+TEST(Hash, Mix64IsInjectiveOnSmallRange) {
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t i = 0; i < 10000; ++i) seen.insert(mix64(i));
+  EXPECT_EQ(seen.size(), 10000u);
+}
+
+TEST(Hash, Mix64Avalanches) {
+  // Flipping one input bit should flip roughly half the output bits.
+  int total = 0;
+  for (std::uint64_t i = 1; i < 64; ++i) {
+    total += __builtin_popcountll(mix64(12345) ^ mix64(12345 ^ (1ULL << i)));
+  }
+  EXPECT_GT(total / 63, 20);
+  EXPECT_LT(total / 63, 44);
+}
+
+TEST(Hash, CombineOrderMatters) {
+  EXPECT_NE(hash_combine(hash_combine(0, 1), 2),
+            hash_combine(hash_combine(0, 2), 1));
+}
+
+}  // namespace
+}  // namespace sdt

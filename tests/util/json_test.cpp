@@ -1,0 +1,76 @@
+#include "util/json.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sdt {
+namespace {
+
+TEST(Json, FlatObject) {
+  JsonWriter j;
+  j.begin_object();
+  j.field("a", std::uint64_t{1});
+  j.field("b", "two");
+  j.field("c", true);
+  j.field("d", 2.5);
+  j.end_object();
+  EXPECT_EQ(j.str(), R"({"a":1,"b":"two","c":true,"d":2.5})");
+}
+
+TEST(Json, Nesting) {
+  JsonWriter j;
+  j.begin_object();
+  j.key("outer").begin_object();
+  j.field("x", std::uint64_t{7});
+  j.end_object();
+  j.key("list").begin_array();
+  j.value(std::uint64_t{1});
+  j.value(std::uint64_t{2});
+  j.end_array();
+  j.end_object();
+  EXPECT_EQ(j.str(), R"({"outer":{"x":7},"list":[1,2]})");
+}
+
+TEST(Json, StringEscaping) {
+  JsonWriter j;
+  j.begin_object();
+  j.field("k", "a\"b\\c\nd\te\r");
+  j.end_object();
+  EXPECT_EQ(j.str(), "{\"k\":\"a\\\"b\\\\c\\nd\\te\\r\"}");
+}
+
+TEST(Json, ControlCharactersEscapedAsUnicode) {
+  JsonWriter j;
+  j.begin_object();
+  j.field("k", std::string_view("\x01\x1f", 2));
+  j.end_object();
+  EXPECT_EQ(j.str(), "{\"k\":\"\\u0001\\u001f\"}");
+}
+
+TEST(Json, EmptyContainers) {
+  JsonWriter j;
+  j.begin_object();
+  j.key("o").begin_object().end_object();
+  j.key("a").begin_array().end_array();
+  j.end_object();
+  EXPECT_EQ(j.str(), R"({"o":{},"a":[]})");
+}
+
+TEST(Json, ArrayOfObjects) {
+  JsonWriter j;
+  j.begin_array();
+  j.begin_object().field("i", std::uint64_t{0}).end_object();
+  j.begin_object().field("i", std::uint64_t{1}).end_object();
+  j.end_array();
+  EXPECT_EQ(j.str(), R"([{"i":0},{"i":1}])");
+}
+
+TEST(Json, SignedAndNegative) {
+  JsonWriter j;
+  j.begin_array();
+  j.value(std::int64_t{-42});
+  j.end_array();
+  EXPECT_EQ(j.str(), "[-42]");
+}
+
+}  // namespace
+}  // namespace sdt

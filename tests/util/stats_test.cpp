@@ -1,0 +1,72 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sdt {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, MeanAndVariance) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats s;
+  s.add(3.5);
+  EXPECT_EQ(s.mean(), 3.5);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+}
+
+TEST(Histogram, QuantilesOfKnownData) {
+  Histogram h;
+  for (int i = 1; i <= 100; ++i) h.add(i);
+  EXPECT_NEAR(h.quantile(0.0), 1.0, 1e-9);
+  EXPECT_NEAR(h.quantile(1.0), 100.0, 1e-9);
+  EXPECT_NEAR(h.quantile(0.5), 50.5, 1e-9);
+  EXPECT_NEAR(h.quantile(0.99), 99.01, 0.1);
+  EXPECT_NEAR(h.mean(), 50.5, 1e-9);
+}
+
+TEST(Histogram, EmptyQuantileIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.quantile(0.5), 0.0);
+}
+
+TEST(Histogram, AddAfterQuantileStaysCorrect) {
+  Histogram h;
+  h.add(10);
+  EXPECT_EQ(h.quantile(0.5), 10.0);
+  h.add(20);
+  h.add(0);
+  EXPECT_EQ(h.quantile(0.5), 10.0);
+  EXPECT_EQ(h.count(), 3u);
+}
+
+TEST(HumanFormat, Counts) {
+  EXPECT_EQ(human_count(950), "950");
+  EXPECT_EQ(human_count(1500), "1.5 K");
+  EXPECT_EQ(human_count(2.5e6), "2.5 M");
+  EXPECT_EQ(human_count(3e9), "3 G");
+}
+
+TEST(HumanFormat, Bytes) {
+  EXPECT_EQ(human_bytes(512), "512 B");
+  EXPECT_EQ(human_bytes(2048), "2 KiB");
+  EXPECT_EQ(human_bytes(3.0 * 1024 * 1024), "3 MiB");
+  EXPECT_EQ(human_bytes(1.5 * 1024 * 1024 * 1024), "1.5 GiB");
+}
+
+}  // namespace
+}  // namespace sdt
