@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_anomaly_census"
+  "../bench/bench_anomaly_census.pdb"
+  "CMakeFiles/bench_anomaly_census.dir/bench_anomaly_census.cpp.o"
+  "CMakeFiles/bench_anomaly_census.dir/bench_anomaly_census.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_anomaly_census.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

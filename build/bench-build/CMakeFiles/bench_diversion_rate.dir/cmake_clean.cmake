@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_diversion_rate"
+  "../bench/bench_diversion_rate.pdb"
+  "CMakeFiles/bench_diversion_rate.dir/bench_diversion_rate.cpp.o"
+  "CMakeFiles/bench_diversion_rate.dir/bench_diversion_rate.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_diversion_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

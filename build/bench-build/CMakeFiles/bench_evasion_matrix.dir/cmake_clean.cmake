@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_evasion_matrix"
+  "../bench/bench_evasion_matrix.pdb"
+  "CMakeFiles/bench_evasion_matrix.dir/bench_evasion_matrix.cpp.o"
+  "CMakeFiles/bench_evasion_matrix.dir/bench_evasion_matrix.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_evasion_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_match_kernels"
+  "../bench/bench_match_kernels.pdb"
+  "CMakeFiles/bench_match_kernels.dir/bench_match_kernels.cpp.o"
+  "CMakeFiles/bench_match_kernels.dir/bench_match_kernels.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_match_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

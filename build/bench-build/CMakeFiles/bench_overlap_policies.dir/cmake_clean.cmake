@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_overlap_policies"
+  "../bench/bench_overlap_policies.pdb"
+  "CMakeFiles/bench_overlap_policies.dir/bench_overlap_policies.cpp.o"
+  "CMakeFiles/bench_overlap_policies.dir/bench_overlap_policies.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_overlap_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_piece_fp"
+  "../bench/bench_piece_fp.pdb"
+  "CMakeFiles/bench_piece_fp.dir/bench_piece_fp.cpp.o"
+  "CMakeFiles/bench_piece_fp.dir/bench_piece_fp.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_piece_fp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

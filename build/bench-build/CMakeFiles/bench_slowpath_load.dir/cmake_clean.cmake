@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_slowpath_load"
+  "../bench/bench_slowpath_load.pdb"
+  "CMakeFiles/bench_slowpath_load.dir/bench_slowpath_load.cpp.o"
+  "CMakeFiles/bench_slowpath_load.dir/bench_slowpath_load.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_slowpath_load.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/config_doctor.dir/config_doctor.cpp.o"
+  "CMakeFiles/config_doctor.dir/config_doctor.cpp.o.d"
+  "config_doctor"
+  "config_doctor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/config_doctor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

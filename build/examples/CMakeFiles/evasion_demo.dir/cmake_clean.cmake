@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evasion_demo.dir/evasion_demo.cpp.o"
+  "CMakeFiles/evasion_demo.dir/evasion_demo.cpp.o.d"
+  "evasion_demo"
+  "evasion_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evasion_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ips_gateway.dir/ips_gateway.cpp.o"
+  "CMakeFiles/ips_gateway.dir/ips_gateway.cpp.o.d"
+  "ips_gateway"
+  "ips_gateway.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ips_gateway.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_forge.dir/trace_forge.cpp.o"
+  "CMakeFiles/trace_forge.dir/trace_forge.cpp.o.d"
+  "trace_forge"
+  "trace_forge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_forge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

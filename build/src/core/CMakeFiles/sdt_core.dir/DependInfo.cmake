@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/conventional_ips.cpp" "src/core/CMakeFiles/sdt_core.dir/conventional_ips.cpp.o" "gcc" "src/core/CMakeFiles/sdt_core.dir/conventional_ips.cpp.o.d"
+  "/root/repo/src/core/engine.cpp" "src/core/CMakeFiles/sdt_core.dir/engine.cpp.o" "gcc" "src/core/CMakeFiles/sdt_core.dir/engine.cpp.o.d"
+  "/root/repo/src/core/fast_path.cpp" "src/core/CMakeFiles/sdt_core.dir/fast_path.cpp.o" "gcc" "src/core/CMakeFiles/sdt_core.dir/fast_path.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/core/CMakeFiles/sdt_core.dir/report.cpp.o" "gcc" "src/core/CMakeFiles/sdt_core.dir/report.cpp.o.d"
+  "/root/repo/src/core/rules.cpp" "src/core/CMakeFiles/sdt_core.dir/rules.cpp.o" "gcc" "src/core/CMakeFiles/sdt_core.dir/rules.cpp.o.d"
+  "/root/repo/src/core/signature.cpp" "src/core/CMakeFiles/sdt_core.dir/signature.cpp.o" "gcc" "src/core/CMakeFiles/sdt_core.dir/signature.cpp.o.d"
+  "/root/repo/src/core/splitter.cpp" "src/core/CMakeFiles/sdt_core.dir/splitter.cpp.o" "gcc" "src/core/CMakeFiles/sdt_core.dir/splitter.cpp.o.d"
+  "/root/repo/src/core/validate.cpp" "src/core/CMakeFiles/sdt_core.dir/validate.cpp.o" "gcc" "src/core/CMakeFiles/sdt_core.dir/validate.cpp.o.d"
+  "/root/repo/src/core/verdict.cpp" "src/core/CMakeFiles/sdt_core.dir/verdict.cpp.o" "gcc" "src/core/CMakeFiles/sdt_core.dir/verdict.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/match/CMakeFiles/sdt_match.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/sdt_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/pcap/CMakeFiles/sdt_pcap.dir/DependInfo.cmake"
+  "/root/repo/build/src/reassembly/CMakeFiles/sdt_reassembly.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sdt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdt_core.dir/conventional_ips.cpp.o"
+  "CMakeFiles/sdt_core.dir/conventional_ips.cpp.o.d"
+  "CMakeFiles/sdt_core.dir/engine.cpp.o"
+  "CMakeFiles/sdt_core.dir/engine.cpp.o.d"
+  "CMakeFiles/sdt_core.dir/fast_path.cpp.o"
+  "CMakeFiles/sdt_core.dir/fast_path.cpp.o.d"
+  "CMakeFiles/sdt_core.dir/report.cpp.o"
+  "CMakeFiles/sdt_core.dir/report.cpp.o.d"
+  "CMakeFiles/sdt_core.dir/rules.cpp.o"
+  "CMakeFiles/sdt_core.dir/rules.cpp.o.d"
+  "CMakeFiles/sdt_core.dir/signature.cpp.o"
+  "CMakeFiles/sdt_core.dir/signature.cpp.o.d"
+  "CMakeFiles/sdt_core.dir/splitter.cpp.o"
+  "CMakeFiles/sdt_core.dir/splitter.cpp.o.d"
+  "CMakeFiles/sdt_core.dir/validate.cpp.o"
+  "CMakeFiles/sdt_core.dir/validate.cpp.o.d"
+  "CMakeFiles/sdt_core.dir/verdict.cpp.o"
+  "CMakeFiles/sdt_core.dir/verdict.cpp.o.d"
+  "libsdt_core.a"
+  "libsdt_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdt_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdt_evasion.dir/corpus.cpp.o"
+  "CMakeFiles/sdt_evasion.dir/corpus.cpp.o.d"
+  "CMakeFiles/sdt_evasion.dir/flow_forge.cpp.o"
+  "CMakeFiles/sdt_evasion.dir/flow_forge.cpp.o.d"
+  "CMakeFiles/sdt_evasion.dir/traffic_gen.cpp.o"
+  "CMakeFiles/sdt_evasion.dir/traffic_gen.cpp.o.d"
+  "CMakeFiles/sdt_evasion.dir/transforms.cpp.o"
+  "CMakeFiles/sdt_evasion.dir/transforms.cpp.o.d"
+  "libsdt_evasion.a"
+  "libsdt_evasion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdt_evasion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdt_match.dir/aho_corasick.cpp.o"
+  "CMakeFiles/sdt_match.dir/aho_corasick.cpp.o.d"
+  "CMakeFiles/sdt_match.dir/single_match.cpp.o"
+  "CMakeFiles/sdt_match.dir/single_match.cpp.o.d"
+  "libsdt_match.a"
+  "libsdt_match.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdt_match.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/builder.cpp" "src/net/CMakeFiles/sdt_net.dir/builder.cpp.o" "gcc" "src/net/CMakeFiles/sdt_net.dir/builder.cpp.o.d"
+  "/root/repo/src/net/checksum.cpp" "src/net/CMakeFiles/sdt_net.dir/checksum.cpp.o" "gcc" "src/net/CMakeFiles/sdt_net.dir/checksum.cpp.o.d"
+  "/root/repo/src/net/packet.cpp" "src/net/CMakeFiles/sdt_net.dir/packet.cpp.o" "gcc" "src/net/CMakeFiles/sdt_net.dir/packet.cpp.o.d"
+  "/root/repo/src/net/tcp_options.cpp" "src/net/CMakeFiles/sdt_net.dir/tcp_options.cpp.o" "gcc" "src/net/CMakeFiles/sdt_net.dir/tcp_options.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/sdt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdt_net.dir/builder.cpp.o"
+  "CMakeFiles/sdt_net.dir/builder.cpp.o.d"
+  "CMakeFiles/sdt_net.dir/checksum.cpp.o"
+  "CMakeFiles/sdt_net.dir/checksum.cpp.o.d"
+  "CMakeFiles/sdt_net.dir/packet.cpp.o"
+  "CMakeFiles/sdt_net.dir/packet.cpp.o.d"
+  "CMakeFiles/sdt_net.dir/tcp_options.cpp.o"
+  "CMakeFiles/sdt_net.dir/tcp_options.cpp.o.d"
+  "libsdt_net.a"
+  "libsdt_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdt_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

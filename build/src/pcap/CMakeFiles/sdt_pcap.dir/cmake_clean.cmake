@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdt_pcap.dir/pcap.cpp.o"
+  "CMakeFiles/sdt_pcap.dir/pcap.cpp.o.d"
+  "CMakeFiles/sdt_pcap.dir/pcapng.cpp.o"
+  "CMakeFiles/sdt_pcap.dir/pcapng.cpp.o.d"
+  "libsdt_pcap.a"
+  "libsdt_pcap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdt_pcap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdt_reassembly.dir/ip_defrag.cpp.o"
+  "CMakeFiles/sdt_reassembly.dir/ip_defrag.cpp.o.d"
+  "CMakeFiles/sdt_reassembly.dir/tcp_reassembler.cpp.o"
+  "CMakeFiles/sdt_reassembly.dir/tcp_reassembler.cpp.o.d"
+  "libsdt_reassembly.a"
+  "libsdt_reassembly.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdt_reassembly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

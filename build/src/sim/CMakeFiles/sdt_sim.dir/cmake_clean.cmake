@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdt_sim.dir/replay.cpp.o"
+  "CMakeFiles/sdt_sim.dir/replay.cpp.o.d"
+  "CMakeFiles/sdt_sim.dir/sharding.cpp.o"
+  "CMakeFiles/sdt_sim.dir/sharding.cpp.o.d"
+  "libsdt_sim.a"
+  "libsdt_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdt_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

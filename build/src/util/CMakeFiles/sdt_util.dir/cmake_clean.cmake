@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdt_util.dir/bytes.cpp.o"
+  "CMakeFiles/sdt_util.dir/bytes.cpp.o.d"
+  "CMakeFiles/sdt_util.dir/rng.cpp.o"
+  "CMakeFiles/sdt_util.dir/rng.cpp.o.d"
+  "libsdt_util.a"
+  "libsdt_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdt_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

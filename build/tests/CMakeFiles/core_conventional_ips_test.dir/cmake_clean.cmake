@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_conventional_ips_test.dir/core/conventional_ips_test.cpp.o"
+  "CMakeFiles/core_conventional_ips_test.dir/core/conventional_ips_test.cpp.o.d"
+  "core_conventional_ips_test"
+  "core_conventional_ips_test.pdb"
+  "core_conventional_ips_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_conventional_ips_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

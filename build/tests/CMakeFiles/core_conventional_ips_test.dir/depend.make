@@ -1,0 +1,2 @@
+# Empty dependencies file for core_conventional_ips_test.
+# This may be replaced when dependencies are built.

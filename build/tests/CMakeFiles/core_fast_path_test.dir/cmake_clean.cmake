@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_fast_path_test.dir/core/fast_path_test.cpp.o"
+  "CMakeFiles/core_fast_path_test.dir/core/fast_path_test.cpp.o.d"
+  "core_fast_path_test"
+  "core_fast_path_test.pdb"
+  "core_fast_path_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_fast_path_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

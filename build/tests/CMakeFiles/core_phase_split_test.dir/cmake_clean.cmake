@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_phase_split_test.dir/core/phase_split_test.cpp.o"
+  "CMakeFiles/core_phase_split_test.dir/core/phase_split_test.cpp.o.d"
+  "core_phase_split_test"
+  "core_phase_split_test.pdb"
+  "core_phase_split_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_phase_split_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

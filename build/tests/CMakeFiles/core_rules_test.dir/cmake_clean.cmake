@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_rules_test.dir/core/rules_test.cpp.o"
+  "CMakeFiles/core_rules_test.dir/core/rules_test.cpp.o.d"
+  "core_rules_test"
+  "core_rules_test.pdb"
+  "core_rules_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_rules_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

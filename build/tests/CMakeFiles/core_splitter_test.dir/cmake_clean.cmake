@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_splitter_test.dir/core/splitter_test.cpp.o"
+  "CMakeFiles/core_splitter_test.dir/core/splitter_test.cpp.o.d"
+  "core_splitter_test"
+  "core_splitter_test.pdb"
+  "core_splitter_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_splitter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_theorem_test.dir/core/theorem_test.cpp.o"
+  "CMakeFiles/core_theorem_test.dir/core/theorem_test.cpp.o.d"
+  "core_theorem_test"
+  "core_theorem_test.pdb"
+  "core_theorem_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_theorem_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

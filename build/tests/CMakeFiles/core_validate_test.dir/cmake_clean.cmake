@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_validate_test.dir/core/validate_test.cpp.o"
+  "CMakeFiles/core_validate_test.dir/core/validate_test.cpp.o.d"
+  "core_validate_test"
+  "core_validate_test.pdb"
+  "core_validate_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_validate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

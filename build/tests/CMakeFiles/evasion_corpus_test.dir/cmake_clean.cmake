@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evasion_corpus_test.dir/evasion/corpus_test.cpp.o"
+  "CMakeFiles/evasion_corpus_test.dir/evasion/corpus_test.cpp.o.d"
+  "evasion_corpus_test"
+  "evasion_corpus_test.pdb"
+  "evasion_corpus_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evasion_corpus_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

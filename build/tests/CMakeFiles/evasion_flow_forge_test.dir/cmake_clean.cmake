@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evasion_flow_forge_test.dir/evasion/flow_forge_test.cpp.o"
+  "CMakeFiles/evasion_flow_forge_test.dir/evasion/flow_forge_test.cpp.o.d"
+  "evasion_flow_forge_test"
+  "evasion_flow_forge_test.pdb"
+  "evasion_flow_forge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evasion_flow_forge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evasion_traffic_gen_test.dir/evasion/traffic_gen_test.cpp.o"
+  "CMakeFiles/evasion_traffic_gen_test.dir/evasion/traffic_gen_test.cpp.o.d"
+  "evasion_traffic_gen_test"
+  "evasion_traffic_gen_test.pdb"
+  "evasion_traffic_gen_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evasion_traffic_gen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evasion_transforms_test.dir/evasion/transforms_test.cpp.o"
+  "CMakeFiles/evasion_transforms_test.dir/evasion/transforms_test.cpp.o.d"
+  "evasion_transforms_test"
+  "evasion_transforms_test.pdb"
+  "evasion_transforms_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evasion_transforms_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

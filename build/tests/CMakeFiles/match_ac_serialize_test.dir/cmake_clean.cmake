@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/match_ac_serialize_test.dir/match/ac_serialize_test.cpp.o"
+  "CMakeFiles/match_ac_serialize_test.dir/match/ac_serialize_test.cpp.o.d"
+  "match_ac_serialize_test"
+  "match_ac_serialize_test.pdb"
+  "match_ac_serialize_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/match_ac_serialize_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

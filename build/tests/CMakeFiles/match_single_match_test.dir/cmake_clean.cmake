@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/match_single_match_test.dir/match/single_match_test.cpp.o"
+  "CMakeFiles/match_single_match_test.dir/match/single_match_test.cpp.o.d"
+  "match_single_match_test"
+  "match_single_match_test.pdb"
+  "match_single_match_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/match_single_match_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

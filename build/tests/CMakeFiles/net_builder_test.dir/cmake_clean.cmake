@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_builder_test.dir/net/builder_test.cpp.o"
+  "CMakeFiles/net_builder_test.dir/net/builder_test.cpp.o.d"
+  "net_builder_test"
+  "net_builder_test.pdb"
+  "net_builder_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_builder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_seq_test.dir/net/seq_test.cpp.o"
+  "CMakeFiles/net_seq_test.dir/net/seq_test.cpp.o.d"
+  "net_seq_test"
+  "net_seq_test.pdb"
+  "net_seq_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_seq_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcap_pcapng_test.dir/pcap/pcapng_test.cpp.o"
+  "CMakeFiles/pcap_pcapng_test.dir/pcap/pcapng_test.cpp.o.d"
+  "pcap_pcapng_test"
+  "pcap_pcapng_test.pdb"
+  "pcap_pcapng_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcap_pcapng_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reassembly_ip_defrag_test.dir/reassembly/ip_defrag_test.cpp.o"
+  "CMakeFiles/reassembly_ip_defrag_test.dir/reassembly/ip_defrag_test.cpp.o.d"
+  "reassembly_ip_defrag_test"
+  "reassembly_ip_defrag_test.pdb"
+  "reassembly_ip_defrag_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reassembly_ip_defrag_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for reassembly_ip_defrag_test.
+# This may be replaced when dependencies are built.

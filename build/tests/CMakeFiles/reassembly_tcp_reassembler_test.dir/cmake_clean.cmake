@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reassembly_tcp_reassembler_test.dir/reassembly/tcp_reassembler_test.cpp.o"
+  "CMakeFiles/reassembly_tcp_reassembler_test.dir/reassembly/tcp_reassembler_test.cpp.o.d"
+  "reassembly_tcp_reassembler_test"
+  "reassembly_tcp_reassembler_test.pdb"
+  "reassembly_tcp_reassembler_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reassembly_tcp_reassembler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_sharding_test.dir/sim/sharding_test.cpp.o"
+  "CMakeFiles/sim_sharding_test.dir/sim/sharding_test.cpp.o.d"
+  "sim_sharding_test"
+  "sim_sharding_test.pdb"
+  "sim_sharding_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_sharding_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

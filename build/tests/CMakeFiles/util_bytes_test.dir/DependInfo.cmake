@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/util/bytes_test.cpp" "tests/CMakeFiles/util_bytes_test.dir/util/bytes_test.cpp.o" "gcc" "tests/CMakeFiles/util_bytes_test.dir/util/bytes_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/sdt_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/evasion/CMakeFiles/sdt_evasion.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/sdt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/reassembly/CMakeFiles/sdt_reassembly.dir/DependInfo.cmake"
+  "/root/repo/build/src/match/CMakeFiles/sdt_match.dir/DependInfo.cmake"
+  "/root/repo/build/src/pcap/CMakeFiles/sdt_pcap.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/sdt_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sdt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
