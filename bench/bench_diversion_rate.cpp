@@ -33,7 +33,7 @@ int main() {
       for (const auto& pkt : trace.packets) {
         engine.process(pkt, net::LinkType::raw_ipv4, alerts);
       }
-      const core::SplitDetectStats& st = engine.stats();
+      const core::SplitDetectStats st = engine.stats_snapshot();
       const double flow_rate = 100.0 *
                                static_cast<double>(st.fast.flows_diverted) /
                                static_cast<double>(st.fast.flows_seen);

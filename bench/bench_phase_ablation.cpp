@@ -29,8 +29,8 @@ Outcome run(const core::SignatureSet& sigs, core::SplitDetectConfig cfg,
     engine.process(p, net::LinkType::raw_ipv4, alerts);
   }
   Outcome o;
-  o.flows_diverted = engine.stats().fast.flows_diverted;
-  o.piece_hits = engine.stats().fast.piece_hits;
+  o.flows_diverted = engine.stats_snapshot().fast.flows_diverted;
+  o.piece_hits = engine.stats_snapshot().fast.piece_hits;
 
   // Detection check: one tiny-segment attack with a random corpus entry.
   Rng rng(17);

@@ -1,0 +1,136 @@
+// A4 — Runtime lane scaling: the concurrent runtime vs. the sequential
+// simulator on the same seeded tri-modal trace.
+//
+// sim::lane_scaling *models* the parallel deployment by replaying shards
+// sequentially and reporting the bottleneck lane; sdt::runtime *is* that
+// deployment — a dispatcher thread flow-hashing packets into SPSC rings
+// drained by one engine-owning worker thread per lane. Both use the same
+// address-pair hash, so per-lane workloads are identical; this bench checks
+// that the measured concurrent runtime reproduces the simulator's scaling
+// curve and verdicts, and that no packet is ever silently lost.
+//
+// Aggregate Gb/s is computed from the busiest lane's engine-busy time (the
+// deployment's critical path — each lane on its own core); wall Gb/s is the
+// host's actual end-to-end clock, which matches the aggregate only when the
+// host has >= lanes+1 free cores.
+#include <thread>
+
+#include "bench_util.hpp"
+#include "sim/sharding.hpp"
+
+using namespace sdt;
+
+int main() {
+  bench::banner("A4: runtime lane scaling (real threads, SPSC rings)",
+                "the 20 Gbps deployment shape as a running system: "
+                "flow-hash dispatcher -> bounded rings -> engine-per-thread "
+                "lanes, verdict-preserving and lossless under backpressure");
+
+  const core::SignatureSet sigs = evasion::default_corpus(16);
+  evasion::TrafficConfig tc;
+  tc.flows = 800;
+  tc.seed = 4;
+  evasion::AttackMix mix;
+  mix.attack_fraction = 0.02;
+  mix.kind = evasion::EvasionKind::tiny_segments;
+  const auto trace = evasion::generate_mixed(tc, sigs, mix);
+  std::printf("workload: %zu packets, %s, %zu flows (%zu attacks); host has "
+              "%u hardware threads\n\n",
+              trace.packets.size(),
+              human_bytes(static_cast<double>(trace.total_bytes)).c_str(),
+              trace.flows, trace.attack_flows,
+              std::thread::hardware_concurrency());
+
+  core::SplitDetectConfig ecfg;
+  ecfg.fast.piece_len = 8;
+
+  // Sequential-simulator reference curve.
+  std::printf("sequential simulator (sim::lane_scaling):\n");
+  std::printf("%6s %14s %10s %8s\n", "lanes", "aggregate", "speedup",
+              "alerts");
+  double sim_base = 0.0;
+  for (const std::size_t lanes : {1u, 2u, 4u, 8u}) {
+    auto make = [&]() -> std::unique_ptr<sim::Detector> {
+      return std::make_unique<sim::SplitDetectDetector>(sigs, ecfg);
+    };
+    const sim::LaneScalingReport rep =
+        sim::lane_scaling(make, trace.packets, lanes);
+    const double gbps = rep.aggregate_gbps();
+    if (lanes == 1) sim_base = gbps;
+    std::printf("%6zu %11.2f Gb %9.2fx %8llu\n", lanes, gbps,
+                sim_base > 0 ? gbps / sim_base : 0.0,
+                static_cast<unsigned long long>(rep.total_alerts));
+  }
+
+  // The real thing: dispatcher + worker threads, blocking backpressure.
+  std::printf("\nconcurrent runtime (sdt::runtime, blocking policy):\n");
+  std::printf("%6s %14s %10s %12s %8s %9s %8s\n", "lanes", "aggregate",
+              "speedup", "wall", "drops", "ring-hwm", "alerts");
+  double rt_base = 0.0;
+  std::uint64_t alerts_at_1 = 0;
+  for (const std::size_t lanes : {1u, 2u, 4u, 8u}) {
+    runtime::RuntimeConfig rc;
+    rc.lanes = lanes;
+    rc.ring_capacity = 1024;
+    rc.engine = ecfg;
+    const sim::RuntimeScalingResult res =
+        sim::runtime_lane_scaling(sigs, rc, trace.packets);
+    const double gbps = res.aggregate_gbps();
+    if (lanes == 1) {
+      rt_base = gbps;
+      alerts_at_1 = res.total_alerts;
+    }
+    if (!res.stats.conserved()) {
+      std::printf("CONSERVATION VIOLATED: fed=%llu processed=%llu "
+                  "dropped=%llu\n",
+                  static_cast<unsigned long long>(res.stats.fed),
+                  static_cast<unsigned long long>(res.stats.processed),
+                  static_cast<unsigned long long>(res.stats.dropped));
+      return 1;
+    }
+    std::printf("%6zu %11.2f Gb %9.2fx %9.2f ms %8llu %9zu %8llu\n", lanes,
+                gbps, rt_base > 0 ? gbps / rt_base : 0.0,
+                static_cast<double>(res.wall_ns) / 1e6,
+                static_cast<unsigned long long>(res.stats.dropped),
+                res.stats.max_ring_high_water(),
+                static_cast<unsigned long long>(res.total_alerts));
+    if (res.total_alerts != alerts_at_1) {
+      std::printf("VERDICT DRIFT: %llu alerts at %zu lanes vs %llu at 1\n",
+                  static_cast<unsigned long long>(res.total_alerts), lanes,
+                  static_cast<unsigned long long>(alerts_at_1));
+      return 1;
+    }
+  }
+
+  // Graceful degradation: a deliberately undersized ring with the drop
+  // policy. Every shed packet is counted — conservation still holds.
+  std::printf("\noverload shedding (ring_capacity=8, drop policy):\n");
+  {
+    runtime::RuntimeConfig rc;
+    rc.lanes = 2;
+    rc.ring_capacity = 8;
+    rc.overload = runtime::OverloadPolicy::drop;
+    rc.engine = ecfg;
+    const sim::RuntimeScalingResult res =
+        sim::runtime_lane_scaling(sigs, rc, trace.packets);
+    std::printf("fed %llu = processed %llu + dropped %llu  (conserved: %s, "
+                "drop rate %.1f%%)\n",
+                static_cast<unsigned long long>(res.stats.fed),
+                static_cast<unsigned long long>(res.stats.processed),
+                static_cast<unsigned long long>(res.stats.dropped),
+                res.stats.conserved() ? "yes" : "NO",
+                100.0 * static_cast<double>(res.stats.dropped) /
+                    static_cast<double>(res.stats.fed));
+    if (!res.stats.conserved()) return 1;
+  }
+
+  std::printf(
+      "\nexpected shape: the runtime's aggregate curve tracks the\n"
+      "simulator's (same hash, same per-lane work; both report the\n"
+      "critical-path lane). Alerts are identical at every width — lanes\n"
+      "share no flow state, so threading changes no verdict. Drops are\n"
+      "zero under the blocking policy by construction; under the drop\n"
+      "policy they are counted, never silent. Wall-clock converges to the\n"
+      "aggregate only with >= lanes+1 free cores.\n");
+  return 0;
+}

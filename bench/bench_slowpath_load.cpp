@@ -46,7 +46,7 @@ int main() {
           engine.process(p, net::LinkType::raw_ipv4, alerts);
       if (act != core::Action::forward) slow_bytes += p.frame.size();
     }
-    const core::SplitDetectStats& st = engine.stats();
+    const core::SplitDetectStats st = engine.stats_snapshot();
     std::set<std::string> alert_flows;
     for (const auto& a : alerts) alert_flows.insert(a.flow.str());
 

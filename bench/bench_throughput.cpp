@@ -107,7 +107,7 @@ int main() {
     const core::SignatureSet psigs = evasion::default_corpus(2 * p);
     sim::SplitDetectDetector sd(psigs, cfg);
     sim::replay(sd, trace.packets);
-    const double ns = sim::splitdetect_cost_ns(sd.engine().stats(), hw);
+    const double ns = sim::splitdetect_cost_ns(sd.engine().stats_snapshot(), hw);
     char label[32];
     std::snprintf(label, sizeof label, "split-detect (p=%zu)", p);
     std::printf("%-24s %14.2f %14.3f %8.1f%%\n", label, ns / 1e6,

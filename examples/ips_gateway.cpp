@@ -1,24 +1,30 @@
-// Offline IPS gateway: run any pcap capture through the Split-Detect
-// two-path pipeline and print verdicts plus engine statistics.
+// Offline IPS gateway: run any pcap capture through the multi-threaded
+// Split-Detect runtime (flow-hash dispatcher → SPSC rings → one engine per
+// lane thread) and print verdicts plus live runtime statistics.
 //
 //   $ ./ips_gateway capture.pcap                  # default corpus, p = 8
 //   $ ./ips_gateway capture.pcap 12               # piece length 12
 //   $ ./ips_gateway capture.pcap 8 my.rules       # Snort-style rule file
 //   $ ./ips_gateway capture.pcap 8 my.rules --json  # machine-readable output
+//   $ ./ips_gateway capture.pcap --lanes 8        # more detector lanes
 //
 // Works on Ethernet and raw-IPv4 captures. If no path is given, forges a
 // small mixed trace to a temp file first so the example is self-contained.
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <string>
+#include <vector>
 
-#include "core/engine.hpp"
 #include "core/report.hpp"
 #include "core/rules.hpp"
 #include "evasion/corpus.hpp"
 #include "evasion/trace_io.hpp"
 #include "evasion/traffic_gen.hpp"
+#include "pcap/pcapng.hpp"
+#include "runtime/runtime.hpp"
+#include "util/json.hpp"
 #include "util/stats.hpp"
 
 namespace {
@@ -42,23 +48,68 @@ std::string make_demo_capture() {
   return path;
 }
 
+std::string runtime_stats_json(const sdt::runtime::StatsSnapshot& st) {
+  sdt::JsonWriter j;
+  j.begin_object();
+  j.field("fed", st.fed);
+  j.field("processed", st.processed);
+  j.field("dropped", st.dropped);
+  j.field("alerts", st.alerts);
+  j.field("diverted_packets", st.diverted);
+  j.field("diverted_fraction", st.diverted_fraction());
+  j.key("lanes").begin_array();
+  for (const auto& l : st.lanes) {
+    j.begin_object();
+    j.field("fed", l.fed);
+    j.field("processed", l.processed);
+    j.field("dropped", l.dropped);
+    j.field("bytes", l.bytes);
+    j.field("alerts", l.alerts);
+    j.field("diverted", l.diverted);
+    j.field("busy_ns", l.busy_ns);
+    j.field("ring_high_water", static_cast<std::uint64_t>(l.ring_high_water));
+    j.end_object();
+  }
+  j.end_array();
+  j.end_object();
+  return j.str();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace sdt;
 
-  const bool json = argc > 1 && std::string(argv[argc - 1]) == "--json";
-  if (json) --argc;
+  // Flags anywhere on the command line; the rest are positional.
+  bool json = false;
+  std::size_t lanes = 4;
+  std::vector<std::string> pos;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--json") {
+      json = true;
+    } else if (a == "--lanes" && i + 1 < argc) {
+      const long n = std::strtol(argv[++i], nullptr, 10);
+      if (n < 1 || n > 1024) {
+        std::fprintf(stderr, "error: --lanes must be in [1, 1024], got %s\n",
+                     argv[i]);
+        return 2;
+      }
+      lanes = static_cast<std::size_t>(n);
+    } else {
+      pos.push_back(a);
+    }
+  }
 
-  const std::string path = argc > 1 ? argv[1] : make_demo_capture();
+  const std::string path = !pos.empty() ? pos[0] : make_demo_capture();
   const std::size_t piece_len =
-      argc > 2 ? static_cast<std::size_t>(std::atoi(argv[2])) : 8;
+      pos.size() > 1 ? static_cast<std::size_t>(std::atoi(pos[1].c_str())) : 8;
 
   core::SignatureSet sigs;
-  if (argc > 3) {
+  if (pos.size() > 2) {
     core::RuleParseResult rules;
     try {
-      rules = core::load_rules_file(argv[3]);
+      rules = core::load_rules_file(pos[2]);
     } catch (const Error& e) {
       std::fprintf(stderr, "error: %s\n", e.what());
       return 2;
@@ -89,26 +140,44 @@ int main(int argc, char** argv) {
   std::printf("loaded %zu signatures (piece length %zu, min usable %zu)\n",
               sigs.size(), piece_len, 2 * piece_len);
 
-  core::SplitDetectConfig cfg;
-  cfg.fast.piece_len = piece_len;
-  core::SplitDetectEngine engine(sigs, cfg);
+  runtime::RuntimeConfig rc;
+  rc.lanes = lanes;
+  rc.engine.fast.piece_len = piece_len;
 
-  core::PcapRunResult result;
+  // Read the capture up front (the dispatcher is the bottleneck-free part;
+  // this example is offline so file I/O need not interleave with feeding).
+  std::vector<net::Packet> packets;
   try {
-    result = core::run_pcap(engine, path);
+    const auto reader = pcap::open_capture(path);
+    rc.link = reader->link_type();
+    while (auto pkt = reader->next()) packets.push_back(std::move(*pkt));
   } catch (const Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 2;
   }
 
+  runtime::Runtime rt(sigs, rc);
+  rt.start();
+  rt.feed(packets);
+  rt.stop();
+
+  std::vector<core::Alert> alerts = rt.alerts();
+  // Lanes finish in their own order; present alerts in capture-time order.
+  std::stable_sort(alerts.begin(), alerts.end(),
+                   [](const core::Alert& a, const core::Alert& b) {
+                     return a.ts_usec < b.ts_usec;
+                   });
+
+  const runtime::StatsSnapshot st = rt.stats();
+
   if (json) {
-    std::printf("{\"alerts\":%s,\"stats\":%s}\n",
-                core::alerts_json(result.alerts, sigs).c_str(),
-                core::stats_json(engine).c_str());
-    return result.alerts.empty() ? 0 : 1;
+    std::printf("{\"alerts\":%s,\"runtime\":%s}\n",
+                core::alerts_json(alerts, sigs).c_str(),
+                runtime_stats_json(st).c_str());
+    return alerts.empty() ? 0 : 1;
   }
 
-  for (const core::Alert& a : result.alerts) {
+  for (const core::Alert& a : alerts) {
     const char* name = a.signature_id == core::kConflictAlertId
                            ? "(conflicting retransmission)"
                        : a.signature_id == core::kUrgentAlertId
@@ -118,24 +187,45 @@ int main(int argc, char** argv) {
                 a.flow.str().c_str(), a.source);
   }
 
-  const core::SplitDetectStats& st = engine.stats();
-  std::printf("\n=== engine statistics ===\n");
-  std::printf("packets processed        %llu\n",
-              static_cast<unsigned long long>(st.packets));
+  // Deep per-path stats live in each lane's private engine; sum them.
+  std::uint64_t fast_scanned = 0, slow_scanned = 0;
+  std::size_t fast_state = 0, slow_state = 0, flows_seen = 0, diverted = 0;
+  for (std::size_t i = 0; i < rt.lanes(); ++i) {
+    const core::SplitDetectStats es = rt.lane_engine(i).stats_snapshot();
+    fast_scanned += es.fast.bytes_scanned;
+    slow_scanned += es.slow.bytes_scanned;
+    fast_state += rt.lane_engine(i).fast_path().flow_state_bytes();
+    slow_state += rt.lane_engine(i).slow_path().flow_state_bytes();
+    flows_seen += es.fast.flows_seen;
+    diverted += es.fast.flows_diverted;
+  }
+
+  std::printf("\n=== runtime statistics (%zu lanes) ===\n", rt.lanes());
+  std::printf("packets processed        %llu (fed %llu, dropped %llu)\n",
+              static_cast<unsigned long long>(st.processed),
+              static_cast<unsigned long long>(st.fed),
+              static_cast<unsigned long long>(st.dropped));
   std::printf("alerts                   %llu\n",
               static_cast<unsigned long long>(st.alerts));
   std::printf("slow-path packet share   %.2f%%\n",
-              100.0 * st.slow_packet_fraction());
-  std::printf("fast-path flows seen     %llu (diverted %llu)\n",
-              static_cast<unsigned long long>(st.fast.flows_seen),
-              static_cast<unsigned long long>(st.fast.flows_diverted));
+              100.0 * st.diverted_fraction());
+  std::printf("flows seen               %zu (diverted %zu)\n", flows_seen,
+              diverted);
   std::printf("fast-path bytes scanned  %s\n",
-              human_bytes(static_cast<double>(st.fast.bytes_scanned)).c_str());
+              human_bytes(static_cast<double>(fast_scanned)).c_str());
   std::printf("slow-path bytes scanned  %s\n",
-              human_bytes(static_cast<double>(st.slow.bytes_scanned)).c_str());
+              human_bytes(static_cast<double>(slow_scanned)).c_str());
   std::printf("fast-path state          %s\n",
-              human_bytes(static_cast<double>(engine.fast_path().flow_state_bytes())).c_str());
+              human_bytes(static_cast<double>(fast_state)).c_str());
   std::printf("slow-path state          %s\n",
-              human_bytes(static_cast<double>(engine.slow_path().flow_state_bytes())).c_str());
-  return result.alerts.empty() ? 0 : 1;
+              human_bytes(static_cast<double>(slow_state)).c_str());
+  for (std::size_t i = 0; i < st.lanes.size(); ++i) {
+    const auto& l = st.lanes[i];
+    std::printf("lane %zu: processed %llu, busy %.2f ms, ring high-water "
+                "%zu/%zu, alerts %llu\n",
+                i, static_cast<unsigned long long>(l.processed),
+                static_cast<double>(l.busy_ns) / 1e6, l.ring_high_water,
+                l.ring_capacity, static_cast<unsigned long long>(l.alerts));
+  }
+  return alerts.empty() ? 0 : 1;
 }

@@ -65,7 +65,7 @@ int main() {
                 a.source);
   }
   std::printf("fast path scanned %llu bytes; slow path reassembled %llu\n",
-              static_cast<unsigned long long>(engine.stats().fast.bytes_scanned),
-              static_cast<unsigned long long>(engine.stats().slow.reassembled_bytes));
+              static_cast<unsigned long long>(engine.stats_snapshot().fast.bytes_scanned),
+              static_cast<unsigned long long>(engine.stats_snapshot().slow.reassembled_bytes));
   return alerts.empty() ? 1 : 0;
 }

@@ -47,11 +47,11 @@ SplitDetectEngine::SplitDetectEngine(const SignatureSet& sigs,
 Action SplitDetectEngine::process(const net::PacketView& pv,
                                   std::uint64_t now_usec,
                                   std::vector<Alert>& alerts) {
-  ++stats_.packets;
+  ++packets_;
   const FastDecision d = fast_.process(pv, now_usec);
   if (d.action == Action::forward) return Action::forward;
 
-  ++stats_.diverted_packets;
+  ++diverted_packets_;
 
   if (d.takeover) {
     slow_.adopt_flow(d.takeover->key, d.takeover->base_seq, now_usec,
@@ -77,7 +77,7 @@ Action SplitDetectEngine::process(const net::PacketView& pv,
     new_alerts = slow_.process(pv, now_usec, alerts);
   }
 
-  stats_.alerts += new_alerts;
+  alerts_ += new_alerts;
   return new_alerts > 0 ? Action::alert : Action::divert;
 }
 

@@ -71,10 +71,17 @@ class SplitDetectEngine {
   /// Drive housekeeping (flow expiry in both paths).
   void expire(std::uint64_t now_usec);
 
-  const SplitDetectStats& stats() const {
-    stats_.fast = fast_.stats();
-    stats_.slow = slow_.stats();
-    return stats_;
+  /// By-value stats snapshot: composed on the way out, mutating nothing, so
+  /// a stats poller holding a const reference to a quiescent engine gets a
+  /// coherent copy instead of aliasing live counters through a const_cast.
+  SplitDetectStats stats_snapshot() const {
+    SplitDetectStats s;
+    s.fast = fast_.stats();
+    s.slow = slow_.stats();
+    s.packets = packets_;
+    s.alerts = alerts_;
+    s.diverted_packets = diverted_packets_;
+    return s;
   }
   const FastPath& fast_path() const { return fast_; }
   const ConventionalIps& slow_path() const { return slow_; }
@@ -92,7 +99,9 @@ class SplitDetectEngine {
   FastPath fast_;
   ConventionalIps slow_;
   reassembly::IpDefragmenter defrag_;
-  mutable SplitDetectStats stats_;
+  std::uint64_t packets_ = 0;
+  std::uint64_t alerts_ = 0;
+  std::uint64_t diverted_packets_ = 0;
 };
 
 /// One-call offline convenience: run a whole pcap file through an engine.

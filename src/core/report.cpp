@@ -5,7 +5,7 @@
 namespace sdt::core {
 
 std::string stats_json(const SplitDetectEngine& engine) {
-  const SplitDetectStats& st = engine.stats();
+  const SplitDetectStats st = engine.stats_snapshot();
   JsonWriter j;
   j.begin_object();
   j.field("packets", st.packets);

@@ -1,0 +1,26 @@
+#include "runtime/dispatcher.hpp"
+
+#include "util/error.hpp"
+#include "util/hash.hpp"
+
+namespace sdt::runtime {
+
+std::size_t address_pair_lane(const net::PacketView& pv, std::size_t lanes) {
+  if (!pv.has_ipv4) return 0;
+  // Direction-independent: mix each address, combine commutatively so both
+  // directions of a conversation land in the same lane.
+  const std::uint64_t pair =
+      mix64(pv.ipv4.src().value()) ^ mix64(pv.ipv4.dst().value());
+  return static_cast<std::size_t>(mix64(pair) % lanes);
+}
+
+FlowDispatcher::FlowDispatcher(std::size_t lanes, net::LinkType lt)
+    : lanes_(lanes), lt_(lt) {
+  if (lanes == 0) throw InvalidArgument("FlowDispatcher: lanes == 0");
+}
+
+std::size_t FlowDispatcher::lane_for(const net::Packet& pkt) const {
+  return address_pair_lane(net::PacketView::parse(pkt.frame, lt_), lanes_);
+}
+
+}  // namespace sdt::runtime

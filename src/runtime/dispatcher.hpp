@@ -1,0 +1,43 @@
+// FlowDispatcher: partitions packets across lanes by the address-pair hash.
+//
+// The hash is over (src ip, dst ip) only — no ports — and is commutative in
+// the two addresses, so both directions of a conversation AND every IP
+// fragment of it (fragments carry no port fields) land in the same lane.
+// This is the fragment-affinity invariant the whole runtime rests on: a
+// lane's SplitDetectEngine sees every byte of every flow it owns, which is
+// why multi-lane verdicts equal single-engine verdicts.
+//
+// `address_pair_lane` is the single definition of that mapping; the
+// sequential simulator (`sim::shard_by_address_pair`) and the concurrent
+// runtime both call it, so they cannot drift apart.
+#pragma once
+
+#include <cstddef>
+
+#include "net/packet.hpp"
+
+namespace sdt::runtime {
+
+/// Lane index for a parsed packet. Packets without an IPv4 header (never
+/// inspected by the engines) go to lane 0. `lanes` must be >= 1.
+std::size_t address_pair_lane(const net::PacketView& pv, std::size_t lanes);
+
+class FlowDispatcher {
+ public:
+  FlowDispatcher(std::size_t lanes, net::LinkType lt);
+
+  std::size_t lanes() const { return lanes_; }
+  net::LinkType link_type() const { return lt_; }
+
+  std::size_t lane_for(const net::PacketView& pv) const {
+    return address_pair_lane(pv, lanes_);
+  }
+  /// Parses the frame's headers (payload untouched) and hashes.
+  std::size_t lane_for(const net::Packet& pkt) const;
+
+ private:
+  std::size_t lanes_;
+  net::LinkType lt_;
+};
+
+}  // namespace sdt::runtime

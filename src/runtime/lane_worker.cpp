@@ -1,0 +1,86 @@
+#include "runtime/lane_worker.hpp"
+
+#include <chrono>
+
+namespace sdt::runtime {
+
+LaneWorker::LaneWorker(const core::SignatureSet& sigs,
+                       const core::SplitDetectConfig& engine_cfg,
+                       std::size_t ring_capacity, net::LinkType lt,
+                       std::size_t expire_every)
+    : engine_(sigs, engine_cfg),
+      ring_(ring_capacity),
+      lt_(lt),
+      expire_every_(expire_every == 0 ? 1 : expire_every) {}
+
+LaneWorker::~LaneWorker() {
+  request_stop();
+  join();
+}
+
+void LaneWorker::start() {
+  if (thread_.joinable()) return;
+  stop_.store(false, std::memory_order_release);
+  thread_ = std::thread([this] { run(); });
+}
+
+void LaneWorker::request_stop() {
+  stop_.store(true, std::memory_order_release);
+}
+
+void LaneWorker::join() {
+  if (thread_.joinable()) thread_.join();
+}
+
+void LaneWorker::run() {
+  using clock = std::chrono::steady_clock;
+  net::Packet pkt;
+  std::size_t since_expire = 0;
+
+  const auto process = [&](net::Packet& p) {
+    const auto t0 = clock::now();
+    const std::size_t before = alerts_.size();
+    const net::PacketView pv = net::PacketView::parse(p.frame, lt_);
+    const core::Action act = engine_.process(pv, p.ts_usec, alerts_);
+    if (act != core::Action::forward) {
+      counters_.diverted.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (alerts_.size() != before) {
+      counters_.alerts.fetch_add(alerts_.size() - before,
+                                 std::memory_order_relaxed);
+    }
+    if (++since_expire >= expire_every_) {
+      engine_.expire(p.ts_usec);
+      since_expire = 0;
+    }
+    const auto t1 = clock::now();
+    counters_.busy_ns.fetch_add(
+        static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+                .count()),
+        std::memory_order_relaxed);
+    counters_.bytes.fetch_add(p.frame.size(), std::memory_order_relaxed);
+    // `processed` is the drain barrier: release so a thread that observes
+    // the count also observes the work (alerts vector growth included).
+    counters_.processed.fetch_add(1, std::memory_order_release);
+  };
+
+  for (;;) {
+    if (ring_.try_pop(pkt)) {
+      process(pkt);
+      continue;
+    }
+    if (stop_.load(std::memory_order_acquire)) {
+      // The dispatcher stops feeding before it raises `stop_`, so one more
+      // acquire-pop is enough to see any packet that raced with the flag.
+      if (ring_.try_pop(pkt)) {
+        process(pkt);
+        continue;
+      }
+      break;
+    }
+    std::this_thread::yield();
+  }
+}
+
+}  // namespace sdt::runtime

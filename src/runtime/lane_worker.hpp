@@ -1,0 +1,76 @@
+// LaneWorker: one hardware thread owning one SplitDetectEngine outright.
+//
+// The worker drains its SPSC ring, runs each packet through its private
+// engine, collects alerts locally (no shared alert sink, no locks on the
+// packet path) and runs periodic expire() housekeeping ticks. Everything
+// the engine touches is thread-private; the only cross-thread traffic is
+// the ring handoff and a handful of monotonically increasing atomic
+// counters that the stats poller reads with relaxed loads.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "runtime/spsc_ring.hpp"
+
+namespace sdt::runtime {
+
+/// Live per-lane counters. Each field has exactly one writer (`fed` and
+/// `dropped`: the dispatcher thread; the rest: the lane thread); any thread
+/// may read them at any time, so a stats poll never blocks a packet.
+struct LaneCounters {
+  std::atomic<std::uint64_t> fed{0};        // packets routed to this lane
+  std::atomic<std::uint64_t> dropped{0};    // shed at the ring (drop policy)
+  std::atomic<std::uint64_t> processed{0};  // packets through the engine
+  std::atomic<std::uint64_t> bytes{0};      // frame bytes through the engine
+  std::atomic<std::uint64_t> alerts{0};
+  std::atomic<std::uint64_t> diverted{0};   // packets sent to the slow path
+  std::atomic<std::uint64_t> busy_ns{0};    // time spent inside the engine
+};
+
+class LaneWorker {
+ public:
+  LaneWorker(const core::SignatureSet& sigs,
+             const core::SplitDetectConfig& engine_cfg,
+             std::size_t ring_capacity, net::LinkType lt,
+             std::size_t expire_every);
+  ~LaneWorker();
+
+  LaneWorker(const LaneWorker&) = delete;
+  LaneWorker& operator=(const LaneWorker&) = delete;
+
+  void start();
+  /// Ask the thread to exit once its ring is empty. The dispatcher must have
+  /// stopped feeding this lane first; every packet already pushed is still
+  /// processed (never silently lost).
+  void request_stop();
+  void join();
+
+  SpscRing<net::Packet>& ring() { return ring_; }
+  const SpscRing<net::Packet>& ring() const { return ring_; }
+  LaneCounters& counters() { return counters_; }
+  const LaneCounters& counters() const { return counters_; }
+
+  /// Lane-local alert log, in this lane's processing order. Only valid once
+  /// the thread has been join()ed — the worker appends without locks.
+  const std::vector<core::Alert>& alerts() const { return alerts_; }
+  /// The lane's private engine, for post-join deep stats. Same caveat.
+  const core::SplitDetectEngine& engine() const { return engine_; }
+
+ private:
+  void run();
+
+  core::SplitDetectEngine engine_;
+  SpscRing<net::Packet> ring_;
+  LaneCounters counters_;
+  std::vector<core::Alert> alerts_;
+  net::LinkType lt_;
+  std::size_t expire_every_;
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
+};
+
+}  // namespace sdt::runtime

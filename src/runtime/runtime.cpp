@@ -1,0 +1,139 @@
+#include "runtime/runtime.hpp"
+
+#include <algorithm>
+#include <set>
+#include <thread>
+
+#include "util/error.hpp"
+
+namespace sdt::runtime {
+
+Runtime::Runtime(const core::SignatureSet& sigs, RuntimeConfig cfg)
+    : cfg_(cfg), dispatcher_(cfg.lanes, cfg.link) {
+  if (cfg_.ring_capacity == 0) {
+    throw InvalidArgument("Runtime: ring_capacity == 0");
+  }
+  // One thread per lane: a lane count beyond any plausible core count is a
+  // caller bug (e.g. a negative value pushed through a size_t), not a
+  // deployment — fail loudly instead of exhausting the machine.
+  if (cfg_.lanes > 4096) {
+    throw InvalidArgument("Runtime: lanes > 4096 (misconfigured?)");
+  }
+  lanes_.reserve(cfg_.lanes);
+  for (std::size_t i = 0; i < cfg_.lanes; ++i) {
+    lanes_.push_back(std::make_unique<LaneWorker>(
+        sigs, cfg_.engine, cfg_.ring_capacity, cfg_.link, cfg_.expire_every));
+  }
+}
+
+Runtime::~Runtime() { stop(); }
+
+void Runtime::start() {
+  if (running_) return;
+  for (auto& l : lanes_) l->start();
+  running_ = true;
+}
+
+void Runtime::feed(net::Packet pkt) {
+  if (!running_) throw Error("Runtime::feed: not started");
+  const std::size_t lane = dispatcher_.lane_for(pkt);
+  LaneWorker& w = *lanes_[lane];
+  w.counters().fed.fetch_add(1, std::memory_order_relaxed);
+  if (cfg_.overload == OverloadPolicy::block) {
+    while (!w.ring().try_push(std::move(pkt))) std::this_thread::yield();
+  } else if (!w.ring().try_push(std::move(pkt))) {
+    w.counters().dropped.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void Runtime::feed(const std::vector<net::Packet>& pkts) {
+  for (const net::Packet& p : pkts) feed(net::Packet(p.ts_usec, p.frame));
+}
+
+void Runtime::drain() {
+  if (!running_) return;
+  for (auto& l : lanes_) {
+    const LaneCounters& c = l->counters();
+    // fed is ours (the dispatcher thread), so it is already final here;
+    // wait for the lane to account for every routed packet. The acquire on
+    // `processed` pairs with the worker's release, making the processing
+    // work itself visible too.
+    while (c.processed.load(std::memory_order_acquire) +
+               c.dropped.load(std::memory_order_relaxed) <
+           c.fed.load(std::memory_order_relaxed)) {
+      std::this_thread::yield();
+    }
+  }
+}
+
+void Runtime::stop() {
+  if (!running_) return;
+  for (auto& l : lanes_) l->request_stop();
+  for (auto& l : lanes_) l->join();
+  running_ = false;
+}
+
+StatsSnapshot Runtime::stats() const {
+  StatsSnapshot s;
+  s.lanes.reserve(lanes_.size());
+  for (const auto& l : lanes_) {
+    const LaneCounters& c = l->counters();
+    LaneSnapshot ls;
+    // Counters are read oldest-truth-first: `processed` and `dropped` are
+    // acquire-loaded before `fed`, so neither can be reordered after it.
+    // A packet is always fed before it is processed or dropped, hence a
+    // snapshot taken mid-flight can never show more packets accounted for
+    // than routed: processed + dropped <= fed holds in every poll, and
+    // becomes an equality at quiescence.
+    ls.processed = c.processed.load(std::memory_order_acquire);
+    ls.dropped = c.dropped.load(std::memory_order_acquire);
+    ls.bytes = c.bytes.load(std::memory_order_relaxed);
+    ls.alerts = c.alerts.load(std::memory_order_relaxed);
+    ls.diverted = c.diverted.load(std::memory_order_relaxed);
+    ls.busy_ns = c.busy_ns.load(std::memory_order_relaxed);
+    ls.fed = c.fed.load(std::memory_order_relaxed);
+    ls.ring_size = l->ring().size();
+    ls.ring_high_water = l->ring().high_water();
+    ls.ring_capacity = l->ring().capacity();
+    s.lanes.push_back(ls);
+    s.fed += ls.fed;
+    s.processed += ls.processed;
+    s.dropped += ls.dropped;
+    s.bytes += ls.bytes;
+    s.alerts += ls.alerts;
+    s.diverted += ls.diverted;
+  }
+  return s;
+}
+
+void Runtime::require_stopped(const char* what) const {
+  if (running_) {
+    throw Error(std::string("Runtime::") + what +
+                ": workers still running; stop() first");
+  }
+}
+
+std::vector<core::Alert> Runtime::alerts() const {
+  require_stopped("alerts");
+  std::vector<core::Alert> out;
+  for (const auto& l : lanes_) {
+    out.insert(out.end(), l->alerts().begin(), l->alerts().end());
+  }
+  return out;
+}
+
+std::vector<std::uint32_t> Runtime::alerted_signatures() const {
+  require_stopped("alerted_signatures");
+  std::set<std::uint32_t> ids;
+  for (const auto& l : lanes_) {
+    for (const core::Alert& a : l->alerts()) ids.insert(a.signature_id);
+  }
+  return std::vector<std::uint32_t>(ids.begin(), ids.end());
+}
+
+const core::SplitDetectEngine& Runtime::lane_engine(std::size_t lane) const {
+  require_stopped("lane_engine");
+  return lanes_.at(lane)->engine();
+}
+
+}  // namespace sdt::runtime

@@ -1,0 +1,98 @@
+// Bounded lock-free single-producer / single-consumer ring — the conduit
+// between the dispatcher thread and each lane worker.
+//
+// One producer (the dispatcher) and one consumer (the lane thread) each own
+// one index; the only sharing is an acquire/release handoff per side, plus a
+// producer-private cache of the consumer's index (and vice versa) so the
+// uncontended fast path touches no foreign cache line at all. Capacity is
+// exact (not rounded up): a ring asked to hold N packets holds exactly N,
+// so backpressure math — ring occupancy, high-water marks, drop accounting —
+// means what it says.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace sdt::runtime {
+
+template <typename T>
+class SpscRing {
+ public:
+  explicit SpscRing(std::size_t capacity) : capacity_(capacity) {
+    if (capacity == 0) throw InvalidArgument("SpscRing: capacity == 0");
+    std::size_t slots = 1;
+    while (slots < capacity) slots <<= 1;
+    slots_.resize(slots);
+    mask_ = slots - 1;
+  }
+
+  // One producer, one consumer: the ring is a fixed rendezvous point, not a
+  // value.
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  /// Producer only. On success the value is moved into the ring; on failure
+  /// (ring full) `v` is left untouched so the caller can retry or shed it.
+  bool try_push(T&& v) {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - head_cache_ >= capacity_) {
+      head_cache_ = head_.load(std::memory_order_acquire);
+      if (tail - head_cache_ >= capacity_) return false;
+    }
+    slots_[tail & mask_] = std::move(v);
+    tail_.store(tail + 1, std::memory_order_release);
+    // Producer-side occupancy watermark; `head_cache_` lags reality, so this
+    // only ever over-estimates occupancy — safe for a high-water stat.
+    const std::size_t occ = tail + 1 - head_cache_;
+    if (occ > high_water_.load(std::memory_order_relaxed)) {
+      high_water_.store(occ, std::memory_order_relaxed);
+    }
+    return true;
+  }
+
+  /// Consumer only.
+  bool try_pop(T& out) {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    if (head == tail_cache_) {
+      tail_cache_ = tail_.load(std::memory_order_acquire);
+      if (head == tail_cache_) return false;
+    }
+    out = std::move(slots_[head & mask_]);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Any thread; instantaneous (may be stale by the time you look at it).
+  std::size_t size() const {
+    const std::size_t tail = tail_.load(std::memory_order_acquire);
+    const std::size_t head = head_.load(std::memory_order_acquire);
+    return tail - head;
+  }
+  bool empty() const { return size() == 0; }
+
+  std::size_t capacity() const { return capacity_; }
+
+  /// Largest occupancy ever observed by the producer. Any thread.
+  std::size_t high_water() const {
+    return high_water_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::vector<T> slots_;
+  std::size_t mask_ = 0;
+  std::size_t capacity_;
+
+  // Head and tail are monotonically increasing packet counts; slot index is
+  // `count & mask_`. Unsigned wraparound keeps `tail - head` correct.
+  alignas(64) std::atomic<std::size_t> head_{0};  // consumer-owned
+  alignas(64) std::atomic<std::size_t> tail_{0};  // producer-owned
+  alignas(64) std::size_t head_cache_ = 0;        // producer-private
+  alignas(64) std::size_t tail_cache_ = 0;        // consumer-private
+  std::atomic<std::size_t> high_water_{0};
+};
+
+}  // namespace sdt::runtime

@@ -1,5 +1,8 @@
 #include "sim/sharding.hpp"
 
+#include <chrono>
+
+#include "runtime/dispatcher.hpp"
 #include "util/error.hpp"
 
 namespace sdt::sim {
@@ -8,18 +11,13 @@ std::vector<std::vector<net::Packet>> shard_by_address_pair(
     const std::vector<net::Packet>& pkts, std::size_t lanes,
     net::LinkType lt) {
   if (lanes == 0) throw InvalidArgument("shard_by_address_pair: lanes == 0");
+  // One hash definition for simulator and runtime: the concurrent runtime's
+  // FlowDispatcher decides, and the simulator follows it, so the sequential
+  // replay is a byte-exact model of what each lane thread will see.
   std::vector<std::vector<net::Packet>> out(lanes);
   for (const net::Packet& p : pkts) {
     const auto pv = net::PacketView::parse(p.frame, lt);
-    std::size_t lane = 0;
-    if (pv.has_ipv4) {
-      // Direction-independent: mix each address, combine commutatively so
-      // both directions of a conversation land in the same lane.
-      const std::uint64_t pair = mix64(pv.ipv4.src().value()) ^
-                                 mix64(pv.ipv4.dst().value());
-      lane = static_cast<std::size_t>(mix64(pair) % lanes);
-    }
-    out[lane].push_back(p);
+    out[runtime::address_pair_lane(pv, lanes)].push_back(p);
   }
   return out;
 }
@@ -39,6 +37,27 @@ LaneScalingReport lane_scaling(
     rep.per_lane.push_back(std::move(r));
   }
   return rep;
+}
+
+RuntimeScalingResult runtime_lane_scaling(
+    const core::SignatureSet& sigs, const runtime::RuntimeConfig& cfg,
+    const std::vector<net::Packet>& pkts) {
+  RuntimeScalingResult res;
+  res.lanes = cfg.lanes;
+
+  runtime::Runtime rt(sigs, cfg);
+  rt.start();
+  const auto t0 = std::chrono::steady_clock::now();
+  rt.feed(pkts);
+  rt.drain();
+  const auto t1 = std::chrono::steady_clock::now();
+  rt.stop();
+
+  res.wall_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count());
+  res.stats = rt.stats();
+  res.total_alerts = res.stats.alerts;
+  return res;
 }
 
 }  // namespace sdt::sim

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "net/packet.hpp"
+#include "runtime/runtime.hpp"
 #include "sim/replay.hpp"
 #include "util/hash.hpp"
 
@@ -59,5 +60,37 @@ LaneScalingReport lane_scaling(
     const std::function<std::unique_ptr<Detector>()>& make_detector,
     const std::vector<net::Packet>& pkts, std::size_t lanes,
     net::LinkType lt = net::LinkType::raw_ipv4);
+
+/// Measured run of the real concurrent runtime (dispatcher thread + one
+/// worker thread per lane) over the same kind of trace the sequential
+/// simulator takes — the runtime-backed lane-scaling path.
+struct RuntimeScalingResult {
+  std::size_t lanes = 0;
+  runtime::StatsSnapshot stats;   // quiescent: conserved() holds
+  std::uint64_t total_alerts = 0;
+  std::uint64_t wall_ns = 0;      // feed()..drain(), host wall clock
+
+  /// Aggregate sustainable rate with every lane on its own core: bytes over
+  /// the busiest lane's engine time (same critical-path accounting as
+  /// LaneScalingReport::aggregate_gbps). Wall-clock only matches this on a
+  /// host with >= lanes+1 free cores.
+  double aggregate_gbps() const {
+    const std::uint64_t ns = stats.bottleneck_busy_ns();
+    return ns ? static_cast<double>(stats.bytes) * 8.0 /
+                    static_cast<double>(ns)
+              : 0.0;
+  }
+  double wall_gbps() const {
+    return wall_ns ? static_cast<double>(stats.bytes) * 8.0 /
+                         static_cast<double>(wall_ns)
+                   : 0.0;
+  }
+};
+
+/// Start a Runtime, feed `pkts`, drain, stop, and report. `cfg.lanes`,
+/// `cfg.link` etc. come from the caller; alerts are counted after stop.
+RuntimeScalingResult runtime_lane_scaling(const core::SignatureSet& sigs,
+                                          const runtime::RuntimeConfig& cfg,
+                                          const std::vector<net::Packet>& pkts);
 
 }  // namespace sdt::sim

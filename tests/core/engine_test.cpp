@@ -99,7 +99,7 @@ TEST(Engine, BenignTrafficMostlyFastPath) {
   const auto trace = evasion::generate_benign(tc);
   const auto alerts = run_engine(engine, trace.packets);
   EXPECT_TRUE(alerts.empty());
-  const SplitDetectStats& st = engine.stats();
+  const SplitDetectStats st = engine.stats_snapshot();
   EXPECT_EQ(st.packets, trace.packets.size());
   // The vast majority of benign packets must stay on the fast path. (At
   // this tiny scale a couple of interactive flows dominate the diverted
@@ -120,7 +120,7 @@ TEST(Engine, StatsAreInternallyConsistent) {
                                            evasion::Endpoints{}, stream,
                                            params, rng, 0);
   run_engine(engine, pkts);
-  const SplitDetectStats& st = engine.stats();
+  const SplitDetectStats st = engine.stats_snapshot();
   EXPECT_EQ(st.packets, pkts.size());
   EXPECT_EQ(st.packets, st.fast.packets);
   EXPECT_LE(st.diverted_packets, st.packets);
@@ -250,7 +250,7 @@ TEST(Engine, FlowStateFractionOfConventional) {
   // Clean traffic never reaches Split-Detect's slow path, so its per-flow
   // state is the 16-byte fast-path record vs. full reassembly contexts.
   // (Exact byte accounting is the E2 bench; here we check the structure.)
-  EXPECT_EQ(engine.stats().slow.flows_seen, 0u);
+  EXPECT_EQ(engine.stats_snapshot().slow.flows_seen, 0u);
   EXPECT_GT(conv.stats().flows_seen, 0u);
 }
 

@@ -189,7 +189,7 @@ TEST(EngineInsertion, TtlDecoyWithTopologyIsFullyDetected) {
   }
   ASSERT_FALSE(alerts.empty());
   EXPECT_EQ(alerts[0].signature_id, 0u);  // the signature itself
-  EXPECT_GT(engine.stats().fast.low_ttl_ignored, 0u);
+  EXPECT_GT(engine.stats_snapshot().fast.low_ttl_ignored, 0u);
 }
 
 }  // namespace

@@ -148,7 +148,7 @@ TEST(PhaseOptimizedPieceSet, ReducesBenignDiversion) {
       engine.process(p, net::LinkType::raw_ipv4, alerts);
     }
     EXPECT_TRUE(alerts.empty());
-    return engine.stats().fast.flows_diverted;
+    return engine.stats_snapshot().fast.flows_diverted;
   };
   const auto plain = diverted(plain_cfg);
   const auto opt = diverted(opt_cfg);

@@ -1,0 +1,222 @@
+#include "runtime/runtime.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "evasion/corpus.hpp"
+#include "evasion/traffic_gen.hpp"
+#include "runtime/dispatcher.hpp"
+#include "sim/replay.hpp"
+#include "util/error.hpp"
+
+namespace sdt::runtime {
+namespace {
+
+evasion::GeneratedTrace mixed_trace(std::size_t flows = 150,
+                                    std::uint64_t seed = 7) {
+  evasion::TrafficConfig tc;
+  tc.flows = flows;
+  tc.seed = seed;
+  evasion::AttackMix mix;
+  mix.attack_fraction = 0.1;
+  mix.kind = evasion::EvasionKind::combo_tiny_ooo;
+  return evasion::generate_mixed(tc, evasion::default_corpus(16), mix);
+}
+
+core::SplitDetectConfig engine_cfg() {
+  core::SplitDetectConfig cfg;
+  cfg.fast.piece_len = 8;
+  return cfg;
+}
+
+TEST(FlowDispatcher, RejectsZeroLanes) {
+  EXPECT_THROW(FlowDispatcher(0, net::LinkType::raw_ipv4), InvalidArgument);
+}
+
+TEST(FlowDispatcher, MatchesSimulatorShardHash) {
+  // The runtime and the sequential simulator must partition identically —
+  // this is what makes the replay a faithful model of a lane thread.
+  const auto trace = mixed_trace(60, 3);
+  const FlowDispatcher disp(4, net::LinkType::raw_ipv4);
+  for (const net::Packet& p : trace.packets) {
+    const auto pv = net::PacketView::parse(p.frame, net::LinkType::raw_ipv4);
+    EXPECT_EQ(disp.lane_for(p), address_pair_lane(pv, 4));
+  }
+}
+
+TEST(Runtime, FeedBeforeStartThrows) {
+  const core::SignatureSet sigs = evasion::default_corpus(16);
+  Runtime rt(sigs, RuntimeConfig{});
+  EXPECT_THROW(rt.feed(net::Packet{}), Error);
+}
+
+TEST(Runtime, AlertsWhileRunningThrows) {
+  const core::SignatureSet sigs = evasion::default_corpus(16);
+  Runtime rt(sigs, RuntimeConfig{});
+  rt.start();
+  EXPECT_THROW(rt.alerts(), Error);
+  EXPECT_THROW(rt.alerted_signatures(), Error);
+  EXPECT_THROW(rt.lane_engine(0), Error);
+  rt.stop();
+  EXPECT_NO_THROW(rt.alerts());
+}
+
+// The headline determinism guarantee: the multi-lane concurrent runtime
+// alerts on exactly the signature set a single-threaded replay alerts on.
+// Lanes own whole flows (address-pair affinity), so threading must not
+// change any verdict. Run under -DSDT_SANITIZE=thread to also prove the
+// absence of data races on this path.
+TEST(Runtime, DeterminismMatchesSequentialReplay) {
+  const auto trace = mixed_trace(200, 11);
+  const core::SignatureSet sigs = evasion::default_corpus(16);
+
+  sim::SplitDetectDetector reference(sigs, engine_cfg());
+  sim::replay(reference, trace.packets);
+  ASSERT_GT(reference.total_alerts(), 0u);
+
+  for (const std::size_t lanes : {1u, 2u, 4u, 8u}) {
+    RuntimeConfig rc;
+    rc.lanes = lanes;
+    rc.ring_capacity = 64;
+    rc.engine = engine_cfg();
+    Runtime rt(sigs, rc);
+    rt.start();
+    rt.feed(trace.packets);
+    rt.stop();
+
+    EXPECT_EQ(rt.alerted_signatures(), reference.alerted_signatures())
+        << "lanes=" << lanes;
+    EXPECT_EQ(rt.stats().alerts, reference.total_alerts())
+        << "lanes=" << lanes;
+  }
+}
+
+TEST(Runtime, BlockingPolicyIsLossless) {
+  // A deliberately tiny ring forces constant backpressure; the blocking
+  // policy must still deliver every packet: fed == processed, zero drops.
+  const auto trace = mixed_trace();
+  const core::SignatureSet sigs = evasion::default_corpus(16);
+  RuntimeConfig rc;
+  rc.lanes = 3;
+  rc.ring_capacity = 2;
+  rc.overload = OverloadPolicy::block;
+  rc.engine = engine_cfg();
+  Runtime rt(sigs, rc);
+  rt.start();
+  rt.feed(trace.packets);
+  rt.drain();
+  const StatsSnapshot mid = rt.stats();
+  rt.stop();
+
+  EXPECT_EQ(mid.fed, trace.packets.size());
+  EXPECT_EQ(mid.processed, trace.packets.size());
+  EXPECT_EQ(mid.dropped, 0u);
+  EXPECT_TRUE(mid.conserved());
+  for (const auto& l : mid.lanes) {
+    EXPECT_EQ(l.fed, l.processed + l.dropped);
+    EXPECT_LE(l.ring_high_water, rc.ring_capacity);
+  }
+}
+
+TEST(Runtime, DropPolicyCountsEveryShedPacket) {
+  // Overload with shedding: drops are allowed but must be accounted for —
+  // the conservation law fed == processed + dropped is exact at quiescence.
+  const auto trace = mixed_trace(300, 5);
+  const core::SignatureSet sigs = evasion::default_corpus(16);
+  RuntimeConfig rc;
+  rc.lanes = 2;
+  rc.ring_capacity = 1;  // adversarially small: shed almost everything
+  rc.overload = OverloadPolicy::drop;
+  rc.engine = engine_cfg();
+  Runtime rt(sigs, rc);
+  rt.start();
+  rt.feed(trace.packets);
+  rt.drain();
+  rt.stop();
+
+  const StatsSnapshot st = rt.stats();
+  EXPECT_EQ(st.fed, trace.packets.size());
+  EXPECT_TRUE(st.conserved()) << "fed=" << st.fed << " processed="
+                              << st.processed << " dropped=" << st.dropped;
+  for (const auto& l : st.lanes) EXPECT_EQ(l.fed, l.processed + l.dropped);
+  // With a 1-deep ring and engine-speed consumers, some shedding is certain.
+  EXPECT_GT(st.dropped, 0u);
+  EXPECT_LT(st.processed, st.fed);
+}
+
+TEST(Runtime, StatsArePollableWhileRunning) {
+  // A second thread hammers stats() while the dispatcher feeds — the poll
+  // path must be lock-free and race-free (validated under TSan), and the
+  // counters must be monotonically consistent snapshots.
+  const auto trace = mixed_trace(200, 9);
+  const core::SignatureSet sigs = evasion::default_corpus(16);
+  RuntimeConfig rc;
+  rc.lanes = 4;
+  rc.ring_capacity = 8;
+  rc.engine = engine_cfg();
+  Runtime rt(sigs, rc);
+  rt.start();
+
+  std::atomic<bool> done{false};
+  std::uint64_t polls = 0;
+  std::thread poller([&] {
+    std::uint64_t last_processed = 0;
+    while (!done.load(std::memory_order_acquire)) {
+      const StatsSnapshot st = rt.stats();
+      EXPECT_GE(st.fed, st.processed + st.dropped);  // in-flight <= fed
+      EXPECT_GE(st.processed, last_processed);       // monotone
+      last_processed = st.processed;
+      for (const auto& l : st.lanes) {
+        EXPECT_LE(l.ring_size, rc.ring_capacity);
+        EXPECT_LE(l.ring_high_water, rc.ring_capacity);
+      }
+      ++polls;
+      std::this_thread::yield();
+    }
+  });
+
+  rt.feed(trace.packets);
+  rt.drain();
+  done.store(true, std::memory_order_release);
+  poller.join();
+  rt.stop();
+
+  EXPECT_GT(polls, 0u);
+  const StatsSnapshot st = rt.stats();
+  EXPECT_TRUE(st.conserved());
+  EXPECT_EQ(st.processed, trace.packets.size());
+}
+
+TEST(Runtime, DrainAllowsMoreFeeding) {
+  const auto trace = mixed_trace(80, 21);
+  const core::SignatureSet sigs = evasion::default_corpus(16);
+  RuntimeConfig rc;
+  rc.lanes = 2;
+  rc.engine = engine_cfg();
+  Runtime rt(sigs, rc);
+  rt.start();
+  rt.feed(trace.packets);
+  rt.drain();
+  EXPECT_EQ(rt.stats().processed, trace.packets.size());
+  rt.feed(trace.packets);  // workers are still alive after drain()
+  rt.drain();
+  rt.stop();
+  EXPECT_EQ(rt.stats().processed, 2 * trace.packets.size());
+  EXPECT_TRUE(rt.stats().conserved());
+}
+
+TEST(Runtime, StopIsIdempotentAndDestructorSafe) {
+  const core::SignatureSet sigs = evasion::default_corpus(16);
+  Runtime rt(sigs, RuntimeConfig{});
+  rt.start();
+  rt.stop();
+  rt.stop();
+  EXPECT_FALSE(rt.running());
+  // Destructor of a never-started runtime must also be clean.
+  Runtime idle(sigs, RuntimeConfig{});
+}
+
+}  // namespace
+}  // namespace sdt::runtime

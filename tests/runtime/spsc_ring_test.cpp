@@ -1,0 +1,134 @@
+#include "runtime/spsc_ring.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace sdt::runtime {
+namespace {
+
+TEST(SpscRing, RejectsZeroCapacity) {
+  EXPECT_THROW(SpscRing<int>(0), InvalidArgument);
+}
+
+TEST(SpscRing, CapacityIsExactNotRoundedUp) {
+  SpscRing<int> r(3);  // slot array rounds to 4, but the ring holds 3
+  EXPECT_EQ(r.capacity(), 3u);
+  EXPECT_TRUE(r.try_push(1));
+  EXPECT_TRUE(r.try_push(2));
+  EXPECT_TRUE(r.try_push(3));
+  EXPECT_FALSE(r.try_push(4));
+  EXPECT_EQ(r.size(), 3u);
+}
+
+TEST(SpscRing, EmptyPopFails) {
+  SpscRing<int> r(4);
+  int v = 0;
+  EXPECT_TRUE(r.empty());
+  EXPECT_FALSE(r.try_pop(v));
+}
+
+TEST(SpscRing, FifoOrder) {
+  SpscRing<int> r(8);
+  for (int i = 0; i < 8; ++i) EXPECT_TRUE(r.try_push(int(i)));
+  for (int i = 0; i < 8; ++i) {
+    int v = -1;
+    EXPECT_TRUE(r.try_pop(v));
+    EXPECT_EQ(v, i);
+  }
+  EXPECT_TRUE(r.empty());
+}
+
+TEST(SpscRing, CapacityOne) {
+  SpscRing<int> r(1);
+  EXPECT_EQ(r.capacity(), 1u);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(r.try_push(int(i)));
+    EXPECT_FALSE(r.try_push(int(i)));  // full at one element
+    int v = -1;
+    EXPECT_TRUE(r.try_pop(v));
+    EXPECT_EQ(v, i);
+    EXPECT_FALSE(r.try_pop(v));  // empty again
+  }
+}
+
+TEST(SpscRing, WraparoundPreservesOrder) {
+  // Capacity 4 with 1000 elements forces many index wraps.
+  SpscRing<int> r(4);
+  int next_pop = 0;
+  for (int i = 0; i < 1000; ++i) {
+    while (!r.try_push(int(i))) {
+      int v = -1;
+      ASSERT_TRUE(r.try_pop(v));
+      ASSERT_EQ(v, next_pop++);
+    }
+  }
+  int v = -1;
+  while (r.try_pop(v)) ASSERT_EQ(v, next_pop++);
+  EXPECT_EQ(next_pop, 1000);
+}
+
+TEST(SpscRing, FailedPushLeavesValueIntact) {
+  SpscRing<std::vector<int>> r(1);
+  ASSERT_TRUE(r.try_push(std::vector<int>{1}));
+  std::vector<int> v{1, 2, 3};
+  ASSERT_FALSE(r.try_push(std::move(v)));
+  EXPECT_EQ(v.size(), 3u);  // not moved-from: caller may retry or shed it
+}
+
+TEST(SpscRing, HighWaterTracksPeakOccupancy) {
+  SpscRing<int> r(8);
+  EXPECT_EQ(r.high_water(), 0u);
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(r.try_push(int(i)));
+  EXPECT_EQ(r.high_water(), 5u);
+  int v;
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(r.try_pop(v));
+  EXPECT_EQ(r.high_water(), 5u);  // the peak, not the current occupancy
+  // The producer's view of the consumer lags, so the watermark may
+  // over-estimate occupancy after pops — but never past capacity.
+  for (int i = 0; i < 8; ++i) ASSERT_TRUE(r.try_push(int(i)));
+  EXPECT_LE(r.high_water(), r.capacity());
+  EXPECT_EQ(r.high_water(), 8u);
+}
+
+TEST(SpscRing, ConcurrentProducerConsumer) {
+  // One real producer thread and one consumer thread; values must arrive
+  // complete and in order. Meaningful under -DSDT_SANITIZE=thread.
+  constexpr std::uint64_t kCount = 200000;
+  SpscRing<std::uint64_t> r(64);
+  std::uint64_t sum = 0;
+  std::uint64_t expected_next = 0;
+  bool ordered = true;
+
+  std::thread consumer([&] {
+    std::uint64_t v;
+    std::uint64_t got = 0;
+    while (got < kCount) {
+      if (r.try_pop(v)) {
+        if (v != expected_next) ordered = false;
+        ++expected_next;
+        sum += v;
+        ++got;
+      } else {
+        std::this_thread::yield();
+      }
+    }
+  });
+
+  for (std::uint64_t i = 0; i < kCount; ++i) {
+    while (!r.try_push(std::uint64_t(i))) std::this_thread::yield();
+  }
+  consumer.join();
+
+  EXPECT_TRUE(ordered);
+  EXPECT_EQ(sum, kCount * (kCount - 1) / 2);
+  EXPECT_TRUE(r.empty());
+  EXPECT_LE(r.high_water(), r.capacity());
+}
+
+}  // namespace
+}  // namespace sdt::runtime
