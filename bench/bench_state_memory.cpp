@@ -9,10 +9,13 @@
 // true heap footprint via the byte-exact memory accounting. A second
 // scenario adds a reordered 1460-byte segment to a fraction of flows, which
 // the conventional IPS must buffer but the fast path only counts.
+#include <algorithm>
+
 #include "bench_util.hpp"
 #include "core/conventional_ips.hpp"
 #include "core/fast_path.hpp"
 #include "net/builder.hpp"
+#include "runtime/runtime.hpp"
 #include "util/stats.hpp"
 
 using namespace sdt;
@@ -102,5 +105,36 @@ int main() {
       "additionally buffers every out-of-order byte.\n",
       sizeof(core::FastFlowState));
   std::printf("paper: fast path ~10%% of conventional state at 1M flows.\n");
+
+  // Multi-lane provisioning: the runtime treats the engine flow budgets as
+  // deployment-wide totals and gives each lane total/lanes (floored), so an
+  // N-lane deployment costs ~1x the single-engine table memory, not Nx.
+  // Lanes own disjoint flows (address-pair affinity), so no capacity is
+  // lost; per-lane bytes must scale ~ 1/lanes.
+  std::printf("\nper-lane provisioning at a 1M-flow deployment budget "
+              "(runtime::RuntimeConfig):\n");
+  std::printf("%6s %14s %14s %14s %10s\n", "lanes", "flows/lane", "MiB/lane",
+              "total MiB", "vs 1 lane");
+  const core::SignatureSet lane_sigs = evasion::default_corpus(16);
+  double total_at_1 = 0.0;
+  for (const std::size_t lanes : {1u, 2u, 4u, 8u}) {
+    runtime::RuntimeConfig rc;
+    rc.lanes = lanes;
+    rc.engine.fast.piece_len = 8;
+    rc.engine.fast.max_flows = 1 << 20;
+    runtime::Runtime rt(lane_sigs, rc);  // never started: sizing only
+    std::size_t lane_bytes = 0;
+    for (std::size_t i = 0; i < rt.lanes(); ++i) {
+      lane_bytes = std::max(lane_bytes, rt.lane_engine(i).memory_bytes());
+    }
+    const double mib = static_cast<double>(lane_bytes) / (1024.0 * 1024.0);
+    const double total = mib * static_cast<double>(lanes);
+    if (lanes == 1) total_at_1 = total;
+    std::printf("%6zu %14zu %14.1f %14.1f %9.2fx\n", lanes,
+                rt.lane_engine_config().fast.max_flows, mib, total,
+                total_at_1 > 0 ? total / total_at_1 : 0.0);
+  }
+  std::printf("(a lane's tables also floor at RuntimeConfig::lane_flow_floor "
+              "so tiny shares stay usable)\n");
   return 0;
 }

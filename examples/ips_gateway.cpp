@@ -54,6 +54,8 @@ std::string runtime_stats_json(const sdt::runtime::StatsSnapshot& st) {
   j.field("fed", st.fed);
   j.field("processed", st.processed);
   j.field("dropped", st.dropped);
+  j.field("rejected_malformed", st.rejected);
+  j.field("non_ip", st.non_ip);
   j.field("alerts", st.alerts);
   j.field("diverted_packets", st.diverted);
   j.field("diverted_fraction", st.diverted_fraction());
@@ -63,6 +65,7 @@ std::string runtime_stats_json(const sdt::runtime::StatsSnapshot& st) {
     j.field("fed", l.fed);
     j.field("processed", l.processed);
     j.field("dropped", l.dropped);
+    j.field("non_ip", l.non_ip);
     j.field("bytes", l.bytes);
     j.field("alerts", l.alerts);
     j.field("diverted", l.diverted);
@@ -156,9 +159,12 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  const std::size_t capture_packets = packets.size();
   runtime::Runtime rt(sigs, rc);
   rt.start();
-  rt.feed(packets);
+  // Move the capture into the pipeline: frames are parsed once at the
+  // dispatcher and handed to the rings without a deep copy.
+  rt.feed(std::move(packets));
   rt.stop();
 
   std::vector<core::Alert> alerts = rt.alerts();
@@ -201,10 +207,13 @@ int main(int argc, char** argv) {
   }
 
   std::printf("\n=== runtime statistics (%zu lanes) ===\n", rt.lanes());
-  std::printf("packets processed        %llu (fed %llu, dropped %llu)\n",
-              static_cast<unsigned long long>(st.processed),
+  std::printf("packets processed        %llu of %zu captured (fed %llu, "
+              "dropped %llu, rejected %llu malformed, non-IP %llu)\n",
+              static_cast<unsigned long long>(st.processed), capture_packets,
               static_cast<unsigned long long>(st.fed),
-              static_cast<unsigned long long>(st.dropped));
+              static_cast<unsigned long long>(st.dropped),
+              static_cast<unsigned long long>(st.rejected),
+              static_cast<unsigned long long>(st.non_ip));
   std::printf("alerts                   %llu\n",
               static_cast<unsigned long long>(st.alerts));
   std::printf("slow-path packet share   %.2f%%\n",
@@ -221,11 +230,13 @@ int main(int argc, char** argv) {
               human_bytes(static_cast<double>(slow_state)).c_str());
   for (std::size_t i = 0; i < st.lanes.size(); ++i) {
     const auto& l = st.lanes[i];
-    std::printf("lane %zu: processed %llu, busy %.2f ms, ring high-water "
-                "%zu/%zu, alerts %llu\n",
+    std::printf("lane %zu: processed %llu (non-IP %llu), busy %.2f ms, ring "
+                "high-water %zu/%zu, flow budget %zu, alerts %llu\n",
                 i, static_cast<unsigned long long>(l.processed),
+                static_cast<unsigned long long>(l.non_ip),
                 static_cast<double>(l.busy_ns) / 1e6, l.ring_high_water,
-                l.ring_capacity, static_cast<unsigned long long>(l.alerts));
+                l.ring_capacity, l.fast_max_flows,
+                static_cast<unsigned long long>(l.alerts));
   }
   return alerts.empty() ? 0 : 1;
 }

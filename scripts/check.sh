@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Tier-1 gate + concurrency gate, in one command:
+#
+#   1. configure + build + full ctest in ./build        (the tier-1 contract)
+#   2. TSan build of the runtime in ./build-tsan and
+#      ctest -L runtime under it                        (the data-race gate)
+#
+# Usage: scripts/check.sh [jobs]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="${1:-$(nproc)}"
+
+echo "== tier-1: configure + build =="
+cmake -B build -S . >/dev/null
+cmake --build build -j "${JOBS}"
+
+echo "== tier-1: ctest =="
+(cd build && ctest --output-on-failure -j "${JOBS}")
+
+echo "== tsan: configure + build (SDT_SANITIZE=thread) =="
+cmake -B build-tsan -S . -DSDT_SANITIZE=thread >/dev/null
+cmake --build build-tsan -j "${JOBS}"
+
+echo "== tsan: ctest -L runtime =="
+(cd build-tsan && ctest -L runtime --output-on-failure -j "${JOBS}")
+
+echo "== all checks passed =="

@@ -121,4 +121,57 @@ PacketView PacketView::parse_ipv4(ByteView datagram) {
   return pv;
 }
 
+PacketIndex PacketIndex::index(ByteView frame, LinkType lt) {
+  const PacketView pv = PacketView::parse(frame, lt);
+  PacketIndex ix;
+  ix.status = pv.status;
+  ix.proto = pv.proto;
+  ix.has_ipv4 = pv.has_ipv4;
+  ix.has_tcp = pv.has_tcp;
+  ix.has_udp = pv.has_udp;
+  const auto off_of = [&](ByteView part) {
+    return static_cast<std::uint32_t>(part.data() - frame.data());
+  };
+  if (pv.has_ipv4) {
+    ix.l3_off = off_of(pv.ip_datagram);
+    ix.l3_len = static_cast<std::uint32_t>(pv.ip_datagram.size());
+    ix.ihl = static_cast<std::uint16_t>(pv.ipv4.raw().size());
+  }
+  if (pv.has_tcp) {
+    ix.l4_off = off_of(pv.tcp.raw());
+    ix.l4_hdr_len = static_cast<std::uint16_t>(pv.tcp.raw().size());
+  } else if (pv.has_udp) {
+    ix.l4_off = ix.l3_off + ix.ihl;
+    ix.l4_hdr_len = static_cast<std::uint16_t>(kUdpHeaderLen);
+  }
+  if (pv.has_tcp || pv.has_udp) {
+    ix.payload_off = off_of(pv.l4_payload);
+    ix.payload_len = static_cast<std::uint32_t>(pv.l4_payload.size());
+  }
+  return ix;
+}
+
+PacketView PacketIndex::view(ByteView frame) const {
+  PacketView pv;
+  pv.status = status;
+  pv.frame = frame;
+  pv.proto = proto;
+  if (has_ipv4) {
+    pv.ip_datagram = frame.subspan(l3_off, l3_len);
+    pv.ipv4 = Ipv4View(pv.ip_datagram.subspan(0, ihl));
+    pv.has_ipv4 = true;
+  }
+  if (has_tcp) {
+    pv.tcp = TcpView(frame.subspan(l4_off, l4_hdr_len));
+    pv.has_tcp = true;
+  } else if (has_udp) {
+    pv.udp = UdpView(frame.subspan(l4_off, l4_hdr_len));
+    pv.has_udp = true;
+  }
+  if (has_tcp || has_udp) {
+    pv.l4_payload = frame.subspan(payload_off, payload_len);
+  }
+  return pv;
+}
+
 }  // namespace sdt::net

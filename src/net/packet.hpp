@@ -28,6 +28,14 @@ enum class ParseStatus : std::uint8_t {
 
 const char* to_string(ParseStatus s);
 
+/// True for frames that are structurally broken (truncated at some layer or
+/// carrying an impossible IPv4 header) as opposed to merely unhandled
+/// (non-IPv4, unknown transport) or valid-but-partial (fragments).
+inline bool is_malformed(ParseStatus s) {
+  return s == ParseStatus::truncated_l2 || s == ParseStatus::truncated_l3 ||
+         s == ParseStatus::bad_ip_header || s == ParseStatus::truncated_l4;
+}
+
 /// Decoded layers of a single frame. Views alias the original buffer, which
 /// must outlive the PacketView.
 struct PacketView {
@@ -54,6 +62,40 @@ struct PacketView {
 
   /// Decode an IPv4 datagram directly (used after defragmentation).
   static PacketView parse_ipv4(ByteView datagram);
+};
+
+/// The result of one PacketView::parse pass, stored as *offsets* into the
+/// frame rather than pointers/spans. Offsets stay valid when the owning
+/// buffer changes address (moved into a ring slot, reallocated container,
+/// shipped to another thread), which spans do not in general; view() then
+/// rehydrates a full PacketView with plain subspan arithmetic — no header
+/// validation is repeated. This is the parse-once contract: validate at the
+/// edge, carry the index, reconstruct views for free downstream.
+struct PacketIndex {
+  ParseStatus status = ParseStatus::truncated_l2;
+  std::uint32_t l3_off = 0;       // IPv4 datagram offset within the frame
+  std::uint32_t l3_len = 0;       // datagram length (padding trimmed)
+  std::uint32_t l4_off = 0;       // transport header offset within the frame
+  std::uint32_t payload_off = 0;  // L4 payload offset within the frame
+  std::uint32_t payload_len = 0;
+  std::uint16_t ihl = 0;          // IPv4 header length in bytes
+  std::uint16_t l4_hdr_len = 0;   // TCP data-offset bytes / 8 for UDP
+  IpProto proto = IpProto::tcp;   // meaningful only when has_tcp/has_udp
+  bool has_ipv4 = false;
+  bool has_tcp = false;
+  bool has_udp = false;
+
+  bool ok() const { return status == ParseStatus::ok; }
+  bool malformed() const { return is_malformed(status); }
+
+  /// One validating parse of `frame`; equivalent to PacketView::parse but
+  /// position-independent.
+  static PacketIndex index(ByteView frame, LinkType lt);
+
+  /// Rebuild the PacketView against (a buffer byte-identical to) the frame
+  /// this index was computed from. Pure offset arithmetic, no re-validation;
+  /// passing a different-length buffer is a caller bug.
+  PacketView view(ByteView frame) const;
 };
 
 /// An owned packet: capture timestamp (µs since epoch) + frame bytes.

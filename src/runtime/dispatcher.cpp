@@ -1,12 +1,22 @@
 #include "runtime/dispatcher.hpp"
 
+#include <algorithm>
+
 #include "util/error.hpp"
 #include "util/hash.hpp"
 
 namespace sdt::runtime {
 
 std::size_t address_pair_lane(const net::PacketView& pv, std::size_t lanes) {
-  if (!pv.has_ipv4) return 0;
+  if (!pv.has_ipv4) {
+    // No address pair to hash. Mix the frame length with the leading bytes
+    // (enough to cover any L2 addressing fields) so mixed non-IP traffic
+    // spreads across lanes instead of silently skewing lane 0's load.
+    const std::size_t n = std::min<std::size_t>(pv.frame.size(), 16);
+    const std::uint64_t h =
+        hash_combine(mix64(pv.frame.size()), fnv1a64(pv.frame.first(n)));
+    return static_cast<std::size_t>(h % lanes);
+  }
   // Direction-independent: mix each address, combine commutatively so both
   // directions of a conversation land in the same lane.
   const std::uint64_t pair =
@@ -21,6 +31,19 @@ FlowDispatcher::FlowDispatcher(std::size_t lanes, net::LinkType lt)
 
 std::size_t FlowDispatcher::lane_for(const net::Packet& pkt) const {
   return address_pair_lane(net::PacketView::parse(pkt.frame, lt_), lanes_);
+}
+
+RouteDecision FlowDispatcher::route(const net::Packet& pkt) const {
+  RouteDecision d;
+  d.idx = net::PacketIndex::index(pkt.frame, lt_);
+  if (d.idx.malformed()) {
+    d.reject = true;
+    return d;
+  }
+  const net::PacketView pv = d.idx.view(pkt.frame);
+  d.non_ip = !pv.has_ipv4;
+  d.lane = address_pair_lane(pv, lanes_);
+  return d;
 }
 
 }  // namespace sdt::runtime

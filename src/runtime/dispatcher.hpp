@@ -1,4 +1,5 @@
-// FlowDispatcher: partitions packets across lanes by the address-pair hash.
+// FlowDispatcher: partitions packets across lanes by the address-pair hash,
+// parsing each frame exactly once.
 //
 // The hash is over (src ip, dst ip) only — no ports — and is commutative in
 // the two addresses, so both directions of a conversation AND every IP
@@ -7,9 +8,17 @@
 // lane's SplitDetectEngine sees every byte of every flow it owns, which is
 // why multi-lane verdicts equal single-engine verdicts.
 //
+// Non-IPv4 frames carry no address pair; they are spread by a fallback hash
+// of the frame length and leading bytes (stable per frame content) instead
+// of piling onto lane 0, and counted per lane as `non_ip`.
+//
 // `address_pair_lane` is the single definition of that mapping; the
 // sequential simulator (`sim::shard_by_address_pair`) and the concurrent
 // runtime both call it, so they cannot drift apart.
+//
+// route() is the parse-once edge: one validating PacketIndex::index pass
+// classifies the frame (deliver / reject-malformed / non-IP) and picks the
+// lane; the index ships through the ring so lane workers never re-parse.
 #pragma once
 
 #include <cstddef>
@@ -18,9 +27,23 @@
 
 namespace sdt::runtime {
 
-/// Lane index for a parsed packet. Packets without an IPv4 header (never
-/// inspected by the engines) go to lane 0. `lanes` must be >= 1.
+/// Lane index for a parsed packet. IPv4 packets hash by address pair;
+/// non-IPv4 frames hash by frame length + leading bytes. `lanes` must
+/// be >= 1.
 std::size_t address_pair_lane(const net::PacketView& pv, std::size_t lanes);
+
+/// The dispatcher's verdict on one frame: where it goes and how it was
+/// classified at the parse-once edge.
+struct RouteDecision {
+  net::PacketIndex idx;
+  std::size_t lane = 0;
+  /// Structurally broken frame (truncated / impossible header): counted at
+  /// the dispatcher and never enqueued — the engines cannot inspect it.
+  bool reject = false;
+  /// Valid frame without an IPv4 layer: delivered (fallback-hashed) and
+  /// counted per lane as non_ip.
+  bool non_ip = false;
+};
 
 class FlowDispatcher {
  public:
@@ -32,8 +55,13 @@ class FlowDispatcher {
   std::size_t lane_for(const net::PacketView& pv) const {
     return address_pair_lane(pv, lanes_);
   }
-  /// Parses the frame's headers (payload untouched) and hashes.
+  /// Parses the frame's headers (payload untouched) and hashes. Convenience
+  /// for callers outside the pipeline; the runtime itself uses route().
   std::size_t lane_for(const net::Packet& pkt) const;
+
+  /// One validating parse → classification + lane. The returned index is
+  /// what travels through the ring (see ParsedPacket).
+  RouteDecision route(const net::Packet& pkt) const;
 
  private:
   std::size_t lanes_;

@@ -6,11 +6,9 @@ namespace sdt::runtime {
 
 LaneWorker::LaneWorker(const core::SignatureSet& sigs,
                        const core::SplitDetectConfig& engine_cfg,
-                       std::size_t ring_capacity, net::LinkType lt,
-                       std::size_t expire_every)
+                       std::size_t ring_capacity, std::size_t expire_every)
     : engine_(sigs, engine_cfg),
       ring_(ring_capacity),
-      lt_(lt),
       expire_every_(expire_every == 0 ? 1 : expire_every) {}
 
 LaneWorker::~LaneWorker() {
@@ -34,14 +32,16 @@ void LaneWorker::join() {
 
 void LaneWorker::run() {
   using clock = std::chrono::steady_clock;
-  net::Packet pkt;
+  ParsedPacket pp;
   std::size_t since_expire = 0;
 
-  const auto process = [&](net::Packet& p) {
+  const auto process = [&](ParsedPacket& p) {
     const auto t0 = clock::now();
     const std::size_t before = alerts_.size();
-    const net::PacketView pv = net::PacketView::parse(p.frame, lt_);
-    const core::Action act = engine_.process(pv, p.ts_usec, alerts_);
+    // The one parse already happened at the dispatcher; rebuilding the view
+    // from the shipped index is offset arithmetic only.
+    const net::PacketView pv = p.view();
+    const core::Action act = engine_.process(pv, p.pkt.ts_usec, alerts_);
     if (act != core::Action::forward) {
       counters_.diverted.fetch_add(1, std::memory_order_relaxed);
     }
@@ -50,7 +50,7 @@ void LaneWorker::run() {
                                  std::memory_order_relaxed);
     }
     if (++since_expire >= expire_every_) {
-      engine_.expire(p.ts_usec);
+      engine_.expire(p.pkt.ts_usec);
       since_expire = 0;
     }
     const auto t1 = clock::now();
@@ -59,22 +59,22 @@ void LaneWorker::run() {
             std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
                 .count()),
         std::memory_order_relaxed);
-    counters_.bytes.fetch_add(p.frame.size(), std::memory_order_relaxed);
+    counters_.bytes.fetch_add(p.pkt.frame.size(), std::memory_order_relaxed);
     // `processed` is the drain barrier: release so a thread that observes
     // the count also observes the work (alerts vector growth included).
     counters_.processed.fetch_add(1, std::memory_order_release);
   };
 
   for (;;) {
-    if (ring_.try_pop(pkt)) {
-      process(pkt);
+    if (ring_.try_pop(pp)) {
+      process(pp);
       continue;
     }
     if (stop_.load(std::memory_order_acquire)) {
       // The dispatcher stops feeding before it raises `stop_`, so one more
       // acquire-pop is enough to see any packet that raced with the flag.
-      if (ring_.try_pop(pkt)) {
-        process(pkt);
+      if (ring_.try_pop(pp)) {
+        process(pp);
         continue;
       }
       break;

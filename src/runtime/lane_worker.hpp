@@ -1,11 +1,14 @@
 // LaneWorker: one hardware thread owning one SplitDetectEngine outright.
 //
-// The worker drains its SPSC ring, runs each packet through its private
-// engine, collects alerts locally (no shared alert sink, no locks on the
-// packet path) and runs periodic expire() housekeeping ticks. Everything
-// the engine touches is thread-private; the only cross-thread traffic is
-// the ring handoff and a handful of monotonically increasing atomic
-// counters that the stats poller reads with relaxed loads.
+// The worker drains its SPSC ring of ParsedPackets — frames the dispatcher
+// already validated and indexed — rehydrates each packet's view with offset
+// arithmetic (no re-parse; the dispatcher did the only parse), runs it
+// through its private engine, collects alerts locally (no shared alert
+// sink, no locks on the packet path) and runs periodic expire()
+// housekeeping ticks. Everything the engine touches is thread-private; the
+// only cross-thread traffic is the ring handoff and a handful of
+// monotonically increasing atomic counters that the stats poller reads
+// with relaxed loads.
 #pragma once
 
 #include <atomic>
@@ -14,16 +17,19 @@
 #include <vector>
 
 #include "core/engine.hpp"
+#include "runtime/parsed_packet.hpp"
 #include "runtime/spsc_ring.hpp"
 
 namespace sdt::runtime {
 
-/// Live per-lane counters. Each field has exactly one writer (`fed` and
-/// `dropped`: the dispatcher thread; the rest: the lane thread); any thread
-/// may read them at any time, so a stats poll never blocks a packet.
+/// Live per-lane counters. Each field has exactly one writer (`fed`,
+/// `dropped`, and `non_ip`: the dispatcher thread; the rest: the lane
+/// thread); any thread may read them at any time, so a stats poll never
+/// blocks a packet.
 struct LaneCounters {
   std::atomic<std::uint64_t> fed{0};        // packets routed to this lane
   std::atomic<std::uint64_t> dropped{0};    // shed at the ring (drop policy)
+  std::atomic<std::uint64_t> non_ip{0};     // fed frames without an IPv4 layer
   std::atomic<std::uint64_t> processed{0};  // packets through the engine
   std::atomic<std::uint64_t> bytes{0};      // frame bytes through the engine
   std::atomic<std::uint64_t> alerts{0};
@@ -35,8 +41,7 @@ class LaneWorker {
  public:
   LaneWorker(const core::SignatureSet& sigs,
              const core::SplitDetectConfig& engine_cfg,
-             std::size_t ring_capacity, net::LinkType lt,
-             std::size_t expire_every);
+             std::size_t ring_capacity, std::size_t expire_every);
   ~LaneWorker();
 
   LaneWorker(const LaneWorker&) = delete;
@@ -49,8 +54,8 @@ class LaneWorker {
   void request_stop();
   void join();
 
-  SpscRing<net::Packet>& ring() { return ring_; }
-  const SpscRing<net::Packet>& ring() const { return ring_; }
+  SpscRing<ParsedPacket>& ring() { return ring_; }
+  const SpscRing<ParsedPacket>& ring() const { return ring_; }
   LaneCounters& counters() { return counters_; }
   const LaneCounters& counters() const { return counters_; }
 
@@ -64,10 +69,9 @@ class LaneWorker {
   void run();
 
   core::SplitDetectEngine engine_;
-  SpscRing<net::Packet> ring_;
+  SpscRing<ParsedPacket> ring_;
   LaneCounters counters_;
   std::vector<core::Alert> alerts_;
-  net::LinkType lt_;
   std::size_t expire_every_;
   std::atomic<bool> stop_{false};
   std::thread thread_;

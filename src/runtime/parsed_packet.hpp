@@ -1,0 +1,28 @@
+// ParsedPacket: the ring payload of the parse-once pipeline.
+//
+// The dispatcher validates and indexes each frame exactly once
+// (net::PacketIndex); the owning packet and its index travel together
+// through the SPSC ring, and the lane worker rehydrates a PacketView with
+// offset arithmetic — no header is ever parsed twice. The index stores
+// offsets, not pointers, so moving the packet (ring slot assignment, batch
+// vector moves) cannot dangle the view.
+#pragma once
+
+#include "net/packet.hpp"
+
+namespace sdt::runtime {
+
+struct ParsedPacket {
+  net::Packet pkt;
+  net::PacketIndex idx;
+
+  ParsedPacket() = default;
+  ParsedPacket(net::Packet p, const net::PacketIndex& i)
+      : pkt(std::move(p)), idx(i) {}
+
+  /// The decoded view over this packet's current frame storage. Cheap
+  /// (subspan arithmetic only); call after every move, never before.
+  net::PacketView view() const { return idx.view(pkt.frame); }
+};
+
+}  // namespace sdt::runtime

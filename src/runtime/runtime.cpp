@@ -8,8 +8,32 @@
 
 namespace sdt::runtime {
 
+namespace {
+
+/// A lane's share of a deployment-wide flow budget: total/lanes, floored,
+/// but never more than the total itself.
+std::size_t lane_flow_share(std::size_t total, std::size_t lanes,
+                            std::size_t floor) {
+  const std::size_t share = std::max<std::size_t>(total / lanes, 1);
+  return std::min(total, std::max(share, floor));
+}
+
+core::SplitDetectConfig make_lane_config(const RuntimeConfig& cfg) {
+  core::SplitDetectConfig e = cfg.engine;
+  if (cfg.split_flow_budget && cfg.lanes > 0) {
+    e.fast.max_flows =
+        lane_flow_share(e.fast.max_flows, cfg.lanes, cfg.lane_flow_floor);
+    e.slow_max_flows =
+        lane_flow_share(e.slow_max_flows, cfg.lanes, cfg.lane_flow_floor);
+  }
+  return e;
+}
+
+}  // namespace
+
 Runtime::Runtime(const core::SignatureSet& sigs, RuntimeConfig cfg)
-    : cfg_(cfg), dispatcher_(cfg.lanes, cfg.link) {
+    : cfg_(cfg), lane_cfg_(make_lane_config(cfg)),
+      dispatcher_(cfg.lanes, cfg.link) {
   if (cfg_.ring_capacity == 0) {
     throw InvalidArgument("Runtime: ring_capacity == 0");
   }
@@ -22,7 +46,7 @@ Runtime::Runtime(const core::SignatureSet& sigs, RuntimeConfig cfg)
   lanes_.reserve(cfg_.lanes);
   for (std::size_t i = 0; i < cfg_.lanes; ++i) {
     lanes_.push_back(std::make_unique<LaneWorker>(
-        sigs, cfg_.engine, cfg_.ring_capacity, cfg_.link, cfg_.expire_every));
+        sigs, lane_cfg_, cfg_.ring_capacity, cfg_.expire_every));
   }
 }
 
@@ -36,18 +60,35 @@ void Runtime::start() {
 
 void Runtime::feed(net::Packet pkt) {
   if (!running_) throw Error("Runtime::feed: not started");
-  const std::size_t lane = dispatcher_.lane_for(pkt);
-  LaneWorker& w = *lanes_[lane];
+  // The packet pipeline's only parse: validate + index here, ship the
+  // offsets; a malformed frame is refused before it costs a ring slot.
+  const RouteDecision d = dispatcher_.route(pkt);
+  if (d.reject) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  LaneWorker& w = *lanes_[d.lane];
   w.counters().fed.fetch_add(1, std::memory_order_relaxed);
+  if (d.non_ip) w.counters().non_ip.fetch_add(1, std::memory_order_relaxed);
+  ParsedPacket pp(std::move(pkt), d.idx);
   if (cfg_.overload == OverloadPolicy::block) {
-    while (!w.ring().try_push(std::move(pkt))) std::this_thread::yield();
-  } else if (!w.ring().try_push(std::move(pkt))) {
+    while (!w.ring().try_push(std::move(pp))) std::this_thread::yield();
+  } else if (!w.ring().try_push(std::move(pp))) {
     w.counters().dropped.fetch_add(1, std::memory_order_relaxed);
   }
 }
 
-void Runtime::feed(const std::vector<net::Packet>& pkts) {
+void Runtime::feed(std::span<const net::Packet> pkts) {
   for (const net::Packet& p : pkts) feed(net::Packet(p.ts_usec, p.frame));
+}
+
+void Runtime::feed(const std::vector<net::Packet>& pkts) {
+  feed(std::span<const net::Packet>(pkts));
+}
+
+void Runtime::feed(std::vector<net::Packet>&& pkts) {
+  for (net::Packet& p : pkts) feed(std::move(p));
+  pkts.clear();
 }
 
 void Runtime::drain() {
@@ -75,6 +116,7 @@ void Runtime::stop() {
 
 StatsSnapshot Runtime::stats() const {
   StatsSnapshot s;
+  s.rejected = rejected_.load(std::memory_order_relaxed);
   s.lanes.reserve(lanes_.size());
   for (const auto& l : lanes_) {
     const LaneCounters& c = l->counters();
@@ -87,6 +129,7 @@ StatsSnapshot Runtime::stats() const {
     // becomes an equality at quiescence.
     ls.processed = c.processed.load(std::memory_order_acquire);
     ls.dropped = c.dropped.load(std::memory_order_acquire);
+    ls.non_ip = c.non_ip.load(std::memory_order_relaxed);
     ls.bytes = c.bytes.load(std::memory_order_relaxed);
     ls.alerts = c.alerts.load(std::memory_order_relaxed);
     ls.diverted = c.diverted.load(std::memory_order_relaxed);
@@ -95,10 +138,12 @@ StatsSnapshot Runtime::stats() const {
     ls.ring_size = l->ring().size();
     ls.ring_high_water = l->ring().high_water();
     ls.ring_capacity = l->ring().capacity();
+    ls.fast_max_flows = lane_cfg_.fast.max_flows;
     s.lanes.push_back(ls);
     s.fed += ls.fed;
     s.processed += ls.processed;
     s.dropped += ls.dropped;
+    s.non_ip += ls.non_ip;
     s.bytes += ls.bytes;
     s.alerts += ls.alerts;
     s.diverted += ls.diverted;

@@ -4,15 +4,25 @@
 //
 //                       ┌─ SPSC ring ─► LaneWorker 0 (own engine, own alerts)
 //   feed() ─ dispatcher ┼─ SPSC ring ─► LaneWorker 1
-//   (address-pair hash) └─ SPSC ring ─► LaneWorker N-1
+//   (parse once + hash) └─ SPSC ring ─► LaneWorker N-1
 //
 // Invariants:
+//   * parse-once — each frame's headers are validated and indexed exactly
+//     once, at the dispatcher; the offset-based index travels through the
+//     ring (ParsedPacket) and lanes rehydrate views without re-parsing.
+//     Malformed frames are rejected and counted right there (`rejected`),
+//     never enqueued;
 //   * affinity — every packet of a flow (both directions, fragments
 //     included) reaches one lane, so lane engines never share flow state
-//     and multi-lane verdicts equal single-engine verdicts;
+//     and multi-lane verdicts equal single-engine verdicts; non-IPv4
+//     frames spread by a fallback hash and are counted per lane (non_ip);
 //   * conservation — no packet is silently lost: fed == processed + dropped
 //     at quiescence, and dropped > 0 only under OverloadPolicy::drop (the
-//     blocking policy is lossless backpressure);
+//     blocking policy is lossless backpressure); rejects are counted
+//     before feeding, so they sit outside that ledger by construction;
+//   * right-sized state — engine flow budgets are deployment totals,
+//     divided across lanes (flows are disjoint per lane), so N lanes cost
+//     ~1× the single-engine table memory, not N×;
 //   * observability — StatsSnapshot can be polled from any thread while
 //     workers run; it reads only single-writer atomics, never locks the
 //     packet path.
@@ -22,8 +32,10 @@
 // (the dispatcher is the single producer of every ring).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "core/engine.hpp"
@@ -49,13 +61,25 @@ struct RuntimeConfig {
   /// Packets between engine expire() housekeeping ticks on each lane.
   std::size_t expire_every = 4096;
   net::LinkType link = net::LinkType::raw_ipv4;
+  /// Engine configuration. Its flow budgets (`fast.max_flows`,
+  /// `slow_max_flows`) are *deployment-wide totals*: lanes own disjoint
+  /// flow sets (address-pair affinity), so the runtime provisions each
+  /// lane's tables at total/lanes (floored at `lane_flow_floor`) instead
+  /// of paying lanes × full-size memory. Set `split_flow_budget = false`
+  /// to restore full-size tables on every lane.
   core::SplitDetectConfig engine;
+  bool split_flow_budget = true;
+  /// Smallest per-lane table budget the division may produce (guards
+  /// degenerate many-lane/small-total configurations). Never raises a
+  /// lane's budget above the configured total.
+  std::size_t lane_flow_floor = 1 << 12;
 };
 
 struct LaneSnapshot {
   std::uint64_t fed = 0;
   std::uint64_t processed = 0;
   std::uint64_t dropped = 0;
+  std::uint64_t non_ip = 0;  // fed frames without an IPv4 layer
   std::uint64_t bytes = 0;
   std::uint64_t alerts = 0;
   std::uint64_t diverted = 0;
@@ -63,6 +87,9 @@ struct LaneSnapshot {
   std::size_t ring_size = 0;
   std::size_t ring_high_water = 0;
   std::size_t ring_capacity = 0;
+  /// This lane's fast-path flow-table budget (static config — shows the
+  /// per-lane share of the deployment-wide total).
+  std::size_t fast_max_flows = 0;
 };
 
 struct StatsSnapshot {
@@ -70,6 +97,9 @@ struct StatsSnapshot {
   std::uint64_t fed = 0;
   std::uint64_t processed = 0;
   std::uint64_t dropped = 0;
+  /// Malformed frames refused at the dispatcher (never fed to any lane).
+  std::uint64_t rejected = 0;
+  std::uint64_t non_ip = 0;
   std::uint64_t bytes = 0;
   std::uint64_t alerts = 0;
   std::uint64_t diverted = 0;
@@ -107,9 +137,15 @@ class Runtime {
 
   /// Spawn the lane threads. Idempotent.
   void start();
-  /// Route one packet to its lane. Single-threaded producer; start() first.
+  /// Parse, classify, and route one packet to its lane (or reject it as
+  /// malformed). Single-threaded producer; start() first.
   void feed(net::Packet pkt);
+  /// Batch feeds. The span/const-ref forms copy each frame; the rvalue form
+  /// moves them — use it when the caller is done with the batch (the hot
+  /// path then never deep-copies a payload).
+  void feed(std::span<const net::Packet> pkts);
   void feed(const std::vector<net::Packet>& pkts);
+  void feed(std::vector<net::Packet>&& pkts);
   /// Block until every ring is empty and every fed packet is accounted for
   /// (processed or counted dropped). Workers stay alive for more feed()s.
   void drain();
@@ -119,6 +155,11 @@ class Runtime {
   bool running() const { return running_; }
   std::size_t lanes() const { return lanes_.size(); }
   const RuntimeConfig& config() const { return cfg_; }
+  /// The engine configuration each lane actually runs — the caller's
+  /// `cfg.engine` with flow budgets divided per lane (see RuntimeConfig).
+  const core::SplitDetectConfig& lane_engine_config() const {
+    return lane_cfg_;
+  }
 
   /// Pollable from any thread at any time, including while workers run.
   StatsSnapshot stats() const;
@@ -135,8 +176,11 @@ class Runtime {
   void require_stopped(const char* what) const;
 
   RuntimeConfig cfg_;
+  core::SplitDetectConfig lane_cfg_;
   FlowDispatcher dispatcher_;
   std::vector<std::unique_ptr<LaneWorker>> lanes_;
+  /// Dispatcher-thread writer, any-thread reader (like the lane counters).
+  std::atomic<std::uint64_t> rejected_{0};
   bool running_ = false;
 };
 

@@ -10,6 +10,7 @@
 // means what it says.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <cstddef>
 #include <utility>
@@ -67,10 +68,15 @@ class SpscRing {
   }
 
   /// Any thread; instantaneous (may be stale by the time you look at it).
+  /// `head_` must be loaded *before* `tail_`: head only grows, so a stale
+  /// head paired with a fresher tail can only over-count — the difference
+  /// never underflows. (Tail-first, a pop between the two loads makes
+  /// `tail - head` wrap to ~2^64.) A push between the loads can still push
+  /// the over-count past capacity, so clamp.
   std::size_t size() const {
-    const std::size_t tail = tail_.load(std::memory_order_acquire);
     const std::size_t head = head_.load(std::memory_order_acquire);
-    return tail - head;
+    const std::size_t tail = tail_.load(std::memory_order_acquire);
+    return std::min(tail - head, capacity_);
   }
   bool empty() const { return size() == 0; }
 

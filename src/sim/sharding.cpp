@@ -39,16 +39,16 @@ LaneScalingReport lane_scaling(
   return rep;
 }
 
-RuntimeScalingResult runtime_lane_scaling(
-    const core::SignatureSet& sigs, const runtime::RuntimeConfig& cfg,
-    const std::vector<net::Packet>& pkts) {
+RuntimeScalingResult runtime_lane_scaling(const core::SignatureSet& sigs,
+                                          const runtime::RuntimeConfig& cfg,
+                                          std::vector<net::Packet> pkts) {
   RuntimeScalingResult res;
   res.lanes = cfg.lanes;
 
   runtime::Runtime rt(sigs, cfg);
   rt.start();
   const auto t0 = std::chrono::steady_clock::now();
-  rt.feed(pkts);
+  rt.feed(std::move(pkts));  // frames move into the rings, never deep-copied
   rt.drain();
   const auto t1 = std::chrono::steady_clock::now();
   rt.stop();
@@ -57,6 +57,10 @@ RuntimeScalingResult runtime_lane_scaling(
       std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count());
   res.stats = rt.stats();
   res.total_alerts = res.stats.alerts;
+  res.lane_engine_bytes.reserve(rt.lanes());
+  for (std::size_t i = 0; i < rt.lanes(); ++i) {
+    res.lane_engine_bytes.push_back(rt.lane_engine(i).memory_bytes());
+  }
   return res;
 }
 

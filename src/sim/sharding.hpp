@@ -85,12 +85,23 @@ struct RuntimeScalingResult {
                          static_cast<double>(wall_ns)
                    : 0.0;
   }
+  /// Host wall clock per fed packet over feed()..drain().
+  double wall_ns_per_packet() const {
+    return stats.fed ? static_cast<double>(wall_ns) /
+                           static_cast<double>(stats.fed)
+                     : 0.0;
+  }
+  /// Per-lane engine memory (flow tables + matcher), measured post-stop.
+  std::vector<std::size_t> lane_engine_bytes;
 };
 
 /// Start a Runtime, feed `pkts`, drain, stop, and report. `cfg.lanes`,
 /// `cfg.link` etc. come from the caller; alerts are counted after stop.
+/// Takes the trace by value: an lvalue argument is copied once *outside*
+/// the timed region, and the timed feed path moves every frame into the
+/// rings (no per-packet deep copy on the clock).
 RuntimeScalingResult runtime_lane_scaling(const core::SignatureSet& sigs,
                                           const runtime::RuntimeConfig& cfg,
-                                          const std::vector<net::Packet>& pkts);
+                                          std::vector<net::Packet> pkts);
 
 }  // namespace sdt::sim

@@ -1,0 +1,168 @@
+// The parse-once handoff: PacketIndex must capture exactly what
+// PacketView::parse saw, and a ParsedPacket's rehydrated view must stay
+// byte-identical after the packet is moved through rings and across
+// threads (run under -DSDT_SANITIZE=address / thread via the runtime
+// label — a dangling span here is exactly what ASan exists to catch).
+#include "runtime/parsed_packet.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <utility>
+
+#include "net/builder.hpp"
+#include "runtime/spsc_ring.hpp"
+
+namespace sdt::runtime {
+namespace {
+
+net::Packet tcp_packet(std::size_t payload_len = 64) {
+  net::Ipv4Spec ip{.src = net::Ipv4Addr(10, 0, 0, 1),
+                   .dst = net::Ipv4Addr(192, 168, 0, 1)};
+  net::TcpSpec t{.src_port = 4242, .dst_port = 80, .seq = 1000};
+  return net::Packet(7, net::build_tcp_packet(ip, t, Bytes(payload_len, 0x5a)));
+}
+
+/// Field-by-field equivalence of a rehydrated view against a view freshly
+/// parsed from the same bytes.
+void expect_views_equal(const net::PacketView& a, const net::PacketView& b) {
+  EXPECT_EQ(a.status, b.status);
+  EXPECT_EQ(a.has_ipv4, b.has_ipv4);
+  EXPECT_EQ(a.has_tcp, b.has_tcp);
+  EXPECT_EQ(a.has_udp, b.has_udp);
+  EXPECT_TRUE(equal(a.frame, b.frame));
+  EXPECT_TRUE(equal(a.ip_datagram, b.ip_datagram));
+  EXPECT_TRUE(equal(a.l4_payload, b.l4_payload));
+  if (a.has_ipv4 && b.has_ipv4) {
+    EXPECT_EQ(a.ipv4.src().value(), b.ipv4.src().value());
+    EXPECT_EQ(a.ipv4.dst().value(), b.ipv4.dst().value());
+    EXPECT_EQ(a.ipv4.protocol(), b.ipv4.protocol());
+    EXPECT_TRUE(equal(a.ipv4.raw(), b.ipv4.raw()));
+  }
+  if (a.has_tcp && b.has_tcp) {
+    EXPECT_EQ(a.tcp.src_port(), b.tcp.src_port());
+    EXPECT_EQ(a.tcp.dst_port(), b.tcp.dst_port());
+    EXPECT_EQ(a.tcp.seq(), b.tcp.seq());
+    EXPECT_TRUE(equal(a.tcp.raw(), b.tcp.raw()));
+  }
+  if (a.has_udp && b.has_udp) {
+    EXPECT_EQ(a.udp.src_port(), b.udp.src_port());
+    EXPECT_EQ(a.udp.dst_port(), b.udp.dst_port());
+  }
+}
+
+TEST(PacketIndex, MatchesFreshParseTcpUdpAndFragment) {
+  const net::Packet tcp = tcp_packet();
+  {
+    const auto ix = net::PacketIndex::index(tcp.frame, net::LinkType::raw_ipv4);
+    ASSERT_TRUE(ix.ok());
+    expect_views_equal(
+        ix.view(tcp.frame),
+        net::PacketView::parse(tcp.frame, net::LinkType::raw_ipv4));
+  }
+  {
+    net::Ipv4Spec ip{.src = net::Ipv4Addr(10, 0, 0, 2),
+                     .dst = net::Ipv4Addr(192, 168, 0, 1),
+                     .protocol = static_cast<std::uint8_t>(net::IpProto::udp)};
+    const Bytes frame =
+        net::build_udp_packet(ip, 9999, 53, Bytes(32, 0x11));
+    const auto ix = net::PacketIndex::index(frame, net::LinkType::raw_ipv4);
+    ASSERT_TRUE(ix.ok());
+    ASSERT_TRUE(ix.has_udp);
+    expect_views_equal(ix.view(frame),
+                       net::PacketView::parse(frame, net::LinkType::raw_ipv4));
+  }
+  {
+    const auto frags = net::fragment_ipv4(tcp.frame, 16);
+    ASSERT_GT(frags.size(), 1u);
+    for (const Bytes& f : frags) {
+      const auto ix = net::PacketIndex::index(f, net::LinkType::raw_ipv4);
+      EXPECT_EQ(ix.status, net::ParseStatus::fragment);
+      expect_views_equal(ix.view(f),
+                         net::PacketView::parse(f, net::LinkType::raw_ipv4));
+    }
+  }
+}
+
+TEST(PacketIndex, EthernetOffsetsSurviveLinkHeader) {
+  const net::Packet p = tcp_packet();
+  const Bytes frame = net::wrap_ethernet(p.frame);
+  const auto ix = net::PacketIndex::index(frame, net::LinkType::ethernet);
+  ASSERT_TRUE(ix.ok());
+  expect_views_equal(ix.view(frame),
+                     net::PacketView::parse(frame, net::LinkType::ethernet));
+}
+
+TEST(PacketIndex, ClassifiesMalformedVsUnhandled) {
+  // Malformed: structurally broken frames the dispatcher must refuse.
+  const Bytes truncated{0x45, 0x00, 0x00};
+  EXPECT_TRUE(net::PacketIndex::index(truncated, net::LinkType::raw_ipv4)
+                  .malformed());
+  Bytes bad_ihl = tcp_packet().frame;
+  bad_ihl[0] = 0x41;  // IHL = 4 bytes: impossible
+  EXPECT_TRUE(
+      net::PacketIndex::index(bad_ihl, net::LinkType::raw_ipv4).malformed());
+  // Unhandled-but-valid: not malformed (delivered, fallback-hashed).
+  Bytes v6 = tcp_packet().frame;
+  v6[0] = 0x60;
+  const auto ix6 = net::PacketIndex::index(v6, net::LinkType::raw_ipv4);
+  EXPECT_EQ(ix6.status, net::ParseStatus::not_ipv4);
+  EXPECT_FALSE(ix6.malformed());
+}
+
+TEST(ParsedPacket, ViewSurvivesMoveAndRingTransit) {
+  net::Packet p = tcp_packet();
+  const Bytes frame_copy = p.frame;  // ground truth bytes
+  const auto ix = net::PacketIndex::index(p.frame, net::LinkType::raw_ipv4);
+  ParsedPacket origin(std::move(p), ix);
+
+  // Move through a ring (slot assignment moves the vector), then move again
+  // out of the ring — the offsets must keep pointing into the live buffer.
+  SpscRing<ParsedPacket> ring(2);
+  ASSERT_TRUE(ring.try_push(std::move(origin)));
+  ParsedPacket out;
+  ASSERT_TRUE(ring.try_pop(out));
+  ParsedPacket moved = std::move(out);
+
+  const net::PacketView pv = moved.view();
+  expect_views_equal(
+      pv, net::PacketView::parse(frame_copy, net::LinkType::raw_ipv4));
+  // The view must alias the packet's own storage, not anything stale.
+  EXPECT_EQ(pv.frame.data(), moved.pkt.frame.data());
+}
+
+TEST(ParsedPacket, ViewValidAcrossThreadHandoff) {
+  // The runtime's actual shape: producer indexes + pushes, consumer pops on
+  // another thread and reads payload bytes through the rehydrated view.
+  constexpr int kCount = 5000;
+  SpscRing<ParsedPacket> ring(8);
+  std::uint64_t payload_sum = 0;
+
+  std::thread consumer([&] {
+    ParsedPacket pp;
+    int got = 0;
+    while (got < kCount) {
+      if (ring.try_pop(pp)) {
+        const net::PacketView pv = pp.view();
+        ASSERT_TRUE(pv.ok());
+        for (std::uint8_t b : pv.l4_payload) payload_sum += b;
+        ++got;
+      } else {
+        std::this_thread::yield();
+      }
+    }
+  });
+
+  const net::Packet proto = tcp_packet(16);
+  for (int i = 0; i < kCount; ++i) {
+    net::Packet p(proto.ts_usec, proto.frame);
+    const auto ix = net::PacketIndex::index(p.frame, net::LinkType::raw_ipv4);
+    ParsedPacket pp(std::move(p), ix);
+    while (!ring.try_push(std::move(pp))) std::this_thread::yield();
+  }
+  consumer.join();
+  EXPECT_EQ(payload_sum, std::uint64_t{kCount} * 16 * 0x5a);
+}
+
+}  // namespace
+}  // namespace sdt::runtime

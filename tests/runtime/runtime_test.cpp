@@ -3,10 +3,12 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <set>
 #include <thread>
 
 #include "evasion/corpus.hpp"
 #include "evasion/traffic_gen.hpp"
+#include "net/builder.hpp"
 #include "runtime/dispatcher.hpp"
 #include "sim/replay.hpp"
 #include "util/error.hpp"
@@ -44,6 +46,41 @@ TEST(FlowDispatcher, MatchesSimulatorShardHash) {
     const auto pv = net::PacketView::parse(p.frame, net::LinkType::raw_ipv4);
     EXPECT_EQ(disp.lane_for(p), address_pair_lane(pv, 4));
   }
+}
+
+TEST(FlowDispatcher, SpreadsNonIpv4AcrossLanes) {
+  // Non-IPv4 frames used to pile onto lane 0, silently skewing its load and
+  // stats. The fallback hash (frame length + leading bytes) must spread
+  // distinct frames over several lanes.
+  const FlowDispatcher disp(4, net::LinkType::raw_ipv4);
+  std::set<std::size_t> lanes_hit;
+  for (std::uint8_t i = 0; i < 64; ++i) {
+    Bytes frame(static_cast<std::size_t>(24) + i, 0x60);  // IPv6-looking
+    frame[20] = i;
+    const RouteDecision d = disp.route(net::Packet(0, frame));
+    EXPECT_FALSE(d.reject);
+    EXPECT_TRUE(d.non_ip);
+    lanes_hit.insert(d.lane);
+  }
+  EXPECT_GT(lanes_hit.size(), 1u);
+}
+
+TEST(FlowDispatcher, RouteParsesOnceAndClassifies) {
+  const FlowDispatcher disp(4, net::LinkType::raw_ipv4);
+  net::Ipv4Spec ip{.src = net::Ipv4Addr(10, 0, 0, 1),
+                   .dst = net::Ipv4Addr(192, 168, 0, 1)};
+  net::TcpSpec t{.src_port = 1234, .dst_port = 80, .seq = 1};
+  const net::Packet good(0, net::build_tcp_packet(ip, t, Bytes(32, 0x41)));
+
+  const RouteDecision d = disp.route(good);
+  EXPECT_FALSE(d.reject);
+  EXPECT_FALSE(d.non_ip);
+  ASSERT_TRUE(d.idx.ok());
+  // The shipped index must route identically to a fresh parse.
+  EXPECT_EQ(d.lane, disp.lane_for(good));
+
+  const net::Packet truncated(0, Bytes{0x45, 0x00});
+  EXPECT_TRUE(disp.route(truncated).reject);
 }
 
 TEST(Runtime, FeedBeforeStartThrows) {
@@ -91,6 +128,152 @@ TEST(Runtime, DeterminismMatchesSequentialReplay) {
     EXPECT_EQ(rt.stats().alerts, reference.total_alerts())
         << "lanes=" << lanes;
   }
+}
+
+TEST(Runtime, RejectsMalformedAtDispatcherAndStaysConserved) {
+  // Malformed frames are refused at the parse-once edge: counted as
+  // `rejected`, never fed to a lane, never touching an engine — and the
+  // conservation ledger over the *fed* packets stays exact.
+  const auto trace = mixed_trace(50, 13);
+  const core::SignatureSet sigs = evasion::default_corpus(16);
+  for (const OverloadPolicy pol :
+       {OverloadPolicy::block, OverloadPolicy::drop}) {
+    RuntimeConfig rc;
+    rc.lanes = 2;
+    rc.ring_capacity = pol == OverloadPolicy::drop ? 1 : 64;
+    rc.overload = pol;
+    rc.engine = engine_cfg();
+    Runtime rt(sigs, rc);
+    rt.start();
+    rt.feed(trace.packets);
+    // Structurally broken frames interleaved with real traffic.
+    rt.feed(net::Packet(0, Bytes{0x45}));                    // truncated L3
+    rt.feed(net::Packet(0, Bytes{0x41, 0, 0, 24, 0, 0, 0, 0, 64, 6, 0, 0, 1,
+                                 2, 3, 4, 5, 6, 7, 8, 0, 0, 0, 0}));  // IHL<20
+    rt.feed(trace.packets);
+    rt.drain();
+    rt.stop();
+
+    const StatsSnapshot st = rt.stats();
+    EXPECT_EQ(st.rejected, 2u);
+    EXPECT_EQ(st.fed, 2 * trace.packets.size());
+    EXPECT_TRUE(st.conserved())
+        << "fed=" << st.fed << " processed=" << st.processed
+        << " dropped=" << st.dropped;
+    // No engine ever saw a malformed frame.
+    for (std::size_t i = 0; i < rt.lanes(); ++i) {
+      EXPECT_EQ(rt.lane_engine(i).stats_snapshot().fast.bad_packets, 0u);
+    }
+  }
+}
+
+TEST(Runtime, CountsNonIpv4PerLane) {
+  const core::SignatureSet sigs = evasion::default_corpus(16);
+  RuntimeConfig rc;
+  rc.lanes = 4;
+  rc.engine = engine_cfg();
+  Runtime rt(sigs, rc);
+  rt.start();
+  for (std::uint8_t i = 0; i < 40; ++i) {
+    Bytes frame(static_cast<std::size_t>(24) + i, 0x60);
+    frame[8] = i;
+    rt.feed(net::Packet(i, std::move(frame)));
+  }
+  rt.drain();
+  rt.stop();
+  const StatsSnapshot st = rt.stats();
+  EXPECT_EQ(st.non_ip, 40u);
+  EXPECT_EQ(st.fed, 40u);
+  EXPECT_TRUE(st.conserved());
+  std::uint64_t lane_sum = 0;
+  std::size_t lanes_used = 0;
+  for (const auto& l : st.lanes) {
+    lane_sum += l.non_ip;
+    if (l.non_ip > 0) ++lanes_used;
+    EXPECT_LE(l.non_ip, l.fed);
+  }
+  EXPECT_EQ(lane_sum, 40u);
+  EXPECT_GT(lanes_used, 1u);  // the old policy pinned all of these to lane 0
+}
+
+TEST(Runtime, DividesFlowBudgetAcrossLanesWithFloor) {
+  const core::SignatureSet sigs = evasion::default_corpus(16);
+  {
+    RuntimeConfig rc;
+    rc.lanes = 8;
+    rc.engine.fast.max_flows = 1 << 17;
+    rc.engine.slow_max_flows = 1 << 14;
+    rc.lane_flow_floor = 1 << 12;
+    Runtime rt(sigs, rc);
+    EXPECT_EQ(rt.lane_engine_config().fast.max_flows, (1u << 17) / 8);
+    EXPECT_EQ(rt.lane_engine_config().slow_max_flows, (1u << 14) / 8 * 2);
+    // ^ 2^14/8 = 2048 < floor 4096 -> floored.
+    // The lanes' actual tables are provisioned at the divided size.
+    for (std::size_t i = 0; i < rt.lanes(); ++i) {
+      EXPECT_EQ(rt.lane_engine(i).fast_path().config().max_flows,
+                (1u << 17) / 8);
+    }
+  }
+  {
+    // The floor never raises a lane above the configured total.
+    RuntimeConfig rc;
+    rc.lanes = 8;
+    rc.engine.fast.max_flows = 1 << 10;
+    rc.lane_flow_floor = 1 << 12;
+    Runtime rt(sigs, rc);
+    EXPECT_EQ(rt.lane_engine_config().fast.max_flows, 1u << 10);
+  }
+  {
+    // Opt-out restores full-size tables on every lane.
+    RuntimeConfig rc;
+    rc.lanes = 4;
+    rc.split_flow_budget = false;
+    rc.engine.fast.max_flows = 1 << 16;
+    Runtime rt(sigs, rc);
+    EXPECT_EQ(rt.lane_engine_config().fast.max_flows, 1u << 16);
+  }
+}
+
+TEST(Runtime, PerLaneMemoryShrinksWithLaneCount) {
+  const core::SignatureSet sigs = evasion::default_corpus(16);
+  auto lane0_bytes = [&](std::size_t lanes) {
+    RuntimeConfig rc;
+    rc.lanes = lanes;
+    rc.engine.fast.max_flows = 1 << 18;
+    Runtime rt(sigs, rc);  // sizing is visible without ever starting
+    return rt.lane_engine(0).memory_bytes();
+  };
+  const std::size_t at1 = lane0_bytes(1);
+  const std::size_t at4 = lane0_bytes(4);
+  // The flow tables dominate; shared matcher memory keeps it above a strict
+  // 1/4, but a lane at 4 lanes must cost well under half a 1-lane lane.
+  EXPECT_LT(at4, at1 / 2);
+}
+
+TEST(Runtime, MoveFeedMatchesCopyFeed) {
+  // The rvalue batch feed must be behaviorally identical to the copying
+  // feed — same routing, same verdicts — while consuming the batch.
+  const auto trace = mixed_trace(120, 17);
+  const core::SignatureSet sigs = evasion::default_corpus(16);
+  RuntimeConfig rc;
+  rc.lanes = 3;
+  rc.engine = engine_cfg();
+
+  Runtime copy_rt(sigs, rc);
+  copy_rt.start();
+  copy_rt.feed(trace.packets);
+  copy_rt.stop();
+
+  Runtime move_rt(sigs, rc);
+  move_rt.start();
+  std::vector<net::Packet> batch = trace.packets;
+  move_rt.feed(std::move(batch));
+  move_rt.stop();
+
+  EXPECT_TRUE(batch.empty());  // consumed
+  EXPECT_EQ(move_rt.stats().fed, copy_rt.stats().fed);
+  EXPECT_EQ(move_rt.stats().alerts, copy_rt.stats().alerts);
+  EXPECT_EQ(move_rt.alerted_signatures(), copy_rt.alerted_signatures());
 }
 
 TEST(Runtime, BlockingPolicyIsLossless) {

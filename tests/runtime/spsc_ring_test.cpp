@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <thread>
 #include <vector>
@@ -93,6 +95,54 @@ TEST(SpscRing, HighWaterTracksPeakOccupancy) {
   for (int i = 0; i < 8; ++i) ASSERT_TRUE(r.try_push(int(i)));
   EXPECT_LE(r.high_water(), r.capacity());
   EXPECT_EQ(r.high_water(), 8u);
+}
+
+TEST(SpscRing, SizePollNeverUnderflowsWhileDraining) {
+  // Regression for the stats-poll race: size() used to load tail_ before
+  // head_, so a pop landing between the two loads made `tail - head` wrap
+  // to ~2^64 and a live ring_size poll reported an absurd occupancy. The
+  // fixed order (head first — head only grows, so a stale head can only
+  // over-count) plus the capacity clamp makes every poll <= capacity.
+  // Hammer from a third thread while a producer/consumer pair churns. The
+  // window is two instructions wide, so on a single-hardware-thread host it
+  // only opens when the scheduler preempts the poller mid-size(); empirically
+  // that is a handful of hits per second, hence the time-bounded loop (the
+  // fixed order passes deterministically — the clamp alone bounds every
+  // poll — so the only cost of hammering longer is wall time).
+  SpscRing<std::uint64_t> r(4);
+  std::atomic<bool> stop{false};
+
+  std::thread producer([&] {
+    std::uint64_t i = 0;
+    while (!stop.load(std::memory_order_acquire)) {
+      if (r.try_push(std::uint64_t(i))) ++i;
+    }
+  });
+  std::thread consumer([&] {
+    std::uint64_t v;
+    while (!stop.load(std::memory_order_acquire)) r.try_pop(v);
+  });
+
+  // The main thread is the (any-thread) stats poller.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(2);
+  std::uint64_t polls = 0;
+  while (std::chrono::steady_clock::now() < deadline) {
+    for (int i = 0; i < 10000; ++i) {
+      const std::size_t s = r.size();
+      ++polls;
+      if (s > r.capacity()) {
+        stop.store(true, std::memory_order_release);
+        producer.join();
+        consumer.join();
+        FAIL() << "poll " << polls << " saw size " << s << " > capacity "
+               << r.capacity();
+      }
+    }
+  }
+  stop.store(true, std::memory_order_release);
+  producer.join();
+  consumer.join();
 }
 
 TEST(SpscRing, ConcurrentProducerConsumer) {
