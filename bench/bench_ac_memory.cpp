@@ -7,6 +7,8 @@
 // — and hence trie states — match the unsplit rule base. The sweep
 // quantifies that, plus the dense-DFA (one load per byte, SRAM-sized) vs
 // sparse-NFA (compact, multi-probe) trade-off that decides hardware cost.
+// Automaton sizes are deterministic for the seeded rule base, so no
+// repeat-timing applies here.
 #include "bench_util.hpp"
 #include "core/splitter.hpp"
 #include "util/rng.hpp"
@@ -25,7 +27,10 @@ match::AhoCorasick whole_sig_matcher(const core::SignatureSet& sigs,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::Options opt = bench::Options::parse(argc, argv);
+  bench::JsonReport rep("E6_ac_memory",
+                        "automaton memory, pieces vs whole signatures", opt);
   bench::banner("E6: automaton memory, pieces vs whole signatures",
                 "fast-path matcher must fit in fast memory (SRAM in the "
                 "paper's 20 Gbps argument); sweep rule-base size x layout");
@@ -39,7 +44,10 @@ int main() {
   std::printf("-------+-------------------------------+------------------------"
               "-------+-----------\n");
 
-  for (const std::size_t n : {10u, 50u, 100u, 250u, 500u}) {
+  const std::vector<std::size_t> sweep =
+      opt.quick ? std::vector<std::size_t>{10, 100}
+                : std::vector<std::size_t>{10, 50, 100, 250, 500};
+  for (const std::size_t n : sweep) {
     // Realistic length spread: 16..120 bytes, random content.
     core::SignatureSet sigs;
     for (std::size_t i = 0; i < n; ++i) {
@@ -57,6 +65,16 @@ int main() {
                 human_bytes(static_cast<double>(wd.memory_bytes())).c_str(),
                 human_bytes(static_cast<double>(ws.memory_bytes())).c_str(),
                 pd.matcher().state_count(), wd.state_count());
+    char key[32];
+    std::snprintf(key, sizeof key, "sigs%zu", n);
+    rep.metric(std::string(key) + ".pieces_dense_bytes",
+               static_cast<double>(pd.memory_bytes()), "bytes");
+    rep.metric(std::string(key) + ".pieces_sparse_bytes",
+               static_cast<double>(psp.memory_bytes()), "bytes");
+    rep.metric(std::string(key) + ".pieces_over_whole_states",
+               static_cast<double>(pd.matcher().state_count()) /
+                   static_cast<double>(wd.state_count()),
+               "ratio");
   }
 
   std::printf(
@@ -65,5 +83,5 @@ int main() {
       "because pieces tile the signatures), while dense vs sparse layout\n"
       "is a ~20x memory / ~several-x speed trade-off (see the\n"
       "bench_match_kernels ablation for the speed side).\n");
-  return 0;
+  return rep.write() ? 0 : 1;
 }

@@ -44,7 +44,10 @@ std::vector<HostileSegment> hostile_conversation(Rng& rng) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::Options opt = bench::Options::parse(argc, argv);
+  bench::JsonReport rep("E9_overlap_policies", "reassembly-policy divergence",
+                        opt);
   bench::banner("E9: reassembly-policy divergence",
                 "identical packets, different stacks, different streams — "
                 "the ambiguity that defeats non-normalizing detection");
@@ -87,10 +90,12 @@ int main() {
 
   std::printf("\ndistinct reconstructions across 6 policies: %zu\n",
               digests.size());
+  rep.metric("distinct_reconstructions", static_cast<double>(digests.size()),
+             "streams");
   std::printf(
       "expected shape: >= 3 distinct streams from identical packets. Any\n"
       "matcher bound to one interpretation is blind on stacks using the\n"
       "others; Split-Detect's slow path instead raises a normalizer-\n"
       "conflict alert the moment two contents contest one byte range.\n");
-  return 0;
+  return rep.write() ? 0 : 1;
 }

@@ -12,7 +12,9 @@
 // Aggregate Gb/s is computed from the busiest lane's engine-busy time (the
 // deployment's critical path — each lane on its own core); wall Gb/s is the
 // host's actual end-to-end clock, which matches the aggregate only when the
-// host has >= lanes+1 free cores.
+// host has >= lanes+1 free cores. Every timed row is a median ± MAD over
+// repeated runs (fresh runtime each pass); verdict/conservation invariants
+// are re-checked in every pass.
 #include <algorithm>
 #include <thread>
 
@@ -21,7 +23,10 @@
 
 using namespace sdt;
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::Options opt = bench::Options::parse(argc, argv);
+  bench::JsonReport rep("A4_runtime_scaling",
+                        "runtime lane scaling (real threads, SPSC rings)", opt);
   bench::banner("A4: runtime lane scaling (real threads, SPSC rings)",
                 "the 20 Gbps deployment shape as a running system: "
                 "flow-hash dispatcher -> bounded rings -> engine-per-thread "
@@ -29,38 +34,47 @@ int main() {
 
   const core::SignatureSet sigs = evasion::default_corpus(16);
   evasion::TrafficConfig tc;
-  tc.flows = 800;
+  tc.flows = opt.sized(800, 150);
   tc.seed = 4;
   evasion::AttackMix mix;
   mix.attack_fraction = 0.02;
   mix.kind = evasion::EvasionKind::tiny_segments;
   const auto trace = evasion::generate_mixed(tc, sigs, mix);
+  const std::size_t runs = opt.runs(5, 2);
   std::printf("workload: %zu packets, %s, %zu flows (%zu attacks); host has "
-              "%u hardware threads\n\n",
+              "%u hardware threads; %zu timed runs per width (median ± MAD)\n\n",
               trace.packets.size(),
               human_bytes(static_cast<double>(trace.total_bytes)).c_str(),
               trace.flows, trace.attack_flows,
-              std::thread::hardware_concurrency());
+              std::thread::hardware_concurrency(), runs);
 
   core::SplitDetectConfig ecfg;
   ecfg.fast.piece_len = 8;
 
   // Sequential-simulator reference curve.
   std::printf("sequential simulator (sim::lane_scaling):\n");
-  std::printf("%6s %14s %10s %8s\n", "lanes", "aggregate", "speedup",
+  std::printf("%6s %18s %10s %8s\n", "lanes", "aggregate", "speedup",
               "alerts");
   double sim_base = 0.0;
   for (const std::size_t lanes : {1u, 2u, 4u, 8u}) {
     auto make = [&]() -> std::unique_ptr<sim::Detector> {
       return std::make_unique<sim::SplitDetectDetector>(sigs, ecfg);
     };
-    const sim::LaneScalingReport rep =
-        sim::lane_scaling(make, trace.packets, lanes);
-    const double gbps = rep.aggregate_gbps();
-    if (lanes == 1) sim_base = gbps;
-    std::printf("%6zu %11.2f Gb %9.2fx %8llu\n", lanes, gbps,
-                sim_base > 0 ? gbps / sim_base : 0.0,
-                static_cast<unsigned long long>(rep.total_alerts));
+    std::uint64_t alerts = 0;
+    const bench::Repeated gbps = bench::repeat(runs, [&] {
+      const sim::LaneScalingReport lr =
+          sim::lane_scaling(make, trace.packets, lanes);
+      alerts = lr.total_alerts;
+      return lr.aggregate_gbps();
+    });
+    if (lanes == 1) sim_base = gbps.median;
+    std::printf("%6zu %15s Gb %9.2fx %8llu\n", lanes,
+                bench::pm(gbps, "%.2f").c_str(),
+                sim_base > 0 ? gbps.median / sim_base : 0.0,
+                static_cast<unsigned long long>(alerts));
+    char key[32];
+    std::snprintf(key, sizeof key, "sim.lanes%zu", lanes);
+    rep.metric(std::string(key) + ".aggregate_gbps", gbps, "Gbps");
   }
 
   // The real thing: dispatcher + worker threads, blocking backpressure.
@@ -68,9 +82,8 @@ int main() {
   // through the rings, never re-parsed) shows up in ns/packet; the divided
   // flow budget (tables sized total/lanes) shows up in MiB/lane ≈ 1/lanes.
   std::printf("\nconcurrent runtime (sdt::runtime, blocking policy):\n");
-  std::printf("%6s %14s %10s %12s %11s %10s %8s %9s %8s\n", "lanes",
-              "aggregate", "speedup", "wall", "ns/pkt", "MiB/lane", "drops",
-              "ring-hwm", "alerts");
+  std::printf("%6s %18s %10s %16s %10s %8s %8s\n", "lanes", "aggregate",
+              "speedup", "ns/pkt", "MiB/lane", "drops", "alerts");
   double rt_base = 0.0;
   std::uint64_t alerts_at_1 = 0;
   double mib_per_lane_at_1 = 0.0;
@@ -79,39 +92,50 @@ int main() {
     rc.lanes = lanes;
     rc.ring_capacity = 1024;
     rc.engine = ecfg;
-    const sim::RuntimeScalingResult res =
-        sim::runtime_lane_scaling(sigs, rc, trace.packets);
-    const double gbps = res.aggregate_gbps();
-    std::size_t lane_bytes = 0;
-    for (const std::size_t b : res.lane_engine_bytes) {
-      lane_bytes = std::max(lane_bytes, b);
-    }
-    const double mib_per_lane =
-        static_cast<double>(lane_bytes) / (1024.0 * 1024.0);
+    std::uint64_t total_alerts = 0, dropped = 0;
+    double mib_per_lane = 0.0;
+    bool conserved = true;
+    std::vector<double> nspp_samples;
+    const bench::Repeated gbps = bench::repeat(runs, [&] {
+      const sim::RuntimeScalingResult res =
+          sim::runtime_lane_scaling(sigs, rc, trace.packets);
+      total_alerts = res.total_alerts;
+      dropped = res.stats.dropped;
+      conserved = conserved && res.stats.conserved();
+      nspp_samples.push_back(res.wall_ns_per_packet());
+      std::size_t lane_bytes = 0;
+      for (const std::size_t b : res.lane_engine_bytes) {
+        lane_bytes = std::max(lane_bytes, b);
+      }
+      mib_per_lane = static_cast<double>(lane_bytes) / (1024.0 * 1024.0);
+      return res.aggregate_gbps();
+    });
+    const bench::Repeated nspp = bench::summarize(std::move(nspp_samples));
     if (lanes == 1) {
-      rt_base = gbps;
-      alerts_at_1 = res.total_alerts;
+      rt_base = gbps.median;
+      alerts_at_1 = total_alerts;
       mib_per_lane_at_1 = mib_per_lane;
     }
-    if (!res.stats.conserved()) {
-      std::printf("CONSERVATION VIOLATED: fed=%llu processed=%llu "
-                  "dropped=%llu\n",
-                  static_cast<unsigned long long>(res.stats.fed),
-                  static_cast<unsigned long long>(res.stats.processed),
-                  static_cast<unsigned long long>(res.stats.dropped));
+    if (!conserved) {
+      std::printf("CONSERVATION VIOLATED at %zu lanes\n", lanes);
       return 1;
     }
-    std::printf("%6zu %11.2f Gb %9.2fx %9.2f ms %11.1f %10.1f %8llu %9zu "
-                "%8llu\n",
-                lanes, gbps, rt_base > 0 ? gbps / rt_base : 0.0,
-                static_cast<double>(res.wall_ns) / 1e6,
-                res.wall_ns_per_packet(), mib_per_lane,
-                static_cast<unsigned long long>(res.stats.dropped),
-                res.stats.max_ring_high_water(),
-                static_cast<unsigned long long>(res.total_alerts));
-    if (res.total_alerts != alerts_at_1) {
+    std::printf("%6zu %15s Gb %9.2fx %16s %10.1f %8llu %8llu\n", lanes,
+                bench::pm(gbps, "%.2f").c_str(),
+                rt_base > 0 ? gbps.median / rt_base : 0.0,
+                bench::pm(nspp, "%.0f").c_str(), mib_per_lane,
+                static_cast<unsigned long long>(dropped),
+                static_cast<unsigned long long>(total_alerts));
+    char key[32];
+    std::snprintf(key, sizeof key, "runtime.lanes%zu", lanes);
+    rep.metric(std::string(key) + ".aggregate_gbps", gbps, "Gbps");
+    rep.metric(std::string(key) + ".wall_ns_per_pkt", nspp, "ns");
+    rep.metric(std::string(key) + ".speedup",
+               rt_base > 0 ? gbps.median / rt_base : 0.0, "x");
+    rep.metric(std::string(key) + ".mib_per_lane", mib_per_lane, "MiB");
+    if (total_alerts != alerts_at_1) {
       std::printf("VERDICT DRIFT: %llu alerts at %zu lanes vs %llu at 1\n",
-                  static_cast<unsigned long long>(res.total_alerts), lanes,
+                  static_cast<unsigned long long>(total_alerts), lanes,
                   static_cast<unsigned long long>(alerts_at_1));
       return 1;
     }
@@ -145,6 +169,12 @@ int main() {
                 100.0 * static_cast<double>(res.stats.dropped) /
                     static_cast<double>(res.stats.fed));
     if (!res.stats.conserved()) return 1;
+    rep.metric("shedding.conserved", res.stats.conserved() ? 1.0 : 0.0,
+               "bool");
+    rep.metric("shedding.drop_rate_pct",
+               100.0 * static_cast<double>(res.stats.dropped) /
+                   static_cast<double>(res.stats.fed),
+               "%");
   }
 
   std::printf(
@@ -159,5 +189,5 @@ int main() {
       "indexed once at the dispatcher, moved — not copied — into the\n"
       "rings); MiB/lane is each lane's engine footprint with the flow\n"
       "budget divided across lanes (≈ 1/lanes until the floor).\n");
-  return 0;
+  return rep.write() ? 0 : 1;
 }

@@ -1,15 +1,31 @@
-// Shared helpers for the experiment benches: standard workloads, table
-// printing, and the experiment banner that ties a binary back to the
-// DESIGN.md per-experiment index.
+// Shared harness for the experiment benches: standard workloads, table
+// printing, the experiment banner — and the measurement/reporting contract
+// every bench binary follows:
+//
+//   --json <path>   write the machine-readable report (schema sdt-bench/1,
+//                   documented in docs/OBSERVABILITY.md) in addition to the
+//                   human tables
+//   --repeats N     override a bench's repeat count
+//   --quick         smaller workloads + fewer repeats (the CI smoke mode
+//                   scripts/bench_snapshot.sh --quick uses)
+//
+// Timing is repeat-N with median ± MAD (median absolute deviation): the
+// robust location/spread pair that a single warm run or a best-of-N cannot
+// provide on a noisy shared host. Deterministic quantities (byte counts,
+// flow counts, detection verdicts) are recorded as plain metrics.
 #pragma once
 
+#include <algorithm>
+#include <cmath>
 #include <cstdarg>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
 #include "evasion/corpus.hpp"
 #include "evasion/traffic_gen.hpp"
+#include "util/json.hpp"
 #include "util/stats.hpp"
 
 namespace sdt::bench {
@@ -38,5 +54,173 @@ inline evasion::GeneratedTrace standard_benign(std::size_t flows,
   tc.reorder_rate = reorder_rate;
   return evasion::generate_benign(tc);
 }
+
+/// Command-line contract shared by every experiment bench (see file
+/// comment). Unrecognized arguments are ignored, so a bench can add its
+/// own flags without fighting the parser.
+struct Options {
+  bool quick = false;
+  std::size_t repeats_override = 0;  // 0 = use the bench's default
+  std::string json_path;
+
+  static Options parse(int argc, char** argv) {
+    Options o;
+    for (int i = 1; i < argc; ++i) {
+      const std::string a = argv[i];
+      if (a == "--quick") {
+        o.quick = true;
+      } else if (a == "--json" && i + 1 < argc) {
+        o.json_path = argv[++i];
+      } else if (a == "--repeats" && i + 1 < argc) {
+        o.repeats_override = static_cast<std::size_t>(
+            std::strtoull(argv[++i], nullptr, 10));
+      }
+    }
+    return o;
+  }
+
+  /// The repeat count a timed section should use: the explicit override if
+  /// given, else the bench's default (trimmed in --quick mode).
+  std::size_t runs(std::size_t dflt, std::size_t quick_dflt = 2) const {
+    if (repeats_override > 0) return repeats_override;
+    return quick ? std::min(dflt, quick_dflt) : dflt;
+  }
+  /// Scale a workload size down in --quick mode.
+  std::size_t sized(std::size_t full, std::size_t quick_size) const {
+    return quick ? quick_size : full;
+  }
+};
+
+/// Repeat-measurement summary: median and MAD over the recorded samples.
+struct Repeated {
+  std::vector<double> samples;
+  double median = 0.0;
+  double mad = 0.0;  // median(|x - median|): robust spread, same unit
+
+  std::size_t runs() const { return samples.size(); }
+  /// Relative spread — the honest "how noisy was this" figure.
+  double rel_mad() const { return median != 0.0 ? mad / median : 0.0; }
+};
+
+inline double median_of(std::vector<double> v) {
+  if (v.empty()) return 0.0;
+  const std::size_t mid = v.size() / 2;
+  std::nth_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(mid),
+                   v.end());
+  const double hi = v[mid];
+  if (v.size() % 2 == 1) return hi;
+  const double lo =
+      *std::max_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(mid));
+  return (lo + hi) / 2.0;
+}
+
+inline Repeated summarize(std::vector<double> samples) {
+  Repeated r;
+  r.median = median_of(samples);
+  std::vector<double> dev;
+  dev.reserve(samples.size());
+  for (const double x : samples) dev.push_back(std::fabs(x - r.median));
+  r.mad = median_of(std::move(dev));
+  r.samples = std::move(samples);
+  return r;
+}
+
+/// Run `fn` (which returns one numeric sample, e.g. wall ns for a fresh
+/// replay) `runs` times and summarize. The first call is not discarded:
+/// callers that want a warm-up run it themselves — a median is already
+/// robust to one cold outlier.
+template <typename F>
+Repeated repeat(std::size_t runs, F&& fn) {
+  std::vector<double> samples;
+  samples.reserve(runs);
+  for (std::size_t i = 0; i < runs; ++i) samples.push_back(fn());
+  return summarize(std::move(samples));
+}
+
+/// "median ± mad (n runs)" for the human tables.
+inline std::string pm(const Repeated& r, const char* fmt = "%.1f") {
+  char a[64], b[64];
+  std::snprintf(a, sizeof a, fmt, r.median);
+  std::snprintf(b, sizeof b, fmt, r.mad);
+  char out[160];
+  std::snprintf(out, sizeof out, "%s ±%s", a, b);
+  return out;
+}
+
+/// Collects a bench's machine-readable metrics and writes the documented
+/// sdt-bench/1 JSON object to Options::json_path (no-op without --json).
+/// One instance per binary; metric names are dotted paths scoped by the
+/// bench (e.g. "split_detect.ns_per_byte").
+class JsonReport {
+ public:
+  JsonReport(std::string bench_id, std::string title, Options opt)
+      : id_(std::move(bench_id)), title_(std::move(title)),
+        opt_(std::move(opt)) {}
+
+  /// Deterministic scalar.
+  void metric(std::string name, double value, std::string unit) {
+    rows_.push_back({std::move(name), std::move(unit), value, 0.0, 0});
+  }
+  /// Repeat-timed scalar: records median as the value plus mad/runs.
+  void metric(std::string name, const Repeated& r, std::string unit) {
+    rows_.push_back({std::move(name), std::move(unit), r.median, r.mad,
+                     r.runs()});
+  }
+
+  /// Write the report if --json was given. Returns false on I/O failure
+  /// (after printing to stderr) so main can propagate a nonzero exit.
+  bool write() const {
+    if (opt_.json_path.empty()) return true;
+    JsonWriter j;
+    j.begin_object();
+    j.field("schema", "sdt-bench/1");
+    j.field("bench", id_);
+    j.field("title", title_);
+    j.field("quick", opt_.quick);
+    j.key("metrics").begin_array();
+    for (const Row& r : rows_) {
+      j.begin_object();
+      j.field("name", r.name);
+      j.field("unit", r.unit);
+      j.field("value", r.value);
+      if (r.runs > 0) {
+        j.field("mad", r.mad);
+        j.field("runs", static_cast<std::uint64_t>(r.runs));
+      }
+      j.end_object();
+    }
+    j.end_array();
+    j.end_object();
+    const std::string& body = j.str();
+    std::FILE* f = std::fopen(opt_.json_path.c_str(), "wb");
+    if (!f) {
+      std::fprintf(stderr, "bench: cannot open %s\n", opt_.json_path.c_str());
+      return false;
+    }
+    const std::size_t n = std::fwrite(body.data(), 1, body.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    if (n != body.size()) {
+      std::fprintf(stderr, "bench: short write to %s\n",
+                   opt_.json_path.c_str());
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  struct Row {
+    std::string name;
+    std::string unit;
+    double value;
+    double mad;
+    std::size_t runs;
+  };
+
+  std::string id_;
+  std::string title_;
+  Options opt_;
+  std::vector<Row> rows_;
+};
 
 }  // namespace sdt::bench

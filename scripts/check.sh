@@ -1,9 +1,12 @@
 #!/usr/bin/env bash
-# Tier-1 gate + concurrency gate, in one command:
+# Tier-1 gate + concurrency gate + observability gate, in one command:
 #
 #   1. configure + build + full ctest in ./build        (the tier-1 contract)
 #   2. TSan build of the runtime in ./build-tsan and
-#      ctest -L runtime under it                        (the data-race gate)
+#      ctest -L 'runtime|telemetry' under it            (the data-race gate)
+#   3. bench_snapshot.sh --quick smoke: the bench suite must produce a
+#      snapshot that validates against the documented schema
+#      (docs/OBSERVABILITY.md)
 #
 # Usage: scripts/check.sh [jobs]
 set -euo pipefail
@@ -22,7 +25,13 @@ echo "== tsan: configure + build (SDT_SANITIZE=thread) =="
 cmake -B build-tsan -S . -DSDT_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "${JOBS}"
 
-echo "== tsan: ctest -L runtime =="
-(cd build-tsan && ctest -L runtime --output-on-failure -j "${JOBS}")
+echo "== tsan: ctest -L 'runtime|telemetry' =="
+(cd build-tsan && ctest -L 'runtime|telemetry' --output-on-failure -j "${JOBS}")
+
+echo "== bench snapshot smoke (--quick) =="
+SMOKE="$(mktemp /tmp/sdt_bench_smoke.XXXXXX.json)"
+trap 'rm -f "${SMOKE}"' EXIT
+scripts/bench_snapshot.sh --quick --out "${SMOKE}" >/dev/null
+python3 scripts/validate_bench_json.py "${SMOKE}"
 
 echo "== all checks passed =="

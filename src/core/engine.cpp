@@ -93,6 +93,44 @@ void SplitDetectEngine::expire(std::uint64_t now_usec) {
   defrag_.expire(now_usec);
 }
 
+void SplitDetectEngine::register_metrics(telemetry::MetricsRegistry& reg,
+                                         const std::string& prefix) const {
+  using telemetry::MetricDesc;
+  // The engine's tallies are thread-private plain integers — declared
+  // non-live so a live poll skips them instead of racing the owner thread.
+  const auto gauge = [&](const char* name, const char* unit,
+                         std::function<std::uint64_t()> fn) {
+    reg.add_gauge(MetricDesc{prefix + "." + name, unit, "engine", false},
+                  std::move(fn));
+  };
+  gauge("packets", "packets", [this] { return packets_; });
+  gauge("alerts", "alerts", [this] { return alerts_; });
+  gauge("diverted_packets", "packets", [this] { return diverted_packets_; });
+  gauge("fast.bytes_scanned", "bytes",
+        [this] { return fast_.stats().bytes_scanned; });
+  gauge("fast.flows_seen", "flows", [this] { return fast_.stats().flows_seen; });
+  gauge("fast.flows_diverted", "flows",
+        [this] { return fast_.stats().flows_diverted; });
+  gauge("fast.piece_hits", "events", [this] { return fast_.stats().piece_hits; });
+  gauge("fast.small_segment_anomalies", "events",
+        [this] { return fast_.stats().small_segment_anomalies; });
+  gauge("fast.ooo_anomalies", "events",
+        [this] { return fast_.stats().ooo_anomalies; });
+  gauge("fast.fragment_diverts", "events",
+        [this] { return fast_.stats().fragment_diverts; });
+  gauge("slow.bytes_scanned", "bytes",
+        [this] { return slow_.stats().bytes_scanned; });
+  gauge("slow.reassembled_bytes", "bytes",
+        [this] { return slow_.stats().reassembled_bytes; });
+  gauge("slow.flows_seen", "flows", [this] { return slow_.stats().flows_seen; });
+  gauge("slow.conflicting_overlaps", "events",
+        [this] { return slow_.stats().conflicting_overlaps; });
+  gauge("flow_state_bytes", "bytes",
+        [this] { return static_cast<std::uint64_t>(flow_state_bytes()); });
+  gauge("memory_bytes", "bytes",
+        [this] { return static_cast<std::uint64_t>(memory_bytes()); });
+}
+
 PcapRunResult run_pcap(SplitDetectEngine& engine, const std::string& path) {
   const auto reader = pcap::open_capture(path);  // classic pcap or pcapng
   PcapRunResult r;

@@ -24,6 +24,7 @@
 #include "core/signature.hpp"
 #include "core/verdict.hpp"
 #include "pcap/pcap.hpp"
+#include "telemetry/registry.hpp"
 
 namespace sdt::core {
 
@@ -85,6 +86,15 @@ class SplitDetectEngine {
   }
   const FastPath& fast_path() const { return fast_; }
   const ConventionalIps& slow_path() const { return slow_; }
+
+  /// Register this engine's deep stats into `reg` under `<prefix>.…` as
+  /// *quiescent-only* gauges (MetricDesc::live = false): the engine's
+  /// tallies are thread-private plain integers, so they are sampled only
+  /// by snapshot(SampleScope::quiescent) — after the owning thread stopped,
+  /// or from the single thread driving the engine. Names and units are the
+  /// contract in docs/OBSERVABILITY.md. The engine must outlive the polls.
+  void register_metrics(telemetry::MetricsRegistry& reg,
+                        const std::string& prefix = "engine") const;
 
   /// Per-flow state held by both paths together (the E2 metric for
   /// Split-Detect as a whole system).

@@ -54,11 +54,12 @@ void LaneWorker::run() {
       since_expire = 0;
     }
     const auto t1 = clock::now();
-    counters_.busy_ns.fetch_add(
-        static_cast<std::uint64_t>(
-            std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
-                .count()),
-        std::memory_order_relaxed);
+    const auto ns = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+            .count());
+    counters_.busy_ns.fetch_add(ns, std::memory_order_relaxed);
+    latency_ns_.record(ns);
+    frame_bytes_.record(p.pkt.frame.size());
     counters_.bytes.fetch_add(p.pkt.frame.size(), std::memory_order_relaxed);
     // `processed` is the drain barrier: release so a thread that observes
     // the count also observes the work (alerts vector growth included).

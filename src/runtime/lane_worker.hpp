@@ -19,6 +19,8 @@
 #include "core/engine.hpp"
 #include "runtime/parsed_packet.hpp"
 #include "runtime/spsc_ring.hpp"
+#include "telemetry/counter.hpp"
+#include "telemetry/histogram.hpp"
 
 namespace sdt::runtime {
 
@@ -26,10 +28,20 @@ namespace sdt::runtime {
 /// `dropped`, and `non_ip`: the dispatcher thread; the rest: the lane
 /// thread); any thread may read them at any time, so a stats poll never
 /// blocks a packet.
+///
+/// Layout: the two writer threads get disjoint cache lines (alignas on the
+/// group leaders), so the dispatcher bumping `fed` never invalidates the
+/// line the lane thread is bumping `processed` on. Within a group the
+/// counters deliberately share a line — one thread touching one hot line
+/// per packet beats five padded singletons.
 struct LaneCounters {
+  // Dispatcher-thread group — its own cache line.
+  alignas(telemetry::kCacheLine)
   std::atomic<std::uint64_t> fed{0};        // packets routed to this lane
   std::atomic<std::uint64_t> dropped{0};    // shed at the ring (drop policy)
   std::atomic<std::uint64_t> non_ip{0};     // fed frames without an IPv4 layer
+  // Lane-thread group — its own cache line.
+  alignas(telemetry::kCacheLine)
   std::atomic<std::uint64_t> processed{0};  // packets through the engine
   std::atomic<std::uint64_t> bytes{0};      // frame bytes through the engine
   std::atomic<std::uint64_t> alerts{0};
@@ -59,6 +71,12 @@ class LaneWorker {
   LaneCounters& counters() { return counters_; }
   const LaneCounters& counters() const { return counters_; }
 
+  /// Per-packet engine latency, recorded by the lane thread, snapshot-safe
+  /// from any thread (single-writer log2 histogram).
+  const telemetry::LogHistogram& latency_ns() const { return latency_ns_; }
+  /// Frame sizes through the engine, same discipline.
+  const telemetry::LogHistogram& frame_bytes() const { return frame_bytes_; }
+
   /// Lane-local alert log, in this lane's processing order. Only valid once
   /// the thread has been join()ed — the worker appends without locks.
   const std::vector<core::Alert>& alerts() const { return alerts_; }
@@ -71,6 +89,8 @@ class LaneWorker {
   core::SplitDetectEngine engine_;
   SpscRing<ParsedPacket> ring_;
   LaneCounters counters_;
+  telemetry::LogHistogram latency_ns_;
+  telemetry::LogHistogram frame_bytes_;
   std::vector<core::Alert> alerts_;
   std::size_t expire_every_;
   std::atomic<bool> stop_{false};

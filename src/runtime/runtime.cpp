@@ -74,7 +74,10 @@ void Runtime::feed(net::Packet pkt) {
   if (cfg_.overload == OverloadPolicy::block) {
     while (!w.ring().try_push(std::move(pp))) std::this_thread::yield();
   } else if (!w.ring().try_push(std::move(pp))) {
-    w.counters().dropped.fetch_add(1, std::memory_order_relaxed);
+    // Release: a reader that observes this drop (acquire) also observes
+    // the packet's fed increment above, keeping processed + dropped <= fed
+    // true in every mid-flight poll, not just at quiescence.
+    w.counters().dropped.fetch_add(1, std::memory_order_release);
   }
 }
 
@@ -139,6 +142,8 @@ StatsSnapshot Runtime::stats() const {
     ls.ring_high_water = l->ring().high_water();
     ls.ring_capacity = l->ring().capacity();
     ls.fast_max_flows = lane_cfg_.fast.max_flows;
+    ls.latency_ns = l->latency_ns().snapshot();
+    ls.frame_bytes = l->frame_bytes().snapshot();
     s.lanes.push_back(ls);
     s.fed += ls.fed;
     s.processed += ls.processed;
@@ -149,6 +154,56 @@ StatsSnapshot Runtime::stats() const {
     s.diverted += ls.diverted;
   }
   return s;
+}
+
+void Runtime::register_metrics(telemetry::MetricsRegistry& reg,
+                               const std::string& prefix) const {
+  using telemetry::MetricDesc;
+  reg.add_counter(MetricDesc{prefix + ".rejected", "packets", "dispatcher"},
+                  &rejected_);
+  reg.add_gauge(MetricDesc{prefix + ".lanes", "", "runtime"},
+                [this] { return static_cast<std::uint64_t>(lanes_.size()); });
+  for (std::size_t i = 0; i < lanes_.size(); ++i) {
+    const std::string lp = prefix + ".lane" + std::to_string(i) + ".";
+    const LaneWorker* w = lanes_[i].get();
+    const LaneCounters& c = w->counters();
+    const auto ctr = [&](const char* name, const char* unit,
+                         const char* owner,
+                         const std::atomic<std::uint64_t>* src) {
+      reg.add_counter(MetricDesc{lp + name, unit, owner}, src);
+    };
+    // Registration order is sampling order (see MetricsRegistry): the
+    // accounted-for counters (processed, dropped) go in before `fed`, so a
+    // live snapshot can never show more packets accounted for than routed
+    // — the same oldest-truth-first discipline as Runtime::stats().
+    ctr("processed", "packets", "lane", &c.processed);
+    ctr("bytes", "bytes", "lane", &c.bytes);
+    ctr("alerts", "alerts", "lane", &c.alerts);
+    ctr("diverted", "packets", "lane", &c.diverted);
+    ctr("busy_ns", "ns", "lane", &c.busy_ns);
+    ctr("dropped", "packets", "dispatcher", &c.dropped);
+    ctr("non_ip", "packets", "dispatcher", &c.non_ip);
+    ctr("fed", "packets", "dispatcher", &c.fed);
+    reg.add_histogram(MetricDesc{lp + "latency_ns", "ns", "lane"},
+                      &w->latency_ns());
+    reg.add_histogram(MetricDesc{lp + "frame_bytes", "bytes", "lane"},
+                      &w->frame_bytes());
+    reg.add_gauge(MetricDesc{lp + "ring_size", "packets", "ring"},
+                  [w] { return static_cast<std::uint64_t>(w->ring().size()); });
+    reg.add_gauge(MetricDesc{lp + "ring_high_water", "packets", "ring"}, [w] {
+      return static_cast<std::uint64_t>(w->ring().high_water());
+    });
+    reg.add_gauge(MetricDesc{lp + "ring_capacity", "packets", "ring"}, [w] {
+      return static_cast<std::uint64_t>(w->ring().capacity());
+    });
+    reg.add_gauge(MetricDesc{lp + "fast_max_flows", "flows", "runtime"},
+                  [this] {
+                    return static_cast<std::uint64_t>(lane_cfg_.fast.max_flows);
+                  });
+    // Deep engine stats: thread-private plain counters, registered by the
+    // engine itself as quiescent-only gauges (skipped by live polls).
+    w->engine().register_metrics(reg, lp + "engine");
+  }
 }
 
 void Runtime::require_stopped(const char* what) const {

@@ -41,6 +41,7 @@
 #include "core/engine.hpp"
 #include "runtime/dispatcher.hpp"
 #include "runtime/lane_worker.hpp"
+#include "telemetry/registry.hpp"
 
 namespace sdt::runtime {
 
@@ -90,6 +91,10 @@ struct LaneSnapshot {
   /// This lane's fast-path flow-table budget (static config — shows the
   /// per-lane share of the deployment-wide total).
   std::size_t fast_max_flows = 0;
+  /// Per-packet engine latency distribution (log2 buckets; p50/p99 etc.).
+  telemetry::HistogramSnapshot latency_ns;
+  /// Frame-size distribution of the packets this lane processed.
+  telemetry::HistogramSnapshot frame_bytes;
 };
 
 struct StatsSnapshot {
@@ -125,6 +130,21 @@ struct StatsSnapshot {
   /// traffic is in flight, fed exceeds processed+dropped by the packets
   /// currently queued in rings.
   bool conserved() const { return fed == processed + dropped; }
+
+  /// Deployment-wide per-packet engine latency: the lanes' log2 histograms
+  /// merged bucket-wise (lossless — buckets line up), so p50/p99 describe
+  /// every processed packet regardless of which lane ran it.
+  telemetry::HistogramSnapshot latency_ns() const {
+    telemetry::HistogramSnapshot m;
+    for (const auto& l : lanes) m.merge(l.latency_ns);
+    return m;
+  }
+  /// Deployment-wide frame-size distribution, same merge.
+  telemetry::HistogramSnapshot frame_bytes() const {
+    telemetry::HistogramSnapshot m;
+    for (const auto& l : lanes) m.merge(l.frame_bytes);
+    return m;
+  }
 };
 
 class Runtime {
@@ -163,6 +183,16 @@ class Runtime {
 
   /// Pollable from any thread at any time, including while workers run.
   StatsSnapshot stats() const;
+
+  /// Register every runtime metric into `reg` under `<prefix>.…` (see
+  /// docs/OBSERVABILITY.md for the full name/unit contract): the
+  /// dispatcher's `rejected`, each lane's counters and latency/frame-size
+  /// histograms (all live-safe), ring gauges, and — as quiescent-only
+  /// gauges — each lane engine's deep stats. The runtime must outlive the
+  /// registry polls; call `reg.remove_prefix(prefix)` before destroying
+  /// this runtime if the registry lives longer.
+  void register_metrics(telemetry::MetricsRegistry& reg,
+                        const std::string& prefix = "runtime") const;
 
   /// All lanes' alerts concatenated in lane order (each lane's slice is in
   /// that lane's processing order). Requires stop() first.

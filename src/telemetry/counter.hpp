@@ -1,0 +1,31 @@
+// Cache-line-padded monotonic counter.
+//
+// Each counter owns a full destructive-interference span, so a bank of
+// them (one per lane, or several per lane) never false-shares: lane 0
+// bumping `processed` cannot evict lane 1's `fed` line. The write side is
+// single-writer relaxed adds — one instruction on x86 — and any thread may
+// read at any time.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace sdt::telemetry {
+
+// Fixed 64 rather than std::hardware_destructive_interference_size: the
+// standard constant is compile-flag-dependent (GCC warns it can vary and
+// poison ABIs), and 64 is the destructive span on every platform this
+// targets. Same choice as SpscRing's alignas(64).
+inline constexpr std::size_t kCacheLine = 64;
+
+/// Monotonic event counter. Exactly one thread calls add(); any thread may
+/// load() concurrently (relaxed — pair with an acquire elsewhere when the
+/// count gates visibility of other work, as LaneCounters::processed does).
+struct alignas(kCacheLine) PaddedCounter {
+  std::atomic<std::uint64_t> v{0};
+
+  void add(std::uint64_t n = 1) { v.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t load() const { return v.load(std::memory_order_relaxed); }
+};
+
+}  // namespace sdt::telemetry

@@ -1,0 +1,153 @@
+// Fixed-bucket log2 histogram for hot-path latency/size tracking.
+//
+// LogHistogram is the recording side: 64 power-of-two buckets plus
+// count/sum/min/max, every cell a single-writer atomic, so one lane thread
+// records with a handful of relaxed increments (no locks, no allocation,
+// no branches beyond the bit_width) while any other thread snapshots
+// concurrently. HistogramSnapshot is the reading side: a plain value type
+// that merges across lanes (bucket-wise addition — log2 buckets make the
+// merge exact) and answers quantile queries by rank interpolation inside
+// the winning bucket, so p50/p90/p99 come out of a deployment-wide merge
+// without the lanes ever sharing a cache line.
+//
+// Resolution: a value lands in bucket bit_width(v), i.e. [2^(i-1), 2^i).
+// A quantile is therefore exact to within its bucket (≤ 2× relative
+// error), which is the standard trade for a fixed-footprint mergeable
+// histogram (HdrHistogram-style, radix 2). min/max are tracked exactly.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+
+namespace sdt::telemetry {
+
+inline constexpr std::size_t kHistogramBuckets = 64;
+
+/// Bucket index for a value: 0 holds exactly {0}; bucket i (i >= 1) holds
+/// [2^(i-1), 2^i); the top bucket absorbs everything >= 2^62.
+constexpr std::size_t bucket_index(std::uint64_t v) {
+  return std::min<std::size_t>(std::bit_width(v), kHistogramBuckets - 1);
+}
+/// Inclusive lower bound of a bucket's value range.
+constexpr std::uint64_t bucket_lo(std::size_t i) {
+  return i == 0 ? 0 : std::uint64_t(1) << (i - 1);
+}
+/// Inclusive upper bound of a bucket's value range.
+constexpr std::uint64_t bucket_hi(std::size_t i) {
+  if (i == 0) return 0;
+  if (i >= kHistogramBuckets - 1) return std::numeric_limits<std::uint64_t>::max();
+  return (std::uint64_t(1) << i) - 1;
+}
+
+/// Plain-value histogram state: what a snapshot or a cross-lane merge
+/// yields. Safe to copy, compare, and query from any thread.
+struct HistogramSnapshot {
+  std::uint64_t buckets[kHistogramBuckets] = {};
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t min = std::numeric_limits<std::uint64_t>::max();
+  std::uint64_t max = 0;
+
+  bool empty() const { return count == 0; }
+  double mean() const {
+    return count == 0 ? 0.0
+                      : static_cast<double>(sum) / static_cast<double>(count);
+  }
+
+  /// Bucket-wise merge; log2 buckets line up exactly, so merging N lane
+  /// histograms is lossless with respect to each one's own resolution.
+  void merge(const HistogramSnapshot& o) {
+    for (std::size_t i = 0; i < kHistogramBuckets; ++i) buckets[i] += o.buckets[i];
+    count += o.count;
+    sum += o.sum;
+    min = std::min(min, o.min);
+    max = std::max(max, o.max);
+  }
+
+  /// Quantile by rank: find the bucket holding the q-th sample and
+  /// interpolate linearly inside its value range, clamped to the exact
+  /// observed [min, max]. q in [0, 1]; empty histogram -> 0.
+  std::uint64_t quantile(double q) const {
+    if (count == 0) return 0;
+    q = std::clamp(q, 0.0, 1.0);
+    // 1-based rank of the sample we want.
+    const std::uint64_t rank = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(q * static_cast<double>(count - 1)) + 1);
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < kHistogramBuckets; ++i) {
+      if (buckets[i] == 0) continue;
+      if (seen + buckets[i] >= rank) {
+        // Position of the wanted rank inside this bucket, in [0, 1).
+        const double frac = static_cast<double>(rank - seen - 1) /
+                            static_cast<double>(buckets[i]);
+        const double lo = static_cast<double>(bucket_lo(i));
+        const double hi = static_cast<double>(bucket_hi(i));
+        const auto est = static_cast<std::uint64_t>(lo + frac * (hi - lo));
+        return std::clamp(est, min, max);
+      }
+      seen += buckets[i];
+    }
+    return max;  // unreachable when the counts are consistent
+  }
+
+  std::uint64_t p50() const { return quantile(0.50); }
+  std::uint64_t p90() const { return quantile(0.90); }
+  std::uint64_t p99() const { return quantile(0.99); }
+};
+
+/// The recording side. Single-writer: exactly one thread calls record();
+/// any thread may snapshot() at any time. A mid-flight snapshot may lag the
+/// writer by the samples still being recorded (monotonic, never invented);
+/// at quiescence it is exact.
+class LogHistogram {
+ public:
+  void record(std::uint64_t v) {
+    buckets_[bucket_index(v)].fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+    // Single writer: plain load-compare-store is race-free against itself;
+    // concurrent readers see either the old or the new extreme.
+    if (v < min_.load(std::memory_order_relaxed))
+      min_.store(v, std::memory_order_relaxed);
+    if (v > max_.load(std::memory_order_relaxed))
+      max_.store(v, std::memory_order_relaxed);
+    // count last, released: a reader that observes the count also observes
+    // the bucket increment it describes.
+    count_.fetch_add(1, std::memory_order_release);
+  }
+
+  HistogramSnapshot snapshot() const {
+    HistogramSnapshot s;
+    s.count = count_.load(std::memory_order_acquire);
+    s.sum = sum_.load(std::memory_order_relaxed);
+    s.min = min_.load(std::memory_order_relaxed);
+    s.max = max_.load(std::memory_order_relaxed);
+    std::uint64_t in_buckets = 0;
+    for (std::size_t i = 0; i < kHistogramBuckets; ++i) {
+      s.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+      in_buckets += s.buckets[i];
+    }
+    // A racing record() may have bumped a bucket after we read `count`;
+    // keep the snapshot internally consistent by trusting the buckets.
+    s.count = std::max(s.count, in_buckets);
+    // A half-visible first sample (bucket bumped, min/max stores not yet
+    // seen) would leave min > max and make quantile's clamp ill-formed;
+    // collapse to the visible extreme. Exact again at quiescence.
+    if (s.count > 0 && s.min > s.max) s.min = s.max;
+    return s;
+  }
+
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> buckets_[kHistogramBuckets] = {};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> min_{std::numeric_limits<std::uint64_t>::max()};
+  std::atomic<std::uint64_t> max_{0};
+};
+
+}  // namespace sdt::telemetry

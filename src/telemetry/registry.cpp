@@ -1,0 +1,156 @@
+#include "telemetry/registry.hpp"
+
+#include <algorithm>
+
+#include "util/json.hpp"
+
+namespace sdt::telemetry {
+
+std::uint64_t RegistrySnapshot::value(std::string_view name,
+                                      bool* found) const {
+  for (const CounterSample& s : scalars) {
+    if (s.desc.name == name) {
+      if (found) *found = true;
+      return s.value;
+    }
+  }
+  if (found) *found = false;
+  return 0;
+}
+
+const HistogramSample* RegistrySnapshot::histogram(
+    std::string_view name) const {
+  for (const HistogramSample& h : histograms) {
+    if (h.desc.name == name) return &h;
+  }
+  return nullptr;
+}
+
+std::string RegistrySnapshot::to_json() const {
+  JsonWriter j;
+  j.begin_object();
+  j.key("metrics").begin_array();
+  for (const CounterSample& s : scalars) {
+    j.begin_object();
+    j.field("name", s.desc.name);
+    j.field("kind", s.kind == MetricKind::counter ? "counter" : "gauge");
+    j.field("unit", s.desc.unit);
+    j.field("owner", s.desc.owner);
+    j.field("value", s.value);
+    j.end_object();
+  }
+  j.end_array();
+  j.key("histograms").begin_array();
+  for (const HistogramSample& h : histograms) {
+    j.begin_object();
+    j.field("name", h.desc.name);
+    j.field("unit", h.desc.unit);
+    j.field("owner", h.desc.owner);
+    j.field("count", h.hist.count);
+    j.field("sum", h.hist.sum);
+    j.field("min", h.hist.empty() ? 0 : h.hist.min);
+    j.field("max", h.hist.max);
+    j.field("mean", h.hist.mean());
+    j.field("p50", h.hist.p50());
+    j.field("p90", h.hist.p90());
+    j.field("p99", h.hist.p99());
+    // Sparse bucket dump: [index, count] pairs for non-empty buckets, so a
+    // consumer can re-merge or re-quantile without 64 mostly-zero cells.
+    j.key("buckets").begin_array();
+    for (std::size_t i = 0; i < kHistogramBuckets; ++i) {
+      if (h.hist.buckets[i] == 0) continue;
+      j.begin_array();
+      j.value(static_cast<std::uint64_t>(i));
+      j.value(h.hist.buckets[i]);
+      j.end_array();
+    }
+    j.end_array();
+    j.end_object();
+  }
+  j.end_array();
+  j.end_object();
+  return j.str();
+}
+
+void MetricsRegistry::add_counter(MetricDesc desc,
+                                  const std::atomic<std::uint64_t>* src) {
+  std::lock_guard<std::mutex> lk(mu_);
+  Entry e;
+  e.desc = std::move(desc);
+  e.kind = MetricKind::counter;
+  e.counter = src;
+  entries_.push_back(std::move(e));
+}
+
+void MetricsRegistry::add_gauge(MetricDesc desc,
+                                std::function<std::uint64_t()> fn) {
+  std::lock_guard<std::mutex> lk(mu_);
+  Entry e;
+  e.desc = std::move(desc);
+  e.kind = MetricKind::gauge;
+  e.gauge = std::move(fn);
+  entries_.push_back(std::move(e));
+}
+
+void MetricsRegistry::add_histogram(MetricDesc desc, const LogHistogram* src) {
+  std::lock_guard<std::mutex> lk(mu_);
+  Entry e;
+  e.desc = std::move(desc);
+  e.kind = MetricKind::histogram;
+  e.hist = src;
+  entries_.push_back(std::move(e));
+}
+
+void MetricsRegistry::remove_prefix(std::string_view prefix) {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::erase_if(entries_, [&](const Entry& e) {
+    return e.desc.name.size() >= prefix.size() &&
+           std::string_view(e.desc.name).substr(0, prefix.size()) == prefix;
+  });
+}
+
+std::size_t MetricsRegistry::size() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return entries_.size();
+}
+
+RegistrySnapshot MetricsRegistry::snapshot(SampleScope scope) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  RegistrySnapshot out;
+  for (const Entry& e : entries_) {
+    if (!e.desc.live && scope != SampleScope::quiescent) continue;
+    switch (e.kind) {
+      case MetricKind::counter: {
+        CounterSample s;
+        s.desc = e.desc;
+        s.kind = MetricKind::counter;
+        // Acquire, and entries sample in registration order: a registrant
+        // that registers "effect" counters before "cause" counters (e.g.
+        // processed before fed) thereby guarantees cross-counter
+        // invariants like processed <= fed hold in every mid-flight
+        // snapshot, provided the writers release-publish the effect.
+        s.value = e.counter->load(std::memory_order_acquire);
+        out.scalars.push_back(std::move(s));
+        break;
+      }
+      case MetricKind::gauge: {
+        CounterSample s;
+        s.desc = e.desc;
+        s.kind = MetricKind::gauge;
+        s.value = e.gauge();
+        out.scalars.push_back(std::move(s));
+        break;
+      }
+      case MetricKind::histogram: {
+        HistogramSample h;
+        h.desc = e.desc;
+        h.hist = e.hist->snapshot();
+        out.histograms.push_back(std::move(h));
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace sdt::telemetry

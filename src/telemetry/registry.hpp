@@ -1,0 +1,120 @@
+// MetricsRegistry — the one directory of everything observable.
+//
+// Components (Runtime, FlowDispatcher via Runtime, LaneWorker,
+// SplitDetectEngine) register their metrics once, by name, with unit and
+// owner metadata; pollers (the periodic stats dump, the JSON exporter, a
+// test asserting a conservation law) take a RegistrySnapshot whenever they
+// like. Registration is set-up-time and mutex-guarded; *sampling* reads
+// only single-writer atomics and histograms, so a poll never takes a lock
+// that a packet-path thread could be holding — the packet path itself
+// never touches the registry at all.
+//
+// Three metric kinds:
+//   counter   — non-owning pointer to a std::atomic<uint64_t> some
+//               component increments; monotonic; live-safe to poll.
+//   gauge     — a callback returning uint64_t. The registrant declares
+//               thread-safety via MetricDesc::live: live gauges read
+//               atomics or immutable config; non-live gauges (e.g. a lane
+//               engine's private tallies) are only sampled when
+//               snapshot(SampleScope::quiescent) is requested.
+//   histogram — non-owning pointer to a LogHistogram; live-safe.
+//
+// Registrants must outlive every snapshot() call (non-owning pointers by
+// design: zero indirection cost on the write side).
+//
+// The naming contract, units, and the JSON schema are documented in
+// docs/OBSERVABILITY.md — keep them in sync.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "telemetry/histogram.hpp"
+
+namespace sdt::telemetry {
+
+struct MetricDesc {
+  /// Dotted path, e.g. "runtime.lane3.processed". Segments are
+  /// [a-z0-9_]+; the prefix names the owning component instance.
+  std::string name;
+  /// Unit string from the contract: "packets", "bytes", "ns", "alerts",
+  /// "flows", "events", or "" for dimensionless gauges.
+  std::string unit;
+  /// Which component writes it, e.g. "dispatcher", "lane", "engine".
+  std::string owner;
+  /// Safe to sample while worker threads run (atomics / immutable state).
+  /// Non-live metrics are skipped by live snapshots instead of racing.
+  bool live = true;
+};
+
+enum class MetricKind : std::uint8_t { counter, gauge, histogram };
+
+/// When to sample: `live` polls only race-free metrics (any time);
+/// `quiescent` additionally samples non-live gauges (caller guarantees the
+/// writers are stopped or are the calling thread).
+enum class SampleScope : std::uint8_t { live, quiescent };
+
+struct CounterSample {
+  MetricDesc desc;
+  MetricKind kind = MetricKind::counter;
+  std::uint64_t value = 0;
+};
+
+struct HistogramSample {
+  MetricDesc desc;
+  HistogramSnapshot hist;
+};
+
+struct RegistrySnapshot {
+  std::vector<CounterSample> scalars;  // counters + gauges, registration order
+  std::vector<HistogramSample> histograms;
+
+  /// Value lookup by exact name; returns 0 and sets *found=false if absent.
+  std::uint64_t value(std::string_view name, bool* found = nullptr) const;
+  const HistogramSample* histogram(std::string_view name) const;
+
+  /// The documented JSON form (docs/OBSERVABILITY.md): one object with a
+  /// "metrics" array and a "histograms" array.
+  std::string to_json() const;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Register a live counter backed by an atomic the component owns.
+  void add_counter(MetricDesc desc, const std::atomic<std::uint64_t>* src);
+  /// Register a gauge; desc.live declares whether `fn` is race-free while
+  /// workers run.
+  void add_gauge(MetricDesc desc, std::function<std::uint64_t()> fn);
+  /// Register a live histogram backed by a component-owned LogHistogram.
+  void add_histogram(MetricDesc desc, const LogHistogram* src);
+
+  /// Drop every metric whose name starts with `prefix` (component
+  /// teardown: deregister before the backing storage dies).
+  void remove_prefix(std::string_view prefix);
+
+  std::size_t size() const;
+
+  RegistrySnapshot snapshot(SampleScope scope = SampleScope::live) const;
+
+ private:
+  struct Entry {
+    MetricDesc desc;
+    MetricKind kind;
+    const std::atomic<std::uint64_t>* counter = nullptr;
+    std::function<std::uint64_t()> gauge;
+    const LogHistogram* hist = nullptr;
+  };
+
+  mutable std::mutex mu_;  // guards entries_ layout, never sampled data
+  std::vector<Entry> entries_;
+};
+
+}  // namespace sdt::telemetry

@@ -1,0 +1,77 @@
+#include "telemetry/sink.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <filesystem>
+
+#include "util/error.hpp"
+
+namespace sdt::telemetry {
+
+void HumanSink::emit(const RegistrySnapshot& snap) {
+  std::fprintf(out_, "--- metrics ---\n");
+  for (const CounterSample& s : snap.scalars) {
+    if (skip_zero_ && s.value == 0) continue;
+    std::fprintf(out_, "%-44s %14" PRIu64 " %s\n", s.desc.name.c_str(),
+                 s.value, s.desc.unit.c_str());
+  }
+  for (const HistogramSample& h : snap.histograms) {
+    if (skip_zero_ && h.hist.empty()) continue;
+    std::fprintf(out_,
+                 "%-44s n=%-10" PRIu64 " mean=%-8.0f p50=%-8" PRIu64
+                 " p90=%-8" PRIu64 " p99=%-8" PRIu64 " max=%" PRIu64 " %s\n",
+                 h.desc.name.c_str(), h.hist.count, h.hist.mean(),
+                 h.hist.p50(), h.hist.p90(), h.hist.p99(), h.hist.max,
+                 h.desc.unit.c_str());
+  }
+  std::fflush(out_);
+}
+
+void JsonFileSink::emit(const RegistrySnapshot& snap) {
+  const std::string tmp = path_ + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (!f) throw Error("JsonFileSink: cannot open " + tmp);
+  const std::string body = snap.to_json();
+  const std::size_t n = std::fwrite(body.data(), 1, body.size(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+  if (n != body.size()) throw Error("JsonFileSink: short write to " + tmp);
+  std::filesystem::rename(tmp, path_);
+}
+
+PeriodicDumper::PeriodicDumper(const MetricsRegistry& registry, Sink& sink,
+                               std::chrono::milliseconds interval)
+    : registry_(registry), sink_(sink), interval_(interval) {}
+
+PeriodicDumper::~PeriodicDumper() { stop(); }
+
+void PeriodicDumper::start() {
+  if (thread_.joinable()) return;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stopping_ = false;
+  }
+  thread_ = std::thread([this] { run(); });
+}
+
+void PeriodicDumper::stop() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+void PeriodicDumper::run() {
+  std::unique_lock<std::mutex> lk(mu_);
+  for (;;) {
+    if (cv_.wait_for(lk, interval_, [this] { return stopping_; })) return;
+    lk.unlock();
+    sink_.emit(registry_.snapshot(SampleScope::live));
+    ticks_.fetch_add(1, std::memory_order_relaxed);
+    lk.lock();
+  }
+}
+
+}  // namespace sdt::telemetry

@@ -1,0 +1,88 @@
+// Pluggable metric sinks + the periodic dumper.
+//
+// A Sink consumes RegistrySnapshots; the registry itself neither formats
+// nor schedules. Two sinks ship:
+//   HumanSink — aligned text to a FILE* (what `ips_gateway
+//               --stats-interval` prints each tick);
+//   JsonFileSink — the documented JSON snapshot to a path (atomically:
+//               write temp, rename), one snapshot per emit.
+// PeriodicDumper owns a thread that polls a registry every interval and
+// feeds one sink — live scope only, so it can run while lanes process
+// packets. Stop before tearing down the registry or any registrant.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "telemetry/registry.hpp"
+
+namespace sdt::telemetry {
+
+class Sink {
+ public:
+  virtual ~Sink() = default;
+  virtual void emit(const RegistrySnapshot& snap) = 0;
+};
+
+/// Aligned human-readable dump. Histograms print count/mean/p50/p90/p99 in
+/// their unit; scalars print name, value, unit. Zero-valued scalars are
+/// elided when `skip_zero` (periodic dumps stay readable under light load).
+class HumanSink : public Sink {
+ public:
+  explicit HumanSink(std::FILE* out = stdout, bool skip_zero = false)
+      : out_(out), skip_zero_(skip_zero) {}
+  void emit(const RegistrySnapshot& snap) override;
+
+ private:
+  std::FILE* out_;
+  bool skip_zero_;
+};
+
+/// Writes each snapshot's JSON to `path` (temp file + rename, so a reader
+/// never sees a torn write).
+class JsonFileSink : public Sink {
+ public:
+  explicit JsonFileSink(std::string path) : path_(std::move(path)) {}
+  void emit(const RegistrySnapshot& snap) override;
+
+ private:
+  std::string path_;
+};
+
+/// Polls `registry` every `interval` on its own thread and emits a live
+/// snapshot to `sink`. start() is idempotent; stop() joins and emits
+/// nothing further. The final state is NOT auto-emitted on stop — callers
+/// that want a closing snapshot emit one explicitly (scope of their
+/// choosing).
+class PeriodicDumper {
+ public:
+  PeriodicDumper(const MetricsRegistry& registry, Sink& sink,
+                 std::chrono::milliseconds interval);
+  ~PeriodicDumper();
+
+  PeriodicDumper(const PeriodicDumper&) = delete;
+  PeriodicDumper& operator=(const PeriodicDumper&) = delete;
+
+  void start();
+  void stop();
+  std::uint64_t ticks() const { return ticks_.load(std::memory_order_relaxed); }
+
+ private:
+  void run();
+
+  const MetricsRegistry& registry_;
+  Sink& sink_;
+  std::chrono::milliseconds interval_;
+  std::atomic<std::uint64_t> ticks_{0};
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+  std::thread thread_;
+};
+
+}  // namespace sdt::telemetry

@@ -1,0 +1,159 @@
+// LogHistogram: bucket geometry, recording, quantiles against known
+// distributions, cross-lane merge, and the single-writer/any-reader
+// concurrency contract (run under TSan via `ctest -L telemetry`).
+#include "telemetry/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <thread>
+#include <vector>
+
+namespace sdt::telemetry {
+namespace {
+
+TEST(HistogramBuckets, ZeroHasItsOwnBucket) {
+  EXPECT_EQ(bucket_index(0), 0u);
+  EXPECT_EQ(bucket_lo(0), 0u);
+  EXPECT_EQ(bucket_hi(0), 0u);
+}
+
+TEST(HistogramBuckets, PowerOfTwoBoundaries) {
+  // Bucket i (i >= 1) covers [2^(i-1), 2^i).
+  EXPECT_EQ(bucket_index(1), 1u);
+  EXPECT_EQ(bucket_index(2), 2u);
+  EXPECT_EQ(bucket_index(3), 2u);
+  EXPECT_EQ(bucket_index(4), 3u);
+  EXPECT_EQ(bucket_index(7), 3u);
+  EXPECT_EQ(bucket_index(8), 4u);
+  for (std::size_t i = 1; i < kHistogramBuckets - 1; ++i) {
+    // The bounds are exactly the first/last value that indexes to i.
+    EXPECT_EQ(bucket_index(bucket_lo(i)), i) << "lo of bucket " << i;
+    EXPECT_EQ(bucket_index(bucket_hi(i)), i) << "hi of bucket " << i;
+    EXPECT_EQ(bucket_hi(i) + 1, bucket_lo(i + 1)) << "gap at bucket " << i;
+  }
+}
+
+TEST(HistogramBuckets, TopBucketAbsorbsEverything) {
+  const std::uint64_t huge = std::numeric_limits<std::uint64_t>::max();
+  EXPECT_EQ(bucket_index(huge), kHistogramBuckets - 1);
+  EXPECT_EQ(bucket_hi(kHistogramBuckets - 1), huge);
+}
+
+TEST(LogHistogram, CountSumMinMax) {
+  LogHistogram h;
+  for (const std::uint64_t v : {5u, 100u, 1u, 40u}) h.record(v);
+  const HistogramSnapshot s = h.snapshot();
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_EQ(s.sum, 146u);
+  EXPECT_EQ(s.min, 1u);
+  EXPECT_EQ(s.max, 100u);
+  EXPECT_DOUBLE_EQ(s.mean(), 146.0 / 4.0);
+}
+
+TEST(LogHistogram, EmptySnapshotIsSafe) {
+  LogHistogram h;
+  const HistogramSnapshot s = h.snapshot();
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.quantile(0.5), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+}
+
+TEST(LogHistogram, QuantilesOfKnownUniformDistribution) {
+  // 1..1000 once each: the true p50 is 500, p90 is 900, p99 is 990. Log2
+  // buckets answer within their bucket (<= 2x relative error by
+  // construction); the interpolation should land much closer on a uniform
+  // fill.
+  LogHistogram h;
+  for (std::uint64_t v = 1; v <= 1000; ++v) h.record(v);
+  const HistogramSnapshot s = h.snapshot();
+  const std::uint64_t p50 = s.quantile(0.50);
+  const std::uint64_t p90 = s.quantile(0.90);
+  const std::uint64_t p99 = s.quantile(0.99);
+  // Hard bucket-resolution bounds: the true value's bucket brackets it.
+  EXPECT_GE(p50, 256u);
+  EXPECT_LE(p50, 1000u);
+  EXPECT_GE(p90, 512u);
+  EXPECT_LE(p90, 1023u);
+  EXPECT_GE(p99, 512u);
+  // Interpolated estimates should be within ~15% on a uniform fill.
+  EXPECT_NEAR(static_cast<double>(p50), 500.0, 75.0);
+  EXPECT_NEAR(static_cast<double>(p90), 900.0, 135.0);
+  EXPECT_NEAR(static_cast<double>(p99), 990.0, 149.0);
+  // Extremes are exact: clamped to observed min/max.
+  EXPECT_EQ(s.quantile(0.0), 1u);
+  EXPECT_EQ(s.quantile(1.0), 1000u);
+}
+
+TEST(LogHistogram, QuantileOfPointMassIsExact) {
+  LogHistogram h;
+  for (int i = 0; i < 1000; ++i) h.record(777);
+  const HistogramSnapshot s = h.snapshot();
+  // Every quantile of a constant distribution is that constant (min/max
+  // clamping makes this exact despite the log bucket).
+  for (const double q : {0.0, 0.25, 0.5, 0.9, 0.99, 1.0}) {
+    EXPECT_EQ(s.quantile(q), 777u) << "q=" << q;
+  }
+}
+
+TEST(HistogramSnapshot, MergeEqualsSingleHistogram) {
+  // Recording a stream into N per-lane histograms and merging must agree
+  // exactly with recording the whole stream into one histogram — buckets
+  // line up, so the merge is lossless.
+  std::mt19937_64 rng(7);
+  std::uniform_int_distribution<std::uint64_t> dist(0, 1 << 20);
+  LogHistogram lanes[4];
+  LogHistogram all;
+  for (int i = 0; i < 20000; ++i) {
+    const std::uint64_t v = dist(rng);
+    lanes[i % 4].record(v);
+    all.record(v);
+  }
+  HistogramSnapshot merged;
+  for (const LogHistogram& l : lanes) merged.merge(l.snapshot());
+  const HistogramSnapshot ref = all.snapshot();
+  EXPECT_EQ(merged.count, ref.count);
+  EXPECT_EQ(merged.sum, ref.sum);
+  EXPECT_EQ(merged.min, ref.min);
+  EXPECT_EQ(merged.max, ref.max);
+  for (std::size_t i = 0; i < kHistogramBuckets; ++i) {
+    EXPECT_EQ(merged.buckets[i], ref.buckets[i]) << "bucket " << i;
+  }
+  for (const double q : {0.5, 0.9, 0.99}) {
+    EXPECT_EQ(merged.quantile(q), ref.quantile(q)) << "q=" << q;
+  }
+}
+
+TEST(LogHistogram, ConcurrentSnapshotWhileRecording) {
+  // One writer, one poller — the runtime's exact usage. Under TSan this is
+  // the data-race canary; functionally, every mid-flight snapshot must be
+  // monotonic and internally consistent (count >= bucket sum never breaks,
+  // quantiles never read out of range).
+  LogHistogram h;
+  constexpr std::uint64_t kN = 200000;
+  std::atomic<bool> done{false};
+  std::thread writer([&] {
+    for (std::uint64_t i = 1; i <= kN; ++i) h.record(i % 4096);
+    done.store(true, std::memory_order_release);
+  });
+  std::uint64_t last_count = 0;
+  while (!done.load(std::memory_order_acquire)) {
+    const HistogramSnapshot s = h.snapshot();
+    EXPECT_GE(s.count, last_count);
+    last_count = s.count;
+    std::uint64_t in_buckets = 0;
+    for (const std::uint64_t b : s.buckets) in_buckets += b;
+    EXPECT_EQ(s.count, in_buckets);
+    if (!s.empty()) {
+      const std::uint64_t p99 = s.quantile(0.99);
+      EXPECT_LE(p99, s.max);
+      EXPECT_GE(p99, s.min);
+    }
+  }
+  writer.join();
+  const HistogramSnapshot s = h.snapshot();
+  EXPECT_EQ(s.count, kN);
+}
+
+}  // namespace
+}  // namespace sdt::telemetry

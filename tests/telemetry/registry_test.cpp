@@ -1,0 +1,214 @@
+// MetricsRegistry: registration of all three metric kinds, live vs
+// quiescent sampling scopes, prefix removal, and the JSON exporter
+// round-trip (emit → re-extract every value → compare).
+#include "telemetry/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <string>
+#include <thread>
+
+#include "telemetry/counter.hpp"
+#include "telemetry/sink.hpp"
+
+namespace sdt::telemetry {
+namespace {
+
+// -- tiny JSON re-reader for the round-trip check ---------------------------
+// The repo deliberately has no JSON parser (the writer is dependency-free);
+// for the round-trip test a scoped field extractor is enough: find
+// `"key":<number>` after the object whose "name" is `metric`.
+
+std::uint64_t extract_u64(const std::string& json, const std::string& metric,
+                          const std::string& key, bool* ok) {
+  const std::string anchor = "\"name\":\"" + metric + "\"";
+  const std::size_t at = json.find(anchor);
+  if (at == std::string::npos) {
+    *ok = false;
+    return 0;
+  }
+  const std::string field = "\"" + key + "\":";
+  const std::size_t f = json.find(field, at);
+  if (f == std::string::npos) {
+    *ok = false;
+    return 0;
+  }
+  *ok = true;
+  return std::strtoull(json.c_str() + f + field.size(), nullptr, 10);
+}
+
+bool json_braces_balanced(const std::string& json) {
+  long depth = 0;
+  bool in_string = false;
+  for (std::size_t i = 0; i < json.size(); ++i) {
+    const char c = json[i];
+    if (in_string) {
+      if (c == '\\') ++i;
+      else if (c == '"') in_string = false;
+      continue;
+    }
+    if (c == '"') in_string = true;
+    else if (c == '{' || c == '[') ++depth;
+    else if (c == '}' || c == ']') {
+      if (--depth < 0) return false;
+    }
+  }
+  return depth == 0 && !in_string;
+}
+
+// ---------------------------------------------------------------------------
+
+TEST(Registry, CounterGaugeHistogramSampling) {
+  MetricsRegistry reg;
+  PaddedCounter fed;
+  LogHistogram lat;
+  std::uint64_t config_flows = 4096;
+
+  reg.add_counter({"rt.fed", "packets", "dispatcher"}, &fed.v);
+  reg.add_gauge({"rt.max_flows", "flows", "runtime"},
+                [&] { return config_flows; });
+  reg.add_histogram({"rt.latency_ns", "ns", "lane"}, &lat);
+  EXPECT_EQ(reg.size(), 3u);
+
+  fed.add(41);
+  fed.add();
+  lat.record(100);
+  lat.record(300);
+
+  const RegistrySnapshot s = reg.snapshot();
+  bool found = false;
+  EXPECT_EQ(s.value("rt.fed", &found), 42u);
+  EXPECT_TRUE(found);
+  EXPECT_EQ(s.value("rt.max_flows"), 4096u);
+  EXPECT_EQ(s.value("rt.missing", &found), 0u);
+  EXPECT_FALSE(found);
+  ASSERT_NE(s.histogram("rt.latency_ns"), nullptr);
+  EXPECT_EQ(s.histogram("rt.latency_ns")->hist.count, 2u);
+  EXPECT_EQ(s.histogram("rt.latency_ns")->hist.sum, 400u);
+  EXPECT_EQ(s.histogram("rt.nope"), nullptr);
+}
+
+TEST(Registry, QuiescentScopeGatesNonLiveGauges) {
+  MetricsRegistry reg;
+  std::uint64_t engine_private = 7;  // stands in for a lane engine's tally
+  reg.add_gauge({"eng.packets", "packets", "engine", /*live=*/false},
+                [&] { return engine_private; });
+  std::atomic<std::uint64_t> live_ctr{3};
+  reg.add_counter({"rt.fed", "packets", "dispatcher"}, &live_ctr);
+
+  // A live poll must skip the non-live gauge entirely (it would race the
+  // owner thread), not sample it as zero.
+  const RegistrySnapshot live = reg.snapshot(SampleScope::live);
+  bool found = true;
+  live.value("eng.packets", &found);
+  EXPECT_FALSE(found);
+  EXPECT_EQ(live.value("rt.fed"), 3u);
+
+  const RegistrySnapshot qs = reg.snapshot(SampleScope::quiescent);
+  EXPECT_EQ(qs.value("eng.packets", &found), 7u);
+  EXPECT_TRUE(found);
+  EXPECT_EQ(qs.value("rt.fed"), 3u);
+}
+
+TEST(Registry, RemovePrefixDropsComponent) {
+  MetricsRegistry reg;
+  std::atomic<std::uint64_t> a{1}, b{2}, c{3};
+  reg.add_counter({"rt.lane0.fed", "packets", "dispatcher"}, &a);
+  reg.add_counter({"rt.lane1.fed", "packets", "dispatcher"}, &b);
+  reg.add_counter({"other.fed", "packets", "dispatcher"}, &c);
+  reg.remove_prefix("rt.");
+  EXPECT_EQ(reg.size(), 1u);
+  const RegistrySnapshot s = reg.snapshot();
+  bool found = false;
+  EXPECT_EQ(s.value("other.fed", &found), 3u);
+  EXPECT_TRUE(found);
+}
+
+TEST(Registry, JsonExportRoundTrip) {
+  MetricsRegistry reg;
+  std::atomic<std::uint64_t> fed{12345};
+  LogHistogram lat;
+  for (std::uint64_t v = 1; v <= 1000; ++v) lat.record(v);
+
+  reg.add_counter({"rt.fed", "packets", "dispatcher"}, &fed);
+  reg.add_gauge({"rt.lanes", "", "runtime"}, [] { return std::uint64_t{8}; });
+  reg.add_histogram({"rt.latency_ns", "ns", "lane"}, &lat);
+
+  const RegistrySnapshot snap = reg.snapshot();
+  const std::string json = snap.to_json();
+  EXPECT_TRUE(json_braces_balanced(json));
+
+  // Round-trip every scalar and every histogram summary stat.
+  bool ok = false;
+  EXPECT_EQ(extract_u64(json, "rt.fed", "value", &ok), 12345u);
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(extract_u64(json, "rt.lanes", "value", &ok), 8u);
+  EXPECT_TRUE(ok);
+  const HistogramSnapshot& h = snap.histogram("rt.latency_ns")->hist;
+  EXPECT_EQ(extract_u64(json, "rt.latency_ns", "count", &ok), h.count);
+  EXPECT_EQ(extract_u64(json, "rt.latency_ns", "sum", &ok), h.sum);
+  EXPECT_EQ(extract_u64(json, "rt.latency_ns", "min", &ok), h.min);
+  EXPECT_EQ(extract_u64(json, "rt.latency_ns", "max", &ok), h.max);
+  EXPECT_EQ(extract_u64(json, "rt.latency_ns", "p50", &ok), h.p50());
+  EXPECT_EQ(extract_u64(json, "rt.latency_ns", "p90", &ok), h.p90());
+  EXPECT_EQ(extract_u64(json, "rt.latency_ns", "p99", &ok), h.p99());
+
+  // Kind/unit metadata is part of the contract, not decoration.
+  EXPECT_NE(json.find("\"kind\":\"counter\""), std::string::npos);
+  EXPECT_NE(json.find("\"kind\":\"gauge\""), std::string::npos);
+  EXPECT_NE(json.find("\"unit\":\"ns\""), std::string::npos);
+  EXPECT_NE(json.find("\"owner\":\"dispatcher\""), std::string::npos);
+}
+
+TEST(Sink, JsonFileSinkWritesWholeSnapshots) {
+  MetricsRegistry reg;
+  std::atomic<std::uint64_t> ctr{99};
+  reg.add_counter({"x.fed", "packets", "dispatcher"}, &ctr);
+  const std::string path =
+      ::testing::TempDir() + "sdt_registry_test_snapshot.json";
+  JsonFileSink sink(path);
+  sink.emit(reg.snapshot());
+
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::string body;
+  char buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) body.append(buf, n);
+  std::fclose(f);
+  std::remove(path.c_str());
+
+  EXPECT_TRUE(json_braces_balanced(body));
+  bool ok = false;
+  EXPECT_EQ(extract_u64(body, "x.fed", "value", &ok), 99u);
+  EXPECT_TRUE(ok);
+}
+
+TEST(Sink, PeriodicDumperPollsLive) {
+  MetricsRegistry reg;
+  std::atomic<std::uint64_t> ctr{0};
+  reg.add_counter({"x.fed", "packets", "dispatcher"}, &ctr);
+
+  class CountingSink : public Sink {
+   public:
+    std::atomic<int> emits{0};
+    void emit(const RegistrySnapshot&) override {
+      emits.fetch_add(1, std::memory_order_relaxed);
+    }
+  } sink;
+
+  PeriodicDumper dumper(reg, sink, std::chrono::milliseconds(5));
+  dumper.start();
+  while (dumper.ticks() < 3) std::this_thread::yield();
+  dumper.stop();
+  EXPECT_GE(sink.emits.load(), 3);
+  const std::uint64_t ticks_after_stop = dumper.ticks();
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_EQ(dumper.ticks(), ticks_after_stop);  // stop() really stops
+}
+
+}  // namespace
+}  // namespace sdt::telemetry
