@@ -1,5 +1,6 @@
 #!/usr/bin/env bash
-# Tier-1 gate + concurrency gate + observability gate, in one command:
+# Tier-1 gate + concurrency gate + observability gate + fuzz gate, in one
+# command:
 #
 #   1. configure + build + full ctest in ./build        (the tier-1 contract)
 #   2. TSan build of the runtime in ./build-tsan and
@@ -7,6 +8,12 @@
 #   3. bench_snapshot.sh --quick smoke: the bench suite must produce a
 #      snapshot that validates against the documented schema
 #      (docs/OBSERVABILITY.md)
+#   4. fuzz-smoke: ASan+UBSan build in ./build-asan, a 10k-schedule
+#      differential fuzz campaign (sdt_fuzz --quick --seed 1), and
+#      ctest -L fuzz under the sanitizers (docs/TESTING.md)
+#
+# The nightly soak is the same fuzzer run open-ended; see docs/TESTING.md:
+#   ./build-asan/tools/sdt_fuzz --seconds 3600 --seed "$(date +%s)"
 #
 # Usage: scripts/check.sh [jobs]
 set -euo pipefail
@@ -33,5 +40,16 @@ SMOKE="$(mktemp /tmp/sdt_bench_smoke.XXXXXX.json)"
 trap 'rm -f "${SMOKE}"' EXIT
 scripts/bench_snapshot.sh --quick --out "${SMOKE}" >/dev/null
 python3 scripts/validate_bench_json.py "${SMOKE}"
+
+echo "== asan+ubsan: configure + build (SDT_SANITIZE=address,undefined) =="
+cmake -B build-asan -S . -DSDT_SANITIZE=address,undefined >/dev/null
+cmake --build build-asan -j "${JOBS}"
+
+echo "== fuzz-smoke: sdt_fuzz --schedules 10000 --quick --seed 1 =="
+./build-asan/tools/sdt_fuzz --schedules 10000 --quick --seed 1 \
+  --repro-dir /tmp/sdt_fuzz_smoke_repros >/dev/null
+
+echo "== fuzz-smoke: ctest -L fuzz (asan+ubsan) =="
+(cd build-asan && ctest -L fuzz --output-on-failure -j "${JOBS}")
 
 echo "== all checks passed =="

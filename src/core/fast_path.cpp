@@ -154,10 +154,16 @@ FastDecision FastPath::process(const net::PacketView& pv,
   }
   if (tcp.fin()) st.fin_seen |= dbit;
 
-  // (4) A pending small segment is absolved by a bare FIN, confirmed as an
-  // anomaly by any further data in that direction.
-  if (st.pending_small & dbit) {
-    if (tcp.fin() && payload.empty()) {
+  // (4) A pending small segment is absolved by a bare *in-sequence* FIN
+  // (it really was the stream's last data), confirmed as an anomaly by any
+  // further data in that direction. A bare FIN declaring a later sequence
+  // number must NOT absolve: data is still outstanding, so the 2p-2-byte
+  // leak stays live and the takeover bound below must account for it (the
+  // sequence check diverts such a FIN; found by sdt_fuzz, schedule
+  // seed=1/i=16193).
+  if ((st.pending_small & dbit) && !cfg_.testonly_break_small_segment_check) {
+    if (tcp.fin() && payload.empty() &&
+        ((st.have_seq & dbit) == 0 || tcp.seq() == st.next_seq[d])) {
       st.pending_small = static_cast<std::uint8_t>(st.pending_small & ~dbit);
     } else if (!payload.empty()) {
       st.pending_small = static_cast<std::uint8_t>(st.pending_small & ~dbit);
@@ -171,7 +177,8 @@ FastDecision FastPath::process(const net::PacketView& pv,
   // (5) Small-segment check (below the 2p-1 threshold). Must precede
   // sequence tracking so a diverting packet is not yet folded into
   // next_seq — the slow path has to accept this very packet.
-  if (!payload.empty() && payload.size() < cfg_.effective_min_payload()) {
+  if (!payload.empty() && payload.size() < cfg_.effective_min_payload() &&
+      !cfg_.testonly_break_small_segment_check) {
     if (tcp.fin() && cfg_.fin_exempts_last_small) {
       // Final data segment of this direction: legitimately small.
     } else if (cfg_.fin_exempts_last_small) {

@@ -53,6 +53,11 @@ struct FastPathConfig {
   std::size_t max_flows = 1 << 20;
   std::uint64_t flow_idle_timeout_usec = 60ull * 1000 * 1000;
   match::AcLayout layout = match::AcLayout::dense_dfa;
+  /// TEST-ONLY: disable the small-segment anomaly check entirely, breaking
+  /// the detection theorem on purpose. Exists so the differential fuzzer
+  /// (tools/sdt_fuzz --inject-bug) can prove its oracle and shrinker catch
+  /// a real engine defect; never set this in a deployment.
+  bool testonly_break_small_segment_check = false;
   /// Optional sample of representative benign payload. When non-empty, the
   /// splitter picks, per signature, the tiling phase whose pieces occur
   /// least often in this sample — cutting chance-piece-hit diversions (the

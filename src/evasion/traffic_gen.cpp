@@ -130,8 +130,8 @@ std::vector<net::Packet> forge_attack_flow(std::size_t index,
 }
 
 GeneratedTrace generate(const TrafficConfig& cfg,
-                        const core::SignatureSet* sigs, const AttackMix* mix) {
-  Rng rng(cfg.seed);
+                        const core::SignatureSet* sigs, const AttackMix* mix,
+                        Rng& rng) {
   GeneratedTrace out;
   out.flows = cfg.flows;
 
@@ -178,13 +178,25 @@ Bytes generate_payload(Rng& rng, std::size_t n, double text_fraction) {
 }
 
 GeneratedTrace generate_benign(const TrafficConfig& cfg) {
-  return generate(cfg, nullptr, nullptr);
+  Rng rng(cfg.seed);
+  return generate(cfg, nullptr, nullptr, rng);
+}
+
+GeneratedTrace generate_benign(const TrafficConfig& cfg, Rng& rng) {
+  return generate(cfg, nullptr, nullptr, rng);
 }
 
 GeneratedTrace generate_mixed(const TrafficConfig& cfg,
                               const core::SignatureSet& sigs,
                               const AttackMix& mix) {
-  return generate(cfg, &sigs, &mix);
+  Rng rng(cfg.seed);
+  return generate(cfg, &sigs, &mix, rng);
+}
+
+GeneratedTrace generate_mixed(const TrafficConfig& cfg,
+                              const core::SignatureSet& sigs,
+                              const AttackMix& mix, Rng& rng) {
+  return generate(cfg, &sigs, &mix, rng);
 }
 
 }  // namespace sdt::evasion

@@ -64,6 +64,12 @@ struct GeneratedTrace {
 
 /// Purely benign traffic.
 GeneratedTrace generate_benign(const TrafficConfig& cfg);
+/// Same, drawing from a caller-owned RNG (cfg.seed is ignored): lets a
+/// larger seeded experiment — the fuzzer's cover traffic, a multi-trace
+/// sweep — chain generator state explicitly so the whole composition is
+/// reproducible from one seed. All randomness in this module flows through
+/// the passed RNG; there is no hidden global state.
+GeneratedTrace generate_benign(const TrafficConfig& cfg, Rng& rng);
 
 /// Benign traffic with a fraction of flows replaced by evasion attacks.
 /// Each attack flow embeds one randomly chosen signature at a random
@@ -76,6 +82,10 @@ struct AttackMix {
 GeneratedTrace generate_mixed(const TrafficConfig& cfg,
                               const core::SignatureSet& sigs,
                               const AttackMix& mix);
+/// Explicit-RNG form (cfg.seed ignored; see generate_benign overload).
+GeneratedTrace generate_mixed(const TrafficConfig& cfg,
+                              const core::SignatureSet& sigs,
+                              const AttackMix& mix, Rng& rng);
 
 /// One payload buffer in the generator's content model (exposed for E5).
 Bytes generate_payload(Rng& rng, std::size_t n, double text_fraction);

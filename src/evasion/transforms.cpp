@@ -55,18 +55,16 @@ Window window_of(const EvasionParams& p, std::size_t stream_len) {
   return {p.sig_lo, p.sig_hi};
 }
 
-/// Copy of `stream` with the window overwritten by deterministic garbage
-/// that differs from the original in every byte.
-Bytes garbled(ByteView stream, Window w) {
+}  // namespace
+
+Bytes garbled_window(ByteView stream, std::size_t lo, std::size_t hi) {
   Bytes g(stream.begin(), stream.end());
-  for (std::size_t i = w.lo; i < w.hi; ++i) {
+  for (std::size_t i = lo; i < hi; ++i) {
     g[i] = static_cast<std::uint8_t>(~g[i]);
   }
   return g;
 }
 
-/// Shuffle the plan's delivery order; segments keep their offsets. The FIN
-/// segment (if any) stays last so the conversation remains deliverable.
 void shuffle_plan(std::vector<Seg>& plan, Rng& rng) {
   if (plan.size() < 2) return;
   const bool fin_last = plan.back().fin;
@@ -77,11 +75,11 @@ void shuffle_plan(std::vector<Seg>& plan, Rng& rng) {
   }
 }
 
-/// Segments (at mss granularity) covering the window, with `content` bytes.
-std::vector<Seg> cover_window(ByteView content, Window w, std::size_t mss) {
+std::vector<Seg> cover_window(ByteView content, std::size_t lo, std::size_t hi,
+                              std::size_t mss) {
   std::vector<Seg> out;
-  for (std::size_t off = w.lo; off < w.hi; off += mss) {
-    const std::size_t n = std::min(mss, w.hi - off);
+  for (std::size_t off = lo; off < hi; off += mss) {
+    const std::size_t n = std::min(mss, hi - off);
     Seg s;
     s.rel_off = off;
     s.data.assign(content.begin() + static_cast<std::ptrdiff_t>(off),
@@ -90,8 +88,6 @@ std::vector<Seg> cover_window(ByteView content, Window w, std::size_t mss) {
   }
   return out;
 }
-
-}  // namespace
 
 std::vector<net::Packet> forge_evasion(EvasionKind kind, Endpoints ep,
                                        ByteView stream,
@@ -133,7 +129,7 @@ std::vector<net::Packet> forge_evasion(EvasionKind kind, Endpoints ep,
       // rest, and (4) finally plugs the hole, at which point the stack
       // resolves the overlaps and delivers the signature.
       const std::size_t hole = w.lo > 0 ? w.lo - 1 : 0;
-      const Bytes decoy = garbled(stream, w);
+      const Bytes decoy = garbled_window(stream, w.lo, w.hi);
       // Honest prefix up to the hole.
       f.client_segments(plan_plain(stream.subspan(0, hole), params.mss, false));
       const ByteView first_view =
@@ -149,7 +145,7 @@ std::vector<net::Packet> forge_evasion(EvasionKind kind, Endpoints ep,
         cover.lo = (w.lo / params.mss) * params.mss;
         cover.lo = std::max(cover.lo, hole + 1);
       }
-      for (Seg& s : cover_window(first_view, cover, params.mss)) {
+      for (Seg& s : cover_window(first_view, cover.lo, cover.hi, params.mss)) {
         f.client_segment(s);
       }
       // Remainder of the stream after the window (still leaving the hole).
@@ -158,7 +154,7 @@ std::vector<net::Packet> forge_evasion(EvasionKind kind, Endpoints ep,
         for (Seg& s : tail) s.rel_off += w.hi;
         return tail;
       }());
-      for (Seg& s : cover_window(second_view, cover, params.mss)) {
+      for (Seg& s : cover_window(second_view, cover.lo, cover.hi, params.mss)) {
         f.client_segment(s);
       }
       // Plug the one-byte hole: the receiver now delivers everything.
@@ -210,7 +206,7 @@ std::vector<net::Packet> forge_evasion(EvasionKind kind, Endpoints ep,
       // ship a garbage decoy for the same range that the IPS may accept but
       // the victim never will — corrupted TCP checksum, or a TTL that
       // expires en route. An IPS trusting first-arrival data is blinded.
-      const Bytes decoy_content = garbled(stream, w);
+      const Bytes decoy_content = garbled_window(stream, w.lo, w.hi);
       const std::vector<Seg> plan = plan_plain(stream, params.mss, false);
       for (const Seg& s : plan) {
         if (s.rel_off + s.data.size() > w.lo && s.rel_off < w.hi) {

@@ -65,6 +65,24 @@ struct EvasionParams {
   std::uint8_t decoy_ttl = 1;
 };
 
+// ---------------------------------------------------------------------------
+// Schedule hooks: the plan combinators behind the catalog, exported so
+// arbitrary attack schedules (sdt::fuzz) can compose them directly.
+// ---------------------------------------------------------------------------
+
+/// Shuffle a plan's delivery order in place; segments keep their offsets.
+/// The FIN segment (if any) stays last so the conversation stays
+/// deliverable.
+void shuffle_plan(std::vector<Seg>& plan, Rng& rng);
+
+/// Segments (at mss granularity) covering [lo, hi) of `content`.
+std::vector<Seg> cover_window(ByteView content, std::size_t lo, std::size_t hi,
+                              std::size_t mss);
+
+/// Copy of `stream` with [lo, hi) overwritten by deterministic garbage that
+/// differs from the original in every byte (conflicting-overlap content).
+Bytes garbled_window(ByteView stream, std::size_t lo, std::size_t hi);
+
 /// Forge a full conversation (handshake + transformed data + close) that
 /// delivers `stream` client->server under evasion `kind`.
 std::vector<net::Packet> forge_evasion(EvasionKind kind, Endpoints ep,

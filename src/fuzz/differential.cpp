@@ -1,0 +1,194 @@
+#include "fuzz/differential.hpp"
+
+#include <algorithm>
+
+#include "runtime/runtime.hpp"
+
+namespace sdt::fuzz {
+
+namespace {
+
+/// Real signature ids only (normalizer sentinels are engine-policy events,
+/// not detections), sorted and deduplicated.
+std::vector<std::uint32_t> real_sigs(const std::vector<core::Alert>& alerts,
+                                     std::size_t corpus_size) {
+  std::vector<std::uint32_t> ids;
+  for (const core::Alert& a : alerts) {
+    if (a.signature_id < corpus_size) ids.push_back(a.signature_id);
+  }
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  return ids;
+}
+
+bool subset(const std::vector<std::uint32_t>& a,
+            const std::vector<std::uint32_t>& b) {
+  return std::includes(b.begin(), b.end(), a.begin(), a.end());
+}
+
+}  // namespace
+
+const char* to_string(ViolationKind v) {
+  switch (v) {
+    case ViolationKind::none:
+      return "none";
+    case ViolationKind::missed_detection:
+      return "missed_detection";
+    case ViolationKind::slow_path_miss:
+      return "slow_path_miss";
+  }
+  return "unknown";
+}
+
+core::SplitDetectConfig HarnessConfig::engine_config() const {
+  core::SplitDetectConfig cfg;
+  cfg.fast.piece_len = piece_len;
+  cfg.fast.max_flows = max_flows;
+  cfg.fast.testonly_break_small_segment_check = inject_small_segment_bug;
+  cfg.slow_max_flows = std::max<std::size_t>(max_flows / 4, 1024);
+  return cfg;
+}
+
+core::ConventionalIpsConfig HarnessConfig::oracle_config() const {
+  core::ConventionalIpsConfig cfg;
+  cfg.max_flows = max_flows;
+  // Pure detection ground truth: no takeover window (the oracle sees the
+  // stream from byte 0), no normalizer alerts — signature hits only.
+  cfg.takeover_slack = 0;
+  cfg.alert_on_conflicting_overlap = false;
+  cfg.alert_on_urgent_data = false;
+  return cfg;
+}
+
+DifferentialHarness::DifferentialHarness(const core::SignatureSet& corpus,
+                                         HarnessConfig cfg)
+    : corpus_(corpus),
+      cfg_(cfg),
+      engine_(std::make_unique<core::SplitDetectEngine>(corpus,
+                                                        cfg.engine_config())),
+      oracle_(std::make_unique<core::ConventionalIps>(corpus,
+                                                      cfg.oracle_config())) {}
+
+namespace {
+
+void classify(ScheduleOutcome& out, std::size_t corpus_size, bool strict,
+              std::vector<core::Alert>&& oracle_alerts,
+              std::vector<core::Alert>&& engine_alerts) {
+  out.oracle_sigs = real_sigs(oracle_alerts, corpus_size);
+  out.engine_sigs = real_sigs(engine_alerts, corpus_size);
+  std::uint32_t extra = 0;
+  for (const std::uint32_t id : out.engine_sigs) {
+    if (!std::binary_search(out.oracle_sigs.begin(), out.oracle_sigs.end(),
+                            id)) {
+      ++extra;
+    }
+  }
+  out.engine_only_alerts = extra;
+
+  if (!out.oracle_sigs.empty()) {
+    if (!out.flagged && out.engine_sigs.empty()) {
+      out.violation = ViolationKind::missed_detection;
+    } else if (strict && !subset(out.oracle_sigs, out.engine_sigs)) {
+      out.violation = ViolationKind::slow_path_miss;
+    }
+  }
+}
+
+ScheduleOutcome replay(core::SplitDetectEngine& engine,
+                       core::ConventionalIps& oracle, const Schedule& s,
+                       std::size_t corpus_size, bool strict) {
+  ScheduleOutcome out;
+  std::vector<core::Alert> oracle_alerts;
+  std::vector<core::Alert> engine_alerts;
+  for (const net::Packet& p : s.forge()) {
+    ++out.packets;
+    out.bytes += p.frame.size();
+    const net::PacketView pv =
+        net::PacketView::parse(p.frame, net::LinkType::raw_ipv4);
+    oracle.process(pv, p.ts_usec, oracle_alerts);
+    if (engine.process(pv, p.ts_usec, engine_alerts) !=
+        core::Action::forward) {
+      out.flagged = true;
+    }
+  }
+  classify(out, corpus_size, strict, std::move(oracle_alerts),
+           std::move(engine_alerts));
+  return out;
+}
+
+}  // namespace
+
+ScheduleOutcome DifferentialHarness::check(const Schedule& s) {
+  return replay(*engine_, *oracle_, s, corpus_.size(), cfg_.strict);
+}
+
+ScheduleOutcome DifferentialHarness::check_isolated(const Schedule& s) const {
+  core::SplitDetectEngine engine(corpus_, cfg_.engine_config());
+  core::ConventionalIps oracle(corpus_, cfg_.oracle_config());
+  return replay(engine, oracle, s, corpus_.size(), cfg_.strict);
+}
+
+void DifferentialHarness::expire(std::uint64_t now_usec) {
+  engine_->expire(now_usec);
+  oracle_->expire(now_usec);
+}
+
+RuntimeCrosscheck runtime_crosscheck(const core::SignatureSet& corpus,
+                                     const HarnessConfig& cfg,
+                                     const std::vector<Schedule>& batch,
+                                     std::size_t lanes) {
+  // Interleave every schedule's packets by timestamp — the runtime sees one
+  // merged stream, exactly like a tap would produce it.
+  std::vector<net::Packet> merged;
+  for (const Schedule& s : batch) {
+    std::vector<net::Packet> pkts = s.forge();
+    merged.insert(merged.end(), std::make_move_iterator(pkts.begin()),
+                  std::make_move_iterator(pkts.end()));
+  }
+  std::stable_sort(merged.begin(), merged.end(),
+                   [](const net::Packet& a, const net::Packet& b) {
+                     return a.ts_usec < b.ts_usec;
+                   });
+
+  // Reference: one engine, full budgets, same merged order.
+  std::vector<core::Alert> ref_alerts;
+  {
+    core::SplitDetectEngine ref(corpus, cfg.engine_config());
+    for (const net::Packet& p : merged) {
+      ref.process(p, net::LinkType::raw_ipv4, ref_alerts);
+    }
+  }
+
+  runtime::RuntimeConfig rcfg;
+  rcfg.lanes = lanes;
+  rcfg.engine = cfg.engine_config();
+  runtime::Runtime rt(corpus, rcfg);
+  rt.start();
+  rt.feed(std::move(merged));
+  rt.stop();
+  const std::vector<core::Alert> rt_alerts = rt.alerts();
+
+  auto key = [](const core::Alert& a) {
+    return std::tuple(a.flow.a_ip.value(), a.flow.b_ip.value(), a.flow.a_port,
+                      a.flow.b_port, a.flow.proto, a.signature_id);
+  };
+  using AlertKey = decltype(key(core::Alert{}));
+  auto to_set = [&](const std::vector<core::Alert>& v) {
+    std::vector<AlertKey> s;
+    s.reserve(v.size());
+    for (const core::Alert& a : v) s.push_back(key(a));
+    std::sort(s.begin(), s.end());
+    s.erase(std::unique(s.begin(), s.end()), s.end());
+    return s;
+  };
+
+  RuntimeCrosscheck out;
+  const auto rset = to_set(rt_alerts);
+  const auto eset = to_set(ref_alerts);
+  out.runtime_alerts = rset.size();
+  out.engine_alerts = eset.size();
+  out.equal = rset == eset;
+  return out;
+}
+
+}  // namespace sdt::fuzz

@@ -1,0 +1,116 @@
+// The differential oracle: replay one schedule through the system under
+// test (SplitDetectEngine — fast path + diversion + slow path) and through
+// an independent full-reassembly ConventionalIps, then assert the paper's
+// detection theorem as an executable invariant:
+//
+//   * missed_detection — the oracle raised a signature alert but the engine
+//     neither alerted nor ever diverted the flow (no piece match, no
+//     anomaly). This is the theorem-breaker the fuzzer exists to find; a
+//     sound engine produces ZERO of these for any schedule.
+//   * slow_path_miss — the engine diverted (so the fast path did its job)
+//     but its slow path failed to confirm a signature the oracle saw.
+//     The takeover-suffix rule is supposed to make this impossible too;
+//     counted as a violation in strict mode (the default).
+//   * engine_only_alert — the engine alerted on a signature the oracle did
+//     not. Expected to be rare but *legal*: the anchored takeover-suffix
+//     check is deliberately conservative. Counted, never fatal.
+//
+// Engines are long-lived and shared across a run (schedules use disjoint
+// flow keys, so per-flow state never aliases); check_isolated() builds
+// fresh engines per call for the shrinker, whose candidate schedules reuse
+// one flow key.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/conventional_ips.hpp"
+#include "core/engine.hpp"
+#include "core/signature.hpp"
+#include "fuzz/schedule.hpp"
+
+namespace sdt::fuzz {
+
+enum class ViolationKind : std::uint8_t {
+  none,
+  missed_detection,
+  slow_path_miss,
+};
+
+const char* to_string(ViolationKind v);
+
+struct HarnessConfig {
+  std::size_t piece_len = 8;
+  /// Break the fast path on purpose (tools/sdt_fuzz --inject-bug): the
+  /// fuzzer must then find and shrink a missed_detection.
+  bool inject_small_segment_bug = false;
+  /// Count slow_path_miss as a violation (theorem says it cannot happen).
+  bool strict = true;
+  /// Flow-table budgets for the long-lived engines (modest: schedules use
+  /// short-lived disjoint flows).
+  std::size_t max_flows = 1 << 16;
+
+  core::SplitDetectConfig engine_config() const;
+  core::ConventionalIpsConfig oracle_config() const;
+};
+
+struct ScheduleOutcome {
+  ViolationKind violation = ViolationKind::none;
+  /// The engine flagged the flow: at least one packet was diverted or
+  /// alerted (i.e. the fast path piece-matched or saw an anomaly).
+  bool flagged = false;
+  /// Signature ids alerted by the full-reassembly oracle (sorted, unique;
+  /// normalizer sentinels excluded).
+  std::vector<std::uint32_t> oracle_sigs;
+  /// Signature ids alerted by the engine under test (same normalization).
+  std::vector<std::uint32_t> engine_sigs;
+  /// Engine alerts the oracle did not raise (conservative detections).
+  std::uint32_t engine_only_alerts = 0;
+  std::size_t packets = 0;
+  std::uint64_t bytes = 0;
+};
+
+class DifferentialHarness {
+ public:
+  /// `corpus` must outlive the harness (engines keep references).
+  DifferentialHarness(const core::SignatureSet& corpus, HarnessConfig cfg);
+
+  /// Replay through the long-lived engine + oracle pair. Schedules of one
+  /// run must carry distinct flow keys (the generator guarantees this).
+  ScheduleOutcome check(const Schedule& s);
+
+  /// Replay through fresh, throwaway engines — safe for repeated replays
+  /// of one flow key (shrinking, repro verification).
+  ScheduleOutcome check_isolated(const Schedule& s) const;
+
+  /// Housekeeping for the long-lived pair (flow expiry); call between
+  /// batches with the latest schedule end timestamp.
+  void expire(std::uint64_t now_usec);
+
+  const HarnessConfig& config() const { return cfg_; }
+  const core::SignatureSet& corpus() const { return corpus_; }
+  const core::SplitDetectEngine& engine() const { return *engine_; }
+
+ private:
+  const core::SignatureSet& corpus_;
+  HarnessConfig cfg_;
+  std::unique_ptr<core::SplitDetectEngine> engine_;
+  std::unique_ptr<core::ConventionalIps> oracle_;
+};
+
+/// Multi-lane equivalence check: interleave the schedules' packets by
+/// timestamp, run them through an N-lane runtime::Runtime AND a fresh
+/// single SplitDetectEngine, and compare the (flow, signature) alert sets.
+/// Lane affinity promises they are identical. Returns true when they are.
+struct RuntimeCrosscheck {
+  bool equal = false;
+  std::size_t runtime_alerts = 0;
+  std::size_t engine_alerts = 0;
+};
+RuntimeCrosscheck runtime_crosscheck(const core::SignatureSet& corpus,
+                                     const HarnessConfig& cfg,
+                                     const std::vector<Schedule>& batch,
+                                     std::size_t lanes);
+
+}  // namespace sdt::fuzz

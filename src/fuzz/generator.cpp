@@ -1,0 +1,272 @@
+#include "fuzz/generator.hpp"
+
+#include <algorithm>
+
+#include "evasion/traffic_gen.hpp"
+#include "evasion/transforms.hpp"
+#include "util/error.hpp"
+
+namespace sdt::fuzz {
+
+namespace {
+
+/// SplitMix64 — combine (run_seed, index) into one stream seed so every
+/// schedule owns an independent, order-free rng stream.
+std::uint64_t mix(std::uint64_t a, std::uint64_t b) {
+  std::uint64_t z = a + 0x9e3779b97f4a7c15ull * (b + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+/// Unique endpoints per schedule index: the client address encodes the
+/// index, so two schedules of one run can never share a flow key.
+evasion::Endpoints endpoints_for(std::uint64_t index, Rng& rng) {
+  evasion::Endpoints ep;
+  ep.client = net::Ipv4Addr(10, static_cast<std::uint8_t>(index >> 16 & 0xff),
+                            static_cast<std::uint8_t>(index >> 8 & 0xff),
+                            static_cast<std::uint8_t>(index & 0xff));
+  ep.server = net::Ipv4Addr(192, 168, static_cast<std::uint8_t>(index * 7 % 251),
+                            static_cast<std::uint8_t>(index * 13 % 253));
+  ep.client_port = static_cast<std::uint16_t>(1024 + rng.below(60000));
+  ep.server_port = rng.chance(0.7) ? 80 : 443;
+  ep.client_isn = static_cast<std::uint32_t>(rng.next());
+  ep.server_isn = static_cast<std::uint32_t>(rng.next());
+  return ep;
+}
+
+/// Random segmentation of the whole stream: cut points mix sizes above and
+/// below any plausible small-segment threshold.
+std::vector<FuzzStep> random_cuts(ByteView stream, Rng& rng) {
+  std::vector<FuzzStep> steps;
+  std::size_t pos = 0;
+  while (pos < stream.size()) {
+    const std::size_t step = rng.chance(0.3)
+                                 ? 1 + rng.below(6)
+                                 : 7 + rng.below(400);
+    const std::size_t n = std::min(step, stream.size() - pos);
+    FuzzStep s;
+    s.rel_off = pos;
+    s.data.assign(stream.begin() + static_cast<std::ptrdiff_t>(pos),
+                  stream.begin() + static_cast<std::ptrdiff_t>(pos + n));
+    steps.push_back(std::move(s));
+    pos += n;
+  }
+  return steps;
+}
+
+void shuffle_steps(std::vector<FuzzStep>& steps, Rng& rng) {
+  if (steps.size() < 2) return;
+  const bool fin_last = steps.back().fin;
+  const std::size_t n = fin_last ? steps.size() - 1 : steps.size();
+  for (std::size_t i = n; i > 1; --i) {
+    const auto j = static_cast<std::size_t>(rng.below(i));
+    std::swap(steps[i - 1], steps[j]);
+  }
+}
+
+FuzzStep fin_step(std::uint64_t at) {
+  FuzzStep f;
+  f.rel_off = at;
+  f.fin = true;
+  return f;
+}
+
+}  // namespace
+
+ScheduleGenerator::ScheduleGenerator(const core::SignatureSet& corpus,
+                                     GeneratorConfig cfg)
+    : corpus_(corpus), cfg_(cfg) {
+  if (corpus_.empty()) {
+    throw InvalidArgument("ScheduleGenerator: empty signature corpus");
+  }
+}
+
+Schedule ScheduleGenerator::make(std::uint64_t index) const {
+  Rng rng(mix(cfg_.run_seed, index));
+  Schedule s;
+  s.id = index;
+  s.seed = mix(cfg_.run_seed, index);
+  s.ep = endpoints_for(index, rng);
+  s.start_ts_usec = cfg_.base_ts_usec + index * cfg_.spacing_usec;
+  return rng.chance(cfg_.attack_fraction) ? make_attack(std::move(s), rng)
+                                          : make_benign(std::move(s), rng);
+}
+
+Schedule ScheduleGenerator::make_benign(Schedule s, Rng& rng) const {
+  const std::size_t len =
+      cfg_.min_pad + rng.below(cfg_.max_pad - cfg_.min_pad + 1);
+  s.stream = evasion::generate_payload(rng, len, cfg_.text_fraction);
+  s.attack = false;
+  s.steps =
+      steps_from_plan(evasion::plan_plain(s.stream, cfg_.mss, rng.chance(0.5)));
+  if (!s.steps.empty() && !s.steps.back().fin) s.close_flow = true;
+  // Honest network reordering at a low rate: costs diversion budget, never
+  // correctness.
+  for (std::size_t i = 0; i + 1 < s.steps.size(); ++i) {
+    if (rng.chance(cfg_.benign_reorder_rate) && !s.steps[i + 1].fin) {
+      std::swap(s.steps[i], s.steps[i + 1]);
+      ++i;
+    }
+  }
+  return s;
+}
+
+Schedule ScheduleGenerator::make_attack(Schedule s, Rng& rng) const {
+  const core::Signature& sig =
+      corpus_[static_cast<std::uint32_t>(rng.below(corpus_.size()))];
+  const std::size_t pad =
+      cfg_.min_pad + rng.below(cfg_.max_pad - cfg_.min_pad + 1);
+  s.stream = evasion::generate_payload(rng, pad + sig.bytes.size(),
+                                       cfg_.text_fraction);
+  const std::size_t pos = rng.below(pad + 1);
+  std::copy(sig.bytes.begin(), sig.bytes.end(),
+            s.stream.begin() + static_cast<std::ptrdiff_t>(pos));
+  s.attack = true;
+  s.sig_id = sig.id;
+  s.sig_lo = pos;
+  s.sig_hi = pos + sig.bytes.size();
+  const std::size_t lo = pos;
+  const std::size_t hi = pos + sig.bytes.size();
+  const ByteView stream(s.stream);
+
+  const std::uint64_t strategy = rng.below(9);
+  switch (strategy) {
+    case 0: {  // plain in-order control: the fast path must piece-match
+      s.steps = steps_from_plan(evasion::plan_plain(stream, cfg_.mss));
+      break;
+    }
+    case 1: {  // whole stream in tiny segments
+      const std::size_t seg = 1 + rng.below(cfg_.tiny_seg + 2);
+      s.steps = steps_from_plan(evasion::plan_tiny(stream, seg));
+      break;
+    }
+    case 2: {  // tiny segments only over the signature window
+      const std::size_t seg = 1 + rng.below(cfg_.tiny_seg + 2);
+      s.steps = steps_from_plan(
+          evasion::plan_tiny_window(stream, cfg_.mss, seg, lo, hi));
+      break;
+    }
+    case 3: {  // full-size segments, shuffled
+      s.steps = steps_from_plan(evasion::plan_plain(stream, cfg_.mss, false));
+      shuffle_steps(s.steps, rng);
+      s.steps.push_back(fin_step(stream.size()));
+      break;
+    }
+    case 4: {  // conflicting overlap in the OOO buffer, both orders
+      const std::size_t hole = lo > 0 ? lo - 1 : 0;
+      const Bytes decoy = evasion::garbled_window(stream, lo, hi);
+      const bool decoy_first = rng.chance(0.5);
+      s.steps = steps_from_plan(
+          evasion::plan_plain(stream.subspan(0, hole), cfg_.mss, false));
+      auto cover = [&](ByteView content) {
+        for (auto& seg : evasion::cover_window(content, lo, hi, cfg_.mss)) {
+          FuzzStep st;
+          st.rel_off = seg.rel_off;
+          st.data = std::move(seg.data);
+          s.steps.push_back(std::move(st));
+        }
+      };
+      cover(decoy_first ? ByteView(decoy) : stream);
+      for (auto& seg :
+           evasion::plan_plain(stream.subspan(hi), cfg_.mss, false)) {
+        FuzzStep st;
+        st.rel_off = seg.rel_off + hi;
+        st.data = std::move(seg.data);
+        s.steps.push_back(std::move(st));
+      }
+      cover(decoy_first ? stream : ByteView(decoy));
+      if (lo > 0) {  // plug the hole: delivery resolves now
+        FuzzStep plug;
+        plug.rel_off = hole;
+        plug.data.assign(stream.begin() + static_cast<std::ptrdiff_t>(hole),
+                         stream.begin() + static_cast<std::ptrdiff_t>(hole + 1));
+        s.steps.push_back(std::move(plug));
+      }
+      s.steps.push_back(fin_step(stream.size()));
+      break;
+    }
+    case 5: {  // every segment shipped as IP fragments
+      s.steps = steps_from_plan(evasion::plan_plain(stream, cfg_.mss, false));
+      const bool reverse = rng.chance(0.5);
+      for (FuzzStep& st : s.steps) {
+        st.frag_payload = static_cast<std::uint32_t>(8 + 8 * rng.below(8));
+        st.frag_reverse = reverse;
+      }
+      s.steps.push_back(fin_step(stream.size()));
+      break;
+    }
+    case 6: {  // post-FIN delivery: declare FIN over a hole, then fill it
+      const std::size_t cut = lo + (hi - lo) / 2;
+      s.steps = steps_from_plan(
+          evasion::plan_plain(stream.subspan(0, cut), cfg_.mss, false));
+      s.steps.push_back(fin_step(stream.size()));
+      for (auto& seg :
+           evasion::plan_plain(stream.subspan(cut), cfg_.mss, false)) {
+        FuzzStep st;
+        st.rel_off = seg.rel_off + cut;
+        st.data = std::move(seg.data);
+        s.steps.push_back(std::move(st));
+      }
+      break;
+    }
+    case 7: {  // insertion decoys the victim never accepts
+      const Bytes decoy = evasion::garbled_window(stream, lo, hi);
+      const bool use_ttl = rng.chance(0.3);
+      for (auto& seg : evasion::plan_plain(stream, cfg_.mss, false)) {
+        if (seg.rel_off + seg.data.size() > lo && seg.rel_off < hi) {
+          FuzzStep d;
+          d.rel_off = seg.rel_off;
+          d.data.assign(
+              decoy.begin() + static_cast<std::ptrdiff_t>(seg.rel_off),
+              decoy.begin() +
+                  static_cast<std::ptrdiff_t>(seg.rel_off + seg.data.size()));
+          if (use_ttl) {
+            d.ttl = 1;
+          } else {
+            d.corrupt_checksum = true;
+          }
+          s.steps.push_back(std::move(d));
+        }
+        FuzzStep st;
+        st.rel_off = seg.rel_off;
+        st.data = std::move(seg.data);
+        s.steps.push_back(std::move(st));
+      }
+      s.steps.push_back(fin_step(stream.size()));
+      break;
+    }
+    default: {  // free-form: random cuts + duplicates + decoys + shuffle + frag
+      s.steps = random_cuts(stream, rng);
+      const std::size_t dups = rng.below(4);
+      for (std::size_t i = 0; i < dups && !s.steps.empty(); ++i) {
+        s.steps.push_back(
+            s.steps[static_cast<std::size_t>(rng.below(s.steps.size()))]);
+      }
+      if (rng.chance(0.3)) {  // conflicting rewrites of already-sent ranges
+        const std::size_t n = 1 + rng.below(3);
+        for (std::size_t i = 0; i < n && !s.steps.empty(); ++i) {
+          FuzzStep d =
+              s.steps[static_cast<std::size_t>(rng.below(s.steps.size()))];
+          if (d.data.empty()) continue;
+          for (auto& b : d.data) b = static_cast<std::uint8_t>(~b);
+          d.fin = false;
+          if (rng.chance(0.5)) d.corrupt_checksum = true;
+          s.steps.push_back(std::move(d));
+        }
+      }
+      if (rng.chance(0.7)) shuffle_steps(s.steps, rng);
+      for (FuzzStep& st : s.steps) {
+        if (rng.chance(0.08)) {
+          st.frag_payload = static_cast<std::uint32_t>(8 + 8 * rng.below(8));
+          st.frag_reverse = rng.chance(0.5);
+        }
+      }
+      s.steps.push_back(fin_step(stream.size()));
+      break;
+    }
+  }
+  return s;
+}
+
+}  // namespace sdt::fuzz

@@ -1,0 +1,66 @@
+// Seeded adversarial schedule generator.
+//
+// Every schedule is derived from (run_seed, index) alone — generation order
+// does not matter, any schedule can be regenerated in isolation, and the
+// whole run is reproducible bit for bit on any platform (Rng is our own
+// xoshiro256**, no std:: distribution involved anywhere).
+//
+// Attack schedules embed one corpus signature in benign-looking padding and
+// deliver it through a randomly composed strategy: random segmentation
+// points (mixing sizes above and below the 2p-1 threshold), out-of-order
+// permutations, consistent retransmissions, conflicting-content overlaps,
+// insertion decoys (bad checksum / low TTL / urgent desync), IP
+// fragmentation (in-order and reversed), post-FIN delivery, and the
+// catalog's tiny / tiny-window plans. Benign schedules are clean in-order
+// cover traffic (with a small honest reorder rate) — they exercise the
+// soundness side: no signature alerts, diversion under budget.
+#pragma once
+
+#include <cstdint>
+
+#include "core/signature.hpp"
+#include "fuzz/schedule.hpp"
+#include "util/rng.hpp"
+
+namespace sdt::fuzz {
+
+struct GeneratorConfig {
+  std::uint64_t run_seed = 1;
+  /// Fraction of schedules that embed a signature.
+  double attack_fraction = 0.7;
+  /// Stream padding around the signature (total stream length is padding
+  /// plus, for attacks, the signature itself).
+  std::size_t min_pad = 48;
+  std::size_t max_pad = 1200;
+  /// Segment size for "plain" delivery; deliberately small so most streams
+  /// span several segments.
+  std::size_t mss = 512;
+  std::size_t tiny_seg = 4;
+  double text_fraction = 0.5;
+  /// Benign-only: per-boundary probability of swapping adjacent segments
+  /// (honest network reordering; costs diversion budget).
+  double benign_reorder_rate = 0.01;
+  /// Microseconds between schedule start times.
+  std::uint64_t spacing_usec = 500;
+  std::uint64_t base_ts_usec = 1000ull * 1000 * 1000;
+};
+
+class ScheduleGenerator {
+ public:
+  ScheduleGenerator(const core::SignatureSet& corpus, GeneratorConfig cfg);
+
+  /// The schedule for one index; pure function of (cfg.run_seed, index).
+  Schedule make(std::uint64_t index) const;
+
+  const GeneratorConfig& config() const { return cfg_; }
+  const core::SignatureSet& corpus() const { return corpus_; }
+
+ private:
+  Schedule make_attack(Schedule s, Rng& rng) const;
+  Schedule make_benign(Schedule s, Rng& rng) const;
+
+  const core::SignatureSet& corpus_;
+  GeneratorConfig cfg_;
+};
+
+}  // namespace sdt::fuzz

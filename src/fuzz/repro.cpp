@@ -1,0 +1,233 @@
+#include "fuzz/repro.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "evasion/trace_io.hpp"
+#include "util/error.hpp"
+#include "util/json.hpp"
+#include "util/json_parse.hpp"
+
+namespace sdt::fuzz {
+
+namespace {
+
+constexpr std::string_view kFormat = "sdt-fuzz-repro-v1";
+
+net::Ipv4Addr parse_ip(const std::string& s) {
+  unsigned a = 0, b = 0, c = 0, d = 0;
+  char dot1 = 0, dot2 = 0, dot3 = 0;
+  std::istringstream in(s);
+  in >> a >> dot1 >> b >> dot2 >> c >> dot3 >> d;
+  if (!in || dot1 != '.' || dot2 != '.' || dot3 != '.' || a > 255 || b > 255 ||
+      c > 255 || d > 255 || in.peek() != EOF) {
+    throw ParseError("repro: bad IPv4 address '" + s + "'");
+  }
+  return net::Ipv4Addr(static_cast<std::uint8_t>(a),
+                       static_cast<std::uint8_t>(b),
+                       static_cast<std::uint8_t>(c),
+                       static_cast<std::uint8_t>(d));
+}
+
+ViolationKind parse_violation(const std::string& s) {
+  if (s == "missed_detection") return ViolationKind::missed_detection;
+  if (s == "slow_path_miss") return ViolationKind::slow_path_miss;
+  if (s == "none") return ViolationKind::none;
+  throw ParseError("repro: unknown violation kind '" + s + "'");
+}
+
+void write_sig_list(JsonWriter& w, const std::vector<std::uint32_t>& ids) {
+  w.begin_array();
+  for (const std::uint32_t id : ids) w.value(std::uint64_t{id});
+  w.end_array();
+}
+
+std::vector<std::uint32_t> read_sig_list(const JsonValue& v) {
+  std::vector<std::uint32_t> ids;
+  for (const JsonValue& e : v.as_array()) {
+    ids.push_back(static_cast<std::uint32_t>(e.as_u64()));
+  }
+  return ids;
+}
+
+}  // namespace
+
+std::string repro_json(const Repro& r) {
+  JsonWriter w;
+  w.begin_object();
+  w.field("format", kFormat);
+  w.field("violation", to_string(r.violation));
+  w.field("run_seed", r.run_seed);
+  w.field("schedule_index", r.schedule_index);
+
+  w.key("harness").begin_object();
+  w.field("piece_len", std::uint64_t{r.harness.piece_len});
+  w.field("inject_small_segment_bug", r.harness.inject_small_segment_bug);
+  w.field("strict", r.harness.strict);
+  w.field("max_flows", std::uint64_t{r.harness.max_flows});
+  w.end_object();
+
+  w.key("corpus").begin_array();
+  for (const core::Signature& sig : r.corpus) {
+    w.begin_object();
+    w.field("name", sig.name);
+    w.field("bytes_hex", to_hex(sig.bytes.data(), sig.bytes.size()));
+    w.end_object();
+  }
+  w.end_array();
+
+  w.key("expected").begin_object();
+  w.field("flagged", r.expected.flagged);
+  w.key("oracle_sigs");
+  write_sig_list(w, r.expected.oracle_sigs);
+  w.key("engine_sigs");
+  write_sig_list(w, r.expected.engine_sigs);
+  w.field("packets", std::uint64_t{r.expected.packets});
+  w.end_object();
+
+  const Schedule& s = r.schedule;
+  w.key("schedule").begin_object();
+  w.field("id", s.id);
+  w.field("seed", s.seed);
+  w.field("start_ts_usec", s.start_ts_usec);
+  w.field("handshake", s.handshake);
+  w.field("close_flow", s.close_flow);
+  w.field("attack", s.attack);
+  w.field("sig_id", std::uint64_t{s.sig_id});
+  w.field("sig_lo", s.sig_lo);
+  w.field("sig_hi", s.sig_hi);
+  w.key("endpoints").begin_object();
+  w.field("client", s.ep.client.str());
+  w.field("server", s.ep.server.str());
+  w.field("client_port", std::uint64_t{s.ep.client_port});
+  w.field("server_port", std::uint64_t{s.ep.server_port});
+  w.field("client_isn", std::uint64_t{s.ep.client_isn});
+  w.field("server_isn", std::uint64_t{s.ep.server_isn});
+  w.end_object();
+  w.field("stream_hex", to_hex(s.stream.data(), s.stream.size()));
+  w.key("steps").begin_array();
+  for (const FuzzStep& st : s.steps) {
+    w.begin_object();
+    w.field("rel_off", st.rel_off);
+    w.field("data_hex", to_hex(st.data.data(), st.data.size()));
+    if (st.fin) w.field("fin", true);
+    if (st.urg) {
+      w.field("urg", true);
+      w.field("urgent_pointer", std::uint64_t{st.urgent_pointer});
+    }
+    if (st.corrupt_checksum) w.field("corrupt_checksum", true);
+    if (st.ttl != 64) w.field("ttl", std::uint64_t{st.ttl});
+    if (st.frag_payload != 0) {
+      w.field("frag_payload", std::uint64_t{st.frag_payload});
+      if (st.frag_reverse) w.field("frag_reverse", true);
+    }
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();  // schedule
+
+  w.end_object();
+  return w.str();
+}
+
+Repro parse_repro(std::string_view json) {
+  const JsonValue doc = JsonValue::parse(json);
+  if (doc.str_or("format", "") != kFormat) {
+    throw ParseError("repro: missing or unsupported format marker");
+  }
+
+  Repro r;
+  r.violation = parse_violation(doc.get("violation").as_string());
+  r.run_seed = doc.u64_or("run_seed", 0);
+  r.schedule_index = doc.u64_or("schedule_index", 0);
+
+  const JsonValue& h = doc.get("harness");
+  r.harness.piece_len = static_cast<std::size_t>(h.u64_or("piece_len", 8));
+  r.harness.inject_small_segment_bug =
+      h.bool_or("inject_small_segment_bug", false);
+  r.harness.strict = h.bool_or("strict", true);
+  r.harness.max_flows =
+      static_cast<std::size_t>(h.u64_or("max_flows", 1 << 16));
+
+  for (const JsonValue& sig : doc.get("corpus").as_array()) {
+    const std::vector<std::uint8_t> bytes =
+        from_hex(sig.get("bytes_hex").as_string());
+    r.corpus.add(sig.str_or("name", "sig"), ByteView(bytes));
+  }
+
+  const JsonValue& e = doc.get("expected");
+  r.expected.flagged = e.bool_or("flagged", false);
+  r.expected.oracle_sigs = read_sig_list(e.get("oracle_sigs"));
+  r.expected.engine_sigs = read_sig_list(e.get("engine_sigs"));
+  r.expected.packets = static_cast<std::size_t>(e.u64_or("packets", 0));
+  r.expected.violation = r.violation;
+
+  const JsonValue& sj = doc.get("schedule");
+  Schedule& s = r.schedule;
+  s.id = sj.u64_or("id", 0);
+  s.seed = sj.u64_or("seed", 0);
+  s.start_ts_usec = sj.u64_or("start_ts_usec", 0);
+  s.handshake = sj.bool_or("handshake", true);
+  s.close_flow = sj.bool_or("close_flow", false);
+  s.attack = sj.bool_or("attack", false);
+  s.sig_id = static_cast<std::uint32_t>(sj.u64_or("sig_id", 0));
+  s.sig_lo = sj.u64_or("sig_lo", 0);
+  s.sig_hi = sj.u64_or("sig_hi", 0);
+
+  const JsonValue& ep = sj.get("endpoints");
+  s.ep.client = parse_ip(ep.get("client").as_string());
+  s.ep.server = parse_ip(ep.get("server").as_string());
+  s.ep.client_port = static_cast<std::uint16_t>(ep.u64_or("client_port", 0));
+  s.ep.server_port = static_cast<std::uint16_t>(ep.u64_or("server_port", 0));
+  s.ep.client_isn = static_cast<std::uint32_t>(ep.u64_or("client_isn", 0));
+  s.ep.server_isn = static_cast<std::uint32_t>(ep.u64_or("server_isn", 0));
+
+  s.stream = from_hex(sj.get("stream_hex").as_string());
+  for (const JsonValue& stj : sj.get("steps").as_array()) {
+    FuzzStep st;
+    st.rel_off = stj.u64_or("rel_off", 0);
+    st.data = from_hex(stj.get("data_hex").as_string());
+    st.fin = stj.bool_or("fin", false);
+    st.urg = stj.bool_or("urg", false);
+    st.urgent_pointer =
+        static_cast<std::uint16_t>(stj.u64_or("urgent_pointer", 0));
+    st.corrupt_checksum = stj.bool_or("corrupt_checksum", false);
+    st.ttl = static_cast<std::uint8_t>(stj.u64_or("ttl", 64));
+    st.frag_payload = static_cast<std::uint32_t>(stj.u64_or("frag_payload", 0));
+    st.frag_reverse = stj.bool_or("frag_reverse", false);
+    s.steps.push_back(std::move(st));
+  }
+  return r;
+}
+
+std::string write_repro(const std::string& dir, const std::string& stem,
+                        const Repro& r) {
+  std::filesystem::create_directories(dir);
+  const std::string json_path = dir + "/" + stem + ".json";
+  {
+    std::ofstream out(json_path, std::ios::binary);
+    if (!out) throw IoError("repro: cannot write " + json_path);
+    out << repro_json(r) << '\n';
+  }
+  evasion::write_trace(dir + "/" + stem + ".pcap", r.schedule.forge());
+  return json_path;
+}
+
+Repro load_repro(const std::string& json_path) {
+  std::ifstream in(json_path, std::ios::binary);
+  if (!in) throw IoError("repro: cannot read " + json_path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse_repro(buf.str());
+}
+
+ReplayResult replay_repro(const Repro& r) {
+  DifferentialHarness harness(r.corpus, r.harness);
+  ReplayResult res;
+  res.outcome = harness.check_isolated(r.schedule);
+  res.reproduced = res.outcome.violation == r.violation;
+  return res;
+}
+
+}  // namespace sdt::fuzz

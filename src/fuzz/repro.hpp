@@ -1,0 +1,57 @@
+// Self-contained reproducers for fuzzer-found violations.
+//
+// A repro is two files under one stem:
+//   <stem>.json — the minimized schedule, the exact signature corpus, the
+//                 harness configuration, and the observed outcome. Enough
+//                 to re-run the differential check with zero external state
+//                 (tools/sdt_fuzz --replay <stem>.json).
+//   <stem>.pcap — the forged conversation, byte for byte, for tcpdump /
+//                 wireshark / third-party IDS replay.
+//
+// The JSON is the source of truth; the pcap is derived (and re-derived on
+// replay, so a tampered pcap cannot mask a real violation).
+#pragma once
+
+#include <string>
+
+#include "core/signature.hpp"
+#include "fuzz/differential.hpp"
+#include "fuzz/schedule.hpp"
+
+namespace sdt::fuzz {
+
+struct Repro {
+  ViolationKind violation = ViolationKind::none;
+  std::uint64_t run_seed = 0;
+  std::uint64_t schedule_index = 0;
+  HarnessConfig harness;
+  core::SignatureSet corpus;
+  Schedule schedule;
+  /// What the harness observed when the repro was written.
+  ScheduleOutcome expected;
+};
+
+/// Serialize to the repro JSON document (pure; no file IO).
+std::string repro_json(const Repro& r);
+
+/// Parse a repro JSON document (pure; throws sdt::ParseError on malformed
+/// or wrong-format input).
+Repro parse_repro(std::string_view json);
+
+/// Write <stem>.json + <stem>.pcap under `dir` (created if missing).
+/// Returns the JSON path.
+std::string write_repro(const std::string& dir, const std::string& stem,
+                        const Repro& r);
+
+/// Load a repro from its JSON path.
+Repro load_repro(const std::string& json_path);
+
+/// Re-run the differential check on fresh engines and report whether the
+/// violation still reproduces with the same kind.
+struct ReplayResult {
+  bool reproduced = false;
+  ScheduleOutcome outcome;
+};
+ReplayResult replay_repro(const Repro& r);
+
+}  // namespace sdt::fuzz

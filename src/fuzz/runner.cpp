@@ -1,0 +1,170 @@
+#include "fuzz/runner.hpp"
+
+#include <algorithm>
+
+#include "fuzz/repro.hpp"
+#include "fuzz/shrink.hpp"
+#include "telemetry/registry.hpp"
+#include "util/json.hpp"
+
+namespace sdt::fuzz {
+
+namespace {
+
+std::uint64_t fnv_step(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (i * 8)) & 0xff;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+std::string RunSummary::to_json() const {
+  JsonWriter w;
+  w.begin_object();
+  w.field("schedules", schedules);
+  w.field("attacks", attacks);
+  w.field("benign", benign);
+  w.field("packets", packets);
+  w.field("bytes", bytes);
+  w.field("oracle_detections", oracle_detections);
+  w.field("engine_detections", engine_detections);
+  w.field("flagged", flagged);
+  w.field("benign_diverted", benign_diverted);
+  w.field("benign_divert_fraction", benign_divert_fraction());
+  w.field("engine_only_alerts", engine_only_alerts);
+  w.field("missed_detections", missed_detections);
+  w.field("slow_path_misses", slow_path_misses);
+  w.field("crosschecks", crosschecks);
+  w.field("crosscheck_failures", crosscheck_failures);
+  w.field("repros_written", repros_written);
+  w.field("shrink_evaluations", shrink_evaluations);
+  char digest_hex[17];
+  std::snprintf(digest_hex, sizeof digest_hex, "%016llx",
+                static_cast<unsigned long long>(digest));
+  w.field("digest", std::string_view(digest_hex));
+  w.key("repro_paths").begin_array();
+  for (const std::string& p : repro_paths) w.value(p);
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+FuzzRunner::FuzzRunner(const core::SignatureSet& corpus, RunnerConfig cfg)
+    : corpus_(corpus),
+      cfg_(std::move(cfg)),
+      gen_(corpus,
+           [&] {
+             GeneratorConfig g = cfg_.gen;
+             g.run_seed = cfg_.seed;
+             return g;
+           }()),
+      harness_(corpus, cfg_.harness) {}
+
+const RunSummary& FuzzRunner::run(std::uint64_t count) {
+  const std::uint64_t end = next_index_ + count;
+  for (; next_index_ < end; ++next_index_) {
+    const Schedule s = gen_.make(next_index_);
+    const ScheduleOutcome out = harness_.check(s);
+    fold_outcome(s, out);
+    if (out.violation != ViolationKind::none) {
+      live_violations_.fetch_add(1, std::memory_order_relaxed);
+      handle_violation(s, out);
+    }
+
+    if (cfg_.lanes > 0 && cfg_.crosscheck_every > 0) {
+      recent_.push_back(s);
+      if (recent_.size() > cfg_.crosscheck_batch) {
+        recent_.erase(recent_.begin());
+      }
+      if ((next_index_ + 1) % cfg_.crosscheck_every == 0 &&
+          !recent_.empty()) {
+        const RuntimeCrosscheck xc = runtime_crosscheck(
+            corpus_, cfg_.harness, recent_, cfg_.lanes);
+        ++summary_.crosschecks;
+        if (!xc.equal) ++summary_.crosscheck_failures;
+        summary_.digest = fnv_step(summary_.digest, xc.equal ? 1 : 0);
+        summary_.digest = fnv_step(summary_.digest, xc.runtime_alerts);
+      }
+    }
+
+    if (cfg_.expire_every > 0 && (next_index_ + 1) % cfg_.expire_every == 0) {
+      // Schedules are spaced on a virtual clock; everything older than the
+      // current schedule's start is eligible for expiry.
+      harness_.expire(s.start_ts_usec);
+    }
+  }
+  return summary_;
+}
+
+void FuzzRunner::fold_outcome(const Schedule& s, const ScheduleOutcome& out) {
+  ++summary_.schedules;
+  live_schedules_.fetch_add(1, std::memory_order_relaxed);
+  (s.attack ? summary_.attacks : summary_.benign) += 1;
+  summary_.packets += out.packets;
+  summary_.bytes += out.bytes;
+  live_packets_.fetch_add(out.packets, std::memory_order_relaxed);
+  if (!out.oracle_sigs.empty()) ++summary_.oracle_detections;
+  if (!out.engine_sigs.empty()) ++summary_.engine_detections;
+  if (out.flagged) {
+    ++summary_.flagged;
+    if (!s.attack) ++summary_.benign_diverted;
+  }
+  summary_.engine_only_alerts += out.engine_only_alerts;
+  if (out.violation == ViolationKind::missed_detection) {
+    ++summary_.missed_detections;
+  } else if (out.violation == ViolationKind::slow_path_miss) {
+    ++summary_.slow_path_misses;
+  }
+
+  std::uint64_t h = fnv_step(summary_.digest, s.digest());
+  h = fnv_step(h, static_cast<std::uint64_t>(out.violation));
+  h = fnv_step(h, out.flagged ? 1 : 0);
+  for (const std::uint32_t id : out.oracle_sigs) h = fnv_step(h, id);
+  for (const std::uint32_t id : out.engine_sigs) h = fnv_step(h, id);
+  summary_.digest = h;
+}
+
+void FuzzRunner::handle_violation(const Schedule& s,
+                                  const ScheduleOutcome& out) {
+  if (!cfg_.write_repros || summary_.repros_written >= cfg_.max_repros) {
+    return;
+  }
+
+  const ViolationKind kind = out.violation;
+  const auto still_fails = [&](const Schedule& cand) {
+    return harness_.check_isolated(cand).violation == kind;
+  };
+  const ShrinkResult shrunk = shrink(s, still_fails, cfg_.shrink_budget);
+  summary_.shrink_evaluations += shrunk.evaluations;
+
+  Repro r;
+  r.violation = kind;
+  r.run_seed = cfg_.seed;
+  r.schedule_index = s.id;
+  r.harness = cfg_.harness;
+  for (const core::Signature& sig : corpus_) {
+    r.corpus.add(sig.name, ByteView(sig.bytes));
+  }
+  r.schedule = shrunk.schedule;
+  r.expected = harness_.check_isolated(shrunk.schedule);
+
+  char stem[96];
+  std::snprintf(stem, sizeof stem, "repro-s%llu-i%llu-%s",
+                static_cast<unsigned long long>(cfg_.seed),
+                static_cast<unsigned long long>(s.id), to_string(kind));
+  summary_.repro_paths.push_back(write_repro(cfg_.repro_dir, stem, r));
+  ++summary_.repros_written;
+}
+
+void FuzzRunner::register_metrics(telemetry::MetricsRegistry& reg) const {
+  reg.add_counter({"fuzz.schedules", "events", "fuzz", true},
+                  &live_schedules_);
+  reg.add_counter({"fuzz.packets", "packets", "fuzz", true}, &live_packets_);
+  reg.add_counter({"fuzz.violations", "events", "fuzz", true},
+                  &live_violations_);
+}
+
+}  // namespace sdt::fuzz

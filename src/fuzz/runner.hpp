@@ -1,0 +1,123 @@
+// The fuzz campaign loop: generate → differential-check → (on violation)
+// shrink → write repro, with periodic multi-lane runtime crosschecks and
+// flow-table housekeeping. Deterministic end to end: the accumulated
+// summary (including its digest) is a pure function of (corpus, config,
+// schedule count) — no wall-clock state leaks in, which is what makes
+// `sdt_fuzz --schedules N --seed S` byte-for-byte repeatable.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/signature.hpp"
+#include "fuzz/differential.hpp"
+#include "fuzz/generator.hpp"
+
+namespace sdt::telemetry {
+class MetricsRegistry;
+}
+
+namespace sdt::fuzz {
+
+struct RunnerConfig {
+  std::uint64_t seed = 1;
+  GeneratorConfig gen;  // gen.run_seed is overwritten with `seed`
+  HarnessConfig harness;
+  /// Lanes for the periodic runtime crosscheck (0 disables crosschecks).
+  std::size_t lanes = 4;
+  /// Re-forge the last `crosscheck_batch` schedules through the multi-lane
+  /// runtime every `crosscheck_every` schedules and compare alert sets.
+  std::uint64_t crosscheck_every = 2048;
+  std::size_t crosscheck_batch = 64;
+  /// Violation handling: minimize and persist at most `max_repros` cases.
+  bool write_repros = true;
+  std::string repro_dir = "fuzz/repros";
+  std::size_t max_repros = 8;
+  std::size_t shrink_budget = 4000;
+  /// Long-lived engine flow expiry cadence (schedules between sweeps).
+  std::uint64_t expire_every = 4096;
+};
+
+/// Accumulated campaign statistics. All counts are schedule-granular
+/// unless named otherwise.
+struct RunSummary {
+  std::uint64_t schedules = 0;
+  std::uint64_t attacks = 0;
+  std::uint64_t benign = 0;
+  std::uint64_t packets = 0;
+  std::uint64_t bytes = 0;
+  /// Schedules where the full-reassembly oracle raised >= 1 signature.
+  std::uint64_t oracle_detections = 0;
+  /// Schedules where the engine under test raised >= 1 signature.
+  std::uint64_t engine_detections = 0;
+  /// Schedules the engine flagged (diverted or alerted) at least once.
+  std::uint64_t flagged = 0;
+  /// Benign schedules that cost diversion budget (flagged w/o any attack).
+  std::uint64_t benign_diverted = 0;
+  /// Alert-level count of conservative engine-only detections.
+  std::uint64_t engine_only_alerts = 0;
+  std::uint64_t missed_detections = 0;  // theorem violations
+  std::uint64_t slow_path_misses = 0;   // strict-mode violations
+  std::uint64_t crosschecks = 0;
+  std::uint64_t crosscheck_failures = 0;
+  std::uint64_t repros_written = 0;
+  std::uint64_t shrink_evaluations = 0;
+  /// Running FNV-1a over every (schedule digest, outcome) pair — two runs
+  /// with equal seed/config produce equal digests.
+  std::uint64_t digest = 0xcbf29ce484222325ull;
+  std::vector<std::string> repro_paths;
+
+  std::uint64_t violations() const {
+    return missed_detections + slow_path_misses + crosscheck_failures;
+  }
+  double benign_divert_fraction() const {
+    return benign == 0 ? 0.0
+                       : static_cast<double>(benign_diverted) /
+                             static_cast<double>(benign);
+  }
+  /// The acceptance gate: zero violations and benign diversion within
+  /// budget (fraction of benign schedules allowed to touch the slow path).
+  bool ok(double benign_divert_budget) const {
+    return violations() == 0 &&
+           benign_divert_fraction() <= benign_divert_budget;
+  }
+  /// Deterministic JSON (no timestamps): the --stats-out payload.
+  std::string to_json() const;
+};
+
+class FuzzRunner {
+ public:
+  FuzzRunner(const core::SignatureSet& corpus, RunnerConfig cfg);
+
+  /// Process the next `count` schedule indices; resumable (soak mode calls
+  /// this in chunks until its deadline). Returns the accumulated summary.
+  const RunSummary& run(std::uint64_t count);
+
+  const RunSummary& summary() const { return summary_; }
+
+  /// Expose live progress counters under the "fuzz." prefix. The registry
+  /// must not outlive this runner.
+  void register_metrics(telemetry::MetricsRegistry& reg) const;
+
+ private:
+  void handle_violation(const Schedule& s, const ScheduleOutcome& out);
+  void fold_outcome(const Schedule& s, const ScheduleOutcome& out);
+
+  const core::SignatureSet& corpus_;
+  RunnerConfig cfg_;
+  ScheduleGenerator gen_;
+  DifferentialHarness harness_;
+  RunSummary summary_;
+  std::uint64_t next_index_ = 0;
+  std::vector<Schedule> recent_;  // crosscheck batch buffer
+
+  // Live mirrors for telemetry (the loop is single-threaded; pollers read
+  // concurrently).
+  std::atomic<std::uint64_t> live_schedules_{0};
+  std::atomic<std::uint64_t> live_packets_{0};
+  std::atomic<std::uint64_t> live_violations_{0};
+};
+
+}  // namespace sdt::fuzz

@@ -1,0 +1,117 @@
+#include "fuzz/schedule.hpp"
+
+#include "net/headers.hpp"
+
+namespace sdt::fuzz {
+
+namespace {
+
+evasion::Seg to_seg(const FuzzStep& st) {
+  evasion::Seg s;
+  s.rel_off = st.rel_off;
+  s.data = st.data;
+  s.fin = st.fin;
+  s.urg = st.urg;
+  s.urgent_pointer = st.urgent_pointer;
+  s.corrupt_checksum = st.corrupt_checksum;
+  s.ttl = st.ttl;
+  return s;
+}
+
+std::uint64_t fnv1a(std::uint64_t h, const void* data, std::size_t n) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+std::uint64_t fnv1a_u64(std::uint64_t h, std::uint64_t v) {
+  return fnv1a(h, &v, sizeof v);
+}
+
+}  // namespace
+
+std::vector<net::Packet> Schedule::forge() const {
+  evasion::FlowForge f(ep, start_ts_usec);
+  if (handshake) f.handshake();
+  for (const FuzzStep& st : steps) {
+    if (st.frag_payload != 0) {
+      f.client_segment_fragmented(to_seg(st), st.frag_payload,
+                                  st.frag_reverse);
+    } else {
+      f.client_segment(to_seg(st));
+    }
+  }
+  if (close_flow) f.close();
+  return f.take();
+}
+
+std::size_t Schedule::packet_count() const {
+  std::size_t n = (handshake ? 3 : 0) + (close_flow ? 3 : 0);
+  for (const FuzzStep& st : steps) {
+    if (st.frag_payload == 0) {
+      ++n;
+      continue;
+    }
+    // Mirrors net::fragment_ipv4: a TCP packet (20-byte header + payload)
+    // that fits in frag_payload ships whole; otherwise fragments carry
+    // frag_payload bytes rounded down to a multiple of 8.
+    const std::size_t l4 = 20 + st.data.size();
+    if (l4 <= st.frag_payload) {
+      ++n;
+    } else {
+      const std::size_t per = std::max<std::size_t>(8, st.frag_payload & ~7u);
+      n += (l4 + per - 1) / per;
+    }
+  }
+  return n;
+}
+
+std::uint64_t Schedule::digest() const {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  h = fnv1a_u64(h, ep.client.value());
+  h = fnv1a_u64(h, ep.server.value());
+  h = fnv1a_u64(h, (std::uint64_t{ep.client_port} << 16) | ep.server_port);
+  h = fnv1a_u64(h, (std::uint64_t{ep.client_isn} << 32) | ep.server_isn);
+  h = fnv1a_u64(h, start_ts_usec);
+  h = fnv1a_u64(h, (handshake ? 1u : 0u) | (close_flow ? 2u : 0u) |
+                       (attack ? 4u : 0u));
+  h = fnv1a_u64(h, sig_id);
+  h = fnv1a_u64(h, sig_lo);
+  h = fnv1a_u64(h, sig_hi);
+  h = fnv1a_u64(h, stream.size());
+  h = fnv1a(h, stream.data(), stream.size());
+  h = fnv1a_u64(h, steps.size());
+  for (const FuzzStep& st : steps) {
+    h = fnv1a_u64(h, st.rel_off);
+    h = fnv1a_u64(h, st.data.size());
+    h = fnv1a(h, st.data.data(), st.data.size());
+    h = fnv1a_u64(h, (st.fin ? 1u : 0u) | (st.urg ? 2u : 0u) |
+                         (st.corrupt_checksum ? 4u : 0u) |
+                         (st.frag_reverse ? 8u : 0u));
+    h = fnv1a_u64(h, (std::uint64_t{st.urgent_pointer} << 32) |
+                         (std::uint64_t{st.ttl} << 24) | st.frag_payload);
+  }
+  return h;
+}
+
+std::vector<FuzzStep> steps_from_plan(const std::vector<evasion::Seg>& plan) {
+  std::vector<FuzzStep> out;
+  out.reserve(plan.size());
+  for (const evasion::Seg& s : plan) {
+    FuzzStep st;
+    st.rel_off = s.rel_off;
+    st.data = s.data;
+    st.fin = s.fin;
+    st.urg = s.urg;
+    st.urgent_pointer = s.urgent_pointer;
+    st.corrupt_checksum = s.corrupt_checksum;
+    st.ttl = s.ttl;
+    out.push_back(std::move(st));
+  }
+  return out;
+}
+
+}  // namespace sdt::fuzz

@@ -1,0 +1,71 @@
+// The fuzzer's unit of work: a declarative, serializable delivery schedule.
+//
+// A Schedule is everything needed to forge one TCP conversation
+// deterministically — endpoints, the intended application stream, and an
+// ordered list of client-side emission steps (each step = one TCP segment,
+// possibly IP-fragmented, possibly hostile: conflicting content, corrupted
+// checksum, low TTL, urgent mode). Keeping the schedule declarative rather
+// than "a bag of packets" is what makes the shrinker possible: minimization
+// operates on steps and stream bytes, then re-forges.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "evasion/flow_forge.hpp"
+#include "net/packet.hpp"
+#include "util/bytes.hpp"
+
+namespace sdt::fuzz {
+
+/// One client-side emission. `data` is explicit (not a stream slice): decoy
+/// steps deliberately carry bytes that conflict with the stream.
+struct FuzzStep {
+  std::uint64_t rel_off = 0;
+  Bytes data;
+  bool fin = false;
+  bool urg = false;
+  std::uint16_t urgent_pointer = 0;
+  bool corrupt_checksum = false;
+  std::uint8_t ttl = 64;
+  /// When non-zero, the forged TCP packet is split into IPv4 fragments of
+  /// at most this many payload bytes each.
+  std::uint32_t frag_payload = 0;
+  bool frag_reverse = false;
+};
+
+struct Schedule {
+  std::uint64_t id = 0;           // index within its run
+  std::uint64_t seed = 0;         // the rng stream that produced it
+  evasion::Endpoints ep;
+  std::uint64_t start_ts_usec = 0;
+  bool handshake = true;
+  bool close_flow = false;        // FlowForge::close() after the steps
+  /// The intended client->server application stream (what a receiving
+  /// stack should deliver when the schedule is honest about content).
+  Bytes stream;
+  /// Attack schedules embed corpus signature `sig_id` at [sig_lo, sig_hi).
+  bool attack = false;
+  std::uint32_t sig_id = 0;
+  std::uint64_t sig_lo = 0;
+  std::uint64_t sig_hi = 0;
+  std::vector<FuzzStep> steps;
+
+  /// Forge the on-the-wire conversation. Deterministic: same schedule,
+  /// same packets, bit for bit.
+  std::vector<net::Packet> forge() const;
+
+  /// Number of frames forge() would emit (handshake + steps incl. their
+  /// fragment counts + close).
+  std::size_t packet_count() const;
+
+  /// Order-sensitive structural hash (FNV-1a over every field): two
+  /// schedules hash equal iff they forge identical conversations. Used by
+  /// determinism tests and the run summary.
+  std::uint64_t digest() const;
+};
+
+/// Convert an evasion::Seg plan (plan_plain/plan_tiny/...) into fuzz steps.
+std::vector<FuzzStep> steps_from_plan(const std::vector<evasion::Seg>& plan);
+
+}  // namespace sdt::fuzz

@@ -1,0 +1,236 @@
+#include "fuzz/shrink.hpp"
+
+#include <algorithm>
+
+namespace sdt::fuzz {
+
+namespace {
+
+class Shrinker {
+ public:
+  Shrinker(Schedule start, const std::function<bool(const Schedule&)>& pred,
+           std::size_t budget)
+      : best_(std::move(start)), pred_(pred), budget_(budget) {}
+
+  ShrinkResult run() {
+    bool progress = true;
+    while (progress && evals_ < budget_) {
+      progress = false;
+      progress |= drop_step_ranges();
+      progress |= drop_framing();
+      progress |= clear_hostile_flags();
+      progress |= merge_adjacent();
+      progress |= halve_step_payloads();
+      progress |= trim_stream();
+      ++rounds_;
+    }
+    return {std::move(best_), evals_, rounds_};
+  }
+
+ private:
+  /// Accept candidate iff it still fails; returns acceptance.
+  bool accept(Schedule&& cand) {
+    if (evals_ >= budget_) return false;
+    ++evals_;
+    if (!pred_(cand)) return false;
+    best_ = std::move(cand);
+    return true;
+  }
+
+  bool drop_step_ranges() {
+    bool any = false;
+    std::size_t chunk = std::max<std::size_t>(1, best_.steps.size() / 2);
+    while (chunk >= 1) {
+      bool removed = true;
+      while (removed && evals_ < budget_) {
+        removed = false;
+        for (std::size_t i = 0; i < best_.steps.size(); i += chunk) {
+          Schedule cand = best_;
+          const std::size_t n = std::min(chunk, cand.steps.size() - i);
+          cand.steps.erase(
+              cand.steps.begin() + static_cast<std::ptrdiff_t>(i),
+              cand.steps.begin() + static_cast<std::ptrdiff_t>(i + n));
+          if (accept(std::move(cand))) {
+            any = removed = true;
+            break;  // indices shifted; rescan at this chunk size
+          }
+        }
+      }
+      if (chunk == 1) break;
+      chunk /= 2;
+    }
+    return any;
+  }
+
+  bool drop_framing() {
+    bool any = false;
+    if (best_.close_flow) {
+      Schedule cand = best_;
+      cand.close_flow = false;
+      any |= accept(std::move(cand));
+    }
+    if (best_.handshake) {
+      Schedule cand = best_;
+      cand.handshake = false;
+      any |= accept(std::move(cand));
+    }
+    return any;
+  }
+
+  bool clear_hostile_flags() {
+    bool any = false;
+    for (std::size_t i = 0; i < best_.steps.size() && evals_ < budget_; ++i) {
+      const FuzzStep& st = best_.steps[i];
+      if (st.frag_payload == 0 && !st.corrupt_checksum && !st.urg &&
+          st.ttl == 64 && !st.fin) {
+        continue;
+      }
+      Schedule cand = best_;
+      FuzzStep& c = cand.steps[i];
+      c.frag_payload = 0;
+      c.frag_reverse = false;
+      c.corrupt_checksum = false;
+      c.urg = false;
+      c.urgent_pointer = 0;
+      c.ttl = 64;
+      c.fin = false;
+      any |= accept(std::move(cand));
+    }
+    return any;
+  }
+
+  bool merge_adjacent() {
+    bool any = false;
+    bool merged = true;
+    while (merged && evals_ < budget_) {
+      merged = false;
+      for (std::size_t i = 0; i + 1 < best_.steps.size(); ++i) {
+        const FuzzStep& a = best_.steps[i];
+        const FuzzStep& b = best_.steps[i + 1];
+        const bool plain = !a.fin && !a.urg && !a.corrupt_checksum &&
+                           a.frag_payload == 0 && !b.urg &&
+                           !b.corrupt_checksum && b.frag_payload == 0 &&
+                           a.ttl == b.ttl;
+        if (!plain || a.rel_off + a.data.size() != b.rel_off) continue;
+        Schedule cand = best_;
+        FuzzStep& m = cand.steps[i];
+        m.data.insert(m.data.end(), b.data.begin(), b.data.end());
+        m.fin = b.fin;
+        cand.steps.erase(cand.steps.begin() +
+                         static_cast<std::ptrdiff_t>(i + 1));
+        if (accept(std::move(cand))) {
+          any = merged = true;
+          break;
+        }
+      }
+    }
+    return any;
+  }
+
+  bool halve_step_payloads() {
+    bool any = false;
+    for (std::size_t i = 0; i < best_.steps.size() && evals_ < budget_; ++i) {
+      if (best_.steps[i].data.size() < 2) continue;
+      Schedule cand = best_;
+      FuzzStep& c = cand.steps[i];
+      c.data.resize(c.data.size() / 2);
+      any |= accept(std::move(cand));
+    }
+    return any;
+  }
+
+  /// Cut stream bytes outside the signature window, rewriting offsets.
+  bool trim_stream() {
+    bool any = false;
+    // Head: remove [0, cut).
+    for (std::size_t cut = best_.sig_lo; cut > 0 && evals_ < budget_;
+         cut /= 2) {
+      if (cut > best_.sig_lo) continue;
+      Schedule cand = best_;
+      trim_head(cand, cut);
+      if (accept(std::move(cand))) {
+        any = true;
+      }
+      if (cut == 1) break;
+    }
+    // Tail: remove [sig_hi + keep, end).
+    const std::size_t tail =
+        best_.stream.size() - std::min<std::size_t>(
+                                  best_.attack ? best_.sig_hi : 0,
+                                  best_.stream.size());
+    for (std::size_t cut = tail; cut > 0 && evals_ < budget_; cut /= 2) {
+      Schedule cand = best_;
+      trim_tail(cand, cand.stream.size() - cut);
+      if (accept(std::move(cand))) {
+        any = true;
+      }
+      if (cut == 1) break;
+    }
+    return any;
+  }
+
+  static void trim_head(Schedule& s, std::size_t cut) {
+    s.stream.erase(s.stream.begin(),
+                   s.stream.begin() + static_cast<std::ptrdiff_t>(cut));
+    s.sig_lo -= std::min<std::uint64_t>(s.sig_lo, cut);
+    s.sig_hi -= std::min<std::uint64_t>(s.sig_hi, cut);
+    std::vector<FuzzStep> kept;
+    for (FuzzStep& st : s.steps) {
+      if (st.rel_off >= cut) {
+        st.rel_off -= cut;
+        kept.push_back(std::move(st));
+        continue;
+      }
+      const std::size_t overlap = static_cast<std::size_t>(cut - st.rel_off);
+      if (st.data.size() > overlap) {
+        st.data.erase(st.data.begin(),
+                      st.data.begin() + static_cast<std::ptrdiff_t>(overlap));
+        st.rel_off = 0;
+        kept.push_back(std::move(st));
+      } else if (st.fin) {
+        st.data.clear();
+        st.rel_off = 0;
+        kept.push_back(std::move(st));
+      }
+      // else: the step lies entirely in the cut region — drop it.
+    }
+    s.steps = std::move(kept);
+  }
+
+  static void trim_tail(Schedule& s, std::size_t keep) {
+    if (keep >= s.stream.size()) return;
+    s.stream.resize(keep);
+    std::vector<FuzzStep> kept;
+    for (FuzzStep& st : s.steps) {
+      if (st.rel_off >= keep) {
+        if (st.fin) {
+          st.rel_off = keep;
+          st.data.clear();
+          kept.push_back(std::move(st));
+        }
+        continue;
+      }
+      if (st.rel_off + st.data.size() > keep) {
+        st.data.resize(static_cast<std::size_t>(keep - st.rel_off));
+      }
+      kept.push_back(std::move(st));
+    }
+    s.steps = std::move(kept);
+  }
+
+  Schedule best_;
+  const std::function<bool(const Schedule&)>& pred_;
+  std::size_t budget_;
+  std::size_t evals_ = 0;
+  std::size_t rounds_ = 0;
+};
+
+}  // namespace
+
+ShrinkResult shrink(const Schedule& start,
+                    const std::function<bool(const Schedule&)>& still_fails,
+                    std::size_t max_evaluations) {
+  return Shrinker(start, still_fails, max_evaluations).run();
+}
+
+}  // namespace sdt::fuzz

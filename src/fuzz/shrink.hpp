@@ -1,0 +1,38 @@
+// Automatic schedule minimization (delta debugging over steps + bytes).
+//
+// Given a violating schedule and a predicate ("does this candidate still
+// violate in the same way?"), the shrinker greedily applies reductions
+// until a fixpoint or the evaluation budget runs out:
+//
+//   1. drop step ranges     — ddmin-style, halving chunk sizes down to 1;
+//   2. drop the handshake / the close exchange;
+//   3. clear hostile flags  — defragment, un-corrupt, restore TTL, un-URG;
+//   4. merge adjacent steps — contiguous, same flags, emitted back to back;
+//   5. trim stream bytes    — cut head/tail ranges outside the signature
+//                             window, rewriting step offsets and contents.
+//
+// Every accepted reduction strictly decreases (packet count, total bytes),
+// so termination is structural; the predicate re-runs the differential
+// oracle on fresh engines each time, so acceptance is exact, never guessed.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "fuzz/schedule.hpp"
+
+namespace sdt::fuzz {
+
+struct ShrinkResult {
+  Schedule schedule;
+  std::size_t evaluations = 0;  // predicate calls spent
+  std::size_t rounds = 0;       // full passes until fixpoint
+};
+
+/// `still_fails` must return true iff the candidate still exhibits the
+/// original violation. `max_evaluations` bounds total predicate calls.
+ShrinkResult shrink(const Schedule& start,
+                    const std::function<bool(const Schedule&)>& still_fails,
+                    std::size_t max_evaluations = 4000);
+
+}  // namespace sdt::fuzz

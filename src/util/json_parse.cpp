@@ -1,0 +1,292 @@
+#include "util/json_parse.hpp"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+
+namespace sdt {
+
+namespace {
+
+bool is_ws(char c) { return c == ' ' || c == '\t' || c == '\n' || c == '\r'; }
+
+int hex_digit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+}  // namespace
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  JsonValue document() {
+    JsonValue v = value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters after document");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) {
+    throw ParseError("json: " + what + " at offset " + std::to_string(pos_));
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() && is_ws(text_[pos_])) ++pos_;
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  JsonValue value() {
+    skip_ws();
+    JsonValue v;
+    switch (peek()) {
+      case '{':
+        return object();
+      case '[':
+        return array();
+      case '"':
+        v.kind_ = JsonValue::Kind::string;
+        v.str_ = string();
+        return v;
+      case 't':
+        if (!literal("true")) fail("bad literal");
+        v.kind_ = JsonValue::Kind::boolean;
+        v.bool_ = true;
+        return v;
+      case 'f':
+        if (!literal("false")) fail("bad literal");
+        v.kind_ = JsonValue::Kind::boolean;
+        v.bool_ = false;
+        return v;
+      case 'n':
+        if (!literal("null")) fail("bad literal");
+        return v;
+      default:
+        return number();
+    }
+  }
+
+  JsonValue object() {
+    expect('{');
+    JsonValue v;
+    v.kind_ = JsonValue::Kind::object;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      skip_ws();
+      std::string key = string();
+      skip_ws();
+      expect(':');
+      v.obj_.emplace_back(std::move(key), value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return v;
+    }
+  }
+
+  JsonValue array() {
+    expect('[');
+    JsonValue v;
+    v.kind_ = JsonValue::Kind::array;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      v.arr_.push_back(value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return v;
+    }
+  }
+
+  std::string string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+          unsigned cp = 0;
+          for (int i = 0; i < 4; ++i) {
+            const int d = hex_digit(text_[pos_++]);
+            if (d < 0) fail("bad \\u escape");
+            cp = cp << 4 | static_cast<unsigned>(d);
+          }
+          // UTF-8 encode the BMP code point (no surrogate pairs: the
+          // writer only escapes control characters).
+          if (cp < 0x80) {
+            out.push_back(static_cast<char>(cp));
+          } else if (cp < 0x800) {
+            out.push_back(static_cast<char>(0xc0 | (cp >> 6)));
+            out.push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+          } else {
+            out.push_back(static_cast<char>(0xe0 | (cp >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3f)));
+            out.push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+          }
+          break;
+        }
+        default:
+          fail("bad escape");
+      }
+    }
+  }
+
+  JsonValue number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start || (pos_ == start + 1 && text_[start] == '-')) {
+      fail("bad number");
+    }
+    // RFC 8259: no leading zeros ("01" is two tokens, i.e. malformed).
+    const std::size_t first = text_[start] == '-' ? start + 1 : start;
+    if (text_[first] == '0' && first + 1 < pos_ &&
+        std::isdigit(static_cast<unsigned char>(text_[first + 1]))) {
+      fail("leading zero in number");
+    }
+    JsonValue v;
+    v.kind_ = JsonValue::Kind::number;
+    v.num_ = std::string(text_.substr(start, pos_ - start));
+    return v;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+void JsonValue::require(Kind k, const char* what) const {
+  if (kind_ != k) {
+    throw ParseError(std::string("json: value is not a ") + what);
+  }
+}
+
+std::uint64_t JsonValue::as_u64() const {
+  require(Kind::number, "number");
+  errno = 0;
+  char* end = nullptr;
+  const std::uint64_t v = std::strtoull(num_.c_str(), &end, 10);
+  if (errno != 0 || end == num_.c_str() || *end != '\0') {
+    throw ParseError("json: number is not a uint64: " + num_);
+  }
+  return v;
+}
+
+std::int64_t JsonValue::as_i64() const {
+  require(Kind::number, "number");
+  errno = 0;
+  char* end = nullptr;
+  const std::int64_t v = std::strtoll(num_.c_str(), &end, 10);
+  if (errno != 0 || end == num_.c_str() || *end != '\0') {
+    throw ParseError("json: number is not an int64: " + num_);
+  }
+  return v;
+}
+
+double JsonValue::as_double() const {
+  require(Kind::number, "number");
+  return std::strtod(num_.c_str(), nullptr);
+}
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  require(Kind::object, "object");
+  for (const auto& [k, v] : obj_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+const JsonValue& JsonValue::get(std::string_view key) const {
+  const JsonValue* v = find(key);
+  if (v == nullptr) {
+    throw ParseError("json: missing key \"" + std::string(key) + "\"");
+  }
+  return *v;
+}
+
+std::uint64_t JsonValue::u64_or(std::string_view key,
+                                std::uint64_t fallback) const {
+  const JsonValue* v = find(key);
+  return v == nullptr ? fallback : v->as_u64();
+}
+
+bool JsonValue::bool_or(std::string_view key, bool fallback) const {
+  const JsonValue* v = find(key);
+  return v == nullptr ? fallback : v->as_bool();
+}
+
+std::string JsonValue::str_or(std::string_view key, std::string fallback) const {
+  const JsonValue* v = find(key);
+  return v == nullptr ? std::move(fallback) : v->as_string();
+}
+
+JsonValue JsonValue::parse(std::string_view text) {
+  return JsonParser(text).document();
+}
+
+std::string to_hex(const std::uint8_t* data, std::size_t n) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(n * 2);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(kDigits[data[i] >> 4]);
+    out.push_back(kDigits[data[i] & 0xf]);
+  }
+  return out;
+}
+
+}  // namespace sdt

@@ -1,0 +1,73 @@
+// Minimal JSON reader — the counterpart of JsonWriter, just enough to load
+// documents this repo itself wrote (fuzz repros, bench snapshots). Full
+// RFC 8259 value grammar minus surrogate-pair escapes (the writer never
+// emits them); numbers keep their raw text so 64-bit integers survive
+// round-trips that a double would truncate.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace sdt {
+
+class JsonValue {
+ public:
+  enum class Kind : std::uint8_t { null, boolean, number, string, array, object };
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::null; }
+
+  bool as_bool() const {
+    require(Kind::boolean, "bool");
+    return bool_;
+  }
+  /// Numbers parsed from integer text round-trip exactly up to uint64.
+  std::uint64_t as_u64() const;
+  std::int64_t as_i64() const;
+  double as_double() const;
+  const std::string& as_string() const {
+    require(Kind::string, "string");
+    return str_;
+  }
+  const std::vector<JsonValue>& as_array() const {
+    require(Kind::array, "array");
+    return arr_;
+  }
+
+  /// Object member access. `get` throws ParseError when the key is absent;
+  /// `find` returns nullptr instead.
+  const JsonValue& get(std::string_view key) const;
+  const JsonValue* find(std::string_view key) const;
+  bool has(std::string_view key) const { return find(key) != nullptr; }
+
+  /// Convenience typed lookups with defaults (absent key -> fallback).
+  std::uint64_t u64_or(std::string_view key, std::uint64_t fallback) const;
+  bool bool_or(std::string_view key, bool fallback) const;
+  std::string str_or(std::string_view key, std::string fallback) const;
+
+  /// Parse one JSON document (trailing garbage is an error).
+  static JsonValue parse(std::string_view text);
+
+ private:
+  friend class JsonParser;
+  void require(Kind k, const char* what) const;
+
+  Kind kind_ = Kind::null;
+  bool bool_ = false;
+  std::string num_;  // raw number text
+  std::string str_;
+  std::vector<JsonValue> arr_;
+  std::vector<std::pair<std::string, JsonValue>> obj_;
+};
+
+/// Hex encoder shared by repro serialization (lowercase, no prefix; the
+/// decoder is util/bytes.hpp's from_hex).
+std::string to_hex(const std::uint8_t* data, std::size_t n);
+
+}  // namespace sdt

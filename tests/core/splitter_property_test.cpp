@@ -1,0 +1,127 @@
+// Randomized property tests for signature splitting: 1000 signatures of
+// random length and content, random piece lengths, asserting the structural
+// invariants the detection theorem rests on (see splitter.hpp):
+//
+//   * every offset is in bounds and yields a full-length piece;
+//   * the first piece starts at 0, the last ends at len (end anchor);
+//   * adjacent pieces leave no gap — overlaying every piece onto a blank
+//     buffer reconstructs the original signature byte for byte;
+//   * covering property (W): every window of 2p-1 consecutive signature
+//     bytes contains at least one complete piece.
+//
+// These complement tests/core/theorem_test.cpp (which tests the end-to-end
+// detection consequence) by checking the tiling itself, including the
+// phase-shifted variant at every phase.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <optional>
+#include <vector>
+
+#include "core/splitter.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace sdt::core {
+namespace {
+
+Bytes random_sig(Rng& rng, std::size_t len) {
+  Bytes b(len);
+  for (auto& x : b) x = static_cast<std::uint8_t>(rng.next());
+  return b;
+}
+
+/// Assert the full invariant bundle for one (len, p) tiling.
+void check_offsets(const std::vector<std::uint32_t>& offs, std::size_t len,
+                   std::size_t p) {
+  ASSERT_FALSE(offs.empty());
+  ASSERT_TRUE(std::is_sorted(offs.begin(), offs.end()));
+
+  // Bounds + anchors.
+  EXPECT_EQ(offs.front(), 0u);
+  EXPECT_EQ(offs.back(), len - p);
+  for (const std::uint32_t o : offs) {
+    ASSERT_LE(o + p, len) << "piece overruns the signature";
+  }
+
+  // Gap-free overlay: every signature byte is inside some piece. With
+  // sorted offsets it suffices that consecutive pieces touch or overlap.
+  for (std::size_t i = 1; i < offs.size(); ++i) {
+    ASSERT_LE(offs[i], offs[i - 1] + p) << "gap between pieces " << i - 1
+                                        << " and " << i;
+  }
+
+  // Covering property (W): every window [w, w + 2p-1) fully inside the
+  // signature contains at least one complete piece.
+  const std::size_t win = 2 * p - 1;
+  for (std::size_t w = 0; w + win <= len; ++w) {
+    const bool covered = std::any_of(
+        offs.begin(), offs.end(),
+        [&](std::uint32_t o) { return o >= w && o + p <= w + win; });
+    ASSERT_TRUE(covered) << "window at " << w << " (len=" << len
+                         << ", p=" << p << ") contains no complete piece";
+  }
+}
+
+/// Overlay reconstruction with actual bytes: write each piece's content
+/// into a blank buffer and compare with the original signature.
+void check_reconstruction(const Bytes& sig,
+                          const std::vector<std::uint32_t>& offs,
+                          std::size_t p) {
+  std::vector<std::optional<std::uint8_t>> rebuilt(sig.size());
+  for (const std::uint32_t o : offs) {
+    for (std::size_t i = 0; i < p; ++i) rebuilt[o + i] = sig[o + i];
+  }
+  for (std::size_t i = 0; i < sig.size(); ++i) {
+    ASSERT_TRUE(rebuilt[i].has_value()) << "byte " << i << " uncovered";
+    ASSERT_EQ(*rebuilt[i], sig[i]);
+  }
+}
+
+TEST(SplitterPropertyTest, RandomizedTilingInvariants) {
+  Rng rng(0x5411u);
+  for (int iter = 0; iter < 1000; ++iter) {
+    const std::size_t p = 2 + rng.below(15);            // 2..16
+    const std::size_t len = 2 * p + rng.below(120);     // >= 2p
+    const Bytes sig = random_sig(rng, len);
+    const std::vector<std::uint32_t> offs = piece_offsets(len, p);
+    check_offsets(offs, len, p);
+    check_reconstruction(sig, offs, p);
+  }
+}
+
+TEST(SplitterPropertyTest, PhaseShiftedTilingKeepsInvariants) {
+  Rng rng(0xfa5eu);
+  for (int iter = 0; iter < 1000; ++iter) {
+    const std::size_t p = 2 + rng.below(12);
+    const std::size_t len = 2 * p + rng.below(90);
+    const std::size_t phase = rng.below(p);
+    const Bytes sig = random_sig(rng, len);
+    const std::vector<std::uint32_t> offs =
+        piece_offsets_with_phase(len, p, phase);
+    check_offsets(offs, len, p);
+    check_reconstruction(sig, offs, p);
+  }
+}
+
+TEST(SplitterPropertyTest, EveryPhaseOfSmallCasesIsExhaustivelySound) {
+  // Exhaustive sweep over the small corner: every (p, len, phase) with
+  // p <= 6 and len <= 5p. Catches off-by-ones randomized draws can miss.
+  for (std::size_t p = 2; p <= 6; ++p) {
+    for (std::size_t len = 2 * p; len <= 5 * p; ++len) {
+      for (std::size_t phase = 0; phase < p; ++phase) {
+        check_offsets(piece_offsets_with_phase(len, p, phase), len, p);
+      }
+      check_offsets(piece_offsets(len, p), len, p);
+    }
+  }
+}
+
+TEST(SplitterPropertyTest, MinimumLengthIsEnforced) {
+  EXPECT_NO_THROW(piece_offsets(16, 8));
+  EXPECT_THROW(piece_offsets(15, 8), InvalidArgument);
+  EXPECT_THROW(piece_offsets_with_phase(15, 8, 0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace sdt::core

@@ -1,0 +1,129 @@
+// Cross-seed determinism audit: every randomized producer in sdt::evasion
+// must be a pure function of its explicit seed/RNG — identical seed,
+// identical frames, bit for bit; and the explicit-RNG overloads must chain
+// (consuming the caller's generator state) instead of reseeding from
+// hidden state. The fuzzer's whole replay/shrink story rests on this.
+#include <gtest/gtest.h>
+
+#include "evasion/corpus.hpp"
+#include "evasion/flow_forge.hpp"
+#include "evasion/traffic_gen.hpp"
+#include "evasion/transforms.hpp"
+#include "util/rng.hpp"
+
+namespace sdt::evasion {
+namespace {
+
+bool same_packets(const std::vector<net::Packet>& a,
+                  const std::vector<net::Packet>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].ts_usec != b[i].ts_usec || a[i].frame != b[i].frame) {
+      return false;
+    }
+  }
+  return true;
+}
+
+TEST(DeterminismTest, BenignTraceIsSeedDeterministic) {
+  TrafficConfig cfg;
+  cfg.flows = 40;
+  cfg.seed = 77;
+  cfg.reorder_rate = 0.05;  // exercise the randomized reorder path too
+  const GeneratedTrace a = generate_benign(cfg);
+  const GeneratedTrace b = generate_benign(cfg);
+  EXPECT_TRUE(same_packets(a.packets, b.packets));
+  EXPECT_EQ(a.total_bytes, b.total_bytes);
+
+  cfg.seed = 78;
+  const GeneratedTrace c = generate_benign(cfg);
+  EXPECT_FALSE(same_packets(a.packets, c.packets));
+}
+
+TEST(DeterminismTest, MixedTraceIsSeedDeterministic) {
+  const core::SignatureSet sigs = default_corpus(16);
+  TrafficConfig cfg;
+  cfg.flows = 40;
+  cfg.seed = 9;
+  AttackMix mix;
+  mix.attack_fraction = 0.2;
+  const GeneratedTrace a = generate_mixed(cfg, sigs, mix);
+  const GeneratedTrace b = generate_mixed(cfg, sigs, mix);
+  EXPECT_TRUE(same_packets(a.packets, b.packets));
+  EXPECT_EQ(a.attack_flows, b.attack_flows);
+  EXPECT_GT(a.attack_flows, 0u);
+}
+
+TEST(DeterminismTest, ExplicitRngOverloadMatchesSeedForm) {
+  // generate_benign(cfg) must be exactly generate_benign(cfg, Rng(seed)):
+  // the seed-based form is a wrapper, not a separate code path.
+  TrafficConfig cfg;
+  cfg.flows = 25;
+  cfg.seed = 1234;
+  const GeneratedTrace implicit = generate_benign(cfg);
+  Rng rng(cfg.seed);
+  const GeneratedTrace explicit_rng = generate_benign(cfg, rng);
+  EXPECT_TRUE(same_packets(implicit.packets, explicit_rng.packets));
+}
+
+TEST(DeterminismTest, ExplicitRngChainsAcrossCalls) {
+  // Two traces drawn from ONE generator differ (state advanced), but the
+  // whole composition replays identically from the same starting seed.
+  TrafficConfig cfg;
+  cfg.flows = 15;
+  cfg.seed = 999;  // ignored by the explicit-RNG overload
+
+  Rng rng1(5);
+  const GeneratedTrace a1 = generate_benign(cfg, rng1);
+  const GeneratedTrace a2 = generate_benign(cfg, rng1);
+  EXPECT_FALSE(same_packets(a1.packets, a2.packets))
+      << "second draw must consume fresh generator state";
+
+  Rng rng2(5);
+  const GeneratedTrace b1 = generate_benign(cfg, rng2);
+  const GeneratedTrace b2 = generate_benign(cfg, rng2);
+  EXPECT_TRUE(same_packets(a1.packets, b1.packets));
+  EXPECT_TRUE(same_packets(a2.packets, b2.packets));
+}
+
+TEST(DeterminismTest, MixedExplicitRngChainsAcrossCalls) {
+  const core::SignatureSet sigs = default_corpus(16);
+  TrafficConfig cfg;
+  cfg.flows = 15;
+  AttackMix mix;
+  mix.attack_fraction = 0.3;
+
+  Rng rng1(21);
+  const GeneratedTrace a1 = generate_mixed(cfg, sigs, mix, rng1);
+  const GeneratedTrace a2 = generate_mixed(cfg, sigs, mix, rng1);
+  Rng rng2(21);
+  const GeneratedTrace b1 = generate_mixed(cfg, sigs, mix, rng2);
+  const GeneratedTrace b2 = generate_mixed(cfg, sigs, mix, rng2);
+  EXPECT_TRUE(same_packets(a1.packets, b1.packets));
+  EXPECT_TRUE(same_packets(a2.packets, b2.packets));
+  EXPECT_FALSE(same_packets(a1.packets, a2.packets));
+}
+
+TEST(DeterminismTest, ForgeEvasionIsSeedDeterministic) {
+  EvasionParams params;
+  params.sig_lo = 100;
+  params.sig_hi = 140;
+  const Bytes payload(400, 0x41);
+  for (const EvasionKind kind :
+       {EvasionKind::tiny_segments, EvasionKind::overlap_rewrite,
+        EvasionKind::out_of_order, EvasionKind::ip_tiny_fragments,
+        EvasionKind::combo_tiny_ooo}) {
+    Endpoints ep;
+    Rng rng_a(31);
+    const std::vector<net::Packet> a =
+        forge_evasion(kind, ep, payload, params, rng_a, 1000000);
+    Rng rng_b(31);
+    const std::vector<net::Packet> b =
+        forge_evasion(kind, ep, payload, params, rng_b, 1000000);
+    EXPECT_TRUE(same_packets(a, b))
+        << "kind " << static_cast<int>(kind) << " not deterministic";
+  }
+}
+
+}  // namespace
+}  // namespace sdt::evasion

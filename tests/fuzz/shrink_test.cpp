@@ -1,0 +1,107 @@
+// Shrinker tests: minimization against the injected engine bug must
+// converge to a tiny reproducer (the ISSUE's demo criterion: <= 5
+// packets), and the generic reduction passes must preserve the predicate.
+#include <gtest/gtest.h>
+
+#include "evasion/corpus.hpp"
+#include "fuzz/differential.hpp"
+#include "fuzz/generator.hpp"
+#include "fuzz/shrink.hpp"
+
+namespace sdt::fuzz {
+namespace {
+
+/// A hand-built tiny-segment evasion against a short signature: with the
+/// small-segment check broken, the fast path forwards every sub-piece
+/// segment and the theorem breaks.
+Schedule tiny_segment_attack(const core::SignatureSet& corpus,
+                             std::uint32_t sig_id) {
+  const core::Signature& sig = corpus[sig_id];
+  Schedule s;
+  s.id = 0;
+  s.ep.client = net::Ipv4Addr(10, 9, 9, 9);
+  s.start_ts_usec = 1'000'000'000;
+  s.attack = true;
+  s.sig_id = sig.id;
+  // Pad around the signature so the shrinker has real work to do.
+  s.stream.assign(64, 0x20);
+  s.stream.insert(s.stream.end(), sig.bytes.begin(), sig.bytes.end());
+  s.stream.insert(s.stream.end(), 64, 0x20);
+  s.sig_lo = 64;
+  s.sig_hi = 64 + sig.bytes.size();
+  for (std::size_t pos = 0; pos < s.stream.size(); pos += 6) {
+    FuzzStep st;
+    st.rel_off = pos;
+    const std::size_t n = std::min<std::size_t>(6, s.stream.size() - pos);
+    st.data.assign(s.stream.begin() + static_cast<std::ptrdiff_t>(pos),
+                   s.stream.begin() + static_cast<std::ptrdiff_t>(pos + n));
+    s.steps.push_back(std::move(st));
+  }
+  s.close_flow = true;
+  return s;
+}
+
+std::uint32_t shortest_sig(const core::SignatureSet& corpus) {
+  std::uint32_t best = 0;
+  for (std::uint32_t i = 0; i < corpus.size(); ++i) {
+    if (corpus[i].bytes.size() < corpus[best].bytes.size()) best = i;
+  }
+  return best;
+}
+
+TEST(ShrinkTest, InjectedBugShrinksToFivePacketsOrFewer) {
+  const core::SignatureSet corpus = evasion::default_corpus(16);
+  HarnessConfig cfg;
+  cfg.inject_small_segment_bug = true;
+  DifferentialHarness harness(corpus, cfg);
+
+  const Schedule start = tiny_segment_attack(corpus, shortest_sig(corpus));
+  const ScheduleOutcome out = harness.check_isolated(start);
+  ASSERT_EQ(out.violation, ViolationKind::missed_detection)
+      << "the seed schedule must violate under the injected bug";
+
+  const auto still_fails = [&](const Schedule& cand) {
+    return harness.check_isolated(cand).violation ==
+           ViolationKind::missed_detection;
+  };
+  const ShrinkResult res = shrink(start, still_fails);
+
+  EXPECT_LE(res.schedule.packet_count(), 5u)
+      << "shrunk repro still has " << res.schedule.packet_count()
+      << " packets";
+  EXPECT_LT(res.schedule.packet_count(), start.packet_count());
+  EXPECT_LT(res.schedule.stream.size(), start.stream.size());
+  EXPECT_GT(res.evaluations, 0u);
+  // The minimized schedule still violates, exactly.
+  EXPECT_EQ(harness.check_isolated(res.schedule).violation,
+            ViolationKind::missed_detection);
+}
+
+TEST(ShrinkTest, ShrinkingPreservesThePredicateUnderABudget) {
+  const core::SignatureSet corpus = evasion::default_corpus(16);
+  HarnessConfig cfg;
+  cfg.inject_small_segment_bug = true;
+  DifferentialHarness harness(corpus, cfg);
+  const Schedule start = tiny_segment_attack(corpus, shortest_sig(corpus));
+  const auto still_fails = [&](const Schedule& cand) {
+    return harness.check_isolated(cand).violation ==
+           ViolationKind::missed_detection;
+  };
+  const ShrinkResult res = shrink(start, still_fails, /*max_evaluations=*/60);
+  EXPECT_LE(res.evaluations, 60u);
+  EXPECT_EQ(harness.check_isolated(res.schedule).violation,
+            ViolationKind::missed_detection);
+}
+
+TEST(ShrinkTest, NonViolatingPredicateLeavesScheduleIntact) {
+  const core::SignatureSet corpus = evasion::default_corpus(16);
+  const Schedule start = tiny_segment_attack(corpus, shortest_sig(corpus));
+  std::size_t calls = 0;
+  const ShrinkResult res = shrink(
+      start, [&](const Schedule&) { ++calls; return false; }, 500);
+  EXPECT_EQ(res.schedule.digest(), start.digest());
+  EXPECT_GT(calls, 0u);
+}
+
+}  // namespace
+}  // namespace sdt::fuzz

@@ -1,0 +1,293 @@
+// Golden-trace regression suite.
+//
+// Four tiny checked-in pcaps under tests/data/ — benign, in-order attack,
+// conflicting-overlap evasion, IP-fragment evasion — each paired with an
+// expected-verdict JSON. The test replays the *stored* pcap through the
+// engine and the full-reassembly oracle and compares the rendered verdict
+// byte-for-byte against the stored JSON, so any behavior drift (alerts,
+// diversion, actions) shows up as a one-line diff in CI.
+//
+// Regenerating after an intentional behavior change:
+//   SDT_GOLDEN_REGEN=1 ./build/tests/integration_golden_trace_test
+// then review the diff under tests/data/ like any other code change.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/conventional_ips.hpp"
+#include "core/engine.hpp"
+#include "evasion/corpus.hpp"
+#include "evasion/trace_io.hpp"
+#include "fuzz/schedule.hpp"
+#include "pcap/pcap.hpp"
+#include "util/json.hpp"
+
+namespace sdt {
+namespace {
+
+std::string data_dir() { return std::string(SDT_SOURCE_DIR) + "/tests/data"; }
+
+bool regen() { return std::getenv("SDT_GOLDEN_REGEN") != nullptr; }
+
+// ---------------------------------------------------------------------------
+// Trace construction (deterministic, no RNG: the pcaps are reproducible
+// from this source alone).
+// ---------------------------------------------------------------------------
+
+Bytes patterned_payload(std::size_t n) {
+  Bytes b(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    b[i] = static_cast<std::uint8_t>('a' + i % 23);
+  }
+  return b;
+}
+
+fuzz::Schedule base_schedule(std::uint8_t host) {
+  fuzz::Schedule s;
+  s.ep.client = net::Ipv4Addr(10, 0, 7, host);
+  s.ep.server = net::Ipv4Addr(192, 168, 1, 1);
+  s.ep.client_port = 43210;
+  s.ep.server_port = 80;
+  s.ep.client_isn = 7000;
+  s.ep.server_isn = 9000;
+  s.start_ts_usec = 1'000'000'000;
+  return s;
+}
+
+void plain_steps(fuzz::Schedule& s, std::size_t mss) {
+  for (std::size_t pos = 0; pos < s.stream.size(); pos += mss) {
+    fuzz::FuzzStep st;
+    st.rel_off = pos;
+    const std::size_t n = std::min(mss, s.stream.size() - pos);
+    st.data.assign(s.stream.begin() + static_cast<std::ptrdiff_t>(pos),
+                   s.stream.begin() + static_cast<std::ptrdiff_t>(pos + n));
+    st.fin = pos + n == s.stream.size();
+    s.steps.push_back(std::move(st));
+  }
+}
+
+/// Benign: plain in-order delivery of patterned text.
+fuzz::Schedule benign_trace() {
+  fuzz::Schedule s = base_schedule(1);
+  s.stream = patterned_payload(700);
+  plain_steps(s, 512);
+  return s;
+}
+
+/// In-order attack: the signature embedded mid-stream, delivered plainly —
+/// the fast path must piece-match and the slow path confirm.
+fuzz::Schedule inorder_attack_trace(const core::SignatureSet& corpus) {
+  fuzz::Schedule s = base_schedule(2);
+  const core::Signature& sig = corpus[0];
+  s.stream = patterned_payload(200);
+  s.stream.insert(s.stream.end(), sig.bytes.begin(), sig.bytes.end());
+  const Bytes tail = patterned_payload(150);
+  s.stream.insert(s.stream.end(), tail.begin(), tail.end());
+  s.attack = true;
+  s.sig_id = sig.id;
+  s.sig_lo = 200;
+  s.sig_hi = 200 + sig.bytes.size();
+  plain_steps(s, 512);
+  return s;
+}
+
+/// Overlap evasion: the real signature bytes land in the out-of-order
+/// buffer above a hole, a conflicting garbled decoy overlap-rewrites the
+/// same range, and the hole is plugged last (classic Ptacek-Newsham
+/// ambiguity: a first-wins stack delivers the signature, a last-wins view
+/// sees garbage).
+fuzz::Schedule overlap_evasion_trace(const core::SignatureSet& corpus) {
+  fuzz::Schedule s = base_schedule(3);
+  const core::Signature& sig = corpus[1];
+  s.stream = patterned_payload(120);
+  s.stream.insert(s.stream.end(), sig.bytes.begin(), sig.bytes.end());
+  s.attack = true;
+  s.sig_id = sig.id;
+  s.sig_lo = 120;
+  s.sig_hi = 120 + sig.bytes.size();
+
+  // [0, 119) in order, hole at 119, then decoy + real window above it.
+  fuzz::FuzzStep head;
+  head.rel_off = 0;
+  head.data.assign(s.stream.begin(), s.stream.begin() + 119);
+  s.steps.push_back(std::move(head));
+
+  fuzz::FuzzStep real;
+  real.rel_off = 119;
+  real.data.assign(s.stream.begin() + 119, s.stream.end());
+  s.steps.push_back(std::move(real));
+
+  fuzz::FuzzStep decoy;
+  decoy.rel_off = 119;
+  decoy.data.assign(s.stream.size() - 119, 0xee);
+  s.steps.push_back(std::move(decoy));
+
+  fuzz::FuzzStep plug;
+  plug.rel_off = 119;
+  plug.data.assign(s.stream.begin() + 119, s.stream.begin() + 120);
+  plug.fin = false;
+  s.steps.push_back(std::move(plug));
+
+  fuzz::FuzzStep fin;
+  fin.rel_off = s.stream.size();
+  fin.fin = true;
+  s.steps.push_back(std::move(fin));
+  return s;
+}
+
+/// Fragment evasion: the signature-carrying segments shipped as tiny IPv4
+/// fragments, in reverse order.
+fuzz::Schedule frag_evasion_trace(const core::SignatureSet& corpus) {
+  fuzz::Schedule s = base_schedule(4);
+  const core::Signature& sig = corpus[2];
+  s.stream = patterned_payload(90);
+  s.stream.insert(s.stream.end(), sig.bytes.begin(), sig.bytes.end());
+  s.attack = true;
+  s.sig_id = sig.id;
+  s.sig_lo = 90;
+  s.sig_hi = 90 + sig.bytes.size();
+  plain_steps(s, 256);
+  for (fuzz::FuzzStep& st : s.steps) {
+    st.frag_payload = 24;
+    st.frag_reverse = true;
+  }
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// Verdict rendering: everything observable and deterministic about one
+// replay, as stable JSON.
+// ---------------------------------------------------------------------------
+
+std::string render_verdict(const std::vector<net::Packet>& pkts,
+                           const core::SignatureSet& corpus) {
+  core::SplitDetectEngine engine(corpus);
+  core::ConventionalIpsConfig ocfg;
+  ocfg.takeover_slack = 0;
+  core::ConventionalIps oracle(corpus, ocfg);
+
+  std::vector<core::Alert> engine_alerts;
+  std::vector<core::Alert> oracle_alerts;
+  std::uint64_t forwarded = 0, diverted = 0, alerted = 0;
+  for (const net::Packet& p : pkts) {
+    const net::PacketView pv =
+        net::PacketView::parse(p.frame, net::LinkType::raw_ipv4);
+    oracle.process(pv, p.ts_usec, oracle_alerts);
+    switch (engine.process(pv, p.ts_usec, engine_alerts)) {
+      case core::Action::forward: ++forwarded; break;
+      case core::Action::divert: ++diverted; break;
+      case core::Action::alert: ++alerted; break;
+    }
+  }
+
+  const auto alert_array = [](JsonWriter& w,
+                              const std::vector<core::Alert>& alerts) {
+    w.begin_array();
+    for (const core::Alert& a : alerts) {
+      w.begin_object();
+      w.field("sig", std::uint64_t{a.signature_id});
+      w.field("src", a.flow.a_ip.str());
+      w.field("dst", a.flow.b_ip.str());
+      w.field("source", std::string_view(a.source));
+      w.end_object();
+    }
+    w.end_array();
+  };
+
+  JsonWriter w;
+  w.begin_object();
+  w.field("packets", std::uint64_t{pkts.size()});
+  w.field("forwarded", forwarded);
+  w.field("diverted", diverted);
+  w.field("alerted", alerted);
+  w.key("engine_alerts");
+  alert_array(w, engine_alerts);
+  w.key("oracle_alerts");
+  alert_array(w, oracle_alerts);
+  w.end_object();
+  return w.str() + "\n";
+}
+
+// ---------------------------------------------------------------------------
+
+class GoldenTraceTest : public ::testing::Test {
+ protected:
+  void check(const std::string& name, const fuzz::Schedule& sched) {
+    const core::SignatureSet corpus = evasion::default_corpus(16);
+    const std::string pcap_path = data_dir() + "/" + name + ".pcap";
+    const std::string json_path = data_dir() + "/" + name + ".expected.json";
+    const std::vector<net::Packet> forged = sched.forge();
+
+    if (regen()) {
+      evasion::write_trace(pcap_path, forged);
+      std::ofstream out(json_path, std::ios::binary);
+      ASSERT_TRUE(out) << "cannot write " << json_path;
+      out << render_verdict(forged, corpus);
+      GTEST_SKIP() << "regenerated " << name;
+    }
+
+    // The stored pcap must be exactly what this source forges — drift in
+    // the packet builder or schedule code is a regression too.
+    pcap::Reader reader(pcap_path);
+    const std::vector<net::Packet> stored = reader.read_all();
+    ASSERT_EQ(stored.size(), forged.size()) << name << ": packet count drift";
+    for (std::size_t i = 0; i < stored.size(); ++i) {
+      ASSERT_EQ(stored[i].frame, forged[i].frame)
+          << name << ": frame " << i << " drifted";
+    }
+
+    std::ifstream in(json_path, std::ios::binary);
+    ASSERT_TRUE(in) << "missing golden file " << json_path
+                    << " (run with SDT_GOLDEN_REGEN=1 to create)";
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    EXPECT_EQ(render_verdict(stored, corpus), buf.str())
+        << name << ": verdict drifted from golden";
+  }
+};
+
+TEST_F(GoldenTraceTest, Benign) { check("benign", benign_trace()); }
+
+TEST_F(GoldenTraceTest, InorderAttack) {
+  check("inorder_attack",
+        inorder_attack_trace(evasion::default_corpus(16)));
+}
+
+TEST_F(GoldenTraceTest, OverlapEvasion) {
+  check("overlap_evasion",
+        overlap_evasion_trace(evasion::default_corpus(16)));
+}
+
+TEST_F(GoldenTraceTest, FragEvasion) {
+  check("frag_evasion", frag_evasion_trace(evasion::default_corpus(16)));
+}
+
+// Sanity on the expectations themselves: the three attack traces must be
+// oracle-detected in their goldens, the benign one clean. Parsing our own
+// goldens keeps the files honest without duplicating numbers here.
+TEST_F(GoldenTraceTest, GoldensEncodeTheRightOutcomes) {
+  if (regen()) GTEST_SKIP();
+  for (const char* name :
+       {"inorder_attack", "overlap_evasion", "frag_evasion"}) {
+    std::ifstream in(data_dir() + "/" + std::string(name) + ".expected.json");
+    ASSERT_TRUE(in) << name;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    EXPECT_NE(buf.str().find("\"oracle_alerts\":[{"), std::string::npos)
+        << name << " golden records no oracle detection";
+    EXPECT_NE(buf.str().find("\"engine_alerts\":[{"), std::string::npos)
+        << name << " golden records no engine detection";
+  }
+  std::ifstream in(data_dir() + "/benign.expected.json");
+  ASSERT_TRUE(in);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  EXPECT_NE(buf.str().find("\"engine_alerts\":[]"), std::string::npos)
+      << "benign golden must record zero engine alerts";
+}
+
+}  // namespace
+}  // namespace sdt

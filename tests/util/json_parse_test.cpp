@@ -1,0 +1,103 @@
+// JsonValue parser tests: grammar coverage, writer round-trips, 64-bit
+// integer fidelity, and error reporting.
+#include <gtest/gtest.h>
+
+#include "util/bytes.hpp"
+#include "util/error.hpp"
+#include "util/json.hpp"
+#include "util/json_parse.hpp"
+
+namespace sdt {
+namespace {
+
+TEST(JsonParseTest, Scalars) {
+  EXPECT_TRUE(JsonValue::parse("null").is_null());
+  EXPECT_TRUE(JsonValue::parse("true").as_bool());
+  EXPECT_FALSE(JsonValue::parse("false").as_bool());
+  EXPECT_EQ(JsonValue::parse("42").as_u64(), 42u);
+  EXPECT_EQ(JsonValue::parse("-7").as_i64(), -7);
+  EXPECT_DOUBLE_EQ(JsonValue::parse("2.5e3").as_double(), 2500.0);
+  EXPECT_EQ(JsonValue::parse("\"hi\"").as_string(), "hi");
+}
+
+TEST(JsonParseTest, Uint64RoundTripsExactly) {
+  // 2^64 - 1 is not representable as a double; raw-text numbers must
+  // survive anyway.
+  const auto v = JsonValue::parse("18446744073709551615");
+  EXPECT_EQ(v.as_u64(), 18446744073709551615ull);
+  const auto neg = JsonValue::parse("-9223372036854775808");
+  EXPECT_EQ(neg.as_i64(), std::numeric_limits<std::int64_t>::min());
+}
+
+TEST(JsonParseTest, StringEscapes) {
+  const auto v = JsonValue::parse(R"("a\"b\\c\nd\teA")");
+  EXPECT_EQ(v.as_string(), "a\"b\\c\nd\teA");
+}
+
+TEST(JsonParseTest, ArraysAndObjects) {
+  const auto v = JsonValue::parse(R"({"xs":[1,2,3],"o":{"k":"v"},"b":true})");
+  ASSERT_EQ(v.get("xs").as_array().size(), 3u);
+  EXPECT_EQ(v.get("xs").as_array()[2].as_u64(), 3u);
+  EXPECT_EQ(v.get("o").get("k").as_string(), "v");
+  EXPECT_TRUE(v.has("b"));
+  EXPECT_EQ(v.find("missing"), nullptr);
+  EXPECT_THROW(v.get("missing"), ParseError);
+}
+
+TEST(JsonParseTest, TypedDefaults) {
+  const auto v = JsonValue::parse(R"({"n":5,"b":true,"s":"x"})");
+  EXPECT_EQ(v.u64_or("n", 0), 5u);
+  EXPECT_EQ(v.u64_or("absent", 9), 9u);
+  EXPECT_TRUE(v.bool_or("b", false));
+  EXPECT_FALSE(v.bool_or("absent", false));
+  EXPECT_EQ(v.str_or("s", "d"), "x");
+  EXPECT_EQ(v.str_or("absent", "d"), "d");
+}
+
+TEST(JsonParseTest, WriterOutputParsesBack) {
+  JsonWriter w;
+  w.begin_object();
+  w.field("name", std::string_view("tab\there \"quoted\""));
+  w.field("count", std::uint64_t{18446744073709551615ull});
+  w.field("neg", std::int64_t{-12});
+  w.field("on", true);
+  w.key("list").begin_array().value(std::uint64_t{1}).value("two").end_array();
+  w.end_object();
+
+  const auto v = JsonValue::parse(w.str());
+  EXPECT_EQ(v.get("name").as_string(), "tab\there \"quoted\"");
+  EXPECT_EQ(v.get("count").as_u64(), 18446744073709551615ull);
+  EXPECT_EQ(v.get("neg").as_i64(), -12);
+  EXPECT_TRUE(v.get("on").as_bool());
+  EXPECT_EQ(v.get("list").as_array()[1].as_string(), "two");
+}
+
+TEST(JsonParseTest, MalformedDocumentsThrow) {
+  EXPECT_THROW(JsonValue::parse(""), ParseError);
+  EXPECT_THROW(JsonValue::parse("{"), ParseError);
+  EXPECT_THROW(JsonValue::parse("[1,]"), ParseError);
+  EXPECT_THROW(JsonValue::parse("{\"a\" 1}"), ParseError);
+  EXPECT_THROW(JsonValue::parse("tru"), ParseError);
+  EXPECT_THROW(JsonValue::parse("1 2"), ParseError);     // trailing garbage
+  EXPECT_THROW(JsonValue::parse("\"unterminated"), ParseError);
+  EXPECT_THROW(JsonValue::parse("01"), ParseError);      // leading zero
+}
+
+TEST(JsonParseTest, TypeMismatchesThrow) {
+  const auto v = JsonValue::parse(R"({"s":"x","n":3.5})");
+  EXPECT_THROW(v.get("s").as_u64(), ParseError);
+  EXPECT_THROW(v.get("n").as_u64(), ParseError);  // non-integer number
+  EXPECT_THROW(v.get("s").as_array(), ParseError);
+  EXPECT_THROW(v.as_string(), ParseError);        // object is not a string
+}
+
+TEST(JsonParseTest, HexHelper) {
+  const std::uint8_t data[] = {0x00, 0xde, 0xad, 0xbe, 0xef, 0xff};
+  EXPECT_EQ(to_hex(data, sizeof data), "00deadbeefff");
+  EXPECT_EQ(to_hex(data, 0), "");
+  const Bytes back = from_hex("00deadbeefff");
+  EXPECT_EQ(back, Bytes(data, data + sizeof data));
+}
+
+}  // namespace
+}  // namespace sdt

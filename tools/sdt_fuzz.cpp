@@ -1,0 +1,263 @@
+// sdt_fuzz — differential evasion fuzzer driver.
+//
+// Campaign mode (default): generate adversarial delivery schedules, replay
+// each through the Split-Detect engine AND a full-reassembly oracle, and
+// fail loudly when the paper's detection theorem breaks. Violations are
+// shrunk to minimal reproducers (pcap + JSON) under --repro-dir.
+//
+//   sdt_fuzz --schedules 100000 --seed 1
+//   sdt_fuzz --seconds 3600 --seed 7            # nightly soak
+//   sdt_fuzz --schedules 200 --inject-bug       # shrinker self-demo
+//   sdt_fuzz --replay fuzz/repros/repro-....json
+//
+// Exit status: 0 = clean (or repro reproduced in --replay mode), 1 = at
+// least one violation / repro did not reproduce, 2 = usage error.
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "evasion/corpus.hpp"
+#include "fuzz/repro.hpp"
+#include "fuzz/runner.hpp"
+#include "telemetry/registry.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+struct Options {
+  std::uint64_t schedules = 10000;
+  std::uint64_t seed = 1;
+  std::uint64_t seconds = 0;  // soak mode when non-zero
+  std::size_t lanes = 4;
+  std::size_t piece_len = 8;
+  std::size_t synthetic_sigs = 8;
+  bool quick = false;
+  bool inject_bug = false;
+  bool no_strict = false;
+  double benign_budget = 0.25;
+  std::string replay_path;
+  std::string repro_dir = "fuzz/repros";
+  std::string stats_out;
+};
+
+void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--schedules N] [--seed S] [--seconds N]\n"
+               "          [--lanes N] [--piece-len P] [--synthetic-sigs N]\n"
+               "          [--quick] [--inject-bug] [--no-strict]\n"
+               "          [--benign-budget F] [--repro-dir DIR]\n"
+               "          [--stats-out FILE] [--replay REPRO.json]\n",
+               argv0);
+}
+
+/// Strict decimal parse: rejects sign prefixes, garbage, and overflow, so
+/// "--schedules -5" is a usage error instead of wrapping to ~2^64.
+bool parse_u64(const char* flag, const char* v, std::uint64_t& out) {
+  if (v[0] < '0' || v[0] > '9') {
+    std::fprintf(stderr, "sdt_fuzz: %s wants a non-negative integer, got '%s'\n",
+                 flag, v);
+    return false;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long n = std::strtoull(v, &end, 10);
+  if (errno != 0 || end == v || *end != '\0') {
+    std::fprintf(stderr, "sdt_fuzz: %s wants a non-negative integer, got '%s'\n",
+                 flag, v);
+    return false;
+  }
+  out = n;
+  return true;
+}
+
+bool parse_args(int argc, char** argv, Options& opt) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto need = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "sdt_fuzz: %s needs a value\n", flag);
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    auto need_u64 = [&](const char* flag, std::uint64_t& out) {
+      const char* v = need(flag);
+      return v != nullptr && parse_u64(flag, v, out);
+    };
+    std::uint64_t n = 0;
+    if (a == "--schedules") {
+      if (!need_u64("--schedules", opt.schedules)) return false;
+    } else if (a == "--seed") {
+      if (!need_u64("--seed", opt.seed)) return false;
+    } else if (a == "--seconds") {
+      if (!need_u64("--seconds", opt.seconds)) return false;
+    } else if (a == "--lanes") {
+      if (!need_u64("--lanes", n)) return false;
+      if (n == 0) {
+        std::fprintf(stderr, "sdt_fuzz: --lanes must be >= 1\n");
+        return false;
+      }
+      opt.lanes = static_cast<std::size_t>(n);
+    } else if (a == "--piece-len") {
+      if (!need_u64("--piece-len", n)) return false;
+      if (n < 2) {
+        std::fprintf(stderr, "sdt_fuzz: --piece-len must be >= 2\n");
+        return false;
+      }
+      opt.piece_len = static_cast<std::size_t>(n);
+    } else if (a == "--synthetic-sigs") {
+      if (!need_u64("--synthetic-sigs", n)) return false;
+      opt.synthetic_sigs = static_cast<std::size_t>(n);
+    } else if (a == "--benign-budget") {
+      const char* v = need("--benign-budget");
+      if (!v) return false;
+      char* end = nullptr;
+      opt.benign_budget = std::strtod(v, &end);
+      if (end == v || *end != '\0' || !(opt.benign_budget >= 0.0) ||
+          opt.benign_budget > 1.0) {
+        std::fprintf(stderr,
+                     "sdt_fuzz: --benign-budget wants a fraction in [0,1], "
+                     "got '%s'\n",
+                     v);
+        return false;
+      }
+    } else if (a == "--repro-dir") {
+      const char* v = need("--repro-dir");
+      if (!v) return false;
+      opt.repro_dir = v;
+    } else if (a == "--stats-out") {
+      const char* v = need("--stats-out");
+      if (!v) return false;
+      opt.stats_out = v;
+    } else if (a == "--replay") {
+      const char* v = need("--replay");
+      if (!v) return false;
+      opt.replay_path = v;
+    } else if (a == "--quick") {
+      opt.quick = true;
+    } else if (a == "--inject-bug") {
+      opt.inject_bug = true;
+    } else if (a == "--no-strict") {
+      opt.no_strict = true;
+    } else if (a == "--help" || a == "-h") {
+      usage(argv[0]);
+      std::exit(0);
+    } else {
+      std::fprintf(stderr, "sdt_fuzz: unknown flag '%s'\n", a.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+int run_replay(const Options& opt) {
+  const sdt::fuzz::Repro r = sdt::fuzz::load_repro(opt.replay_path);
+  const sdt::fuzz::ReplayResult res = sdt::fuzz::replay_repro(r);
+  std::printf(
+      "replay %s\n  recorded violation: %s\n  replayed violation: %s\n"
+      "  packets=%zu flagged=%s oracle_sigs=%zu engine_sigs=%zu\n"
+      "  %s\n",
+      opt.replay_path.c_str(), sdt::fuzz::to_string(r.violation),
+      sdt::fuzz::to_string(res.outcome.violation), res.outcome.packets,
+      res.outcome.flagged ? "yes" : "no", res.outcome.oracle_sigs.size(),
+      res.outcome.engine_sigs.size(),
+      res.reproduced ? "REPRODUCED" : "DID NOT REPRODUCE");
+  return res.reproduced ? 0 : 1;
+}
+
+int run_campaign(const Options& opt) {
+  // Randomized corpus: the bundled exploit strings (long enough to split
+  // at this piece length) plus seed-derived synthetic signatures, so every
+  // run exercises fresh patterns while staying reproducible.
+  sdt::core::SignatureSet corpus =
+      sdt::evasion::default_corpus(2 * opt.piece_len);
+  if (opt.synthetic_sigs > 0) {
+    sdt::Rng rng(opt.seed ^ 0xc0ffee);
+    const sdt::core::SignatureSet extra = sdt::evasion::synthetic_corpus(
+        opt.synthetic_sigs, 2 * opt.piece_len + 8, rng);
+    for (const sdt::core::Signature& sig : extra) {
+      corpus.add("fuzz_" + sig.name, sdt::ByteView(sig.bytes));
+    }
+  }
+
+  sdt::fuzz::RunnerConfig cfg;
+  cfg.seed = opt.seed;
+  cfg.lanes = opt.lanes;
+  cfg.repro_dir = opt.repro_dir;
+  cfg.harness.piece_len = opt.piece_len;
+  cfg.harness.inject_small_segment_bug = opt.inject_bug;
+  cfg.harness.strict = !opt.no_strict;
+  if (opt.quick) {
+    cfg.gen.max_pad = 400;        // shorter streams
+    cfg.crosscheck_every = 1024;  // still a few crosschecks per smoke run
+    cfg.crosscheck_batch = 32;
+    cfg.shrink_budget = 1500;
+  }
+
+  sdt::fuzz::FuzzRunner runner(corpus, cfg);
+  sdt::telemetry::MetricsRegistry registry;
+  runner.register_metrics(registry);
+
+  if (opt.seconds > 0) {
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::seconds(opt.seconds);
+    std::uint64_t chunk = 1024;
+    while (std::chrono::steady_clock::now() < deadline) {
+      runner.run(chunk);
+      std::fprintf(stderr, "soak: %llu schedules, %llu violations\n",
+                   static_cast<unsigned long long>(runner.summary().schedules),
+                   static_cast<unsigned long long>(
+                       runner.summary().violations()));
+    }
+  } else {
+    runner.run(opt.schedules);
+  }
+
+  const sdt::fuzz::RunSummary& sum = runner.summary();
+  std::printf("%s\n", sum.to_json().c_str());
+
+  if (!opt.stats_out.empty()) {
+    std::ofstream out(opt.stats_out, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "sdt_fuzz: cannot write %s\n",
+                   opt.stats_out.c_str());
+      return 2;
+    }
+    out << "{\"summary\":" << sum.to_json() << ",\"metrics\":"
+        << registry.snapshot(sdt::telemetry::SampleScope::quiescent).to_json()
+        << "}\n";
+  }
+
+  if (!sum.ok(opt.benign_budget)) {
+    std::fprintf(stderr,
+                 "sdt_fuzz: FAIL — %llu violation(s), benign diversion "
+                 "%.4f (budget %.4f)\n",
+                 static_cast<unsigned long long>(sum.violations()),
+                 sum.benign_divert_fraction(), opt.benign_budget);
+    return 1;
+  }
+  std::fprintf(stderr, "sdt_fuzz: OK — %llu schedules, 0 violations\n",
+               static_cast<unsigned long long>(sum.schedules));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  if (!parse_args(argc, argv, opt)) {
+    usage(argv[0]);
+    return 2;
+  }
+  try {
+    return opt.replay_path.empty() ? run_campaign(opt) : run_replay(opt);
+  } catch (const sdt::Error& e) {
+    std::fprintf(stderr, "sdt_fuzz: %s\n", e.what());
+    return 2;
+  }
+}
