@@ -27,9 +27,21 @@ int main(int argc, char** argv) {
   if (argc > 2) {
     try {
       core::RuleParseResult rules = core::load_rules_file(argv[2]);
-      for (const auto& skip : rules.skipped) {
-        std::printf("NOTE     rules line %zu skipped: %s\n", skip.line,
-                    skip.reason.c_str());
+      // Print every per-line finding the parser collected — a doctor that
+      // hides symptoms is no doctor. Severity tags match the engine's
+      // vocabulary (note / skipped / fatal).
+      for (const auto& d : rules.diagnostics) {
+        if (d.line != 0) {
+          std::printf("%-8s rules line %zu: %s\n", core::to_string(d.severity),
+                      d.line, d.reason.c_str());
+        } else {
+          std::printf("%-8s rules: %s\n", core::to_string(d.severity),
+                      d.reason.c_str());
+        }
+      }
+      if (rules.count(core::RuleSeverity::fatal) > 0) {
+        std::fprintf(stderr, "error: rule file has fatal problems\n");
+        return 2;
       }
       sigs = std::move(rules.signatures);
     } catch (const Error& e) {

@@ -9,12 +9,26 @@
 //   $ ./ips_gateway capture.pcap --lanes 8        # more detector lanes
 //   $ ./ips_gateway capture.pcap --stats-interval 1   # live metrics dump
 //   $ ./ips_gateway capture.pcap --repeat 50      # sustain load (demo/soak)
+//   $ ./ips_gateway capture.pcap 8 my.rules --control-socket /tmp/sdt.sock
+//
+// Rule lifecycle: signatures are compiled once, off the packet path, into a
+// versioned immutable artifact published through a RuleSetRegistry; every
+// lane adopts new versions at packet boundaries (RCU-style, one atomic
+// load per loop iteration). Two reload triggers while traffic flows:
+//
+//   * --control-socket PATH — admin endpoint (`reload <file>`,
+//     `ruleset-status`, `stats`, `ping`); try `nc -U /tmp/sdt.sock`.
+//   * SIGHUP — re-compiles and republishes the rule file given on the
+//     command line (classic daemon convention). A bad file rejects the
+//     reload and the previously active version keeps running.
 //
 // Works on Ethernet and raw-IPv4 captures. If no path is given, forges a
 // small mixed trace to a temp file first so the example is self-contained.
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cinttypes>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -22,6 +36,9 @@
 #include <string>
 #include <vector>
 
+#include "control/compiler.hpp"
+#include "control/control_plane.hpp"
+#include "control/registry.hpp"
 #include "core/report.hpp"
 #include "core/rules.hpp"
 #include "evasion/corpus.hpp"
@@ -35,6 +52,11 @@
 #include "util/stats.hpp"
 
 namespace {
+
+// SIGHUP just raises a flag; the real reload (compile + publish) runs on
+// the main thread between feed batches — the handler itself stays
+// async-signal-safe by doing nothing interesting.
+std::atomic<bool> g_sighup{false};
 
 std::string make_demo_capture() {
   using namespace sdt;
@@ -55,6 +77,18 @@ std::string make_demo_capture() {
   return path;
 }
 
+void print_diagnostics(const std::vector<sdt::core::RuleDiagnostic>& diags) {
+  for (const auto& d : diags) {
+    if (d.line != 0) {
+      std::fprintf(stderr, "rules [%s] line %zu: %s\n",
+                   sdt::core::to_string(d.severity), d.line, d.reason.c_str());
+    } else {
+      std::fprintf(stderr, "rules [%s]: %s\n",
+                   sdt::core::to_string(d.severity), d.reason.c_str());
+    }
+  }
+}
+
 std::string runtime_stats_json(const sdt::runtime::StatsSnapshot& st) {
   sdt::JsonWriter j;
   j.begin_object();
@@ -66,6 +100,8 @@ std::string runtime_stats_json(const sdt::runtime::StatsSnapshot& st) {
   j.field("alerts", st.alerts);
   j.field("diverted_packets", st.diverted);
   j.field("diverted_fraction", st.diverted_fraction());
+  j.field("ruleset_adoptions", st.adoptions);
+  j.field("min_adopted_version", st.min_adopted_version());
   {
     const sdt::telemetry::HistogramSnapshot lat = st.latency_ns();
     j.key("latency_ns").begin_object();
@@ -87,6 +123,8 @@ std::string runtime_stats_json(const sdt::runtime::StatsSnapshot& st) {
     j.field("alerts", l.alerts);
     j.field("diverted", l.diverted);
     j.field("busy_ns", l.busy_ns);
+    j.field("adoptions", l.adoptions);
+    j.field("adopted_version", l.adopted_version);
     j.field("ring_high_water", static_cast<std::uint64_t>(l.ring_high_water));
     j.end_object();
   }
@@ -105,6 +143,7 @@ int main(int argc, char** argv) {
   std::size_t lanes = 4;
   double stats_interval_s = 0.0;  // 0 = no live dumps
   std::size_t repeat = 1;
+  std::string control_socket;
   std::vector<std::string> pos;
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
@@ -131,6 +170,8 @@ int main(int argc, char** argv) {
         return 2;
       }
       lanes = static_cast<std::size_t>(n);
+    } else if (a == "--control-socket" && i + 1 < argc) {
+      control_socket = argv[++i];
     } else {
       pos.push_back(a);
     }
@@ -139,45 +180,40 @@ int main(int argc, char** argv) {
   const std::string path = !pos.empty() ? pos[0] : make_demo_capture();
   const std::size_t piece_len =
       pos.size() > 1 ? static_cast<std::size_t>(std::atoi(pos[1].c_str())) : 8;
-
-  core::SignatureSet sigs;
-  if (pos.size() > 2) {
-    core::RuleParseResult rules;
-    try {
-      rules = core::load_rules_file(pos[2]);
-    } catch (const Error& e) {
-      std::fprintf(stderr, "error: %s\n", e.what());
-      return 2;
-    }
-    for (const auto& skip : rules.skipped) {
-      std::fprintf(stderr, "rules: skipped line %zu: %s\n", skip.line,
-                   skip.reason.c_str());
-    }
-    // Rules too short to split at this piece length stay unusable here;
-    // report rather than silently weaken the split guarantee.
-    core::SignatureSet usable;
-    for (const auto& s : rules.signatures) {
-      if (s.bytes.size() >= 2 * piece_len) {
-        usable.add(s.name, ByteView(s.bytes));
-      } else {
-        std::fprintf(stderr, "rules: '%s' shorter than 2p=%zu, dropped\n",
-                     s.name.c_str(), 2 * piece_len);
-      }
-    }
-    sigs = std::move(usable);
-  } else {
-    sigs = evasion::default_corpus(2 * piece_len);
-  }
-  if (sigs.empty()) {
-    std::fprintf(stderr, "no usable signatures\n");
-    return 2;
-  }
-  std::printf("loaded %zu signatures (piece length %zu, min usable %zu)\n",
-              sigs.size(), piece_len, 2 * piece_len);
+  const std::string rules_path = pos.size() > 2 ? pos[2] : "";
 
   runtime::RuntimeConfig rc;
   rc.lanes = lanes;
   rc.engine.fast.piece_len = piece_len;
+
+  // Rule lifecycle plumbing. The compiler's options mirror the lane engine
+  // configuration so a published artifact is always adoptable (same piece
+  // length and automaton layout); a rule too short to split is dropped
+  // with a diagnostic instead of failing the load — the reload semantics.
+  core::CompileOptions copts;
+  copts.piece_len = rc.engine.fast.piece_len;
+  copts.layout = rc.engine.fast.layout;
+  copts.piece_phase_sample = rc.engine.fast.piece_phase_sample;
+  control::RuleSetRegistry registry;
+  control::RuleCompiler compiler(copts);
+
+  // Version 1: the rule file if given, else the built-in demo corpus.
+  control::CompileResult v1 =
+      !rules_path.empty()
+          ? compiler.compile_file(rules_path, registry.allocate_version())
+          : compiler.compile_signatures(evasion::default_corpus(2 * piece_len),
+                                        "default-corpus",
+                                        registry.allocate_version());
+  print_diagnostics(v1.report.diagnostics);
+  if (!v1.ok()) {
+    std::fprintf(stderr, "error: rule compile failed; nothing to run\n");
+    return 2;
+  }
+  registry.publish(v1.ruleset);
+  std::printf("loaded %zu signatures as ruleset v%" PRIu64
+              " (piece length %zu, min usable %zu, %zu dropped short)\n",
+              v1.ruleset->signatures().size(), v1.ruleset->version(),
+              piece_len, 2 * piece_len, v1.report.dropped_short);
 
   // Read the capture up front (the dispatcher is the bottleneck-free part;
   // this example is offline so file I/O need not interleave with feeding).
@@ -192,36 +228,76 @@ int main(int argc, char** argv) {
   }
 
   const std::size_t capture_packets = packets.size() * repeat;
-  runtime::Runtime rt(sigs, rc);
+  runtime::Runtime rt(registry.current(), rc);
+  rt.attach_registry(registry);
 
   // Every runtime counter, histogram and gauge, addressable by name — the
   // contract lives in docs/OBSERVABILITY.md. The dumper thread polls the
   // live scope (engine-internal gauges are quiescent-only) while the
   // dispatcher and lanes run.
-  telemetry::MetricsRegistry registry;
-  rt.register_metrics(registry, "runtime");
+  telemetry::MetricsRegistry metrics;
+  rt.register_metrics(metrics, "runtime");
+  registry.register_metrics(metrics, "control");
+  compiler.register_metrics(metrics, "control");
   telemetry::HumanSink live_sink(stderr, /*skip_zero=*/true);
   telemetry::PeriodicDumper dumper(
-      registry, live_sink,
+      metrics, live_sink,
       std::chrono::milliseconds(
           static_cast<long>(stats_interval_s * 1000.0)));
   if (stats_interval_s > 0.0) dumper.start();
+
+  // The admin surface: a `reload` arriving over the socket publishes
+  // through the same registry the lanes watch, so it takes effect while
+  // packets flow. SIGHUP funnels into the same execute() path.
+  control::ControlPlane cp(compiler, registry);
+  cp.set_stats_provider([&metrics] {
+    return metrics.snapshot(telemetry::SampleScope::live).to_json();
+  });
+  if (!control_socket.empty()) {
+    try {
+      cp.start(control_socket);
+      std::printf("control plane listening on %s\n", control_socket.c_str());
+    } catch (const Error& e) {
+      std::fprintf(stderr, "error: control socket: %s\n", e.what());
+      return 2;
+    }
+  }
+  std::signal(SIGHUP, [](int) { g_sighup.store(true); });
+  const auto service_sighup = [&] {
+    if (!g_sighup.exchange(false)) return;
+    if (rules_path.empty()) {
+      std::fprintf(stderr,
+                   "SIGHUP: no rule file on the command line to reload\n");
+      return;
+    }
+    const std::string resp = cp.execute("reload " + rules_path);
+    std::fprintf(stderr, "SIGHUP reload: %s\n", resp.c_str());
+  };
 
   rt.start();
   // Move the capture into the pipeline: frames are parsed once at the
   // dispatcher and handed to the rings without a deep copy. With --repeat
   // the capture is replayed N times to sustain load (flow state carries
   // across repeats; verdicts of the first pass are the ones that matter).
+  // A pending SIGHUP reload is serviced between batches.
   for (std::size_t r = 1; r < repeat; ++r) {
+    service_sighup();
     rt.feed(std::span<const net::Packet>(packets));
   }
+  service_sighup();
   rt.feed(std::move(packets));
   rt.stop();
+  cp.stop();
   if (stats_interval_s > 0.0) {
     dumper.stop();
     std::fprintf(stderr, "(live stats: %" PRIu64 " dump(s) at %.1fs)\n",
                  dumper.ticks(), stats_interval_s);
   }
+
+  // Names resolve against the newest artifact: in this offline example a
+  // reload recompiles the same file, so ids line up across versions.
+  const core::RuleSetHandle active = registry.current();
+  const core::SignatureSet& sigs = active->signatures();
 
   std::vector<core::Alert> alerts = rt.alerts();
   // Lanes finish in their own order; present alerts in capture-time order.
@@ -233,9 +309,10 @@ int main(int argc, char** argv) {
   const runtime::StatsSnapshot st = rt.stats();
 
   if (json) {
-    std::printf("{\"alerts\":%s,\"runtime\":%s}\n",
+    std::printf("{\"alerts\":%s,\"runtime\":%s,\"ruleset\":%s}\n",
                 core::alerts_json(alerts, sigs).c_str(),
-                runtime_stats_json(st).c_str());
+                runtime_stats_json(st).c_str(),
+                registry.status_json().c_str());
     return alerts.empty() ? 0 : 1;
   }
 
@@ -244,7 +321,9 @@ int main(int argc, char** argv) {
                            ? "(conflicting retransmission)"
                        : a.signature_id == core::kUrgentAlertId
                            ? "(urgent-mode ambiguity)"
-                           : sigs[a.signature_id].name.c_str();
+                       : a.signature_id < sigs.size()
+                           ? sigs[a.signature_id].name.c_str()
+                           : "(signature from retired version)";
     std::printf("ALERT %-28s flow %s  source=%s\n", name,
                 a.flow.str().c_str(), a.source);
   }
@@ -280,6 +359,12 @@ int main(int argc, char** argv) {
                 "  p99=%" PRIu64 "  max=%" PRIu64 "\n",
                 lat.p50(), lat.p90(), lat.p99(), lat.max);
   }
+  std::printf("ruleset                  v%" PRIu64 " active (%llu "
+              "publish(es), %llu rejected, %llu adoption(s))\n",
+              registry.current_version(),
+              static_cast<unsigned long long>(registry.publishes()),
+              static_cast<unsigned long long>(registry.rejected()),
+              static_cast<unsigned long long>(st.adoptions));
   std::printf("flows seen               %zu (diverted %zu)\n", flows_seen,
               diverted);
   std::printf("fast-path bytes scanned  %s\n",
@@ -293,12 +378,13 @@ int main(int argc, char** argv) {
   for (std::size_t i = 0; i < st.lanes.size(); ++i) {
     const auto& l = st.lanes[i];
     std::printf("lane %zu: processed %llu (non-IP %llu), busy %.2f ms, ring "
-                "high-water %zu/%zu, flow budget %zu, alerts %llu\n",
+                "high-water %zu/%zu, flow budget %zu, alerts %llu, "
+                "ruleset v%" PRIu64 "\n",
                 i, static_cast<unsigned long long>(l.processed),
                 static_cast<unsigned long long>(l.non_ip),
                 static_cast<double>(l.busy_ns) / 1e6, l.ring_high_water,
                 l.ring_capacity, l.fast_max_flows,
-                static_cast<unsigned long long>(l.alerts));
+                static_cast<unsigned long long>(l.alerts), l.adopted_version);
   }
   return alerts.empty() ? 0 : 1;
 }

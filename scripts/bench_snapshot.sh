@@ -44,6 +44,7 @@ BENCHES=(
   phase_ablation    # A2
   lane_scaling      # A3
   runtime_scaling   # A4
+  reload            # A5
 )
 
 echo "== build bench binaries (${BUILD}) =="

@@ -4,7 +4,8 @@
 #
 #   1. configure + build + full ctest in ./build        (the tier-1 contract)
 #   2. TSan build of the runtime in ./build-tsan and
-#      ctest -L 'runtime|telemetry' under it            (the data-race gate)
+#      ctest -L 'runtime|telemetry|control' under it    (the data-race gate:
+#      lanes, stats, and rule-set hot-reload)
 #   3. bench_snapshot.sh --quick smoke: the bench suite must produce a
 #      snapshot that validates against the documented schema
 #      (docs/OBSERVABILITY.md)
@@ -32,8 +33,9 @@ echo "== tsan: configure + build (SDT_SANITIZE=thread) =="
 cmake -B build-tsan -S . -DSDT_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "${JOBS}"
 
-echo "== tsan: ctest -L 'runtime|telemetry' =="
-(cd build-tsan && ctest -L 'runtime|telemetry' --output-on-failure -j "${JOBS}")
+echo "== tsan: ctest -L 'runtime|telemetry|control' =="
+(cd build-tsan && ctest -L 'runtime|telemetry|control' --output-on-failure \
+  -j "${JOBS}")
 
 echo "== bench snapshot smoke (--quick) =="
 SMOKE="$(mktemp /tmp/sdt_bench_smoke.XXXXXX.json)"

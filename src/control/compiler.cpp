@@ -1,0 +1,86 @@
+#include "control/compiler.hpp"
+
+#include <utility>
+
+#include "core/rules.hpp"
+#include "util/error.hpp"
+
+namespace sdt::control {
+
+RuleCompiler::RuleCompiler(core::CompileOptions opts) : opts_(std::move(opts)) {
+  opts_.drop_short_signatures = true;
+}
+
+CompileResult RuleCompiler::fail(core::CompileReport report,
+                                 std::string reason) {
+  report.ok = false;
+  report.diagnostics.push_back(
+      {0, std::move(reason), core::RuleSeverity::fatal});
+  failures_.fetch_add(1, std::memory_order_relaxed);
+  return CompileResult{nullptr, std::move(report)};
+}
+
+CompileResult RuleCompiler::finish(core::SignatureSet sigs, std::string source,
+                                   std::uint64_t version,
+                                   std::vector<core::RuleDiagnostic> diags) {
+  compiles_.fetch_add(1, std::memory_order_relaxed);
+  core::RuleSetHandle rs;
+  try {
+    rs = core::compile_ruleset(std::move(sigs), opts_, version,
+                               std::move(source), std::move(diags));
+  } catch (const Error& e) {
+    // Defense in depth: with drop_short forced on, compile_ruleset should
+    // not throw for rule content — but a reload path never propagates.
+    return fail({}, e.what());
+  }
+  if (rs->signatures().empty()) {
+    // An artifact matching nothing is almost always a mangled file, not an
+    // intent. Refuse it; the old version stays active. (An operator who
+    // really wants to disarm the box can publish one never-matching rule.)
+    core::CompileReport report = rs->report();
+    return fail(std::move(report),
+                "no usable signatures (refusing to publish an empty rule "
+                "set; previous version stays active)");
+  }
+  core::CompileReport report = rs->report();
+  return CompileResult{std::move(rs), std::move(report)};
+}
+
+CompileResult RuleCompiler::compile_file(const std::string& path,
+                                         std::uint64_t version) {
+  core::RuleParseResult parsed;
+  try {
+    parsed = core::load_rules_file(path);
+  } catch (const IoError& e) {
+    compiles_.fetch_add(1, std::memory_order_relaxed);
+    return fail({}, e.what());
+  }
+  return finish(std::move(parsed.signatures), path, version,
+                std::move(parsed.diagnostics));
+}
+
+CompileResult RuleCompiler::compile_text(std::string_view text,
+                                         std::string source,
+                                         std::uint64_t version) {
+  core::RuleParseResult parsed = core::parse_rules(text);
+  return finish(std::move(parsed.signatures), std::move(source), version,
+                std::move(parsed.diagnostics));
+}
+
+CompileResult RuleCompiler::compile_signatures(core::SignatureSet sigs,
+                                               std::string source,
+                                               std::uint64_t version) {
+  return finish(std::move(sigs), std::move(source), version, {});
+}
+
+void RuleCompiler::register_metrics(telemetry::MetricsRegistry& reg,
+                                    const std::string& prefix) const {
+  using telemetry::MetricDesc;
+  reg.add_counter(MetricDesc{prefix + ".compiles", "events", "control", true},
+                  &compiles_);
+  reg.add_counter(
+      MetricDesc{prefix + ".failed_compiles", "events", "control", true},
+      &failures_);
+}
+
+}  // namespace sdt::control

@@ -1,0 +1,75 @@
+// RuleCompiler — the off-packet-path build step of a reload.
+//
+// Wraps core::compile_ruleset with the operational contract a live box
+// needs: NOTHING a rule file contains may take the process down. Parse
+// errors become per-line diagnostics, splittability violations become
+// drops (or a clean failure), an unreadable file becomes a failed
+// CompileResult — and in every failure case the caller still holds the
+// previously active artifact, untouched. The compiler never blocks a
+// packet: it runs on whatever thread asked for the reload (the control
+// plane's accept loop, a SIGHUP handler, a test).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "core/compiled_ruleset.hpp"
+#include "telemetry/registry.hpp"
+
+namespace sdt::control {
+
+/// Outcome of one compile: the artifact (null on failure) plus the full
+/// report — diagnostics, counts, and compile time — either way.
+struct CompileResult {
+  core::RuleSetHandle ruleset;
+  core::CompileReport report;
+  bool ok() const { return ruleset != nullptr; }
+};
+
+class RuleCompiler {
+ public:
+  /// `opts` shapes every artifact this compiler produces (piece length,
+  /// layout, phase sample). drop_short_signatures is forced to true —
+  /// reload semantics: a too-short rule is dropped with a diagnostic, it
+  /// does not fail the reload (and certainly not the process).
+  explicit RuleCompiler(core::CompileOptions opts);
+
+  /// Compile a rule file. IoError (missing/unreadable file) becomes a
+  /// failed result with a fatal diagnostic, never an exception.
+  CompileResult compile_file(const std::string& path, std::uint64_t version);
+
+  /// Compile rules from text (tests, inline configuration).
+  CompileResult compile_text(std::string_view text, std::string source,
+                             std::uint64_t version);
+
+  /// Compile an already-parsed signature set (programmatic rule bases).
+  CompileResult compile_signatures(core::SignatureSet sigs, std::string source,
+                                   std::uint64_t version);
+
+  const core::CompileOptions& options() const { return opts_; }
+
+  std::uint64_t compiles() const {
+    return compiles_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t failures() const {
+    return failures_.load(std::memory_order_relaxed);
+  }
+
+  /// Live counters under `<prefix>.…` (compiles, failed_compiles).
+  void register_metrics(telemetry::MetricsRegistry& reg,
+                        const std::string& prefix = "control") const;
+
+ private:
+  CompileResult finish(core::SignatureSet sigs, std::string source,
+                       std::uint64_t version,
+                       std::vector<core::RuleDiagnostic> diags);
+  CompileResult fail(core::CompileReport report, std::string reason);
+
+  core::CompileOptions opts_;
+  std::atomic<std::uint64_t> compiles_{0};
+  std::atomic<std::uint64_t> failures_{0};
+};
+
+}  // namespace sdt::control

@@ -1,0 +1,214 @@
+#include "control/control_plane.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/error.hpp"
+#include "util/json.hpp"
+
+namespace sdt::control {
+
+namespace {
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t' ||
+                        s.front() == '\r' || s.front() == '\n')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t' ||
+                        s.back() == '\r' || s.back() == '\n')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+std::string error_json(std::string_view what) {
+  JsonWriter j;
+  j.begin_object();
+  j.field("ok", false);
+  j.field("error", what);
+  j.end_object();
+  return j.str();
+}
+
+/// Blocking full write (the responses are small; EINTR retried).
+bool write_all(int fd, std::string_view data) {
+  while (!data.empty()) {
+    const ssize_t n = ::write(fd, data.data(), data.size());
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data.remove_prefix(static_cast<std::size_t>(n));
+  }
+  return true;
+}
+
+}  // namespace
+
+ControlPlane::ControlPlane(RuleCompiler& compiler, RuleSetRegistry& registry)
+    : compiler_(compiler), registry_(registry) {}
+
+ControlPlane::~ControlPlane() { stop(); }
+
+void ControlPlane::set_stats_provider(std::function<std::string()> fn) {
+  std::lock_guard<std::mutex> lk(stats_mu_);
+  stats_ = std::move(fn);
+}
+
+void ControlPlane::start(const std::string& path) {
+  if (thread_.joinable()) {
+    throw InvalidArgument("ControlPlane: already listening on " + path_);
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    throw InvalidArgument("ControlPlane: socket path too long (" +
+                          std::to_string(path.size()) + " >= " +
+                          std::to_string(sizeof(addr.sun_path)) + "): " + path);
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    throw IoError(std::string("ControlPlane: socket(): ") +
+                  std::strerror(errno));
+  }
+  ::unlink(path.c_str());  // stale socket from a previous run
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const int err = errno;
+    ::close(fd);
+    throw IoError("ControlPlane: bind(" + path + "): " + std::strerror(err));
+  }
+  if (::listen(fd, 4) < 0) {
+    const int err = errno;
+    ::close(fd);
+    ::unlink(path.c_str());
+    throw IoError("ControlPlane: listen(" + path + "): " + std::strerror(err));
+  }
+
+  path_ = path;
+  listen_fd_ = fd;
+  stop_.store(false, std::memory_order_release);
+  thread_ = std::thread([this] { serve(); });
+}
+
+void ControlPlane::stop() {
+  if (!thread_.joinable()) return;
+  stop_.store(true, std::memory_order_release);
+  thread_.join();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  ::unlink(path_.c_str());
+}
+
+void ControlPlane::serve() {
+  while (!stop_.load(std::memory_order_acquire)) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int r = ::poll(&pfd, 1, /*timeout_ms=*/100);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return;  // listener broken; stop() still cleans up
+    }
+    if (r == 0 || (pfd.revents & POLLIN) == 0) continue;
+    const int client = ::accept(listen_fd_, nullptr, nullptr);
+    if (client < 0) continue;
+    handle_client(client);
+    ::close(client);
+  }
+}
+
+void ControlPlane::handle_client(int fd) {
+  std::string buf;
+  char chunk[4096];
+  for (;;) {
+    // Serve any complete lines already buffered.
+    std::size_t nl;
+    while ((nl = buf.find('\n')) != std::string::npos) {
+      const std::string_view line = trim(std::string_view(buf).substr(0, nl));
+      if (!line.empty()) {
+        const std::string resp = execute(line);
+        if (!write_all(fd, resp) || !write_all(fd, "\n")) return;
+      }
+      buf.erase(0, nl + 1);
+    }
+    if (stop_.load(std::memory_order_acquire)) return;
+
+    pollfd pfd{fd, POLLIN, 0};
+    const int r = ::poll(&pfd, 1, /*timeout_ms=*/100);
+    if (r < 0 && errno != EINTR) return;
+    if (r <= 0) continue;
+    const ssize_t n = ::read(fd, chunk, sizeof chunk);
+    if (n <= 0) return;  // EOF or error: client done
+    buf.append(chunk, static_cast<std::size_t>(n));
+    if (buf.size() > (1u << 16)) return;  // runaway line: drop the client
+  }
+}
+
+std::string ControlPlane::do_reload(std::string_view path) {
+  if (path.empty()) return error_json("usage: reload <rules-file>");
+  const std::uint64_t version = registry_.allocate_version();
+  CompileResult res = compiler_.compile_file(std::string(path), version);
+  JsonWriter j;
+  j.begin_object();
+  if (res.ok()) {
+    // Publish, then report. From here the lanes take over: the next
+    // current_version() probe on each lane picks the artifact up.
+    registry_.publish(res.ruleset);
+    j.field("ok", true);
+    j.field("version", version);
+  } else {
+    const std::string reason = res.report.diagnostics.empty()
+                                   ? "compile failed"
+                                   : res.report.diagnostics.back().reason;
+    registry_.note_rejected(version, reason);
+    j.field("ok", false);
+    j.field("error", reason);
+    j.field("active_version", registry_.current_version());
+  }
+  j.key("report");
+  // CompileReport::to_json is itself one JSON object; splice it verbatim.
+  j.raw(res.report.to_json());
+  j.end_object();
+  return j.str();
+}
+
+std::string ControlPlane::execute(std::string_view command) {
+  std::lock_guard<std::mutex> lk(exec_mu_);
+  const std::string_view cmd = trim(command);
+  try {
+    if (cmd == "ping") {
+      JsonWriter j;
+      j.begin_object();
+      j.field("ok", true);
+      j.field("active_version", registry_.current_version());
+      j.end_object();
+      return j.str();
+    }
+    if (cmd == "ruleset-status") return registry_.status_json();
+    if (cmd == "stats") {
+      std::function<std::string()> provider;
+      {
+        std::lock_guard<std::mutex> slk(stats_mu_);
+        provider = stats_;
+      }
+      if (!provider) return error_json("stats: no provider configured");
+      return provider();
+    }
+    if (cmd.substr(0, 6) == "reload") {
+      return do_reload(trim(cmd.substr(6)));
+    }
+    return error_json("unknown command (try: ping, reload <file>, "
+                      "ruleset-status, stats)");
+  } catch (const std::exception& e) {
+    // The admin surface never takes the box down.
+    return error_json(e.what());
+  }
+}
+
+}  // namespace sdt::control

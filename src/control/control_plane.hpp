@@ -1,0 +1,85 @@
+// ControlPlane — the box's admin surface, off the packet path entirely.
+//
+// A unix-domain stream socket speaking a newline-delimited text protocol:
+// one command line in, one JSON object line out, connection stays open for
+// more commands. Commands:
+//
+//   ping                 liveness probe                → {"ok":true,...}
+//   reload <file>        compile + publish a rule file → report (either way)
+//   ruleset-status       version lifecycle view        → registry status
+//   stats                telemetry snapshot            → registry JSON
+//
+// `reload` is the operational heart: allocate a version number, compile
+// the file off-path, publish on success — the lanes adopt at their next
+// packet boundary — or record the rejection on failure, in which case the
+// previously active version keeps running untouched (the failure mode an
+// inline IPS must have; docs/OPERATIONS.md is the runbook).
+//
+// execute() is the transport-independent core: the socket loop, a SIGHUP
+// handler, and tests all call the same entry point, serialized by a mutex
+// so two admin clients cannot interleave half a reload. The accept loop
+// runs on its own thread, polls with a timeout so stop() is prompt, and
+// serves one client at a time — an admin socket, not a service endpoint.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+
+#include "control/compiler.hpp"
+#include "control/registry.hpp"
+
+namespace sdt::control {
+
+class ControlPlane {
+ public:
+  /// Both references must outlive this object (and the stats provider's
+  /// captures must outlive it too).
+  ControlPlane(RuleCompiler& compiler, RuleSetRegistry& registry);
+  ~ControlPlane();  // stops and joins if still listening
+
+  ControlPlane(const ControlPlane&) = delete;
+  ControlPlane& operator=(const ControlPlane&) = delete;
+
+  /// Source of the `stats` response (typically MetricsRegistry snapshot →
+  /// to_json, bound by the embedding process). Unset → stats returns an
+  /// error object.
+  void set_stats_provider(std::function<std::string()> fn);
+
+  /// Bind + listen + spawn the accept loop. Throws IoError on any socket
+  /// failure (path too long for sun_path, bind denied, …). An existing
+  /// socket file at `path` is unlinked first (stale from a crash).
+  void start(const std::string& path);
+
+  /// Stop the accept loop, join the thread, unlink the socket. Idempotent.
+  void stop();
+
+  bool listening() const { return thread_.joinable(); }
+  const std::string& socket_path() const { return path_; }
+
+  /// Run one command, transport-free. Returns exactly one JSON object (no
+  /// trailing newline). Never throws: every failure is an {"ok":false,...}
+  /// response. Safe from any thread; commands are serialized.
+  std::string execute(std::string_view command);
+
+ private:
+  void serve();
+  void handle_client(int fd);
+  std::string do_reload(std::string_view path);
+
+  RuleCompiler& compiler_;
+  RuleSetRegistry& registry_;
+  std::function<std::string()> stats_;
+  std::mutex exec_mu_;   // serializes execute()
+  std::mutex stats_mu_;  // guards stats_ installation
+  std::string path_;
+  int listen_fd_ = -1;
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
+};
+
+}  // namespace sdt::control

@@ -1,0 +1,170 @@
+#include "control/registry.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "util/error.hpp"
+#include "util/json.hpp"
+
+namespace sdt::control {
+
+namespace {
+
+std::uint64_t steady_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+std::uint64_t RuleSetRegistry::allocate_version() {
+  std::lock_guard<std::mutex> lk(mu_);
+  return ++next_version_;
+}
+
+void RuleSetRegistry::publish(core::RuleSetHandle rs) {
+  if (!rs) throw InvalidArgument("RuleSetRegistry: publish(null)");
+  const std::uint64_t now_ns = steady_now_ns();
+  std::lock_guard<std::mutex> lk(mu_);
+  const std::uint64_t cur = version_.load(std::memory_order_relaxed);
+  if (rs->version() <= cur) {
+    throw InvalidArgument(
+        "RuleSetRegistry: version " + std::to_string(rs->version()) +
+        " not newer than active " + std::to_string(cur) +
+        " (allocate_version() before compiling)");
+  }
+  // Keep the allocator ahead of out-of-band version numbers so the next
+  // allocate_version() cannot collide.
+  next_version_ = std::max(next_version_, rs->version());
+
+  VersionRecord rec;
+  rec.version = rs->version();
+  rec.source = rs->source();
+  rec.signatures = rs->signatures().size();
+  rec.memory_bytes = rs->memory_bytes();
+  rec.publish_ns = now_ns;
+  rec.artifact = rs;
+  history_.push_back(std::move(rec));
+
+  current_ = std::move(rs);
+  publishes_.fetch_add(1, std::memory_order_relaxed);
+  // The release store is the publication edge: a lane that acquires this
+  // version then reads `current_` under the mutex and is guaranteed the
+  // fully built artifact.
+  version_.store(history_.back().version, std::memory_order_release);
+  // No lanes → nobody to wait for: the version is adopted by vacuity.
+  complete_adoptions_locked(now_ns);
+}
+
+void RuleSetRegistry::note_rejected(std::uint64_t version,
+                                    const std::string& reason) {
+  std::lock_guard<std::mutex> lk(mu_);
+  rejected_log_.push_back({version, reason});
+  rejected_.fetch_add(1, std::memory_order_relaxed);
+}
+
+core::RuleSetHandle RuleSetRegistry::current() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return current_;
+}
+
+std::size_t RuleSetRegistry::subscribe(std::uint64_t initial_version) {
+  std::lock_guard<std::mutex> lk(mu_);
+  slots_.push_back(initial_version);
+  return slots_.size() - 1;
+}
+
+void RuleSetRegistry::note_adoption(std::size_t slot, std::uint64_t version) {
+  const std::uint64_t now_ns = steady_now_ns();
+  std::lock_guard<std::mutex> lk(mu_);
+  if (slot >= slots_.size()) {
+    throw InvalidArgument("RuleSetRegistry: unknown adopter slot");
+  }
+  slots_[slot] = std::max(slots_[slot], version);
+  complete_adoptions_locked(now_ns);
+}
+
+std::uint64_t RuleSetRegistry::min_adopted_locked() const {
+  if (slots_.empty()) return version_.load(std::memory_order_relaxed);
+  return *std::min_element(slots_.begin(), slots_.end());
+}
+
+std::uint64_t RuleSetRegistry::min_adopted() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return min_adopted_locked();
+}
+
+bool RuleSetRegistry::grace_complete(std::uint64_t version) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return min_adopted_locked() >= version;
+}
+
+void RuleSetRegistry::complete_adoptions_locked(std::uint64_t now_ns) {
+  const std::uint64_t horizon = min_adopted_locked();
+  for (VersionRecord& rec : history_) {
+    if (rec.adopt_latency_ns != 0 || rec.version > horizon) continue;
+    rec.adopt_latency_ns = now_ns > rec.publish_ns
+                               ? now_ns - rec.publish_ns
+                               : 1;  // clock granularity: never leave 0
+    reload_latency_ns_.record(rec.adopt_latency_ns);
+  }
+}
+
+std::string RuleSetRegistry::status_json() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  const std::uint64_t cur = version_.load(std::memory_order_relaxed);
+  JsonWriter j;
+  j.begin_object();
+  j.field("active_version", cur);
+  j.field("min_adopted", min_adopted_locked());
+  j.field("publishes", publishes_.load(std::memory_order_relaxed));
+  j.field("rejected", rejected_.load(std::memory_order_relaxed));
+  j.key("lanes").begin_array();
+  for (const std::uint64_t v : slots_) j.value(v);
+  j.end_array();
+  j.key("versions").begin_array();
+  for (const VersionRecord& rec : history_) {
+    j.begin_object();
+    j.field("version", rec.version);
+    j.field("source", rec.source);
+    j.field("state", rec.state(cur));
+    j.field("signatures", static_cast<std::uint64_t>(rec.signatures));
+    j.field("memory_bytes", static_cast<std::uint64_t>(rec.memory_bytes));
+    j.field("adopt_latency_ns", rec.adopt_latency_ns);
+    j.end_object();
+  }
+  j.end_array();
+  j.key("rejected_reloads").begin_array();
+  for (const RejectedRecord& r : rejected_log_) {
+    j.begin_object();
+    j.field("version", r.version);
+    j.field("reason", r.reason);
+    j.end_object();
+  }
+  j.end_array();
+  j.end_object();
+  return j.str();
+}
+
+void RuleSetRegistry::register_metrics(telemetry::MetricsRegistry& reg,
+                                       const std::string& prefix) const {
+  using telemetry::MetricDesc;
+  reg.add_gauge(MetricDesc{prefix + ".active_version", "version", "control",
+                           /*live=*/true},
+                [this] { return current_version(); });
+  reg.add_gauge(
+      MetricDesc{prefix + ".min_adopted", "version", "control", true},
+      [this] { return min_adopted(); });
+  reg.add_counter(MetricDesc{prefix + ".publishes", "events", "control", true},
+                  &publishes_);
+  reg.add_counter(
+      MetricDesc{prefix + ".rejected_reloads", "events", "control", true},
+      &rejected_);
+  reg.add_histogram(
+      MetricDesc{prefix + ".reload_latency_ns", "ns", "control", true},
+      &reload_latency_ns_);
+}
+
+}  // namespace sdt::control

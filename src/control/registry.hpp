@@ -1,0 +1,158 @@
+// RuleSetRegistry — versioned publication of compiled rule sets, RCU-style.
+//
+// The write side (a reload) and the read side (N lane threads at line
+// rate) meet here, with the paper's constraint that the packet path must
+// not pay for the rendezvous:
+//
+//   control thread                         lane thread, per loop iteration
+//   ──────────────                         ───────────────────────────────
+//   h = compiler.compile(...)              if (reg.current_version()      ← the
+//   reg.publish(h)                             != adopted)  // 1 acquire     ONLY
+//     current_ = h   (mutex)                 h = reg.current()   // cold     hot-path
+//     version_.store(v, release)             engine.swap_ruleset(h)         cost
+//                                            reg.note_adoption(slot, v)
+//
+// Epoch/grace accounting: each lane owns one slot recording the version it
+// last adopted. min over the slots is the grace horizon — every version
+// below it has been abandoned by all lanes, and the moment the last lane
+// moves past a version the registry stamps its publish→all-adopted latency
+// into a histogram (the reload-latency metric the bench records). The
+// artifacts themselves are reclaimed by shared_ptr: the registry keeps
+// only a weak_ptr per retired version, so memory returns as soon as the
+// last holder — a lane, or a slow-path flow pinned mid-stream — lets go,
+// and status reporting can tell "retired" (grace over, memory still
+// pinned by flows) from "reclaimed" (gone).
+//
+// Thread-safety: everything except current_version() takes the registry
+// mutex; current_version() is a single atomic acquire load, the one piece
+// of added per-packet synchronization the design budget allows.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/compiled_ruleset.hpp"
+#include "telemetry/histogram.hpp"
+#include "telemetry/registry.hpp"
+
+namespace sdt::control {
+
+/// One published version's lifecycle record.
+struct VersionRecord {
+  std::uint64_t version = 0;
+  std::string source;
+  std::size_t signatures = 0;
+  std::size_t memory_bytes = 0;
+  /// steady-clock stamp of publish(), for latency accounting.
+  std::uint64_t publish_ns = 0;
+  /// publish → last lane adopted, in ns; 0 while adoption is in flight.
+  std::uint64_t adopt_latency_ns = 0;
+  /// Observes the artifact without keeping it alive (reclamation probe).
+  std::weak_ptr<const core::CompiledRuleSet> artifact;
+
+  /// "adopting" | "active" | "retired" | "reclaimed" — see file header.
+  const char* state(std::uint64_t current_version) const {
+    if (version == current_version) {
+      return adopt_latency_ns == 0 ? "adopting" : "active";
+    }
+    return artifact.expired() ? "reclaimed" : "retired";
+  }
+};
+
+class RuleSetRegistry {
+ public:
+  RuleSetRegistry() = default;
+  RuleSetRegistry(const RuleSetRegistry&) = delete;
+  RuleSetRegistry& operator=(const RuleSetRegistry&) = delete;
+
+  /// Reserve the next version number for a compile about to start. A
+  /// compile that fails burns its number — version gaps in the history
+  /// are evidence of rejected reloads, not a bug.
+  std::uint64_t allocate_version();
+
+  /// Publish a compiled artifact as the newest version. The handle's
+  /// version must exceed every previously published one (allocate_version
+  /// guarantees this for well-behaved callers; violations throw
+  /// InvalidArgument — a stale compile must not roll the box back).
+  void publish(core::RuleSetHandle rs);
+
+  /// Record a reload that failed before publish (compile error, bad file).
+  /// Keeps the rejected counter and status honest; the active version is
+  /// untouched by construction — nothing was published.
+  void note_rejected(std::uint64_t version, const std::string& reason);
+
+  /// The newest published artifact (null until the first publish).
+  core::RuleSetHandle current() const;
+
+  /// The newest published version number — THE lane hot-path probe: one
+  /// atomic acquire load, no mutex, safe from any thread at any rate.
+  std::uint64_t current_version() const {
+    return version_.load(std::memory_order_acquire);
+  }
+
+  /// Register a lane (or any adopter) before it starts processing.
+  /// `initial_version` is the version its engine was constructed with.
+  /// Returns the slot id for note_adoption.
+  std::size_t subscribe(std::uint64_t initial_version);
+
+  /// Lane `slot` finished swapping its engine to `version` (called at a
+  /// packet boundary, off the per-packet path). Completes the grace
+  /// accounting: when the last lane moves to `version`, its record is
+  /// stamped and the publish→all-adopted latency lands in the histogram.
+  void note_adoption(std::size_t slot, std::uint64_t version);
+
+  /// Grace horizon: the oldest version any subscribed lane still runs.
+  /// With no subscribers this is current_version() (nothing can lag).
+  std::uint64_t min_adopted() const;
+
+  /// True once every lane has adopted `version` (or moved past it).
+  bool grace_complete(std::uint64_t version) const;
+
+  std::uint64_t publishes() const {
+    return publishes_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t rejected() const {
+    return rejected_.load(std::memory_order_relaxed);
+  }
+  const telemetry::LogHistogram& reload_latency_ns() const {
+    return reload_latency_ns_;
+  }
+
+  /// Full lifecycle view as one JSON object (the control plane's
+  /// `ruleset-status` response): active version, grace horizon, per-lane
+  /// adopted versions, and the version history with states.
+  std::string status_json() const;
+
+  /// Register lifecycle metrics under `<prefix>.…`: active-version gauge,
+  /// publish/rejected counters, reload-latency histogram (all live-safe).
+  /// The registry must outlive the polls.
+  void register_metrics(telemetry::MetricsRegistry& reg,
+                        const std::string& prefix = "control") const;
+
+ private:
+  /// Stamp every record all lanes have reached. Caller holds mu_.
+  void complete_adoptions_locked(std::uint64_t now_ns);
+  std::uint64_t min_adopted_locked() const;
+
+  struct RejectedRecord {
+    std::uint64_t version = 0;
+    std::string reason;
+  };
+
+  mutable std::mutex mu_;
+  core::RuleSetHandle current_;               // newest published artifact
+  std::vector<std::uint64_t> slots_;          // per-lane adopted version
+  std::vector<VersionRecord> history_;        // publish order
+  std::vector<RejectedRecord> rejected_log_;  // failed reloads, oldest first
+  std::uint64_t next_version_ = 0;            // allocate_version counter
+  std::atomic<std::uint64_t> version_{0};     // newest published version
+  std::atomic<std::uint64_t> publishes_{0};
+  std::atomic<std::uint64_t> rejected_{0};
+  telemetry::LogHistogram reload_latency_ns_;  // publish → all lanes adopted
+};
+
+}  // namespace sdt::control

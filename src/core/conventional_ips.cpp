@@ -4,17 +4,48 @@
 #include <cstring>
 
 #include "net/checksum.hpp"
+#include "util/error.hpp"
 
 namespace sdt::core {
 
+namespace {
+
+RuleSetHandle compile_slow_only(const SignatureSet& sigs,
+                                const ConventionalIpsConfig& cfg) {
+  CompileOptions opts;
+  opts.piece_len = 0;  // this engine never touches the piece database
+  opts.layout = cfg.layout;
+  return compile_ruleset(sigs, opts);
+}
+
+}  // namespace
+
 ConventionalIps::ConventionalIps(const SignatureSet& sigs,
                                  ConventionalIpsConfig cfg)
-    : sigs_(sigs), cfg_(cfg), defrag_(cfg.defrag), table_({cfg.max_flows}) {
-  match::AhoCorasick::Builder b;
-  for (const Signature& s : sigs_) b.add(s.bytes);
-  ac_ = b.build(cfg_.layout);
+    : ConventionalIps(compile_slow_only(sigs, cfg), cfg) {}
+
+ConventionalIps::ConventionalIps(RuleSetHandle rules, ConventionalIpsConfig cfg)
+    : cfg_(cfg), rules_(std::move(rules)), defrag_(cfg.defrag),
+      table_({cfg.max_flows}) {
+  if (!rules_) throw InvalidArgument("ConventionalIps: null rule-set handle");
   const auto reasm_cfg = cfg_.reasm;
   table_.set_value_factory([reasm_cfg] { return ConnState(reasm_cfg); });
+}
+
+void ConventionalIps::swap_ruleset(RuleSetHandle rules) {
+  if (!rules) throw InvalidArgument("ConventionalIps: null rule-set handle");
+  rules_ = std::move(rules);
+}
+
+ConventionalIps::ConnState& ConventionalIps::flow_state(
+    const flow::FlowKey& key, std::uint64_t now_usec) {
+  bool created = false;
+  ConnState& cs = table_.get_or_create(key, now_usec, &created);
+  if (created) {
+    ++stats_.flows_seen;
+    cs.rules = rules_;  // pin: this flow matches under today's version
+  }
+  return cs;
 }
 
 std::size_t ConventionalIps::process(const net::PacketView& pv,
@@ -73,9 +104,7 @@ void ConventionalIps::process_tcp(const net::PacketView& pv,
       !pv.l4_payload.empty()) {
     ++stats_.urgent_segments;
     if (cfg_.alert_on_urgent_data) {
-      bool created_urg = false;
-      ConnState& ucs = table_.get_or_create(ref.key, now_usec, &created_urg);
-      if (created_urg) ++stats_.flows_seen;
+      ConnState& ucs = flow_state(ref.key, now_usec);
       if (!already_alerted(ucs, kUrgentAlertId)) {
         ++stats_.alerts;
         alerts.push_back(
@@ -93,9 +122,7 @@ void ConventionalIps::process_tcp(const net::PacketView& pv,
     return;
   }
 
-  bool created = false;
-  ConnState& cs = table_.get_or_create(ref.key, now_usec, &created);
-  if (created) ++stats_.flows_seen;
+  ConnState& cs = flow_state(ref.key, now_usec);
 
   const reassembly::SegmentEvent ev =
       cs.conn.deliver(ref.dir, pv.tcp, pv.l4_payload);
@@ -128,12 +155,16 @@ void ConventionalIps::process_udp(const net::PacketView& pv,
   ++stats_.udp_datagrams;
   stats_.bytes_scanned += pv.l4_payload.size();
   const flow::FlowRef ref = flow::make_flow_ref(pv);
-  ac_.scan(pv.l4_payload, match::AhoCorasick::kRoot,
-           [&](match::AhoCorasick::Match m) {
-             ++stats_.alerts;
-             alerts.push_back(Alert{ref.key, m.pattern_id, now_usec,
-                                    m.end_offset, "udp"});
-           });
+  // Stateless scan: no cross-packet automaton state, so the current
+  // version applies (nothing pins a UDP "flow" to an older artifact).
+  rules_->full_matcher().scan(
+      pv.l4_payload, match::AhoCorasick::kRoot,
+      [&](match::AhoCorasick::Match m) {
+        for (const std::uint32_t sid : rules_->sids_for_pattern(m.pattern_id)) {
+          ++stats_.alerts;
+          alerts.push_back(Alert{ref.key, sid, now_usec, m.end_offset, "udp"});
+        }
+      });
 }
 
 void ConventionalIps::scan_stream(const flow::FlowKey& key, ConnState& cs,
@@ -142,19 +173,25 @@ void ConventionalIps::scan_stream(const flow::FlowKey& key, ConnState& cs,
                                   std::vector<Alert>& alerts) {
   const auto d = static_cast<std::size_t>(dir);
   stats_.bytes_scanned += chunk.size();
-  cs.ac_state[d] = ac_.scan(chunk, cs.ac_state[d], [&](match::AhoCorasick::Match m) {
-    if (already_alerted(cs, m.pattern_id)) return;
-    ++stats_.alerts;
-    alerts.push_back(Alert{key, m.pattern_id, now_usec,
-                           cs.stream_pos[d] + m.end_offset, "slow-path"});
-  });
+  // Match under the flow's pinned version: ac_state[d] indexes into that
+  // artifact's automaton and stays valid across swap_ruleset.
+  const CompiledRuleSet& rules = *cs.rules;
+  cs.ac_state[d] = rules.full_matcher().scan(
+      chunk, cs.ac_state[d], [&](match::AhoCorasick::Match m) {
+        for (const std::uint32_t sid : rules.sids_for_pattern(m.pattern_id)) {
+          if (already_alerted(cs, sid)) continue;
+          ++stats_.alerts;
+          alerts.push_back(Alert{key, sid, now_usec,
+                                 cs.stream_pos[d] + m.end_offset, "slow-path"});
+        }
+      });
   cs.stream_pos[d] += chunk.size();
 
   if (cs.adopted && !cs.suffix_done[d]) {
     Bytes& head = cs.head[d];
     head.insert(head.end(), chunk.begin(), chunk.end());
     anchored_suffix_check(key, cs, dir, now_usec, alerts);
-    if (head.size() >= sigs_.max_length()) {
+    if (head.size() >= rules.signatures().max_length()) {
       cs.suffix_done[d] = true;
       head.clear();
       head.shrink_to_fit();
@@ -172,7 +209,7 @@ void ConventionalIps::anchored_suffix_check(const flow::FlowKey& key,
       cs.suffix_slack[d] != 0
           ? std::min<std::size_t>(cs.suffix_slack[d], cfg_.takeover_slack)
           : cfg_.takeover_slack;
-  for (const Signature& s : sigs_) {
+  for (const Signature& s : cs.rules->signatures()) {
     const std::size_t L = s.bytes.size();
     if (L < cfg_.min_suffix_len) continue;
     const std::size_t max_missing =
@@ -205,9 +242,7 @@ void ConventionalIps::adopt_flow(
     const flow::FlowKey& key,
     const std::optional<std::uint32_t> (&base_seq)[2],
     std::uint64_t now_usec, const std::uint16_t (&prefix_leak)[2]) {
-  bool created = false;
-  ConnState& cs = table_.get_or_create(key, now_usec, &created);
-  if (created) ++stats_.flows_seen;
+  ConnState& cs = flow_state(key, now_usec);
   cs.adopted = true;
   for (std::size_t d = 0; d < 2; ++d) {
     // First pin wins: re-adoption (e.g. a second fragment completing after
@@ -224,7 +259,7 @@ void ConventionalIps::expire(std::uint64_t now_usec) {
 }
 
 std::size_t ConventionalIps::memory_bytes() const {
-  return flow_state_bytes() + ac_.memory_bytes();
+  return flow_state_bytes() + rules_->full_matcher().memory_bytes();
 }
 
 std::size_t ConventionalIps::flow_state_bytes() const {

@@ -21,6 +21,7 @@
 #include <optional>
 #include <vector>
 
+#include "core/compiled_ruleset.hpp"
 #include "core/signature.hpp"
 #include "core/verdict.hpp"
 #include "flow/flow_table.hpp"
@@ -94,7 +95,22 @@ struct ConventionalIpsStats {
 /// Full reassembling IPS over one interface.
 class ConventionalIps {
  public:
+  /// Compile-on-construct convenience: copies `sigs` into a private
+  /// version-0 artifact (no pieces — this engine never needs them).
   ConventionalIps(const SignatureSet& sigs, ConventionalIpsConfig cfg = {});
+  /// Share an already-compiled artifact (the hot-reload shape). Throws
+  /// InvalidArgument on a null handle.
+  explicit ConventionalIps(RuleSetHandle rules, ConventionalIpsConfig cfg = {});
+
+  /// Adopt a new rule-set version. Existing flows keep matching under the
+  /// version they started with (their streaming automaton state indexes
+  /// into THAT automaton — mixing versions mid-stream would be memory-
+  /// unsafe, not just unsound); new flows and stateless (UDP) scans use
+  /// the new version immediately. Single-threaded with process(); the
+  /// cross-thread handoff lives in control::RuleSetRegistry.
+  void swap_ruleset(RuleSetHandle rules);
+  std::uint64_t ruleset_version() const { return rules_->version(); }
+  const RuleSetHandle& ruleset() const { return rules_; }
 
   /// Process one parsed packet (fragments are defragmented internally).
   /// Appends any alerts raised. Returns alert count for this packet.
@@ -127,7 +143,7 @@ class ConventionalIps {
   /// the E2 experiment measures.
   std::size_t flow_state_bytes() const;
 
-  const match::AhoCorasick& matcher() const { return ac_; }
+  const match::AhoCorasick& matcher() const { return rules_->full_matcher(); }
 
  private:
   struct ConnState {
@@ -140,6 +156,11 @@ class ConventionalIps {
     std::uint16_t suffix_slack[2] = {0, 0};  // per-direction leak bound
     Bytes head[2];  // adopted flows: first bytes for the anchored check
     std::vector<std::uint32_t> alerted;  // signature ids already raised
+    /// The rule-set version this flow is pinned to. ac_state[] are state
+    /// indices into THIS artifact's automaton — the pin is what keeps them
+    /// valid across swap_ruleset, and the shared_ptr is what keeps the old
+    /// automaton alive until the last pinned flow expires.
+    RuleSetHandle rules;
 
     explicit ConnState(const reassembly::TcpReassemblerConfig& cfg)
         : conn(cfg) {}
@@ -157,11 +178,13 @@ class ConventionalIps {
                              flow::Direction dir, std::uint64_t now_usec,
                              std::vector<Alert>& alerts);
   bool already_alerted(ConnState& cs, std::uint32_t sig_id);
+  /// get_or_create + version pin for new flows.
+  ConnState& flow_state(const flow::FlowKey& key, std::uint64_t now_usec);
 
-  const SignatureSet& sigs_;
   ConventionalIpsConfig cfg_;
   ConventionalIpsStats stats_;
-  match::AhoCorasick ac_;
+  /// The version new flows pin and stateless scans use (never null).
+  RuleSetHandle rules_;
   reassembly::IpDefragmenter defrag_;
   flow::FlowTable<ConnState> table_;
 };

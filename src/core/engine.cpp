@@ -36,13 +36,30 @@ FastPathConfig fast_config(const SplitDetectConfig& cfg) {
   return f;
 }
 
+CompileOptions compile_options(const SplitDetectConfig& cfg) {
+  CompileOptions opts;
+  opts.piece_len = cfg.fast.piece_len;
+  opts.layout = cfg.fast.layout;
+  opts.piece_phase_sample = cfg.fast.piece_phase_sample;
+  return opts;
+}
+
 }  // namespace
 
 SplitDetectEngine::SplitDetectEngine(const SignatureSet& sigs,
                                      SplitDetectConfig cfg)
-    : fast_(sigs, fast_config(cfg)),
-      slow_(sigs, slow_config(cfg)),
+    : SplitDetectEngine(compile_ruleset(sigs, compile_options(cfg)), cfg) {}
+
+SplitDetectEngine::SplitDetectEngine(RuleSetHandle rules, SplitDetectConfig cfg)
+    : fast_(rules, fast_config(cfg)),
+      slow_(std::move(rules), slow_config(cfg)),
       defrag_(cfg.defrag) {}
+
+void SplitDetectEngine::swap_ruleset(RuleSetHandle rules) {
+  fast_.swap_ruleset(rules);       // validates pieces + piece_len first
+  slow_.swap_ruleset(std::move(rules));
+  ++reloads_;
+}
 
 Action SplitDetectEngine::process(const net::PacketView& pv,
                                   std::uint64_t now_usec,
@@ -106,6 +123,8 @@ void SplitDetectEngine::register_metrics(telemetry::MetricsRegistry& reg,
   gauge("packets", "packets", [this] { return packets_; });
   gauge("alerts", "alerts", [this] { return alerts_; });
   gauge("diverted_packets", "packets", [this] { return diverted_packets_; });
+  gauge("reloads", "events", [this] { return reloads_; });
+  gauge("ruleset_version", "version", [this] { return ruleset_version(); });
   gauge("fast.bytes_scanned", "bytes",
         [this] { return fast_.stats().bytes_scanned; });
   gauge("fast.flows_seen", "flows", [this] { return fast_.stats().flows_seen; });

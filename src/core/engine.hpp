@@ -46,6 +46,8 @@ struct SplitDetectStats {
   std::uint64_t packets = 0;
   std::uint64_t alerts = 0;
   std::uint64_t diverted_packets = 0;  // all packets sent to the slow path
+  std::uint64_t reloads = 0;           // swap_ruleset calls accepted
+  std::uint64_t ruleset_version = 0;   // version the fast path runs now
 
   /// Fraction of packets that needed slow-path processing.
   double slow_packet_fraction() const {
@@ -59,7 +61,22 @@ struct SplitDetectStats {
 /// reassembly for the diverted remainder.
 class SplitDetectEngine {
  public:
+  /// Compile-on-construct convenience: builds one version-0 artifact from
+  /// `sigs` (pieces + full automaton) shared by both paths.
   SplitDetectEngine(const SignatureSet& sigs, SplitDetectConfig cfg = {});
+  /// Share an already-compiled artifact (the hot-reload shape). The handle
+  /// must carry pieces at cfg.fast.piece_len (see FastPath).
+  explicit SplitDetectEngine(RuleSetHandle rules, SplitDetectConfig cfg = {});
+
+  /// Adopt a new rule-set version in both paths. Call only between
+  /// process() calls (a packet boundary) from the thread driving the
+  /// engine — in the lane runtime that is the lane thread itself, after it
+  /// observed a new version in control::RuleSetRegistry. Fast path swaps
+  /// wholesale (its scan is stateless per packet); slow path pins in-flight
+  /// flows to the version they started under.
+  void swap_ruleset(RuleSetHandle rules);
+  std::uint64_t ruleset_version() const { return fast_.ruleset_version(); }
+  const RuleSetHandle& ruleset() const { return fast_.ruleset(); }
 
   /// Process one packet; any alerts are appended. Returns the action taken.
   Action process(const net::PacketView& pv, std::uint64_t now_usec,
@@ -82,6 +99,8 @@ class SplitDetectEngine {
     s.packets = packets_;
     s.alerts = alerts_;
     s.diverted_packets = diverted_packets_;
+    s.reloads = reloads_;
+    s.ruleset_version = fast_.ruleset_version();
     return s;
   }
   const FastPath& fast_path() const { return fast_; }
@@ -112,6 +131,7 @@ class SplitDetectEngine {
   std::uint64_t packets_ = 0;
   std::uint64_t alerts_ = 0;
   std::uint64_t diverted_packets_ = 0;
+  std::uint64_t reloads_ = 0;
 };
 
 /// One-call offline convenience: run a whole pcap file through an engine.

@@ -2,17 +2,51 @@
 
 #include "net/checksum.hpp"
 #include "net/seq.hpp"
+#include "util/error.hpp"
 
 namespace sdt::core {
 
+namespace {
+
+RuleSetHandle compile_for_fast_path(const SignatureSet& sigs,
+                                    const FastPathConfig& cfg) {
+  CompileOptions opts;
+  opts.piece_len = cfg.piece_len;
+  opts.layout = cfg.layout;
+  opts.piece_phase_sample = cfg.piece_phase_sample;
+  return compile_ruleset(sigs, opts);
+}
+
+void check_compatible(const RuleSetHandle& rules, const FastPathConfig& cfg) {
+  if (!rules) throw InvalidArgument("FastPath: null rule-set handle");
+  if (!rules->has_pieces()) {
+    throw InvalidArgument(
+        "FastPath: rule set compiled without a piece database "
+        "(CompileOptions::piece_len was 0)");
+  }
+  if (rules->piece_len() != cfg.piece_len) {
+    throw InvalidArgument(
+        "FastPath: rule set compiled with piece_len " +
+        std::to_string(rules->piece_len()) + " but config expects " +
+        std::to_string(cfg.piece_len) +
+        " (the 2p-1 anomaly threshold and the tiling must agree)");
+  }
+}
+
+}  // namespace
+
 FastPath::FastPath(const SignatureSet& sigs, FastPathConfig cfg)
-    : sigs_(sigs),
-      cfg_(std::move(cfg)),
-      pieces_(cfg_.piece_phase_sample.empty()
-                  ? PieceSet(sigs, cfg_.piece_len, cfg_.layout)
-                  : PieceSet(sigs, cfg_.piece_len, cfg_.layout,
-                             cfg_.piece_phase_sample)),
-      table_({cfg_.max_flows}) {}
+    : FastPath(compile_for_fast_path(sigs, cfg), cfg) {}
+
+FastPath::FastPath(RuleSetHandle rules, FastPathConfig cfg)
+    : cfg_(std::move(cfg)), rules_(std::move(rules)), table_({cfg_.max_flows}) {
+  check_compatible(rules_, cfg_);
+}
+
+void FastPath::swap_ruleset(RuleSetHandle rules) {
+  check_compatible(rules, cfg_);
+  rules_ = std::move(rules);
+}
 
 namespace {
 
@@ -100,7 +134,7 @@ FastDecision FastPath::process(const net::PacketView& pv,
   if (pv.has_udp) {
     ++stats_.udp_datagrams;
     stats_.bytes_scanned += pv.l4_payload.size();
-    if (pieces_.matcher().contains_any(pv.l4_payload)) {
+    if (rules_->pieces().matcher().contains_any(pv.l4_payload)) {
       ++stats_.piece_hits;
       // Datagram-level diversion: the slow path runs the full match.
       return FastDecision{Action::divert, DivertReason::piece_match, {}};
@@ -131,7 +165,7 @@ FastDecision FastPath::process(const net::PacketView& pv,
   // attacker's forced move when segments are large and in order.
   if (!payload.empty()) {
     stats_.bytes_scanned += payload.size();
-    if (pieces_.matcher().contains_any(payload)) {
+    if (rules_->pieces().matcher().contains_any(payload)) {
       ++stats_.piece_hits;
       return divert(st, ref, DivertReason::piece_match);
     }

@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <optional>
 
+#include "core/compiled_ruleset.hpp"
 #include "core/splitter.hpp"
 #include "core/verdict.hpp"
 #include "flow/flow_table.hpp"
@@ -121,7 +122,23 @@ struct FastDecision {
 
 class FastPath {
  public:
+  /// Compile-on-construct convenience: copies `sigs` into a private
+  /// version-0 artifact shaped by the config's piece parameters.
   FastPath(const SignatureSet& sigs, FastPathConfig cfg = {});
+  /// Share an already-compiled artifact (the hot-reload shape). The handle
+  /// must carry a piece database whose piece length matches
+  /// cfg.piece_len — the config's anomaly thresholds (2p-1) and the
+  /// artifact's tiling must agree or the detection theorem breaks. Throws
+  /// InvalidArgument otherwise.
+  explicit FastPath(RuleSetHandle rules, FastPathConfig cfg = {});
+
+  /// Adopt a new rule-set version. Safe at any packet boundary: the
+  /// fast-path scan is stateless per packet (the point of the paper), and
+  /// FastFlowState holds no automaton state, so no flow pinning is needed
+  /// here. Same piece-length validation as the constructor.
+  void swap_ruleset(RuleSetHandle rules);
+  std::uint64_t ruleset_version() const { return rules_->version(); }
+  const RuleSetHandle& ruleset() const { return rules_; }
 
   /// Classify one packet. Never alerts by itself (TCP alerts come from the
   /// slow path after diversion; UDP piece hits divert the datagram so the
@@ -141,23 +158,24 @@ class FastPath {
 
   const FastPathStats& stats() const { return stats_; }
   const FastPathConfig& config() const { return cfg_; }
-  const PieceSet& pieces() const { return pieces_; }
+  const PieceSet& pieces() const { return rules_->pieces(); }
   std::size_t flows() const { return table_.size(); }
 
   /// Per-flow state footprint (table only — the automaton is shared).
   std::size_t flow_state_bytes() const { return table_.memory_bytes(); }
   std::size_t memory_bytes() const {
-    return flow_state_bytes() + pieces_.memory_bytes();
+    return flow_state_bytes() + rules_->pieces().memory_bytes();
   }
 
  private:
   FastDecision divert(FastFlowState& st, const flow::FlowRef& ref,
                       DivertReason reason);
 
-  const SignatureSet& sigs_;
   FastPathConfig cfg_;
   FastPathStats stats_;
-  PieceSet pieces_;
+  /// The piece database the per-packet scan runs against (never null,
+  /// always has_pieces()). Swapped wholesale at packet boundaries.
+  RuleSetHandle rules_;
   flow::FlowTable<FastFlowState> table_;
 };
 

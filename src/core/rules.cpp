@@ -87,6 +87,18 @@ std::vector<Option> split_options(std::string_view block) {
 
 }  // namespace
 
+const char* to_string(RuleSeverity s) {
+  switch (s) {
+    case RuleSeverity::note:
+      return "note";
+    case RuleSeverity::skipped:
+      return "skipped";
+    case RuleSeverity::fatal:
+      return "fatal";
+  }
+  return "unknown";
+}
+
 Bytes decode_content(std::string_view pattern) {
   Bytes out;
   bool in_hex = false;
@@ -164,7 +176,7 @@ RuleParseResult parse_rules(std::string_view text) {
     const std::string_view lv = std::string_view(line).substr(b);
 
     if (lv.substr(0, 6) != "alert ") {
-      result.skipped.push_back(
+      result.diagnostics.push_back(
           {this_line, "unsupported action (only 'alert' rules)"});
       continue;
     }
@@ -173,7 +185,7 @@ RuleParseResult parse_rules(std::string_view text) {
     const std::size_t close = lv.rfind(')');
     if (open == std::string_view::npos || close == std::string_view::npos ||
         close < open) {
-      result.skipped.push_back({this_line, "missing option block"});
+      result.diagnostics.push_back({this_line, "missing option block"});
       continue;
     }
 
@@ -181,7 +193,7 @@ RuleParseResult parse_rules(std::string_view text) {
     try {
       opts = split_options(lv.substr(open + 1, close - open - 1));
     } catch (const ParseError& e) {
-      result.skipped.push_back({this_line, e.what()});
+      result.diagnostics.push_back({this_line, e.what()});
       continue;
     }
 
@@ -200,11 +212,11 @@ RuleParseResult parse_rules(std::string_view text) {
     }
 
     if (contents.empty()) {
-      result.skipped.push_back({this_line, "no content field"});
+      result.diagnostics.push_back({this_line, "no content field"});
       continue;
     }
     if (contents.size() > 1) {
-      result.skipped.push_back(
+      result.diagnostics.push_back(
           {this_line, "multiple content fields (beyond exact-match scope)"});
       continue;
     }
@@ -213,7 +225,7 @@ RuleParseResult parse_rules(std::string_view text) {
     try {
       bytes = decode_content(contents[0]);
     } catch (const ParseError& e) {
-      result.skipped.push_back({this_line, e.what()});
+      result.diagnostics.push_back({this_line, e.what()});
       continue;
     }
 

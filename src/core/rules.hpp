@@ -4,7 +4,7 @@
 // match"; this loader accepts the corresponding subset of the classic rule
 // grammar so real-world rule bases can drive the engines:
 //
-//   alert tcp any any -> any 80 (msg:"IIS cmd.exe"; \
+//   alert tcp any any -> any 80 (msg:"IIS cmd.exe";
 //       content:"cmd.exe?/c+dir"; sid:1001;)
 //   alert tcp any any -> any any (content:"|90 90 90 90|init"; sid:1002;)
 //
@@ -15,6 +15,11 @@
 // predicates — DESIGN.md documents this as out of scope). Rules this
 // subset cannot express faithfully (multiple content fields, pcre,
 // non-alert actions) are *skipped and reported*, never silently mangled.
+//
+// The parser never stops at a malformed line: every per-line issue becomes
+// a RuleDiagnostic (line number, severity, reason) so a rule-set compile
+// can report the whole file's problems at once (examples/config_doctor
+// prints them; the control plane returns them to a reload caller).
 #pragma once
 
 #include <string>
@@ -25,21 +30,39 @@
 
 namespace sdt::core {
 
-struct RuleParseResult {
-  SignatureSet signatures;
-
-  struct Skipped {
-    std::size_t line = 0;      // 1-based line in the input
-    std::string reason;
-  };
-  std::vector<Skipped> skipped;
-
-  std::size_t parsed() const { return signatures.size(); }
+/// How bad one rule-file finding is.
+enum class RuleSeverity : std::uint8_t {
+  note,     // informational (e.g. a tolerated-but-ignored option)
+  skipped,  // this rule was dropped; the rest of the file still loads
+  fatal,    // the whole load failed (unreadable file, no usable rules)
 };
 
-/// Parse rules from a string. Throws ParseError only on structurally
-/// unrecoverable input (unterminated quote/parenthesis); per-rule issues
-/// land in `skipped`.
+const char* to_string(RuleSeverity s);
+
+/// One finding about one (logical) line of a rule file.
+struct RuleDiagnostic {
+  std::size_t line = 0;  // 1-based line in the input; 0 = whole-file
+  std::string reason;
+  RuleSeverity severity = RuleSeverity::skipped;
+};
+
+struct RuleParseResult {
+  SignatureSet signatures;
+  /// Per-line findings, in file order. A diagnostic never aborts the
+  /// parse; callers decide whether `skipped` rules are acceptable.
+  std::vector<RuleDiagnostic> diagnostics;
+
+  std::size_t parsed() const { return signatures.size(); }
+  std::size_t count(RuleSeverity s) const {
+    std::size_t n = 0;
+    for (const auto& d : diagnostics) n += d.severity == s ? 1 : 0;
+    return n;
+  }
+};
+
+/// Parse rules from a string. Never throws on rule content: every
+/// malformed or out-of-scope rule lands in `diagnostics` and parsing
+/// continues with the next line.
 RuleParseResult parse_rules(std::string_view text);
 
 /// Load and parse a rule file. Throws IoError if unreadable.

@@ -1,6 +1,7 @@
 #include "core/splitter.hpp"
 
 #include <algorithm>
+#include <map>
 
 #include "match/single_match.hpp"
 #include "util/error.hpp"
@@ -69,21 +70,41 @@ std::vector<std::uint32_t> optimized_piece_offsets(ByteView sig, std::size_t p,
 namespace {
 
 /// Common construction: builds the matcher over the per-signature offset
-/// lists produced by `offsets_of`.
+/// lists produced by `offsets_of`, deduplicating identical piece bytes so
+/// the automaton holds each distinct p-byte string once. Builder ids are
+/// dense and sequential, so the per-pattern piece groups assemble in id
+/// order and flatten into a CSR mapping.
 template <typename OffsetsFn>
 void build_piece_set(const SignatureSet& sigs, std::size_t piece_len,
                      match::AcLayout layout, OffsetsFn&& offsets_of,
-                     match::AhoCorasick& ac, std::vector<Piece>& pieces) {
+                     match::AhoCorasick& ac, std::vector<Piece>& pieces,
+                     std::vector<std::uint32_t>& begin) {
   match::AhoCorasick::Builder b;
+  std::map<Bytes, std::uint32_t> seen;  // piece bytes -> pattern id
+  std::vector<std::vector<Piece>> groups;
   for (const Signature& s : sigs) {
     for (std::uint32_t off : offsets_of(s)) {
-      const std::uint32_t id = b.add(ByteView(s.bytes).subspan(off, piece_len));
-      // Builder ids are dense and sequential; keep the mapping aligned.
-      if (id != pieces.size()) {
-        throw InvalidArgument("PieceSet: matcher id mismatch");
+      const ByteView bytes = ByteView(s.bytes).subspan(off, piece_len);
+      Bytes key(bytes.begin(), bytes.end());
+      const auto [it, fresh] =
+          seen.emplace(std::move(key), static_cast<std::uint32_t>(groups.size()));
+      if (fresh) {
+        const std::uint32_t id = b.add(bytes);
+        if (id != groups.size()) {
+          throw InvalidArgument("PieceSet: matcher id mismatch");
+        }
+        groups.emplace_back();
       }
-      pieces.push_back(Piece{s.id, off});
+      groups[it->second].push_back(Piece{s.id, off});
     }
+  }
+  begin.clear();
+  begin.reserve(groups.size() + 1);
+  begin.push_back(0);
+  pieces.clear();
+  for (const auto& g : groups) {
+    pieces.insert(pieces.end(), g.begin(), g.end());
+    begin.push_back(static_cast<std::uint32_t>(pieces.size()));
   }
   ac = b.build(layout);
 }
@@ -96,7 +117,7 @@ PieceSet::PieceSet(const SignatureSet& sigs, std::size_t piece_len,
   build_piece_set(
       sigs, piece_len, layout,
       [&](const Signature& s) { return piece_offsets(s.bytes.size(), piece_len); },
-      ac_, pieces_);
+      ac_, pieces_, begin_);
 }
 
 PieceSet::PieceSet(const SignatureSet& sigs, std::size_t piece_len,
@@ -107,7 +128,7 @@ PieceSet::PieceSet(const SignatureSet& sigs, std::size_t piece_len,
       [&](const Signature& s) {
         return optimized_piece_offsets(s.bytes, piece_len, benign_sample);
       },
-      ac_, pieces_);
+      ac_, pieces_, begin_);
 }
 
 }  // namespace sdt::core

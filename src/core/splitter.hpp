@@ -20,6 +20,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "core/signature.hpp"
@@ -61,6 +62,13 @@ std::vector<std::uint32_t> optimized_piece_offsets(ByteView sig, std::size_t p,
 /// The fast path's pattern database: every piece of every signature,
 /// compiled into one Aho-Corasick automaton, with the reverse mapping from
 /// matcher pattern id back to (signature, offset).
+///
+/// Identical piece byte-strings are deduplicated before the automaton
+/// build: rule bases share protocol substrings heavily, so two rules whose
+/// tilings produce the same p bytes share ONE automaton pattern, and the
+/// reverse mapping is one-to-many (pieces_for). The automaton shrinks;
+/// detection is unchanged because a hit on the shared pattern implicates
+/// every (signature, offset) that produced it.
 class PieceSet {
  public:
   PieceSet() = default;
@@ -74,23 +82,38 @@ class PieceSet {
            match::AcLayout layout, ByteView benign_sample);
 
   std::size_t piece_len() const { return piece_len_; }
+  /// Total (signature, offset) mappings — every tiled piece, duplicates
+  /// included.
   std::size_t piece_count() const { return pieces_.size(); }
+  /// Unique automaton patterns (<= piece_count when rules share content).
+  std::size_t pattern_count() const { return ac_.pattern_count(); }
   const match::AhoCorasick& matcher() const { return ac_; }
 
-  /// The piece behind an AhoCorasick pattern id.
+  /// The first (signature, offset) behind an AhoCorasick pattern id — the
+  /// piece that introduced the pattern, in signature order.
   const Piece& piece(std::uint32_t pattern_id) const {
-    return pieces_[pattern_id];
+    return pieces_[begin_[pattern_id]];
+  }
+
+  /// Every (signature, offset) mapped to an AhoCorasick pattern id.
+  std::span<const Piece> pieces_for(std::uint32_t pattern_id) const {
+    return std::span<const Piece>(pieces_)
+        .subspan(begin_[pattern_id],
+                 begin_[pattern_id + 1] - begin_[pattern_id]);
   }
 
   /// Fast-path memory cost (automaton + mapping).
   std::size_t memory_bytes() const {
-    return ac_.memory_bytes() + pieces_.capacity() * sizeof(Piece);
+    return ac_.memory_bytes() + pieces_.capacity() * sizeof(Piece) +
+           begin_.capacity() * sizeof(std::uint32_t);
   }
 
  private:
   std::size_t piece_len_ = 0;
   match::AhoCorasick ac_;
+  /// CSR mapping: pattern id -> pieces_[begin_[id], begin_[id+1]).
   std::vector<Piece> pieces_;
+  std::vector<std::uint32_t> begin_;
 };
 
 }  // namespace sdt::core

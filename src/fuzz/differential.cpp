@@ -1,7 +1,9 @@
 #include "fuzz/differential.hpp"
 
 #include <algorithm>
+#include <array>
 
+#include "core/compiled_ruleset.hpp"
 #include "runtime/runtime.hpp"
 
 namespace sdt::fuzz {
@@ -133,12 +135,11 @@ void DifferentialHarness::expire(std::uint64_t now_usec) {
   oracle_->expire(now_usec);
 }
 
-RuntimeCrosscheck runtime_crosscheck(const core::SignatureSet& corpus,
-                                     const HarnessConfig& cfg,
-                                     const std::vector<Schedule>& batch,
-                                     std::size_t lanes) {
-  // Interleave every schedule's packets by timestamp — the runtime sees one
-  // merged stream, exactly like a tap would produce it.
+namespace {
+
+/// Every schedule's packets interleaved by timestamp — one merged stream,
+/// exactly like a tap would produce it.
+std::vector<net::Packet> merge_batch(const std::vector<Schedule>& batch) {
   std::vector<net::Packet> merged;
   for (const Schedule& s : batch) {
     std::vector<net::Packet> pkts = s.forge();
@@ -149,6 +150,16 @@ RuntimeCrosscheck runtime_crosscheck(const core::SignatureSet& corpus,
                    [](const net::Packet& a, const net::Packet& b) {
                      return a.ts_usec < b.ts_usec;
                    });
+  return merged;
+}
+
+}  // namespace
+
+RuntimeCrosscheck runtime_crosscheck(const core::SignatureSet& corpus,
+                                     const HarnessConfig& cfg,
+                                     const std::vector<Schedule>& batch,
+                                     std::size_t lanes) {
+  std::vector<net::Packet> merged = merge_batch(batch);
 
   // Reference: one engine, full budgets, same merged order.
   std::vector<core::Alert> ref_alerts;
@@ -188,6 +199,97 @@ RuntimeCrosscheck runtime_crosscheck(const core::SignatureSet& corpus,
   out.runtime_alerts = rset.size();
   out.engine_alerts = eset.size();
   out.equal = rset == eset;
+  return out;
+}
+
+namespace {
+
+/// FNV-1a over the sorted, deduplicated (flow, signature) alert keys —
+/// byte-identical verdicts produce byte-identical digests.
+std::uint64_t alert_digest(const std::vector<core::Alert>& alerts) {
+  std::vector<std::array<std::uint64_t, 4>> keys;
+  keys.reserve(alerts.size());
+  for (const core::Alert& a : alerts) {
+    keys.push_back({(static_cast<std::uint64_t>(a.flow.a_ip.value()) << 32) |
+                        a.flow.b_ip.value(),
+                    (static_cast<std::uint64_t>(a.flow.a_port) << 32) |
+                        a.flow.b_port,
+                    static_cast<std::uint64_t>(a.flow.proto),
+                    static_cast<std::uint64_t>(a.signature_id)});
+  }
+  std::sort(keys.begin(), keys.end());
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const auto& k : keys) {
+    for (const std::uint64_t v : k) {
+      for (int i = 0; i < 8; ++i) {
+        h ^= (v >> (i * 8)) & 0xff;
+        h *= 0x100000001b3ull;
+      }
+    }
+  }
+  return h;
+}
+
+core::CompileOptions reload_compile_options(const HarnessConfig& cfg) {
+  const core::SplitDetectConfig ec = cfg.engine_config();
+  core::CompileOptions opts;
+  opts.piece_len = ec.fast.piece_len;
+  opts.layout = ec.fast.layout;
+  opts.piece_phase_sample = ec.fast.piece_phase_sample;
+  return opts;
+}
+
+}  // namespace
+
+ReloadCrosscheck reload_crosscheck(const core::SignatureSet& corpus,
+                                   const HarnessConfig& cfg,
+                                   const std::vector<Schedule>& batch,
+                                   std::uint64_t swaps) {
+  const std::vector<net::Packet> merged = merge_batch(batch);
+  const core::CompileOptions opts = reload_compile_options(cfg);
+
+  // Baseline: one engine, one rule-set version, the whole stream.
+  std::vector<core::Alert> base_alerts;
+  {
+    core::SplitDetectEngine base(corpus, cfg.engine_config());
+    for (const net::Packet& p : merged) {
+      base.process(p, net::LinkType::raw_ipv4, base_alerts);
+    }
+  }
+
+  // Reloaded: same stream, but the rule set is republished mid-flight —
+  // identical bytes, fresh artifact, bumped version — at evenly spaced
+  // packet boundaries. Flows straddling a swap keep scanning on their
+  // pinned version; new flows pick up the new one. Verdicts must match
+  // the baseline exactly.
+  ReloadCrosscheck out;
+  std::vector<core::Alert> rel_alerts;
+  {
+    std::uint64_t version = 1;
+    core::SplitDetectEngine rel(
+        core::compile_ruleset(corpus, opts, version, "reload-crosscheck"),
+        cfg.engine_config());
+    const std::size_t stride =
+        swaps == 0 ? merged.size() + 1
+                   : std::max<std::size_t>(merged.size() / (swaps + 1), 1);
+    std::size_t n = 0;
+    for (const net::Packet& p : merged) {
+      if (n != 0 && n % stride == 0 && out.swaps < swaps) {
+        rel.swap_ruleset(core::compile_ruleset(corpus, opts, ++version,
+                                               "reload-crosscheck"));
+        ++out.swaps;
+      }
+      rel.process(p, net::LinkType::raw_ipv4, rel_alerts);
+      ++n;
+    }
+  }
+
+  out.baseline_digest = alert_digest(base_alerts);
+  out.reloaded_digest = alert_digest(rel_alerts);
+  out.baseline_alerts = base_alerts.size();
+  out.reloaded_alerts = rel_alerts.size();
+  out.equal = out.baseline_digest == out.reloaded_digest;
   return out;
 }
 

@@ -113,4 +113,26 @@ RuntimeCrosscheck runtime_crosscheck(const core::SignatureSet& corpus,
                                      const std::vector<Schedule>& batch,
                                      std::size_t lanes);
 
+/// Hot-reload equivalence check: interleave the schedules' packets by
+/// timestamp and replay the merged stream twice — through a baseline
+/// engine that never reloads, and through an engine whose rule set is
+/// swapped mid-stream (`swaps` times, evenly spaced) for freshly
+/// recompiled artifacts of the SAME corpus. Reloading identical rules must
+/// not change a single verdict: the (flow, signature) alert sets — and so
+/// the FNV digests over them — must be byte-identical. Exercises the
+/// per-flow version pinning path (flows created before a swap finish their
+/// scan on the version they started under).
+struct ReloadCrosscheck {
+  bool equal = false;
+  std::size_t baseline_alerts = 0;
+  std::size_t reloaded_alerts = 0;
+  std::uint64_t swaps = 0;
+  std::uint64_t baseline_digest = 0;
+  std::uint64_t reloaded_digest = 0;
+};
+ReloadCrosscheck reload_crosscheck(const core::SignatureSet& corpus,
+                                   const HarnessConfig& cfg,
+                                   const std::vector<Schedule>& batch,
+                                   std::uint64_t swaps = 4);
+
 }  // namespace sdt::fuzz

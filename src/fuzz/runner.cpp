@@ -39,6 +39,8 @@ std::string RunSummary::to_json() const {
   w.field("slow_path_misses", slow_path_misses);
   w.field("crosschecks", crosschecks);
   w.field("crosscheck_failures", crosscheck_failures);
+  w.field("reload_crosschecks", reload_crosschecks);
+  w.field("reload_crosscheck_failures", reload_crosscheck_failures);
   w.field("repros_written", repros_written);
   w.field("shrink_evaluations", shrink_evaluations);
   char digest_hex[17];
@@ -74,12 +76,14 @@ const RunSummary& FuzzRunner::run(std::uint64_t count) {
       handle_violation(s, out);
     }
 
-    if (cfg_.lanes > 0 && cfg_.crosscheck_every > 0) {
+    if ((cfg_.lanes > 0 && cfg_.crosscheck_every > 0) ||
+        cfg_.reload_crosscheck_every > 0) {
       recent_.push_back(s);
       if (recent_.size() > cfg_.crosscheck_batch) {
         recent_.erase(recent_.begin());
       }
-      if ((next_index_ + 1) % cfg_.crosscheck_every == 0 &&
+      if (cfg_.lanes > 0 && cfg_.crosscheck_every > 0 &&
+          (next_index_ + 1) % cfg_.crosscheck_every == 0 &&
           !recent_.empty()) {
         const RuntimeCrosscheck xc = runtime_crosscheck(
             corpus_, cfg_.harness, recent_, cfg_.lanes);
@@ -87,6 +91,19 @@ const RunSummary& FuzzRunner::run(std::uint64_t count) {
         if (!xc.equal) ++summary_.crosscheck_failures;
         summary_.digest = fnv_step(summary_.digest, xc.equal ? 1 : 0);
         summary_.digest = fnv_step(summary_.digest, xc.runtime_alerts);
+      }
+      if (cfg_.reload_crosscheck_every > 0 &&
+          (next_index_ + 1) % cfg_.reload_crosscheck_every == 0 &&
+          !recent_.empty()) {
+        const ReloadCrosscheck rc = reload_crosscheck(
+            corpus_, cfg_.harness, recent_, cfg_.reload_swaps);
+        ++summary_.reload_crosschecks;
+        if (!rc.equal) {
+          ++summary_.reload_crosscheck_failures;
+          live_violations_.fetch_add(1, std::memory_order_relaxed);
+        }
+        summary_.digest = fnv_step(summary_.digest, rc.equal ? 1 : 0);
+        summary_.digest = fnv_step(summary_.digest, rc.reloaded_digest);
       }
     }
 

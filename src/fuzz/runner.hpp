@@ -31,6 +31,12 @@ struct RunnerConfig {
   /// runtime every `crosscheck_every` schedules and compare alert sets.
   std::uint64_t crosscheck_every = 2048;
   std::size_t crosscheck_batch = 64;
+  /// Replay the same batch through an engine that hot-swaps identically
+  /// recompiled rule sets mid-stream and assert byte-identical verdict
+  /// digests (0 disables; rides the same cadence buffer as above).
+  std::uint64_t reload_crosscheck_every = 2048;
+  /// Rule-set swaps injected per reload crosscheck.
+  std::uint64_t reload_swaps = 4;
   /// Violation handling: minimize and persist at most `max_repros` cases.
   bool write_repros = true;
   std::string repro_dir = "fuzz/repros";
@@ -62,6 +68,8 @@ struct RunSummary {
   std::uint64_t slow_path_misses = 0;   // strict-mode violations
   std::uint64_t crosschecks = 0;
   std::uint64_t crosscheck_failures = 0;
+  std::uint64_t reload_crosschecks = 0;
+  std::uint64_t reload_crosscheck_failures = 0;
   std::uint64_t repros_written = 0;
   std::uint64_t shrink_evaluations = 0;
   /// Running FNV-1a over every (schedule digest, outcome) pair — two runs
@@ -70,7 +78,8 @@ struct RunSummary {
   std::vector<std::string> repro_paths;
 
   std::uint64_t violations() const {
-    return missed_detections + slow_path_misses + crosscheck_failures;
+    return missed_detections + slow_path_misses + crosscheck_failures +
+           reload_crosscheck_failures;
   }
   double benign_divert_fraction() const {
     return benign == 0 ? 0.0

@@ -9,7 +9,43 @@ LaneWorker::LaneWorker(const core::SignatureSet& sigs,
                        std::size_t ring_capacity, std::size_t expire_every)
     : engine_(sigs, engine_cfg),
       ring_(ring_capacity),
-      expire_every_(expire_every == 0 ? 1 : expire_every) {}
+      expire_every_(expire_every == 0 ? 1 : expire_every) {
+  adopted_version_ = engine_.ruleset_version();
+  counters_.adopted_version.store(adopted_version_, std::memory_order_relaxed);
+}
+
+LaneWorker::LaneWorker(core::RuleSetHandle rules,
+                       const core::SplitDetectConfig& engine_cfg,
+                       std::size_t ring_capacity, std::size_t expire_every)
+    : engine_(std::move(rules), engine_cfg),
+      ring_(ring_capacity),
+      expire_every_(expire_every == 0 ? 1 : expire_every) {
+  adopted_version_ = engine_.ruleset_version();
+  counters_.adopted_version.store(adopted_version_, std::memory_order_relaxed);
+}
+
+void LaneWorker::attach_registry(control::RuleSetRegistry* registry,
+                                 std::size_t slot) {
+  registry_ = registry;
+  registry_slot_ = slot;
+}
+
+void LaneWorker::maybe_adopt() {
+  // Hot path: ONE acquire load, then a thread-private compare. Everything
+  // below the early return happens once per published version per lane.
+  if (registry_ == nullptr ||
+      registry_->current_version() == adopted_version_) {
+    return;
+  }
+  core::RuleSetHandle h = registry_->current();
+  if (!h || h->version() == adopted_version_) return;
+  const std::uint64_t v = h->version();
+  engine_.swap_ruleset(std::move(h));  // packet boundary: flows stay pinned
+  adopted_version_ = v;
+  counters_.adopted_version.store(v, std::memory_order_relaxed);
+  counters_.adoptions.fetch_add(1, std::memory_order_relaxed);
+  registry_->note_adoption(registry_slot_, v);
+}
 
 LaneWorker::~LaneWorker() {
   request_stop();
@@ -67,6 +103,7 @@ void LaneWorker::run() {
   };
 
   for (;;) {
+    maybe_adopt();
     if (ring_.try_pop(pp)) {
       process(pp);
       continue;

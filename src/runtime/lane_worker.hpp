@@ -16,6 +16,7 @@
 #include <thread>
 #include <vector>
 
+#include "control/registry.hpp"
 #include "core/engine.hpp"
 #include "runtime/parsed_packet.hpp"
 #include "runtime/spsc_ring.hpp"
@@ -47,11 +48,18 @@ struct LaneCounters {
   std::atomic<std::uint64_t> alerts{0};
   std::atomic<std::uint64_t> diverted{0};   // packets sent to the slow path
   std::atomic<std::uint64_t> busy_ns{0};    // time spent inside the engine
+  std::atomic<std::uint64_t> adoptions{0};  // rule-set versions adopted
+  std::atomic<std::uint64_t> adopted_version{0};  // version now running
 };
 
 class LaneWorker {
  public:
   LaneWorker(const core::SignatureSet& sigs,
+             const core::SplitDetectConfig& engine_cfg,
+             std::size_t ring_capacity, std::size_t expire_every);
+  /// Hot-reload shape: lanes share ONE immutable compiled artifact instead
+  /// of each compiling a private copy (N× memory → 1×).
+  LaneWorker(core::RuleSetHandle rules,
              const core::SplitDetectConfig& engine_cfg,
              std::size_t ring_capacity, std::size_t expire_every);
   ~LaneWorker();
@@ -65,6 +73,14 @@ class LaneWorker {
   /// processed (never silently lost).
   void request_stop();
   void join();
+
+  /// Wire this lane to a rule-set registry before start(): the worker then
+  /// probes registry->current_version() each loop iteration (one acquire
+  /// load — the whole per-packet cost of reloadability) and, on a change,
+  /// swaps its engine at the packet boundary and reports the adoption to
+  /// slot `slot` (from RuleSetRegistry::subscribe). The registry must
+  /// outlive the worker thread.
+  void attach_registry(control::RuleSetRegistry* registry, std::size_t slot);
 
   SpscRing<ParsedPacket>& ring() { return ring_; }
   const SpscRing<ParsedPacket>& ring() const { return ring_; }
@@ -85,6 +101,7 @@ class LaneWorker {
 
  private:
   void run();
+  void maybe_adopt();
 
   core::SplitDetectEngine engine_;
   SpscRing<ParsedPacket> ring_;
@@ -93,6 +110,12 @@ class LaneWorker {
   telemetry::LogHistogram frame_bytes_;
   std::vector<core::Alert> alerts_;
   std::size_t expire_every_;
+  /// Optional version feed (null = fixed rule set, zero added cost).
+  control::RuleSetRegistry* registry_ = nullptr;
+  std::size_t registry_slot_ = 0;
+  /// Lane-thread-private copy of the adopted version (the probe compares
+  /// against this, not the atomic, so the hot path stays one load).
+  std::uint64_t adopted_version_ = 0;
   std::atomic<bool> stop_{false};
   std::thread thread_;
 };

@@ -31,7 +31,23 @@ core::SplitDetectConfig make_lane_config(const RuntimeConfig& cfg) {
 
 }  // namespace
 
+namespace {
+
+core::CompileOptions lane_compile_options(const core::SplitDetectConfig& e) {
+  core::CompileOptions opts;
+  opts.piece_len = e.fast.piece_len;
+  opts.layout = e.fast.layout;
+  opts.piece_phase_sample = e.fast.piece_phase_sample;
+  return opts;
+}
+
+}  // namespace
+
 Runtime::Runtime(const core::SignatureSet& sigs, RuntimeConfig cfg)
+    : Runtime(core::compile_ruleset(sigs, lane_compile_options(cfg.engine)),
+              cfg) {}
+
+Runtime::Runtime(core::RuleSetHandle rules, RuntimeConfig cfg)
     : cfg_(cfg), lane_cfg_(make_lane_config(cfg)),
       dispatcher_(cfg.lanes, cfg.link) {
   if (cfg_.ring_capacity == 0) {
@@ -43,10 +59,25 @@ Runtime::Runtime(const core::SignatureSet& sigs, RuntimeConfig cfg)
   if (cfg_.lanes > 4096) {
     throw InvalidArgument("Runtime: lanes > 4096 (misconfigured?)");
   }
+  build_lanes(rules);
+}
+
+void Runtime::build_lanes(const core::RuleSetHandle& rules) {
   lanes_.reserve(cfg_.lanes);
   for (std::size_t i = 0; i < cfg_.lanes; ++i) {
     lanes_.push_back(std::make_unique<LaneWorker>(
-        sigs, lane_cfg_, cfg_.ring_capacity, cfg_.expire_every));
+        rules, lane_cfg_, cfg_.ring_capacity, cfg_.expire_every));
+  }
+}
+
+void Runtime::attach_registry(control::RuleSetRegistry& registry) {
+  if (running_) {
+    throw Error("Runtime::attach_registry: attach before start()");
+  }
+  for (auto& l : lanes_) {
+    const std::uint64_t initial =
+        l->counters().adopted_version.load(std::memory_order_relaxed);
+    l->attach_registry(&registry, registry.subscribe(initial));
   }
 }
 
@@ -137,6 +168,8 @@ StatsSnapshot Runtime::stats() const {
     ls.alerts = c.alerts.load(std::memory_order_relaxed);
     ls.diverted = c.diverted.load(std::memory_order_relaxed);
     ls.busy_ns = c.busy_ns.load(std::memory_order_relaxed);
+    ls.adoptions = c.adoptions.load(std::memory_order_relaxed);
+    ls.adopted_version = c.adopted_version.load(std::memory_order_relaxed);
     ls.fed = c.fed.load(std::memory_order_relaxed);
     ls.ring_size = l->ring().size();
     ls.ring_high_water = l->ring().high_water();
@@ -152,6 +185,7 @@ StatsSnapshot Runtime::stats() const {
     s.bytes += ls.bytes;
     s.alerts += ls.alerts;
     s.diverted += ls.diverted;
+    s.adoptions += ls.adoptions;
   }
   return s;
 }
@@ -181,6 +215,10 @@ void Runtime::register_metrics(telemetry::MetricsRegistry& reg,
     ctr("alerts", "alerts", "lane", &c.alerts);
     ctr("diverted", "packets", "lane", &c.diverted);
     ctr("busy_ns", "ns", "lane", &c.busy_ns);
+    ctr("adoptions", "events", "lane", &c.adoptions);
+    reg.add_gauge(MetricDesc{lp + "adopted_version", "version", "lane"}, [w] {
+      return w->counters().adopted_version.load(std::memory_order_relaxed);
+    });
     ctr("dropped", "packets", "dispatcher", &c.dropped);
     ctr("non_ip", "packets", "dispatcher", &c.non_ip);
     ctr("fed", "packets", "dispatcher", &c.fed);

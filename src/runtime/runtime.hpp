@@ -85,6 +85,8 @@ struct LaneSnapshot {
   std::uint64_t alerts = 0;
   std::uint64_t diverted = 0;
   std::uint64_t busy_ns = 0;
+  std::uint64_t adoptions = 0;        // rule-set versions this lane adopted
+  std::uint64_t adopted_version = 0;  // version the lane runs right now
   std::size_t ring_size = 0;
   std::size_t ring_high_water = 0;
   std::size_t ring_capacity = 0;
@@ -108,6 +110,15 @@ struct StatsSnapshot {
   std::uint64_t bytes = 0;
   std::uint64_t alerts = 0;
   std::uint64_t diverted = 0;
+  std::uint64_t adoptions = 0;  // sum of per-lane adoptions
+
+  /// Lowest rule-set version any lane currently runs (the deployment's
+  /// grace horizon as seen from the lanes themselves).
+  std::uint64_t min_adopted_version() const {
+    std::uint64_t m = UINT64_MAX;
+    for (const auto& l : lanes) m = std::min(m, l.adopted_version);
+    return lanes.empty() ? 0 : m;
+  }
 
   double diverted_fraction() const {
     return processed == 0 ? 0.0
@@ -149,11 +160,22 @@ struct StatsSnapshot {
 
 class Runtime {
  public:
+  /// Compile-on-construct convenience: builds ONE version-0 artifact from
+  /// `sigs` and shares it across every lane (the artifact is immutable, so
+  /// N lanes cost 1× automaton memory, not N×).
   explicit Runtime(const core::SignatureSet& sigs, RuntimeConfig cfg = {});
+  /// Hot-reload shape: all lanes start on this artifact.
+  explicit Runtime(core::RuleSetHandle rules, RuntimeConfig cfg = {});
   ~Runtime();  // stops and joins if still running
 
   Runtime(const Runtime&) = delete;
   Runtime& operator=(const Runtime&) = delete;
+
+  /// Wire every lane to `registry` for hot reloads. Call before start();
+  /// each lane gets a registry slot (RuleSetRegistry::subscribe) and will
+  /// adopt newly published versions at packet boundaries. The registry
+  /// must outlive this runtime.
+  void attach_registry(control::RuleSetRegistry& registry);
 
   /// Spawn the lane threads. Idempotent.
   void start();
@@ -204,6 +226,7 @@ class Runtime {
 
  private:
   void require_stopped(const char* what) const;
+  void build_lanes(const core::RuleSetHandle& rules);
 
   RuntimeConfig cfg_;
   core::SplitDetectConfig lane_cfg_;

@@ -87,6 +87,15 @@ class JsonWriter {
     return value(v);
   }
 
+  /// Splice pre-rendered JSON (one complete value) in value position —
+  /// lets a component embed another component's to_json() verbatim. The
+  /// caller vouches for well-formedness.
+  JsonWriter& raw(std::string_view json) {
+    separator();
+    out_ += json;
+    return *this;
+  }
+
   const std::string& str() const {
     assert(depth_ == 0);
     return out_;

@@ -1,0 +1,120 @@
+#include "control/compiler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+#include "telemetry/registry.hpp"
+
+namespace sdt::control {
+namespace {
+
+core::CompileOptions test_opts() {
+  core::CompileOptions opts;
+  opts.piece_len = 4;
+  return opts;
+}
+
+class TempRuleFile {
+ public:
+  explicit TempRuleFile(const std::string& text) {
+    char name[] = "/tmp/sdt_compiler_test_XXXXXX";
+    const int fd = mkstemp(name);
+    EXPECT_GE(fd, 0);
+    path_ = name;
+    std::ofstream out(path_, std::ios::binary);
+    out << text;
+    if (fd >= 0) ::close(fd);
+  }
+  ~TempRuleFile() { std::remove(path_.c_str()); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+TEST(RuleCompiler, CompilesTextWithDiagnostics) {
+  RuleCompiler rc(test_opts());
+  const CompileResult res = rc.compile_text(
+      "alert tcp any any -> any any (msg:\"good\"; content:\"longenoughsig\"; "
+      "sid:1;)\n"
+      "drop tcp any any -> any any (content:\"nope\";)\n"
+      "alert tcp any any -> any any (msg:\"short\"; content:\"ab\"; sid:2;)\n",
+      "inline-test", 3);
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res.ruleset->version(), 3u);
+  EXPECT_EQ(res.ruleset->signatures().size(), 1u);
+  // Both the parse skip (drop action) and the compile drop (too short)
+  // surface in one report.
+  EXPECT_GE(res.report.count(core::RuleSeverity::skipped), 2u);
+  EXPECT_EQ(res.report.dropped_short, 1u);
+  EXPECT_EQ(rc.compiles(), 1u);
+  EXPECT_EQ(rc.failures(), 0u);
+}
+
+TEST(RuleCompiler, MissingFileFailsCleanly) {
+  RuleCompiler rc(test_opts());
+  const CompileResult res = rc.compile_file("/nonexistent/no.rules", 1);
+  EXPECT_FALSE(res.ok());
+  EXPECT_FALSE(res.report.ok);
+  EXPECT_GE(res.report.count(core::RuleSeverity::fatal), 1u);
+  EXPECT_EQ(rc.failures(), 1u);
+}
+
+TEST(RuleCompiler, EmptyRuleSetIsRejected) {
+  RuleCompiler rc(test_opts());
+  // Every rule unusable: parses, but nothing survives the compile. An
+  // empty rule set must not be published (it would silently disarm the
+  // box), so this is a failed reload, not an empty success.
+  const CompileResult res = rc.compile_text(
+      "alert tcp a a -> a a (msg:\"short\"; content:\"ab\";)\n", "empty", 1);
+  EXPECT_FALSE(res.ok());
+  EXPECT_GE(res.report.count(core::RuleSeverity::fatal), 1u);
+  EXPECT_EQ(rc.failures(), 1u);
+}
+
+TEST(RuleCompiler, CompilesFile) {
+  TempRuleFile file(
+      "# comment\n"
+      "alert tcp any any -> any 80 (msg:\"m1\"; content:\"ABCDEFGHIJ\"; "
+      "sid:100;)\n");
+  RuleCompiler rc(test_opts());
+  const CompileResult res = rc.compile_file(file.path(), 5);
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res.ruleset->version(), 5u);
+  EXPECT_EQ(res.ruleset->source(), file.path());
+  EXPECT_EQ(res.ruleset->signatures().size(), 1u);
+  EXPECT_TRUE(res.ruleset->has_pieces());
+}
+
+TEST(RuleCompiler, ReportJsonRoundTrips) {
+  RuleCompiler rc(test_opts());
+  const CompileResult res = rc.compile_text(
+      "alert tcp a a -> a a (msg:\"ok\"; content:\"longenoughsig\";)\n"
+      "garbage line that is not a rule\n",
+      "json-test", 2);
+  ASSERT_TRUE(res.ok());
+  const std::string js = res.report.to_json();
+  EXPECT_NE(js.find("\"diagnostics\""), std::string::npos);
+  EXPECT_NE(js.find("\"compile_ns\""), std::string::npos);
+  EXPECT_NE(js.find("\"signatures\":1"), std::string::npos);
+}
+
+TEST(RuleCompiler, RegistersMetrics) {
+  RuleCompiler rc(test_opts());
+  (void)rc.compile_text("not a rule\n", "bad", 1);
+  telemetry::MetricsRegistry metrics;
+  rc.register_metrics(metrics, "control");
+  const std::string js =
+      metrics.snapshot(telemetry::SampleScope::live).to_json();
+  EXPECT_NE(js.find("control.compiles"), std::string::npos);
+  EXPECT_NE(js.find("control.failed_compiles"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sdt::control

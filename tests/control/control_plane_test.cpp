@@ -1,0 +1,161 @@
+#include "control/control_plane.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "util/error.hpp"
+
+namespace sdt::control {
+namespace {
+
+core::CompileOptions test_opts() {
+  core::CompileOptions opts;
+  opts.piece_len = 4;
+  return opts;
+}
+
+const char* kGoodRules =
+    "alert tcp any any -> any 80 (msg:\"m1\"; content:\"ABCDEFGHIJ\"; "
+    "sid:100;)\n";
+
+class TempFile {
+ public:
+  explicit TempFile(const char* text, const char* tag) {
+    path_ = std::string("/tmp/sdt_cp_test_") + tag + "_" +
+            std::to_string(::getpid());
+    std::ofstream out(path_, std::ios::binary);
+    out << text;
+  }
+  ~TempFile() { std::remove(path_.c_str()); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+/// One-shot unix-socket client: connect, send `cmd`, read one line back.
+std::string roundtrip(const std::string& sock_path, const std::string& cmd) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, sock_path.c_str(), sizeof(addr.sun_path) - 1);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr), 0)
+      << sock_path;
+  const std::string line = cmd + "\n";
+  EXPECT_EQ(::write(fd, line.data(), line.size()),
+            static_cast<ssize_t>(line.size()));
+  std::string resp;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof buf);
+    if (n <= 0) break;
+    resp.append(buf, static_cast<std::size_t>(n));
+    if (resp.find('\n') != std::string::npos) break;
+  }
+  ::close(fd);
+  const std::size_t nl = resp.find('\n');
+  return nl == std::string::npos ? resp : resp.substr(0, nl);
+}
+
+std::string test_socket_path(const char* tag) {
+  return std::string("/tmp/sdt_cp_sock_") + tag + "_" +
+         std::to_string(::getpid());
+}
+
+TEST(ControlPlane, ExecuteWithoutTransport) {
+  RuleCompiler rc(test_opts());
+  RuleSetRegistry reg;
+  ControlPlane cp(rc, reg);
+
+  EXPECT_NE(cp.execute("ping").find("\"ok\":true"), std::string::npos);
+  EXPECT_NE(cp.execute("bogus-command").find("\"ok\":false"),
+            std::string::npos);
+  // stats without a provider is an error object, not a crash.
+  EXPECT_NE(cp.execute("stats").find("\"ok\":false"), std::string::npos);
+  cp.set_stats_provider([] { return std::string("{\"custom\":1}"); });
+  EXPECT_NE(cp.execute("stats").find("\"custom\":1"), std::string::npos);
+}
+
+TEST(ControlPlane, ReloadPublishesAndBadFileKeepsActive) {
+  TempFile good(kGoodRules, "good");
+  TempFile bad("alert tcp a a -> a a (msg:\"short\"; content:\"ab\";)\n",
+               "bad");
+  RuleCompiler rc(test_opts());
+  RuleSetRegistry reg;
+  ControlPlane cp(rc, reg);
+
+  // First reload publishes v1.
+  const std::string r1 = cp.execute("reload " + good.path());
+  EXPECT_NE(r1.find("\"ok\":true"), std::string::npos);
+  EXPECT_EQ(reg.current_version(), 1u);
+  const core::RuleSetHandle v1 = reg.current();
+  ASSERT_NE(v1, nullptr);
+
+  // A bad file burns a version but must leave v1 active and untouched.
+  const std::string r2 = cp.execute("reload " + bad.path());
+  EXPECT_NE(r2.find("\"ok\":false"), std::string::npos);
+  EXPECT_EQ(reg.current_version(), 1u);
+  EXPECT_EQ(reg.current(), v1);
+  EXPECT_EQ(reg.rejected(), 1u);
+
+  // A missing file too.
+  const std::string r3 = cp.execute("reload /nonexistent/x.rules");
+  EXPECT_NE(r3.find("\"ok\":false"), std::string::npos);
+  EXPECT_EQ(reg.current(), v1);
+
+  // Next good reload lands on a later version (the burned ones are gaps).
+  const std::string r4 = cp.execute("reload " + good.path());
+  EXPECT_NE(r4.find("\"ok\":true"), std::string::npos);
+  EXPECT_GT(reg.current_version(), 2u);
+}
+
+TEST(ControlPlane, ReloadWithoutPathIsUsageError) {
+  RuleCompiler rc(test_opts());
+  RuleSetRegistry reg;
+  ControlPlane cp(rc, reg);
+  EXPECT_NE(cp.execute("reload").find("\"ok\":false"), std::string::npos);
+  EXPECT_NE(cp.execute("reload   ").find("\"ok\":false"), std::string::npos);
+}
+
+TEST(ControlPlane, SocketRoundTrip) {
+  TempFile good(kGoodRules, "rt");
+  RuleCompiler rc(test_opts());
+  RuleSetRegistry reg;
+  ControlPlane cp(rc, reg);
+  const std::string sock = test_socket_path("rt");
+  cp.start(sock);
+  ASSERT_TRUE(cp.listening());
+
+  EXPECT_NE(roundtrip(sock, "ping").find("\"ok\":true"), std::string::npos);
+  EXPECT_NE(roundtrip(sock, "reload " + good.path()).find("\"ok\":true"),
+            std::string::npos);
+  EXPECT_EQ(reg.current_version(), 1u);
+  const std::string status = roundtrip(sock, "ruleset-status");
+  EXPECT_NE(status.find("\"active_version\":1"), std::string::npos);
+
+  cp.stop();
+  EXPECT_FALSE(cp.listening());
+  // The socket file is gone after stop().
+  EXPECT_NE(::access(sock.c_str(), F_OK), 0);
+}
+
+TEST(ControlPlane, StartFailsOnBadPath) {
+  RuleCompiler rc(test_opts());
+  RuleSetRegistry reg;
+  ControlPlane cp(rc, reg);
+  // Longer than sun_path can hold.
+  EXPECT_THROW(cp.start("/tmp/" + std::string(200, 'x')), Error);
+  EXPECT_FALSE(cp.listening());
+}
+
+}  // namespace
+}  // namespace sdt::control

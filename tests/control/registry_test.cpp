@@ -1,0 +1,145 @@
+#include "control/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "telemetry/registry.hpp"
+#include "util/error.hpp"
+
+namespace sdt::control {
+namespace {
+
+core::RuleSetHandle make_rs(std::uint64_t version,
+                            std::string source = "test") {
+  core::SignatureSet sigs;
+  sigs.add("sig", std::string_view("0123456789abcdef"));
+  core::CompileOptions opts;
+  opts.piece_len = 4;
+  return core::compile_ruleset(std::move(sigs), opts, version,
+                               std::move(source));
+}
+
+TEST(RuleSetRegistry, VersionsAreMonotonic) {
+  RuleSetRegistry reg;
+  EXPECT_EQ(reg.current_version(), 0u);
+  EXPECT_EQ(reg.current(), nullptr);
+
+  const std::uint64_t v1 = reg.allocate_version();
+  const std::uint64_t v2 = reg.allocate_version();
+  EXPECT_LT(v1, v2);
+
+  // Publishing out of allocation order is fine (v2's compile finished
+  // first) …
+  reg.publish(make_rs(v2));
+  EXPECT_EQ(reg.current_version(), v2);
+  // … but a stale artifact must never roll the box back.
+  EXPECT_THROW(reg.publish(make_rs(v1)), InvalidArgument);
+  EXPECT_EQ(reg.current_version(), v2);
+  EXPECT_EQ(reg.publishes(), 1u);
+}
+
+TEST(RuleSetRegistry, AllocationSkipsPublishedVersions) {
+  RuleSetRegistry reg;
+  reg.publish(make_rs(reg.allocate_version()));
+  const std::uint64_t next = reg.allocate_version();
+  EXPECT_GT(next, reg.current_version());
+}
+
+TEST(RuleSetRegistry, GraceAccountingPerLane) {
+  RuleSetRegistry reg;
+  const std::size_t lane0 = reg.subscribe(0);
+  const std::size_t lane1 = reg.subscribe(0);
+
+  const std::uint64_t v1 = reg.allocate_version();
+  reg.publish(make_rs(v1));
+  EXPECT_FALSE(reg.grace_complete(v1));
+  EXPECT_EQ(reg.min_adopted(), 0u);
+
+  reg.note_adoption(lane0, v1);
+  EXPECT_FALSE(reg.grace_complete(v1));  // lane1 still on v0
+  reg.note_adoption(lane1, v1);
+  EXPECT_TRUE(reg.grace_complete(v1));
+  EXPECT_EQ(reg.min_adopted(), v1);
+  // The latency histogram recorded exactly one completed reload.
+  EXPECT_EQ(reg.reload_latency_ns().snapshot().count, 1u);
+}
+
+TEST(RuleSetRegistry, NoSubscribersMeansInstantGrace) {
+  RuleSetRegistry reg;
+  const std::uint64_t v = reg.allocate_version();
+  reg.publish(make_rs(v));
+  EXPECT_TRUE(reg.grace_complete(v));
+  EXPECT_EQ(reg.min_adopted(), v);
+}
+
+TEST(RuleSetRegistry, RejectedReloadKeepsActiveVersion) {
+  RuleSetRegistry reg;
+  const std::uint64_t v1 = reg.allocate_version();
+  reg.publish(make_rs(v1));
+
+  const std::uint64_t v2 = reg.allocate_version();
+  reg.note_rejected(v2, "compile failed");
+  EXPECT_EQ(reg.current_version(), v1);
+  EXPECT_EQ(reg.rejected(), 1u);
+  // The burned number never comes back.
+  EXPECT_GT(reg.allocate_version(), v2);
+
+  const std::string js = reg.status_json();
+  EXPECT_NE(js.find("compile failed"), std::string::npos);
+}
+
+TEST(RuleSetRegistry, RetiredVersusReclaimed) {
+  RuleSetRegistry reg;
+  const std::size_t lane = reg.subscribe(0);
+
+  const std::uint64_t v1 = reg.allocate_version();
+  core::RuleSetHandle pinned = make_rs(v1);  // a "flow" pinning v1
+  reg.publish(pinned);
+  reg.note_adoption(lane, v1);
+
+  const std::uint64_t v2 = reg.allocate_version();
+  reg.publish(make_rs(v2));
+  reg.note_adoption(lane, v2);
+
+  // v1 is past grace but still held by `pinned` → retired, not reclaimed.
+  std::string js = reg.status_json();
+  EXPECT_NE(js.find("\"retired\""), std::string::npos);
+
+  pinned.reset();  // the last holder lets go
+  js = reg.status_json();
+  EXPECT_EQ(js.find("\"retired\""), std::string::npos);
+  EXPECT_NE(js.find("\"reclaimed\""), std::string::npos);
+}
+
+TEST(RuleSetRegistry, StatusJsonLifecycle) {
+  RuleSetRegistry reg;
+  const std::size_t lane = reg.subscribe(0);
+  const std::uint64_t v1 = reg.allocate_version();
+  reg.publish(make_rs(v1, "first.rules"));
+
+  std::string js = reg.status_json();
+  EXPECT_NE(js.find("\"adopting\""), std::string::npos);
+  EXPECT_NE(js.find("first.rules"), std::string::npos);
+
+  reg.note_adoption(lane, v1);
+  js = reg.status_json();
+  EXPECT_NE(js.find("\"active\""), std::string::npos);
+}
+
+TEST(RuleSetRegistry, RegistersMetrics) {
+  RuleSetRegistry reg;
+  reg.publish(make_rs(reg.allocate_version()));
+
+  telemetry::MetricsRegistry metrics;
+  reg.register_metrics(metrics, "control");
+  const auto snap = metrics.snapshot(telemetry::SampleScope::live);
+  const std::string js = snap.to_json();
+  EXPECT_NE(js.find("control.active_version"), std::string::npos);
+  EXPECT_NE(js.find("control.publishes"), std::string::npos);
+  EXPECT_NE(js.find("control.rejected_reloads"), std::string::npos);
+  EXPECT_NE(js.find("control.reload_latency_ns"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sdt::control

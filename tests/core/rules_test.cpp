@@ -7,6 +7,15 @@
 namespace sdt::core {
 namespace {
 
+/// The skipped-severity subset of a parse's diagnostics, in file order.
+std::vector<RuleDiagnostic> skipped(const RuleParseResult& r) {
+  std::vector<RuleDiagnostic> out;
+  for (const auto& d : r.diagnostics) {
+    if (d.severity == RuleSeverity::skipped) out.push_back(d);
+  }
+  return out;
+}
+
 TEST(DecodeContent, PlainAscii) {
   EXPECT_EQ(decode_content("cmd.exe"), to_bytes("cmd.exe"));
 }
@@ -32,7 +41,7 @@ TEST(ParseRules, BasicRule) {
   const auto r = parse_rules(
       R"(alert tcp any any -> any 80 (msg:"IIS probe"; content:"cmd.exe"; sid:1001;))");
   ASSERT_EQ(r.parsed(), 1u);
-  EXPECT_TRUE(r.skipped.empty());
+  EXPECT_EQ(r.count(RuleSeverity::skipped), 0u);
   EXPECT_EQ(r.signatures[0].name, "IIS probe");
   EXPECT_EQ(r.signatures[0].bytes, to_bytes("cmd.exe"));
 }
@@ -58,7 +67,7 @@ TEST(ParseRules, CommentsAndBlanksIgnored) {
       "   # indented comment\n"
       "alert tcp any any -> any any (msg:\"m\"; content:\"zz\";)\n");
   EXPECT_EQ(r.parsed(), 1u);
-  EXPECT_TRUE(r.skipped.empty());
+  EXPECT_EQ(r.count(RuleSeverity::skipped), 0u);
 }
 
 TEST(ParseRules, LineContinuation) {
@@ -73,17 +82,19 @@ TEST(ParseRules, SkipsUnsupportedAction) {
   const auto r =
       parse_rules("drop tcp any any -> any any (content:\"x\";)");
   EXPECT_EQ(r.parsed(), 0u);
-  ASSERT_EQ(r.skipped.size(), 1u);
-  EXPECT_EQ(r.skipped[0].line, 1u);
-  EXPECT_NE(r.skipped[0].reason.find("unsupported action"), std::string::npos);
+  const auto sk = skipped(r);
+  ASSERT_EQ(sk.size(), 1u);
+  EXPECT_EQ(sk[0].line, 1u);
+  EXPECT_NE(sk[0].reason.find("unsupported action"), std::string::npos);
 }
 
 TEST(ParseRules, SkipsMultiContent) {
   const auto r = parse_rules(
       "alert tcp a a -> a a (content:\"one\"; content:\"two\";)");
   EXPECT_EQ(r.parsed(), 0u);
-  ASSERT_EQ(r.skipped.size(), 1u);
-  EXPECT_NE(r.skipped[0].reason.find("multiple content"), std::string::npos);
+  const auto sk = skipped(r);
+  ASSERT_EQ(sk.size(), 1u);
+  EXPECT_NE(sk[0].reason.find("multiple content"), std::string::npos);
 }
 
 TEST(ParseRules, SkipsMissingContentAndBadHex) {
@@ -91,13 +102,27 @@ TEST(ParseRules, SkipsMissingContentAndBadHex) {
       "alert tcp a a -> a a (msg:\"no content\";)\n"
       "alert tcp a a -> a a (content:\"|xx|\";)\n");
   EXPECT_EQ(r.parsed(), 0u);
-  EXPECT_EQ(r.skipped.size(), 2u);
+  EXPECT_EQ(r.count(RuleSeverity::skipped), 2u);
 }
 
 TEST(ParseRules, SkipsMissingOptionBlock) {
   const auto r = parse_rules("alert tcp any any -> any any\n");
   EXPECT_EQ(r.parsed(), 0u);
-  ASSERT_EQ(r.skipped.size(), 1u);
+  ASSERT_EQ(r.count(RuleSeverity::skipped), 1u);
+}
+
+TEST(ParseRules, DiagnosticsCarryLineNumbers) {
+  // Two bad lines separated by a good one: the parser must keep going and
+  // report each problem against its own 1-based line.
+  const auto r = parse_rules(
+      "drop tcp a a -> a a (content:\"x\";)\n"
+      "alert tcp a a -> a a (msg:\"ok\"; content:\"good\";)\n"
+      "alert tcp a a -> a a (msg:\"no content\";)\n");
+  EXPECT_EQ(r.parsed(), 1u);
+  const auto sk = skipped(r);
+  ASSERT_EQ(sk.size(), 2u);
+  EXPECT_EQ(sk[0].line, 1u);
+  EXPECT_EQ(sk[1].line, 3u);
 }
 
 TEST(ParseRules, QuotedSemicolonsAndParens) {
@@ -119,7 +144,7 @@ TEST(ParseRules, ExampleRulesFileLoads) {
   const auto r = load_rules_file(std::string(SDT_SOURCE_DIR) +
                                  "/rules/example.rules");
   EXPECT_EQ(r.parsed(), 8u);
-  EXPECT_EQ(r.skipped.size(), 3u);
+  EXPECT_EQ(r.count(RuleSeverity::skipped), 3u);
   // Binary content decoded: the nop-sled rule starts with 0x90.
   bool found = false;
   for (const auto& s : r.signatures) {

@@ -39,6 +39,8 @@ struct Options {
   bool quick = false;
   bool inject_bug = false;
   bool no_strict = false;
+  bool no_reload_crosscheck = false;
+  std::uint64_t reload_swaps = 4;
   double benign_budget = 0.25;
   std::string replay_path;
   std::string repro_dir = "fuzz/repros";
@@ -51,6 +53,7 @@ void usage(const char* argv0) {
                "          [--lanes N] [--piece-len P] [--synthetic-sigs N]\n"
                "          [--quick] [--inject-bug] [--no-strict]\n"
                "          [--benign-budget F] [--repro-dir DIR]\n"
+               "          [--no-reload-crosscheck] [--reload-swaps N]\n"
                "          [--stats-out FILE] [--replay REPRO.json]\n",
                argv0);
 }
@@ -138,6 +141,10 @@ bool parse_args(int argc, char** argv, Options& opt) {
       const char* v = need("--replay");
       if (!v) return false;
       opt.replay_path = v;
+    } else if (a == "--reload-swaps") {
+      if (!need_u64("--reload-swaps", opt.reload_swaps)) return false;
+    } else if (a == "--no-reload-crosscheck") {
+      opt.no_reload_crosscheck = true;
     } else if (a == "--quick") {
       opt.quick = true;
     } else if (a == "--inject-bug") {
@@ -192,11 +199,14 @@ int run_campaign(const Options& opt) {
   cfg.harness.piece_len = opt.piece_len;
   cfg.harness.inject_small_segment_bug = opt.inject_bug;
   cfg.harness.strict = !opt.no_strict;
+  cfg.reload_crosscheck_every = opt.no_reload_crosscheck ? 0 : 2048;
+  cfg.reload_swaps = opt.reload_swaps;
   if (opt.quick) {
     cfg.gen.max_pad = 400;        // shorter streams
     cfg.crosscheck_every = 1024;  // still a few crosschecks per smoke run
     cfg.crosscheck_batch = 32;
     cfg.shrink_budget = 1500;
+    if (!opt.no_reload_crosscheck) cfg.reload_crosscheck_every = 1024;
   }
 
   sdt::fuzz::FuzzRunner runner(corpus, cfg);
