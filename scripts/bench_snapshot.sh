@@ -41,6 +41,7 @@ BENCHES=(
   anomaly_census    # E7
   slowpath_load     # E8
   overlap_policies  # E9
+  diversion_flood   # E10
   phase_ablation    # A2
   lane_scaling      # A3
   runtime_scaling   # A4

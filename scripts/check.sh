@@ -4,14 +4,16 @@
 #
 #   1. configure + build + full ctest in ./build        (the tier-1 contract)
 #   2. TSan build of the runtime in ./build-tsan and
-#      ctest -L 'runtime|telemetry|control' under it    (the data-race gate:
-#      lanes, stats, and rule-set hot-reload)
+#      ctest -L 'runtime|telemetry|control|slowpath' under it (the
+#      data-race gate: lanes, stats, rule-set hot-reload, and the
+#      lane-threads → slow-path-worker queue boundary)
 #   3. bench_snapshot.sh --quick smoke: the bench suite must produce a
 #      snapshot that validates against the documented schema
 #      (docs/OBSERVABILITY.md)
 #   4. fuzz-smoke: ASan+UBSan build in ./build-asan, a 10k-schedule
-#      differential fuzz campaign (sdt_fuzz --quick --seed 1), and
-#      ctest -L fuzz under the sanitizers (docs/TESTING.md)
+#      differential fuzz campaign (sdt_fuzz --quick --seed 1), ctest -L
+#      fuzz under the sanitizers, and the slow-path churn soak under ASan
+#      (flow-table lifecycle leaks surface as growth) (docs/TESTING.md)
 #
 # The nightly soak is the same fuzzer run open-ended; see docs/TESTING.md:
 #   ./build-asan/tools/sdt_fuzz --seconds 3600 --seed "$(date +%s)"
@@ -33,9 +35,9 @@ echo "== tsan: configure + build (SDT_SANITIZE=thread) =="
 cmake -B build-tsan -S . -DSDT_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "${JOBS}"
 
-echo "== tsan: ctest -L 'runtime|telemetry|control' =="
-(cd build-tsan && ctest -L 'runtime|telemetry|control' --output-on-failure \
-  -j "${JOBS}")
+echo "== tsan: ctest -L 'runtime|telemetry|control|slowpath' =="
+(cd build-tsan && ctest -L 'runtime|telemetry|control|slowpath' \
+  --output-on-failure -j "${JOBS}")
 
 echo "== bench snapshot smoke (--quick) =="
 SMOKE="$(mktemp /tmp/sdt_bench_smoke.XXXXXX.json)"
@@ -53,5 +55,8 @@ echo "== fuzz-smoke: sdt_fuzz --schedules 10000 --quick --seed 1 =="
 
 echo "== fuzz-smoke: ctest -L fuzz (asan+ubsan) =="
 (cd build-asan && ctest -L fuzz --output-on-failure -j "${JOBS}")
+
+echo "== churn-soak smoke: slowpath lifecycle under asan =="
+./build-asan/tests/slowpath_churn_soak_test >/dev/null
 
 echo "== all checks passed =="

@@ -26,7 +26,8 @@ ConventionalIps::ConventionalIps(const SignatureSet& sigs,
 
 ConventionalIps::ConventionalIps(RuleSetHandle rules, ConventionalIpsConfig cfg)
     : cfg_(cfg), rules_(std::move(rules)), defrag_(cfg.defrag),
-      table_({cfg.max_flows}) {
+      table_({.max_flows = cfg.max_flows,
+              .idle_timeout_usec = cfg.flow_idle_timeout_usec}) {
   if (!rules_) throw InvalidArgument("ConventionalIps: null rule-set handle");
   const auto reasm_cfg = cfg_.reasm;
   table_.set_value_factory([reasm_cfg] { return ConnState(reasm_cfg); });
@@ -254,8 +255,12 @@ void ConventionalIps::adopt_flow(
 }
 
 void ConventionalIps::expire(std::uint64_t now_usec) {
-  table_.expire_idle(now_usec, cfg_.flow_idle_timeout_usec);
+  table_.expire_due(now_usec);
   defrag_.expire(now_usec);
+}
+
+bool ConventionalIps::erase_flow(const flow::FlowKey& key) {
+  return table_.erase(key);
 }
 
 std::size_t ConventionalIps::memory_bytes() const {

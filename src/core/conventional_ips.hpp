@@ -130,8 +130,14 @@ class ConventionalIps {
 
   static constexpr std::uint16_t kNoLeakBound[2] = {0, 0};
 
-  /// Time-based housekeeping (flow idle expiry + defrag timeout).
+  /// Time-based housekeeping (timing-wheel flow expiry + defrag timeout).
   void expire(std::uint64_t now_usec);
+
+  /// Budget hook for the slow-path admission controller: drop one flow's
+  /// reassembly state outright (a shed flow must stop holding buffers the
+  /// moment the admission verdict lands, not at its idle timeout). Returns
+  /// true when state existed.
+  bool erase_flow(const flow::FlowKey& key);
 
   const ConventionalIpsStats& stats() const { return stats_; }
   std::size_t flows() const { return table_.size(); }

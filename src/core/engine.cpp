@@ -4,9 +4,7 @@
 
 namespace sdt::core {
 
-namespace {
-
-ConventionalIpsConfig slow_config(const SplitDetectConfig& cfg) {
+ConventionalIpsConfig derive_slow_config(const SplitDetectConfig& cfg) {
   ConventionalIpsConfig c;
   c.reasm = cfg.slow_reasm;
   c.defrag = cfg.defrag;
@@ -25,8 +23,6 @@ ConventionalIpsConfig slow_config(const SplitDetectConfig& cfg) {
   c.min_ttl = cfg.min_ttl;
   return c;
 }
-
-}  // namespace
 
 namespace {
 
@@ -52,7 +48,7 @@ SplitDetectEngine::SplitDetectEngine(const SignatureSet& sigs,
 
 SplitDetectEngine::SplitDetectEngine(RuleSetHandle rules, SplitDetectConfig cfg)
     : fast_(rules, fast_config(cfg)),
-      slow_(std::move(rules), slow_config(cfg)),
+      slow_(std::move(rules), derive_slow_config(cfg)),
       defrag_(cfg.defrag) {}
 
 void SplitDetectEngine::swap_ruleset(RuleSetHandle rules) {
@@ -69,6 +65,11 @@ Action SplitDetectEngine::process(const net::PacketView& pv,
   if (d.action == Action::forward) return Action::forward;
 
   ++diverted_packets_;
+
+  // External slow path installed: the boundary is enqueue-or-shed, not a
+  // synchronous reassembly call. Fragments are still defragmented here so
+  // the sink only ever sees whole flow-keyed datagrams.
+  if (sink_ != nullptr) return divert_to_sink(pv, d, now_usec, alerts);
 
   if (d.takeover) {
     slow_.adopt_flow(d.takeover->key, d.takeover->base_seq, now_usec,
@@ -98,6 +99,71 @@ Action SplitDetectEngine::process(const net::PacketView& pv,
   return new_alerts > 0 ? Action::alert : Action::divert;
 }
 
+Action SplitDetectEngine::divert_to_sink(const net::PacketView& pv,
+                                         FastDecision d,
+                                         std::uint64_t now_usec,
+                                         std::vector<Alert>& alerts) {
+  if (d.reason == DivertReason::ip_fragment) {
+    auto datagram = defrag_.add(pv, now_usec);
+    if (!datagram) return Action::divert;  // absorbed, awaiting siblings
+    const net::PacketView whole = net::PacketView::parse_ipv4(*datagram);
+    if (!whole.ok() || (!whole.has_tcp && !whole.has_udp)) {
+      ++sink_unroutable_;
+      return Action::divert;
+    }
+    const flow::FlowRef ref = flow::make_flow_ref(whole);
+    DivertedPacket dp;
+    dp.datagram = std::move(*datagram);
+    dp.ts_usec = now_usec;
+    dp.key = ref.key;
+    dp.reason = DivertReason::ip_fragment;
+    // Pin the revealed flow to the slow path exactly as the synchronous
+    // engine does, and carry the takeover so the sink's IPS can adopt it.
+    dp.takeover = fast_.force_divert(ref.key, now_usec);
+    return ship_to_sink(std::move(dp), now_usec, alerts);
+  }
+
+  if (!pv.ok() || (!pv.has_tcp && !pv.has_udp)) {
+    // No flow identity to route or admit on (hostile headers). Still not
+    // forwarded clean — the caller sees divert — but nothing to enqueue.
+    ++sink_unroutable_;
+    return Action::divert;
+  }
+
+  const flow::FlowRef ref = flow::make_flow_ref(pv);
+  DivertedPacket dp;
+  dp.datagram.assign(pv.ip_datagram.begin(), pv.ip_datagram.end());
+  dp.ts_usec = now_usec;
+  dp.key = ref.key;
+  dp.reason = d.reason;
+  dp.takeover = std::move(d.takeover);
+  return ship_to_sink(std::move(dp), now_usec, alerts);
+}
+
+Action SplitDetectEngine::ship_to_sink(DivertedPacket&& dp,
+                                       std::uint64_t now_usec,
+                                       std::vector<Alert>& alerts) {
+  const flow::FlowKey key = dp.key;  // copy out before the move below
+  switch (sink_->divert(std::move(dp))) {
+    case DivertOutcome::admitted:
+      ++sink_enqueued_;
+      return Action::divert;
+    case DivertOutcome::shed:
+      // Shed-with-alert: the refusal is an explicit, attributable verdict.
+      // One alert per flow (the sink reports repeats as shed_again).
+      ++sink_shed_packets_;
+      ++sink_shed_flows_;
+      ++alerts_;
+      alerts.push_back(
+          Alert{key, kSlowPathShedAlertId, now_usec, 0, "slowpath-shed"});
+      return Action::alert;
+    case DivertOutcome::shed_again:
+      ++sink_shed_packets_;
+      return Action::divert;
+  }
+  return Action::divert;  // unreachable; keeps -Wreturn-type honest
+}
+
 Action SplitDetectEngine::process(const net::Packet& pkt, net::LinkType lt,
                                   std::vector<Alert>& alerts) {
   const net::PacketView pv = net::PacketView::parse(pkt.frame, lt);
@@ -123,6 +189,10 @@ void SplitDetectEngine::register_metrics(telemetry::MetricsRegistry& reg,
   gauge("packets", "packets", [this] { return packets_; });
   gauge("alerts", "alerts", [this] { return alerts_; });
   gauge("diverted_packets", "packets", [this] { return diverted_packets_; });
+  gauge("sink_enqueued", "packets", [this] { return sink_enqueued_; });
+  gauge("sink_shed_packets", "packets", [this] { return sink_shed_packets_; });
+  gauge("sink_shed_flows", "flows", [this] { return sink_shed_flows_; });
+  gauge("sink_unroutable", "packets", [this] { return sink_unroutable_; });
   gauge("reloads", "events", [this] { return reloads_; });
   gauge("ruleset_version", "version", [this] { return ruleset_version(); });
   gauge("fast.bytes_scanned", "bytes",

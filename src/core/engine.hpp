@@ -17,6 +17,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "core/conventional_ips.hpp"
@@ -27,6 +28,51 @@
 #include "telemetry/registry.hpp"
 
 namespace sdt::core {
+
+/// The ConventionalIps configuration a SplitDetectEngine derives from its
+/// own config for the internal slow path. Exported so an external
+/// slow-path service can run an *identically configured* IPS — verdict
+/// parity between the synchronous engine and the decoupled service is a
+/// tested invariant (the fuzz crosscheck), and it starts here.
+struct SplitDetectConfig;
+ConventionalIpsConfig derive_slow_config(const SplitDetectConfig& cfg);
+
+/// One unit of diverted work crossing the engine → slow-path boundary when
+/// an external DivertSink is installed. Fragments are defragmented on the
+/// engine's (lane) thread before the boundary, so a DivertedPacket is always
+/// a whole, parseable, flow-keyed IPv4 datagram — the sink never sees
+/// partial fragments and can route/admit purely on `key`.
+struct DivertedPacket {
+  Bytes datagram;               ///< owning copy of the whole IPv4 datagram
+  std::uint64_t ts_usec = 0;
+  flow::FlowKey key;            ///< canonical identity (routing + admission)
+  DivertReason reason = DivertReason::none;
+  /// Set on a flow's first diversion: the fast path's sequence bases and
+  /// leak bounds the adopting ConventionalIps needs (see adopt_flow).
+  std::optional<FastDecision::Takeover> takeover;
+};
+
+/// Admission verdict the sink returns synchronously. `shed` vs `shed_again`
+/// distinguishes the first refusal of a flow (the engine raises one
+/// kSlowPathShedAlertId alert) from repeat refusals (counted, not re-alerted).
+enum class DivertOutcome : std::uint8_t {
+  admitted,    ///< queued for (or handed to) slow-path processing
+  shed,        ///< refused at admission; first shed of this flow → alert
+  shed_again,  ///< refused; flow already shed earlier (no new alert)
+};
+
+/// Boundary between the per-packet engine and a decoupled slow path (see
+/// sdt::slowpath::SlowPathService). Installing a sink replaces the engine's
+/// internal synchronous ConventionalIps call for diverted traffic; with no
+/// sink installed behaviour is exactly the classic synchronous engine.
+class DivertSink {
+ public:
+  virtual ~DivertSink() = default;
+  /// Called on the engine's thread; must be cheap (enqueue + admission
+  /// bookkeeping, no reassembly). May be called from several lane threads
+  /// concurrently — implementations synchronise internally.
+  virtual DivertOutcome divert(DivertedPacket&& dp) = 0;
+};
 
 struct SplitDetectConfig {
   FastPathConfig fast;
@@ -48,6 +94,12 @@ struct SplitDetectStats {
   std::uint64_t diverted_packets = 0;  // all packets sent to the slow path
   std::uint64_t reloads = 0;           // swap_ruleset calls accepted
   std::uint64_t ruleset_version = 0;   // version the fast path runs now
+
+  // External-sink mode only (all zero when no DivertSink is installed).
+  std::uint64_t sink_enqueued = 0;      // diverted units the sink admitted
+  std::uint64_t sink_shed_packets = 0;  // units refused at admission
+  std::uint64_t sink_shed_flows = 0;    // first-shed events (= shed alerts)
+  std::uint64_t sink_unroutable = 0;    // diverted but no flow identity
 
   /// Fraction of packets that needed slow-path processing.
   double slow_packet_fraction() const {
@@ -89,6 +141,15 @@ class SplitDetectEngine {
   /// Drive housekeeping (flow expiry in both paths).
   void expire(std::uint64_t now_usec);
 
+  /// Install (or clear, with nullptr) an external slow-path sink. With a
+  /// sink installed, diverted traffic is defragmented, flow-keyed and handed
+  /// to the sink instead of the internal synchronous ConventionalIps; the
+  /// sink's admission verdict decides queued vs shed (a first shed raises a
+  /// kSlowPathShedAlertId alert inline). Call before traffic, from the
+  /// thread that drives process(). The sink must outlive the engine's use.
+  void set_divert_sink(DivertSink* sink) { sink_ = sink; }
+  bool has_divert_sink() const { return sink_ != nullptr; }
+
   /// By-value stats snapshot: composed on the way out, mutating nothing, so
   /// a stats poller holding a const reference to a quiescent engine gets a
   /// coherent copy instead of aliasing live counters through a const_cast.
@@ -101,6 +162,10 @@ class SplitDetectEngine {
     s.diverted_packets = diverted_packets_;
     s.reloads = reloads_;
     s.ruleset_version = fast_.ruleset_version();
+    s.sink_enqueued = sink_enqueued_;
+    s.sink_shed_packets = sink_shed_packets_;
+    s.sink_shed_flows = sink_shed_flows_;
+    s.sink_unroutable = sink_unroutable_;
     return s;
   }
   const FastPath& fast_path() const { return fast_; }
@@ -125,13 +190,25 @@ class SplitDetectEngine {
   }
 
  private:
+  /// Sink-mode diversion: defragment, flow-key, hand to sink_, translate
+  /// the admission outcome (shed → alert) into an Action.
+  Action divert_to_sink(const net::PacketView& pv, FastDecision d,
+                        std::uint64_t now_usec, std::vector<Alert>& alerts);
+  Action ship_to_sink(DivertedPacket&& dp, std::uint64_t now_usec,
+                      std::vector<Alert>& alerts);
+
   FastPath fast_;
   ConventionalIps slow_;
   reassembly::IpDefragmenter defrag_;
+  DivertSink* sink_ = nullptr;
   std::uint64_t packets_ = 0;
   std::uint64_t alerts_ = 0;
   std::uint64_t diverted_packets_ = 0;
   std::uint64_t reloads_ = 0;
+  std::uint64_t sink_enqueued_ = 0;
+  std::uint64_t sink_shed_packets_ = 0;
+  std::uint64_t sink_shed_flows_ = 0;
+  std::uint64_t sink_unroutable_ = 0;
 };
 
 /// One-call offline convenience: run a whole pcap file through an engine.

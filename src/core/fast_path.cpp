@@ -39,7 +39,10 @@ FastPath::FastPath(const SignatureSet& sigs, FastPathConfig cfg)
     : FastPath(compile_for_fast_path(sigs, cfg), cfg) {}
 
 FastPath::FastPath(RuleSetHandle rules, FastPathConfig cfg)
-    : cfg_(std::move(cfg)), rules_(std::move(rules)), table_({cfg_.max_flows}) {
+    : cfg_(std::move(cfg)), rules_(std::move(rules)),
+      table_({.max_flows = cfg_.max_flows,
+              .idle_timeout_usec = cfg_.flow_idle_timeout_usec,
+              .linger_usec = cfg_.fin_linger_usec}) {
   check_compatible(rules_, cfg_);
 }
 
@@ -186,7 +189,14 @@ FastDecision FastPath::process(const net::PacketView& pv,
     ++stats_.ooo_anomalies;
     return divert(st, ref, DivertReason::out_of_order);
   }
-  if (tcp.fin()) st.fin_seen |= dbit;
+  if (tcp.fin()) {
+    st.fin_seen |= dbit;
+    // Both directions closed: collapse this record's lifetime to the FIN
+    // linger (conntrack teardown). The linger still covers the final ACK
+    // and absorbs benign FIN retransmits; post-linger data starts a fresh
+    // flow, exactly as the receiving stack would treat it.
+    if (st.fin_seen == 0x3) table_.mark_closing(ref.key, now_usec);
+  }
 
   // (4) A pending small segment is absolved by a bare *in-sequence* FIN
   // (it really was the stream's last data), confirmed as an anomaly by any
@@ -235,7 +245,7 @@ FastDecision FastPath::process(const net::PacketView& pv,
       st.have_seq |= dbit;
     }
   } else if (seg_len != 0 || !payload.empty()) {
-    if (tcp.seq() != st.next_seq[d]) {
+    if (net::seq_cmp(tcp.seq(), st.next_seq[d]) != 0) {
       ++stats_.ooo_anomalies;
       // Divert *before* resyncing: the takeover base must be the first
       // byte the fast path has not forwarded, so the slow path accepts
@@ -244,8 +254,9 @@ FastDecision FastPath::process(const net::PacketView& pv,
         return divert(st, ref, DivertReason::out_of_order);
       }
       // Tolerated anomaly: resync so one reordering event costs one
-      // anomaly, not a cascade.
-      if (net::seq_gt(tcp.seq() + seg_len, st.next_seq[d])) {
+      // anomaly, not a cascade. seq_cmp, not built-in >, so a resync
+      // straddling the 2^32 wrap moves the expectation forward.
+      if (net::seq_cmp(tcp.seq() + seg_len, st.next_seq[d]) > 0) {
         st.next_seq[d] = tcp.seq() + seg_len;
       }
     } else {
@@ -256,8 +267,12 @@ FastDecision FastPath::process(const net::PacketView& pv,
   // (7) State reclamation on a *sequence-valid* RST only. An out-of-window
   // RST would be ignored by the receiver; erasing on it would let an
   // attacker reset our sequence baseline while the real connection lives.
-  if (tcp.rst() && (st.have_seq & dbit) && tcp.seq() == st.next_seq[d]) {
-    table_.erase(ref.key);
+  if (tcp.rst() && (st.have_seq & dbit) &&
+      net::seq_cmp(tcp.seq(), st.next_seq[d]) == 0) {
+    // Sequence-valid RST: collapse to the linger instead of erasing
+    // outright, so straggler packets of the dead connection (the peer's
+    // own RST, a crossed FIN) do not re-materialize a fresh record.
+    table_.mark_closing(ref.key, now_usec);
   }
 
   return FastDecision{Action::forward, DivertReason::none, {}};

@@ -53,6 +53,12 @@ struct FastPathConfig {
   std::uint8_t min_ttl = 0;
   std::size_t max_flows = 1 << 20;
   std::uint64_t flow_idle_timeout_usec = 60ull * 1000 * 1000;
+  /// Once both directions' FINs (or a sequence-valid RST) are seen, the
+  /// 16-byte record lingers only this long instead of the idle timeout —
+  /// the conntrack-style teardown that makes 1M-flow churn a steady state.
+  /// Diverted flows are exempt: their record keeps routing packets to the
+  /// slow path for the full idle timeout.
+  std::uint64_t fin_linger_usec = 5ull * 1000 * 1000;
   match::AcLayout layout = match::AcLayout::dense_dfa;
   /// TEST-ONLY: disable the small-segment anomaly check entirely, breaking
   /// the detection theorem on purpose. Exists so the differential fuzzer
@@ -152,9 +158,9 @@ class FastPath {
   FastDecision::Takeover force_divert(const flow::FlowKey& key,
                                       std::uint64_t now_usec);
 
-  void expire(std::uint64_t now_usec) {
-    table_.expire_idle(now_usec, cfg_.flow_idle_timeout_usec);
-  }
+  /// Timing-wheel housekeeping: expires idle flows (idle timeout) and
+  /// closed flows (FIN/RST linger). O(due flows), not O(table).
+  void expire(std::uint64_t now_usec) { table_.expire_due(now_usec); }
 
   const FastPathStats& stats() const { return stats_; }
   const FastPathConfig& config() const { return cfg_; }

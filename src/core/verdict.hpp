@@ -31,6 +31,12 @@ enum class DivertReason : std::uint8_t {
 
 const char* to_string(DivertReason r);
 
+/// Sentinel signature id for slow-path shed notifications: the admission
+/// controller refused a diverted flow under saturation. Shedding is an
+/// explicit, alerted verdict — never a silent drop — so the operator sees
+/// exactly which flows lost slow-path scrutiny (see docs/OPERATIONS.md).
+inline constexpr std::uint32_t kSlowPathShedAlertId = 0xfffffffdu;
+
 /// A detected signature occurrence.
 struct Alert {
   flow::FlowKey flow;

@@ -157,6 +157,13 @@ void FlowForge::close() {
   }
 }
 
+void FlowForge::client_rst() {
+  Seg s;
+  s.rel_off = client_sent_;
+  ++ip_id_;
+  emit(client_packet(s, static_cast<std::uint8_t>(net::kTcpRst | net::kTcpAck)));
+}
+
 std::vector<Seg> plan_plain(ByteView stream, std::size_t mss,
                             bool fin_on_last) {
   if (mss == 0) throw InvalidArgument("plan_plain: mss == 0");

@@ -71,6 +71,11 @@ class FlowForge {
   /// Client FIN (bare) + server FIN|ACK + client ACK.
   void close();
 
+  /// Abortive close: one sequence-valid client RST at the current stream
+  /// point. No FIN exchange, the peer goes silent — the IPS must tear the
+  /// flow down from this single packet (after its linger window).
+  void client_rst();
+
   /// A fragmented client segment: the TCP packet is built, then split into
   /// IPv4 fragments of at most `frag_payload` bytes each, emitted in order
   /// or reversed.

@@ -164,6 +164,65 @@ GeneratedTrace generate(const TrafficConfig& cfg,
   return out;
 }
 
+GeneratedTrace generate_churn_impl(const ChurnConfig& cfg, Rng& rng) {
+  GeneratedTrace out;
+  out.flows = cfg.total_flows;
+
+  // Stretch each flow's packet pacing so its lifetime spans roughly
+  // `concurrent_flows` birth slots: that is what makes the target
+  // concurrency a steady state rather than a startup transient.
+  const std::uint64_t lifetime =
+      std::max<std::uint64_t>(1, cfg.concurrent_flows) *
+      std::max<std::uint64_t>(1, cfg.birth_spacing_usec);
+
+  std::vector<std::vector<net::Packet>> per_flow;
+  per_flow.reserve(cfg.total_flows);
+  for (std::size_t i = 0; i < cfg.total_flows; ++i) {
+    const std::uint64_t start =
+        cfg.start_ts_usec + i * cfg.birth_spacing_usec;
+    const Bytes payload = generate_payload(
+        rng,
+        static_cast<std::size_t>(rng.range(cfg.min_payload, cfg.max_payload)),
+        cfg.text_fraction);
+    out.payload_bytes += payload.size();
+    const std::vector<Seg> plan = plan_plain(payload, cfg.mss, false);
+
+    // handshake(3) + data + one server ACK + close(<=3), paced across the
+    // flow's lifetime.
+    const std::uint64_t npkts = 3 + plan.size() + 1 + 3;
+    FlowForge f(endpoints_for_flow(i, rng), start,
+                std::max<std::uint64_t>(1, lifetime / npkts));
+    f.handshake();
+    f.client_segments(plan);
+    f.server_ack();
+
+    const double roll = rng.uniform();
+    if (roll < cfg.fin_fraction) {
+      f.close();
+      ++out.fin_flows;
+    } else if (roll < cfg.fin_fraction + cfg.rst_fraction) {
+      f.client_rst();
+      ++out.rst_flows;
+    } else {
+      ++out.abandoned_flows;  // goes silent: idle-timeout food
+    }
+    per_flow.push_back(f.take());
+  }
+
+  std::size_t total = 0;
+  for (const auto& v : per_flow) total += v.size();
+  out.packets.reserve(total);
+  for (auto& v : per_flow) {
+    for (auto& p : v) out.packets.push_back(std::move(p));
+  }
+  std::stable_sort(out.packets.begin(), out.packets.end(),
+                   [](const net::Packet& a, const net::Packet& b) {
+                     return a.ts_usec < b.ts_usec;
+                   });
+  for (const auto& p : out.packets) out.total_bytes += p.frame.size();
+  return out;
+}
+
 }  // namespace
 
 Bytes generate_payload(Rng& rng, std::size_t n, double text_fraction) {
@@ -197,6 +256,15 @@ GeneratedTrace generate_mixed(const TrafficConfig& cfg,
                               const core::SignatureSet& sigs,
                               const AttackMix& mix, Rng& rng) {
   return generate(cfg, &sigs, &mix, rng);
+}
+
+GeneratedTrace generate_churn(const ChurnConfig& cfg) {
+  Rng rng(cfg.seed);
+  return generate_churn_impl(cfg, rng);
+}
+
+GeneratedTrace generate_churn(const ChurnConfig& cfg, Rng& rng) {
+  return generate_churn_impl(cfg, rng);
 }
 
 }  // namespace sdt::evasion

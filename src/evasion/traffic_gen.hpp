@@ -60,6 +60,10 @@ struct GeneratedTrace {
   std::uint64_t total_bytes = 0;     // sum of frame bytes
   std::uint64_t payload_bytes = 0;   // application bytes carried
   std::size_t attack_flows = 0;      // mixed traces only
+  // Churn traces only: how each flow ended (fin + rst + abandoned == flows).
+  std::size_t fin_flows = 0;
+  std::size_t rst_flows = 0;
+  std::size_t abandoned_flows = 0;
 };
 
 /// Purely benign traffic.
@@ -86,6 +90,43 @@ GeneratedTrace generate_mixed(const TrafficConfig& cfg,
 GeneratedTrace generate_mixed(const TrafficConfig& cfg,
                               const core::SignatureSet& sigs,
                               const AttackMix& mix, Rng& rng);
+
+/// Flow-churn workload: the lifecycle stressor behind the 1M-flow soak.
+///
+/// `total_flows` short connections are born at a steady `birth_spacing_usec`
+/// cadence; each flow's packet pacing is stretched so its lifetime covers
+/// roughly `concurrent_flows` birth slots — i.e. ~`concurrent_flows`
+/// connections are live at any instant, and the population turns over
+/// continuously. Flows end three ways (the mix is the point: it drives
+/// every teardown path of the flow-table lifecycle):
+///   * FIN  — graceful close; both directions FIN, then the linger window,
+///   * RST  — abortive close; one sequence-valid reset, then silence,
+///   * abandoned — the flow just stops talking (idle-timeout food for the
+///     timing wheel).
+/// Payloads are small on purpose: churn stresses state management, not
+/// payload scanning.
+struct ChurnConfig {
+  /// Target live-connection population (approximate, by construction).
+  std::size_t concurrent_flows = 1000;
+  /// Connections born over the whole trace.
+  std::size_t total_flows = 10000;
+  std::uint64_t seed = 1;
+  std::uint64_t start_ts_usec = 1000ull * 1000 * 1000;
+  /// Microseconds between consecutive flow births.
+  std::uint64_t birth_spacing_usec = 100;
+  std::size_t mss = 1460;
+  /// Application bytes per flow (uniform).
+  std::size_t min_payload = 64;
+  std::size_t max_payload = 2048;
+  double text_fraction = 0.5;
+  /// Close mix: FIN / RST / (remainder) abandoned.
+  double fin_fraction = 0.6;
+  double rst_fraction = 0.3;
+};
+
+GeneratedTrace generate_churn(const ChurnConfig& cfg);
+/// Explicit-RNG form (cfg.seed ignored; see generate_benign overload).
+GeneratedTrace generate_churn(const ChurnConfig& cfg, Rng& rng);
 
 /// One payload buffer in the generator's content model (exposed for E5).
 Bytes generate_payload(Rng& rng, std::size_t n, double text_fraction);

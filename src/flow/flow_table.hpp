@@ -1,13 +1,25 @@
 // Bounded flow table: open-addressing index over a slab of per-flow records,
-// with an intrusive LRU list for capacity eviction and an idle-timeout sweep.
+// with an intrusive LRU list for capacity eviction, an idle-timeout sweep,
+// and a timing-wheel lifecycle so 1M-flow churn is a steady state.
 //
 // Built rather than borrowed because the paper's evaluation hinges on
 // *byte-exact* per-flow state accounting at 1M-connection scale:
-// memory_bytes() reports the true footprint (slab + index), which the
-// E2 state-memory experiment compares between the fast path and the
+// memory_bytes() reports the true footprint (slab + index + wheel), which
+// the E2 state-memory experiment compares between the fast path and the
 // conventional IPS.
+//
+// Lifecycle model (the conntrack shape): every live flow carries a deadline
+// on a single-level timing wheel. A touched flow is rescheduled at
+// now + idle_timeout; a flow whose close was observed (both FINs, or a
+// sequence-valid RST) is marked *closing* and lingers only linger_usec —
+// long enough to absorb the final ACK and benign retransmits, short enough
+// that a churning workload reclaims its slots in seconds, not minutes.
+// expire_due(now) advances the wheel and is O(slots walked + flows
+// expired), independent of table occupancy — the property that makes a
+// 1M-flow table with heavy birth/death sweepable from a packet loop.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <limits>
@@ -25,18 +37,42 @@ class FlowTable {
  public:
   struct Config {
     std::size_t max_flows = 1 << 20;
+    /// Wheel deadline for a live flow: last packet + this. 0 disables the
+    /// wheel entirely (pure LRU table, the pre-lifecycle behaviour).
+    std::uint64_t idle_timeout_usec = 0;
+    /// Wheel deadline once a flow is marked closing (FIN/FIN or valid RST):
+    /// long enough for the final ACK, short enough that churn reclaims in
+    /// seconds (conntrack's CLOSE/TIME_WAIT shape).
+    std::uint64_t linger_usec = 5ull * 1000 * 1000;
+    /// Timing-wheel geometry: slots is rounded up to a power of two. The
+    /// wheel spans slots × granularity; deadlines beyond the span park in
+    /// their modular slot and are re-queued on inspection (lazy revolutions).
+    std::size_t wheel_slots = 256;
+    std::uint64_t wheel_granularity_usec = 500ull * 1000;
   };
 
   /// Called with the key and value of a flow forced out (LRU eviction or
   /// idle expiry) before the slot is reused.
   using EvictFn = std::function<void(const FlowKey&, V&)>;
 
-  explicit FlowTable(Config cfg) : max_flows_(cfg.max_flows) {
+  explicit FlowTable(Config cfg)
+      : max_flows_(cfg.max_flows),
+        idle_timeout_usec_(cfg.idle_timeout_usec),
+        linger_usec_(cfg.linger_usec),
+        granularity_usec_(cfg.wheel_granularity_usec == 0
+                              ? 1
+                              : cfg.wheel_granularity_usec) {
     if (max_flows_ == 0) throw InvalidArgument("FlowTable: max_flows == 0");
     slab_.reserve(max_flows_);
     bucket_count_ = 1;
     while (bucket_count_ < max_flows_ * 2) bucket_count_ <<= 1;
     buckets_.assign(bucket_count_, kEmpty);
+    if (idle_timeout_usec_ != 0) {
+      std::size_t slots = 1;
+      while (slots < std::max<std::size_t>(cfg.wheel_slots, 2)) slots <<= 1;
+      wheel_.assign(slots, kNone);
+      wheel_mask_ = slots - 1;
+    }
   }
 
   void set_evict_callback(EvictFn fn) { evict_fn_ = std::move(fn); }
@@ -49,11 +85,14 @@ class FlowTable {
   std::size_t max_flows() const { return max_flows_; }
   std::uint64_t evictions() const { return evictions_; }
   std::uint64_t expirations() const { return expirations_; }
+  std::uint64_t teardowns() const { return teardowns_; }
+  bool has_wheel() const { return !wheel_.empty(); }
 
-  /// Total bytes held: slab storage + bucket index + object overhead.
+  /// Total bytes held: slab storage + bucket index + wheel + overhead.
   std::size_t memory_bytes() const {
     return slab_.capacity() * sizeof(Entry) +
-           buckets_.capacity() * sizeof(std::uint32_t) + sizeof(*this);
+           buckets_.capacity() * sizeof(std::uint32_t) +
+           wheel_.capacity() * sizeof(std::uint32_t) + sizeof(*this);
   }
 
   /// Bytes per tracked flow at current occupancy (the E2 metric).
@@ -101,6 +140,59 @@ class FlowTable {
     return true;
   }
 
+  /// Mark a flow closing: its wheel deadline collapses from idle_timeout to
+  /// linger, and later touches keep the short deadline (a closing flow does
+  /// not earn a fresh 60 s by retransmitting its FIN). No-op when the wheel
+  /// is disabled or the flow is unknown. Returns true when a live flow was
+  /// marked.
+  bool mark_closing(const FlowKey& key, std::uint64_t now_usec) {
+    if (wheel_.empty()) return false;
+    const std::uint32_t idx = find_slot(key);
+    if (idx == kNone) return false;
+    Entry& e = slab_[idx];
+    if (!e.closing) {
+      e.closing = true;
+      ++teardowns_;
+    }
+    wheel_schedule(idx, now_usec + linger_usec_);
+    return true;
+  }
+
+  bool closing(const FlowKey& key) const {
+    const std::uint32_t idx = find_slot(key);
+    return idx != kNone && slab_[idx].closing;
+  }
+
+  /// Advance the timing wheel to `now_usec`, expiring every flow whose
+  /// deadline has passed (idle flows after idle_timeout, closing flows
+  /// after linger). Cost is proportional to the slots crossed since the
+  /// last call plus the flows actually expired — never to table occupancy.
+  /// Returns the count expired. No-op (0) when the wheel is disabled.
+  std::size_t expire_due(std::uint64_t now_usec) {
+    if (wheel_.empty()) return 0;
+    const std::uint64_t tick_now = now_usec / granularity_usec_;
+    std::uint64_t walk;
+    if (!wheel_started_) {
+      // First call: entries may already be parked in any slot (scheduled
+      // before the sweeper ever ran), so do one full revolution.
+      wheel_started_ = true;
+      walk = wheel_mask_ + 1;
+    } else if (tick_now < last_tick_) {
+      return 0;  // time went backwards: hold
+    } else {
+      // Crossing more slots than the wheel has walks every slot once.
+      walk = std::min<std::uint64_t>(tick_now - last_tick_, wheel_mask_ + 1);
+    }
+    std::size_t n = 0;
+    for (std::uint64_t t = 0; t < walk; ++t) {
+      n += drain_wheel_slot((last_tick_ + 1 + t) & wheel_mask_, now_usec);
+    }
+    // The current slot may hold due entries scheduled within this tick.
+    n += drain_wheel_slot(tick_now & wheel_mask_, now_usec);
+    last_tick_ = tick_now;
+    return n;
+  }
+
   /// Expire flows idle for at least `idle_usec`. Returns the count expired.
   std::size_t expire_idle(std::uint64_t now_usec, std::uint64_t idle_usec) {
     std::size_t n = 0;
@@ -134,10 +226,15 @@ class FlowTable {
     FlowKey key;
     V value{};
     std::uint64_t last_seen = 0;
+    std::uint64_t deadline = 0;       // wheel expiry time (usec)
     std::uint32_t lru_prev = kNone;
     std::uint32_t lru_next = kNone;
-    std::uint32_t free_next = kNone;  // freelist link when dead
+    std::uint32_t wheel_prev = kNone;
+    std::uint32_t wheel_next = kNone;
+    std::uint32_t wheel_slot = kNone;  // slot index while linked
+    std::uint32_t free_next = kNone;   // freelist link when dead
     bool live = false;
+    bool closing = false;  // FIN/FIN or RST observed: linger deadline
   };
 
   static constexpr std::uint32_t kNone = std::numeric_limits<std::uint32_t>::max();
@@ -209,7 +306,11 @@ class FlowTable {
     e.value = factory_ ? factory_() : V{};
     e.last_seen = now_usec;
     e.lru_prev = e.lru_next = kNone;
+    e.wheel_prev = e.wheel_next = kNone;
+    e.wheel_slot = kNone;
     e.live = true;
+    e.closing = false;
+    if (!wheel_.empty()) wheel_schedule(idx, now_usec + idle_timeout_usec_);
     return idx;
   }
 
@@ -218,6 +319,8 @@ class FlowTable {
     e.live = false;  // must precede erase_index: a rebuild must skip us
     erase_index(e.key, idx);
     lru_unlink(idx);
+    wheel_unlink(idx);
+    e.closing = false;
     e.value = V{};  // release any heap the value holds
     e.free_next = free_head_;
     free_head_ = idx;
@@ -258,23 +361,93 @@ class FlowTable {
   }
 
   void touch(std::uint32_t idx, std::uint64_t now_usec) {
-    slab_[idx].last_seen = now_usec;
+    Entry& e = slab_[idx];
+    e.last_seen = now_usec;
+    if (!wheel_.empty()) {
+      // A closing flow keeps its short linger horizon: traffic on a closed
+      // connection must not re-earn the idle timeout.
+      wheel_schedule(idx, now_usec +
+                              (e.closing ? linger_usec_ : idle_timeout_usec_));
+    }
     if (lru_head_ == idx) return;
     lru_unlink(idx);
     lru_push_front(idx);
   }
 
+  // ---- timing wheel (head-linked per-slot lists, lazy revolutions) --------
+
+  std::size_t slot_of(std::uint64_t deadline_usec) const {
+    return static_cast<std::size_t>(deadline_usec / granularity_usec_) &
+           wheel_mask_;
+  }
+
+  void wheel_schedule(std::uint32_t idx, std::uint64_t deadline_usec) {
+    Entry& e = slab_[idx];
+    const std::size_t slot = slot_of(deadline_usec);
+    if (e.wheel_slot == slot) {  // hot case: same slot, just move the time
+      e.deadline = deadline_usec;
+      return;
+    }
+    wheel_unlink(idx);
+    e.deadline = deadline_usec;
+    e.wheel_slot = static_cast<std::uint32_t>(slot);
+    e.wheel_prev = kNone;
+    e.wheel_next = wheel_[slot];
+    if (wheel_[slot] != kNone) slab_[wheel_[slot]].wheel_prev = idx;
+    wheel_[slot] = idx;
+  }
+
+  void wheel_unlink(std::uint32_t idx) {
+    Entry& e = slab_[idx];
+    if (e.wheel_slot == kNone) return;
+    if (e.wheel_prev != kNone) {
+      slab_[e.wheel_prev].wheel_next = e.wheel_next;
+    } else {
+      wheel_[e.wheel_slot] = e.wheel_next;
+    }
+    if (e.wheel_next != kNone) slab_[e.wheel_next].wheel_prev = e.wheel_prev;
+    e.wheel_prev = e.wheel_next = kNone;
+    e.wheel_slot = kNone;
+  }
+
+  /// Expire every due entry in one slot; entries parked for a future wheel
+  /// revolution are left linked (their slot is unchanged). Returns expired
+  /// count.
+  std::size_t drain_wheel_slot(std::size_t slot, std::uint64_t now_usec) {
+    std::size_t n = 0;
+    std::uint32_t i = wheel_[slot];
+    while (i != kNone) {
+      const std::uint32_t next = slab_[i].wheel_next;
+      if (slab_[i].deadline <= now_usec) {
+        ++expirations_;
+        if (evict_fn_) evict_fn_(slab_[i].key, slab_[i].value);
+        remove_entry(i);
+        ++n;
+      }
+      i = next;
+    }
+    return n;
+  }
+
   std::size_t max_flows_;
+  std::uint64_t idle_timeout_usec_;
+  std::uint64_t linger_usec_;
+  std::uint64_t granularity_usec_;
   std::size_t bucket_count_ = 0;
   std::size_t tombstones_ = 0;
   std::size_t live_ = 0;
   std::uint64_t evictions_ = 0;
   std::uint64_t expirations_ = 0;
+  std::uint64_t teardowns_ = 0;
+  std::uint64_t last_tick_ = 0;
+  bool wheel_started_ = false;
+  std::size_t wheel_mask_ = 0;
   std::uint32_t lru_head_ = kNone;
   std::uint32_t lru_tail_ = kNone;
   std::uint32_t free_head_ = kNone;
   std::vector<Entry> slab_;
   std::vector<std::uint32_t> buckets_;
+  std::vector<std::uint32_t> wheel_;  // per-slot list heads (empty = no wheel)
   EvictFn evict_fn_;
   std::function<V()> factory_;
 };

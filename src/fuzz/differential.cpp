@@ -5,6 +5,7 @@
 
 #include "core/compiled_ruleset.hpp"
 #include "runtime/runtime.hpp"
+#include "slowpath/service.hpp"
 
 namespace sdt::fuzz {
 
@@ -290,6 +291,102 @@ ReloadCrosscheck reload_crosscheck(const core::SignatureSet& corpus,
   out.baseline_alerts = base_alerts.size();
   out.reloaded_alerts = rel_alerts.size();
   out.equal = out.baseline_digest == out.reloaded_digest;
+  return out;
+}
+
+namespace {
+
+slowpath::SlowPathConfig flood_slowpath_config(const HarnessConfig& cfg,
+                                               bool starved) {
+  slowpath::SlowPathConfig sp;
+  sp.workers = 2;
+  sp.ips = core::derive_slow_config(cfg.engine_config());
+  if (starved) {
+    // Budgets always active and never refilled: a flow gets one tiny
+    // quantum and is deterministically shed once its bytes exceed it —
+    // shedding driven by policy, not by wall-clock queue races.
+    sp.admission.quantum_bytes = 512;
+    sp.admission.max_deficit_bytes = 1024;
+    sp.admission.refill_interval_usec = 1ull << 40;
+    sp.admission.pressure_threshold = 0.0;
+  } else {
+    // Generous: admission can never bite (occupancy is <= 1.0) and the
+    // queues are far larger than any crosscheck batch, so the baseline
+    // run sheds nothing and is fully deterministic.
+    sp.admission.pressure_threshold = 2.0;
+    sp.queue.max_packets = 1 << 20;
+    sp.queue.max_bytes = 1ull << 30;
+  }
+  return sp;
+}
+
+/// Replay `merged` through an engine whose diversions feed a slow-path
+/// service; returns engine alerts (incl. slowpath_shed) + worker alerts.
+std::vector<core::Alert> flood_replay(const core::SignatureSet& corpus,
+                                      const HarnessConfig& cfg,
+                                      const std::vector<net::Packet>& merged,
+                                      bool starved) {
+  std::vector<core::Alert> alerts;
+  const core::RuleSetHandle rules = core::compile_ruleset(
+      corpus, reload_compile_options(cfg), 1, "flood-crosscheck");
+  core::SplitDetectEngine engine(rules, cfg.engine_config());
+  slowpath::SlowPathService svc(rules, flood_slowpath_config(cfg, starved));
+  engine.set_divert_sink(&svc);
+  svc.start();
+  for (const net::Packet& p : merged) {
+    engine.process(p, net::LinkType::raw_ipv4, alerts);
+  }
+  svc.stop();
+  const std::vector<core::Alert> slow = svc.alerts_snapshot();
+  alerts.insert(alerts.end(), slow.begin(), slow.end());
+  return alerts;
+}
+
+}  // namespace
+
+FloodCrosscheck flood_crosscheck(const core::SignatureSet& corpus,
+                                 const HarnessConfig& cfg,
+                                 const std::vector<Schedule>& batch) {
+  const std::vector<net::Packet> merged = merge_batch(batch);
+  const std::vector<core::Alert> base =
+      flood_replay(corpus, cfg, merged, /*starved=*/false);
+  const std::vector<core::Alert> sat =
+      flood_replay(corpus, cfg, merged, /*starved=*/true);
+
+  // Every shed flow carries exactly one slowpath_shed alert in the
+  // saturated run; those flows (which got only partial scrutiny) are
+  // excluded from BOTH sides of the comparison.
+  auto key = [](const core::Alert& a) {
+    return std::tuple(a.flow.a_ip.value(), a.flow.b_ip.value(), a.flow.a_port,
+                      a.flow.b_port, a.flow.proto);
+  };
+  using FlowId = decltype(key(core::Alert{}));
+  std::vector<FlowId> shed;
+  for (const core::Alert& a : sat) {
+    if (a.signature_id == core::kSlowPathShedAlertId) shed.push_back(key(a));
+  }
+  std::sort(shed.begin(), shed.end());
+  shed.erase(std::unique(shed.begin(), shed.end()), shed.end());
+
+  auto admitted_only = [&](const std::vector<core::Alert>& v) {
+    std::vector<core::Alert> kept;
+    for (const core::Alert& a : v) {
+      if (a.signature_id == core::kSlowPathShedAlertId) continue;
+      if (std::binary_search(shed.begin(), shed.end(), key(a))) continue;
+      kept.push_back(a);
+    }
+    return kept;
+  };
+
+  FloodCrosscheck out;
+  out.shed_flows = shed.size();
+  const std::vector<core::Alert> base_kept = admitted_only(base);
+  const std::vector<core::Alert> sat_kept = admitted_only(sat);
+  out.baseline_alerts = base_kept.size();
+  out.admitted_alerts = sat_kept.size();
+  out.baseline_digest = alert_digest(base_kept);
+  out.saturated_digest = alert_digest(sat_kept);
+  out.equal = out.baseline_digest == out.saturated_digest;
   return out;
 }
 

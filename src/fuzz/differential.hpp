@@ -135,4 +135,25 @@ ReloadCrosscheck reload_crosscheck(const core::SignatureSet& corpus,
                                    const std::vector<Schedule>& batch,
                                    std::uint64_t swaps = 4);
 
+/// Diversion-flood equivalence check: replay the merged batch through TWO
+/// engine + slowpath::SlowPathService pairs — one with budgets generous
+/// enough that nothing ever sheds, one starved (tiny quantum, no refill,
+/// budgets always active) so a large slice of diverted flows is shed with
+/// a slowpath_shed alert. Saturation must degrade COVERAGE, never
+/// correctness: restricted to flows the starved run fully admitted (never
+/// shed), the (flow, signature) verdict digests of both runs must be
+/// identical. The shed set itself may vary with load; the invariant holds
+/// for whatever set materialized.
+struct FloodCrosscheck {
+  bool equal = false;
+  std::uint64_t shed_flows = 0;       ///< flows the starved run shed
+  std::size_t admitted_alerts = 0;    ///< starved run, never-shed flows
+  std::size_t baseline_alerts = 0;    ///< same flows, generous run
+  std::uint64_t saturated_digest = 0;
+  std::uint64_t baseline_digest = 0;
+};
+FloodCrosscheck flood_crosscheck(const core::SignatureSet& corpus,
+                                 const HarnessConfig& cfg,
+                                 const std::vector<Schedule>& batch);
+
 }  // namespace sdt::fuzz

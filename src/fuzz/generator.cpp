@@ -89,8 +89,11 @@ Schedule ScheduleGenerator::make(std::uint64_t index) const {
   s.seed = mix(cfg_.run_seed, index);
   s.ep = endpoints_for(index, rng);
   s.start_ts_usec = cfg_.base_ts_usec + index * cfg_.spacing_usec;
-  return rng.chance(cfg_.attack_fraction) ? make_attack(std::move(s), rng)
-                                          : make_benign(std::move(s), rng);
+  if (rng.chance(cfg_.attack_fraction)) return make_attack(std::move(s), rng);
+  if (cfg_.flood_fraction > 0.0 && rng.chance(cfg_.flood_fraction)) {
+    return make_flood(std::move(s), rng);
+  }
+  return make_benign(std::move(s), rng);
 }
 
 Schedule ScheduleGenerator::make_benign(Schedule s, Rng& rng) const {
@@ -109,6 +112,22 @@ Schedule ScheduleGenerator::make_benign(Schedule s, Rng& rng) const {
       ++i;
     }
   }
+  return s;
+}
+
+Schedule ScheduleGenerator::make_flood(Schedule s, Rng& rng) const {
+  // Diversion-flood spray: no signature anywhere, but the delivery is the
+  // most expensive thing the fast path can see — tiny segments, usually
+  // shuffled — so the whole flow is diverted and burns slow-path budget.
+  // Batches of these are what the flood crosscheck saturates with.
+  const std::size_t len =
+      cfg_.min_pad + rng.below(cfg_.max_pad - cfg_.min_pad + 1);
+  s.stream = evasion::generate_payload(rng, len, cfg_.text_fraction);
+  s.attack = false;
+  s.flood = true;
+  const std::size_t seg = 1 + rng.below(cfg_.tiny_seg + 2);
+  s.steps = steps_from_plan(evasion::plan_tiny(s.stream, seg));
+  if (rng.chance(0.7)) shuffle_steps(s.steps, rng);  // keeps the FIN last
   return s;
 }
 

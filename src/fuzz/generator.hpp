@@ -37,6 +37,12 @@ struct GeneratorConfig {
   std::size_t mss = 512;
   std::size_t tiny_seg = 4;
   double text_fraction = 0.5;
+  /// Fraction of non-attack schedules that are diversion-flood spray:
+  /// signature-free streams delivered as tiny, shuffled segments so every
+  /// one of them costs slow-path budget (the DoS-amplifier shape the
+  /// admission controller exists for). 0 disables the mode — and draws no
+  /// rng, so existing (seed, index) streams are unchanged.
+  double flood_fraction = 0.0;
   /// Benign-only: per-boundary probability of swapping adjacent segments
   /// (honest network reordering; costs diversion budget).
   double benign_reorder_rate = 0.01;
@@ -58,6 +64,7 @@ class ScheduleGenerator {
  private:
   Schedule make_attack(Schedule s, Rng& rng) const;
   Schedule make_benign(Schedule s, Rng& rng) const;
+  Schedule make_flood(Schedule s, Rng& rng) const;
 
   const core::SignatureSet& corpus_;
   GeneratorConfig cfg_;

@@ -27,6 +27,7 @@ std::string RunSummary::to_json() const {
   w.field("schedules", schedules);
   w.field("attacks", attacks);
   w.field("benign", benign);
+  w.field("flood", flood);
   w.field("packets", packets);
   w.field("bytes", bytes);
   w.field("oracle_detections", oracle_detections);
@@ -41,6 +42,9 @@ std::string RunSummary::to_json() const {
   w.field("crosscheck_failures", crosscheck_failures);
   w.field("reload_crosschecks", reload_crosschecks);
   w.field("reload_crosscheck_failures", reload_crosscheck_failures);
+  w.field("flood_crosschecks", flood_crosschecks);
+  w.field("flood_crosscheck_failures", flood_crosscheck_failures);
+  w.field("flood_shed_flows", flood_shed_flows);
   w.field("repros_written", repros_written);
   w.field("shrink_evaluations", shrink_evaluations);
   char digest_hex[17];
@@ -77,7 +81,7 @@ const RunSummary& FuzzRunner::run(std::uint64_t count) {
     }
 
     if ((cfg_.lanes > 0 && cfg_.crosscheck_every > 0) ||
-        cfg_.reload_crosscheck_every > 0) {
+        cfg_.reload_crosscheck_every > 0 || cfg_.flood_crosscheck_every > 0) {
       recent_.push_back(s);
       if (recent_.size() > cfg_.crosscheck_batch) {
         recent_.erase(recent_.begin());
@@ -105,6 +109,21 @@ const RunSummary& FuzzRunner::run(std::uint64_t count) {
         summary_.digest = fnv_step(summary_.digest, rc.equal ? 1 : 0);
         summary_.digest = fnv_step(summary_.digest, rc.reloaded_digest);
       }
+      if (cfg_.flood_crosscheck_every > 0 &&
+          (next_index_ + 1) % cfg_.flood_crosscheck_every == 0 &&
+          !recent_.empty()) {
+        const FloodCrosscheck fc =
+            flood_crosscheck(corpus_, cfg_.harness, recent_);
+        ++summary_.flood_crosschecks;
+        summary_.flood_shed_flows += fc.shed_flows;
+        if (!fc.equal) {
+          ++summary_.flood_crosscheck_failures;
+          live_violations_.fetch_add(1, std::memory_order_relaxed);
+        }
+        // Only the verdict bit feeds the run digest: which flows shed
+        // depends on load, so the digests themselves are not replayable.
+        summary_.digest = fnv_step(summary_.digest, fc.equal ? 1 : 0);
+      }
     }
 
     if (cfg_.expire_every > 0 && (next_index_ + 1) % cfg_.expire_every == 0) {
@@ -119,7 +138,11 @@ const RunSummary& FuzzRunner::run(std::uint64_t count) {
 void FuzzRunner::fold_outcome(const Schedule& s, const ScheduleOutcome& out) {
   ++summary_.schedules;
   live_schedules_.fetch_add(1, std::memory_order_relaxed);
-  (s.attack ? summary_.attacks : summary_.benign) += 1;
+  if (s.flood) {
+    ++summary_.flood;
+  } else {
+    (s.attack ? summary_.attacks : summary_.benign) += 1;
+  }
   summary_.packets += out.packets;
   summary_.bytes += out.bytes;
   live_packets_.fetch_add(out.packets, std::memory_order_relaxed);
@@ -127,7 +150,7 @@ void FuzzRunner::fold_outcome(const Schedule& s, const ScheduleOutcome& out) {
   if (!out.engine_sigs.empty()) ++summary_.engine_detections;
   if (out.flagged) {
     ++summary_.flagged;
-    if (!s.attack) ++summary_.benign_diverted;
+    if (!s.attack && !s.flood) ++summary_.benign_diverted;
   }
   summary_.engine_only_alerts += out.engine_only_alerts;
   if (out.violation == ViolationKind::missed_detection) {

@@ -37,6 +37,11 @@ struct RunnerConfig {
   std::uint64_t reload_crosscheck_every = 2048;
   /// Rule-set swaps injected per reload crosscheck.
   std::uint64_t reload_swaps = 4;
+  /// Replay the batch through slow-path-backed engines with generous and
+  /// starved admission budgets and assert the admitted-flow verdict
+  /// digests match (0 disables; rides the same cadence buffer). Pairs
+  /// with GeneratorConfig::flood_fraction for real saturation pressure.
+  std::uint64_t flood_crosscheck_every = 2048;
   /// Violation handling: minimize and persist at most `max_repros` cases.
   bool write_repros = true;
   std::string repro_dir = "fuzz/repros";
@@ -52,6 +57,9 @@ struct RunSummary {
   std::uint64_t schedules = 0;
   std::uint64_t attacks = 0;
   std::uint64_t benign = 0;
+  /// Diversion-flood spray schedules (neither attack nor benign: they
+  /// divert by design, so they sit outside the benign diversion budget).
+  std::uint64_t flood = 0;
   std::uint64_t packets = 0;
   std::uint64_t bytes = 0;
   /// Schedules where the full-reassembly oracle raised >= 1 signature.
@@ -70,6 +78,10 @@ struct RunSummary {
   std::uint64_t crosscheck_failures = 0;
   std::uint64_t reload_crosschecks = 0;
   std::uint64_t reload_crosscheck_failures = 0;
+  std::uint64_t flood_crosschecks = 0;
+  std::uint64_t flood_crosscheck_failures = 0;
+  /// Flows shed across all flood crosschecks (coverage lost explicitly).
+  std::uint64_t flood_shed_flows = 0;
   std::uint64_t repros_written = 0;
   std::uint64_t shrink_evaluations = 0;
   /// Running FNV-1a over every (schedule digest, outcome) pair — two runs
@@ -79,7 +91,7 @@ struct RunSummary {
 
   std::uint64_t violations() const {
     return missed_detections + slow_path_misses + crosscheck_failures +
-           reload_crosscheck_failures;
+           reload_crosscheck_failures + flood_crosscheck_failures;
   }
   double benign_divert_fraction() const {
     return benign == 0 ? 0.0

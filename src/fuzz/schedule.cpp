@@ -77,7 +77,7 @@ std::uint64_t Schedule::digest() const {
   h = fnv1a_u64(h, (std::uint64_t{ep.client_isn} << 32) | ep.server_isn);
   h = fnv1a_u64(h, start_ts_usec);
   h = fnv1a_u64(h, (handshake ? 1u : 0u) | (close_flow ? 2u : 0u) |
-                       (attack ? 4u : 0u));
+                       (attack ? 4u : 0u) | (flood ? 8u : 0u));
   h = fnv1a_u64(h, sig_id);
   h = fnv1a_u64(h, sig_lo);
   h = fnv1a_u64(h, sig_hi);

@@ -46,6 +46,11 @@ struct Schedule {
   Bytes stream;
   /// Attack schedules embed corpus signature `sig_id` at [sig_lo, sig_hi).
   bool attack = false;
+  /// Diversion-flood spray: benign content delivered as maximally
+  /// suspicious traffic (tiny/OOO segments). Carries no signature; exists
+  /// to pressure the slow path, so it is excluded from the benign
+  /// diversion budget.
+  bool flood = false;
   std::uint32_t sig_id = 0;
   std::uint64_t sig_lo = 0;
   std::uint64_t sig_hi = 0;

@@ -21,6 +21,22 @@ inline bool seq_gt(std::uint32_t a, std::uint32_t b) { return seq_lt(b, a); }
 
 inline bool seq_geq(std::uint32_t a, std::uint32_t b) { return seq_leq(b, a); }
 
+/// Three-way serial comparison (the classic TCP_SEQ_CMP idiom): negative
+/// when a precedes b on the circle, 0 when equal, positive when a follows.
+/// The canonical spelling for new code — every ordered comparison of raw
+/// 32-bit sequence numbers must go through this family, never through
+/// built-in <, or a long-lived flow crossing 2^32 misorders its segments.
+inline int seq_cmp(std::uint32_t a, std::uint32_t b) {
+  const std::int32_t d = static_cast<std::int32_t>(a - b);
+  return (d > 0) - (d < 0);
+}
+
+/// True iff seq lies in the half-open window [lo, hi) on the circle.
+inline bool seq_between(std::uint32_t lo, std::uint32_t seq,
+                        std::uint32_t hi) {
+  return seq - lo < hi - lo;  // both distances modular by construction
+}
+
 /// Signed distance from b to a (a - b) on the circle.
 inline std::int32_t seq_diff(std::uint32_t a, std::uint32_t b) {
   return static_cast<std::int32_t>(a - b);

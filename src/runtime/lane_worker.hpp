@@ -82,6 +82,14 @@ class LaneWorker {
   /// outlive the worker thread.
   void attach_registry(control::RuleSetRegistry* registry, std::size_t slot);
 
+  /// Install an external slow-path sink on this lane's engine (see
+  /// SplitDetectEngine::set_divert_sink). Call before start(); the sink —
+  /// typically one slowpath::SlowPathService shared by all lanes — must
+  /// outlive the worker thread.
+  void set_divert_sink(core::DivertSink* sink) {
+    engine_.set_divert_sink(sink);
+  }
+
   SpscRing<ParsedPacket>& ring() { return ring_; }
   const SpscRing<ParsedPacket>& ring() const { return ring_; }
   LaneCounters& counters() { return counters_; }

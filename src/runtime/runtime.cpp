@@ -59,7 +59,23 @@ Runtime::Runtime(core::RuleSetHandle rules, RuntimeConfig cfg)
   if (cfg_.lanes > 4096) {
     throw InvalidArgument("Runtime: lanes > 4096 (misconfigured?)");
   }
+  if (cfg_.external_slowpath) {
+    slowpath::SlowPathConfig sp = cfg_.slowpath;
+    // The service's IPS must be verdict-identical to the engine's internal
+    // slow path (same takeover slack, normalizer policy, checksums) — the
+    // fuzz crosscheck depends on it. Flow budget: the deployment-wide
+    // slow-path total split across the service's workers (worker shards
+    // own disjoint flow sets, exactly like lanes).
+    sp.ips = core::derive_slow_config(cfg_.engine);
+    sp.ips.max_flows = lane_flow_share(
+        cfg_.engine.slow_max_flows, std::max<std::size_t>(sp.workers, 1),
+        cfg_.lane_flow_floor);
+    slowpath_ = std::make_unique<slowpath::SlowPathService>(rules, sp);
+  }
   build_lanes(rules);
+  if (slowpath_) {
+    for (auto& l : lanes_) l->set_divert_sink(slowpath_.get());
+  }
 }
 
 void Runtime::build_lanes(const core::RuleSetHandle& rules) {
@@ -79,12 +95,18 @@ void Runtime::attach_registry(control::RuleSetRegistry& registry) {
         l->counters().adopted_version.load(std::memory_order_relaxed);
     l->attach_registry(&registry, registry.subscribe(initial));
   }
+  // The external slow path adopts reloads too (its own grace slots), so a
+  // version is only "all adopted" once the reassembly side also moved.
+  if (slowpath_) slowpath_->attach_registry(registry);
 }
 
 Runtime::~Runtime() { stop(); }
 
 void Runtime::start() {
   if (running_) return;
+  // Slow path first: a lane must never divert into a service with no
+  // consumers (admitted packets would sit queued until stop()).
+  if (slowpath_) slowpath_->start();
   for (auto& l : lanes_) l->start();
   running_ = true;
 }
@@ -139,12 +161,25 @@ void Runtime::drain() {
       std::this_thread::yield();
     }
   }
+  // Lanes are drained, so the slow path's `fed` is final too; wait until
+  // its workers account for every admitted unit (processed or shed —
+  // `dropped` only ever moves at stop()).
+  if (slowpath_) {
+    for (;;) {
+      const slowpath::SlowPathStats s = slowpath_->stats_snapshot();
+      if (s.conserved() && s.queue_depth == 0) break;
+      std::this_thread::yield();
+    }
+  }
 }
 
 void Runtime::stop() {
   if (!running_) return;
   for (auto& l : lanes_) l->request_stop();
   for (auto& l : lanes_) l->join();
+  // Lanes are gone (no more producers): close the slow path and let its
+  // workers drain what was admitted before joining them.
+  if (slowpath_) slowpath_->stop();
   running_ = false;
 }
 
@@ -187,6 +222,10 @@ StatsSnapshot Runtime::stats() const {
     s.diverted += ls.diverted;
     s.adoptions += ls.adoptions;
   }
+  if (slowpath_) {
+    s.has_external_slowpath = true;
+    s.slowpath = slowpath_->stats_snapshot();
+  }
   return s;
 }
 
@@ -197,6 +236,7 @@ void Runtime::register_metrics(telemetry::MetricsRegistry& reg,
                   &rejected_);
   reg.add_gauge(MetricDesc{prefix + ".lanes", "", "runtime"},
                 [this] { return static_cast<std::uint64_t>(lanes_.size()); });
+  if (slowpath_) slowpath_->register_metrics(reg, prefix + ".slowpath");
   for (std::size_t i = 0; i < lanes_.size(); ++i) {
     const std::string lp = prefix + ".lane" + std::to_string(i) + ".";
     const LaneWorker* w = lanes_[i].get();
@@ -257,15 +297,19 @@ std::vector<core::Alert> Runtime::alerts() const {
   for (const auto& l : lanes_) {
     out.insert(out.end(), l->alerts().begin(), l->alerts().end());
   }
+  if (slowpath_) {
+    // Detection alerts raised on the service's workers (lane-side alerts —
+    // including shed notifications — are already in the lane logs above).
+    const std::vector<core::Alert> sp = slowpath_->alerts_snapshot();
+    out.insert(out.end(), sp.begin(), sp.end());
+  }
   return out;
 }
 
 std::vector<std::uint32_t> Runtime::alerted_signatures() const {
   require_stopped("alerted_signatures");
   std::set<std::uint32_t> ids;
-  for (const auto& l : lanes_) {
-    for (const core::Alert& a : l->alerts()) ids.insert(a.signature_id);
-  }
+  for (const core::Alert& a : alerts()) ids.insert(a.signature_id);
   return std::vector<std::uint32_t>(ids.begin(), ids.end());
 }
 

@@ -41,6 +41,7 @@
 #include "core/engine.hpp"
 #include "runtime/dispatcher.hpp"
 #include "runtime/lane_worker.hpp"
+#include "slowpath/service.hpp"
 #include "telemetry/registry.hpp"
 
 namespace sdt::runtime {
@@ -74,6 +75,17 @@ struct RuntimeConfig {
   /// degenerate many-lane/small-total configurations). Never raises a
   /// lane's budget above the configured total.
   std::size_t lane_flow_floor = 1 << 12;
+  /// Decoupled slow path: when true, the runtime builds ONE shared
+  /// slowpath::SlowPathService and installs it as every lane engine's
+  /// DivertSink. Lanes then hand diverted datagrams across the bounded
+  /// queue boundary and return to their hot loop; reassembly happens on
+  /// the service's workers under fair admission, and saturation degrades
+  /// into explicit shed-with-alert instead of lane stalls.
+  bool external_slowpath = false;
+  /// Service shape (workers, queue bounds, admission budgets). Its `ips`
+  /// field is IGNORED: the runtime always derives it from `engine` so the
+  /// external slow path is verdict-identical to the synchronous one.
+  slowpath::SlowPathConfig slowpath;
 };
 
 struct LaneSnapshot {
@@ -111,6 +123,9 @@ struct StatsSnapshot {
   std::uint64_t alerts = 0;
   std::uint64_t diverted = 0;
   std::uint64_t adoptions = 0;  // sum of per-lane adoptions
+  /// External slow-path totals (all zero unless external_slowpath is on).
+  slowpath::SlowPathStats slowpath;
+  bool has_external_slowpath = false;
 
   /// Lowest rule-set version any lane currently runs (the deployment's
   /// grace horizon as seen from the lanes themselves).
@@ -223,6 +238,10 @@ class Runtime {
   std::vector<std::uint32_t> alerted_signatures() const;
   /// A lane's private engine for deep post-mortem stats. Requires stop().
   const core::SplitDetectEngine& lane_engine(std::size_t lane) const;
+  /// The shared external slow path, when enabled (nullptr otherwise).
+  const slowpath::SlowPathService* slow_path() const {
+    return slowpath_.get();
+  }
 
  private:
   void require_stopped(const char* what) const;
@@ -232,6 +251,8 @@ class Runtime {
   core::SplitDetectConfig lane_cfg_;
   FlowDispatcher dispatcher_;
   std::vector<std::unique_ptr<LaneWorker>> lanes_;
+  /// Shared external slow path (built only when cfg.external_slowpath).
+  std::unique_ptr<slowpath::SlowPathService> slowpath_;
   /// Dispatcher-thread writer, any-thread reader (like the lane counters).
   std::atomic<std::uint64_t> rejected_{0};
   bool running_ = false;

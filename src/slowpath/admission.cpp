@@ -1,0 +1,107 @@
+#include "slowpath/admission.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace sdt::slowpath {
+
+AdmissionController::AdmissionController(AdmissionConfig cfg)
+    : cfg_(cfg),
+      table_({.max_flows = cfg.max_flows,
+              .idle_timeout_usec = cfg.flow_idle_timeout_usec}) {
+  if (cfg_.refill_interval_usec == 0) {
+    throw InvalidArgument("AdmissionController: refill_interval_usec == 0");
+  }
+  if (cfg_.quantum_bytes == 0) {
+    throw InvalidArgument("AdmissionController: quantum_bytes == 0");
+  }
+}
+
+AdmissionController::FlowBudget& AdmissionController::budget(
+    const flow::FlowKey& key, std::uint64_t now_usec) {
+  // Reclaim idle budget records first: O(slots crossed), so calling it on
+  // every admission keeps the table steady under churn for free.
+  table_.expire_due(now_usec);
+  bool created = false;
+  FlowBudget& b = table_.get_or_create(key, now_usec, &created);
+  if (created) {
+    b.deficit = static_cast<std::int64_t>(cfg_.quantum_bytes);
+    b.last_refill_usec = now_usec;
+    b.shed = false;
+  }
+  return b;
+}
+
+void AdmissionController::refill(FlowBudget& b, std::uint64_t now_usec) const {
+  if (now_usec <= b.last_refill_usec) return;
+  const std::uint64_t intervals =
+      (now_usec - b.last_refill_usec) / cfg_.refill_interval_usec;
+  if (intervals == 0) return;
+  // Credit whole intervals only; the remainder keeps accruing. Saturate
+  // the credit math so a flow silent for hours cannot overflow.
+  const std::uint64_t credit =
+      std::min<std::uint64_t>(intervals, 1u << 20) * cfg_.quantum_bytes;
+  b.deficit = std::min<std::int64_t>(
+      b.deficit + static_cast<std::int64_t>(
+                      std::min<std::uint64_t>(credit, 1ull << 40)),
+      static_cast<std::int64_t>(cfg_.max_deficit_bytes));
+  b.last_refill_usec += intervals * cfg_.refill_interval_usec;
+}
+
+void AdmissionController::clamp(FlowBudget& b) const {
+  // Bound how deep a hog can dig: history is capacity for fairness, not an
+  // unbounded grudge (and not an integer-underflow hazard).
+  const auto floor = -static_cast<std::int64_t>(cfg_.max_deficit_bytes);
+  if (b.deficit < floor) b.deficit = floor;
+}
+
+AdmissionVerdict AdmissionController::admit(const flow::FlowKey& key,
+                                            std::size_t cost_hint_bytes,
+                                            std::uint64_t now_usec,
+                                            double pressure) {
+  FlowBudget& b = budget(key, now_usec);
+  if (b.shed && cfg_.sticky_shed) {
+    ++stats_.shed_packets;
+    return AdmissionVerdict::shed_repeat;
+  }
+  refill(b, now_usec);
+  if (pressure >= cfg_.pressure_threshold &&
+      b.deficit < static_cast<std::int64_t>(cost_hint_bytes)) {
+    b.shed = cfg_.sticky_shed;
+    ++stats_.shed_flows;
+    ++stats_.shed_packets;
+    return AdmissionVerdict::shed_first;
+  }
+  b.deficit -= static_cast<std::int64_t>(cost_hint_bytes);
+  clamp(b);
+  ++stats_.admitted;
+  return AdmissionVerdict::admit;
+}
+
+void AdmissionController::charge(const flow::FlowKey& key,
+                                 std::uint64_t actual_bytes,
+                                 std::uint64_t hint_bytes) {
+  FlowBudget* b = table_.find(key);
+  if (b == nullptr) return;  // budget record idled out meanwhile: forgiven
+  b->deficit -= static_cast<std::int64_t>(actual_bytes) -
+                static_cast<std::int64_t>(hint_bytes);
+  clamp(*b);
+}
+
+AdmissionVerdict AdmissionController::force_shed(const flow::FlowKey& key,
+                                                 std::uint64_t now_usec) {
+  FlowBudget& b = budget(key, now_usec);
+  ++stats_.shed_packets;
+  if (b.shed && cfg_.sticky_shed) return AdmissionVerdict::shed_repeat;
+  b.shed = cfg_.sticky_shed;
+  ++stats_.shed_flows;
+  return AdmissionVerdict::shed_first;
+}
+
+bool AdmissionController::is_shed(const flow::FlowKey& key) const {
+  const FlowBudget* b = table_.find(key);
+  return b != nullptr && b->shed;
+}
+
+}  // namespace sdt::slowpath

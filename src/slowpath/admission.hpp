@@ -1,0 +1,102 @@
+// AdmissionController — per-flow fair admission for the slow path.
+//
+// The slow path is the expensive half of Split-Detect: reassembly buffers,
+// streaming automata, per-flow state. An attacker who can make the fast
+// path divert at will (fragments, small segments, out-of-order chaff) is
+// really attacking *this* resource. The controller's job is to make the
+// damage proportional and attributable: every diverted flow carries a
+// byte budget (a deficit-round-robin deficit refilled on wall time), and
+// when the slow path is under pressure a flow whose budget is exhausted
+// is shed — stickily, with exactly one alert — instead of degrading
+// every other flow's scrutiny.
+//
+// Deliberately unsynchronized: each SlowPathService worker shard owns one
+// controller behind its own mutex. Keeping the lock outside makes the
+// policy unit-testable without threads.
+#pragma once
+
+#include <cstdint>
+
+#include "flow/flow_key.hpp"
+#include "flow/flow_table.hpp"
+
+namespace sdt::slowpath {
+
+struct AdmissionConfig {
+  /// Budget-state table size; LRU beyond this (state, not policy, bound).
+  std::size_t max_flows = 1 << 16;
+  /// Budget records idle longer than this are reclaimed.
+  std::uint64_t flow_idle_timeout_usec = 60ull * 1000 * 1000;
+  /// Deficit granted per refill interval: a flow's fair share of slow-path
+  /// bytes. A flow that stays under quantum/interval is never shed.
+  std::uint64_t quantum_bytes = 64 * 1024;
+  std::uint64_t refill_interval_usec = 100ull * 1000;
+  /// Deficit ceiling (burst allowance) and floor (how much past
+  /// consumption a hog is remembered for). Both bound the DRR state.
+  std::uint64_t max_deficit_bytes = 256 * 1024;
+  /// Queue-occupancy fraction above which an exhausted budget means shed.
+  /// Below it the budget still drains (so history accumulates) but nobody
+  /// is refused — admission control only bites under actual pressure.
+  double pressure_threshold = 0.85;
+  /// Once shed, always shed (until the budget record idles out): the flow
+  /// raised its one alert and stops consuming admission bandwidth.
+  bool sticky_shed = true;
+};
+
+enum class AdmissionVerdict : std::uint8_t {
+  admit,
+  shed_first,   ///< this refusal is the flow's first → caller alerts
+  shed_repeat,  ///< flow already shed → count, no new alert
+};
+
+struct AdmissionStats {
+  std::uint64_t admitted = 0;
+  std::uint64_t shed_packets = 0;
+  std::uint64_t shed_flows = 0;  // first-shed events
+};
+
+class AdmissionController {
+ public:
+  explicit AdmissionController(AdmissionConfig cfg = {});
+
+  /// Admission decision for one diverted unit. `cost_hint_bytes` (the
+  /// datagram size) is pre-charged; charge() trues it up after service.
+  /// `pressure` is the destination queue's occupancy in [0,1].
+  AdmissionVerdict admit(const flow::FlowKey& key,
+                         std::size_t cost_hint_bytes, std::uint64_t now_usec,
+                         double pressure);
+
+  /// Post-service true-up: replace the pre-charged hint with the measured
+  /// cost (bytes the slow path actually reassembled + scanned).
+  void charge(const flow::FlowKey& key, std::uint64_t actual_bytes,
+              std::uint64_t hint_bytes);
+
+  /// Force a flow into the shed state (backpressure shedding: the queue
+  /// refused an admitted packet). Returns the verdict the caller should
+  /// report: shed_first exactly once per flow.
+  AdmissionVerdict force_shed(const flow::FlowKey& key,
+                              std::uint64_t now_usec);
+
+  bool is_shed(const flow::FlowKey& key) const;
+
+  const AdmissionStats& stats() const { return stats_; }
+  std::size_t flows() const { return table_.size(); }
+  std::size_t memory_bytes() const { return table_.memory_bytes(); }
+
+ private:
+  struct FlowBudget {
+    std::int64_t deficit = 0;
+    std::uint64_t last_refill_usec = 0;
+    bool shed = false;
+  };
+
+  FlowBudget& budget(const flow::FlowKey& key, std::uint64_t now_usec);
+  void refill(FlowBudget& b, std::uint64_t now_usec) const;
+  void clamp(FlowBudget& b) const;
+
+  AdmissionConfig cfg_;
+  AdmissionStats stats_;
+  flow::FlowTable<FlowBudget> table_;
+};
+
+}  // namespace sdt::slowpath

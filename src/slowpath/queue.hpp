@@ -1,0 +1,131 @@
+// BoundedPacketQueue — the handoff between lane threads and a slow-path
+// worker.
+//
+// Multi-producer (any lane whose flow hashes here), single-consumer (the
+// worker that owns this shard). Bounded in both packets and bytes: the
+// byte bound is what actually protects memory under a flood of maximum-
+// size diverted datagrams; the packet bound keeps latency sane under a
+// flood of tiny ones.
+//
+// Mutex + condvar, deliberately: the producers are lane threads, but only
+// for *diverted* packets — by construction a small fraction of traffic —
+// and an uncontended lock costs tens of nanoseconds. The consumer may
+// block; the producer never does (push fails instead of waiting, and the
+// service turns that failure into an explicit shed, never a silent drop).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+
+#include "core/engine.hpp"
+
+namespace sdt::slowpath {
+
+struct QueueConfig {
+  std::size_t max_packets = 4096;
+  std::size_t max_bytes = 16ull << 20;
+};
+
+class BoundedPacketQueue {
+ public:
+  explicit BoundedPacketQueue(QueueConfig cfg = {}) : cfg_(cfg) {}
+  BoundedPacketQueue(const BoundedPacketQueue&) = delete;
+  BoundedPacketQueue& operator=(const BoundedPacketQueue&) = delete;
+
+  /// Enqueue; returns false (without blocking) when either bound is hit or
+  /// the queue is closed. The caller decides what a refusal means.
+  bool push(core::DivertedPacket&& dp) {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (closed_) return false;
+      if (q_.size() >= cfg_.max_packets) return false;
+      if (!q_.empty() && bytes_held_ + dp.datagram.size() > cfg_.max_bytes) {
+        return false;  // always admit into an empty queue: no livelock
+      }
+      bytes_held_ += dp.datagram.size();
+      q_.push_back(std::move(dp));
+      size_.store(q_.size(), std::memory_order_relaxed);
+      bytes_.store(bytes_held_, std::memory_order_relaxed);
+    }
+    cv_.notify_one();
+    return true;
+  }
+
+  /// Wait up to `wait_ms` for an item. Returns 1 with `out` filled, 0 on
+  /// timeout, -1 once closed AND drained (the consumer's exit signal — a
+  /// close still lets the worker finish everything already admitted).
+  int pop_wait(core::DivertedPacket& out, std::uint64_t wait_ms) {
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_.wait_for(lk, std::chrono::milliseconds(wait_ms),
+                 [this] { return closed_ || !q_.empty(); });
+    if (!q_.empty()) {
+      take(out);
+      return 1;
+    }
+    return closed_ ? -1 : 0;
+  }
+
+  /// Non-blocking pop (used by stop() to count abandoned items).
+  bool try_pop(core::DivertedPacket& out) {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (q_.empty()) return false;
+    take(out);
+    return true;
+  }
+
+  void close() {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return closed_;
+  }
+
+  std::size_t size() const { return size_.load(std::memory_order_relaxed); }
+  std::size_t bytes() const { return bytes_.load(std::memory_order_relaxed); }
+
+  /// Fill fraction in [0,1]: the worse of the two bounds. Lock-free (reads
+  /// the mirrored atomics), so lane threads can read pressure cheaply.
+  double occupancy() const {
+    const double p = cfg_.max_packets == 0
+                         ? 0.0
+                         : static_cast<double>(size()) /
+                               static_cast<double>(cfg_.max_packets);
+    const double b = cfg_.max_bytes == 0
+                         ? 0.0
+                         : static_cast<double>(bytes()) /
+                               static_cast<double>(cfg_.max_bytes);
+    return p > b ? p : b;
+  }
+
+  const QueueConfig& config() const { return cfg_; }
+
+ private:
+  void take(core::DivertedPacket& out) {  // callers hold mu_
+    out = std::move(q_.front());
+    q_.pop_front();
+    bytes_held_ -= out.datagram.size();
+    size_.store(q_.size(), std::memory_order_relaxed);
+    bytes_.store(bytes_held_, std::memory_order_relaxed);
+  }
+
+  QueueConfig cfg_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<core::DivertedPacket> q_;
+  std::size_t bytes_held_ = 0;  // guarded by mu_
+  std::atomic<std::size_t> size_{0};  // lock-free mirrors for occupancy()
+  std::atomic<std::size_t> bytes_{0};
+  bool closed_ = false;
+};
+
+}  // namespace sdt::slowpath

@@ -1,0 +1,317 @@
+#include "slowpath/service.hpp"
+
+#include <mutex>
+#include <thread>
+
+#include "util/error.hpp"
+
+namespace sdt::slowpath {
+
+/// One worker's world: everything a flow routed here ever touches. The
+/// queue and admission controller are shared with producers (each behind
+/// its own lock); the IPS and scratch buffers are worker-thread-private
+/// once start() has run.
+struct SlowPathService::Shard {
+  BoundedPacketQueue queue;
+  std::mutex adm_mu;
+  AdmissionController admission;  // guarded by adm_mu
+
+  core::ConventionalIps ips;  // worker-private after start()
+  std::uint64_t last_ts_usec = 0;
+  std::vector<core::Alert> scratch;  // per-packet alert buffer (reused)
+
+  std::mutex alert_mu;
+  std::vector<core::Alert> alerts;  // guarded by alert_mu
+
+  std::mutex reload_mu;
+  core::RuleSetHandle pending_rules;  // guarded by reload_mu
+  std::atomic<bool> has_pending_rules{false};
+
+  /// Optional version feed (null = fixed rule set, zero polling cost).
+  control::RuleSetRegistry* registry = nullptr;
+  std::size_t registry_slot = 0;
+  std::uint64_t adopted_version = 0;  // worker-private probe cache
+
+  std::thread thr;
+
+  Shard(const core::RuleSetHandle& rules, const SlowPathConfig& cfg)
+      : queue(cfg.queue), admission(cfg.admission), ips(rules, cfg.ips) {}
+};
+
+SlowPathService::SlowPathService(core::RuleSetHandle rules, SlowPathConfig cfg)
+    : cfg_(cfg) {
+  if (!rules) throw InvalidArgument("SlowPathService: null rule-set handle");
+  if (cfg_.workers == 0) throw InvalidArgument("SlowPathService: workers == 0");
+  shards_.reserve(cfg_.workers);
+  for (std::size_t i = 0; i < cfg_.workers; ++i) {
+    shards_.push_back(std::make_unique<Shard>(rules, cfg_));
+  }
+}
+
+SlowPathService::~SlowPathService() { stop(); }
+
+SlowPathService::Shard& SlowPathService::shard_for(const flow::FlowKey& key) {
+  return *shards_[static_cast<std::size_t>(key.hash()) % shards_.size()];
+}
+
+void SlowPathService::start() {
+  bool expected = false;
+  if (!running_.compare_exchange_strong(expected, true)) return;
+  for (auto& sh : shards_) {
+    sh->thr = std::thread([this, shard = sh.get()] { run_worker(*shard); });
+  }
+}
+
+void SlowPathService::stop() {
+  // Close first so workers exit once their queue is drained; anything a
+  // worker never reached is booked as dropped — the law must still hold.
+  for (auto& sh : shards_) sh->queue.close();
+  for (auto& sh : shards_) {
+    if (sh->thr.joinable()) sh->thr.join();
+  }
+  running_.store(false, std::memory_order_release);
+  for (auto& sh : shards_) {
+    core::DivertedPacket dp;
+    while (sh->queue.try_pop(dp)) {
+      // Erase-commands (empty datagram) were never fed; skip them.
+      if (!dp.datagram.empty()) {
+        dropped_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  }
+}
+
+core::DivertOutcome SlowPathService::divert(core::DivertedPacket&& dp) {
+  fed_.fetch_add(1, std::memory_order_relaxed);
+  Shard& sh = shard_for(dp.key);
+
+  const double pressure = sh.queue.occupancy();
+  AdmissionVerdict v;
+  {
+    std::lock_guard<std::mutex> lk(sh.adm_mu);
+    v = sh.admission.admit(dp.key, dp.datagram.size(), dp.ts_usec, pressure);
+  }
+  if (v == AdmissionVerdict::shed_repeat) {
+    shed_.fetch_add(1, std::memory_order_relaxed);
+    return core::DivertOutcome::shed_again;
+  }
+  if (v == AdmissionVerdict::shed_first) {
+    shed_.fetch_add(1, std::memory_order_relaxed);
+    shed_flows_.fetch_add(1, std::memory_order_relaxed);
+    if (cfg_.erase_shed_flow_state) {
+      // Best-effort in-band command: free the shed flow's reassembly
+      // buffers now instead of at its idle timeout. An empty datagram is
+      // the command encoding; a full queue just skips the optimization.
+      core::DivertedPacket cmd;
+      cmd.key = dp.key;
+      cmd.ts_usec = dp.ts_usec;
+      sh.queue.push(std::move(cmd));
+    }
+    return core::DivertOutcome::shed;
+  }
+
+  const flow::FlowKey key = dp.key;
+  const std::uint64_t ts = dp.ts_usec;
+  if (!sh.queue.push(std::move(dp))) {
+    // Budget said yes but the queue is saturated: that is still shedding —
+    // explicit, sticky, alerted once — never a silent drop.
+    backpressure_sheds_.fetch_add(1, std::memory_order_relaxed);
+    shed_.fetch_add(1, std::memory_order_relaxed);
+    AdmissionVerdict fv;
+    {
+      std::lock_guard<std::mutex> lk(sh.adm_mu);
+      fv = sh.admission.force_shed(key, ts);
+    }
+    if (fv == AdmissionVerdict::shed_first) {
+      shed_flows_.fetch_add(1, std::memory_order_relaxed);
+      return core::DivertOutcome::shed;
+    }
+    return core::DivertOutcome::shed_again;
+  }
+  return core::DivertOutcome::admitted;
+}
+
+void SlowPathService::attach_registry(control::RuleSetRegistry& registry) {
+  if (running()) {
+    throw Error("SlowPathService::attach_registry: attach before start()");
+  }
+  for (auto& sh : shards_) {
+    sh->adopted_version = sh->ips.ruleset_version();
+    sh->registry = &registry;
+    sh->registry_slot = registry.subscribe(sh->adopted_version);
+  }
+}
+
+void SlowPathService::run_worker(Shard& sh) {
+  core::DivertedPacket dp;
+  for (;;) {
+    const int r = sh.queue.pop_wait(dp, cfg_.idle_wait_ms);
+    if (r < 0) break;  // closed and fully drained
+    maybe_adopt(sh);
+    if (r == 0) {
+      // Idle housekeeping at the last packet's virtual time: expire flows
+      // and defrag contexts even when no new packet advances the clock.
+      sh.ips.expire(sh.last_ts_usec);
+      continue;
+    }
+    maybe_swap_ruleset(sh);
+    process_one(sh, std::move(dp));
+  }
+}
+
+void SlowPathService::maybe_adopt(Shard& sh) {
+  if (sh.registry == nullptr) return;
+  if (sh.registry->current_version() == sh.adopted_version) return;
+  core::RuleSetHandle h = sh.registry->current();
+  if (!h) return;
+  sh.adopted_version = h->version();
+  sh.ips.swap_ruleset(std::move(h));
+  sh.registry->note_adoption(sh.registry_slot, sh.adopted_version);
+}
+
+void SlowPathService::process_one(Shard& sh, core::DivertedPacket&& dp) {
+  if (dp.datagram.empty()) {  // erase-command for a shed flow
+    sh.ips.erase_flow(dp.key);
+    return;
+  }
+  if (dp.ts_usec > sh.last_ts_usec) sh.last_ts_usec = dp.ts_usec;
+
+  if (dp.takeover) {
+    sh.ips.adopt_flow(dp.takeover->key, dp.takeover->base_seq, dp.ts_usec,
+                      dp.takeover->prefix_leak);
+    adopted_flows_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  const net::PacketView pv = net::PacketView::parse_ipv4(dp.datagram);
+  const core::ConventionalIpsStats& st = sh.ips.stats();
+  const std::uint64_t cost_before = st.bytes_scanned + st.reassembled_bytes;
+
+  sh.scratch.clear();
+  sh.ips.process(pv, dp.ts_usec, sh.scratch);
+  sh.ips.expire(dp.ts_usec);
+
+  // True up the admission pre-charge with what servicing actually cost.
+  const std::uint64_t cost =
+      (st.bytes_scanned + st.reassembled_bytes) - cost_before;
+  {
+    std::lock_guard<std::mutex> lk(sh.adm_mu);
+    sh.admission.charge(dp.key, cost, dp.datagram.size());
+  }
+
+  processed_.fetch_add(1, std::memory_order_relaxed);
+  if (!sh.scratch.empty()) {
+    alerts_.fetch_add(sh.scratch.size(), std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lk(sh.alert_mu);
+    sh.alerts.insert(sh.alerts.end(), sh.scratch.begin(), sh.scratch.end());
+  }
+}
+
+void SlowPathService::maybe_swap_ruleset(Shard& sh) {
+  if (!sh.has_pending_rules.load(std::memory_order_acquire)) return;
+  core::RuleSetHandle rules;
+  {
+    std::lock_guard<std::mutex> lk(sh.reload_mu);
+    rules = std::move(sh.pending_rules);
+    sh.has_pending_rules.store(false, std::memory_order_release);
+  }
+  if (rules) sh.ips.swap_ruleset(std::move(rules));
+}
+
+void SlowPathService::swap_ruleset(core::RuleSetHandle rules) {
+  if (!rules) throw InvalidArgument("SlowPathService: null rule-set handle");
+  for (auto& sh : shards_) {
+    std::lock_guard<std::mutex> lk(sh->reload_mu);
+    sh->pending_rules = rules;
+    sh->has_pending_rules.store(true, std::memory_order_release);
+  }
+  if (!running()) {  // no worker to drain the pending slot: swap inline
+    for (auto& sh : shards_) maybe_swap_ruleset(*sh);
+  }
+}
+
+std::vector<core::Alert> SlowPathService::drain_alerts() {
+  std::vector<core::Alert> out;
+  for (auto& sh : shards_) {
+    std::lock_guard<std::mutex> lk(sh->alert_mu);
+    out.insert(out.end(), sh->alerts.begin(), sh->alerts.end());
+    sh->alerts.clear();
+  }
+  return out;
+}
+
+std::vector<core::Alert> SlowPathService::alerts_snapshot() const {
+  std::vector<core::Alert> out;
+  for (const auto& sh : shards_) {
+    std::lock_guard<std::mutex> lk(sh->alert_mu);
+    out.insert(out.end(), sh->alerts.begin(), sh->alerts.end());
+  }
+  return out;
+}
+
+SlowPathStats SlowPathService::stats_snapshot() const {
+  SlowPathStats s;
+  s.fed = fed_.load(std::memory_order_relaxed);
+  s.processed = processed_.load(std::memory_order_relaxed);
+  s.dropped = dropped_.load(std::memory_order_relaxed);
+  s.shed = shed_.load(std::memory_order_relaxed);
+  s.shed_flows = shed_flows_.load(std::memory_order_relaxed);
+  s.backpressure_sheds = backpressure_sheds_.load(std::memory_order_relaxed);
+  s.adopted_flows = adopted_flows_.load(std::memory_order_relaxed);
+  s.alerts = alerts_.load(std::memory_order_relaxed);
+  for (const auto& sh : shards_) {
+    s.flows += sh->ips.flows();
+    s.queue_depth += sh->queue.size();
+    s.memory_bytes += sh->ips.memory_bytes() + sh->admission.memory_bytes();
+  }
+  return s;
+}
+
+void SlowPathService::register_metrics(telemetry::MetricsRegistry& reg,
+                                       const std::string& prefix) const {
+  using telemetry::MetricDesc;
+  const auto counter = [&](const char* name, const char* unit,
+                           const std::atomic<std::uint64_t>* src) {
+    reg.add_counter(MetricDesc{prefix + "." + name, unit, "slowpath", true},
+                    src);
+  };
+  counter("fed", "packets", &fed_);
+  counter("processed", "packets", &processed_);
+  counter("dropped", "packets", &dropped_);
+  counter("shed", "packets", &shed_);
+  counter("shed_flows", "flows", &shed_flows_);
+  counter("backpressure_sheds", "packets", &backpressure_sheds_);
+  counter("adopted_flows", "flows", &adopted_flows_);
+  counter("alerts", "alerts", &alerts_);
+  // Queue depth reads lock-free atomic mirrors: live-safe.
+  reg.add_gauge(MetricDesc{prefix + ".queue_depth", "packets", "slowpath",
+                           true},
+                [this] {
+                  std::uint64_t n = 0;
+                  for (const auto& sh : shards_) n += sh->queue.size();
+                  return n;
+                });
+  reg.add_gauge(MetricDesc{prefix + ".queue_bytes", "bytes", "slowpath", true},
+                [this] {
+                  std::uint64_t n = 0;
+                  for (const auto& sh : shards_) n += sh->queue.bytes();
+                  return n;
+                });
+  // Per-shard IPS internals are worker-thread-private: quiescent-only.
+  reg.add_gauge(MetricDesc{prefix + ".flows", "flows", "slowpath", false},
+                [this] {
+                  std::uint64_t n = 0;
+                  for (const auto& sh : shards_) n += sh->ips.flows();
+                  return n;
+                });
+  reg.add_gauge(MetricDesc{prefix + ".memory_bytes", "bytes", "slowpath",
+                           false},
+                [this] {
+                  std::uint64_t n = 0;
+                  for (const auto& sh : shards_) {
+                    n += sh->ips.memory_bytes() + sh->admission.memory_bytes();
+                  }
+                  return n;
+                });
+}
+
+}  // namespace sdt::slowpath

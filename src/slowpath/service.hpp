@@ -1,0 +1,136 @@
+// SlowPathService — the bounded, decoupled slow path.
+//
+// Implements core::DivertSink: lane engines hand diverted, defragmented,
+// flow-keyed datagrams across this boundary and return to their hot loop
+// immediately. Inside, flows are hash-routed to worker shards; each shard
+// is a bounded queue + fair-admission controller + its own reassembling
+// ConventionalIps, so one saturated shard cannot starve the others and a
+// worker never shares mutable per-flow state with anyone.
+//
+// The shape exists because Split-Detect's whole bet is that the slow path
+// sees a small, bounded slice of traffic. When an attacker violates the
+// bet (a diversion flood), the service must degrade *explicitly*: flows
+// past their budget are shed with one kSlowPathShedAlertId alert, admitted
+// flows keep full-fidelity scrutiny, and the books always balance —
+//
+//     fed == processed + dropped + shed
+//
+// (`dropped` counts only units admitted but abandoned at stop(); in steady
+// state it is zero because stop() lets workers drain their queues.)
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "control/registry.hpp"
+#include "core/engine.hpp"
+#include "slowpath/admission.hpp"
+#include "slowpath/queue.hpp"
+#include "telemetry/registry.hpp"
+
+namespace sdt::slowpath {
+
+struct SlowPathConfig {
+  /// Worker shards. Flow → shard routing is static (key-hash modulo), so
+  /// per-flow packet order is preserved end to end.
+  std::size_t workers = 1;
+  QueueConfig queue;           ///< per-shard bounds
+  AdmissionConfig admission;   ///< per-shard fair-admission policy
+  core::ConventionalIpsConfig ips;  ///< per-shard reassembling IPS
+  /// Reclaim a shed flow's reassembly buffers immediately via an in-band
+  /// command (best effort: a saturated queue falls back to idle timeout).
+  bool erase_shed_flow_state = true;
+  /// Idle worker wake-up cadence (housekeeping between packets).
+  std::uint64_t idle_wait_ms = 50;
+};
+
+struct SlowPathStats {
+  std::uint64_t fed = 0;        ///< divert() calls (every unit offered)
+  std::uint64_t processed = 0;  ///< units fully serviced by a worker
+  std::uint64_t dropped = 0;    ///< admitted units abandoned at stop()
+  std::uint64_t shed = 0;       ///< units refused at admission/backpressure
+  std::uint64_t shed_flows = 0;      ///< first-shed events (= shed alerts)
+  std::uint64_t backpressure_sheds = 0;  ///< sheds caused by a full queue
+  std::uint64_t adopted_flows = 0;
+  std::uint64_t alerts = 0;     ///< detection alerts raised by workers
+  std::uint64_t flows = 0;      ///< live reassembly flows across shards
+  std::uint64_t queue_depth = 0;      ///< packets queued across shards
+  std::uint64_t memory_bytes = 0;
+
+  /// The conservation law the bench/tests assert at quiescence.
+  bool conserved() const { return fed == processed + dropped + shed; }
+};
+
+class SlowPathService final : public core::DivertSink {
+ public:
+  SlowPathService(core::RuleSetHandle rules, SlowPathConfig cfg = {});
+  ~SlowPathService() override;
+
+  SlowPathService(const SlowPathService&) = delete;
+  SlowPathService& operator=(const SlowPathService&) = delete;
+
+  void start();
+  /// Close queues, let workers drain what was admitted, join them, and
+  /// book anything still left as dropped. Idempotent.
+  void stop();
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// DivertSink: admission decision + enqueue. Thread-safe (lane threads).
+  core::DivertOutcome divert(core::DivertedPacket&& dp) override;
+
+  /// Adopt a new rule-set version: each worker swaps at its next packet
+  /// boundary; in-flight flows stay pinned to their version (see
+  /// ConventionalIps::swap_ruleset).
+  void swap_ruleset(core::RuleSetHandle rules);
+
+  /// Wire every worker shard to a rule-set registry for hot reloads (the
+  /// same one-acquire-load-per-loop discipline as runtime lanes; each
+  /// shard takes its own grace slot). Call before start(); the registry
+  /// must outlive the service.
+  void attach_registry(control::RuleSetRegistry& registry);
+
+  /// Move out every detection alert raised so far. Thread-safe.
+  std::vector<core::Alert> drain_alerts();
+  /// Copy (not drain) every alert raised so far. Thread-safe.
+  std::vector<core::Alert> alerts_snapshot() const;
+
+  /// Coherent totals. Cross-thread counters are atomics (live-safe); the
+  /// per-shard gauges (flows, memory) are exact only at quiescence.
+  SlowPathStats stats_snapshot() const;
+
+  /// Counters registered live (atomics); occupancy/memory gauges live too
+  /// (atomic mirrors); per-shard IPS internals quiescent-only. Contract in
+  /// docs/OBSERVABILITY.md.
+  void register_metrics(telemetry::MetricsRegistry& reg,
+                        const std::string& prefix = "slowpath") const;
+
+  std::size_t worker_count() const { return shards_.size(); }
+
+ private:
+  struct Shard;
+
+  Shard& shard_for(const flow::FlowKey& key);
+  void run_worker(Shard& sh);
+  void process_one(Shard& sh, core::DivertedPacket&& dp);
+  void maybe_swap_ruleset(Shard& sh);
+  void maybe_adopt(Shard& sh);
+
+  SlowPathConfig cfg_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<bool> running_{false};
+
+  // The conservation-law counters (lane threads + workers).
+  std::atomic<std::uint64_t> fed_{0};
+  std::atomic<std::uint64_t> processed_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+  std::atomic<std::uint64_t> shed_{0};
+  std::atomic<std::uint64_t> shed_flows_{0};
+  std::atomic<std::uint64_t> backpressure_sheds_{0};
+  std::atomic<std::uint64_t> adopted_flows_{0};
+  std::atomic<std::uint64_t> alerts_{0};
+};
+
+}  // namespace sdt::slowpath

@@ -225,11 +225,18 @@ TEST(FastPath, UdpPieceHitDiverts) {
 
 TEST(FastPath, ValidRstReclaimsState) {
   const SignatureSet sigs = test_sigs();
-  FastPath fp(sigs, test_cfg());
+  FastPathConfig cfg = test_cfg();
+  cfg.fin_linger_usec = 1000;
+  FastPath fp(sigs, cfg);
   PacketMaker pm;
   fp.process(pm.make(100, Bytes(20, 'a')), 0);
   EXPECT_EQ(fp.flows(), 1u);
+  // A sequence-valid RST collapses the record to the linger (not an
+  // immediate erase: stragglers of the dead connection — the peer's own
+  // RST, a crossed FIN — must not re-materialize a fresh record).
   fp.process(pm.make(120, {}, net::kTcpRst), 1);
+  EXPECT_EQ(fp.flows(), 1u);
+  fp.expire(1 + cfg.fin_linger_usec + 1);
   EXPECT_EQ(fp.flows(), 0u);
 }
 

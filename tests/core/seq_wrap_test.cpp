@@ -1,0 +1,116 @@
+// Regression: flows whose sequence space straddles the 2^32 boundary.
+//
+// An ISN near 0xffffffff puts the wrap INSIDE the application stream, so
+// every ordered comparison of raw sequence numbers — fast-path hole
+// tracking, reassembly insertion, piece-offset bookkeeping — must go
+// through the net/seq.hpp serial-arithmetic family. A signature placed
+// across the wrap point is the sharpest probe: any built-in `<` anywhere
+// in the pipeline misorders the two halves and the detection disappears.
+#include <gtest/gtest.h>
+
+#include "core/engine.hpp"
+#include "evasion/flow_forge.hpp"
+#include "evasion/traffic_gen.hpp"
+#include "evasion/transforms.hpp"
+#include "util/rng.hpp"
+
+namespace sdt::core {
+namespace {
+
+SignatureSet wrap_sigs() {
+  SignatureSet s;
+  s.add("wrap_marker", std::string_view("WRAP_BOUNDARY_SIGNATURE_01"));
+  return s;
+}
+
+SplitDetectConfig wrap_cfg() {
+  SplitDetectConfig cfg;
+  cfg.fast.piece_len = 5;
+  return cfg;
+}
+
+/// Endpoints whose client data sequence begins at 0xffffff01, so relative
+/// stream offset 255 is absolute sequence 0 — the wrap sits mid-stream.
+evasion::Endpoints wrap_endpoints() {
+  evasion::Endpoints ep;
+  ep.client_isn = 0xffffff00u;
+  return ep;
+}
+
+/// 2000-byte stream with the signature straddling the wrap: sig bytes
+/// cover relative offsets [240, 266), absolute [0xfffffff1, 0x0000000b).
+Bytes wrap_stream(const Signature& sig) {
+  Rng rng(3);
+  Bytes s = evasion::generate_payload(rng, 2000, 0.5);
+  std::copy(sig.bytes.begin(), sig.bytes.end(),
+            s.begin() + 240);
+  return s;
+}
+
+std::vector<Alert> run_engine(SplitDetectEngine& e,
+                              const std::vector<net::Packet>& pkts) {
+  std::vector<Alert> alerts;
+  for (const auto& p : pkts) e.process(p, net::LinkType::raw_ipv4, alerts);
+  return alerts;
+}
+
+bool found_sig0(const std::vector<Alert>& alerts) {
+  for (const Alert& a : alerts) {
+    if (a.signature_id == 0) return true;
+  }
+  return false;
+}
+
+TEST(SeqWrap, InOrderSignatureAcrossWrapDetected) {
+  const SignatureSet sigs = wrap_sigs();
+  SplitDetectEngine engine(sigs, wrap_cfg());
+  // mss 64: the signature splits across segments AND across the wrap.
+  evasion::FlowForge f(wrap_endpoints(), 1000);
+  f.handshake();
+  f.client_segments(evasion::plan_plain(wrap_stream(sigs[0]), 64, false));
+  f.close();
+  EXPECT_TRUE(found_sig0(run_engine(engine, f.take())));
+}
+
+TEST(SeqWrap, TinySegmentsAcrossWrapDetected) {
+  // Tiny segments force diversion; the slow path reassembles across the
+  // boundary with modular arithmetic or loses the straddling signature.
+  const SignatureSet sigs = wrap_sigs();
+  SplitDetectEngine engine(sigs, wrap_cfg());
+  evasion::FlowForge f(wrap_endpoints(), 1000);
+  f.handshake();
+  f.client_segments(evasion::plan_tiny(wrap_stream(sigs[0]), 7));
+  f.close();
+  EXPECT_TRUE(found_sig0(run_engine(engine, f.take())));
+}
+
+TEST(SeqWrap, ShuffledTinyOooAcrossWrapDetected) {
+  const SignatureSet sigs = wrap_sigs();
+  SplitDetectEngine engine(sigs, wrap_cfg());
+  Rng rng(17);
+  const Bytes stream = wrap_stream(sigs[0]);
+  evasion::EvasionParams params;
+  params.tiny_seg_size = 7;
+  params.sig_lo = 240;
+  params.sig_hi = 240 + sigs[0].bytes.size();
+  const auto pkts = evasion::forge_evasion(
+      evasion::EvasionKind::combo_tiny_ooo, wrap_endpoints(), stream, params,
+      rng, 1000);
+  EXPECT_TRUE(found_sig0(run_engine(engine, pkts)));
+}
+
+TEST(SeqWrap, BenignStreamAcrossWrapNoFalseAlert) {
+  const SignatureSet sigs = wrap_sigs();
+  SplitDetectEngine engine(sigs, wrap_cfg());
+  Rng rng(5);
+  evasion::FlowForge f(wrap_endpoints(), 1000);
+  f.handshake();
+  f.client_segments(
+      evasion::plan_plain(evasion::generate_payload(rng, 2000, 0.5), 64,
+                          false));
+  f.close();
+  EXPECT_FALSE(found_sig0(run_engine(engine, f.take())));
+}
+
+}  // namespace
+}  // namespace sdt::core

@@ -149,5 +149,82 @@ TEST(TrafficGen, PayloadGeneratorRespectsLengthAndMode) {
   EXPECT_EQ(printable, text.size());
 }
 
+TEST(ChurnGen, CloseMixPartitionsEveryFlow) {
+  ChurnConfig cfg;
+  cfg.concurrent_flows = 50;
+  cfg.total_flows = 600;
+  cfg.seed = 5;
+  const GeneratedTrace t = generate_churn(cfg);
+  EXPECT_EQ(t.flows, cfg.total_flows);
+  EXPECT_EQ(t.fin_flows + t.rst_flows + t.abandoned_flows, cfg.total_flows);
+  // Default 60/30/10 mix: with 600 flows all three paths must occur.
+  EXPECT_GT(t.fin_flows, 0u);
+  EXPECT_GT(t.rst_flows, 0u);
+  EXPECT_GT(t.abandoned_flows, 0u);
+  EXPECT_GT(t.fin_flows, t.rst_flows);
+}
+
+TEST(ChurnGen, DeterministicAndExplicitRngMatchesSeedForm) {
+  ChurnConfig cfg;
+  cfg.concurrent_flows = 20;
+  cfg.total_flows = 100;
+  cfg.seed = 31;
+  const GeneratedTrace a = generate_churn(cfg);
+  Rng rng(cfg.seed);
+  const GeneratedTrace b = generate_churn(cfg, rng);
+  ASSERT_EQ(a.packets.size(), b.packets.size());
+  for (std::size_t i = 0; i < a.packets.size(); ++i) {
+    EXPECT_EQ(a.packets[i].ts_usec, b.packets[i].ts_usec);
+    ASSERT_TRUE(equal(a.packets[i].frame, b.packets[i].frame)) << i;
+  }
+}
+
+TEST(ChurnGen, TimestampsSortedAndPacketsParse) {
+  ChurnConfig cfg;
+  cfg.concurrent_flows = 10;
+  cfg.total_flows = 80;
+  const GeneratedTrace t = generate_churn(cfg);
+  std::uint64_t prev = 0;
+  for (const net::Packet& p : t.packets) {
+    EXPECT_GE(p.ts_usec, prev);
+    prev = p.ts_usec;
+    const auto pv = net::PacketView::parse(p.frame, net::LinkType::raw_ipv4);
+    EXPECT_TRUE(pv.has_ipv4);
+  }
+}
+
+TEST(ChurnGen, LivePopulationApproximatesConcurrencyTarget) {
+  ChurnConfig cfg;
+  cfg.concurrent_flows = 40;
+  cfg.total_flows = 800;
+  cfg.seed = 2;
+  const GeneratedTrace t = generate_churn(cfg);
+  // Sweep: count flows whose [first, last] packet interval covers each
+  // flow's birth instant; the peak must sit near the configured target,
+  // far below the cumulative total.
+  std::map<std::string, std::pair<std::uint64_t, std::uint64_t>> span;
+  for (const net::Packet& p : t.packets) {
+    const auto pv = net::PacketView::parse(p.frame, net::LinkType::raw_ipv4);
+    if (!pv.ok() || !pv.has_tcp) continue;
+    const auto ref = flow::make_flow_ref(pv.ipv4.src(), pv.ipv4.dst(),
+                                         pv.tcp.src_port(), pv.tcp.dst_port(),
+                                         6);
+    auto [it, fresh] = span.emplace(
+        ref.key.str(), std::make_pair(p.ts_usec, p.ts_usec));
+    if (!fresh) it->second.second = p.ts_usec;
+  }
+  ASSERT_EQ(span.size(), cfg.total_flows);
+  std::size_t peak = 0;
+  for (const auto& [k, s] : span) {
+    std::size_t live = 0;
+    for (const auto& [k2, s2] : span) {
+      live += (s2.first <= s.first && s.first <= s2.second) ? 1 : 0;
+    }
+    peak = std::max(peak, live);
+  }
+  EXPECT_GE(peak, cfg.concurrent_flows / 2);
+  EXPECT_LE(peak, 3 * cfg.concurrent_flows);
+}
+
 }  // namespace
 }  // namespace sdt::evasion

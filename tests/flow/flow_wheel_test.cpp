@@ -1,0 +1,161 @@
+// Timing-wheel lifecycle tests for FlowTable: idle expiry, FIN/RST linger
+// collapse, lazy revolutions, and the O(slots walked) sweep contract that
+// makes 1M-flow churn sweepable from a packet loop.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "flow/flow_table.hpp"
+
+namespace sdt::flow {
+namespace {
+
+FlowKey key(std::uint32_t n) {
+  FlowKey k;
+  k.a_ip = net::Ipv4Addr(n);
+  k.b_ip = net::Ipv4Addr(n + 1);
+  k.a_port = static_cast<std::uint16_t>(n & 0xffff);
+  k.b_port = 80;
+  k.proto = 6;
+  return k;
+}
+
+using Table = FlowTable<int>;
+
+constexpr std::uint64_t kSec = 1'000'000;
+
+Table::Config wheel_cfg() {
+  Table::Config cfg;
+  cfg.max_flows = 256;
+  cfg.idle_timeout_usec = 60 * kSec;
+  cfg.linger_usec = 2 * kSec;
+  cfg.wheel_slots = 16;
+  cfg.wheel_granularity_usec = kSec;  // span: 16 s
+  return cfg;
+}
+
+TEST(FlowWheel, IdleFlowExpiresAfterTimeout) {
+  Table t(wheel_cfg());
+  t.get_or_create(key(1), 0);
+  EXPECT_EQ(t.expire_due(59 * kSec), 0u);
+  EXPECT_EQ(t.expire_due(61 * kSec), 1u);
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_EQ(t.expirations(), 1u);
+}
+
+TEST(FlowWheel, TouchedFlowEarnsFreshIdleHorizon) {
+  Table t(wheel_cfg());
+  t.get_or_create(key(1), 0);
+  t.get_or_create(key(1), 50 * kSec);  // touch
+  EXPECT_EQ(t.expire_due(100 * kSec), 0u);
+  EXPECT_EQ(t.expire_due(111 * kSec), 1u);
+}
+
+TEST(FlowWheel, ClosingFlowLingersThenExpires) {
+  Table t(wheel_cfg());
+  t.get_or_create(key(1), 0);
+  EXPECT_TRUE(t.mark_closing(key(1), 0));
+  EXPECT_TRUE(t.closing(key(1)));
+  EXPECT_EQ(t.teardowns(), 1u);
+  // Deadline collapsed from 60 s to the 2 s linger.
+  EXPECT_EQ(t.expire_due(1 * kSec), 0u);
+  EXPECT_EQ(t.expire_due(3 * kSec), 1u);
+}
+
+TEST(FlowWheel, ClosingFlowDoesNotReearnIdleTimeoutByTraffic) {
+  Table t(wheel_cfg());
+  t.get_or_create(key(1), 0);
+  t.mark_closing(key(1), 0);
+  // A late ACK/retransmit touches the flow: linger is refreshed, but the
+  // flow must NOT get a fresh 60 s idle horizon.
+  t.get_or_create(key(1), 1 * kSec);
+  EXPECT_EQ(t.expire_due(2 * kSec), 0u);
+  EXPECT_EQ(t.expire_due(4 * kSec), 1u);
+}
+
+TEST(FlowWheel, MarkClosingTwiceCountsOneTeardown) {
+  Table t(wheel_cfg());
+  t.get_or_create(key(1), 0);
+  EXPECT_TRUE(t.mark_closing(key(1), 0));
+  EXPECT_TRUE(t.mark_closing(key(1), kSec / 2));
+  EXPECT_EQ(t.teardowns(), 1u);
+}
+
+TEST(FlowWheel, MarkClosingUnknownFlowIsNoop) {
+  Table t(wheel_cfg());
+  EXPECT_FALSE(t.mark_closing(key(9), 0));
+  EXPECT_EQ(t.teardowns(), 0u);
+}
+
+TEST(FlowWheel, DeadlineBeyondWheelSpanParksUntilItsRevolution) {
+  // idle_timeout (60 s) is far past the wheel span (16 s): the flow parks
+  // in its modular slot and must survive sweeps until its true deadline.
+  Table t(wheel_cfg());
+  t.get_or_create(key(1), 0);
+  for (std::uint64_t s = 1; s <= 59; ++s) {
+    EXPECT_EQ(t.expire_due(s * kSec), 0u) << "premature expiry at " << s;
+  }
+  EXPECT_EQ(t.expire_due(61 * kSec), 1u);
+}
+
+TEST(FlowWheel, ErasedFlowNeverFiresEvictCallback) {
+  Table t(wheel_cfg());
+  std::vector<std::uint32_t> evicted;
+  t.set_evict_callback(
+      [&](const FlowKey& k, int&) { evicted.push_back(k.a_ip.value()); });
+  t.get_or_create(key(1), 0);
+  ASSERT_TRUE(t.erase(key(1)));
+  EXPECT_EQ(t.expire_due(120 * kSec), 0u);
+  EXPECT_TRUE(evicted.empty());
+}
+
+TEST(FlowWheel, ExpiryFiresEvictCallbackWithValue) {
+  Table t(wheel_cfg());
+  std::vector<int> seen;
+  t.set_evict_callback([&](const FlowKey&, int& v) { seen.push_back(v); });
+  t.get_or_create(key(1), 0) = 41;
+  t.get_or_create(key(2), 0) = 42;
+  t.mark_closing(key(2), 0);
+  EXPECT_EQ(t.expire_due(3 * kSec), 1u);  // only the closing one
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen[0], 42);
+}
+
+TEST(FlowWheel, TimeGoingBackwardsHolds) {
+  Table t(wheel_cfg());
+  t.get_or_create(key(1), 100 * kSec);
+  EXPECT_EQ(t.expire_due(150 * kSec), 0u);
+  EXPECT_EQ(t.expire_due(10 * kSec), 0u);  // clock skew: no expiry storm
+  EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(FlowWheel, ChurnReachesSteadyStateUnderLinger) {
+  // Births at 1 per second with a 2 s linger: the live population must
+  // stay near the churn depth, never near the cumulative count.
+  Table t(wheel_cfg());
+  std::size_t peak = 0;
+  for (std::uint32_t i = 0; i < 500; ++i) {
+    const std::uint64_t now = i * kSec;
+    t.get_or_create(key(i), now);
+    t.mark_closing(key(i), now);
+    t.expire_due(now);
+    peak = std::max(peak, t.size());
+  }
+  EXPECT_LE(peak, 8u);
+  EXPECT_EQ(t.teardowns(), 500u);
+}
+
+TEST(FlowWheel, DisabledWheelKeepsPureLruBehaviour) {
+  Table::Config cfg;
+  cfg.max_flows = 8;
+  cfg.idle_timeout_usec = 0;  // wheel off
+  Table t(cfg);
+  t.get_or_create(key(1), 0);
+  EXPECT_FALSE(t.has_wheel());
+  EXPECT_FALSE(t.mark_closing(key(1), 0));
+  EXPECT_EQ(t.expire_due(1'000 * kSec), 0u);
+  EXPECT_EQ(t.size(), 1u);
+}
+
+}  // namespace
+}  // namespace sdt::flow

@@ -1,0 +1,100 @@
+// Diversion-flood fuzz machinery: flood schedule generation and the
+// saturation crosscheck (shedding costs coverage, never correctness).
+#include <gtest/gtest.h>
+
+#include "evasion/corpus.hpp"
+#include "fuzz/differential.hpp"
+#include "fuzz/generator.hpp"
+#include "fuzz/runner.hpp"
+
+namespace sdt::fuzz {
+namespace {
+
+core::SignatureSet corpus() { return evasion::default_corpus(16); }
+
+TEST(FloodGen, FractionZeroLeavesExistingStreamsUntouched) {
+  // flood_fraction = 0 must draw no rng: every (seed, index) schedule is
+  // bit-identical to the pre-flood generator's output.
+  const core::SignatureSet sigs = corpus();
+  GeneratorConfig base;
+  base.run_seed = 11;
+  GeneratorConfig zero = base;
+  zero.flood_fraction = 0.0;
+  const ScheduleGenerator a(sigs, base), b(sigs, zero);
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    EXPECT_EQ(a.make(i).digest(), b.make(i).digest()) << i;
+  }
+}
+
+TEST(FloodGen, EmitsSignatureFreeTinyShuffledSchedules) {
+  const core::SignatureSet sigs = corpus();
+  GeneratorConfig cfg;
+  cfg.run_seed = 7;
+  cfg.attack_fraction = 0.0;
+  cfg.flood_fraction = 1.0;  // every schedule floods
+  const ScheduleGenerator gen(sigs, cfg);
+  std::size_t tiny_heavy = 0;
+  for (std::uint64_t i = 0; i < 32; ++i) {
+    const Schedule s = gen.make(i);
+    EXPECT_TRUE(s.flood) << i;
+    EXPECT_FALSE(s.attack) << i;
+    // Flood spray: many small segments per stream.
+    if (s.steps.size() >= 8) ++tiny_heavy;
+  }
+  EXPECT_GT(tiny_heavy, 16u);
+}
+
+TEST(FloodGen, FloodFlagFeedsTheDigest) {
+  Schedule s;
+  s.id = 1;
+  const std::uint64_t plain = s.digest();
+  s.flood = true;
+  EXPECT_NE(s.digest(), plain);
+}
+
+TEST(FloodCrosscheckTest, SaturationDegradesCoverageNotCorrectness) {
+  const core::SignatureSet sigs = corpus();
+  GeneratorConfig gcfg;
+  gcfg.run_seed = 3;
+  gcfg.attack_fraction = 0.4;
+  gcfg.flood_fraction = 0.5;
+  const ScheduleGenerator gen(sigs, gcfg);
+  std::vector<Schedule> batch;
+  std::size_t floods = 0;
+  for (std::uint64_t i = 0; i < 48; ++i) {
+    batch.push_back(gen.make(i));
+    floods += batch.back().flood ? 1 : 0;
+  }
+  ASSERT_GT(floods, 0u) << "batch must contain flood schedules";
+
+  const HarnessConfig hcfg;
+  const FloodCrosscheck fc = flood_crosscheck(sigs, hcfg, batch);
+  EXPECT_TRUE(fc.equal)
+      << "admitted-flow verdicts diverged between generous and starved runs";
+  EXPECT_GT(fc.shed_flows, 0u)
+      << "the starved configuration must actually shed under a flood batch";
+  EXPECT_EQ(fc.saturated_digest, fc.baseline_digest);
+}
+
+TEST(FloodRunner, CampaignCountsFloodsAndRunsCrosschecks) {
+  const core::SignatureSet sigs = corpus();
+  RunnerConfig cfg;
+  cfg.seed = 21;
+  cfg.lanes = 0;                    // no runtime crosscheck in this smoke
+  cfg.reload_crosscheck_every = 0;  // isolate the flood machinery
+  cfg.flood_crosscheck_every = 128;
+  cfg.crosscheck_batch = 32;
+  cfg.gen.flood_fraction = 0.3;
+  cfg.write_repros = false;
+  FuzzRunner runner(sigs, cfg);
+  const RunSummary& sum = runner.run(256);
+  EXPECT_EQ(sum.schedules, 256u);
+  EXPECT_GT(sum.flood, 0u);
+  EXPECT_EQ(sum.flood + sum.attacks + sum.benign, sum.schedules);
+  EXPECT_EQ(sum.flood_crosschecks, 2u);
+  EXPECT_EQ(sum.flood_crosscheck_failures, 0u);
+  EXPECT_EQ(sum.violations(), 0u);
+}
+
+}  // namespace
+}  // namespace sdt::fuzz

@@ -22,6 +22,33 @@ TEST(Seq, WraparoundComparisons) {
   EXPECT_TRUE(seq_gt(wrapped, near_max));
 }
 
+TEST(Seq, CmpThreeWay) {
+  EXPECT_EQ(seq_cmp(5, 5), 0);
+  EXPECT_LT(seq_cmp(4, 5), 0);
+  EXPECT_GT(seq_cmp(6, 5), 0);
+  // Across the wrap: 0x...f0 precedes 0x10 on the circle.
+  EXPECT_LT(seq_cmp(0xfffffff0u, 0x10u), 0);
+  EXPECT_GT(seq_cmp(0x10u, 0xfffffff0u), 0);
+  EXPECT_EQ(seq_cmp(0xffffffffu, 0xffffffffu), 0);
+}
+
+TEST(Seq, BetweenHalfOpenWindow) {
+  EXPECT_TRUE(seq_between(10, 10, 20));   // lo inclusive
+  EXPECT_TRUE(seq_between(10, 19, 20));
+  EXPECT_FALSE(seq_between(10, 20, 20));  // hi exclusive
+  EXPECT_FALSE(seq_between(10, 9, 20));
+}
+
+TEST(Seq, BetweenWindowStraddlingWrap) {
+  // Window [0xfffffff0, 0x10) crosses 2^32.
+  EXPECT_TRUE(seq_between(0xfffffff0u, 0xfffffff0u, 0x10u));
+  EXPECT_TRUE(seq_between(0xfffffff0u, 0xffffffffu, 0x10u));
+  EXPECT_TRUE(seq_between(0xfffffff0u, 0x0u, 0x10u));
+  EXPECT_TRUE(seq_between(0xfffffff0u, 0xfu, 0x10u));
+  EXPECT_FALSE(seq_between(0xfffffff0u, 0x10u, 0x10u));
+  EXPECT_FALSE(seq_between(0xfffffff0u, 0xffffffefu, 0x10u));
+}
+
 TEST(Seq, DiffSigned) {
   EXPECT_EQ(seq_diff(10, 4), 6);
   EXPECT_EQ(seq_diff(4, 10), -6);

@@ -1,0 +1,160 @@
+// AdmissionController policy tests: deficit-round-robin budgets, pressure
+// gating, sticky shed, post-service true-up. Pure policy — no threads, no
+// queues — which is exactly why the controller is unsynchronized.
+#include "slowpath/admission.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace sdt::slowpath {
+namespace {
+
+flow::FlowKey key(std::uint32_t n) {
+  flow::FlowKey k;
+  k.a_ip = net::Ipv4Addr(n);
+  k.b_ip = net::Ipv4Addr(n + 1);
+  k.a_port = static_cast<std::uint16_t>(1000 + n);
+  k.b_port = 80;
+  k.proto = 6;
+  return k;
+}
+
+constexpr std::uint64_t kT0 = 1'000'000'000ull;  // 1000 s in usec
+
+AdmissionConfig small_cfg() {
+  AdmissionConfig cfg;
+  cfg.quantum_bytes = 1000;
+  cfg.max_deficit_bytes = 2000;
+  cfg.refill_interval_usec = 1'000'000;  // 1 s
+  cfg.pressure_threshold = 0.5;
+  return cfg;
+}
+
+TEST(Admission, FlowUnderQuantumIsNeverShed) {
+  AdmissionController ac(small_cfg());
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(ac.admit(key(1), 100, kT0 + i, 1.0), AdmissionVerdict::admit);
+  }
+  EXPECT_FALSE(ac.is_shed(key(1)));
+  EXPECT_EQ(ac.stats().admitted, 5u);
+  EXPECT_EQ(ac.stats().shed_flows, 0u);
+}
+
+TEST(Admission, ExhaustedBudgetShedsOnceThenSticks) {
+  AdmissionController ac(small_cfg());
+  // Initial deficit == quantum (1000): two 600-byte units exhaust it.
+  EXPECT_EQ(ac.admit(key(1), 600, kT0, 1.0), AdmissionVerdict::admit);
+  EXPECT_EQ(ac.admit(key(1), 600, kT0, 1.0), AdmissionVerdict::shed_first);
+  EXPECT_EQ(ac.admit(key(1), 600, kT0, 1.0), AdmissionVerdict::shed_repeat);
+  EXPECT_EQ(ac.admit(key(1), 1, kT0, 1.0), AdmissionVerdict::shed_repeat);
+  EXPECT_TRUE(ac.is_shed(key(1)));
+  EXPECT_EQ(ac.stats().shed_flows, 1u);
+  EXPECT_EQ(ac.stats().shed_packets, 3u);
+}
+
+TEST(Admission, NoShedBelowPressureThreshold) {
+  // Under low pressure budgets drain but nobody is refused; once pressure
+  // crosses the threshold the accumulated history bites immediately.
+  AdmissionController ac(small_cfg());
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(ac.admit(key(1), 600, kT0, 0.1), AdmissionVerdict::admit);
+  }
+  EXPECT_EQ(ac.admit(key(1), 600, kT0, 0.9), AdmissionVerdict::shed_first);
+}
+
+TEST(Admission, RefillRestoresBudgetOverTime) {
+  AdmissionConfig cfg = small_cfg();
+  cfg.pressure_threshold = 0.0;  // always bite
+  AdmissionController ac(cfg);
+  EXPECT_EQ(ac.admit(key(1), 900, kT0, 1.0), AdmissionVerdict::admit);
+  // Deficit 100 < 900 — but three refill intervals later the flow earned
+  // 3 quanta back (clamped to max_deficit).
+  EXPECT_EQ(ac.admit(key(1), 900, kT0 + 3'000'000, 1.0),
+            AdmissionVerdict::admit);
+}
+
+TEST(Admission, RefillClampsAtMaxDeficit) {
+  AdmissionConfig cfg = small_cfg();
+  cfg.pressure_threshold = 0.0;
+  AdmissionController ac(cfg);
+  EXPECT_EQ(ac.admit(key(1), 1, kT0, 1.0), AdmissionVerdict::admit);
+  // 50 intervals of silence (still under the budget-record idle timeout)
+  // credit at most max_deficit (2000), not 50 quanta: 2000 admits a
+  // 1500-byte unit but not two of them.
+  const std::uint64_t later = kT0 + 50'000'000;
+  EXPECT_EQ(ac.admit(key(1), 1500, later, 1.0), AdmissionVerdict::admit);
+  EXPECT_EQ(ac.admit(key(1), 1500, later, 1.0), AdmissionVerdict::shed_first);
+}
+
+TEST(Admission, ChargeTrueUpReplacesHint) {
+  AdmissionConfig cfg = small_cfg();
+  cfg.pressure_threshold = 0.0;
+  AdmissionController ac(cfg);
+  // Hint said 100, service actually cost 950 (reassembly amplification).
+  EXPECT_EQ(ac.admit(key(1), 100, kT0, 1.0), AdmissionVerdict::admit);
+  ac.charge(key(1), 950, 100);
+  // Deficit is now 1000 - 950 = 50: the next mid-size unit sheds.
+  EXPECT_EQ(ac.admit(key(1), 100, kT0, 1.0), AdmissionVerdict::shed_first);
+}
+
+TEST(Admission, ChargeOnUnknownFlowIsForgiven) {
+  AdmissionController ac(small_cfg());
+  ac.charge(key(42), 1'000'000, 0);  // no record: no crash, no effect
+  EXPECT_EQ(ac.admit(key(42), 100, kT0, 1.0), AdmissionVerdict::admit);
+}
+
+TEST(Admission, ForceShedAlertsExactlyOnce) {
+  AdmissionController ac(small_cfg());
+  EXPECT_EQ(ac.force_shed(key(1), kT0), AdmissionVerdict::shed_first);
+  EXPECT_EQ(ac.force_shed(key(1), kT0), AdmissionVerdict::shed_repeat);
+  EXPECT_EQ(ac.admit(key(1), 1, kT0, 0.0), AdmissionVerdict::shed_repeat);
+  EXPECT_TRUE(ac.is_shed(key(1)));
+  EXPECT_EQ(ac.stats().shed_flows, 1u);
+}
+
+TEST(Admission, ShedStateIdlesOutAndFlowStartsFresh) {
+  AdmissionConfig cfg = small_cfg();
+  cfg.flow_idle_timeout_usec = 5'000'000;  // 5 s
+  AdmissionController ac(cfg);
+  EXPECT_EQ(ac.force_shed(key(1), kT0), AdmissionVerdict::shed_first);
+  // Long after the idle timeout the budget record is reclaimed; the flow
+  // is a stranger again with a fresh quantum (and a fresh one-alert).
+  const std::uint64_t later = kT0 + 60'000'000;
+  EXPECT_EQ(ac.admit(key(1), 100, later, 1.0), AdmissionVerdict::admit);
+  EXPECT_FALSE(ac.is_shed(key(1)));
+}
+
+TEST(Admission, PerFlowIsolation) {
+  AdmissionConfig cfg = small_cfg();
+  cfg.pressure_threshold = 0.0;
+  AdmissionController ac(cfg);
+  EXPECT_EQ(ac.admit(key(1), 999, kT0, 1.0), AdmissionVerdict::admit);
+  EXPECT_EQ(ac.admit(key(1), 999, kT0, 1.0), AdmissionVerdict::shed_first);
+  // A hog's exhaustion must not touch anyone else's budget.
+  EXPECT_EQ(ac.admit(key(2), 999, kT0, 1.0), AdmissionVerdict::admit);
+  EXPECT_FALSE(ac.is_shed(key(2)));
+}
+
+TEST(Admission, BudgetTableIsBounded) {
+  AdmissionConfig cfg = small_cfg();
+  cfg.max_flows = 64;
+  AdmissionController ac(cfg);
+  for (std::uint32_t i = 0; i < 1000; ++i) {
+    ac.admit(key(i * 4), 1, kT0 + i, 0.0);
+  }
+  EXPECT_LE(ac.flows(), 64u);
+  EXPECT_GT(ac.memory_bytes(), 0u);
+}
+
+TEST(Admission, RejectsDegenerateConfig) {
+  AdmissionConfig cfg = small_cfg();
+  cfg.quantum_bytes = 0;
+  EXPECT_THROW(AdmissionController{cfg}, InvalidArgument);
+  cfg = small_cfg();
+  cfg.refill_interval_usec = 0;
+  EXPECT_THROW(AdmissionController{cfg}, InvalidArgument);
+}
+
+}  // namespace
+}  // namespace sdt::slowpath

@@ -1,0 +1,112 @@
+// Flow-lifecycle soak: a churning workload (births, FIN closes, abortive
+// RSTs, silent abandonments) through the full engine + slow-path stack.
+// The property under test is the steady state: with a timing-wheel
+// lifecycle, total flow-table state tracks the CONCURRENT population, not
+// the cumulative flow count — the memory curve flattens instead of
+// climbing with every new connection.
+#include <gtest/gtest.h>
+
+#include "core/engine.hpp"
+#include "evasion/traffic_gen.hpp"
+#include "slowpath/service.hpp"
+#include "util/rng.hpp"
+
+namespace sdt::slowpath {
+namespace {
+
+core::SignatureSet soak_sigs() {
+  core::SignatureSet s;
+  s.add("marker", std::string_view("INTRUSION_SIGNATURE_MARK_0001"));
+  return s;
+}
+
+TEST(ChurnSoak, FlowStateTracksConcurrencyNotCumulativeFlows) {
+  evasion::ChurnConfig cfg;
+  cfg.concurrent_flows = 100;
+  cfg.total_flows = 2000;
+  cfg.seed = 9;
+  // Births every 100 ms: flow lifetimes (~10 s) and the trace span
+  // (~200 s virtual) comfortably exceed the engine's 5 s FIN/RST linger
+  // and 60 s idle timeout, so the lifecycle actually turns over mid-trace
+  // instead of the whole population outliving the trace.
+  cfg.birth_spacing_usec = 100'000;
+  const evasion::GeneratedTrace trace = evasion::generate_churn(cfg);
+  ASSERT_EQ(cfg.total_flows,
+            trace.fin_flows + trace.rst_flows + trace.abandoned_flows);
+
+  core::SplitDetectConfig ecfg;
+  ecfg.fast.piece_len = 5;
+  const core::SignatureSet sigs = soak_sigs();
+  core::SplitDetectEngine engine(sigs, ecfg);
+  core::CompileOptions copts;
+  copts.piece_len = ecfg.fast.piece_len;
+  SlowPathConfig sp;
+  sp.workers = 2;
+  sp.ips = core::derive_slow_config(ecfg);
+  SlowPathService svc(core::compile_ruleset(sigs, copts, 1, "soak"), sp);
+  engine.set_divert_sink(&svc);
+  svc.start();
+
+  std::vector<core::Alert> alerts;
+  std::size_t peak_flows = 0, halfway_mem = 0;
+  std::size_t i = 0;
+  for (const net::Packet& p : trace.packets) {
+    engine.process(p, net::LinkType::raw_ipv4, alerts);
+    if (++i % 512 == 0) {
+      engine.expire(p.ts_usec);
+      peak_flows = std::max(peak_flows, engine.fast_path().flows());
+    }
+    if (i == trace.packets.size() / 2) {
+      halfway_mem = engine.flow_state_bytes();
+    }
+  }
+  engine.expire(trace.packets.back().ts_usec + 120ull * 1000 * 1000);
+  svc.stop();
+
+  // 20x more flows were born than can live at once; the table must never
+  // have held more than a small multiple of the concurrent population
+  // (closing flows linger briefly, so allow healthy slack).
+  EXPECT_GT(peak_flows, 0u);
+  EXPECT_LE(peak_flows, 8 * cfg.concurrent_flows)
+      << "flow table grew with cumulative flows: lifecycle is broken";
+  // Memory at the end of the soak is no worse than at the halfway point:
+  // births are balanced by FIN/RST teardown and idle expiry.
+  EXPECT_LE(engine.flow_state_bytes(), halfway_mem + halfway_mem / 2);
+  // After the final idle horizon everything is reclaimable.
+  EXPECT_LE(engine.fast_path().flows(), cfg.concurrent_flows);
+  EXPECT_TRUE(svc.stats_snapshot().conserved());
+  for (const core::Alert& a : alerts) {
+    EXPECT_NE(a.signature_id, 0u) << "benign churn alerted a signature";
+  }
+}
+
+TEST(ChurnSoak, RstAndFinTeardownBothReclaim) {
+  // All-FIN and all-RST workloads end with equally small tables: the
+  // abortive path must tear down as reliably as the orderly one.
+  const auto run = [](double fin, double rst) {
+    evasion::ChurnConfig cfg;
+    cfg.concurrent_flows = 50;
+    cfg.total_flows = 400;
+    cfg.fin_fraction = fin;
+    cfg.rst_fraction = rst;
+    cfg.seed = 4;
+    const evasion::GeneratedTrace trace = evasion::generate_churn(cfg);
+    core::SplitDetectConfig ecfg;
+    ecfg.fast.piece_len = 5;
+    const core::SignatureSet sigs = soak_sigs();
+    core::SplitDetectEngine engine(sigs, ecfg);
+    std::vector<core::Alert> alerts;
+    std::size_t i = 0;
+    for (const net::Packet& p : trace.packets) {
+      engine.process(p, net::LinkType::raw_ipv4, alerts);
+      if (++i % 256 == 0) engine.expire(p.ts_usec);
+    }
+    engine.expire(trace.packets.back().ts_usec + 120ull * 1000 * 1000);
+    return engine.fast_path().flows();
+  };
+  EXPECT_LE(run(1.0, 0.0), 50u);
+  EXPECT_LE(run(0.0, 1.0), 50u);
+}
+
+}  // namespace
+}  // namespace sdt::slowpath

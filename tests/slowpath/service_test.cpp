@@ -1,0 +1,302 @@
+// SlowPathService behaviour tests, driven through a real SplitDetectEngine
+// so every DivertedPacket crossing the boundary is one the fast path
+// actually produced (defragmented, flow-keyed, takeover-stamped).
+#include "slowpath/service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "control/registry.hpp"
+#include "core/engine.hpp"
+#include "evasion/flow_forge.hpp"
+#include "evasion/traffic_gen.hpp"
+#include "telemetry/registry.hpp"
+#include "util/rng.hpp"
+
+namespace sdt::slowpath {
+namespace {
+
+core::SignatureSet test_sigs() {
+  core::SignatureSet s;
+  s.add("marker", std::string_view("INTRUSION_SIGNATURE_MARK_0001"));
+  return s;
+}
+
+core::SplitDetectConfig engine_cfg() {
+  core::SplitDetectConfig cfg;
+  cfg.fast.piece_len = 5;
+  return cfg;
+}
+
+core::RuleSetHandle compiled(const core::SignatureSet& sigs,
+                             std::uint64_t version = 1) {
+  core::CompileOptions copts;
+  copts.piece_len = engine_cfg().fast.piece_len;
+  return core::compile_ruleset(sigs, copts, version, "service-test");
+}
+
+SlowPathConfig generous_cfg() {
+  SlowPathConfig sp;
+  sp.workers = 2;
+  sp.ips = core::derive_slow_config(engine_cfg());
+  sp.admission.pressure_threshold = 2.0;  // occupancy <= 1: never sheds
+  return sp;
+}
+
+SlowPathConfig starved_cfg() {
+  SlowPathConfig sp;
+  sp.workers = 1;
+  sp.ips = core::derive_slow_config(engine_cfg());
+  sp.admission.quantum_bytes = 512;
+  sp.admission.max_deficit_bytes = 1024;
+  sp.admission.refill_interval_usec = 1ull << 40;  // never within a test
+  sp.admission.pressure_threshold = 0.0;           // budgets always bite
+  return sp;
+}
+
+/// One flow of tiny segments (every data packet slow-path bait) carrying
+/// the signature at `at`.
+std::vector<net::Packet> tiny_attack_flow(const core::SignatureSet& sigs,
+                                          std::uint32_t n,
+                                          std::size_t stream_len = 600,
+                                          std::size_t at = 200) {
+  Rng rng(100 + n);
+  Bytes stream = evasion::generate_payload(rng, stream_len, 0.5);
+  std::copy(sigs[0].bytes.begin(), sigs[0].bytes.end(),
+            stream.begin() + static_cast<std::ptrdiff_t>(at));
+  evasion::Endpoints ep;
+  ep.client = net::Ipv4Addr(10, 0, static_cast<std::uint8_t>(n / 256),
+                            static_cast<std::uint8_t>(n % 256));
+  ep.client_port = static_cast<std::uint16_t>(2000 + n);
+  evasion::FlowForge f(ep, 1000 + n);
+  f.handshake();
+  f.client_segments(evasion::plan_tiny(stream, 7));
+  f.close();
+  return f.take();
+}
+
+struct RunResult {
+  std::vector<core::Alert> engine_alerts;  // incl. inline shed alerts
+  std::vector<core::Alert> slow_alerts;    // worker detections
+  SlowPathStats stats;
+  core::SplitDetectStats estats;
+};
+
+RunResult run(const std::vector<net::Packet>& pkts, SlowPathService& svc,
+              core::SplitDetectEngine& engine, bool start_first = true) {
+  engine.set_divert_sink(&svc);
+  if (start_first) svc.start();
+  RunResult r;
+  for (const auto& p : pkts) {
+    engine.process(p, net::LinkType::raw_ipv4, r.engine_alerts);
+  }
+  svc.stop();
+  r.slow_alerts = svc.alerts_snapshot();
+  r.stats = svc.stats_snapshot();
+  r.estats = engine.stats_snapshot();
+  return r;
+}
+
+TEST(SlowPathService, AdmittedFlowIsDetectedAndBooksBalance) {
+  const core::SignatureSet sigs = test_sigs();
+  core::SplitDetectEngine engine(sigs, engine_cfg());
+  SlowPathService svc(compiled(sigs), generous_cfg());
+  const RunResult r = run(tiny_attack_flow(sigs, 1), svc, engine);
+
+  bool detected = false;
+  for (const core::Alert& a : r.slow_alerts) {
+    detected |= a.signature_id == 0;
+  }
+  EXPECT_TRUE(detected);
+  EXPECT_TRUE(r.stats.conserved());
+  EXPECT_GT(r.stats.fed, 0u);
+  EXPECT_EQ(r.stats.shed, 0u);
+  EXPECT_EQ(r.stats.dropped, 0u) << "stop() must drain admitted units";
+  EXPECT_EQ(r.stats.processed, r.stats.fed);
+}
+
+TEST(SlowPathService, ShedFlowRaisesExactlyOneAlert) {
+  const core::SignatureSet sigs = test_sigs();
+  core::SplitDetectEngine engine(sigs, engine_cfg());
+  SlowPathService svc(compiled(sigs), starved_cfg());
+  // 4000-byte stream in 7-byte segments: the 512-byte budget is gone in
+  // the first handful of diverted units; everything after is shed.
+  const RunResult r =
+      run(tiny_attack_flow(sigs, 1, /*stream_len=*/4000, /*at=*/3500), svc,
+          engine);
+
+  std::size_t shed_alerts = 0;
+  for (const core::Alert& a : r.engine_alerts) {
+    if (a.signature_id == core::kSlowPathShedAlertId) {
+      ++shed_alerts;
+      EXPECT_STREQ(a.source, "slowpath-shed");
+    }
+  }
+  EXPECT_EQ(shed_alerts, 1u) << "first shed alerts; repeats only count";
+  EXPECT_EQ(r.stats.shed_flows, 1u);
+  EXPECT_GT(r.stats.shed, 1u);
+  EXPECT_TRUE(r.stats.conserved());
+  EXPECT_EQ(r.estats.sink_shed_flows, 1u);
+  EXPECT_EQ(r.estats.sink_shed_packets, r.stats.shed);
+}
+
+TEST(SlowPathService, BackpressureShedsWhenQueueRefuses) {
+  const core::SignatureSet sigs = test_sigs();
+  core::SplitDetectEngine engine(sigs, engine_cfg());
+  SlowPathConfig sp = generous_cfg();
+  sp.queue.max_packets = 2;  // admission says yes, the queue says no
+  SlowPathService svc(compiled(sigs), sp);
+  // Feed with workers NOT running so the queue cannot drain underneath.
+  const RunResult r = run(tiny_attack_flow(sigs, 1, 2000), svc, engine,
+                          /*start_first=*/false);
+
+  EXPECT_GT(r.stats.backpressure_sheds, 0u);
+  EXPECT_EQ(r.stats.shed_flows, 1u);
+  EXPECT_TRUE(r.stats.conserved());
+}
+
+TEST(SlowPathService, VerdictParityWithSynchronousEngine) {
+  // The decoupled slow path must reach the same (flow, signature) verdicts
+  // as the classic synchronous engine when nothing is shed.
+  const core::SignatureSet sigs = test_sigs();
+  std::vector<net::Packet> pkts;
+  for (std::uint32_t n = 0; n < 6; ++n) {
+    auto f = tiny_attack_flow(sigs, n);
+    pkts.insert(pkts.end(), f.begin(), f.end());
+  }
+
+  core::SplitDetectEngine sync_engine(sigs, engine_cfg());
+  std::vector<core::Alert> sync_alerts;
+  for (const auto& p : pkts) {
+    sync_engine.process(p, net::LinkType::raw_ipv4, sync_alerts);
+  }
+
+  core::SplitDetectEngine engine(sigs, engine_cfg());
+  SlowPathService svc(compiled(sigs), generous_cfg());
+  const RunResult r = run(pkts, svc, engine);
+
+  const auto detections = [](const std::vector<core::Alert>& alerts) {
+    std::set<std::string> keys;
+    for (const core::Alert& a : alerts) {
+      if (a.signature_id == 0) {
+        keys.insert(a.flow.str());
+      }
+    }
+    return keys;
+  };
+  std::vector<core::Alert> all = r.engine_alerts;
+  all.insert(all.end(), r.slow_alerts.begin(), r.slow_alerts.end());
+  EXPECT_EQ(detections(all), detections(sync_alerts));
+  EXPECT_TRUE(r.stats.conserved());
+}
+
+TEST(SlowPathService, FlowsRouteToStableShardsAndStateIsReclaimed) {
+  const core::SignatureSet sigs = test_sigs();
+  core::SplitDetectEngine engine(sigs, engine_cfg());
+  SlowPathService svc(compiled(sigs), generous_cfg());
+  std::vector<net::Packet> pkts;
+  for (std::uint32_t n = 0; n < 8; ++n) {
+    auto f = tiny_attack_flow(sigs, n);
+    pkts.insert(pkts.end(), f.begin(), f.end());
+  }
+  const RunResult r = run(pkts, svc, engine);
+  EXPECT_TRUE(r.stats.conserved());
+  // Every flow closed (FIN exchange): after the drain the shards may keep
+  // lingering records, but nothing grows past the flows fed.
+  EXPECT_LE(r.stats.flows, 8u);
+  EXPECT_EQ(r.stats.queue_depth, 0u);
+}
+
+TEST(SlowPathService, DrainAlertsMovesOut) {
+  const core::SignatureSet sigs = test_sigs();
+  core::SplitDetectEngine engine(sigs, engine_cfg());
+  SlowPathService svc(compiled(sigs), generous_cfg());
+  run(tiny_attack_flow(sigs, 1), svc, engine);
+  EXPECT_FALSE(svc.drain_alerts().empty());
+  EXPECT_TRUE(svc.drain_alerts().empty());
+}
+
+TEST(SlowPathService, StopIsIdempotentAndRestartable) {
+  const core::SignatureSet sigs = test_sigs();
+  SlowPathService svc(compiled(sigs), generous_cfg());
+  svc.start();
+  svc.stop();
+  svc.stop();
+  EXPECT_FALSE(svc.running());
+}
+
+TEST(SlowPathService, SwapRulesetMidStreamKeepsDetecting) {
+  const core::SignatureSet sigs = test_sigs();
+  core::SplitDetectEngine engine(sigs, engine_cfg());
+  SlowPathService svc(compiled(sigs, 1), generous_cfg());
+  engine.set_divert_sink(&svc);
+  svc.start();
+  std::vector<core::Alert> alerts;
+  const auto first = tiny_attack_flow(sigs, 1);
+  for (const auto& p : first) {
+    engine.process(p, net::LinkType::raw_ipv4, alerts);
+  }
+  svc.swap_ruleset(compiled(sigs, 2));
+  const auto second = tiny_attack_flow(sigs, 2);
+  for (const auto& p : second) {
+    engine.process(p, net::LinkType::raw_ipv4, alerts);
+  }
+  svc.stop();
+  std::set<std::string> detected;
+  for (const core::Alert& a : svc.alerts_snapshot()) {
+    if (a.signature_id == 0) detected.insert(a.flow.str());
+  }
+  EXPECT_EQ(detected.size(), 2u) << "flows on both sides of the swap detect";
+  EXPECT_TRUE(svc.stats_snapshot().conserved());
+}
+
+TEST(SlowPathService, AttachedRegistryDrivesHotReload) {
+  const core::SignatureSet sigs = test_sigs();
+  control::RuleSetRegistry registry;
+  registry.publish(compiled(sigs, registry.allocate_version()));
+
+  core::SplitDetectEngine engine(sigs, engine_cfg());
+  SlowPathService svc(registry.current(), generous_cfg());
+  svc.attach_registry(registry);
+  engine.set_divert_sink(&svc);
+  svc.start();
+
+  std::vector<core::Alert> alerts;
+  const auto first = tiny_attack_flow(sigs, 1);
+  for (const auto& p : first) {
+    engine.process(p, net::LinkType::raw_ipv4, alerts);
+  }
+  // Publish a new version; worker shards adopt at a packet boundary.
+  registry.publish(compiled(sigs, registry.allocate_version()));
+  const auto second = tiny_attack_flow(sigs, 2);
+  for (const auto& p : second) {
+    engine.process(p, net::LinkType::raw_ipv4, alerts);
+  }
+  svc.stop();
+
+  std::set<std::string> detected;
+  for (const core::Alert& a : svc.alerts_snapshot()) {
+    if (a.signature_id == 0) detected.insert(a.flow.str());
+  }
+  EXPECT_EQ(detected.size(), 2u);
+  EXPECT_TRUE(svc.stats_snapshot().conserved());
+}
+
+TEST(SlowPathService, MetricsRegisterUnderPrefix) {
+  const core::SignatureSet sigs = test_sigs();
+  core::SplitDetectEngine engine(sigs, engine_cfg());
+  SlowPathService svc(compiled(sigs), generous_cfg());
+  telemetry::MetricsRegistry reg;
+  svc.register_metrics(reg);
+  run(tiny_attack_flow(sigs, 1), svc, engine);
+  const auto snap = reg.snapshot(telemetry::SampleScope::quiescent);
+  bool found = false;
+  const std::uint64_t fed = snap.value("slowpath.fed", &found);
+  EXPECT_TRUE(found);
+  EXPECT_GT(fed, 0u);
+}
+
+}  // namespace
+}  // namespace sdt::slowpath

@@ -40,7 +40,9 @@ struct Options {
   bool inject_bug = false;
   bool no_strict = false;
   bool no_reload_crosscheck = false;
+  bool no_flood_crosscheck = false;
   std::uint64_t reload_swaps = 4;
+  double flood_fraction = 0.1;
   double benign_budget = 0.25;
   std::string replay_path;
   std::string repro_dir = "fuzz/repros";
@@ -54,6 +56,7 @@ void usage(const char* argv0) {
                "          [--quick] [--inject-bug] [--no-strict]\n"
                "          [--benign-budget F] [--repro-dir DIR]\n"
                "          [--no-reload-crosscheck] [--reload-swaps N]\n"
+               "          [--flood-fraction F] [--no-flood-crosscheck]\n"
                "          [--stats-out FILE] [--replay REPRO.json]\n",
                argv0);
 }
@@ -145,6 +148,21 @@ bool parse_args(int argc, char** argv, Options& opt) {
       if (!need_u64("--reload-swaps", opt.reload_swaps)) return false;
     } else if (a == "--no-reload-crosscheck") {
       opt.no_reload_crosscheck = true;
+    } else if (a == "--flood-fraction") {
+      const char* v = need("--flood-fraction");
+      if (!v) return false;
+      char* end = nullptr;
+      opt.flood_fraction = std::strtod(v, &end);
+      if (end == v || *end != '\0' || !(opt.flood_fraction >= 0.0) ||
+          opt.flood_fraction > 1.0) {
+        std::fprintf(stderr,
+                     "sdt_fuzz: --flood-fraction wants a fraction in [0,1], "
+                     "got '%s'\n",
+                     v);
+        return false;
+      }
+    } else if (a == "--no-flood-crosscheck") {
+      opt.no_flood_crosscheck = true;
     } else if (a == "--quick") {
       opt.quick = true;
     } else if (a == "--inject-bug") {
@@ -201,12 +219,15 @@ int run_campaign(const Options& opt) {
   cfg.harness.strict = !opt.no_strict;
   cfg.reload_crosscheck_every = opt.no_reload_crosscheck ? 0 : 2048;
   cfg.reload_swaps = opt.reload_swaps;
+  cfg.gen.flood_fraction = opt.flood_fraction;
+  cfg.flood_crosscheck_every = opt.no_flood_crosscheck ? 0 : 2048;
   if (opt.quick) {
     cfg.gen.max_pad = 400;        // shorter streams
     cfg.crosscheck_every = 1024;  // still a few crosschecks per smoke run
     cfg.crosscheck_batch = 32;
     cfg.shrink_budget = 1500;
     if (!opt.no_reload_crosscheck) cfg.reload_crosscheck_every = 1024;
+    if (!opt.no_flood_crosscheck) cfg.flood_crosscheck_every = 1024;
   }
 
   sdt::fuzz::FuzzRunner runner(corpus, cfg);
