@@ -1,110 +1,191 @@
-// Kernel microbenchmarks (google-benchmark): the per-byte costs underlying
-// E3/E6 — Aho-Corasick dense vs sparse layouts, piece vs whole-signature
-// pattern sets, and the BMH single-pattern verifier. These are the ablation
-// numbers for the design choices DESIGN.md calls out (dense DFA on the fast
-// path; pieces keep the automaton small).
-#include <benchmark/benchmark.h>
+// A1 — Match-kernel ablation: the per-byte scan costs underlying E3/E6.
+//
+// Sweeps every kernel that can clear a payload on the fast path, over the
+// same 1460-byte-segment workload the packet path sees:
+//
+//   ac_dense / ac_sparse  AhoCorasick layouts (the pre-kernel baseline)
+//   flat_dfa              packed-entry flat DFA, sequential per segment
+//   flat_batch            contains_any_batch, 8 segments in lockstep
+//   prefilter             SIMD candidate windows only (no exact scan)
+//   staged                prefilter windows -> flat DFA over the windows
+//                         (what FastPath actually runs per payload)
+//
+// Two workloads: clean (signature-free — the common case the prefilter is
+// built to make cheap) and dirty (signature pieces planted — the staged
+// path must fall back to real scanning). All kernels return identical
+// verdicts; only cost may differ. That identity is enforced by
+// tests/match/* (ctest -L match); this bench only times it.
+#include <chrono>
 
+#include "bench_util.hpp"
 #include "core/splitter.hpp"
-#include "evasion/corpus.hpp"
-#include "evasion/traffic_gen.hpp"
-#include "match/single_match.hpp"
+#include "match/flat_dfa.hpp"
+#include "match/prefilter.hpp"
 #include "util/rng.hpp"
 
 using namespace sdt;
 
 namespace {
 
-Bytes payload_mb() {
-  Rng rng(31);
-  return evasion::generate_payload(rng, 1 << 20, 0.0);
-}
+/// Optimizer escape hatch: every kernel's verdict lands here, so the scan
+/// cannot be dead-code-eliminated.
+volatile std::uint64_t g_sink = 0;
 
-match::AhoCorasick whole_matcher(match::AcLayout layout) {
-  match::AhoCorasick::Builder b;
-  for (const core::Signature& s : evasion::default_corpus(16)) b.add(s.bytes);
-  return b.build(layout);
-}
+void keep(std::uint64_t v) { g_sink = g_sink + v; }
 
-void BM_AcScan_PiecesDense(benchmark::State& state) {
-  const core::SignatureSet sigs = evasion::default_corpus(16);
-  const core::PieceSet ps(sigs, 8, match::AcLayout::dense_dfa);
-  const Bytes data = payload_mb();
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(ps.matcher().contains_any(data));
+/// Payload cut into the 1460-byte segments a full MTU stream delivers.
+std::vector<ByteView> segments(const Bytes& data) {
+  constexpr std::size_t kSeg = 1460;
+  std::vector<ByteView> out;
+  for (std::size_t off = 0; off < data.size(); off += kSeg) {
+    out.push_back(ByteView(data).subspan(off, std::min(kSeg, data.size() - off)));
   }
-  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          static_cast<std::int64_t>(data.size()));
+  return out;
 }
-BENCHMARK(BM_AcScan_PiecesDense);
 
-void BM_AcScan_PiecesSparse(benchmark::State& state) {
-  const core::SignatureSet sigs = evasion::default_corpus(16);
-  const core::PieceSet ps(sigs, 8, match::AcLayout::sparse_nfa);
-  const Bytes data = payload_mb();
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(ps.matcher().contains_any(data));
-  }
-  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          static_cast<std::int64_t>(data.size()));
+/// ns/byte for `fn` (which must consume every segment once per call).
+template <typename F>
+double ns_per_byte(const Bytes& data, F&& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  fn();
+  const auto t1 = std::chrono::steady_clock::now();
+  const auto ns =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count();
+  return static_cast<double>(ns) / static_cast<double>(data.size());
 }
-BENCHMARK(BM_AcScan_PiecesSparse);
-
-void BM_AcScan_WholeSigsDense(benchmark::State& state) {
-  const match::AhoCorasick ac = whole_matcher(match::AcLayout::dense_dfa);
-  const Bytes data = payload_mb();
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(ac.contains_any(data));
-  }
-  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          static_cast<std::int64_t>(data.size()));
-}
-BENCHMARK(BM_AcScan_WholeSigsDense);
-
-void BM_AcScan_WholeSigsSparse(benchmark::State& state) {
-  const match::AhoCorasick ac = whole_matcher(match::AcLayout::sparse_nfa);
-  const Bytes data = payload_mb();
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(ac.contains_any(data));
-  }
-  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          static_cast<std::int64_t>(data.size()));
-}
-BENCHMARK(BM_AcScan_WholeSigsSparse);
-
-void BM_BmhVerify(benchmark::State& state) {
-  const core::SignatureSet sigs = evasion::default_corpus(16);
-  const match::Bmh bmh(sigs[0].bytes);
-  const Bytes data = payload_mb();
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(bmh.contains(data));
-  }
-  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          static_cast<std::int64_t>(data.size()));
-}
-BENCHMARK(BM_BmhVerify);
-
-void BM_AcStreaming_ChunkSize(benchmark::State& state) {
-  // Streaming scan cost vs chunk size: the conventional IPS scans
-  // reassembled chunks; smaller chunks mean more per-call overhead.
-  const match::AhoCorasick ac = whole_matcher(match::AcLayout::dense_dfa);
-  const Bytes data = payload_mb();
-  const auto chunk = static_cast<std::size_t>(state.range(0));
-  for (auto _ : state) {
-    match::AhoCorasick::State s = match::AhoCorasick::kRoot;
-    std::size_t hits = 0;
-    for (std::size_t off = 0; off < data.size(); off += chunk) {
-      const std::size_t n = std::min(chunk, data.size() - off);
-      s = ac.scan(ByteView(data).subspan(off, n), s,
-                  [&](match::AhoCorasick::Match) { ++hits; });
-    }
-    benchmark::DoNotOptimize(hits);
-  }
-  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          static_cast<std::int64_t>(data.size()));
-}
-BENCHMARK(BM_AcStreaming_ChunkSize)->Arg(64)->Arg(512)->Arg(1460)->Arg(65536);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const bench::Options opt = bench::Options::parse(argc, argv);
+  bench::JsonReport rep("A1_match_kernels",
+                        "per-byte scan cost by match kernel", opt);
+  bench::banner("A1: match-kernel ablation",
+                "the fast path's per-byte budget: flat DFA + batch + SIMD "
+                "prefilter vs the AhoCorasick baselines (feeds E3/E6)");
+
+  const core::SignatureSet sigs = evasion::default_corpus(16);
+  const std::size_t piece_len = 8;
+  const core::PieceSet dense(sigs, piece_len, match::AcLayout::dense_dfa);
+  const core::PieceSet sparse(sigs, piece_len, match::AcLayout::sparse_nfa);
+  if (!dense.has_kernels()) {
+    std::fprintf(stderr, "bench_match_kernels: dense PieceSet lost its "
+                         "kernels — nothing to measure\n");
+    return 1;
+  }
+  const match::FlatDfa& flat = dense.flat();
+  const match::Prefilter& pre = dense.prefilter();
+
+  // Clean: random bytes (binary, worst case for byte-class prefilters).
+  // Dirty: the same payload with a signature piece planted every ~4 KiB,
+  // so candidate windows and real DFA work dominate.
+  Rng rng(31);
+  const std::size_t mb = opt.sized(1 << 20, 1 << 18);
+  const Bytes clean = evasion::generate_payload(rng, mb, 0.0);
+  Bytes dirty = clean;
+  for (std::size_t off = 2048; off + piece_len < dirty.size(); off += 4096) {
+    const core::Signature& s =
+        sigs[static_cast<std::uint32_t>(rng.below(sigs.size()))];
+    std::copy(s.bytes.begin(),
+              s.bytes.begin() + static_cast<std::ptrdiff_t>(piece_len),
+              dirty.begin() + static_cast<std::ptrdiff_t>(off));
+  }
+
+  const std::size_t runs = opt.runs(9, 3);
+  std::printf("prefilter kernel: %s   segments: 1460 B   payload: %s\n\n",
+              pre.kernel_name(),
+              human_bytes(static_cast<double>(mb)).c_str());
+  std::printf("%-12s | %18s | %18s\n", "kernel", "clean ns/B", "dirty ns/B");
+  std::printf("-------------+--------------------+-------------------\n");
+
+  std::vector<match::PrefilterWindow> wins;
+  std::vector<std::uint8_t> hits;
+  const auto bench_one = [&](const char* name, auto&& scan_all) {
+    const auto time = [&](const Bytes& data) {
+      const std::vector<ByteView> segs = segments(data);
+      hits.assign(segs.size(), 0);
+      return bench::repeat(runs, [&] {
+        return ns_per_byte(data, [&] { scan_all(segs); });
+      });
+    };
+    const bench::Repeated c = time(clean);
+    const bench::Repeated d = time(dirty);
+    std::printf("%-12s | %18s | %18s\n", name, bench::pm(c, "%.3f").c_str(),
+                bench::pm(d, "%.3f").c_str());
+    rep.metric(std::string(name) + ".clean_ns_per_byte", c, "ns/byte");
+    rep.metric(std::string(name) + ".dirty_ns_per_byte", d, "ns/byte");
+  };
+
+  bench_one("ac_dense", [&](const std::vector<ByteView>& segs) {
+    bool any = false;
+    for (const ByteView s : segs) any |= dense.matcher().contains_any(s);
+    keep(any ? 1 : 0);
+  });
+  bench_one("ac_sparse", [&](const std::vector<ByteView>& segs) {
+    bool any = false;
+    for (const ByteView s : segs) any |= sparse.matcher().contains_any(s);
+    keep(any ? 1 : 0);
+  });
+  bench_one("flat_dfa", [&](const std::vector<ByteView>& segs) {
+    bool any = false;
+    for (const ByteView s : segs) any |= flat.contains_any(s);
+    keep(any ? 1 : 0);
+  });
+  bench_one("flat_batch", [&](const std::vector<ByteView>& segs) {
+    flat.contains_any_batch(segs.data(), segs.size(), hits.data());
+    keep(hits.empty() ? 0u : hits[0]);
+  });
+  bench_one("prefilter", [&](const std::vector<ByteView>& segs) {
+    std::size_t cands = 0;
+    for (const ByteView s : segs) {
+      wins.clear();
+      cands += pre.windows(s, wins);
+    }
+    keep(cands);
+  });
+  bench_one("staged", [&](const std::vector<ByteView>& segs) {
+    bool any = false;
+    for (const ByteView s : segs) {
+      wins.clear();
+      pre.windows(s, wins);
+      for (const match::PrefilterWindow& w : wins) {
+        if (flat.contains_any(s.subspan(w.begin, w.end - w.begin))) {
+          any = true;
+          break;
+        }
+      }
+    }
+    keep(any ? 1 : 0);
+  });
+
+  // Context the numbers need: how much of the payload the staged path
+  // actually hands to the exact scanner.
+  const auto exact_bytes = [&](const Bytes& data) {
+    std::size_t total = 0;
+    for (const ByteView s : segments(data)) {
+      wins.clear();
+      pre.windows(s, wins);
+      for (const match::PrefilterWindow& w : wins) total += w.end - w.begin;
+    }
+    return total;
+  };
+  const std::size_t clean_exact = exact_bytes(clean);
+  const std::size_t dirty_exact = exact_bytes(dirty);
+  const double clean_frac =
+      static_cast<double>(clean_exact) / static_cast<double>(mb);
+  const double dirty_frac =
+      static_cast<double>(dirty_exact) / static_cast<double>(mb);
+  std::printf("\nexact-scan fraction after prefilter: clean %.4f, dirty %.4f\n",
+              clean_frac, dirty_frac);
+  rep.metric("prefilter.clean_exact_fraction", clean_frac, "fraction");
+  rep.metric("prefilter.dirty_exact_fraction", dirty_frac, "fraction");
+
+  std::printf(
+      "\nexpected shape: flat_dfa beats ac_dense (no layout dispatch, no\n"
+      "second accept probe), flat_batch beats flat_dfa on many segments\n"
+      "(overlapped row loads), and staged crushes both on clean traffic\n"
+      "(the SIMD prefilter clears most bytes without touching the DFA);\n"
+      "on dirty traffic staged degrades toward flat_dfa, never worse than\n"
+      "prefilter + flat over the windows.\n");
+  return rep.write() ? 0 : 1;
+}

@@ -139,6 +139,7 @@ Repeated repeat(std::size_t runs, F&& fn) {
 
 /// "median ± mad (n runs)" for the human tables.
 inline std::string pm(const Repeated& r, const char* fmt = "%.1f") {
+  if (fmt == nullptr) fmt = "%.1f";
   char a[64], b[64];
   std::snprintf(a, sizeof a, fmt, r.median);
   std::snprintf(b, sizeof b, fmt, r.mad);

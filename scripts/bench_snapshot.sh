@@ -10,8 +10,7 @@
 #
 # Every timed metric in the snapshot is a median over repeated runs with its
 # MAD (median absolute deviation) and run count alongside — never a single
-# hot measurement. bench_match_kernels (A1) is deliberately excluded: it is
-# a google-benchmark binary with its own repeat/JSON machinery.
+# hot measurement.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -42,6 +41,7 @@ BENCHES=(
   slowpath_load     # E8
   overlap_policies  # E9
   diversion_flood   # E10
+  match_kernels     # A1
   phase_ablation    # A2
   lane_scaling      # A3
   runtime_scaling   # A4

@@ -14,6 +14,10 @@
 #      differential fuzz campaign (sdt_fuzz --quick --seed 1), ctest -L
 #      fuzz under the sanitizers, and the slow-path churn soak under ASan
 #      (flow-table lifecycle leaks surface as growth) (docs/TESTING.md)
+#   5. match-kernel gate: ctest -L match under ASan+UBSan (the SIMD
+#      prefilter and batched flat-DFA walk hit raw pointers and lane
+#      gathers — equivalence bugs there must fail loudly, not corrupt),
+#      plus a bench_match_kernels --quick --json smoke
 #
 # The nightly soak is the same fuzzer run open-ended; see docs/TESTING.md:
 #   ./build-asan/tools/sdt_fuzz --seconds 3600 --seed "$(date +%s)"
@@ -58,5 +62,13 @@ echo "== fuzz-smoke: ctest -L fuzz (asan+ubsan) =="
 
 echo "== churn-soak smoke: slowpath lifecycle under asan =="
 ./build-asan/tests/slowpath_churn_soak_test >/dev/null
+
+echo "== match-kernel gate: ctest -L match (asan+ubsan) =="
+(cd build-asan && ctest -L match --output-on-failure -j "${JOBS}")
+
+echo "== match-kernel gate: bench_match_kernels --quick smoke =="
+MATCH_JSON="$(mktemp /tmp/sdt_match_smoke.XXXXXX.json)"
+./build/bench/bench_match_kernels --quick --json "${MATCH_JSON}" >/dev/null
+rm -f "${MATCH_JSON}"
 
 echo "== all checks passed =="

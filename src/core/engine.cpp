@@ -61,7 +61,31 @@ Action SplitDetectEngine::process(const net::PacketView& pv,
                                   std::uint64_t now_usec,
                                   std::vector<Alert>& alerts) {
   ++packets_;
-  const FastDecision d = fast_.process(pv, now_usec);
+  FastDecision d = fast_.process(pv, now_usec);
+  return finish(pv, std::move(d), now_usec, alerts);
+}
+
+std::size_t SplitDetectEngine::process_batch(const net::PacketView* pvs,
+                                             const std::uint64_t* now_usec,
+                                             std::size_t n,
+                                             std::vector<Alert>& alerts,
+                                             Action* actions) {
+  batch_decisions_.resize(n);
+  fast_.process_batch(pvs, now_usec, n, batch_decisions_.data());
+  std::size_t not_forwarded = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    ++packets_;
+    const Action a =
+        finish(pvs[i], std::move(batch_decisions_[i]), now_usec[i], alerts);
+    if (actions != nullptr) actions[i] = a;
+    if (a != Action::forward) ++not_forwarded;
+  }
+  return not_forwarded;
+}
+
+Action SplitDetectEngine::finish(const net::PacketView& pv, FastDecision d,
+                                 std::uint64_t now_usec,
+                                 std::vector<Alert>& alerts) {
   if (d.action == Action::forward) return Action::forward;
 
   ++diverted_packets_;
@@ -207,6 +231,16 @@ void SplitDetectEngine::register_metrics(telemetry::MetricsRegistry& reg,
         [this] { return fast_.stats().ooo_anomalies; });
   gauge("fast.fragment_diverts", "events",
         [this] { return fast_.stats().fragment_diverts; });
+  gauge("fast.batch_packets", "packets",
+        [this] { return fast_.stats().batch_packets; });
+  gauge("match.prefilter_pass", "payloads",
+        [this] { return fast_.stats().prefilter_pass; });
+  gauge("match.prefilter_hit", "payloads",
+        [this] { return fast_.stats().prefilter_hit; });
+  gauge("match.prefilter_exact_bytes", "bytes",
+        [this] { return fast_.stats().prefilter_exact_bytes; });
+  gauge("match.prefilter_bypassed", "payloads",
+        [this] { return fast_.stats().prefilter_bypassed; });
   gauge("slow.bytes_scanned", "bytes",
         [this] { return slow_.stats().bytes_scanned; });
   gauge("slow.reassembled_bytes", "bytes",

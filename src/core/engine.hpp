@@ -134,6 +134,17 @@ class SplitDetectEngine {
   Action process(const net::PacketView& pv, std::uint64_t now_usec,
                  std::vector<Alert>& alerts);
 
+  /// Process a batch in arrival order. Verdicts, alerts and stats are
+  /// identical to n process() calls, but the fast path hoists flow-record
+  /// prefetch, checksum verification and the piece scan across the batch
+  /// and walks the flat DFA over all candidate windows in lockstep
+  /// (FastPath::process_batch). `actions`, if non-null, receives the n
+  /// per-packet actions. Returns how many packets were not forwarded.
+  std::size_t process_batch(const net::PacketView* pvs,
+                            const std::uint64_t* now_usec, std::size_t n,
+                            std::vector<Alert>& alerts,
+                            Action* actions = nullptr);
+
   /// Convenience: parse + process one captured packet.
   Action process(const net::Packet& pkt, net::LinkType lt,
                  std::vector<Alert>& alerts);
@@ -190,6 +201,11 @@ class SplitDetectEngine {
   }
 
  private:
+  /// Everything after the fast path's verdict: diversion bookkeeping, sink
+  /// hand-off or synchronous slow-path processing. Shared by process() and
+  /// process_batch() so the two paths cannot drift.
+  Action finish(const net::PacketView& pv, FastDecision d,
+                std::uint64_t now_usec, std::vector<Alert>& alerts);
   /// Sink-mode diversion: defragment, flow-key, hand to sink_, translate
   /// the admission outcome (shed → alert) into an Action.
   Action divert_to_sink(const net::PacketView& pv, FastDecision d,
@@ -209,6 +225,7 @@ class SplitDetectEngine {
   std::uint64_t sink_shed_packets_ = 0;
   std::uint64_t sink_shed_flows_ = 0;
   std::uint64_t sink_unroutable_ = 0;
+  std::vector<FastDecision> batch_decisions_;  // process_batch scratch
 };
 
 /// One-call offline convenience: run a whole pcap file through an engine.

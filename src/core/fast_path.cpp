@@ -1,5 +1,7 @@
 #include "core/fast_path.hpp"
 
+#include <algorithm>
+
 #include "net/checksum.hpp"
 #include "net/seq.hpp"
 #include "util/error.hpp"
@@ -103,8 +105,176 @@ FastDecision::Takeover FastPath::force_divert(const flow::FlowKey& key,
   return t;
 }
 
+FastPath::Prescan FastPath::compute_scan(ByteView payload) const {
+  Prescan o;
+  const PieceSet& ps = rules_->pieces();
+  const bool can_stage =
+      cfg_.use_prefilter && ps.has_kernels() && ps.prefilter().usable();
+  if (can_stage && !staged_wanted()) {
+    o.pre_bypass = 1;
+    o.hit = ps.flat().contains_any(payload) ? 1 : 0;
+    return o;
+  }
+  if (can_stage) {
+    windows_.clear();
+    ps.prefilter().windows(payload, windows_);
+    if (windows_.empty()) {
+      o.pre_pass = 1;
+      o.hit = 0;
+      return o;
+    }
+    o.pre_used = 1;
+    o.hit = 0;
+    for (const match::PrefilterWindow& w : windows_) {
+      o.exact_bytes += w.end - w.begin;
+    }
+    for (const match::PrefilterWindow& w : windows_) {
+      if (ps.flat().contains_any(payload.subspan(w.begin, w.end - w.begin))) {
+        o.hit = 1;
+        break;
+      }
+    }
+    return o;
+  }
+  const bool hit = ps.has_kernels() ? ps.flat().contains_any(payload)
+                                    : ps.matcher().contains_any(payload);
+  o.hit = hit ? 1 : 0;
+  return o;
+}
+
+bool FastPath::scan_payload(ByteView payload, const Prescan* pre) {
+  stats_.bytes_scanned += payload.size();
+  Prescan local;
+  if (pre == nullptr || pre->hit < 0) {
+    local = compute_scan(payload);
+    pre = &local;
+  }
+  if (pre->pre_pass != 0) {
+    ++stats_.prefilter_pass;
+    gov_note_staged(payload.size(), 0);
+  }
+  if (pre->pre_used != 0) {
+    ++stats_.prefilter_hit;
+    stats_.prefilter_exact_bytes += pre->exact_bytes;
+    gov_note_staged(payload.size(), pre->exact_bytes);
+  }
+  if (pre->pre_bypass != 0) {
+    ++stats_.prefilter_bypassed;
+    if (gov_bypass_left_ > 0) --gov_bypass_left_;
+  }
+  return pre->hit == 1;
+}
+
 FastDecision FastPath::process(const net::PacketView& pv,
                                std::uint64_t now_usec) {
+  return process_one(pv, now_usec, nullptr);
+}
+
+void FastPath::process_batch(const net::PacketView* pvs,
+                             const std::uint64_t* now_usec, std::size_t n,
+                             FastDecision* out) {
+  for (std::size_t base = 0; base < n; base += kBatchChunk) {
+    const std::size_t m = std::min(kBatchChunk, n - base);
+    process_chunk(pvs + base, now_usec + base, m, out + base);
+  }
+}
+
+void FastPath::process_chunk(const net::PacketView* pvs,
+                             const std::uint64_t* now_usec, std::size_t n,
+                             FastDecision* out) {
+  Prescan pre[kBatchChunk];
+
+  // Pass 1: pull the flow-table bucket lines for every TCP packet toward
+  // the cache while the checksum/prefilter passes below give them time to
+  // land.
+  for (std::size_t i = 0; i < n; ++i) {
+    const net::PacketView& pv = pvs[i];
+    if (!pv.is_fragment() && pv.ok() && pv.has_tcp) {
+      table_.prefetch(flow::make_flow_ref(pv).key);
+    }
+  }
+
+  // Pass 2: hoist checksum verification and prefilter staging; gather the
+  // candidate windows of every scannable payload into one batch. A packet
+  // whose flow is already diverted is skipped (its scan would be
+  // discarded unconsumed). Nothing here touches stats or flow state —
+  // process_one charges everything at the point of consumption.
+  batch_wins_.clear();
+  batch_owner_.clear();
+  const PieceSet& ps = rules_->pieces();
+  const bool can_stage = cfg_.use_prefilter && ps.has_kernels() &&
+                         ps.prefilter().usable();
+  const bool staged = can_stage && staged_wanted();
+  for (std::size_t i = 0; i < n; ++i) {
+    const net::PacketView& pv = pvs[i];
+    if (pv.is_fragment() || !pv.ok()) continue;
+    if (cfg_.min_ttl != 0 && pv.ipv4.ttl() < cfg_.min_ttl) continue;
+    if (cfg_.verify_checksums) {
+      const ByteView l4 = pv.ip_datagram.subspan(pv.ipv4.header_len());
+      const bool ok = net::transport_checksum(pv.ipv4.src(), pv.ipv4.dst(),
+                                              pv.ipv4.protocol(), l4) == 0;
+      pre[i].checksum = ok ? 1 : 0;
+      if (!ok) continue;
+    }
+    const ByteView payload = pv.l4_payload;
+    if (pv.has_tcp) {
+      const FastFlowState* st = table_.find(flow::make_flow_ref(pv).key);
+      if (st != nullptr && st->diverted != 0) continue;
+      if (payload.empty()) continue;
+    } else if (!pv.has_udp) {
+      continue;
+    }
+    if (staged) {
+      windows_.clear();
+      ps.prefilter().windows(payload, windows_);
+      if (windows_.empty()) {
+        pre[i].pre_pass = 1;
+        pre[i].hit = 0;
+        continue;
+      }
+      pre[i].pre_used = 1;
+      pre[i].hit = 0;
+      for (const match::PrefilterWindow& w : windows_) {
+        pre[i].exact_bytes += w.end - w.begin;
+        batch_wins_.push_back(payload.subspan(w.begin, w.end - w.begin));
+        batch_owner_.push_back(static_cast<std::uint32_t>(i));
+      }
+    } else {
+      pre[i].hit = 0;
+      pre[i].pre_bypass = can_stage ? 1 : 0;
+      batch_wins_.push_back(payload);
+      batch_owner_.push_back(static_cast<std::uint32_t>(i));
+    }
+  }
+
+  // Pass 3: one lockstep walk of the flat DFA over every candidate window
+  // in the chunk.
+  if (!batch_wins_.empty()) {
+    batch_hit_.assign(batch_wins_.size(), 0);
+    if (ps.has_kernels()) {
+      ps.flat().contains_any_batch(batch_wins_.data(), batch_wins_.size(),
+                                   batch_hit_.data());
+    } else {
+      for (std::size_t j = 0; j < batch_wins_.size(); ++j) {
+        batch_hit_[j] = ps.matcher().contains_any(batch_wins_[j]) ? 1 : 0;
+      }
+    }
+    for (std::size_t j = 0; j < batch_wins_.size(); ++j) {
+      if (batch_hit_[j] != 0) pre[batch_owner_[j]].hit = 1;
+    }
+  }
+
+  // Pass 4: the per-packet state machine, in arrival order, consuming the
+  // hoisted results.
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = process_one(pvs[i], now_usec[i], &pre[i]);
+    ++stats_.batch_packets;
+  }
+}
+
+FastDecision FastPath::process_one(const net::PacketView& pv,
+                                   std::uint64_t now_usec,
+                                   const Prescan* pre) {
   ++stats_.packets;
   stats_.bytes += pv.frame.size();
 
@@ -126,9 +296,15 @@ FastDecision FastPath::process(const net::PacketView& pv,
     return FastDecision{Action::forward, DivertReason::none, {}};
   }
   if (cfg_.verify_checksums) {
-    const ByteView l4 = pv.ip_datagram.subspan(pv.ipv4.header_len());
-    if (net::transport_checksum(pv.ipv4.src(), pv.ipv4.dst(),
-                                pv.ipv4.protocol(), l4) != 0) {
+    bool checksum_ok;
+    if (pre != nullptr && pre->checksum >= 0) {
+      checksum_ok = pre->checksum == 1;
+    } else {
+      const ByteView l4 = pv.ip_datagram.subspan(pv.ipv4.header_len());
+      checksum_ok = net::transport_checksum(pv.ipv4.src(), pv.ipv4.dst(),
+                                            pv.ipv4.protocol(), l4) == 0;
+    }
+    if (!checksum_ok) {
       ++stats_.bad_checksum_ignored;
       return FastDecision{Action::forward, DivertReason::none, {}};
     }
@@ -136,8 +312,7 @@ FastDecision FastPath::process(const net::PacketView& pv,
 
   if (pv.has_udp) {
     ++stats_.udp_datagrams;
-    stats_.bytes_scanned += pv.l4_payload.size();
-    if (rules_->pieces().matcher().contains_any(pv.l4_payload)) {
+    if (scan_payload(pv.l4_payload, pre)) {
       ++stats_.piece_hits;
       // Datagram-level diversion: the slow path runs the full match.
       return FastDecision{Action::divert, DivertReason::piece_match, {}};
@@ -167,8 +342,7 @@ FastDecision FastPath::process(const net::PacketView& pv,
   // (1) Stateless piece scan. A whole piece inside one packet is the
   // attacker's forced move when segments are large and in order.
   if (!payload.empty()) {
-    stats_.bytes_scanned += payload.size();
-    if (rules_->pieces().matcher().contains_any(payload)) {
+    if (scan_payload(payload, pre)) {
       ++stats_.piece_hits;
       return divert(st, ref, DivertReason::piece_match);
     }

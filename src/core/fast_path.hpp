@@ -19,6 +19,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <vector>
 
 #include "core/compiled_ruleset.hpp"
 #include "core/splitter.hpp"
@@ -60,6 +61,21 @@ struct FastPathConfig {
   /// slow path for the full idle timeout.
   std::uint64_t fin_linger_usec = 5ull * 1000 * 1000;
   match::AcLayout layout = match::AcLayout::dense_dfa;
+  /// Gate the exact piece scan behind the SIMD 2-byte-prefix prefilter and
+  /// run it on the flat DFA (dense layout only; other layouts fall back to
+  /// the plain automaton automatically). Verdict-identical either way —
+  /// the fuzzer crosschecks it — this is purely a speed knob.
+  bool use_prefilter = true;
+  /// Let the prefilter disable itself when observed traffic defeats it.
+  /// Textual payloads against textual piece prefixes put candidate windows
+  /// on most payloads, and then staging costs more than handing whole
+  /// payloads to the batched DFA. The governor meters the fraction of
+  /// scanned bytes the prefilter fails to clear over a short epoch and,
+  /// when it exceeds 1/8, routes the next stretch of payloads straight to
+  /// the DFA before probing again. Verdicts are identical in every mode;
+  /// only prefilter_* stats depend on the traffic. Ignored unless
+  /// use_prefilter is set.
+  bool prefilter_adaptive = true;
   /// TEST-ONLY: disable the small-segment anomaly check entirely, breaking
   /// the detection theorem on purpose. Exists so the differential fuzzer
   /// (tools/sdt_fuzz --inject-bug) can prove its oracle and shrinker catch
@@ -107,6 +123,16 @@ struct FastPathStats {
   std::uint64_t low_ttl_ignored = 0;
   std::uint64_t urgent_diverts = 0;
   std::uint64_t diverted_packets = 0;  // packets of already-diverted flows
+  /// Prefilter staging: payloads cleared without touching the automaton,
+  /// payloads with >= 1 candidate window, and the bytes the exact DFA was
+  /// actually handed (sum of candidate-window sizes).
+  std::uint64_t prefilter_pass = 0;
+  std::uint64_t prefilter_hit = 0;
+  std::uint64_t prefilter_exact_bytes = 0;
+  /// Payloads the adaptive governor routed straight to the DFA because the
+  /// prefilter was not clearing enough bytes on recent traffic.
+  std::uint64_t prefilter_bypassed = 0;
+  std::uint64_t batch_packets = 0;  // packets entering via process_batch
 };
 
 /// The fast path's decision for one packet.
@@ -151,6 +177,16 @@ class FastPath {
   /// slow path can run the full-signature match).
   FastDecision process(const net::PacketView& pv, std::uint64_t now_usec);
 
+  /// Batched classification: out[i] ends up exactly what
+  /// process(pvs[i], now_usec[i]) would return, called in order, with
+  /// identical stats — but flow-record prefetch, checksum verification and
+  /// the piece scan are hoisted ahead of the per-packet state machine, and
+  /// candidate windows from the whole batch walk the flat DFA in lockstep
+  /// (FlatDfa::contains_any_batch). Speculative work for packets later
+  /// found diverted is discarded, never counted.
+  void process_batch(const net::PacketView* pvs, const std::uint64_t* now_usec,
+                     std::size_t n, FastDecision* out);
+
   /// Pin a flow to the slow path from outside the per-packet loop (the
   /// engine calls this when IP defragmentation reveals which flow has been
   /// fragmenting). Returns the takeover info the slow path needs; the
@@ -174,15 +210,75 @@ class FastPath {
   }
 
  private:
+  /// Work hoisted out of the per-packet state machine by process_batch.
+  /// Fields start "unknown" (-1); process_one computes inline whatever was
+  /// not precomputed, and stats are charged only where a value is consumed
+  /// — which is what keeps batch and per-packet stats identical.
+  struct Prescan {
+    std::int8_t checksum = -1;   // -1 unknown, 0 bad, 1 ok
+    std::int8_t hit = -1;        // -1 unknown, else piece-scan verdict
+    std::uint8_t pre_pass = 0;   // prefilter cleared the payload
+    std::uint8_t pre_used = 0;   // prefilter produced candidate windows
+    std::uint8_t pre_bypass = 0; // governor sent the payload straight to DFA
+    std::uint32_t exact_bytes = 0;
+  };
+  static constexpr std::size_t kBatchChunk = 32;
+  /// Governor epoch: staged payloads sampled before each keep/bypass
+  /// decision, and payloads scanned unstaged before the next probe.
+  static constexpr std::uint32_t kGovProbe = 64;
+  static constexpr std::uint32_t kGovBypass = 4096;
+
   FastDecision divert(FastFlowState& st, const flow::FlowRef& ref,
                       DivertReason reason);
+  FastDecision process_one(const net::PacketView& pv, std::uint64_t now_usec,
+                           const Prescan* pre);
+  void process_chunk(const net::PacketView* pvs, const std::uint64_t* now_usec,
+                     std::size_t n, FastDecision* out);
+  /// Piece-scan one payload (prefilter staging when enabled), consuming a
+  /// precomputed verdict when `pre` carries one. Charges scan stats.
+  bool scan_payload(ByteView payload, const Prescan* pre);
+  Prescan compute_scan(ByteView payload) const;
+
+  /// Governor read side: should the next payload be staged through the
+  /// prefilter? (Callers have already checked use_prefilter + kernels.)
+  bool staged_wanted() const {
+    return !cfg_.prefilter_adaptive || gov_bypass_left_ == 0;
+  }
+  /// Governor write side, fed at consumption time with each staged
+  /// payload's size and how many of its bytes the prefilter failed to
+  /// clear. Flips to bypass when an epoch leaves > 1/8 of bytes uncleared.
+  void gov_note_staged(std::size_t payload_bytes, std::uint32_t exact_bytes) {
+    if (!cfg_.prefilter_adaptive) return;
+    gov_bytes_ += payload_bytes;
+    gov_exact_ += exact_bytes;
+    if (--gov_probe_left_ == 0) {
+      if (gov_exact_ * 8 > gov_bytes_) gov_bypass_left_ = kGovBypass;
+      gov_probe_left_ = kGovProbe;
+      gov_bytes_ = 0;
+      gov_exact_ = 0;
+    }
+  }
 
   FastPathConfig cfg_;
   FastPathStats stats_;
+  // Prefilter governor (see FastPathConfig::prefilter_adaptive). Decisions
+  // are read at staging time and fed at consumption time, so the batch
+  // path may lag the sequential path by up to one chunk around a mode
+  // flip; verdicts are unaffected.
+  std::uint32_t gov_probe_left_ = kGovProbe;
+  std::uint32_t gov_bypass_left_ = 0;
+  std::uint64_t gov_bytes_ = 0;
+  std::uint64_t gov_exact_ = 0;
   /// The piece database the per-packet scan runs against (never null,
   /// always has_pieces()). Swapped wholesale at packet boundaries.
   RuleSetHandle rules_;
   flow::FlowTable<FastFlowState> table_;
+  // Scratch for prefilter windows and batch gather/scatter (single-threaded
+  // per lane; reused to keep the hot path allocation-free).
+  mutable std::vector<match::PrefilterWindow> windows_;
+  std::vector<ByteView> batch_wins_;
+  std::vector<std::uint32_t> batch_owner_;
+  std::vector<std::uint8_t> batch_hit_;
 };
 
 }  // namespace sdt::core

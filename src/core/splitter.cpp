@@ -118,6 +118,7 @@ PieceSet::PieceSet(const SignatureSet& sigs, std::size_t piece_len,
       sigs, piece_len, layout,
       [&](const Signature& s) { return piece_offsets(s.bytes.size(), piece_len); },
       ac_, pieces_, begin_);
+  build_kernels(layout);
 }
 
 PieceSet::PieceSet(const SignatureSet& sigs, std::size_t piece_len,
@@ -129,6 +130,13 @@ PieceSet::PieceSet(const SignatureSet& sigs, std::size_t piece_len,
         return optimized_piece_offsets(s.bytes, piece_len, benign_sample);
       },
       ac_, pieces_, begin_);
+  build_kernels(layout);
+}
+
+void PieceSet::build_kernels(match::AcLayout layout) {
+  if (layout != match::AcLayout::dense_dfa) return;
+  flat_ = match::FlatDfa(ac_);
+  pre_ = match::Prefilter(ac_);
 }
 
 }  // namespace sdt::core

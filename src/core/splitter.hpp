@@ -25,6 +25,8 @@
 
 #include "core/signature.hpp"
 #include "match/aho_corasick.hpp"
+#include "match/flat_dfa.hpp"
+#include "match/prefilter.hpp"
 
 namespace sdt::core {
 
@@ -89,6 +91,13 @@ class PieceSet {
   std::size_t pattern_count() const { return ac_.pattern_count(); }
   const match::AhoCorasick& matcher() const { return ac_; }
 
+  /// Scan kernels, built for the dense layout only (the flat re-encoding
+  /// would double a sparse set's footprint, defeating its point — E6
+  /// sweeps the compact layout honestly). has_kernels() gates use.
+  bool has_kernels() const { return !flat_.empty(); }
+  const match::FlatDfa& flat() const { return flat_; }
+  const match::Prefilter& prefilter() const { return pre_; }
+
   /// The first (signature, offset) behind an AhoCorasick pattern id — the
   /// piece that introduced the pattern, in signature order.
   const Piece& piece(std::uint32_t pattern_id) const {
@@ -102,15 +111,20 @@ class PieceSet {
                  begin_[pattern_id + 1] - begin_[pattern_id]);
   }
 
-  /// Fast-path memory cost (automaton + mapping).
+  /// Fast-path memory cost (automaton + scan kernels + mapping).
   std::size_t memory_bytes() const {
-    return ac_.memory_bytes() + pieces_.capacity() * sizeof(Piece) +
+    return ac_.memory_bytes() + flat_.memory_bytes() + pre_.memory_bytes() +
+           pieces_.capacity() * sizeof(Piece) +
            begin_.capacity() * sizeof(std::uint32_t);
   }
 
  private:
+  void build_kernels(match::AcLayout layout);
+
   std::size_t piece_len_ = 0;
   match::AhoCorasick ac_;
+  match::FlatDfa flat_;
+  match::Prefilter pre_;
   /// CSR mapping: pattern id -> pieces_[begin_[id], begin_[id+1]).
   std::vector<Piece> pieces_;
   std::vector<std::uint32_t> begin_;

@@ -390,4 +390,55 @@ FloodCrosscheck flood_crosscheck(const core::SignatureSet& corpus,
   return out;
 }
 
+PrefilterCrosscheck prefilter_crosscheck(const core::SignatureSet& corpus,
+                                         const HarnessConfig& cfg,
+                                         const std::vector<Schedule>& batch) {
+  const std::vector<net::Packet> merged = merge_batch(batch);
+  PrefilterCrosscheck out;
+
+  // Filtered side: prefilter ON, fed in batches of 8 through
+  // process_batch() — exercises the SIMD candidate kernels, the staged
+  // window scan AND the lockstep flat-DFA batch walk.
+  std::vector<core::Alert> filtered;
+  {
+    core::SplitDetectConfig ec = cfg.engine_config();
+    ec.fast.use_prefilter = true;
+    core::SplitDetectEngine eng(corpus, ec);
+    constexpr std::size_t kBatch = 8;
+    net::PacketView views[kBatch];
+    std::uint64_t ts[kBatch];
+    for (std::size_t base = 0; base < merged.size(); base += kBatch) {
+      const std::size_t n = std::min(kBatch, merged.size() - base);
+      for (std::size_t i = 0; i < n; ++i) {
+        views[i] = net::PacketView::parse(merged[base + i].frame,
+                                          net::LinkType::raw_ipv4);
+        ts[i] = merged[base + i].ts_usec;
+      }
+      eng.process_batch(views, ts, n, filtered);
+    }
+    out.filtered_diverted_flows = eng.fast_path().stats().flows_diverted;
+  }
+
+  // Unfiltered side: prefilter OFF, classic packet-at-a-time process() —
+  // every payload byte walked by the plain matcher.
+  std::vector<core::Alert> unfiltered;
+  {
+    core::SplitDetectConfig ec = cfg.engine_config();
+    ec.fast.use_prefilter = false;
+    core::SplitDetectEngine eng(corpus, ec);
+    for (const net::Packet& p : merged) {
+      eng.process(p, net::LinkType::raw_ipv4, unfiltered);
+    }
+    out.unfiltered_diverted_flows = eng.fast_path().stats().flows_diverted;
+  }
+
+  out.filtered_alerts = filtered.size();
+  out.unfiltered_alerts = unfiltered.size();
+  out.filtered_digest = alert_digest(filtered);
+  out.unfiltered_digest = alert_digest(unfiltered);
+  out.equal = out.filtered_digest == out.unfiltered_digest &&
+              out.filtered_diverted_flows == out.unfiltered_diverted_flows;
+  return out;
+}
+
 }  // namespace sdt::fuzz

@@ -156,4 +156,27 @@ FloodCrosscheck flood_crosscheck(const core::SignatureSet& corpus,
                                  const HarnessConfig& cfg,
                                  const std::vector<Schedule>& batch);
 
+/// Match-kernel equivalence check: replay the merged batch through two
+/// engines that must be verdict-identical by construction — one with the
+/// SIMD prefilter + batched flat-DFA scan enabled, driven through
+/// process_batch() (the lane-runtime shape), and one with the prefilter
+/// disabled, driven packet-at-a-time through process() (the classic
+/// shape). The staged scan (prefilter windows → exact window scan) and
+/// the batched lockstep DFA walk are both pure evaluation-order changes;
+/// any digest divergence means a kernel dropped or invented a match.
+/// Also compares fast-path flows_diverted: the prefilter must not change
+/// WHICH flows divert, only how cheaply clean bytes are cleared.
+struct PrefilterCrosscheck {
+  bool equal = false;
+  std::size_t filtered_alerts = 0;    ///< prefilter + batch engine
+  std::size_t unfiltered_alerts = 0;  ///< scalar sequential engine
+  std::uint64_t filtered_diverted_flows = 0;
+  std::uint64_t unfiltered_diverted_flows = 0;
+  std::uint64_t filtered_digest = 0;
+  std::uint64_t unfiltered_digest = 0;
+};
+PrefilterCrosscheck prefilter_crosscheck(const core::SignatureSet& corpus,
+                                         const HarnessConfig& cfg,
+                                         const std::vector<Schedule>& batch);
+
 }  // namespace sdt::fuzz

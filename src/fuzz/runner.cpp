@@ -45,6 +45,8 @@ std::string RunSummary::to_json() const {
   w.field("flood_crosschecks", flood_crosschecks);
   w.field("flood_crosscheck_failures", flood_crosscheck_failures);
   w.field("flood_shed_flows", flood_shed_flows);
+  w.field("prefilter_crosschecks", prefilter_crosschecks);
+  w.field("prefilter_crosscheck_failures", prefilter_crosscheck_failures);
   w.field("repros_written", repros_written);
   w.field("shrink_evaluations", shrink_evaluations);
   char digest_hex[17];
@@ -81,7 +83,8 @@ const RunSummary& FuzzRunner::run(std::uint64_t count) {
     }
 
     if ((cfg_.lanes > 0 && cfg_.crosscheck_every > 0) ||
-        cfg_.reload_crosscheck_every > 0 || cfg_.flood_crosscheck_every > 0) {
+        cfg_.reload_crosscheck_every > 0 || cfg_.flood_crosscheck_every > 0 ||
+        cfg_.prefilter_crosscheck_every > 0) {
       recent_.push_back(s);
       if (recent_.size() > cfg_.crosscheck_batch) {
         recent_.erase(recent_.begin());
@@ -123,6 +126,19 @@ const RunSummary& FuzzRunner::run(std::uint64_t count) {
         // Only the verdict bit feeds the run digest: which flows shed
         // depends on load, so the digests themselves are not replayable.
         summary_.digest = fnv_step(summary_.digest, fc.equal ? 1 : 0);
+      }
+      if (cfg_.prefilter_crosscheck_every > 0 &&
+          (next_index_ + 1) % cfg_.prefilter_crosscheck_every == 0 &&
+          !recent_.empty()) {
+        const PrefilterCrosscheck pc =
+            prefilter_crosscheck(corpus_, cfg_.harness, recent_);
+        ++summary_.prefilter_crosschecks;
+        if (!pc.equal) {
+          ++summary_.prefilter_crosscheck_failures;
+          live_violations_.fetch_add(1, std::memory_order_relaxed);
+        }
+        summary_.digest = fnv_step(summary_.digest, pc.equal ? 1 : 0);
+        summary_.digest = fnv_step(summary_.digest, pc.filtered_digest);
       }
     }
 

@@ -42,6 +42,11 @@ struct RunnerConfig {
   /// digests match (0 disables; rides the same cadence buffer). Pairs
   /// with GeneratorConfig::flood_fraction for real saturation pressure.
   std::uint64_t flood_crosscheck_every = 2048;
+  /// Replay the batch through a prefilter+batched-scan engine and a
+  /// scalar sequential engine and assert byte-identical verdict digests
+  /// plus equal diverted-flow counts — the match-kernel equivalence gate
+  /// (0 disables; rides the same cadence buffer).
+  std::uint64_t prefilter_crosscheck_every = 2048;
   /// Violation handling: minimize and persist at most `max_repros` cases.
   bool write_repros = true;
   std::string repro_dir = "fuzz/repros";
@@ -80,6 +85,8 @@ struct RunSummary {
   std::uint64_t reload_crosscheck_failures = 0;
   std::uint64_t flood_crosschecks = 0;
   std::uint64_t flood_crosscheck_failures = 0;
+  std::uint64_t prefilter_crosschecks = 0;
+  std::uint64_t prefilter_crosscheck_failures = 0;
   /// Flows shed across all flood crosschecks (coverage lost explicitly).
   std::uint64_t flood_shed_flows = 0;
   std::uint64_t repros_written = 0;
@@ -91,7 +98,8 @@ struct RunSummary {
 
   std::uint64_t violations() const {
     return missed_detections + slow_path_misses + crosscheck_failures +
-           reload_crosscheck_failures + flood_crosscheck_failures;
+           reload_crosscheck_failures + flood_crosscheck_failures +
+           prefilter_crosscheck_failures;
   }
   double benign_divert_fraction() const {
     return benign == 0 ? 0.0

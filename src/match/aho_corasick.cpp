@@ -121,7 +121,29 @@ AhoCorasick AhoCorasick::Builder::build(AcLayout layout) const {
     }
   }
 
+  ac.rebuild_accept_bits();
   return ac;
+}
+
+ByteView AhoCorasick::pattern(std::uint32_t id) const {
+  if (id >= patterns_.size()) {
+    throw InvalidArgument("AhoCorasick: pattern id out of range");
+  }
+  return patterns_[id];
+}
+
+const std::vector<std::uint32_t>& AhoCorasick::outputs(State s) const {
+  if (s >= node_count_) {
+    throw InvalidArgument("AhoCorasick: state out of range");
+  }
+  return out_[s];
+}
+
+void AhoCorasick::rebuild_accept_bits() {
+  accept_.assign((node_count_ + 63) / 64, 0);
+  for (std::size_t s = 0; s < node_count_; ++s) {
+    if (!out_[s].empty()) accept_[s >> 6] |= std::uint64_t{1} << (s & 63);
+  }
 }
 
 AhoCorasick::State AhoCorasick::step_sparse(State s, std::uint8_t b) const {
@@ -254,11 +276,13 @@ AhoCorasick AhoCorasick::deserialize(ByteView blob) {
     }
   }
   if (r.remaining() != 0) throw ParseError("AhoCorasick: trailing bytes");
+  ac.rebuild_accept_bits();
   return ac;
 }
 
 std::size_t AhoCorasick::memory_bytes() const {
   std::size_t n = sizeof(*this);
+  n += accept_.capacity() * sizeof(std::uint64_t);
   n += dense_.capacity() * sizeof(State);
   n += sparse_.capacity() * sizeof(SparseNode);
   n += edge_bytes_.capacity();

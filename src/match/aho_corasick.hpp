@@ -13,6 +13,12 @@
 // the conventional IPS can match across segment boundaries of a reassembled
 // stream while the Split-Detect fast path deliberately restarts at kRoot for
 // every packet (that is the point of the paper).
+//
+// Hot-loop notes: the layout decision is hoisted out of every scan loop
+// (scan/contains_any/first_match dispatch once, then run a specialized
+// body), and accepting() is a bitset probe — one load + one bit test —
+// rather than a vector-of-vectors size check. The per-state output lists
+// survive only on the match-report path (outputs()/scan callbacks).
 #pragma once
 
 #include <cstdint>
@@ -60,34 +66,45 @@ class AhoCorasick {
   std::size_t pattern_count() const { return patterns_.size(); }
   std::size_t state_count() const { return node_count_; }
   AcLayout layout() const { return layout_; }
-  ByteView pattern(std::uint32_t id) const { return patterns_[id]; }
+
+  /// Pattern bytes for a reported id. Throws InvalidArgument on an
+  /// out-of-range id (a corrupted ruleset must fail loudly, not read OOB).
+  ByteView pattern(std::uint32_t id) const;
 
   /// Bytes held by the automaton (transition structures + output lists +
   /// pattern copies).
   std::size_t memory_bytes() const;
 
-  /// Advance one byte from state s.
+  /// Advance one byte from state s. (Per-byte layout dispatch — fine for
+  /// incidental callers; the scan loops below specialize instead.)
   State step(State s, std::uint8_t b) const {
     return layout_ == AcLayout::dense_dfa ? step_dense(s, b) : step_sparse(s, b);
   }
 
-  /// True if any pattern ends in state s.
-  bool accepting(State s) const { return !out_[s].empty(); }
+  /// True if any pattern ends in state s: one load + one bit test.
+  bool accepting(State s) const {
+    return (accept_[s >> 6] >> (s & 63)) & 1u;
+  }
 
   /// Pattern ids ending at state s (includes suffix-pattern outputs).
-  const std::vector<std::uint32_t>& outputs(State s) const { return out_[s]; }
+  /// Throws InvalidArgument on an out-of-range state.
+  const std::vector<std::uint32_t>& outputs(State s) const;
 
   /// Scan data starting from `s`; call on_match(Match) for every occurrence;
   /// return the state after the last byte (feed it back in to continue the
   /// stream).
   template <typename Fn>
   State scan(ByteView data, State s, Fn&& on_match) const {
-    for (std::size_t i = 0; i < data.size(); ++i) {
-      s = step(s, data[i]);
-      if (accepting(s)) {
-        for (std::uint32_t id : out_[s]) {
-          on_match(Match{id, i + 1});
-        }
+    if (layout_ == AcLayout::dense_dfa) {
+      const State* table = dense_.data();
+      for (std::size_t i = 0; i < data.size(); ++i) {
+        s = table[std::size_t{s} * 256 + data[i]];
+        if (accepting(s)) emit(s, i + 1, on_match);
+      }
+    } else {
+      for (std::size_t i = 0; i < data.size(); ++i) {
+        s = step_sparse(s, data[i]);
+        if (accepting(s)) emit(s, i + 1, on_match);
       }
     }
     return s;
@@ -104,9 +121,17 @@ class AhoCorasick {
   /// the first hit; always starts from the root (no cross-packet state).
   bool contains_any(ByteView data) const {
     State s = kRoot;
-    for (std::uint8_t b : data) {
-      s = step(s, b);
-      if (accepting(s)) return true;
+    if (layout_ == AcLayout::dense_dfa) {
+      const State* table = dense_.data();
+      for (std::uint8_t b : data) {
+        s = table[std::size_t{s} * 256 + b];
+        if (accepting(s)) return true;
+      }
+    } else {
+      for (std::uint8_t b : data) {
+        s = step_sparse(s, b);
+        if (accepting(s)) return true;
+      }
     }
     return false;
   }
@@ -114,9 +139,17 @@ class AhoCorasick {
   /// Per-packet mode returning the first matching pattern id, or -1.
   std::int64_t first_match(ByteView data) const {
     State s = kRoot;
-    for (std::uint8_t b : data) {
-      s = step(s, b);
-      if (accepting(s)) return out_[s].front();
+    if (layout_ == AcLayout::dense_dfa) {
+      const State* table = dense_.data();
+      for (std::uint8_t b : data) {
+        s = table[std::size_t{s} * 256 + b];
+        if (accepting(s)) return out_[s].front();
+      }
+    } else {
+      for (std::uint8_t b : data) {
+        s = step_sparse(s, b);
+        if (accepting(s)) return out_[s].front();
+      }
     }
     return -1;
   }
@@ -132,6 +165,14 @@ class AhoCorasick {
 
  private:
   friend class Builder;
+  friend class FlatDfa;
+
+  template <typename Fn>
+  void emit(State s, std::size_t end_offset, Fn&& on_match) const {
+    for (std::uint32_t id : out_[s]) {
+      on_match(Match{id, end_offset});
+    }
+  }
 
   State step_dense(State s, std::uint8_t b) const {
     return dense_[std::size_t{s} * 256 + b];
@@ -139,10 +180,14 @@ class AhoCorasick {
 
   State step_sparse(State s, std::uint8_t b) const;
 
+  /// Derive accept_ from out_ (build() and deserialize() both call this).
+  void rebuild_accept_bits();
+
   AcLayout layout_ = AcLayout::dense_dfa;
   std::size_t node_count_ = 0;
   std::vector<Bytes> patterns_;
   std::vector<std::vector<std::uint32_t>> out_;
+  std::vector<std::uint64_t> accept_;  // bit s set <=> !out_[s].empty()
 
   // dense_dfa layout
   std::vector<State> dense_;

@@ -1,0 +1,125 @@
+#include "match/flat_dfa.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace sdt::match {
+
+FlatDfa::FlatDfa(const AhoCorasick& ac) {
+  const std::size_t n = ac.state_count();
+  if (n == 0) return;
+  if (n > kMaxStates) {
+    throw InvalidArgument("FlatDfa: too many states for packed encoding");
+  }
+  states_ = n;
+  trans_.resize(n * 256);
+  out_begin_.resize(n + 1, 0);
+  for (std::size_t s = 0; s < n; ++s) {
+    out_begin_[s + 1] =
+        out_begin_[s] + static_cast<std::uint32_t>(ac.out_[s].size());
+  }
+  out_ids_.reserve(out_begin_[n]);
+  for (std::size_t s = 0; s < n; ++s) {
+    out_ids_.insert(out_ids_.end(), ac.out_[s].begin(), ac.out_[s].end());
+  }
+  for (std::size_t s = 0; s < n; ++s) {
+    const std::size_t base = s * 256;
+    for (std::size_t b = 0; b < 256; ++b) {
+      const AhoCorasick::State ns =
+          ac.step(static_cast<AhoCorasick::State>(s),
+                  static_cast<std::uint8_t>(b));
+      trans_[base + b] = (Entry{ns} << 8) | (ac.accepting(ns) ? kAcceptBit : 0);
+    }
+  }
+  root_ = (Entry{AhoCorasick::kRoot} << 8) |
+          (ac.accepting(AhoCorasick::kRoot) ? kAcceptBit : 0);
+}
+
+std::int64_t FlatDfa::first_match(ByteView data) const {
+  if (states_ == 0) return -1;
+  const Entry* table = trans_.data();
+  Entry e = root_;
+  for (std::uint8_t b : data) {
+    e = table[(e & kRowMask) + b];
+    if (e & kAcceptBit) return out_ids_[out_begin_[state_of(e)]];
+  }
+  return -1;
+}
+
+void FlatDfa::contains_any_batch(const ByteView* data, std::size_t n,
+                                 std::uint8_t* hit) const {
+  if (n == 0) return;
+  if (states_ == 0) {
+    std::fill(hit, hit + n, std::uint8_t{0});
+    return;
+  }
+  // Lanes are retired (hit recorded) when exhausted or once their verdict
+  // is known at a chunk boundary; kChunkCap bounds the wasted lockstep
+  // bytes a hit lane can burn before retirement.
+  constexpr std::size_t kChunkCap = 256;
+  const Entry* table = trans_.data();
+  const std::uint8_t* ptr[kBatchWidth];
+  const std::uint8_t* end[kBatchWidth];
+  Entry cur[kBatchWidth];
+  Entry acc[kBatchWidth];
+  std::size_t slot[kBatchWidth];  // output index owned by this lane
+  std::size_t active = 0;
+  std::size_t next = 0;
+
+  const auto refill = [&](std::size_t w) -> bool {
+    while (next < n) {
+      const std::size_t i = next++;
+      if (data[i].empty()) {
+        hit[i] = 0;
+        continue;
+      }
+      ptr[w] = data[i].data();
+      end[w] = ptr[w] + data[i].size();
+      cur[w] = root_;
+      acc[w] = root_ & kAcceptBit;
+      slot[w] = i;
+      return true;
+    }
+    return false;
+  };
+
+  while (active < kBatchWidth && refill(active)) ++active;
+
+  while (active > 0) {
+    std::size_t m = kChunkCap;
+    for (std::size_t w = 0; w < active; ++w) {
+      m = std::min(m, static_cast<std::size_t>(end[w] - ptr[w]));
+    }
+    for (std::size_t j = 0; j < m; ++j) {
+      for (std::size_t w = 0; w < active; ++w) {
+        cur[w] = table[(cur[w] & kRowMask) + *ptr[w]];
+        ++ptr[w];
+        acc[w] |= cur[w] & kAcceptBit;
+      }
+    }
+    for (std::size_t w = 0; w < active;) {
+      if (acc[w] != 0 || ptr[w] == end[w]) {
+        hit[slot[w]] = acc[w] != 0 ? 1 : 0;
+        if (!refill(w)) {
+          --active;
+          ptr[w] = ptr[active];
+          end[w] = end[active];
+          cur[w] = cur[active];
+          acc[w] = acc[active];
+          slot[w] = slot[active];
+          continue;  // re-examine the lane just moved into w
+        }
+      }
+      ++w;
+    }
+  }
+}
+
+std::size_t FlatDfa::memory_bytes() const {
+  return sizeof(*this) + trans_.capacity() * sizeof(Entry) +
+         out_ids_.capacity() * sizeof(std::uint32_t) +
+         out_begin_.capacity() * sizeof(std::uint32_t);
+}
+
+}  // namespace sdt::match

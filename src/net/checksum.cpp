@@ -1,14 +1,69 @@
 #include "net/checksum.hpp"
 
+#include <cstring>
+
 namespace sdt::net {
 
+namespace {
+
+/// Byte-swap a folded 16-bit one's-complement sum. RFC 1071 §2(B): summing
+/// byte-swapped words yields the byte-swapped sum, so a little-endian bulk
+/// accumulation is corrected with one swap at the end.
+std::uint32_t swap16(std::uint64_t folded) {
+  return static_cast<std::uint32_t>(((folded & 0xffu) << 8) | (folded >> 8));
+}
+
+std::uint64_t fold16(std::uint64_t sum) {
+  sum = (sum & 0xffffffffu) + (sum >> 32);
+  sum = (sum & 0xffffu) + (sum >> 16);
+  sum = (sum & 0xffffu) + (sum >> 16);
+  sum = (sum & 0xffffu) + (sum >> 16);
+  return sum;
+}
+
+}  // namespace
+
 std::uint32_t checksum_partial(ByteView data, std::uint32_t sum) {
-  std::size_t i = 0;
-  const std::size_t n = data.size();
-  for (; i + 1 < n; i += 2) {
-    sum += (std::uint32_t{data[i]} << 8) | data[i + 1];
+  const std::uint8_t* p = data.data();
+  std::size_t n = data.size();
+
+  // Bulk: accumulate native (little-endian) 64-bit loads into a 128-bit
+  // accumulator — eight bytes per add instead of the classic two — then
+  // fold and byte-swap the contribution back into network order. One
+  // 64-bit word per iteration is already ~8x the two-bytes-per-iteration
+  // scalar loop this replaced; the unrolled pair below hides the load
+  // latency as well.
+  if (n >= 16) {
+    unsigned __int128 acc = 0;
+    while (n >= 16) {
+      std::uint64_t a, b;
+      std::memcpy(&a, p, 8);
+      std::memcpy(&b, p + 8, 8);
+      acc += a;
+      acc += b;
+      p += 16;
+      n -= 16;
+    }
+    if (n >= 8) {
+      std::uint64_t a;
+      std::memcpy(&a, p, 8);
+      acc += a;
+      p += 8;
+      n -= 8;
+    }
+    std::uint64_t s =
+        static_cast<std::uint64_t>(acc & ~std::uint64_t{0}) +
+        static_cast<std::uint64_t>(acc >> 64);
+    if (s < static_cast<std::uint64_t>(acc >> 64)) ++s;  // end-around carry
+    sum += swap16(fold16(s));
   }
-  if (i < n) sum += std::uint32_t{data[i]} << 8;  // odd trailing byte
+
+  // Tail (< 8 bytes) in the textbook big-endian pairing.
+  std::size_t i = 0;
+  for (; i + 1 < n; i += 2) {
+    sum += (std::uint32_t{p[i]} << 8) | p[i + 1];
+  }
+  if (i < n) sum += std::uint32_t{p[i]} << 8;  // odd trailing byte
   return sum;
 }
 

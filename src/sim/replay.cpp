@@ -56,11 +56,18 @@ ReplayResult replay(Detector& det, const std::vector<net::Packet>& pkts,
   ReplayResult r;
   r.detector = det.name();
   const auto t0 = std::chrono::steady_clock::now();
-  for (const net::Packet& p : pkts) {
-    const net::PacketView pv = net::PacketView::parse(p.frame, lt);
-    r.alerts += det.process(pv, p.ts_usec);
-    ++r.packets;
-    r.bytes += p.frame.size();
+  net::PacketView views[kReplayBatch];
+  std::uint64_t ts[kReplayBatch];
+  for (std::size_t base = 0; base < pkts.size(); base += kReplayBatch) {
+    const std::size_t n = std::min(kReplayBatch, pkts.size() - base);
+    for (std::size_t i = 0; i < n; ++i) {
+      const net::Packet& p = pkts[base + i];
+      views[i] = net::PacketView::parse(p.frame, lt);
+      ts[i] = p.ts_usec;
+      r.bytes += p.frame.size();
+    }
+    r.alerts += det.process_batch(views, ts, n);
+    r.packets += n;
   }
   const auto t1 = std::chrono::steady_clock::now();
   r.wall_ns = static_cast<std::uint64_t>(

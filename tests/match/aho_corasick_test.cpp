@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <set>
 
+#include "evasion/corpus.hpp"
 #include "match/single_match.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
@@ -131,6 +132,46 @@ TEST(AhoCorasick, SparseUsesLessMemoryThanDense) {
   const AhoCorasick dense = b.build(AcLayout::dense_dfa);
   const AhoCorasick sparse = b.build(AcLayout::sparse_nfa);
   EXPECT_LT(sparse.memory_bytes(), dense.memory_bytes() / 10);
+}
+
+TEST(AhoCorasick, DenseAndSparseAgreeOnEvasionCorpus) {
+  // The layouts share one hoisted scan shape per body now; this pins the
+  // refactor to byte-identical match sets on the real signature strings.
+  AhoCorasick::Builder b;
+  for (const core::Signature& s : evasion::default_corpus()) b.add(s.bytes);
+  const AhoCorasick dense = b.build(AcLayout::dense_dfa);
+  const AhoCorasick sparse = b.build(AcLayout::sparse_nfa);
+
+  Rng rng(41);
+  for (int trial = 0; trial < 32; ++trial) {
+    // Haystacks that embed real signatures (and fragments of them) in
+    // random filler, so accepting states and failure links both fire.
+    Bytes hay = rng.random_bytes(64 + static_cast<std::size_t>(rng.below(256)));
+    const core::SignatureSet corpus = evasion::default_corpus();
+    const core::Signature& sig =
+        corpus[static_cast<std::uint32_t>(rng.below(corpus.size()))];
+    const auto cut =
+        static_cast<std::size_t>(1 + rng.below(sig.bytes.size()));
+    const auto at = static_cast<std::size_t>(rng.below(hay.size()));
+    hay.insert(hay.begin() + static_cast<std::ptrdiff_t>(at),
+               sig.bytes.begin(), sig.bytes.begin() + static_cast<std::ptrdiff_t>(cut));
+    EXPECT_EQ(hits(dense, hay), hits(sparse, hay)) << "trial " << trial;
+    EXPECT_EQ(dense.contains_any(hay), sparse.contains_any(hay));
+    EXPECT_EQ(dense.first_match(hay), sparse.first_match(hay));
+  }
+}
+
+TEST(AhoCorasick, PatternAndOutputsRejectOutOfRange) {
+  const AhoCorasick ac = make({"ab", "abc"});
+  EXPECT_THROW(ac.pattern(2), InvalidArgument);
+  EXPECT_THROW(ac.pattern(0xffffffffu), InvalidArgument);
+  EXPECT_THROW(ac.outputs(static_cast<AhoCorasick::State>(ac.state_count())),
+               InvalidArgument);
+  // In-range still works (and accepting() agrees with outputs()).
+  EXPECT_EQ(sdt::to_string(ac.pattern(0)), "ab");
+  for (AhoCorasick::State s = 0; s < ac.state_count(); ++s) {
+    EXPECT_EQ(ac.accepting(s), !ac.outputs(s).empty());
+  }
 }
 
 TEST(AhoCorasick, StateAndPatternCounts) {

@@ -1,0 +1,163 @@
+// FlatDfa is a pure re-encoding of AhoCorasick: every test here is an
+// equivalence claim — same matches, same verdicts, same streaming cursor
+// semantics — plus the batch walker against its own sequential loop.
+#include "match/flat_dfa.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "evasion/corpus.hpp"
+#include "match/aho_corasick.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace sdt::match {
+namespace {
+
+AhoCorasick make(std::initializer_list<const char*> patterns,
+                 AcLayout layout = AcLayout::dense_dfa) {
+  AhoCorasick::Builder b;
+  for (const char* p : patterns) b.add(to_bytes(p));
+  return b.build(layout);
+}
+
+std::vector<std::pair<std::uint32_t, std::size_t>> hits(
+    const std::vector<AhoCorasick::Match>& ms) {
+  std::vector<std::pair<std::uint32_t, std::size_t>> out;
+  for (const auto& m : ms) out.emplace_back(m.pattern_id, m.end_offset);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+TEST(FlatDfa, EmptyByDefault) {
+  const FlatDfa f;
+  EXPECT_TRUE(f.empty());
+  EXPECT_FALSE(f.contains_any(to_bytes("anything")));
+}
+
+TEST(FlatDfa, FindAllMatchesSource) {
+  const AhoCorasick ac = make({"he", "she", "his", "hers"});
+  const FlatDfa f(ac);
+  const Bytes hay = to_bytes("ushers and his heirs");
+  EXPECT_EQ(hits(f.find_all(hay)), hits(ac.find_all(hay)));
+  EXPECT_EQ(f.state_count(), ac.state_count());
+}
+
+TEST(FlatDfa, VerdictHelpersMatchSource) {
+  const AhoCorasick ac = make({"needle", "pin"});
+  const FlatDfa f(ac);
+  for (const char* s : {"plain hay", "a needle here", "pinpoint", "", "pi"}) {
+    const Bytes hay = to_bytes(s);
+    EXPECT_EQ(f.contains_any(hay), ac.contains_any(hay)) << s;
+    EXPECT_EQ(f.first_match(hay), ac.first_match(hay)) << s;
+  }
+}
+
+TEST(FlatDfa, StreamingCursorCrossesChunks) {
+  const AhoCorasick ac = make({"hello", "world", "lowo"});
+  const Bytes hay = to_bytes("say helloworld again helloworld");
+
+  std::vector<std::pair<std::uint32_t, std::size_t>> streamed;
+  const FlatDfa f(ac);
+  FlatDfa::Entry e = f.root();
+  std::size_t base = 0;
+  for (std::size_t chunk = 1; base < hay.size();
+       base += chunk, chunk = (chunk % 5) + 1) {
+    const std::size_t n = std::min(chunk, hay.size() - base);
+    e = f.scan(ByteView(hay).subspan(base, n), e, [&](AhoCorasick::Match m) {
+      streamed.emplace_back(m.pattern_id, base + m.end_offset);
+    });
+  }
+  std::sort(streamed.begin(), streamed.end());
+  EXPECT_EQ(streamed, hits(ac.find_all(hay)));
+}
+
+TEST(FlatDfa, BuildsFromSparseSource) {
+  const AhoCorasick sparse = make({"abc", "bca", "cab"}, AcLayout::sparse_nfa);
+  const FlatDfa f(sparse);
+  const Bytes hay = to_bytes("xabcabx");
+  EXPECT_EQ(hits(f.find_all(hay)), hits(sparse.find_all(hay)));
+}
+
+TEST(FlatDfa, BuildsFromDeserializedSource) {
+  AhoCorasick::Builder b;
+  b.add(to_bytes("attack-sig"));
+  b.add(from_hex("00ff00ee"));
+  const AhoCorasick ac = b.build(AcLayout::dense_dfa);
+  const Bytes blob = ac.serialize();
+  const AhoCorasick back = AhoCorasick::deserialize(blob);
+  const FlatDfa f(back);  // accept bits must survive the round trip
+  Bytes hay = to_bytes("an attack-sig");
+  const Bytes bin = from_hex("00ff00ee");
+  hay.insert(hay.end(), bin.begin(), bin.end());
+  const Bytes tail = to_bytes(" tail");
+  hay.insert(hay.end(), tail.begin(), tail.end());
+  ASSERT_EQ(ac.find_all(hay).size(), 2u);
+  EXPECT_EQ(hits(f.find_all(hay)), hits(ac.find_all(hay)));
+}
+
+TEST(FlatDfa, BatchMatchesSequentialOnRaggedInputs) {
+  AhoCorasick::Builder b;
+  for (const core::Signature& s : evasion::default_corpus()) b.add(s.bytes);
+  const AhoCorasick ac = b.build(AcLayout::dense_dfa);
+  const FlatDfa f(ac);
+  const core::SignatureSet corpus = evasion::default_corpus();
+
+  Rng rng(97);
+  for (int trial = 0; trial < 24; ++trial) {
+    // Ragged batch: empty buffers, tiny buffers, long buffers, some with a
+    // (possibly truncated) signature planted, batch sizes straddling the
+    // lane width so refill + retire + compaction all run.
+    const auto n = static_cast<std::size_t>(rng.below(2 * FlatDfa::kBatchWidth + 5));
+    std::vector<Bytes> bufs(n);
+    std::vector<ByteView> views(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      bufs[i] = rng.random_bytes(static_cast<std::size_t>(rng.below(300)));
+      if (!bufs[i].empty() && rng.below(2) == 0) {
+        const core::Signature& sig =
+            corpus[static_cast<std::uint32_t>(rng.below(corpus.size()))];
+        const auto cut =
+            static_cast<std::size_t>(1 + rng.below(sig.bytes.size()));
+        const auto at = static_cast<std::size_t>(rng.below(bufs[i].size()));
+        bufs[i].insert(bufs[i].begin() + static_cast<std::ptrdiff_t>(at),
+                       sig.bytes.begin(),
+                       sig.bytes.begin() + static_cast<std::ptrdiff_t>(cut));
+      }
+      views[i] = ByteView(bufs[i]);
+    }
+    std::vector<std::uint8_t> hit(n + 1, 0xee);
+    f.contains_any_batch(views.data(), n, hit.data());
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(hit[i] != 0, f.contains_any(views[i]))
+          << "trial " << trial << " lane " << i;
+      EXPECT_EQ(hit[i] != 0, ac.contains_any(views[i]));
+    }
+    EXPECT_EQ(hit[n], 0xee);  // no write past n
+  }
+}
+
+TEST(FlatDfa, BatchHandlesZeroAndOne) {
+  const AhoCorasick ac = make({"zz"});
+  const FlatDfa f(ac);
+  f.contains_any_batch(nullptr, 0, nullptr);  // must not crash
+  const Bytes one = to_bytes("azza");
+  const ByteView v(one);
+  std::uint8_t hit = 0;
+  f.contains_any_batch(&v, 1, &hit);
+  EXPECT_NE(hit, 0);
+}
+
+TEST(FlatDfa, OutputsAgreeWithSource) {
+  const AhoCorasick ac = make({"he", "she", "hers"});
+  const FlatDfa f(ac);
+  for (AhoCorasick::State s = 0; s < ac.state_count(); ++s) {
+    const auto& want = ac.outputs(s);
+    const auto got = f.outputs(s);
+    ASSERT_EQ(got.size(), want.size());
+    EXPECT_TRUE(std::equal(got.begin(), got.end(), want.begin()));
+  }
+}
+
+}  // namespace
+}  // namespace sdt::match

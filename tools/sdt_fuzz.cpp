@@ -41,6 +41,7 @@ struct Options {
   bool no_strict = false;
   bool no_reload_crosscheck = false;
   bool no_flood_crosscheck = false;
+  bool no_prefilter_crosscheck = false;
   std::uint64_t reload_swaps = 4;
   double flood_fraction = 0.1;
   double benign_budget = 0.25;
@@ -57,6 +58,7 @@ void usage(const char* argv0) {
                "          [--benign-budget F] [--repro-dir DIR]\n"
                "          [--no-reload-crosscheck] [--reload-swaps N]\n"
                "          [--flood-fraction F] [--no-flood-crosscheck]\n"
+               "          [--no-prefilter-crosscheck]\n"
                "          [--stats-out FILE] [--replay REPRO.json]\n",
                argv0);
 }
@@ -163,6 +165,8 @@ bool parse_args(int argc, char** argv, Options& opt) {
       }
     } else if (a == "--no-flood-crosscheck") {
       opt.no_flood_crosscheck = true;
+    } else if (a == "--no-prefilter-crosscheck") {
+      opt.no_prefilter_crosscheck = true;
     } else if (a == "--quick") {
       opt.quick = true;
     } else if (a == "--inject-bug") {
@@ -221,6 +225,7 @@ int run_campaign(const Options& opt) {
   cfg.reload_swaps = opt.reload_swaps;
   cfg.gen.flood_fraction = opt.flood_fraction;
   cfg.flood_crosscheck_every = opt.no_flood_crosscheck ? 0 : 2048;
+  cfg.prefilter_crosscheck_every = opt.no_prefilter_crosscheck ? 0 : 2048;
   if (opt.quick) {
     cfg.gen.max_pad = 400;        // shorter streams
     cfg.crosscheck_every = 1024;  // still a few crosschecks per smoke run
@@ -228,6 +233,7 @@ int run_campaign(const Options& opt) {
     cfg.shrink_budget = 1500;
     if (!opt.no_reload_crosscheck) cfg.reload_crosscheck_every = 1024;
     if (!opt.no_flood_crosscheck) cfg.flood_crosscheck_every = 1024;
+    if (!opt.no_prefilter_crosscheck) cfg.prefilter_crosscheck_every = 1024;
   }
 
   sdt::fuzz::FuzzRunner runner(corpus, cfg);
