@@ -71,14 +71,31 @@ std::size_t SplitDetectEngine::process_batch(const net::PacketView* pvs,
                                              std::vector<Alert>& alerts,
                                              Action* actions) {
   batch_decisions_.resize(n);
-  fast_.process_batch(pvs, now_usec, n, batch_decisions_.data());
   std::size_t not_forwarded = 0;
-  for (std::size_t i = 0; i < n; ++i) {
-    ++packets_;
-    const Action a =
-        finish(pvs[i], std::move(batch_decisions_[i]), now_usec[i], alerts);
-    if (actions != nullptr) actions[i] = a;
-    if (a != Action::forward) ++not_forwarded;
+  // finish() of an ip_fragment packet force-diverts (pins) the revealed
+  // flow the moment defragmentation completes its datagram — which changes
+  // the fast-path verdict of any later packet of that flow. Computing all n
+  // fast decisions up front would decide those packets *before* the pin and
+  // forward them clean, opening exactly the slow-path stream hole the pin
+  // exists to prevent. So fast decisions are only computed up to (and
+  // including) the next fragment; the remainder waits until that
+  // fragment's finish() has run. Fragment-free batches (the common case)
+  // still take one process_batch call.
+  std::size_t start = 0;
+  while (start < n) {
+    std::size_t stop = start;
+    while (stop < n && !pvs[stop].is_fragment()) ++stop;
+    if (stop < n) ++stop;  // include the run-terminating fragment
+    fast_.process_batch(pvs + start, now_usec + start, stop - start,
+                        batch_decisions_.data() + start);
+    for (std::size_t i = start; i < stop; ++i) {
+      ++packets_;
+      const Action a =
+          finish(pvs[i], std::move(batch_decisions_[i]), now_usec[i], alerts);
+      if (actions != nullptr) actions[i] = a;
+      if (a != Action::forward) ++not_forwarded;
+    }
+    start = stop;
   }
   return not_forwarded;
 }

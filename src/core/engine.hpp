@@ -134,11 +134,14 @@ class SplitDetectEngine {
   Action process(const net::PacketView& pv, std::uint64_t now_usec,
                  std::vector<Alert>& alerts);
 
-  /// Process a batch in arrival order. Verdicts, alerts and stats are
-  /// identical to n process() calls, but the fast path hoists flow-record
-  /// prefetch, checksum verification and the piece scan across the batch
-  /// and walks the flat DFA over all candidate windows in lockstep
-  /// (FastPath::process_batch). `actions`, if non-null, receives the n
+  /// Process a batch in arrival order. Verdicts and alerts are identical
+  /// to n process() calls, but the fast path hoists flow-record prefetch,
+  /// checksum verification and the piece scan across the batch and walks
+  /// the flat DFA over all candidate windows in lockstep
+  /// (FastPath::process_batch). Stats match the sequential path exactly
+  /// with fast.prefilter_adaptive=false; with the adaptive governor only
+  /// the prefilter_* telemetry split may diverge around a mode flip (see
+  /// FastPath::process_batch). `actions`, if non-null, receives the n
   /// per-packet actions. Returns how many packets were not forwarded.
   std::size_t process_batch(const net::PacketView* pvs,
                             const std::uint64_t* now_usec, std::size_t n,

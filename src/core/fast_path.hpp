@@ -178,12 +178,16 @@ class FastPath {
   FastDecision process(const net::PacketView& pv, std::uint64_t now_usec);
 
   /// Batched classification: out[i] ends up exactly what
-  /// process(pvs[i], now_usec[i]) would return, called in order, with
-  /// identical stats — but flow-record prefetch, checksum verification and
-  /// the piece scan are hoisted ahead of the per-packet state machine, and
-  /// candidate windows from the whole batch walk the flat DFA in lockstep
+  /// process(pvs[i], now_usec[i]) would return, called in order — but
+  /// flow-record prefetch, checksum verification and the piece scan are
+  /// hoisted ahead of the per-packet state machine, and candidate windows
+  /// from the whole batch walk the flat DFA in lockstep
   /// (FlatDfa::contains_any_batch). Speculative work for packets later
-  /// found diverted is discarded, never counted.
+  /// found diverted is discarded, never counted. Stats parity with the
+  /// sequential path is exact with prefilter_adaptive=false; with the
+  /// adaptive governor the prefilter_* split (pass/hit/bypassed) may lag
+  /// sequential by up to one chunk around a mode flip — pin the governor
+  /// off when exact telemetry parity matters. Verdicts never differ.
   void process_batch(const net::PacketView* pvs, const std::uint64_t* now_usec,
                      std::size_t n, FastDecision* out);
 

@@ -77,7 +77,10 @@ void FlatDfa::contains_any_batch(const ByteView* data, std::size_t n,
       ptr[w] = data[i].data();
       end[w] = ptr[w] + data[i].size();
       cur[w] = root_;
-      acc[w] = root_ & kAcceptBit;
+      // Seed 0, not root_ & kAcceptBit: the scalar contains_any never
+      // tests the root before consuming a byte, and batch must agree
+      // byte-for-byte even if a future automaton made the root accepting.
+      acc[w] = 0;
       slot[w] = i;
       return true;
     }

@@ -9,6 +9,7 @@
 
 #include "core/engine.hpp"
 #include "evasion/corpus.hpp"
+#include "evasion/flow_forge.hpp"
 #include "evasion/traffic_gen.hpp"
 
 namespace sdt::core {
@@ -132,6 +133,69 @@ TEST_P(KernelEquivalence, BatchAndSequentialPrefilterStatsAgree) {
   EXPECT_EQ(seq.fast.prefilter_bypassed, 0u);
   EXPECT_GT(bat.fast.batch_packets, 0u);
   EXPECT_EQ(seq.fast.batch_packets, 0u);
+}
+
+TEST_P(KernelEquivalence, BatchParityWithIpFragmentTraffic) {
+  // Fragment-bearing traffic: a defrag completion pins the revealed flow to
+  // the slow path mid-batch (FastPath::force_divert), so the engine must
+  // split the batch at each fragment instead of deciding all n packets up
+  // front (see SplitDetectEngine::process_batch). The combo_tiny_ooo trace
+  // above carries no IP fragments and cannot exercise this.
+  evasion::TrafficConfig tc;
+  tc.flows = 40;
+  tc.seed = GetParam() * 7919;
+  evasion::AttackMix mix;
+  mix.attack_fraction = 0.4;
+  mix.kind = evasion::EvasionKind::ip_tiny_fragments;
+  const std::vector<net::Packet> pkts =
+      evasion::generate_mixed(tc, evasion::default_corpus(16), mix).packets;
+
+  const Replayed ref = replay(pkts, /*prefilter=*/false, /*batched=*/false, 1);
+  for (const std::size_t width : {std::size_t{8}, std::size_t{32}}) {
+    const Replayed got = replay(pkts, /*prefilter=*/true, /*batched=*/true,
+                                width);
+    EXPECT_EQ(got.actions, ref.actions) << "width=" << width;
+    EXPECT_EQ(alert_set(got.alerts), alert_set(ref.alerts));
+    EXPECT_EQ(got.fast.flows_diverted, ref.fast.flows_diverted);
+    EXPECT_EQ(got.fast.fragment_diverts, ref.fast.fragment_diverts);
+    EXPECT_EQ(got.fast.bytes_scanned, ref.fast.bytes_scanned);
+  }
+}
+
+TEST(BatchDefragParity, FlowPinnedMidBatchStillDivertsLaterPackets) {
+  // Directed version of the evasion window: the last fragment of a
+  // datagram completes defragmentation and pins the flow (force_divert); a
+  // non-fragment packet of that flow later in the SAME batch must come out
+  // diverted (already_diverted), exactly as sequential processing would —
+  // not forwarded clean off a decision made before the pin. The at-risk
+  // packets are ones the fast-path state machine would otherwise forward:
+  // a segment at the sequence the fast path expects (it never folded the
+  // fragmented bytes into next_seq, so that is rel_off 0 = ISN+1) and a
+  // bare server ACK. A later-offset segment would not do — it diverts via
+  // the OOO check in both modes and masks the bug.
+  evasion::FlowForge f(evasion::Endpoints{}, 0);
+  f.handshake();
+  evasion::Seg frag;
+  frag.rel_off = 0;
+  frag.data = Bytes(64, 'a');
+  f.client_segment_fragmented(frag, 16);
+  evasion::Seg clean;
+  clean.rel_off = 0;  // in-sequence for the fast path: seq == ISN+1
+  clean.data = Bytes(64, 'b');
+  f.client_segment(clean);
+  f.server_ack();
+  const std::vector<net::Packet> pkts = f.take();
+
+  const Replayed seq = replay(pkts, /*prefilter=*/true, /*batched=*/false, 1);
+  const Replayed bat =
+      replay(pkts, /*prefilter=*/true, /*batched=*/true, pkts.size());
+  EXPECT_EQ(bat.actions, seq.actions);
+  EXPECT_EQ(bat.fast.flows_diverted, seq.fast.flows_diverted);
+  // The packets at risk: the clean segment after the completing fragment
+  // and the server ACK, both of the now-pinned flow.
+  ASSERT_GE(pkts.size(), 2u);
+  EXPECT_NE(bat.actions[pkts.size() - 2], Action::forward);
+  EXPECT_NE(bat.actions.back(), Action::forward);
 }
 
 TEST(PrefilterGovernor, BypassesTextTrafficWithIdenticalVerdicts) {
