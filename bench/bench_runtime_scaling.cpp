@@ -34,7 +34,11 @@ int main(int argc, char** argv) {
 
   const core::SignatureSet sigs = evasion::default_corpus(16);
   evasion::TrafficConfig tc;
-  tc.flows = opt.sized(800, 150);
+  // Enough flows that the address-pair hash balances 16 lanes: scaling at
+  // high widths is limited by the busiest lane's byte share, so a thin
+  // trace (~50 flows/lane) would measure flow skew, not the runtime. At
+  // 12800 flows the busiest of 16 lanes sits within ~10% of the mean.
+  tc.flows = opt.sized(12800, 400);
   tc.seed = 4;
   evasion::AttackMix mix;
   mix.attack_fraction = 0.02;
@@ -56,7 +60,7 @@ int main(int argc, char** argv) {
   std::printf("%6s %18s %10s %8s\n", "lanes", "aggregate", "speedup",
               "alerts");
   double sim_base = 0.0;
-  for (const std::size_t lanes : {1u, 2u, 4u, 8u}) {
+  for (const std::size_t lanes : {1u, 2u, 4u, 8u, 16u}) {
     auto make = [&]() -> std::unique_ptr<sim::Detector> {
       return std::make_unique<sim::SplitDetectDetector>(sigs, ecfg);
     };
@@ -87,7 +91,7 @@ int main(int argc, char** argv) {
   double rt_base = 0.0;
   std::uint64_t alerts_at_1 = 0;
   double mib_per_lane_at_1 = 0.0;
-  for (const std::size_t lanes : {1u, 2u, 4u, 8u}) {
+  for (const std::size_t lanes : {1u, 2u, 4u, 8u, 16u}) {
     runtime::RuntimeConfig rc;
     rc.lanes = lanes;
     rc.ring_capacity = 1024;
@@ -95,6 +99,7 @@ int main(int argc, char** argv) {
     std::uint64_t total_alerts = 0, dropped = 0;
     double mib_per_lane = 0.0;
     bool conserved = true;
+    bool zero_alloc = true;
     std::vector<double> nspp_samples;
     const bench::Repeated gbps = bench::repeat(runs, [&] {
       const sim::RuntimeScalingResult res =
@@ -102,6 +107,11 @@ int main(int argc, char** argv) {
       total_alerts = res.total_alerts;
       dropped = res.stats.dropped;
       conserved = conserved && res.stats.conserved();
+      // The zero-allocation claim, audited per pass: every frame travelled
+      // through a recycled arena slab (no heap fallback) and every slab
+      // returned to its pool by quiescence.
+      zero_alloc = zero_alloc && res.stats.arena_heap_fallbacks() == 0 &&
+                   res.stats.arena_outstanding() == 0;
       nspp_samples.push_back(res.wall_ns_per_packet());
       std::size_t lane_bytes = 0;
       for (const std::size_t b : res.lane_engine_bytes) {
@@ -118,6 +128,12 @@ int main(int argc, char** argv) {
     }
     if (!conserved) {
       std::printf("CONSERVATION VIOLATED at %zu lanes\n", lanes);
+      return 1;
+    }
+    if (!zero_alloc) {
+      std::printf("ARENA LEAKED at %zu lanes (heap fallback or outstanding "
+                  "slot at quiescence)\n",
+                  lanes);
       return 1;
     }
     std::printf("%6zu %15s Gb %9.2fx %16s %10.1f %8llu %8llu\n", lanes,
@@ -147,6 +163,73 @@ int main(int argc, char** argv) {
                   mib_per_lane, lanes, mib_per_lane_at_1);
       return 1;
     }
+  }
+
+  // Sharded ingest at the widest configuration: the same 16-lane deployment
+  // fed through N dispatcher threads instead of the caller's thread. The
+  // lane-side aggregate is unchanged by construction (identical per-lane
+  // work — peek_lane routes every flow to the same lane); what changes is
+  // the ingest side: parse + arena copy + ring handoff spread over N
+  // dispatcher cores, reported as the busiest shard's dispatch time per
+  // packet (the ingest critical path, one-core inline dispatch = baseline).
+  std::printf("\nsharded ingest (16 lanes, dispatchers x N, blocking):\n");
+  std::printf("%12s %18s %20s %14s %8s\n", "dispatchers", "aggregate",
+              "disp ns/pkt (max)", "ingest hw", "alerts");
+  for (const std::size_t dispatchers : {1u, 2u, 4u}) {
+    runtime::RuntimeConfig rc;
+    rc.lanes = 16;
+    rc.dispatchers = dispatchers;
+    rc.ring_capacity = 1024;
+    rc.engine = ecfg;
+    std::uint64_t total_alerts = 0;
+    std::uint64_t ingest_hw = 0;
+    bool ok = true;
+    std::vector<double> disp_nspp_samples;
+    const bench::Repeated gbps = bench::repeat(runs, [&] {
+      const sim::RuntimeScalingResult res =
+          sim::runtime_lane_scaling(sigs, rc, trace.packets);
+      total_alerts = res.total_alerts;
+      ok = ok && res.stats.conserved() &&
+           res.stats.arena_heap_fallbacks() == 0 &&
+           res.stats.arena_outstanding() == 0;
+      // Ingest critical path: the busiest shard's dispatch time over the
+      // packets it handled (each shard on its own core).
+      double worst_nspp = 0.0;
+      for (const auto& d : res.stats.dispatchers) {
+        ok = ok && d.ingested == d.consumed;
+        if (d.consumed != 0) {
+          worst_nspp = std::max(worst_nspp, static_cast<double>(d.busy_ns) /
+                                                static_cast<double>(d.consumed));
+        }
+        ingest_hw = std::max(ingest_hw,
+                             static_cast<std::uint64_t>(d.ring_high_water));
+      }
+      disp_nspp_samples.push_back(worst_nspp);
+      return res.aggregate_gbps();
+    });
+    const bench::Repeated disp_nspp =
+        bench::summarize(std::move(disp_nspp_samples));
+    if (!ok) {
+      std::printf("SHARDED INVARIANT VIOLATED at %zu dispatchers\n",
+                  dispatchers);
+      return 1;
+    }
+    if (total_alerts != alerts_at_1) {
+      std::printf("VERDICT DRIFT: %llu alerts at %zu dispatchers vs %llu "
+                  "inline\n",
+                  static_cast<unsigned long long>(total_alerts), dispatchers,
+                  static_cast<unsigned long long>(alerts_at_1));
+      return 1;
+    }
+    std::printf("%12zu %15s Gb %20s %14llu %8llu\n", dispatchers,
+                bench::pm(gbps, "%.2f").c_str(),
+                bench::pm(disp_nspp, "%.0f").c_str(),
+                static_cast<unsigned long long>(ingest_hw),
+                static_cast<unsigned long long>(total_alerts));
+    char key[40];
+    std::snprintf(key, sizeof key, "runtime.lanes16.disp%zu", dispatchers);
+    rep.metric(std::string(key) + ".aggregate_gbps", gbps, "Gbps");
+    rep.metric(std::string(key) + ".disp_ns_per_pkt", disp_nspp, "ns");
   }
 
   // Graceful degradation: a deliberately undersized ring with the drop
@@ -180,14 +263,19 @@ int main(int argc, char** argv) {
   std::printf(
       "\nexpected shape: the runtime's aggregate curve tracks the\n"
       "simulator's (same hash, same per-lane work; both report the\n"
-      "critical-path lane). Alerts are identical at every width — lanes\n"
-      "share no flow state, so threading changes no verdict. Drops are\n"
-      "zero under the blocking policy by construction; under the drop\n"
-      "policy they are counted, never silent. Wall-clock converges to the\n"
-      "aggregate only with >= lanes+1 free cores. ns/pkt is the end-to-end\n"
-      "feed..drain cost of the parse-once pipeline (headers validated and\n"
-      "indexed once at the dispatcher, moved — not copied — into the\n"
-      "rings); MiB/lane is each lane's engine footprint with the flow\n"
-      "budget divided across lanes (≈ 1/lanes until the floor).\n");
+      "critical-path lane). Alerts are identical at every width and every\n"
+      "dispatcher count — lanes share no flow state and peek_lane routes\n"
+      "each flow to the same lane the full parse would, so threading\n"
+      "changes no verdict. Drops are zero under the blocking policy by\n"
+      "construction; under the drop policy they are counted, never silent.\n"
+      "The arena audit (heap fallbacks == 0, outstanding == 0) holds in\n"
+      "every pass: the steady-state packet path allocates nothing.\n"
+      "Wall-clock converges to the aggregate only with >= lanes +\n"
+      "dispatchers + 1 free cores. ns/pkt is the end-to-end feed..drain\n"
+      "cost of the parse-once pipeline (headers validated and indexed once\n"
+      "at the dispatching edge, copied once into a recycled lane-local\n"
+      "slab, batched through the rings); MiB/lane is each lane's engine\n"
+      "footprint with the flow budget divided across lanes (≈ 1/lanes\n"
+      "until the floor).\n");
   return rep.write() ? 0 : 1;
 }

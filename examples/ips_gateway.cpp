@@ -7,6 +7,7 @@
 //   $ ./ips_gateway capture.pcap 8 my.rules       # Snort-style rule file
 //   $ ./ips_gateway capture.pcap 8 my.rules --json  # machine-readable output
 //   $ ./ips_gateway capture.pcap --lanes 8        # more detector lanes
+//   $ ./ips_gateway capture.pcap --lanes 16 --dispatchers 2  # sharded ingest
 //   $ ./ips_gateway capture.pcap --stats-interval 1   # live metrics dump
 //   $ ./ips_gateway capture.pcap --repeat 50      # sustain load (demo/soak)
 //   $ ./ips_gateway capture.pcap 8 my.rules --control-socket /tmp/sdt.sock
@@ -102,6 +103,8 @@ std::string runtime_stats_json(const sdt::runtime::StatsSnapshot& st) {
   j.field("diverted_fraction", st.diverted_fraction());
   j.field("ruleset_adoptions", st.adoptions);
   j.field("min_adopted_version", st.min_adopted_version());
+  j.field("arena_heap_fallbacks", st.arena_heap_fallbacks());
+  j.field("arena_outstanding", st.arena_outstanding());
   {
     const sdt::telemetry::HistogramSnapshot lat = st.latency_ns();
     j.key("latency_ns").begin_object();
@@ -126,6 +129,31 @@ std::string runtime_stats_json(const sdt::runtime::StatsSnapshot& st) {
     j.field("adoptions", l.adoptions);
     j.field("adopted_version", l.adopted_version);
     j.field("ring_high_water", static_cast<std::uint64_t>(l.ring_high_water));
+    {
+      j.key("arena").begin_object();
+      j.field("borrows", l.arena.borrows);
+      j.field("recycles", l.arena.recycles);
+      j.field("exhausted", l.arena.exhausted);
+      j.field("heap_fallbacks", l.arena.heap_fallbacks);
+      j.field("outstanding", l.arena.outstanding());
+      j.field("high_water", l.arena.high_water);
+      j.field("slots", static_cast<std::uint64_t>(l.arena.slots));
+      j.end_object();
+    }
+    j.end_object();
+  }
+  j.end_array();
+  j.key("dispatchers").begin_array();
+  for (const auto& d : st.dispatchers) {
+    j.begin_object();
+    j.field("ingested", d.ingested);
+    j.field("consumed", d.consumed);
+    j.field("rejected", d.rejected);
+    j.field("flushes", d.flushes);
+    j.field("flush_timeouts", d.flush_timeouts);
+    j.field("busy_ns", d.busy_ns);
+    j.field("ring_high_water", static_cast<std::uint64_t>(d.ring_high_water));
+    j.field("ring_capacity", static_cast<std::uint64_t>(d.ring_capacity));
     j.end_object();
   }
   j.end_array();
@@ -141,6 +169,7 @@ int main(int argc, char** argv) {
   // Flags anywhere on the command line; the rest are positional.
   bool json = false;
   std::size_t lanes = 4;
+  std::size_t dispatchers = 0;  // 0 = inline dispatch on the feeder thread
   double stats_interval_s = 0.0;  // 0 = no live dumps
   std::size_t repeat = 1;
   std::string control_socket;
@@ -170,6 +199,17 @@ int main(int argc, char** argv) {
         return 2;
       }
       lanes = static_cast<std::size_t>(n);
+    } else if (a == "--dispatchers" && i + 1 < argc) {
+      // 0 is a legal value (inline dispatch), so a plain range check would
+      // let strtol's garbage-input 0 through silently — require digits.
+      char* end = nullptr;
+      const long n = std::strtol(argv[++i], &end, 10);
+      if (end == argv[i] || *end != '\0' || n < 0 || n > 64) {
+        std::fprintf(stderr, "error: --dispatchers must be in [0, 64], got %s\n",
+                     argv[i]);
+        return 2;
+      }
+      dispatchers = static_cast<std::size_t>(n);
     } else if (a == "--control-socket" && i + 1 < argc) {
       control_socket = argv[++i];
     } else {
@@ -184,6 +224,7 @@ int main(int argc, char** argv) {
 
   runtime::RuntimeConfig rc;
   rc.lanes = lanes;
+  rc.dispatchers = dispatchers;
   rc.engine.fast.piece_len = piece_len;
 
   // Rule lifecycle plumbing. The compiler's options mirror the lane engine
@@ -341,7 +382,13 @@ int main(int argc, char** argv) {
     diverted += es.fast.flows_diverted;
   }
 
-  std::printf("\n=== runtime statistics (%zu lanes) ===\n", rt.lanes());
+  if (rt.dispatchers() > 0) {
+    std::printf("\n=== runtime statistics (%zu lanes, %zu dispatchers) ===\n",
+                rt.lanes(), rt.dispatchers());
+  } else {
+    std::printf("\n=== runtime statistics (%zu lanes, inline dispatch) ===\n",
+                rt.lanes());
+  }
   std::printf("packets processed        %llu of %zu captured (fed %llu, "
               "dropped %llu, rejected %llu malformed, non-IP %llu)\n",
               static_cast<unsigned long long>(st.processed), capture_packets,
@@ -375,15 +422,35 @@ int main(int argc, char** argv) {
               human_bytes(static_cast<double>(fast_state)).c_str());
   std::printf("slow-path state          %s\n",
               human_bytes(static_cast<double>(slow_state)).c_str());
+  std::printf("packet arena             %llu borrow(s), %llu heap "
+              "fallback(s), %llu still outstanding\n",
+              static_cast<unsigned long long>(st.arena_borrows()),
+              static_cast<unsigned long long>(st.arena_heap_fallbacks()),
+              static_cast<unsigned long long>(st.arena_outstanding()));
+  for (std::size_t i = 0; i < st.dispatchers.size(); ++i) {
+    const auto& d = st.dispatchers[i];
+    std::printf("dispatcher %zu: ingested %llu, consumed %llu, rejected "
+                "%llu, %llu flush(es) (%llu on timeout), busy %.2f ms, "
+                "ingest ring high-water %zu/%zu\n",
+                i, static_cast<unsigned long long>(d.ingested),
+                static_cast<unsigned long long>(d.consumed),
+                static_cast<unsigned long long>(d.rejected),
+                static_cast<unsigned long long>(d.flushes),
+                static_cast<unsigned long long>(d.flush_timeouts),
+                static_cast<double>(d.busy_ns) / 1e6, d.ring_high_water,
+                d.ring_capacity);
+  }
   for (std::size_t i = 0; i < st.lanes.size(); ++i) {
     const auto& l = st.lanes[i];
     std::printf("lane %zu: processed %llu (non-IP %llu), busy %.2f ms, ring "
-                "high-water %zu/%zu, flow budget %zu, alerts %llu, "
-                "ruleset v%" PRIu64 "\n",
+                "high-water %zu/%zu, arena high-water %llu/%zu, flow budget "
+                "%zu, alerts %llu, ruleset v%" PRIu64 "\n",
                 i, static_cast<unsigned long long>(l.processed),
                 static_cast<unsigned long long>(l.non_ip),
                 static_cast<double>(l.busy_ns) / 1e6, l.ring_high_water,
-                l.ring_capacity, l.fast_max_flows,
+                l.ring_capacity,
+                static_cast<unsigned long long>(l.arena.high_water),
+                l.arena.slots, l.fast_max_flows,
                 static_cast<unsigned long long>(l.alerts), l.adopted_version);
   }
   return alerts.empty() ? 0 : 1;

@@ -9,15 +9,21 @@
 #      lane-threads → slow-path-worker queue boundary)
 #   3. bench_snapshot.sh --quick smoke: the bench suite must produce a
 #      snapshot that validates against the documented schema
-#      (docs/OBSERVABILITY.md)
+#      (docs/OBSERVABILITY.md), plus a bench_runtime_scaling --quick
+#      smoke (the sharded-runtime conservation/verdict/arena asserts
+#      under real threads)
 #   4. fuzz-smoke: ASan+UBSan build in ./build-asan, a 10k-schedule
 #      differential fuzz campaign (sdt_fuzz --quick --seed 1), ctest -L
-#      fuzz under the sanitizers, and the slow-path churn soak under ASan
-#      (flow-table lifecycle leaks surface as growth) (docs/TESTING.md)
+#      fuzz under the sanitizers, the slow-path churn soak under ASan
+#      (flow-table lifecycle leaks surface as growth), and the packet
+#      arena slab-recycling tests under ASan (use-after-recycle must
+#      fail loudly) (docs/TESTING.md)
 #   5. match-kernel gate: ctest -L match under ASan+UBSan (the SIMD
 #      prefilter and batched flat-DFA walk hit raw pointers and lane
 #      gathers — equivalence bugs there must fail loudly, not corrupt),
 #      plus a bench_match_kernels --quick --json smoke
+#   6. docs gate: scripts/check_docs.py validates every intra-repo
+#      markdown link and anchor (docs rot fails the build, not review)
 #
 # The nightly soak is the same fuzzer run open-ended; see docs/TESTING.md:
 #   ./build-asan/tools/sdt_fuzz --seconds 3600 --seed "$(date +%s)"
@@ -49,6 +55,9 @@ trap 'rm -f "${SMOKE}"' EXIT
 scripts/bench_snapshot.sh --quick --out "${SMOKE}" >/dev/null
 python3 scripts/validate_bench_json.py "${SMOKE}"
 
+echo "== runtime-scaling smoke (--quick) =="
+./build/bench/bench_runtime_scaling --quick >/dev/null
+
 echo "== asan+ubsan: configure + build (SDT_SANITIZE=address,undefined) =="
 cmake -B build-asan -S . -DSDT_SANITIZE=address,undefined >/dev/null
 cmake --build build-asan -j "${JOBS}"
@@ -63,6 +72,9 @@ echo "== fuzz-smoke: ctest -L fuzz (asan+ubsan) =="
 echo "== churn-soak smoke: slowpath lifecycle under asan =="
 ./build-asan/tests/slowpath_churn_soak_test >/dev/null
 
+echo "== arena smoke: packet-arena slab recycling under asan =="
+./build-asan/tests/runtime_packet_arena_test >/dev/null
+
 echo "== match-kernel gate: ctest -L match (asan+ubsan) =="
 (cd build-asan && ctest -L match --output-on-failure -j "${JOBS}")
 
@@ -70,5 +82,8 @@ echo "== match-kernel gate: bench_match_kernels --quick smoke =="
 MATCH_JSON="$(mktemp /tmp/sdt_match_smoke.XXXXXX.json)"
 ./build/bench/bench_match_kernels --quick --json "${MATCH_JSON}" >/dev/null
 rm -f "${MATCH_JSON}"
+
+echo "== docs gate: markdown link/anchor check =="
+python3 scripts/check_docs.py
 
 echo "== all checks passed =="

@@ -1,0 +1,144 @@
+#!/usr/bin/env python3
+"""Validate intra-repo markdown links and anchors.
+
+Scans every tracked *.md file (repo root and docs/), extracts inline links
+[text](target) and reference definitions [id]: target, and checks that
+
+  * a relative file target exists in the repo (as a file or directory),
+  * a #fragment resolves to a real heading in the target file, using
+    GitHub's anchor slugification (lowercase, punctuation stripped,
+    spaces → hyphens, duplicate slugs suffixed -1, -2, ...),
+  * a bare #fragment resolves within the file that contains it.
+
+External links (http://, https://, mailto:) are skipped — this gate is for
+the rot we can actually fix offline. Exits nonzero naming every broken
+link, so scripts/check.sh can gate on it. Stdlib only.
+
+Usage: check_docs.py [ROOT]
+"""
+import os
+import re
+import sys
+
+# Inline [text](target) — skips images' leading ! lazily (an image path is
+# checked the same way a link is, which is what we want).
+INLINE_RE = re.compile(r"\[[^\]^\[]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+# Reference definitions: [id]: target
+REFDEF_RE = re.compile(r"^\s{0,3}\[[^\]]+\]:\s+(\S+)", re.M)
+HEADING_RE = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$", re.M)
+CODE_FENCE_RE = re.compile(r"^(```|~~~).*?^\1\s*$", re.M | re.S)
+EXTERNAL = ("http://", "https://", "mailto:", "ftp://")
+
+
+def strip_fences(text):
+    """Remove fenced code blocks — a heading-looking line inside a code
+    example is not a heading."""
+    return CODE_FENCE_RE.sub("", text)
+
+
+def strip_code(text):
+    """Remove fenced code blocks and inline code spans before link
+    extraction — a ](path) inside a code example is not a link."""
+    return re.sub(r"`[^`\n]*`", "", strip_fences(text))
+
+
+def github_slug(title):
+    # Inline markup contributes its text, not its syntax.
+    title = re.sub(r"[*_`]", "", title)
+    # Links in headings contribute their text.
+    title = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", title)
+    slug = title.strip().lower()
+    slug = re.sub(r"[^\w\- ]", "", slug, flags=re.UNICODE)
+    slug = slug.replace(" ", "-")
+    return slug
+
+
+def anchors_of(text):
+    """All valid anchor slugs of one markdown document."""
+    # Fences are stripped but inline code is kept: GitHub slugs include a
+    # code span's text (`sdt::match` contributes "sdtmatch").
+    seen = {}
+    out = set()
+    for m in HEADING_RE.finditer(strip_fences(text)):
+        slug = github_slug(m.group(2))
+        n = seen.get(slug, 0)
+        seen[slug] = n + 1
+        out.add(slug if n == 0 else f"{slug}-{n}")
+    # Explicit HTML anchors also count.
+    for m in re.finditer(r"<a\s+(?:name|id)=\"([^\"]+)\"", text):
+        out.add(m.group(1))
+    return out
+
+
+def md_files(root):
+    out = []
+    for dirpath, dirnames, filenames in os.walk(root):
+        # Stay out of build trees and third-party checkouts.
+        dirnames[:] = [d for d in dirnames
+                       if not d.startswith((".", "build")) and
+                       d not in ("node_modules", "external")]
+        for f in filenames:
+            if f.endswith(".md"):
+                out.append(os.path.join(dirpath, f))
+    return sorted(out)
+
+
+def main(argv):
+    root = os.path.abspath(argv[1]) if len(argv) > 1 else os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))
+    files = md_files(root)
+    if not files:
+        print(f"no markdown files under {root}", file=sys.stderr)
+        return 2
+
+    cache = {}
+
+    def text_of(path):
+        if path not in cache:
+            with open(path, encoding="utf-8") as f:
+                cache[path] = f.read()
+        return cache[path]
+
+    errors = []
+    links = 0
+    for path in files:
+        body = strip_code(text_of(path))
+        rel = os.path.relpath(path, root)
+        targets = [m.group(1) for m in INLINE_RE.finditer(body)]
+        targets += [m.group(1) for m in REFDEF_RE.finditer(body)]
+        for target in targets:
+            if target.startswith(EXTERNAL) or target.startswith("<"):
+                continue
+            links += 1
+            file_part, _, frag = target.partition("#")
+            if file_part:
+                dest = os.path.normpath(
+                    os.path.join(os.path.dirname(path), file_part))
+                if not os.path.exists(dest):
+                    errors.append(f"{rel}: broken link '{target}' "
+                                  f"(no such file {file_part})")
+                    continue
+            else:
+                dest = path
+            if frag:
+                if os.path.isdir(dest) or not dest.endswith(".md"):
+                    continue  # can't anchor-check non-markdown targets
+                if frag.lower() not in anchors_of(text_of(dest)):
+                    where = file_part or "this file"
+                    errors.append(f"{rel}: broken anchor '#{frag}' "
+                                  f"(no such heading in {where})")
+
+    for e in errors:
+        print(f"check_docs: {e}", file=sys.stderr)
+    ok = len(files)
+    if errors:
+        print(f"check_docs: {len(errors)} broken link(s) across {ok} files",
+              file=sys.stderr)
+        return 1
+    print(f"check_docs: OK — {links} intra-repo links across {ok} "
+          f"markdown files")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

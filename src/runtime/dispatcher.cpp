@@ -7,21 +7,56 @@
 
 namespace sdt::runtime {
 
-std::size_t address_pair_lane(const net::PacketView& pv, std::size_t lanes) {
-  if (!pv.has_ipv4) {
-    // No address pair to hash. Mix the frame length with the leading bytes
-    // (enough to cover any L2 addressing fields) so mixed non-IP traffic
-    // spreads across lanes instead of silently skewing lane 0's load.
-    const std::size_t n = std::min<std::size_t>(pv.frame.size(), 16);
-    const std::uint64_t h =
-        hash_combine(mix64(pv.frame.size()), fnv1a64(pv.frame.first(n)));
-    return static_cast<std::size_t>(h % lanes);
-  }
+namespace {
+
+/// The two lane hashes, factored so address_pair_lane (full parse) and
+/// peek_lane (header peek) compute them from the same expressions and
+/// cannot drift.
+std::size_t ipv4_pair_lane(std::uint32_t src, std::uint32_t dst,
+                           std::size_t lanes) {
   // Direction-independent: mix each address, combine commutatively so both
   // directions of a conversation land in the same lane.
-  const std::uint64_t pair =
-      mix64(pv.ipv4.src().value()) ^ mix64(pv.ipv4.dst().value());
+  const std::uint64_t pair = mix64(src) ^ mix64(dst);
   return static_cast<std::size_t>(mix64(pair) % lanes);
+}
+
+std::size_t fallback_lane(ByteView frame, std::size_t lanes) {
+  // No address pair to hash. Mix the frame length with the leading bytes
+  // (enough to cover any L2 addressing fields) so mixed non-IP traffic
+  // spreads across lanes instead of silently skewing lane 0's load.
+  const std::size_t n = std::min<std::size_t>(frame.size(), 16);
+  const std::uint64_t h =
+      hash_combine(mix64(frame.size()), fnv1a64(frame.first(n)));
+  return static_cast<std::size_t>(h % lanes);
+}
+
+}  // namespace
+
+std::size_t address_pair_lane(const net::PacketView& pv, std::size_t lanes) {
+  if (!pv.has_ipv4) return fallback_lane(pv.frame, lanes);
+  return ipv4_pair_lane(pv.ipv4.src().value(), pv.ipv4.dst().value(), lanes);
+}
+
+std::size_t peek_lane(ByteView frame, net::LinkType lt, std::size_t lanes) {
+  // Mirror PacketView::parse just far enough to know which hash a DELIVERED
+  // frame would take. Frames parse would reject as malformed may land
+  // anywhere (they are rejected wherever they land, so the choice cannot
+  // split a flow); every frame parse delivers must hash identically here.
+  ByteView l3 = frame;
+  if (lt == net::LinkType::ethernet) {
+    if (frame.size() < net::kEthernetHeaderLen) return 0;  // rejected later
+    if (rd_u16be(frame, 12) != net::kEtherTypeIpv4) {
+      return fallback_lane(frame, lanes);  // delivered as non_ip
+    }
+    l3 = frame.subspan(net::kEthernetHeaderLen);
+  }
+  // parse checks datagram length BEFORE the version nibble: a short frame
+  // is truncated_l3 (rejected) even if it does not look like IPv4 at all.
+  if (l3.size() < net::kIpv4MinHeaderLen) return 0;  // rejected later
+  if ((l3[0] >> 4) != 4) return fallback_lane(frame, lanes);  // non_ip
+  // Looks like IPv4 and the fixed-position addresses are in bounds: either
+  // parse delivers it with has_ipv4 (same hash), or rejects it (any lane).
+  return ipv4_pair_lane(rd_u32be(l3, 12), rd_u32be(l3, 16), lanes);
 }
 
 FlowDispatcher::FlowDispatcher(std::size_t lanes, net::LinkType lt)

@@ -32,6 +32,15 @@ namespace sdt::runtime {
 /// be >= 1.
 std::size_t address_pair_lane(const net::PacketView& pv, std::size_t lanes);
 
+/// Lane index from a raw frame WITHOUT the validating parse — the RSS-style
+/// header peek sharded ingest uses to pick the owning dispatcher before the
+/// real parse-once edge runs on that dispatcher's thread. Guarantee: for
+/// every frame the dispatcher delivers (not reject-malformed), this equals
+/// address_pair_lane over the parsed view — the affinity invariant holds
+/// shard-side too. Malformed frames may peek to any lane; whichever shard
+/// receives them rejects them, so no flow is ever split by the difference.
+std::size_t peek_lane(ByteView frame, net::LinkType lt, std::size_t lanes);
+
 /// The dispatcher's verdict on one frame: where it goes and how it was
 /// classified at the parse-once edge.
 struct RouteDecision {

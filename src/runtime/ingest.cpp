@@ -1,0 +1,219 @@
+#include "runtime/ingest.hpp"
+
+#include <chrono>
+#include <cstring>
+#include <utility>
+
+#include "util/error.hpp"
+#include "util/stats.hpp"
+
+namespace sdt::runtime {
+
+DispatchCore::DispatchCore(const FlowDispatcher& disp, OverloadPolicy overload,
+                           std::size_t batch, std::vector<OwnedLane> owned)
+    : disp_(disp), overload_(overload), batch_(batch == 0 ? 1 : batch) {
+  if (owned.empty()) throw InvalidArgument("DispatchCore: no owned lanes");
+  owned_.resize(owned.size());
+  owned_index_.assign(disp.lanes(), 0);
+  for (std::size_t i = 0; i < owned.size(); ++i) {
+    owned_[i].lane = owned[i].lane;
+    owned_[i].pending.reserve(batch_);
+    owned_index_[owned[i].index] = static_cast<std::uint32_t>(i);
+  }
+}
+
+std::uint32_t DispatchCore::borrow(LaneSlot& ls) {
+  PacketArena& arena = ls.lane->arena();
+  for (;;) {
+    if (!ls.spare.empty()) {
+      const std::uint32_t slot = ls.spare.back();
+      ls.spare.pop_back();
+      return slot;
+    }
+    const std::uint32_t slot = arena.try_borrow();
+    if (slot != PacketArena::kNoSlot) return slot;
+    if (!ls.pending.empty()) {
+      // Our own staged batch may be holding most of the pool — push it to
+      // the lane so recycling can start (and, under drop policy, shed
+      // overflow straight into `spare`), then retry.
+      flush(ls);
+      continue;
+    }
+    if (overload_ == OverloadPolicy::drop) return PacketArena::kNoSlot;
+    // Blocking policy: every slot is in the ring or inside the engine; the
+    // lane is guaranteed to recycle, so waiting is deadlock-free.
+    std::this_thread::yield();
+  }
+}
+
+void DispatchCore::ingest(net::Packet&& pkt) {
+  const RouteDecision d = disp_.route(pkt);
+  if (d.reject) {
+    counters_.rejected.fetch_add(1, std::memory_order_relaxed);
+    counters_.consumed.fetch_add(1, std::memory_order_release);
+    return;
+  }
+  LaneSlot& ls = owned_[owned_index_[d.lane]];
+  PacketArena& arena = ls.lane->arena();
+  ParsedPacket pp;
+  if (pkt.frame.size() > arena.slab_bytes()) {
+    // Jumbo frame: counted heap fallback (the zero-alloc claim is audited
+    // by this counter staying zero, not assumed).
+    arena.count_heap_fallback();
+    pp = ParsedPacket(std::move(pkt), d.idx);
+  } else {
+    const std::uint32_t slot = borrow(ls);
+    if (slot == PacketArena::kNoSlot) {
+      // Drop policy with the whole pool in flight: account the shed packet
+      // against its lane — fed then dropped, same ledger as a ring-full
+      // shed — and move on.
+      LaneCounters& c = ls.lane->counters();
+      c.fed.fetch_add(1, std::memory_order_relaxed);
+      if (d.non_ip) c.non_ip.fetch_add(1, std::memory_order_relaxed);
+      c.dropped.fetch_add(1, std::memory_order_release);
+      counters_.consumed.fetch_add(1, std::memory_order_release);
+      return;
+    }
+    MutableByteView sl = arena.slab(slot);
+    std::memcpy(sl.data(), pkt.frame.data(), pkt.frame.size());
+    pp = ParsedPacket(ByteView(sl.data(), pkt.frame.size()), d.idx,
+                      pkt.ts_usec, slot);
+  }
+  if (d.non_ip) ++ls.pending_non_ip;
+  ls.pending.push_back(std::move(pp));
+  if (ls.pending.size() >= batch_) flush(ls);
+}
+
+void DispatchCore::flush(LaneSlot& ls) {
+  const std::size_t n = ls.pending.size();
+  if (n == 0) return;
+  LaneCounters& c = ls.lane->counters();
+  // fed advances BEFORE the ring push so the mid-flight invariant
+  // processed + dropped <= fed holds at every instant a poller can observe.
+  c.fed.fetch_add(n, std::memory_order_relaxed);
+  if (ls.pending_non_ip != 0) {
+    c.non_ip.fetch_add(ls.pending_non_ip, std::memory_order_relaxed);
+    ls.pending_non_ip = 0;
+  }
+  SpscRing<ParsedPacket>& ring = ls.lane->ring();
+  if (overload_ == OverloadPolicy::block) {
+    std::size_t pushed = 0;
+    while (pushed < n) {
+      const std::size_t k =
+          ring.try_push_batch(ls.pending.data() + pushed, n - pushed);
+      pushed += k;
+      if (k == 0) std::this_thread::yield();
+    }
+  } else {
+    const std::size_t pushed = ring.try_push_batch(ls.pending.data(), n);
+    if (pushed < n) {
+      // Shed the overflow. Arena slots come back to the spare stack (the
+      // borrower cannot push the free list — it is its consumer); heap
+      // fallbacks just release their storage.
+      for (std::size_t i = pushed; i < n; ++i) {
+        if (ls.pending[i].in_arena()) ls.spare.push_back(ls.pending[i].slot);
+        ls.pending[i] = ParsedPacket();
+      }
+      c.dropped.fetch_add(n - pushed, std::memory_order_release);
+    }
+  }
+  ls.pending.clear();
+  counters_.flushes.fetch_add(1, std::memory_order_relaxed);
+  // Release: a drain() that sees consumed == ingested also sees every fed/
+  // dropped increment above.
+  counters_.consumed.fetch_add(n, std::memory_order_release);
+}
+
+void DispatchCore::flush_all() {
+  for (LaneSlot& ls : owned_) flush(ls);
+}
+
+bool DispatchCore::has_pending() const {
+  for (const LaneSlot& ls : owned_) {
+    if (!ls.pending.empty()) return true;
+  }
+  return false;
+}
+
+DispatcherShard::DispatcherShard(const FlowDispatcher& disp,
+                                 OverloadPolicy overload, std::size_t batch,
+                                 std::vector<OwnedLane> owned,
+                                 std::size_t ingest_capacity,
+                                 std::uint64_t flush_timeout_us)
+    : core_(disp, overload, batch, std::move(owned)),
+      ring_(ingest_capacity),
+      flush_timeout_us_(flush_timeout_us) {}
+
+DispatcherShard::~DispatcherShard() {
+  request_stop();
+  join();
+}
+
+void DispatcherShard::start() {
+  if (thread_.joinable()) return;
+  stop_.store(false, std::memory_order_release);
+  thread_ = std::thread([this] { run(); });
+}
+
+void DispatcherShard::request_stop() {
+  stop_.store(true, std::memory_order_release);
+}
+
+void DispatcherShard::join() {
+  if (thread_.joinable()) thread_.join();
+}
+
+void DispatcherShard::run() {
+  // Wall clock for the flush timeout (it bounds packet AGE, a wall-time
+  // promise) but thread CPU clock for busy_ns (it accounts WORK; wall time
+  // would charge preemption to the shard on oversubscribed hosts).
+  using clock = std::chrono::steady_clock;
+  const auto timeout = std::chrono::microseconds(flush_timeout_us_);
+  // Pop raw frames in batches too: the ingest ring's handoff cost is
+  // amortized just like the lane rings'.
+  constexpr std::size_t kIngestBatch = 32;
+  std::vector<net::Packet> buf(kIngestBatch);
+  auto pending_since = clock::now();
+  bool have_pending = false;
+  for (;;) {
+    const std::size_t n = ring_.try_pop_batch(buf.data(), kIngestBatch);
+    if (n != 0) {
+      const std::uint64_t c0 = thread_cpu_now_ns();
+      const auto t0 = clock::now();
+      for (std::size_t i = 0; i < n; ++i) core_.ingest(std::move(buf[i]));
+      if (core_.has_pending()) {
+        if (!have_pending) {
+          have_pending = true;
+          pending_since = t0;
+        } else if (t0 - pending_since >= timeout) {
+          // Low-load latency guard: a trickle that keeps the ingest ring
+          // non-empty but never fills a batch still flushes on age.
+          core_.flush_all();
+          core_.counters().flush_timeouts.fetch_add(
+              1, std::memory_order_relaxed);
+          have_pending = false;
+        }
+      } else {
+        have_pending = false;
+      }
+      core_.counters().busy_ns.fetch_add(thread_cpu_now_ns() - c0,
+                                         std::memory_order_relaxed);
+      continue;
+    }
+    // Ingest ring empty: nothing to amortize against, so flush immediately
+    // rather than holding packets hostage to a batch that may never fill.
+    if (have_pending || core_.has_pending()) {
+      core_.flush_all();
+      have_pending = false;
+    }
+    if (stop_.load(std::memory_order_acquire)) {
+      // The feeder stops pushing before raising the flag; one more empty
+      // check after the acquire is enough to see any frame that raced it.
+      if (ring_.empty()) break;
+      continue;
+    }
+    std::this_thread::yield();
+  }
+}
+
+}  // namespace sdt::runtime

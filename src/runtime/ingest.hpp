@@ -1,0 +1,154 @@
+// Sharded ingest: the machinery between feed() and the lane rings.
+//
+//                     ┌─ ingest ring ─► DispatcherShard 0 ─┬─► lane 0 ring
+//   feed(pkt) ─ peek ─┤                 (parse-once, arena │─► lane 2 ring
+//   (header hash)     │                  borrow, batching) └─► lane 4 ring
+//                     └─ ingest ring ─► DispatcherShard 1 ─┬─► lane 1 ring
+//                                                          ├─► lane 3 ring
+//                                                          └─► lane 5 ring
+//
+// DispatchCore is the single dispatching engine: route a raw frame through
+// the parse-once edge, reject malformed input, copy the frame into the
+// target lane's arena slab, stage it in a per-lane pending batch, and flush
+// whole batches into the lane ring (one SPSC acquire/release per batch).
+// Exactly one thread drives a core: the feed() caller in inline mode
+// (Runtime with dispatchers == 0), or a DispatcherShard's thread in sharded
+// mode. Each lane is owned by exactly one core, so every lane ring and
+// every arena keeps its single producer / single consumer discipline with
+// zero locks.
+//
+// Sharding is RSS-style: the feeder picks the owning shard with peek_lane —
+// a header peek computing the same commutative address-pair hash the full
+// parse would — so flow affinity holds end to end and the expensive work
+// (validating parse, memcpy, ring handoff) runs on N dispatcher threads
+// instead of one.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "runtime/dispatcher.hpp"
+#include "runtime/lane_worker.hpp"
+
+namespace sdt::runtime {
+
+/// What dispatch does when a lane's ring (or arena) is full.
+enum class OverloadPolicy : std::uint8_t {
+  /// Wait for the lane to catch up — lossless backpressure (default).
+  block,
+  /// Shed the packet and count it against the lane — graceful degradation,
+  /// never silent: every drop is visible in the stats.
+  drop,
+};
+
+/// Live per-dispatcher counters. `ingested` is written by the feeder
+/// thread, everything else by the thread driving the core; any thread may
+/// read them (same single-writer discipline as LaneCounters).
+struct DispatchCounters {
+  // Feeder-thread group — its own cache line.
+  alignas(telemetry::kCacheLine)
+  std::atomic<std::uint64_t> ingested{0};  ///< frames pushed at this shard
+  // Core-thread group.
+  alignas(telemetry::kCacheLine)
+  std::atomic<std::uint64_t> consumed{0};  ///< frames fully accounted for
+  std::atomic<std::uint64_t> rejected{0};  ///< malformed, refused at the edge
+  std::atomic<std::uint64_t> flushes{0};   ///< pending→ring batch flushes
+  std::atomic<std::uint64_t> flush_timeouts{0};  ///< flushes forced by age
+  std::atomic<std::uint64_t> busy_ns{0};   ///< shard thread dispatch time
+};
+
+/// A lane this core owns: the worker plus its global lane index (the value
+/// address_pair_lane / peek_lane produce for its flows).
+struct OwnedLane {
+  std::size_t index = 0;
+  LaneWorker* lane = nullptr;
+};
+
+/// The dispatching engine for a fixed set of owned lanes. Single-threaded
+/// by contract (see file comment); the only cross-thread edges are the lane
+/// rings, the arena free lists, and the atomic counters.
+class DispatchCore {
+ public:
+  DispatchCore(const FlowDispatcher& disp, OverloadPolicy overload,
+               std::size_t batch, std::vector<OwnedLane> owned);
+
+  /// Route one raw frame: reject it, or copy it into its lane's arena and
+  /// stage it, flushing the lane's batch at the threshold. The conservation
+  /// ledger advances exactly once per call (rejected, or fed at flush).
+  void ingest(net::Packet&& pkt);
+
+  /// Flush every lane's pending batch into its ring. Called at the batch
+  /// boundary by feed(), and on idle/timeout by the shard loop.
+  void flush_all();
+
+  bool has_pending() const;
+
+  DispatchCounters& counters() { return counters_; }
+  const DispatchCounters& counters() const { return counters_; }
+
+ private:
+  struct LaneSlot {
+    LaneWorker* lane = nullptr;
+    std::vector<ParsedPacket> pending;
+    /// Arena slots reclaimed from shed packets. The borrower may not push
+    /// onto the free list (it is the list's consumer), so reclaimed slots
+    /// are handed out again from here first.
+    std::vector<std::uint32_t> spare;
+    std::uint32_t pending_non_ip = 0;
+  };
+
+  /// A slot for `ls`'s arena: spare first, then the free list; on
+  /// exhaustion flush our own pending (it may hold most of the pool), then
+  /// wait (block) or give up (drop → kNoSlot).
+  std::uint32_t borrow(LaneSlot& ls);
+  void flush(LaneSlot& ls);
+
+  const FlowDispatcher& disp_;
+  OverloadPolicy overload_;
+  std::size_t batch_;
+  std::vector<LaneSlot> owned_;
+  /// Global lane index → position in owned_ (only owned lanes are valid —
+  /// peek_lane routing guarantees a shard only ever sees its own lanes).
+  std::vector<std::uint32_t> owned_index_;
+  DispatchCounters counters_;
+};
+
+/// One ingest shard: a bounded ring of raw frames fed by the feeder thread,
+/// drained by this shard's own thread into its DispatchCore. The ingest
+/// ring is always lossless (the feeder blocks); the overload policy applies
+/// at the lane rings, where drops are attributable to a lane.
+class DispatcherShard {
+ public:
+  DispatcherShard(const FlowDispatcher& disp, OverloadPolicy overload,
+                  std::size_t batch, std::vector<OwnedLane> owned,
+                  std::size_t ingest_capacity,
+                  std::uint64_t flush_timeout_us);
+  ~DispatcherShard();
+
+  DispatcherShard(const DispatcherShard&) = delete;
+  DispatcherShard& operator=(const DispatcherShard&) = delete;
+
+  void start();
+  /// Ask the thread to drain its ingest ring, flush, and exit. The feeder
+  /// must have stopped pushing to this shard first.
+  void request_stop();
+  void join();
+
+  SpscRing<net::Packet>& ingest_ring() { return ring_; }
+  const SpscRing<net::Packet>& ingest_ring() const { return ring_; }
+  DispatchCore& core() { return core_; }
+  const DispatchCore& core() const { return core_; }
+
+ private:
+  void run();
+
+  DispatchCore core_;
+  SpscRing<net::Packet> ring_;
+  std::uint64_t flush_timeout_us_;
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
+};
+
+}  // namespace sdt::runtime

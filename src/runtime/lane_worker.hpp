@@ -4,11 +4,12 @@
 // already validated and indexed — rehydrates each packet's view with offset
 // arithmetic (no re-parse; the dispatcher did the only parse), runs it
 // through its private engine, collects alerts locally (no shared alert
-// sink, no locks on the packet path) and runs periodic expire()
-// housekeeping ticks. Everything the engine touches is thread-private; the
-// only cross-thread traffic is the ring handoff and a handful of
-// monotonically increasing atomic counters that the stats poller reads
-// with relaxed loads.
+// sink, no locks on the packet path), recycles the batch's arena slots back
+// to its PacketArena free list, and runs periodic expire() housekeeping
+// ticks. Everything the engine touches is thread-private; the only
+// cross-thread traffic is the ring handoff, the arena free list (both SPSC)
+// and a handful of monotonically increasing atomic counters that the stats
+// poller reads with relaxed loads.
 #pragma once
 
 #include <atomic>
@@ -18,6 +19,7 @@
 
 #include "control/registry.hpp"
 #include "core/engine.hpp"
+#include "runtime/packet_arena.hpp"
 #include "runtime/parsed_packet.hpp"
 #include "runtime/spsc_ring.hpp"
 #include "telemetry/counter.hpp"
@@ -26,9 +28,10 @@
 namespace sdt::runtime {
 
 /// Live per-lane counters. Each field has exactly one writer (`fed`,
-/// `dropped`, and `non_ip`: the dispatcher thread; the rest: the lane
-/// thread); any thread may read them at any time, so a stats poll never
-/// blocks a packet.
+/// `dropped`, and `non_ip`: the dispatcher that owns this lane — the feed()
+/// caller in inline mode, the owning shard thread in sharded mode; the
+/// rest: the lane thread); any thread may read them at any time, so a stats
+/// poll never blocks a packet.
 ///
 /// Layout: the two writer threads get disjoint cache lines (alignas on the
 /// group leaders), so the dispatcher bumping `fed` never invalidates the
@@ -56,12 +59,14 @@ class LaneWorker {
  public:
   LaneWorker(const core::SignatureSet& sigs,
              const core::SplitDetectConfig& engine_cfg,
-             std::size_t ring_capacity, std::size_t expire_every);
+             std::size_t ring_capacity, std::size_t expire_every,
+             const PacketArena::Config& arena_cfg);
   /// Hot-reload shape: lanes share ONE immutable compiled artifact instead
   /// of each compiling a private copy (N× memory → 1×).
   LaneWorker(core::RuleSetHandle rules,
              const core::SplitDetectConfig& engine_cfg,
-             std::size_t ring_capacity, std::size_t expire_every);
+             std::size_t ring_capacity, std::size_t expire_every,
+             const PacketArena::Config& arena_cfg);
   ~LaneWorker();
 
   LaneWorker(const LaneWorker&) = delete;
@@ -92,6 +97,11 @@ class LaneWorker {
 
   SpscRing<ParsedPacket>& ring() { return ring_; }
   const SpscRing<ParsedPacket>& ring() const { return ring_; }
+  /// This lane's frame-slab pool. Borrower: the owning dispatcher (before
+  /// start(), any setup code); recycler: the lane thread (see PacketArena's
+  /// threading contract).
+  PacketArena& arena() { return arena_; }
+  const PacketArena& arena() const { return arena_; }
   LaneCounters& counters() { return counters_; }
   const LaneCounters& counters() const { return counters_; }
 
@@ -113,6 +123,7 @@ class LaneWorker {
 
   core::SplitDetectEngine engine_;
   SpscRing<ParsedPacket> ring_;
+  PacketArena arena_;
   LaneCounters counters_;
   telemetry::LogHistogram latency_ns_;
   telemetry::LogHistogram frame_bytes_;

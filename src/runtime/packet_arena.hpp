@@ -1,0 +1,126 @@
+// PacketArena: a lane-local recycling pool of fixed-size frame slabs — the
+// steady-state packet path allocates nothing.
+//
+// One arena per lane. Exactly two threads ever touch it, in fixed roles:
+//
+//   * the BORROWER — the dispatcher that owns this lane (the feed() caller
+//     in inline mode, the owning dispatcher shard in sharded mode). It pops
+//     a free slot id, memcpys the frame into the slab, and ships the slot
+//     through the lane's SPSC ring inside a ParsedPacket;
+//   * the RECYCLER — the lane thread. After the engine is done with a
+//     batch it pushes the slot ids back onto the free list.
+//
+// The free list is itself an SpscRing<uint32_t> (recycler = producer,
+// borrower = consumer), so slab reuse inherits the ring's acquire/release
+// handoff: the borrower's next write to a slab happens-after the lane's
+// last read of it — no fence bookkeeping, TSan-provable. Slab storage is a
+// single allocation that never moves, so pointers into a borrowed slab are
+// stable for the borrow's lifetime.
+//
+// Frames larger than a slab take a counted heap fallback (ParsedPacket's
+// heap shape); `heap_fallbacks` staying zero is how the benches assert the
+// hot path ran allocation-free.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "runtime/spsc_ring.hpp"
+#include "util/bytes.hpp"
+
+namespace sdt::runtime {
+
+/// Point-in-time arena counters. Each counter has one writer (borrower or
+/// recycler side); any thread may snapshot them.
+struct PacketArenaStats {
+  std::uint64_t borrows = 0;         ///< slots handed out
+  std::uint64_t recycles = 0;        ///< slots returned
+  std::uint64_t exhausted = 0;       ///< borrow attempts that found no slot
+  std::uint64_t heap_fallbacks = 0;  ///< frames too big for a slab
+  std::size_t slots = 0;             ///< pool size (fixed at construction)
+  std::size_t slab_bytes = 0;        ///< per-slot capacity
+  std::size_t high_water = 0;        ///< peak outstanding borrows
+  /// Outstanding borrows right now (exact at quiescence; while both sides
+  /// run it can transiently over-count by in-flight recycles).
+  std::uint64_t outstanding() const { return borrows - recycles; }
+};
+
+class PacketArena {
+ public:
+  /// Matches ParsedPacket::kNoSlot — "no arena slot".
+  static constexpr std::uint32_t kNoSlot = 0xffffffffu;
+
+  struct Config {
+    std::size_t slots = 256;
+    std::size_t slab_bytes = 2048;
+    /// Overwrite a recycled slab with 0xDD before returning it to the free
+    /// list. Debug/test aid: a consumer holding a view past recycle reads
+    /// poison instead of silently-plausible stale bytes. Off on the hot
+    /// path.
+    bool poison_on_recycle = false;
+  };
+
+  explicit PacketArena(const Config& cfg);
+
+  PacketArena(const PacketArena&) = delete;
+  PacketArena& operator=(const PacketArena&) = delete;
+
+  std::size_t slots() const { return slots_; }
+  std::size_t slab_bytes() const { return slab_bytes_; }
+
+  /// Borrower only. Returns a free slot id, or kNoSlot if every slot is
+  /// outstanding (counted in `exhausted`; the caller decides whether to
+  /// flush-and-retry, wait, or shed).
+  std::uint32_t try_borrow();
+
+  /// The slab owned by `slot`. Stable address; `slab_bytes()` long.
+  MutableByteView slab(std::uint32_t slot) {
+    return MutableByteView(storage_.data() + std::size_t{slot} * slab_bytes_,
+                           slab_bytes_);
+  }
+  ByteView slab(std::uint32_t slot) const {
+    return ByteView(storage_.data() + std::size_t{slot} * slab_bytes_,
+                    slab_bytes_);
+  }
+
+  /// Recycler only. Returns `n` slot ids to the free list. The caller must
+  /// be done reading the slabs — after this, the borrower may overwrite
+  /// them at any time.
+  void recycle(std::uint32_t* ids, std::size_t n);
+
+  /// Any thread.
+  PacketArenaStats stats() const {
+    PacketArenaStats s;
+    s.borrows = borrows_.load(std::memory_order_relaxed);
+    s.recycles = recycles_.load(std::memory_order_relaxed);
+    s.exhausted = exhausted_.load(std::memory_order_relaxed);
+    s.heap_fallbacks = heap_fallbacks_.load(std::memory_order_relaxed);
+    s.slots = slots_;
+    s.slab_bytes = slab_bytes_;
+    s.high_water = high_water_.load(std::memory_order_relaxed);
+    return s;
+  }
+
+  /// Borrower-side bookkeeping for a frame that bypassed the arena (bigger
+  /// than a slab).
+  void count_heap_fallback() {
+    heap_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+ private:
+  std::size_t slots_;
+  std::size_t slab_bytes_;
+  bool poison_;
+  Bytes storage_;                 ///< slots_ * slab_bytes_, never reallocated
+  SpscRing<std::uint32_t> free_;  ///< producer: recycler; consumer: borrower
+
+  // Single-writer counters: borrows/exhausted/heap_fallbacks/high_water are
+  // borrower-side, recycles is recycler-side.
+  std::atomic<std::uint64_t> borrows_{0};
+  std::atomic<std::uint64_t> recycles_{0};
+  std::atomic<std::uint64_t> exhausted_{0};
+  std::atomic<std::uint64_t> heap_fallbacks_{0};
+  std::atomic<std::size_t> high_water_{0};
+};
+
+}  // namespace sdt::runtime

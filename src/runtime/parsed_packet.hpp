@@ -1,28 +1,91 @@
 // ParsedPacket: the ring payload of the parse-once pipeline.
 //
 // The dispatcher validates and indexes each frame exactly once
-// (net::PacketIndex); the owning packet and its index travel together
-// through the SPSC ring, and the lane worker rehydrates a PacketView with
-// offset arithmetic — no header is ever parsed twice. The index stores
-// offsets, not pointers, so moving the packet (ring slot assignment, batch
-// vector moves) cannot dangle the view.
+// (net::PacketIndex); the frame bytes and the index travel together through
+// the SPSC ring, and the lane worker rehydrates a PacketView with offset
+// arithmetic — no header is ever parsed twice. The index stores offsets,
+// not pointers, so the view survives every move the packet makes.
+//
+// Storage comes in two shapes:
+//   * arena — `data` points into a lane-local PacketArena slab identified
+//     by `slot`; the slab address is stable for the borrow's lifetime (the
+//     arena never reallocates), and the lane recycles the slot after
+//     processing. This is the steady-state hot path: no allocation, no
+//     free, one memcpy at ingest.
+//   * heap — `heap` owns the frame (`slot == kNoSlot`): the fallback for
+//     frames larger than a slab, and the shape arena-less callers (tests,
+//     single-packet tools) use. Moving a Bytes transfers its allocation,
+//     so `data` stays valid across ring transit here too.
 #pragma once
+
+#include <cstdint>
+#include <utility>
 
 #include "net/packet.hpp"
 
 namespace sdt::runtime {
 
 struct ParsedPacket {
-  net::Packet pkt;
+  /// Sentinel for "not an arena borrow" (heap-owning or empty packet).
+  /// Matches PacketArena::kNoSlot.
+  static constexpr std::uint32_t kNoSlot = 0xffffffffu;
+
   net::PacketIndex idx;
+  std::uint64_t ts_usec = 0;
+  const std::uint8_t* data = nullptr;  ///< frame bytes (slab or `heap`)
+  std::uint32_t len = 0;
+  std::uint32_t slot = kNoSlot;  ///< arena slot id; kNoSlot = heap-owning
+  Bytes heap;                    ///< owns the frame when slot == kNoSlot
 
   ParsedPacket() = default;
+
+  /// Heap-owning shape: take the packet's buffer as-is (oversize fallback
+  /// and arena-less callers).
   ParsedPacket(net::Packet p, const net::PacketIndex& i)
-      : pkt(std::move(p)), idx(i) {}
+      : idx(i), ts_usec(p.ts_usec), heap(std::move(p.frame)) {
+    data = heap.data();
+    len = static_cast<std::uint32_t>(heap.size());
+  }
+
+  /// Arena shape: `bytes` must point into the slab owned by `s`, which the
+  /// borrower already filled. The packet references, never owns, the slab —
+  /// the consumer recycles `s` when done.
+  ParsedPacket(ByteView bytes, const net::PacketIndex& i, std::uint64_t ts,
+               std::uint32_t s)
+      : idx(i), ts_usec(ts), data(bytes.data()),
+        len(static_cast<std::uint32_t>(bytes.size())), slot(s) {}
+
+  // Move-only: copying would alias an arena slot (double recycle) or leave
+  // `data` pointing at the source's heap buffer.
+  ParsedPacket(const ParsedPacket&) = delete;
+  ParsedPacket& operator=(const ParsedPacket&) = delete;
+  ParsedPacket(ParsedPacket&& o) noexcept { move_from(std::move(o)); }
+  ParsedPacket& operator=(ParsedPacket&& o) noexcept {
+    if (this != &o) move_from(std::move(o));
+    return *this;
+  }
+
+  ByteView frame() const { return ByteView(data, len); }
+  bool in_arena() const { return slot != kNoSlot; }
 
   /// The decoded view over this packet's current frame storage. Cheap
-  /// (subspan arithmetic only); call after every move, never before.
-  net::PacketView view() const { return idx.view(pkt.frame); }
+  /// (subspan arithmetic only); valid until the slot is recycled.
+  net::PacketView view() const { return idx.view(frame()); }
+
+ private:
+  void move_from(ParsedPacket&& o) noexcept {
+    idx = o.idx;
+    ts_usec = o.ts_usec;
+    len = o.len;
+    slot = o.slot;
+    heap = std::move(o.heap);
+    // A vector move transfers the allocation, so the source's data pointer
+    // stays correct for heap packets; re-derive anyway for clarity.
+    data = heap.empty() ? o.data : heap.data();
+    o.data = nullptr;
+    o.len = 0;
+    o.slot = kNoSlot;
+  }
 };
 
 }  // namespace sdt::runtime

@@ -59,6 +59,12 @@ Runtime::Runtime(core::RuleSetHandle rules, RuntimeConfig cfg)
   if (cfg_.lanes > 4096) {
     throw InvalidArgument("Runtime: lanes > 4096 (misconfigured?)");
   }
+  if (cfg_.ingest_capacity == 0) {
+    throw InvalidArgument("Runtime: ingest_capacity == 0");
+  }
+  if (cfg_.arena_slab_bytes == 0) {
+    throw InvalidArgument("Runtime: arena_slab_bytes == 0");
+  }
   if (cfg_.external_slowpath) {
     slowpath::SlowPathConfig sp = cfg_.slowpath;
     // The service's IPS must be verdict-identical to the engine's internal
@@ -76,13 +82,50 @@ Runtime::Runtime(core::RuleSetHandle rules, RuntimeConfig cfg)
   if (slowpath_) {
     for (auto& l : lanes_) l->set_divert_sink(slowpath_.get());
   }
+  build_dispatch();
 }
 
 void Runtime::build_lanes(const core::RuleSetHandle& rules) {
+  PacketArena::Config ac;
+  ac.slab_bytes = cfg_.arena_slab_bytes;
+  // Auto-size: a completely full lane ring plus a staged batch on the
+  // dispatcher side plus a popped batch on the lane side, with slack, can
+  // all hold slots at once without exhausting the pool — so the blocking
+  // fast path never waits on the arena, only on the ring.
+  ac.slots = cfg_.arena_slots != 0
+                 ? cfg_.arena_slots
+                 : cfg_.ring_capacity + 2 * cfg_.dispatch_batch + 16;
+  ac.poison_on_recycle = cfg_.arena_poison;
   lanes_.reserve(cfg_.lanes);
   for (std::size_t i = 0; i < cfg_.lanes; ++i) {
     lanes_.push_back(std::make_unique<LaneWorker>(
-        rules, lane_cfg_, cfg_.ring_capacity, cfg_.expire_every));
+        rules, lane_cfg_, cfg_.ring_capacity, cfg_.expire_every, ac));
+  }
+}
+
+void Runtime::build_dispatch() {
+  const std::size_t n = std::min(cfg_.dispatchers, cfg_.lanes);
+  if (n == 0) {
+    std::vector<OwnedLane> all;
+    all.reserve(lanes_.size());
+    for (std::size_t i = 0; i < lanes_.size(); ++i) {
+      all.push_back(OwnedLane{i, lanes_[i].get()});
+    }
+    inline_core_ = std::make_unique<DispatchCore>(
+        dispatcher_, cfg_.overload, cfg_.dispatch_batch, std::move(all));
+    return;
+  }
+  shards_.reserve(n);
+  ingest_stage_.resize(n);
+  for (std::size_t d = 0; d < n; ++d) {
+    std::vector<OwnedLane> owned;
+    for (std::size_t l = d; l < lanes_.size(); l += n) {
+      owned.push_back(OwnedLane{l, lanes_[l].get()});
+    }
+    shards_.push_back(std::make_unique<DispatcherShard>(
+        dispatcher_, cfg_.overload, cfg_.dispatch_batch, std::move(owned),
+        cfg_.ingest_capacity, cfg_.flush_timeout_us));
+    ingest_stage_[d].reserve(cfg_.dispatch_batch);
   }
 }
 
@@ -108,34 +151,87 @@ void Runtime::start() {
   // consumers (admitted packets would sit queued until stop()).
   if (slowpath_) slowpath_->start();
   for (auto& l : lanes_) l->start();
+  for (auto& sh : shards_) sh->start();
   running_ = true;
+}
+
+void Runtime::push_to_shard(std::size_t s, net::Packet&& pkt) {
+  DispatcherShard& sh = *shards_[s];
+  // ingested is bumped before the push: a shard that sees the frame also
+  // sees itself behind on `consumed`, so drain()'s ingested == consumed
+  // wait can never pass while this frame is unaccounted.
+  sh.core().counters().ingested.fetch_add(1, std::memory_order_relaxed);
+  while (!sh.ingest_ring().try_push(std::move(pkt))) {
+    std::this_thread::yield();
+  }
+}
+
+void Runtime::stage_to_shard(std::size_t s, net::Packet&& pkt) {
+  std::vector<net::Packet>& stage = ingest_stage_[s];
+  stage.push_back(std::move(pkt));
+  if (stage.size() < cfg_.dispatch_batch) return;
+  DispatcherShard& sh = *shards_[s];
+  sh.core().counters().ingested.fetch_add(stage.size(),
+                                          std::memory_order_relaxed);
+  std::size_t pushed = 0;
+  while (pushed < stage.size()) {
+    pushed += sh.ingest_ring().try_push_batch(stage.data() + pushed,
+                                              stage.size() - pushed);
+    if (pushed < stage.size()) std::this_thread::yield();
+  }
+  stage.clear();
+}
+
+void Runtime::flush_ingest_stages() {
+  for (std::size_t s = 0; s < ingest_stage_.size(); ++s) {
+    std::vector<net::Packet>& stage = ingest_stage_[s];
+    if (stage.empty()) continue;
+    DispatcherShard& sh = *shards_[s];
+    sh.core().counters().ingested.fetch_add(stage.size(),
+                                            std::memory_order_relaxed);
+    std::size_t pushed = 0;
+    while (pushed < stage.size()) {
+      pushed += sh.ingest_ring().try_push_batch(stage.data() + pushed,
+                                                stage.size() - pushed);
+      if (pushed < stage.size()) std::this_thread::yield();
+    }
+    stage.clear();
+  }
 }
 
 void Runtime::feed(net::Packet pkt) {
   if (!running_) throw Error("Runtime::feed: not started");
-  // The packet pipeline's only parse: validate + index here, ship the
-  // offsets; a malformed frame is refused before it costs a ring slot.
-  const RouteDecision d = dispatcher_.route(pkt);
-  if (d.reject) {
-    rejected_.fetch_add(1, std::memory_order_relaxed);
+  if (!shards_.empty()) {
+    // Sharded mode: the feeder only peeks the header hash — parse, arena
+    // copy, and lane handoff happen on the owning shard's thread.
+    const std::size_t lane = peek_lane(pkt.frame, cfg_.link, cfg_.lanes);
+    push_to_shard(lane % shards_.size(), std::move(pkt));
     return;
   }
-  LaneWorker& w = *lanes_[d.lane];
-  w.counters().fed.fetch_add(1, std::memory_order_relaxed);
-  if (d.non_ip) w.counters().non_ip.fetch_add(1, std::memory_order_relaxed);
-  ParsedPacket pp(std::move(pkt), d.idx);
-  if (cfg_.overload == OverloadPolicy::block) {
-    while (!w.ring().try_push(std::move(pp))) std::this_thread::yield();
-  } else if (!w.ring().try_push(std::move(pp))) {
-    // Release: a reader that observes this drop (acquire) also observes
-    // the packet's fed increment above, keeping processed + dropped <= fed
-    // true in every mid-flight poll, not just at quiescence.
-    w.counters().dropped.fetch_add(1, std::memory_order_release);
-  }
+  // Inline mode: this thread is the dispatcher. ingest() parses (the
+  // pipeline's only parse), copies into the lane's arena, and stages;
+  // flush_all() here keeps the single-packet contract — when feed()
+  // returns, the packet is in its lane's ring (or rejected/dropped).
+  inline_core_->ingest(std::move(pkt));
+  inline_core_->flush_all();
 }
 
 void Runtime::feed(std::span<const net::Packet> pkts) {
-  for (const net::Packet& p : pkts) feed(net::Packet(p.ts_usec, p.frame));
+  if (!running_) throw Error("Runtime::feed: not started");
+  if (!shards_.empty()) {
+    for (const net::Packet& p : pkts) {
+      net::Packet copy(p.ts_usec, p.frame);
+      stage_to_shard(peek_lane(copy.frame, cfg_.link, cfg_.lanes) %
+                         shards_.size(),
+                     std::move(copy));
+    }
+    flush_ingest_stages();
+    return;
+  }
+  for (const net::Packet& p : pkts) {
+    inline_core_->ingest(net::Packet(p.ts_usec, p.frame));
+  }
+  inline_core_->flush_all();
 }
 
 void Runtime::feed(const std::vector<net::Packet>& pkts) {
@@ -143,18 +239,40 @@ void Runtime::feed(const std::vector<net::Packet>& pkts) {
 }
 
 void Runtime::feed(std::vector<net::Packet>&& pkts) {
-  for (net::Packet& p : pkts) feed(std::move(p));
+  if (!running_) throw Error("Runtime::feed: not started");
+  if (!shards_.empty()) {
+    for (net::Packet& p : pkts) {
+      stage_to_shard(
+          peek_lane(p.frame, cfg_.link, cfg_.lanes) % shards_.size(),
+          std::move(p));
+    }
+    flush_ingest_stages();
+  } else {
+    for (net::Packet& p : pkts) inline_core_->ingest(std::move(p));
+    inline_core_->flush_all();
+  }
   pkts.clear();
 }
 
 void Runtime::drain() {
   if (!running_) return;
+  // Sharded mode first waits for every shard to chew through its ingest
+  // backlog: `ingested` is ours (the feeder thread), so it is final; the
+  // acquire on `consumed` pairs with the shard's release, making the fed/
+  // dropped/rejected increments behind it visible to the lane waits below.
+  for (auto& sh : shards_) {
+    const DispatchCounters& c = sh->core().counters();
+    while (c.consumed.load(std::memory_order_acquire) <
+           c.ingested.load(std::memory_order_relaxed)) {
+      std::this_thread::yield();
+    }
+  }
   for (auto& l : lanes_) {
     const LaneCounters& c = l->counters();
-    // fed is ours (the dispatcher thread), so it is already final here;
-    // wait for the lane to account for every routed packet. The acquire on
-    // `processed` pairs with the worker's release, making the processing
-    // work itself visible too.
+    // fed is final here (inline: ours; sharded: the consumed == ingested
+    // wait above saw it); wait for the lane to account for every routed
+    // packet. The acquire on `processed` pairs with the worker's release,
+    // making the processing work itself visible too.
     while (c.processed.load(std::memory_order_acquire) +
                c.dropped.load(std::memory_order_relaxed) <
            c.fed.load(std::memory_order_relaxed)) {
@@ -175,6 +293,11 @@ void Runtime::drain() {
 
 void Runtime::stop() {
   if (!running_) return;
+  // Producers die upstream-first. Shards drain their ingest rings and
+  // flush every staged packet before exiting, so no lane ring gains a
+  // producer after its worker is told to stop.
+  for (auto& sh : shards_) sh->request_stop();
+  for (auto& sh : shards_) sh->join();
   for (auto& l : lanes_) l->request_stop();
   for (auto& l : lanes_) l->join();
   // Lanes are gone (no more producers): close the slow path and let its
@@ -185,7 +308,28 @@ void Runtime::stop() {
 
 StatsSnapshot Runtime::stats() const {
   StatsSnapshot s;
-  s.rejected = rejected_.load(std::memory_order_relaxed);
+  if (inline_core_) {
+    s.rejected = inline_core_->counters().rejected.load(
+        std::memory_order_relaxed);
+  }
+  s.dispatchers.reserve(shards_.size());
+  for (const auto& sh : shards_) {
+    const DispatchCounters& c = sh->core().counters();
+    DispatcherSnapshot ds;
+    // consumed before ingested: same oldest-truth-first discipline as the
+    // lane counters, so consumed <= ingested in every mid-flight poll.
+    ds.consumed = c.consumed.load(std::memory_order_acquire);
+    ds.rejected = c.rejected.load(std::memory_order_relaxed);
+    ds.flushes = c.flushes.load(std::memory_order_relaxed);
+    ds.flush_timeouts = c.flush_timeouts.load(std::memory_order_relaxed);
+    ds.busy_ns = c.busy_ns.load(std::memory_order_relaxed);
+    ds.ingested = c.ingested.load(std::memory_order_relaxed);
+    ds.ring_size = sh->ingest_ring().size();
+    ds.ring_high_water = sh->ingest_ring().high_water();
+    ds.ring_capacity = sh->ingest_ring().capacity();
+    s.dispatchers.push_back(ds);
+    s.rejected += ds.rejected;
+  }
   s.lanes.reserve(lanes_.size());
   for (const auto& l : lanes_) {
     const LaneCounters& c = l->counters();
@@ -210,6 +354,7 @@ StatsSnapshot Runtime::stats() const {
     ls.ring_high_water = l->ring().high_water();
     ls.ring_capacity = l->ring().capacity();
     ls.fast_max_flows = lane_cfg_.fast.max_flows;
+    ls.arena = l->arena().stats();
     ls.latency_ns = l->latency_ns().snapshot();
     ls.frame_bytes = l->frame_bytes().snapshot();
     s.lanes.push_back(ls);
@@ -232,11 +377,54 @@ StatsSnapshot Runtime::stats() const {
 void Runtime::register_metrics(telemetry::MetricsRegistry& reg,
                                const std::string& prefix) const {
   using telemetry::MetricDesc;
-  reg.add_counter(MetricDesc{prefix + ".rejected", "packets", "dispatcher"},
-                  &rejected_);
+  // Rejects may accrue on the inline core or on any shard — expose the sum
+  // as a gauge over the live counters (each is single-writer).
+  reg.add_gauge(MetricDesc{prefix + ".rejected", "packets", "dispatcher"},
+                [this] {
+                  std::uint64_t n = 0;
+                  if (inline_core_) {
+                    n += inline_core_->counters().rejected.load(
+                        std::memory_order_relaxed);
+                  }
+                  for (const auto& sh : shards_) {
+                    n += sh->core().counters().rejected.load(
+                        std::memory_order_relaxed);
+                  }
+                  return n;
+                });
   reg.add_gauge(MetricDesc{prefix + ".lanes", "", "runtime"},
                 [this] { return static_cast<std::uint64_t>(lanes_.size()); });
+  reg.add_gauge(MetricDesc{prefix + ".dispatchers", "", "runtime"}, [this] {
+    return static_cast<std::uint64_t>(shards_.size());
+  });
   if (slowpath_) slowpath_->register_metrics(reg, prefix + ".slowpath");
+  for (std::size_t d = 0; d < shards_.size(); ++d) {
+    const std::string dp = prefix + ".dispatcher" + std::to_string(d) + ".";
+    const DispatchCounters& c = shards_[d]->core().counters();
+    const DispatcherShard* sh = shards_[d].get();
+    // consumed before ingested — the shard ledger's oldest-truth-first
+    // order, mirroring processed/dropped before fed below.
+    reg.add_counter(MetricDesc{dp + "consumed", "packets", "dispatcher"},
+                    &c.consumed);
+    reg.add_counter(MetricDesc{dp + "rejected", "packets", "dispatcher"},
+                    &c.rejected);
+    reg.add_counter(MetricDesc{dp + "flushes", "batches", "dispatcher"},
+                    &c.flushes);
+    reg.add_counter(MetricDesc{dp + "flush_timeouts", "batches", "dispatcher"},
+                    &c.flush_timeouts);
+    reg.add_counter(MetricDesc{dp + "busy_ns", "ns", "dispatcher"},
+                    &c.busy_ns);
+    reg.add_counter(MetricDesc{dp + "ingested", "packets", "feeder"},
+                    &c.ingested);
+    reg.add_gauge(MetricDesc{dp + "ring_size", "packets", "ring"}, [sh] {
+      return static_cast<std::uint64_t>(sh->ingest_ring().size());
+    });
+    reg.add_gauge(MetricDesc{dp + "ring_high_water", "packets", "ring"},
+                  [sh] {
+                    return static_cast<std::uint64_t>(
+                        sh->ingest_ring().high_water());
+                  });
+  }
   for (std::size_t i = 0; i < lanes_.size(); ++i) {
     const std::string lp = prefix + ".lane" + std::to_string(i) + ".";
     const LaneWorker* w = lanes_[i].get();
@@ -273,6 +461,21 @@ void Runtime::register_metrics(telemetry::MetricsRegistry& reg,
     });
     reg.add_gauge(MetricDesc{lp + "ring_capacity", "packets", "ring"}, [w] {
       return static_cast<std::uint64_t>(w->ring().capacity());
+    });
+    // Arena gauges: single-writer counters behind stats(), live-safe. A
+    // dashboard asserting the zero-allocation claim watches heap_fallbacks
+    // (must stay 0) and outstanding (must return to 0 at quiescence).
+    reg.add_gauge(MetricDesc{lp + "arena_outstanding", "slots", "arena"},
+                  [w] { return w->arena().stats().outstanding(); });
+    reg.add_gauge(MetricDesc{lp + "arena_high_water", "slots", "arena"}, [w] {
+      return static_cast<std::uint64_t>(w->arena().stats().high_water);
+    });
+    reg.add_gauge(MetricDesc{lp + "arena_exhausted", "events", "arena"},
+                  [w] { return w->arena().stats().exhausted; });
+    reg.add_gauge(MetricDesc{lp + "arena_heap_fallbacks", "packets", "arena"},
+                  [w] { return w->arena().stats().heap_fallbacks; });
+    reg.add_gauge(MetricDesc{lp + "arena_slots", "slots", "arena"}, [w] {
+      return static_cast<std::uint64_t>(w->arena().stats().slots);
     });
     reg.add_gauge(MetricDesc{lp + "fast_max_flows", "flows", "runtime"},
                   [this] {

@@ -2,24 +2,40 @@
 // paper's 20 Gbps claim, as a real multi-threaded system instead of the
 // sequential simulation in sim/sharding.
 //
+// Inline mode (dispatchers == 0, the default): the feed() caller IS the
+// dispatcher —
+//
 //                       ┌─ SPSC ring ─► LaneWorker 0 (own engine, own alerts)
 //   feed() ─ dispatcher ┼─ SPSC ring ─► LaneWorker 1
 //   (parse once + hash) └─ SPSC ring ─► LaneWorker N-1
 //
-// Invariants:
+// Sharded mode (dispatchers == N ≥ 1): feed() only peeks the header hash
+// and hands the raw frame to one of N dispatcher threads; parse, arena
+// copy, and ring handoff all run there (see ingest.hpp for the full
+// picture and the lane-ownership rules).
+//
+// Invariants (both modes):
 //   * parse-once — each frame's headers are validated and indexed exactly
-//     once, at the dispatcher; the offset-based index travels through the
-//     ring (ParsedPacket) and lanes rehydrate views without re-parsing.
+//     once, at the dispatching edge; the offset-based index travels through
+//     the ring (ParsedPacket) and lanes rehydrate views without re-parsing.
 //     Malformed frames are rejected and counted right there (`rejected`),
 //     never enqueued;
 //   * affinity — every packet of a flow (both directions, fragments
 //     included) reaches one lane, so lane engines never share flow state
 //     and multi-lane verdicts equal single-engine verdicts; non-IPv4
-//     frames spread by a fallback hash and are counted per lane (non_ip);
+//     frames spread by a fallback hash and are counted per lane (non_ip).
+//     Sharded mode preserves this end to end: peek_lane and the full parse
+//     compute the same hash for every delivered frame;
 //   * conservation — no packet is silently lost: fed == processed + dropped
 //     at quiescence, and dropped > 0 only under OverloadPolicy::drop (the
 //     blocking policy is lossless backpressure); rejects are counted
-//     before feeding, so they sit outside that ledger by construction;
+//     before feeding, so they sit outside that ledger by construction. In
+//     sharded mode each shard additionally conserves ingested == consumed
+//     (raw frames handed in == frames fully accounted for);
+//   * zero-allocation steady state — lane-local PacketArenas recycle frame
+//     slabs, so the hot path performs no heap allocation (audited by the
+//     arena counters: heap_fallbacks == 0, borrows == recycles at
+//     quiescence);
 //   * right-sized state — engine flow budgets are deployment totals,
 //     divided across lanes (flows are disjoint per lane), so N lanes cost
 //     ~1× the single-engine table memory, not N×;
@@ -28,11 +44,11 @@
 //     packet path.
 //
 // Lifecycle: construct → start() → feed()… → drain()/stats()… → stop() →
-// alerts()/lane_engine(). feed() must be called from one thread at a time
-// (the dispatcher is the single producer of every ring).
+// alerts()/lane_engine(). feed(), drain(), and stop() must be called from
+// the same single feeder thread (the feeder is the single producer of every
+// ingest ring, and in inline mode of every lane ring).
 #pragma once
 
-#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <span>
@@ -40,20 +56,12 @@
 
 #include "core/engine.hpp"
 #include "runtime/dispatcher.hpp"
+#include "runtime/ingest.hpp"
 #include "runtime/lane_worker.hpp"
 #include "slowpath/service.hpp"
 #include "telemetry/registry.hpp"
 
 namespace sdt::runtime {
-
-/// What feed() does when a lane's ring is full.
-enum class OverloadPolicy : std::uint8_t {
-  /// Wait for the lane to catch up — lossless backpressure (default).
-  block,
-  /// Shed the packet and count it against the lane — graceful degradation,
-  /// never silent: every drop is visible in the stats.
-  drop,
-};
 
 struct RuntimeConfig {
   std::size_t lanes = 4;
@@ -63,6 +71,31 @@ struct RuntimeConfig {
   /// Packets between engine expire() housekeeping ticks on each lane.
   std::size_t expire_every = 4096;
   net::LinkType link = net::LinkType::raw_ipv4;
+  /// Ingest shards. 0 (default) = inline mode: the feed() caller parses and
+  /// dispatches itself — lowest latency, one-core ingest. N >= 1 spawns N
+  /// dispatcher threads; shard d owns lanes {l : l % N == d} and feed()
+  /// only computes the header-peek hash before handing the frame over.
+  /// Clamped to `lanes` (more shards than lanes would just idle).
+  std::size_t dispatchers = 0;
+  /// Packets staged per lane before a batch flush into its ring (one SPSC
+  /// acquire/release per batch). Also the lane-side pop batch width.
+  std::size_t dispatch_batch = 32;
+  /// Raw-frame ring depth between feed() and each dispatcher shard.
+  std::size_t ingest_capacity = 4096;
+  /// Sharded mode: a staged packet is never held longer than this waiting
+  /// for its batch to fill — on timeout (or an empty ingest ring) the shard
+  /// flushes everything, so batching cannot add unbounded latency under
+  /// trickle load.
+  std::uint64_t flush_timeout_us = 200;
+  /// Per-lane arena slab size: frames up to this many bytes travel through
+  /// recycled slabs (zero-allocation); bigger frames take a counted heap
+  /// fallback. 2048 covers standard-MTU ethernet frames.
+  std::size_t arena_slab_bytes = 2048;
+  /// Arena slots per lane. 0 = auto: ring_capacity + 2 * dispatch_batch +
+  /// slack, so a full ring plus in-flight batches never exhausts the pool.
+  std::size_t arena_slots = 0;
+  /// Poison recycled slabs (0xDD) — debug aid, see PacketArena::Config.
+  bool arena_poison = false;
   /// Engine configuration. Its flow budgets (`fast.max_flows`,
   /// `slow_max_flows`) are *deployment-wide totals*: lanes own disjoint
   /// flow sets (address-pair affinity), so the runtime provisions each
@@ -105,14 +138,33 @@ struct LaneSnapshot {
   /// This lane's fast-path flow-table budget (static config — shows the
   /// per-lane share of the deployment-wide total).
   std::size_t fast_max_flows = 0;
+  /// This lane's frame-slab pool: borrows/recycles/exhausted/heap_fallbacks
+  /// and occupancy high-water. At quiescence borrows == recycles and
+  /// heap_fallbacks == 0 together prove the hot path allocated nothing.
+  PacketArenaStats arena;
   /// Per-packet engine latency distribution (log2 buckets; p50/p99 etc.).
   telemetry::HistogramSnapshot latency_ns;
   /// Frame-size distribution of the packets this lane processed.
   telemetry::HistogramSnapshot frame_bytes;
 };
 
+/// One ingest shard's live counters + ring state (sharded mode only).
+struct DispatcherSnapshot {
+  std::uint64_t ingested = 0;
+  std::uint64_t consumed = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t flushes = 0;
+  std::uint64_t flush_timeouts = 0;
+  std::uint64_t busy_ns = 0;
+  std::size_t ring_size = 0;
+  std::size_t ring_high_water = 0;
+  std::size_t ring_capacity = 0;
+};
+
 struct StatsSnapshot {
   std::vector<LaneSnapshot> lanes;
+  /// One entry per ingest shard; empty in inline mode.
+  std::vector<DispatcherSnapshot> dispatchers;
   std::uint64_t fed = 0;
   std::uint64_t processed = 0;
   std::uint64_t dropped = 0;
@@ -151,6 +203,28 @@ struct StatsSnapshot {
     std::size_t m = 0;
     for (const auto& l : lanes) m = std::max(m, l.ring_high_water);
     return m;
+  }
+  /// Slab borrows summed over lanes — the number of frames that travelled
+  /// the zero-allocation path.
+  std::uint64_t arena_borrows() const {
+    std::uint64_t n = 0;
+    for (const auto& l : lanes) n += l.arena.borrows;
+    return n;
+  }
+  /// Frames that were too big for an arena slab, summed over lanes. Zero
+  /// across a whole run proves the packet path never heap-allocated.
+  std::uint64_t arena_heap_fallbacks() const {
+    std::uint64_t n = 0;
+    for (const auto& l : lanes) n += l.arena.heap_fallbacks;
+    return n;
+  }
+  /// Arena slots still outstanding, summed over lanes. Exact (and zero for
+  /// lossless runs) at quiescence; drop-policy sheds may legitimately leave
+  /// slots parked in dispatcher spare caches.
+  std::uint64_t arena_outstanding() const {
+    std::uint64_t n = 0;
+    for (const auto& l : lanes) n += l.arena.outstanding();
+    return n;
   }
   /// Conservation law. Exact at quiescence (after drain()/stop()); while
   /// traffic is in flight, fed exceeds processed+dropped by the packets
@@ -192,25 +266,37 @@ class Runtime {
   /// must outlive this runtime.
   void attach_registry(control::RuleSetRegistry& registry);
 
-  /// Spawn the lane threads. Idempotent.
+  /// Spawn the lane threads (and dispatcher shards, in sharded mode).
+  /// Idempotent.
   void start();
-  /// Parse, classify, and route one packet to its lane (or reject it as
-  /// malformed). Single-threaded producer; start() first.
+  /// Route one packet toward its lane: inline mode parses/classifies right
+  /// here; sharded mode peeks the header hash and hands the raw frame to
+  /// the owning shard. Single feeder thread; start() first. When feed()
+  /// returns, inline mode guarantees the packet is in its lane ring (or
+  /// rejected/dropped); sharded mode guarantees it is in its shard's
+  /// ingest ring.
   void feed(net::Packet pkt);
   /// Batch feeds. The span/const-ref forms copy each frame; the rvalue form
   /// moves them — use it when the caller is done with the batch (the hot
-  /// path then never deep-copies a payload).
+  /// path then never deep-copies a payload). In sharded mode batches are
+  /// additionally staged per shard and handed over in ring-batch pushes.
   void feed(std::span<const net::Packet> pkts);
   void feed(const std::vector<net::Packet>& pkts);
   void feed(std::vector<net::Packet>&& pkts);
-  /// Block until every ring is empty and every fed packet is accounted for
-  /// (processed or counted dropped). Workers stay alive for more feed()s.
+  /// Block until every fed packet is accounted for (processed or counted
+  /// dropped) — in sharded mode, first until every shard consumed its
+  /// ingest backlog. Workers stay alive for more feed()s. Feeder thread
+  /// only (it treats its own feed counts as final).
   void drain();
-  /// Drain, then stop and join all lane threads. Idempotent.
+  /// Drain, then stop and join dispatcher shards, lane threads, and the
+  /// slow path, in that order. Idempotent.
   void stop();
 
   bool running() const { return running_; }
   std::size_t lanes() const { return lanes_.size(); }
+  /// Ingest shards actually running (after the clamp to `lanes`); 0 in
+  /// inline mode.
+  std::size_t dispatchers() const { return shards_.size(); }
   const RuntimeConfig& config() const { return cfg_; }
   /// The engine configuration each lane actually runs — the caller's
   /// `cfg.engine` with flow budgets divided per lane (see RuntimeConfig).
@@ -246,15 +332,29 @@ class Runtime {
  private:
   void require_stopped(const char* what) const;
   void build_lanes(const core::RuleSetHandle& rules);
+  void build_dispatch();
+  /// Sharded-mode handoff: blocking push into shard `s`'s ingest ring
+  /// (ingest rings are always lossless; the overload policy applies at the
+  /// lane rings, on the shard thread).
+  void push_to_shard(std::size_t s, net::Packet&& pkt);
+  /// Sharded-mode batch handoff: stage per shard, flush in ring batches.
+  void stage_to_shard(std::size_t s, net::Packet&& pkt);
+  void flush_ingest_stages();
 
   RuntimeConfig cfg_;
   core::SplitDetectConfig lane_cfg_;
   FlowDispatcher dispatcher_;
   std::vector<std::unique_ptr<LaneWorker>> lanes_;
+  /// Inline mode: the feed() caller's dispatching engine (owns all lanes).
+  /// Null in sharded mode.
+  std::unique_ptr<DispatchCore> inline_core_;
+  /// Sharded mode: one ingest shard per dispatcher thread. Empty inline.
+  std::vector<std::unique_ptr<DispatcherShard>> shards_;
+  /// Feeder-thread-only per-shard staging for batch feeds (always empty
+  /// between public calls).
+  std::vector<std::vector<net::Packet>> ingest_stage_;
   /// Shared external slow path (built only when cfg.external_slowpath).
   std::unique_ptr<slowpath::SlowPathService> slowpath_;
-  /// Dispatcher-thread writer, any-thread reader (like the lane counters).
-  std::atomic<std::uint64_t> rejected_{0};
   bool running_ = false;
 };
 

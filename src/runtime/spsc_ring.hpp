@@ -4,7 +4,9 @@
 // One producer (the dispatcher) and one consumer (the lane thread) each own
 // one index; the only sharing is an acquire/release handoff per side, plus a
 // producer-private cache of the consumer's index (and vice versa) so the
-// uncontended fast path touches no foreign cache line at all. Capacity is
+// uncontended fast path touches no foreign cache line at all. The batch
+// push/pop entry points amortize that handoff over up to a whole dispatch
+// batch — one acquire + one release per batch, not per packet. Capacity is
 // exact (not rounded up): a ring asked to hold N packets holds exactly N,
 // so backpressure math — ring occupancy, high-water marks, drop accounting —
 // means what it says.
@@ -55,6 +57,33 @@ class SpscRing {
     return true;
   }
 
+  /// Producer only. Pushes up to `n` values from `items` (moved in FIFO
+  /// order) and returns how many fit — one acquire of the consumer's index
+  /// and one release of the producer's index amortized over the whole
+  /// batch, instead of one pair per packet. A short return (0..n-1) means
+  /// the ring filled; `items[returned..n)` are left untouched so the caller
+  /// can retry, shed, or re-stage them.
+  std::size_t try_push_batch(T* items, std::size_t n) {
+    if (n == 0) return 0;
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    std::size_t free = capacity_ - (tail - head_cache_);
+    if (free < n) {
+      head_cache_ = head_.load(std::memory_order_acquire);
+      free = capacity_ - (tail - head_cache_);
+      if (free == 0) return 0;
+    }
+    const std::size_t k = std::min(free, n);
+    for (std::size_t i = 0; i < k; ++i) {
+      slots_[(tail + i) & mask_] = std::move(items[i]);
+    }
+    tail_.store(tail + k, std::memory_order_release);
+    const std::size_t occ = tail + k - head_cache_;
+    if (occ > high_water_.load(std::memory_order_relaxed)) {
+      high_water_.store(occ, std::memory_order_relaxed);
+    }
+    return k;
+  }
+
   /// Consumer only.
   bool try_pop(T& out) {
     const std::size_t head = head_.load(std::memory_order_relaxed);
@@ -65,6 +94,26 @@ class SpscRing {
     out = std::move(slots_[head & mask_]);
     head_.store(head + 1, std::memory_order_release);
     return true;
+  }
+
+  /// Consumer only. Pops up to `max` values into `out` (FIFO order) and
+  /// returns how many were available — the batch-drain mirror of
+  /// try_push_batch, with the acquire/release pair amortized the same way.
+  std::size_t try_pop_batch(T* out, std::size_t max) {
+    if (max == 0) return 0;
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    std::size_t avail = tail_cache_ - head;
+    if (avail < max) {
+      tail_cache_ = tail_.load(std::memory_order_acquire);
+      avail = tail_cache_ - head;
+      if (avail == 0) return 0;
+    }
+    const std::size_t k = std::min(avail, max);
+    for (std::size_t i = 0; i < k; ++i) {
+      out[i] = std::move(slots_[(head + i) & mask_]);
+    }
+    head_.store(head + k, std::memory_order_release);
+    return k;
   }
 
   /// Any thread; instantaneous (may be stale by the time you look at it).

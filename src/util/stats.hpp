@@ -4,6 +4,7 @@
 #pragma once
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
@@ -11,7 +12,31 @@
 #include <string>
 #include <vector>
 
+#if defined(__linux__) || defined(__APPLE__)
+#include <time.h>
+#endif
+
 namespace sdt {
+
+/// Nanoseconds of CPU time consumed by the CALLING thread. Use this (not a
+/// wall clock) to account per-thread work on oversubscribed hosts: a wall
+/// clock charges time the thread spent preempted to whatever it was doing
+/// when the scheduler switched it out, which makes per-lane "busy" numbers
+/// meaningless once threads outnumber cores. Falls back to steady_clock
+/// where no thread CPU clock exists (then busy == wall as before).
+inline std::uint64_t thread_cpu_now_ns() {
+#if defined(CLOCK_THREAD_CPUTIME_ID)
+  timespec ts{};
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) == 0) {
+    return static_cast<std::uint64_t>(ts.tv_sec) * 1'000'000'000ull +
+           static_cast<std::uint64_t>(ts.tv_nsec);
+  }
+#endif
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
 
 /// Welford streaming mean / variance / min / max.
 class RunningStats {

@@ -128,7 +128,8 @@ TEST(ParsedPacket, ViewSurvivesMoveAndRingTransit) {
   expect_views_equal(
       pv, net::PacketView::parse(frame_copy, net::LinkType::raw_ipv4));
   // The view must alias the packet's own storage, not anything stale.
-  EXPECT_EQ(pv.frame.data(), moved.pkt.frame.data());
+  EXPECT_EQ(pv.frame.data(), moved.frame().data());
+  EXPECT_FALSE(moved.in_arena());  // heap shape: it owns the bytes it shows
 }
 
 TEST(ParsedPacket, ViewValidAcrossThreadHandoff) {

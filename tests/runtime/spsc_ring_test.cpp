@@ -5,6 +5,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <memory>
 #include <thread>
 #include <vector>
 
@@ -143,6 +144,169 @@ TEST(SpscRing, SizePollNeverUnderflowsWhileDraining) {
   stop.store(true, std::memory_order_release);
   producer.join();
   consumer.join();
+}
+
+TEST(SpscRingBatch, PartialPushWhenNearlyFull) {
+  SpscRing<int> r(4);
+  ASSERT_TRUE(r.try_push(100));
+  ASSERT_TRUE(r.try_push(101));
+  int items[4] = {0, 1, 2, 3};
+  // Only two slots free: the batch push takes what fits and reports it.
+  EXPECT_EQ(r.try_push_batch(items, 4), 2u);
+  EXPECT_EQ(r.size(), 4u);
+  EXPECT_EQ(r.try_push_batch(items + 2, 2), 0u);  // full: nothing taken
+  int v = -1;
+  for (int want : {100, 101, 0, 1}) {
+    ASSERT_TRUE(r.try_pop(v));
+    EXPECT_EQ(v, want);
+  }
+}
+
+TEST(SpscRingBatch, PartialPopWhenNearlyEmpty) {
+  SpscRing<int> r(8);
+  ASSERT_TRUE(r.try_push(7));
+  ASSERT_TRUE(r.try_push(8));
+  int out[8] = {};
+  // Asks for 8, gets the 2 available.
+  EXPECT_EQ(r.try_pop_batch(out, 8), 2u);
+  EXPECT_EQ(out[0], 7);
+  EXPECT_EQ(out[1], 8);
+  EXPECT_EQ(r.try_pop_batch(out, 8), 0u);  // empty: nothing popped
+  EXPECT_TRUE(r.empty());
+}
+
+TEST(SpscRingBatch, ZeroLengthBatchesAreNoOps) {
+  SpscRing<int> r(2);
+  int items[1] = {42};
+  EXPECT_EQ(r.try_push_batch(items, 0), 0u);
+  EXPECT_EQ(r.try_pop_batch(items, 0), 0u);
+  EXPECT_TRUE(r.empty());
+  EXPECT_EQ(items[0], 42);
+}
+
+TEST(SpscRingBatch, CapacityOneDegeneratesToSinglePushPop) {
+  SpscRing<int> r(1);
+  int items[3] = {10, 11, 12};
+  int out[3] = {};
+  for (int round = 0; round < 50; ++round) {
+    EXPECT_EQ(r.try_push_batch(items, 3), 1u);  // one slot: one element
+    EXPECT_EQ(r.try_push_batch(items, 3), 0u);
+    EXPECT_EQ(r.try_pop_batch(out, 3), 1u);
+    EXPECT_EQ(out[0], 10);
+    EXPECT_TRUE(r.empty());
+  }
+}
+
+TEST(SpscRingBatch, WraparoundPreservesOrderAcrossBatches) {
+  // Capacity 8 with batch width 5 forces every batch to straddle the slot
+  // array boundary sooner or later; order must survive the index masking.
+  SpscRing<int> r(8);
+  int next_push = 0;
+  int next_pop = 0;
+  int staged[5];
+  int out[5];
+  while (next_pop < 2000) {
+    for (int i = 0; i < 5; ++i) staged[i] = next_push + i;
+    const std::size_t pushed = r.try_push_batch(staged, 5);
+    next_push += static_cast<int>(pushed);
+    const std::size_t popped = r.try_pop_batch(out, 5);
+    for (std::size_t i = 0; i < popped; ++i) {
+      ASSERT_EQ(out[i], next_pop++);
+    }
+  }
+}
+
+TEST(SpscRingBatch, MixesWithSingleElementOps) {
+  // Batch and single push/pop share the same indices; interleaving them
+  // must preserve FIFO exactly.
+  SpscRing<int> r(8);
+  int items[3] = {1, 2, 3};
+  ASSERT_TRUE(r.try_push(0));
+  ASSERT_EQ(r.try_push_batch(items, 3), 3u);
+  ASSERT_TRUE(r.try_push(4));
+  int v = -1;
+  ASSERT_TRUE(r.try_pop(v));
+  EXPECT_EQ(v, 0);
+  int out[8] = {};
+  EXPECT_EQ(r.try_pop_batch(out, 8), 4u);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(out[i], i + 1);
+}
+
+TEST(SpscRingBatch, HighWaterTracksBatchPeaks) {
+  SpscRing<int> r(8);
+  int items[6] = {0, 1, 2, 3, 4, 5};
+  ASSERT_EQ(r.try_push_batch(items, 6), 6u);
+  EXPECT_EQ(r.high_water(), 6u);
+  int out[8];
+  ASSERT_EQ(r.try_pop_batch(out, 8), 6u);
+  EXPECT_EQ(r.high_water(), 6u);  // peak is sticky
+}
+
+TEST(SpscRingBatch, MoveOnlyPayloadsMoveNotCopy) {
+  SpscRing<std::unique_ptr<int>> r(4);
+  std::unique_ptr<int> in[3];
+  for (int i = 0; i < 3; ++i) in[i] = std::make_unique<int>(i);
+  ASSERT_EQ(r.try_push_batch(in, 3), 3u);
+  for (const auto& p : in) EXPECT_EQ(p, nullptr);  // moved out
+  std::unique_ptr<int> out[3];
+  ASSERT_EQ(r.try_pop_batch(out, 3), 3u);
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_NE(out[i], nullptr);
+    EXPECT_EQ(*out[i], i);
+  }
+}
+
+TEST(SpscRingBatch, ConcurrentBatchProducerConsumer) {
+  // Batch producer vs batch consumer across threads: values arrive complete
+  // and in order. Meaningful under -DSDT_SANITIZE=thread — this is the
+  // exact handoff shape the dispatcher and lane workers use.
+  constexpr std::uint64_t kCount = 200000;
+  constexpr std::size_t kBatch = 32;
+  SpscRing<std::uint64_t> r(64);
+  std::uint64_t sum = 0;
+  bool ordered = true;
+
+  std::thread consumer([&] {
+    std::uint64_t out[kBatch];
+    std::uint64_t expected_next = 0;
+    std::uint64_t got = 0;
+    while (got < kCount) {
+      const std::size_t n = r.try_pop_batch(out, kBatch);
+      if (n == 0) {
+        std::this_thread::yield();
+        continue;
+      }
+      for (std::size_t i = 0; i < n; ++i) {
+        if (out[i] != expected_next) ordered = false;
+        ++expected_next;
+        sum += out[i];
+      }
+      got += n;
+    }
+  });
+
+  std::uint64_t staged[kBatch];
+  std::uint64_t next = 0;
+  while (next < kCount) {
+    std::size_t n = 0;
+    while (n < kBatch && next + n < kCount) {
+      staged[n] = next + n;
+      ++n;
+    }
+    std::size_t pushed = 0;
+    while (pushed < n) {
+      const std::size_t k = r.try_push_batch(staged + pushed, n - pushed);
+      pushed += k;
+      if (k == 0) std::this_thread::yield();
+    }
+    next += n;
+  }
+  consumer.join();
+
+  EXPECT_TRUE(ordered);
+  EXPECT_EQ(sum, kCount * (kCount - 1) / 2);
+  EXPECT_TRUE(r.empty());
+  EXPECT_LE(r.high_water(), r.capacity());
 }
 
 TEST(SpscRing, ConcurrentProducerConsumer) {
