@@ -38,7 +38,8 @@ evasion::Endpoints attack_endpoints(std::size_t i, Rng& rng) {
 }
 
 bool is_attack_flow(const flow::FlowKey& k) {
-  return (k.a_ip.value() >> 24) == 172 || (k.b_ip.value() >> 24) == 172;
+  return (k.a_ip.to_v4().value() >> 24) == 172 ||
+         (k.b_ip.to_v4().value() >> 24) == 172;
 }
 
 // Constrained slow path: per-flow budgets always active, no refill inside

@@ -13,7 +13,9 @@
 #      smoke (the sharded-runtime conservation/verdict/arena asserts
 #      under real threads)
 #   4. fuzz-smoke: ASan+UBSan build in ./build-asan, a 10k-schedule
-#      differential fuzz campaign (sdt_fuzz --quick --seed 1), ctest -L
+#      differential fuzz campaign (sdt_fuzz --quick --seed 1), a
+#      mixed-framing campaign (--framing mixed: v6/vlan/qinq/vxlan/gre
+#      re-framing plus the v4-vs-v6 verdict-parity crosscheck), ctest -L
 #      fuzz under the sanitizers, the slow-path churn soak under ASan
 #      (flow-table lifecycle leaks surface as growth), and the packet
 #      arena slab-recycling tests under ASan (use-after-recycle must
@@ -22,6 +24,9 @@
 #      prefilter and batched flat-DFA walk hit raw pointers and lane
 #      gathers — equivalence bugs there must fail loudly, not corrupt),
 #      plus a bench_match_kernels --quick --json smoke
+#   5b. parse-once gate: ctest -L net under ASan+UBSan (EtherType
+#      dispatch, VLAN strip, IPv6 extension walk, tunnel decap — a
+#      decoder trusting a lying length field must fail loudly)
 #   6. docs gate: scripts/check_docs.py validates every intra-repo
 #      markdown link and anchor (docs rot fails the build, not review)
 #
@@ -66,6 +71,11 @@ echo "== fuzz-smoke: sdt_fuzz --schedules 10000 --quick --seed 1 =="
 ./build-asan/tools/sdt_fuzz --schedules 10000 --quick --seed 1 \
   --repro-dir /tmp/sdt_fuzz_smoke_repros >/dev/null
 
+echo "== fuzz-smoke: sdt_fuzz --framing mixed (encap + verdict parity) =="
+./build-asan/tools/sdt_fuzz --schedules 2500 --quick --seed 2 \
+  --framing mixed \
+  --repro-dir /tmp/sdt_fuzz_smoke_repros >/dev/null
+
 echo "== fuzz-smoke: ctest -L fuzz (asan+ubsan) =="
 (cd build-asan && ctest -L fuzz --output-on-failure -j "${JOBS}")
 
@@ -77,6 +87,9 @@ echo "== arena smoke: packet-arena slab recycling under asan =="
 
 echo "== match-kernel gate: ctest -L match (asan+ubsan) =="
 (cd build-asan && ctest -L match --output-on-failure -j "${JOBS}")
+
+echo "== parse-once gate: ctest -L net (asan+ubsan) =="
+(cd build-asan && ctest -L net --output-on-failure -j "${JOBS}")
 
 echo "== match-kernel gate: bench_match_kernels --quick smoke =="
 MATCH_JSON="$(mktemp /tmp/sdt_match_smoke.XXXXXX.json)"

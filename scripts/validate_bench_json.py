@@ -65,6 +65,24 @@ def check_bench(path, key, b):
         if m["name"] in names:
             fail(path, f"bench {b['bench']!r}: duplicate metric {m['name']!r}")
         names.add(m["name"])
+    check_invariants(path, b)
+
+
+# Cross-framing invariants the snapshot must uphold (not just carry):
+# detection recall and the anomaly census are properties of the byte
+# stream, so their encap-parity counters must be exactly zero.
+INVARIANT_ZERO = {
+    "E1_evasion_matrix": ("encap.divergences", "split_detect.evaded_total"),
+    "E7_anomaly_census": ("encap.census_mismatches",),
+}
+
+
+def check_invariants(path, b):
+    names = {m["name"]: m["value"] for m in b.get("metrics", [])}
+    for metric in INVARIANT_ZERO.get(b.get("bench", ""), ()):
+        if metric in names and names[metric] != 0:
+            fail(path, f"bench {b['bench']!r}: invariant metric "
+                       f"{metric!r} = {names[metric]}, expected 0")
 
 
 def check_snapshot(path, doc):

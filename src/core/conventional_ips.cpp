@@ -58,7 +58,7 @@ std::size_t ConventionalIps::process(const net::PacketView& pv,
 
   if (pv.is_fragment()) {
     if (auto datagram = defrag_.add(pv, now_usec)) {
-      const net::PacketView whole = net::PacketView::parse_ipv4(*datagram);
+      const net::PacketView whole = net::PacketView::parse_l3(*datagram);
       // Reprocess the rebuilt datagram (it is no longer a fragment).
       // Bytes were already counted for the fragments themselves.
       --stats_.packets;
@@ -74,14 +74,12 @@ std::size_t ConventionalIps::process(const net::PacketView& pv,
   }
 
   // Insertion-attack filters (mirrors the fast path; see fast_path.cpp).
-  if (cfg_.min_ttl != 0 && pv.ipv4.ttl() < cfg_.min_ttl) {
+  if (cfg_.min_ttl != 0 && pv.ip_ttl() < cfg_.min_ttl) {
     ++stats_.low_ttl_ignored;
     return 0;
   }
   if (cfg_.verify_checksums) {
-    const ByteView l4 = pv.ip_datagram.subspan(pv.ipv4.header_len());
-    if (net::transport_checksum(pv.ipv4.src(), pv.ipv4.dst(),
-                                pv.ipv4.protocol(), l4) != 0) {
+    if (net::transport_checksum(pv) != 0) {
       ++stats_.bad_checksum_ignored;
       return 0;
     }

@@ -124,7 +124,7 @@ Action SplitDetectEngine::finish(const net::PacketView& pv, FastDecision d,
     // bases, so no later clean packet can leave a hole in the slow-path
     // stream) and can hand it over for matching.
     if (auto datagram = defrag_.add(pv, now_usec)) {
-      const net::PacketView whole = net::PacketView::parse_ipv4(*datagram);
+      const net::PacketView whole = net::PacketView::parse_l3(*datagram);
       if (whole.ok()) {
         const flow::FlowRef ref = flow::make_flow_ref(whole);
         const FastDecision::Takeover t = fast_.force_divert(ref.key, now_usec);
@@ -147,7 +147,7 @@ Action SplitDetectEngine::divert_to_sink(const net::PacketView& pv,
   if (d.reason == DivertReason::ip_fragment) {
     auto datagram = defrag_.add(pv, now_usec);
     if (!datagram) return Action::divert;  // absorbed, awaiting siblings
-    const net::PacketView whole = net::PacketView::parse_ipv4(*datagram);
+    const net::PacketView whole = net::PacketView::parse_l3(*datagram);
     if (!whole.ok() || (!whole.has_tcp && !whole.has_udp)) {
       ++sink_unroutable_;
       return Action::divert;

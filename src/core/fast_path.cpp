@@ -208,11 +208,9 @@ void FastPath::process_chunk(const net::PacketView* pvs,
   for (std::size_t i = 0; i < n; ++i) {
     const net::PacketView& pv = pvs[i];
     if (pv.is_fragment() || !pv.ok()) continue;
-    if (cfg_.min_ttl != 0 && pv.ipv4.ttl() < cfg_.min_ttl) continue;
+    if (cfg_.min_ttl != 0 && pv.ip_ttl() < cfg_.min_ttl) continue;
     if (cfg_.verify_checksums) {
-      const ByteView l4 = pv.ip_datagram.subspan(pv.ipv4.header_len());
-      const bool ok = net::transport_checksum(pv.ipv4.src(), pv.ipv4.dst(),
-                                              pv.ipv4.protocol(), l4) == 0;
+      const bool ok = net::transport_checksum(pv) == 0;
       pre[i].checksum = ok ? 1 : 0;
       if (!ok) continue;
     }
@@ -291,7 +289,7 @@ FastDecision FastPath::process_one(const net::PacketView& pv,
 
   // Insertion-attack filters: a packet the victim will never accept must
   // not touch IPS state. Forward it untouched (it is inert on the wire).
-  if (cfg_.min_ttl != 0 && pv.ipv4.ttl() < cfg_.min_ttl) {
+  if (cfg_.min_ttl != 0 && pv.ip_ttl() < cfg_.min_ttl) {
     ++stats_.low_ttl_ignored;
     return FastDecision{Action::forward, DivertReason::none, {}};
   }
@@ -300,9 +298,7 @@ FastDecision FastPath::process_one(const net::PacketView& pv,
     if (pre != nullptr && pre->checksum >= 0) {
       checksum_ok = pre->checksum == 1;
     } else {
-      const ByteView l4 = pv.ip_datagram.subspan(pv.ipv4.header_len());
-      checksum_ok = net::transport_checksum(pv.ipv4.src(), pv.ipv4.dst(),
-                                            pv.ipv4.protocol(), l4) == 0;
+      checksum_ok = net::transport_checksum(pv) == 0;
     }
     if (!checksum_ok) {
       ++stats_.bad_checksum_ignored;

@@ -10,16 +10,19 @@
 
 namespace sdt::evasion {
 
-/// Write packets (raw IPv4 datagrams) to a pcap file.
+/// Write packets to a pcap file. The link type defaults to raw IP
+/// datagrams; pass LinkType::ethernet for framed (e.g. VLAN-tagged) traces.
 inline void write_trace(const std::string& path,
-                        const std::vector<net::Packet>& pkts) {
-  pcap::Writer w(path, net::LinkType::raw_ipv4);
+                        const std::vector<net::Packet>& pkts,
+                        net::LinkType lt = net::LinkType::raw_ipv4) {
+  pcap::Writer w(path, lt);
   for (const net::Packet& p : pkts) w.write(p);
 }
 
 /// Serialize packets to an in-memory pcap capture.
-inline Bytes trace_bytes(const std::vector<net::Packet>& pkts) {
-  pcap::Writer w(net::LinkType::raw_ipv4);
+inline Bytes trace_bytes(const std::vector<net::Packet>& pkts,
+                         net::LinkType lt = net::LinkType::raw_ipv4) {
+  pcap::Writer w(lt);
   for (const net::Packet& p : pkts) w.write(p);
   return w.take();
 }

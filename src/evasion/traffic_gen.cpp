@@ -160,6 +160,9 @@ GeneratedTrace generate(const TrafficConfig& cfg,
                    [](const net::Packet& a, const net::Packet& b) {
                      return a.ts_usec < b.ts_usec;
                    });
+  if (cfg.encap.framing != net::Framing::v4) {
+    for (net::Packet& p : out.packets) p.frame = net::reframe(cfg.encap, p.frame);
+  }
   for (const auto& p : out.packets) out.total_bytes += p.frame.size();
   return out;
 }

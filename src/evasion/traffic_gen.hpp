@@ -19,6 +19,7 @@
 
 #include "core/signature.hpp"
 #include "evasion/transforms.hpp"
+#include "net/encap.hpp"
 #include "net/packet.hpp"
 #include "util/rng.hpp"
 
@@ -52,6 +53,11 @@ struct TrafficConfig {
   double pareto_alpha = 1.2;
   /// Emit server ACKs for client data (adds the ACK mode to the mix).
   bool with_acks = true;
+  /// Wider-universe framing: every forged packet is carried through
+  /// net::reframe as a byte-preserving post-pass (v4 is the identity and
+  /// costs nothing). Experiments replay the re-framed trace with
+  /// encap.link() — anomaly censuses and detection verdicts must not move.
+  net::EncapSpec encap;
 };
 
 struct GeneratedTrace {

@@ -25,8 +25,8 @@ inline Direction reverse(Direction d) {
 }
 
 struct FlowKey {
-  net::Ipv4Addr a_ip;
-  net::Ipv4Addr b_ip;
+  net::IpAddr a_ip;
+  net::IpAddr b_ip;
   std::uint16_t a_port = 0;
   std::uint16_t b_port = 0;
   std::uint8_t proto = 0;
@@ -34,7 +34,8 @@ struct FlowKey {
   friend constexpr auto operator<=>(const FlowKey&, const FlowKey&) = default;
 
   std::uint64_t hash() const {
-    std::uint64_t h = (std::uint64_t{a_ip.value()} << 32) | b_ip.value();
+    std::uint64_t h = hash_combine(a_ip.hi() ^ mix64(a_ip.lo()),
+                                   b_ip.hi() ^ mix64(b_ip.lo()));
     h = hash_combine(h, (std::uint64_t{a_port} << 32) |
                             (std::uint64_t{b_port} << 16) | proto);
     return h;
@@ -54,14 +55,14 @@ struct FlowRef {
 
 /// Canonicalize (src,dst,sport,dport,proto): the numerically smaller
 /// (ip,port) endpoint becomes 'a'.
-inline FlowRef make_flow_ref(net::Ipv4Addr src, net::Ipv4Addr dst,
+inline FlowRef make_flow_ref(net::IpAddr src, net::IpAddr dst,
                              std::uint16_t sport, std::uint16_t dport,
                              std::uint8_t proto) {
   FlowRef r;
   r.key.proto = proto;
-  const std::uint64_t s = (std::uint64_t{src.value()} << 16) | sport;
-  const std::uint64_t d = (std::uint64_t{dst.value()} << 16) | dport;
-  if (s <= d) {
+  const bool src_first =
+      src < dst || (src == dst && sport <= dport);
+  if (src_first) {
     r.key.a_ip = src;
     r.key.b_ip = dst;
     r.key.a_port = sport;
@@ -77,12 +78,24 @@ inline FlowRef make_flow_ref(net::Ipv4Addr src, net::Ipv4Addr dst,
   return r;
 }
 
-/// Flow identity of a parsed packet. Requires pv.has_tcp or pv.has_udp.
+/// IPv4 convenience: addresses map through IpAddr::v4, preserving the
+/// canonical ordering the 64-bit packing used to produce.
+inline FlowRef make_flow_ref(net::Ipv4Addr src, net::Ipv4Addr dst,
+                             std::uint16_t sport, std::uint16_t dport,
+                             std::uint8_t proto) {
+  return make_flow_ref(net::IpAddr::v4(src), net::IpAddr::v4(dst), sport,
+                       dport, proto);
+}
+
+/// Flow identity of a parsed packet (v4 or v6 inner header, any
+/// encapsulation). Requires pv.has_tcp or pv.has_udp.
 inline FlowRef make_flow_ref(const net::PacketView& pv) {
   const std::uint16_t sport = pv.has_tcp ? pv.tcp.src_port() : pv.udp.src_port();
   const std::uint16_t dport = pv.has_tcp ? pv.tcp.dst_port() : pv.udp.dst_port();
-  return make_flow_ref(pv.ipv4.src(), pv.ipv4.dst(), sport, dport,
-                       pv.ipv4.protocol());
+  const std::uint8_t proto =
+      static_cast<std::uint8_t>(pv.has_tcp ? net::IpProto::tcp
+                                           : net::IpProto::udp);
+  return make_flow_ref(pv.src_ip(), pv.dst_ip(), sport, dport, proto);
 }
 
 }  // namespace sdt::flow

@@ -4,6 +4,7 @@
 #include <array>
 
 #include "core/compiled_ruleset.hpp"
+#include "net/builder.hpp"
 #include "runtime/runtime.hpp"
 #include "slowpath/service.hpp"
 
@@ -103,11 +104,11 @@ ScheduleOutcome replay(core::SplitDetectEngine& engine,
   ScheduleOutcome out;
   std::vector<core::Alert> oracle_alerts;
   std::vector<core::Alert> engine_alerts;
+  const net::LinkType lt = s.link_type();
   for (const net::Packet& p : s.forge()) {
     ++out.packets;
     out.bytes += p.frame.size();
-    const net::PacketView pv =
-        net::PacketView::parse(p.frame, net::LinkType::raw_ipv4);
+    const net::PacketView pv = net::PacketView::parse(p.frame, lt);
     oracle.process(pv, p.ts_usec, oracle_alerts);
     if (engine.process(pv, p.ts_usec, engine_alerts) !=
         core::Action::forward) {
@@ -139,19 +140,38 @@ void DifferentialHarness::expire(std::uint64_t now_usec) {
 namespace {
 
 /// Every schedule's packets interleaved by timestamp — one merged stream,
-/// exactly like a tap would produce it.
-std::vector<net::Packet> merge_batch(const std::vector<Schedule>& batch) {
-  std::vector<net::Packet> merged;
+/// exactly like a tap would produce it — plus the one link type the whole
+/// stream parses under.
+struct MergedBatch {
+  std::vector<net::Packet> packets;
+  net::LinkType link = net::LinkType::raw_ipv4;
+};
+
+/// A tap carries ONE link type, but a mixed batch may hold both raw-IP and
+/// Ethernet-framed (VLAN) schedules. Unify upward: if any schedule needs
+/// Ethernet, wrap the raw-IP frames in a plain Ethernet header too — a
+/// byte-preserving re-frame of the datagram the engines reason about.
+MergedBatch merge_batch(const std::vector<Schedule>& batch) {
+  MergedBatch out;
+  bool any_ethernet = false;
+  for (const Schedule& s : batch) {
+    any_ethernet |= s.link_type() == net::LinkType::ethernet;
+  }
   for (const Schedule& s : batch) {
     std::vector<net::Packet> pkts = s.forge();
-    merged.insert(merged.end(), std::make_move_iterator(pkts.begin()),
-                  std::make_move_iterator(pkts.end()));
+    if (any_ethernet && s.link_type() == net::LinkType::raw_ipv4) {
+      for (net::Packet& p : pkts) p.frame = net::wrap_ethernet(p.frame);
+    }
+    out.packets.insert(out.packets.end(),
+                       std::make_move_iterator(pkts.begin()),
+                       std::make_move_iterator(pkts.end()));
   }
-  std::stable_sort(merged.begin(), merged.end(),
+  if (any_ethernet) out.link = net::LinkType::ethernet;
+  std::stable_sort(out.packets.begin(), out.packets.end(),
                    [](const net::Packet& a, const net::Packet& b) {
                      return a.ts_usec < b.ts_usec;
                    });
-  return merged;
+  return out;
 }
 
 }  // namespace
@@ -160,29 +180,31 @@ RuntimeCrosscheck runtime_crosscheck(const core::SignatureSet& corpus,
                                      const HarnessConfig& cfg,
                                      const std::vector<Schedule>& batch,
                                      std::size_t lanes) {
-  std::vector<net::Packet> merged = merge_batch(batch);
+  MergedBatch mb = merge_batch(batch);
 
   // Reference: one engine, full budgets, same merged order.
   std::vector<core::Alert> ref_alerts;
   {
     core::SplitDetectEngine ref(corpus, cfg.engine_config());
-    for (const net::Packet& p : merged) {
-      ref.process(p, net::LinkType::raw_ipv4, ref_alerts);
+    for (const net::Packet& p : mb.packets) {
+      ref.process(p, mb.link, ref_alerts);
     }
   }
 
   runtime::RuntimeConfig rcfg;
   rcfg.lanes = lanes;
+  rcfg.link = mb.link;
   rcfg.engine = cfg.engine_config();
   runtime::Runtime rt(corpus, rcfg);
   rt.start();
-  rt.feed(std::move(merged));
+  rt.feed(std::move(mb.packets));
   rt.stop();
   const std::vector<core::Alert> rt_alerts = rt.alerts();
 
   auto key = [](const core::Alert& a) {
-    return std::tuple(a.flow.a_ip.value(), a.flow.b_ip.value(), a.flow.a_port,
-                      a.flow.b_port, a.flow.proto, a.signature_id);
+    return std::tuple(a.flow.a_ip.hi(), a.flow.a_ip.lo(), a.flow.b_ip.hi(),
+                      a.flow.b_ip.lo(), a.flow.a_port, a.flow.b_port,
+                      a.flow.proto, a.signature_id);
   };
   using AlertKey = decltype(key(core::Alert{}));
   auto to_set = [&](const std::vector<core::Alert>& v) {
@@ -208,15 +230,13 @@ namespace {
 /// FNV-1a over the sorted, deduplicated (flow, signature) alert keys —
 /// byte-identical verdicts produce byte-identical digests.
 std::uint64_t alert_digest(const std::vector<core::Alert>& alerts) {
-  std::vector<std::array<std::uint64_t, 4>> keys;
+  std::vector<std::array<std::uint64_t, 6>> keys;
   keys.reserve(alerts.size());
   for (const core::Alert& a : alerts) {
-    keys.push_back({(static_cast<std::uint64_t>(a.flow.a_ip.value()) << 32) |
-                        a.flow.b_ip.value(),
-                    (static_cast<std::uint64_t>(a.flow.a_port) << 32) |
-                        a.flow.b_port,
-                    static_cast<std::uint64_t>(a.flow.proto),
-                    static_cast<std::uint64_t>(a.signature_id)});
+    keys.push_back({a.flow.a_ip.hi(), a.flow.a_ip.lo(), a.flow.b_ip.hi(),
+                    a.flow.b_ip.lo(),
+                    (std::uint64_t{a.flow.a_port} << 32) | a.flow.b_port,
+                    (std::uint64_t{a.flow.proto} << 32) | a.signature_id});
   }
   std::sort(keys.begin(), keys.end());
   keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
@@ -247,7 +267,8 @@ ReloadCrosscheck reload_crosscheck(const core::SignatureSet& corpus,
                                    const HarnessConfig& cfg,
                                    const std::vector<Schedule>& batch,
                                    std::uint64_t swaps) {
-  const std::vector<net::Packet> merged = merge_batch(batch);
+  const MergedBatch mb = merge_batch(batch);
+  const std::vector<net::Packet>& merged = mb.packets;
   const core::CompileOptions opts = reload_compile_options(cfg);
 
   // Baseline: one engine, one rule-set version, the whole stream.
@@ -255,7 +276,7 @@ ReloadCrosscheck reload_crosscheck(const core::SignatureSet& corpus,
   {
     core::SplitDetectEngine base(corpus, cfg.engine_config());
     for (const net::Packet& p : merged) {
-      base.process(p, net::LinkType::raw_ipv4, base_alerts);
+      base.process(p, mb.link, base_alerts);
     }
   }
 
@@ -281,7 +302,7 @@ ReloadCrosscheck reload_crosscheck(const core::SignatureSet& corpus,
                                                "reload-crosscheck"));
         ++out.swaps;
       }
-      rel.process(p, net::LinkType::raw_ipv4, rel_alerts);
+      rel.process(p, mb.link, rel_alerts);
       ++n;
     }
   }
@@ -325,7 +346,7 @@ slowpath::SlowPathConfig flood_slowpath_config(const HarnessConfig& cfg,
 std::vector<core::Alert> flood_replay(const core::SignatureSet& corpus,
                                       const HarnessConfig& cfg,
                                       const std::vector<net::Packet>& merged,
-                                      bool starved) {
+                                      net::LinkType link, bool starved) {
   std::vector<core::Alert> alerts;
   const core::RuleSetHandle rules = core::compile_ruleset(
       corpus, reload_compile_options(cfg), 1, "flood-crosscheck");
@@ -334,7 +355,7 @@ std::vector<core::Alert> flood_replay(const core::SignatureSet& corpus,
   engine.set_divert_sink(&svc);
   svc.start();
   for (const net::Packet& p : merged) {
-    engine.process(p, net::LinkType::raw_ipv4, alerts);
+    engine.process(p, link, alerts);
   }
   svc.stop();
   const std::vector<core::Alert> slow = svc.alerts_snapshot();
@@ -347,18 +368,19 @@ std::vector<core::Alert> flood_replay(const core::SignatureSet& corpus,
 FloodCrosscheck flood_crosscheck(const core::SignatureSet& corpus,
                                  const HarnessConfig& cfg,
                                  const std::vector<Schedule>& batch) {
-  const std::vector<net::Packet> merged = merge_batch(batch);
+  const MergedBatch mb = merge_batch(batch);
   const std::vector<core::Alert> base =
-      flood_replay(corpus, cfg, merged, /*starved=*/false);
+      flood_replay(corpus, cfg, mb.packets, mb.link, /*starved=*/false);
   const std::vector<core::Alert> sat =
-      flood_replay(corpus, cfg, merged, /*starved=*/true);
+      flood_replay(corpus, cfg, mb.packets, mb.link, /*starved=*/true);
 
   // Every shed flow carries exactly one slowpath_shed alert in the
   // saturated run; those flows (which got only partial scrutiny) are
   // excluded from BOTH sides of the comparison.
   auto key = [](const core::Alert& a) {
-    return std::tuple(a.flow.a_ip.value(), a.flow.b_ip.value(), a.flow.a_port,
-                      a.flow.b_port, a.flow.proto);
+    return std::tuple(a.flow.a_ip.hi(), a.flow.a_ip.lo(), a.flow.b_ip.hi(),
+                      a.flow.b_ip.lo(), a.flow.a_port, a.flow.b_port,
+                      a.flow.proto);
   };
   using FlowId = decltype(key(core::Alert{}));
   std::vector<FlowId> shed;
@@ -393,7 +415,8 @@ FloodCrosscheck flood_crosscheck(const core::SignatureSet& corpus,
 PrefilterCrosscheck prefilter_crosscheck(const core::SignatureSet& corpus,
                                          const HarnessConfig& cfg,
                                          const std::vector<Schedule>& batch) {
-  const std::vector<net::Packet> merged = merge_batch(batch);
+  const MergedBatch mb = merge_batch(batch);
+  const std::vector<net::Packet>& merged = mb.packets;
   PrefilterCrosscheck out;
 
   // Filtered side: prefilter ON, fed in batches of 8 through
@@ -410,8 +433,7 @@ PrefilterCrosscheck prefilter_crosscheck(const core::SignatureSet& corpus,
     for (std::size_t base = 0; base < merged.size(); base += kBatch) {
       const std::size_t n = std::min(kBatch, merged.size() - base);
       for (std::size_t i = 0; i < n; ++i) {
-        views[i] = net::PacketView::parse(merged[base + i].frame,
-                                          net::LinkType::raw_ipv4);
+        views[i] = net::PacketView::parse(merged[base + i].frame, mb.link);
         ts[i] = merged[base + i].ts_usec;
       }
       eng.process_batch(views, ts, n, filtered);
@@ -427,7 +449,7 @@ PrefilterCrosscheck prefilter_crosscheck(const core::SignatureSet& corpus,
     ec.fast.use_prefilter = false;
     core::SplitDetectEngine eng(corpus, ec);
     for (const net::Packet& p : merged) {
-      eng.process(p, net::LinkType::raw_ipv4, unfiltered);
+      eng.process(p, mb.link, unfiltered);
     }
     out.unfiltered_diverted_flows = eng.fast_path().stats().flows_diverted;
   }
@@ -438,6 +460,39 @@ PrefilterCrosscheck prefilter_crosscheck(const core::SignatureSet& corpus,
   out.unfiltered_digest = alert_digest(unfiltered);
   out.equal = out.filtered_digest == out.unfiltered_digest &&
               out.filtered_diverted_flows == out.unfiltered_diverted_flows;
+  return out;
+}
+
+ParityCrosscheck parity_crosscheck(const core::SignatureSet& corpus,
+                                   const HarnessConfig& cfg,
+                                   const std::vector<Schedule>& batch) {
+  net::EncapSpec v6spec;
+  v6spec.framing = net::Framing::v6;
+
+  // One fresh engine per side, the same merged-by-timestamp order on both
+  // (reframe is 1:1 per packet, so the interleaving is identical too).
+  const auto run = [&](const net::EncapSpec& spec) {
+    std::vector<Schedule> b = batch;
+    for (Schedule& s : b) s.encap = spec;
+    const MergedBatch mb = merge_batch(b);
+    std::vector<core::Alert> alerts;
+    core::SplitDetectEngine eng(corpus, cfg.engine_config());
+    for (const net::Packet& p : mb.packets) eng.process(p, mb.link, alerts);
+    return alerts;
+  };
+  const std::vector<core::Alert> v4 = run(net::EncapSpec{});
+  std::vector<core::Alert> v6 = run(v6spec);
+  for (core::Alert& a : v6) {
+    a.flow.a_ip = net::untranslate_v6_addr(v6spec, a.flow.a_ip);
+    a.flow.b_ip = net::untranslate_v6_addr(v6spec, a.flow.b_ip);
+  }
+
+  ParityCrosscheck out;
+  out.v4_alerts = v4.size();
+  out.v6_alerts = v6.size();
+  out.v4_digest = alert_digest(v4);
+  out.v6_digest = alert_digest(v6);
+  out.equal = out.v4_digest == out.v6_digest;
   return out;
 }
 

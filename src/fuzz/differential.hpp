@@ -179,4 +179,23 @@ PrefilterCrosscheck prefilter_crosscheck(const core::SignatureSet& corpus,
                                          const HarnessConfig& cfg,
                                          const std::vector<Schedule>& batch);
 
+/// v4-vs-v6 verdict parity: replay the batch twice through fresh engines —
+/// every schedule forced to plain IPv4, then every schedule translated to
+/// IPv6 (v4-embedded addresses, RFC 1624 checksum delta) — and compare the
+/// (flow, signature) digests with the translated addresses normalized back
+/// to their v4 identity. The translation preserves every byte the engines
+/// reason about (payloads, ports, deliberate checksum corruption), so the
+/// digests must be byte-identical: same attack bytes, same verdicts, either
+/// IP version.
+struct ParityCrosscheck {
+  bool equal = false;
+  std::size_t v4_alerts = 0;
+  std::size_t v6_alerts = 0;
+  std::uint64_t v4_digest = 0;
+  std::uint64_t v6_digest = 0;
+};
+ParityCrosscheck parity_crosscheck(const core::SignatureSet& corpus,
+                                   const HarnessConfig& cfg,
+                                   const std::vector<Schedule>& batch);
+
 }  // namespace sdt::fuzz

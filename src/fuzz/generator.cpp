@@ -89,11 +89,23 @@ Schedule ScheduleGenerator::make(std::uint64_t index) const {
   s.seed = mix(cfg_.run_seed, index);
   s.ep = endpoints_for(index, rng);
   s.start_ts_usec = cfg_.base_ts_usec + index * cfg_.spacing_usec;
-  if (rng.chance(cfg_.attack_fraction)) return make_attack(std::move(s), rng);
-  if (cfg_.flood_fraction > 0.0 && rng.chance(cfg_.flood_fraction)) {
-    return make_flood(std::move(s), rng);
+  Schedule out;
+  if (rng.chance(cfg_.attack_fraction)) {
+    out = make_attack(std::move(s), rng);
+  } else if (cfg_.flood_fraction > 0.0 && rng.chance(cfg_.flood_fraction)) {
+    out = make_flood(std::move(s), rng);
+  } else {
+    out = make_benign(std::move(s), rng);
   }
-  return make_benign(std::move(s), rng);
+  // Framing draw LAST: the content stream above is identical whether the
+  // wider universe is enabled or not, and disabled mixes draw nothing.
+  if (cfg_.encap_fraction > 0.0 && !cfg_.framings.empty() &&
+      rng.chance(cfg_.encap_fraction)) {
+    out.encap = cfg_.encap;
+    out.encap.framing = cfg_.framings[static_cast<std::size_t>(
+        rng.below(cfg_.framings.size()))];
+  }
+  return out;
 }
 
 Schedule ScheduleGenerator::make_benign(Schedule s, Rng& rng) const {

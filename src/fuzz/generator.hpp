@@ -17,6 +17,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "core/signature.hpp"
 #include "fuzz/schedule.hpp"
@@ -49,6 +50,17 @@ struct GeneratorConfig {
   /// Microseconds between schedule start times.
   std::uint64_t spacing_usec = 500;
   std::uint64_t base_ts_usec = 1000ull * 1000 * 1000;
+  /// Wider-universe framing mix: with probability `encap_fraction` a
+  /// schedule is re-framed into one of `framings` (uniform pick). The draw
+  /// happens AFTER all content rng, and 0 / empty draws no rng at all, so
+  /// every historical (seed, index) schedule — content AND framing — is
+  /// unchanged. The re-frame is a byte-preserving post-pass, so attack
+  /// verdicts must not depend on the pick.
+  double encap_fraction = 0.0;
+  std::vector<net::Framing> framings;
+  /// EncapSpec template applied to re-framed schedules (framing overwritten
+  /// per pick).
+  net::EncapSpec encap;
 };
 
 class ScheduleGenerator {

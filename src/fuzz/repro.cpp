@@ -105,6 +105,19 @@ std::string repro_json(const Repro& r) {
   w.field("client_isn", std::uint64_t{s.ep.client_isn});
   w.field("server_isn", std::uint64_t{s.ep.server_isn});
   w.end_object();
+  if (s.encap.framing != net::Framing::v4) {
+    // Back-compat: plain-v4 repros keep the v1 shape byte for byte.
+    w.key("encap").begin_object();
+    w.field("framing", net::to_string(s.encap.framing));
+    w.field("vlan_id", std::uint64_t{s.encap.vlan_id});
+    w.field("vlan_outer_id", std::uint64_t{s.encap.vlan_outer_id});
+    w.field("tunnel_src", s.encap.tunnel_src.str());
+    w.field("tunnel_dst", s.encap.tunnel_dst.str());
+    w.field("vni", std::uint64_t{s.encap.vni});
+    w.field("vxlan_src_port", std::uint64_t{s.encap.vxlan_src_port});
+    w.field("v6_prefix_hi", s.encap.v6_prefix_hi);
+    w.end_object();
+  }
   w.field("stream_hex", to_hex(s.stream.data(), s.stream.size()));
   w.key("steps").begin_array();
   for (const FuzzStep& st : s.steps) {
@@ -183,6 +196,21 @@ Repro parse_repro(std::string_view json) {
   s.ep.client_isn = static_cast<std::uint32_t>(ep.u64_or("client_isn", 0));
   s.ep.server_isn = static_cast<std::uint32_t>(ep.u64_or("server_isn", 0));
 
+  if (sj.has("encap")) {
+    const JsonValue& ej = sj.get("encap");
+    s.encap.framing =
+        net::framing_from_string(ej.str_or("framing", "v4"));
+    s.encap.vlan_id = static_cast<std::uint16_t>(ej.u64_or("vlan_id", 100));
+    s.encap.vlan_outer_id =
+        static_cast<std::uint16_t>(ej.u64_or("vlan_outer_id", 200));
+    s.encap.tunnel_src = parse_ip(ej.str_or("tunnel_src", "192.0.2.1"));
+    s.encap.tunnel_dst = parse_ip(ej.str_or("tunnel_dst", "192.0.2.2"));
+    s.encap.vni = static_cast<std::uint32_t>(ej.u64_or("vni", 4097));
+    s.encap.vxlan_src_port =
+        static_cast<std::uint16_t>(ej.u64_or("vxlan_src_port", 49152));
+    s.encap.v6_prefix_hi =
+        ej.u64_or("v6_prefix_hi", 0x20010db800000000ull);
+  }
   s.stream = from_hex(sj.get("stream_hex").as_string());
   for (const JsonValue& stj : sj.get("steps").as_array()) {
     FuzzStep st;
@@ -210,7 +238,8 @@ std::string write_repro(const std::string& dir, const std::string& stem,
     if (!out) throw IoError("repro: cannot write " + json_path);
     out << repro_json(r) << '\n';
   }
-  evasion::write_trace(dir + "/" + stem + ".pcap", r.schedule.forge());
+  evasion::write_trace(dir + "/" + stem + ".pcap", r.schedule.forge(),
+                       r.schedule.link_type());
   return json_path;
 }
 

@@ -47,6 +47,9 @@ std::string RunSummary::to_json() const {
   w.field("flood_shed_flows", flood_shed_flows);
   w.field("prefilter_crosschecks", prefilter_crosschecks);
   w.field("prefilter_crosscheck_failures", prefilter_crosscheck_failures);
+  w.field("parity_crosschecks", parity_crosschecks);
+  w.field("parity_crosscheck_failures", parity_crosscheck_failures);
+  w.field("reframed", reframed);
   w.field("repros_written", repros_written);
   w.field("shrink_evaluations", shrink_evaluations);
   char digest_hex[17];
@@ -84,7 +87,8 @@ const RunSummary& FuzzRunner::run(std::uint64_t count) {
 
     if ((cfg_.lanes > 0 && cfg_.crosscheck_every > 0) ||
         cfg_.reload_crosscheck_every > 0 || cfg_.flood_crosscheck_every > 0 ||
-        cfg_.prefilter_crosscheck_every > 0) {
+        cfg_.prefilter_crosscheck_every > 0 ||
+        cfg_.parity_crosscheck_every > 0) {
       recent_.push_back(s);
       if (recent_.size() > cfg_.crosscheck_batch) {
         recent_.erase(recent_.begin());
@@ -140,6 +144,19 @@ const RunSummary& FuzzRunner::run(std::uint64_t count) {
         summary_.digest = fnv_step(summary_.digest, pc.equal ? 1 : 0);
         summary_.digest = fnv_step(summary_.digest, pc.filtered_digest);
       }
+      if (cfg_.parity_crosscheck_every > 0 &&
+          (next_index_ + 1) % cfg_.parity_crosscheck_every == 0 &&
+          !recent_.empty()) {
+        const ParityCrosscheck vc =
+            parity_crosscheck(corpus_, cfg_.harness, recent_);
+        ++summary_.parity_crosschecks;
+        if (!vc.equal) {
+          ++summary_.parity_crosscheck_failures;
+          live_violations_.fetch_add(1, std::memory_order_relaxed);
+        }
+        summary_.digest = fnv_step(summary_.digest, vc.equal ? 1 : 0);
+        summary_.digest = fnv_step(summary_.digest, vc.v6_digest);
+      }
     }
 
     if (cfg_.expire_every > 0 && (next_index_ + 1) % cfg_.expire_every == 0) {
@@ -159,6 +176,7 @@ void FuzzRunner::fold_outcome(const Schedule& s, const ScheduleOutcome& out) {
   } else {
     (s.attack ? summary_.attacks : summary_.benign) += 1;
   }
+  if (s.encap.framing != net::Framing::v4) ++summary_.reframed;
   summary_.packets += out.packets;
   summary_.bytes += out.bytes;
   live_packets_.fetch_add(out.packets, std::memory_order_relaxed);

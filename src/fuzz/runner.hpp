@@ -47,6 +47,11 @@ struct RunnerConfig {
   /// plus equal diverted-flow counts — the match-kernel equivalence gate
   /// (0 disables; rides the same cadence buffer).
   std::uint64_t prefilter_crosscheck_every = 2048;
+  /// Replay the batch as plain IPv4 and again translated to IPv6 and
+  /// assert the normalized verdict digests are byte-identical — the
+  /// version-parity gate of the wider traffic universe (0 disables; rides
+  /// the same cadence buffer).
+  std::uint64_t parity_crosscheck_every = 2048;
   /// Violation handling: minimize and persist at most `max_repros` cases.
   bool write_repros = true;
   std::string repro_dir = "fuzz/repros";
@@ -87,6 +92,10 @@ struct RunSummary {
   std::uint64_t flood_crosscheck_failures = 0;
   std::uint64_t prefilter_crosschecks = 0;
   std::uint64_t prefilter_crosscheck_failures = 0;
+  std::uint64_t parity_crosschecks = 0;
+  std::uint64_t parity_crosscheck_failures = 0;
+  /// Schedules the generator re-framed out of plain IPv4 (v6/vlan/tunnel).
+  std::uint64_t reframed = 0;
   /// Flows shed across all flood crosschecks (coverage lost explicitly).
   std::uint64_t flood_shed_flows = 0;
   std::uint64_t repros_written = 0;
@@ -99,7 +108,7 @@ struct RunSummary {
   std::uint64_t violations() const {
     return missed_detections + slow_path_misses + crosscheck_failures +
            reload_crosscheck_failures + flood_crosscheck_failures +
-           prefilter_crosscheck_failures;
+           prefilter_crosscheck_failures + parity_crosscheck_failures;
   }
   double benign_divert_fraction() const {
     return benign == 0 ? 0.0

@@ -45,7 +45,11 @@ std::vector<net::Packet> Schedule::forge() const {
     }
   }
   if (close_flow) f.close();
-  return f.take();
+  std::vector<net::Packet> pkts = f.take();
+  if (encap.framing != net::Framing::v4) {
+    for (net::Packet& p : pkts) p.frame = net::reframe(encap, p.frame);
+  }
+  return pkts;
 }
 
 std::size_t Schedule::packet_count() const {
@@ -93,6 +97,17 @@ std::uint64_t Schedule::digest() const {
                          (st.frag_reverse ? 8u : 0u));
     h = fnv1a_u64(h, (std::uint64_t{st.urgent_pointer} << 32) |
                          (std::uint64_t{st.ttl} << 24) | st.frag_payload);
+  }
+  // Folded only for non-v4 framings so every pre-existing v4 schedule keeps
+  // its historical digest (corpus files, golden summaries).
+  if (encap.framing != net::Framing::v4) {
+    h = fnv1a_u64(h, static_cast<std::uint64_t>(encap.framing));
+    h = fnv1a_u64(h, (std::uint64_t{encap.vlan_outer_id} << 16) |
+                         encap.vlan_id);
+    h = fnv1a_u64(h, (std::uint64_t{encap.tunnel_src.value()} << 32) |
+                         encap.tunnel_dst.value());
+    h = fnv1a_u64(h, (std::uint64_t{encap.vxlan_src_port} << 32) | encap.vni);
+    h = fnv1a_u64(h, encap.v6_prefix_hi);
   }
   return h;
 }

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "evasion/flow_forge.hpp"
+#include "net/encap.hpp"
 #include "net/packet.hpp"
 #include "util/bytes.hpp"
 
@@ -55,6 +56,14 @@ struct Schedule {
   std::uint64_t sig_lo = 0;
   std::uint64_t sig_hi = 0;
   std::vector<FuzzStep> steps;
+  /// The framing the forged conversation ships in. The forge always builds
+  /// raw IPv4; a non-v4 spec re-frames every packet as a deterministic
+  /// post-pass (net::reframe), so the attack BYTES the engines reason about
+  /// are identical across framings by construction.
+  net::EncapSpec encap;
+
+  /// The pcap/runtime link type forge()'s output needs.
+  net::LinkType link_type() const { return encap.link(); }
 
   /// Forge the on-the-wire conversation. Deterministic: same schedule,
   /// same packets, bit for bit.

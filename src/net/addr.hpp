@@ -1,9 +1,13 @@
-// IPv4 address strong type. Stored in host byte order; serialization to the
-// wire is explicit via the packet builder/parser.
+// IP address strong types. Ipv4Addr stores host byte order; IpAddr is the
+// version-agnostic 128-bit identity the flow layer keys on (IPv4 addresses
+// embed as v4-mapped ::ffff:a.b.c.d, so v4 and v6 flows share one key
+// space without collisions). Serialization to the wire is explicit via the
+// packet builder/parser.
 #pragma once
 
 #include <compare>
 #include <cstdint>
+#include <cstdio>
 #include <string>
 
 namespace sdt::net {
@@ -29,6 +33,78 @@ class Ipv4Addr {
 
  private:
   std::uint32_t v_ = 0;
+};
+
+/// 128-bit address holding either an IPv6 address or a v4-mapped IPv4 one
+/// (::ffff:a.b.c.d). Stored as two host-order words of the big-endian
+/// 16-byte form, so comparison order matches wire order.
+class IpAddr {
+ public:
+  constexpr IpAddr() = default;
+
+  /// Implicit on purpose: every Ipv4Addr has exactly one v4-mapped identity,
+  /// so v4-era call sites (flow keys, defrag keys, tests) keep reading
+  /// naturally against the widened type.
+  constexpr IpAddr(Ipv4Addr a)  // NOLINT(google-explicit-constructor)
+      : lo_((std::uint64_t{0xffff} << 32) | a.value()) {}
+
+  static constexpr IpAddr v4(Ipv4Addr a) { return IpAddr(a); }
+
+  /// From the two host-order words of the big-endian 16-byte form.
+  static constexpr IpAddr words(std::uint64_t hi, std::uint64_t lo) {
+    IpAddr r;
+    r.hi_ = hi;
+    r.lo_ = lo;
+    return r;
+  }
+
+  /// From 16 big-endian bytes (the wire form of an IPv6 address).
+  static IpAddr v6(const std::uint8_t* b) {
+    IpAddr r;
+    for (int i = 0; i < 8; ++i) r.hi_ = (r.hi_ << 8) | b[i];
+    for (int i = 8; i < 16; ++i) r.lo_ = (r.lo_ << 8) | b[i];
+    return r;
+  }
+
+  constexpr std::uint64_t hi() const { return hi_; }
+  constexpr std::uint64_t lo() const { return lo_; }
+
+  constexpr bool is_v4() const {
+    return hi_ == 0 && (lo_ >> 32) == 0xffff;
+  }
+  constexpr Ipv4Addr to_v4() const {
+    return Ipv4Addr{static_cast<std::uint32_t>(lo_ & 0xffffffffu)};
+  }
+
+  /// Serialize to 16 big-endian bytes.
+  void to_bytes(std::uint8_t* b) const {
+    for (int i = 0; i < 8; ++i) b[i] = static_cast<std::uint8_t>(hi_ >> (56 - 8 * i));
+    for (int i = 0; i < 8; ++i) b[8 + i] = static_cast<std::uint8_t>(lo_ >> (56 - 8 * i));
+  }
+
+  friend constexpr auto operator<=>(IpAddr, IpAddr) = default;
+
+  /// v4-mapped addresses render as the dotted quad (flow keys and alert
+  /// JSON stay byte-identical for IPv4 traffic); v6 as the full
+  /// uncompressed 8-group hex form (deterministic, no :: shortening).
+  std::string str() const {
+    if (is_v4()) return to_v4().str();
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%x:%x:%x:%x:%x:%x:%x:%x",
+                  static_cast<unsigned>(hi_ >> 48) & 0xffff,
+                  static_cast<unsigned>(hi_ >> 32) & 0xffff,
+                  static_cast<unsigned>(hi_ >> 16) & 0xffff,
+                  static_cast<unsigned>(hi_) & 0xffff,
+                  static_cast<unsigned>(lo_ >> 48) & 0xffff,
+                  static_cast<unsigned>(lo_ >> 32) & 0xffff,
+                  static_cast<unsigned>(lo_ >> 16) & 0xffff,
+                  static_cast<unsigned>(lo_) & 0xffff);
+    return buf;
+  }
+
+ private:
+  std::uint64_t hi_ = 0;
+  std::uint64_t lo_ = 0;
 };
 
 }  // namespace sdt::net

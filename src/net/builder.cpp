@@ -36,8 +36,57 @@ Bytes build_ipv4(const Ipv4Spec& ip, ByteView l4_bytes) {
   return w.take();
 }
 
-Bytes build_tcp(Ipv4Addr src, Ipv4Addr dst, const TcpSpec& tcp,
-                ByteView payload) {
+Bytes build_ipv6(const Ipv6Spec& ip, ByteView l4_bytes) {
+  const std::size_t payload_len = ip.ext.size() + l4_bytes.size();
+  if (payload_len > 0xffff) {
+    throw InvalidArgument("build_ipv6: payload exceeds 65535 bytes");
+  }
+  ByteWriter w(kIpv6HeaderLen + payload_len);
+  w.u32be((std::uint32_t{6} << 28) | (std::uint32_t{ip.traffic_class} << 20) |
+          (ip.flow_label & 0xfffff));
+  w.u16be(static_cast<std::uint16_t>(payload_len));
+  w.u8(ip.next_header);
+  w.u8(ip.hop_limit);
+  std::uint8_t addr[16];
+  ip.src.to_bytes(addr);
+  w.bytes(ByteView(addr, 16));
+  ip.dst.to_bytes(addr);
+  w.bytes(ByteView(addr, 16));
+  w.bytes(ip.ext);
+  w.bytes(l4_bytes);
+  return w.take();
+}
+
+Bytes build_ipv6_ext(std::uint8_t next_header, std::size_t units8) {
+  if (units8 == 0) {
+    throw InvalidArgument("build_ipv6_ext: need at least one 8-byte unit");
+  }
+  Bytes ext(units8 * 8, 0);
+  ext[0] = next_header;
+  ext[1] = static_cast<std::uint8_t>(units8 - 1);
+  return ext;
+}
+
+namespace {
+
+/// Transport checksum for either address family: v4-mapped pairs use the
+/// IPv4 pseudo-header, anything else the IPv6 one.
+std::uint16_t segment_checksum(IpAddr src, IpAddr dst, IpProto proto,
+                               ByteView segment) {
+  if (src.is_v4() && dst.is_v4()) {
+    return transport_checksum(src.to_v4(), dst.to_v4(),
+                              static_cast<std::uint8_t>(proto), segment);
+  }
+  std::uint8_t s[16], d[16];
+  src.to_bytes(s);
+  dst.to_bytes(d);
+  return transport_checksum_v6(ByteView(s, 16), ByteView(d, 16),
+                               static_cast<std::uint8_t>(proto), segment);
+}
+
+}  // namespace
+
+Bytes build_tcp(IpAddr src, IpAddr dst, const TcpSpec& tcp, ByteView payload) {
   if (tcp.options.size() % 4 != 0 || tcp.options.size() > 40) {
     throw InvalidArgument("build_tcp: options must be 4-byte aligned, <= 40");
   }
@@ -55,13 +104,16 @@ Bytes build_tcp(Ipv4Addr src, Ipv4Addr dst, const TcpSpec& tcp,
   w.bytes(tcp.options);
   w.bytes(payload);
 
-  const std::uint16_t csum = transport_checksum(
-      src, dst, static_cast<std::uint8_t>(IpProto::tcp), w.view());
-  w.patch_u16be(16, csum);
+  w.patch_u16be(16, segment_checksum(src, dst, IpProto::tcp, w.view()));
   return w.take();
 }
 
-Bytes build_udp(Ipv4Addr src, Ipv4Addr dst, std::uint16_t src_port,
+Bytes build_tcp(Ipv4Addr src, Ipv4Addr dst, const TcpSpec& tcp,
+                ByteView payload) {
+  return build_tcp(IpAddr::v4(src), IpAddr::v4(dst), tcp, payload);
+}
+
+Bytes build_udp(IpAddr src, IpAddr dst, std::uint16_t src_port,
                 std::uint16_t dst_port, ByteView payload) {
   const std::size_t len = kUdpHeaderLen + payload.size();
   if (len > 0xffff) throw InvalidArgument("build_udp: payload too large");
@@ -71,11 +123,16 @@ Bytes build_udp(Ipv4Addr src, Ipv4Addr dst, std::uint16_t src_port,
   w.u16be(static_cast<std::uint16_t>(len));
   w.u16be(0);
   w.bytes(payload);
-  std::uint16_t csum = transport_checksum(
-      src, dst, static_cast<std::uint8_t>(IpProto::udp), w.view());
+  std::uint16_t csum = segment_checksum(src, dst, IpProto::udp, w.view());
   if (csum == 0) csum = 0xffff;  // RFC 768: 0 is transmitted as all-ones
   w.patch_u16be(6, csum);
   return w.take();
+}
+
+Bytes build_udp(Ipv4Addr src, Ipv4Addr dst, std::uint16_t src_port,
+                std::uint16_t dst_port, ByteView payload) {
+  return build_udp(IpAddr::v4(src), IpAddr::v4(dst), src_port, dst_port,
+                   payload);
 }
 
 Bytes build_tcp_packet(const Ipv4Spec& ip, const TcpSpec& tcp,
@@ -92,15 +149,82 @@ Bytes build_udp_packet(const Ipv4Spec& ip, std::uint16_t src_port,
   return build_ipv4(spec, build_udp(ip.src, ip.dst, src_port, dst_port, payload));
 }
 
+namespace {
+
+/// Ipv6Spec whose ext chain (if any) ends in `l4_proto`: the base header
+/// points at the chain's first header, the chain's tail at the protocol.
+/// (Callers pre-link their ext blobs; this only fills the base field.)
+std::uint8_t v6_first_next_header(const Ipv6Spec& ip, IpProto l4_proto) {
+  return ip.ext.empty() ? static_cast<std::uint8_t>(l4_proto) : ip.next_header;
+}
+
+}  // namespace
+
+Bytes build_tcp_packet(const Ipv6Spec& ip, const TcpSpec& tcp,
+                       ByteView payload) {
+  Ipv6Spec spec = ip;
+  spec.next_header = v6_first_next_header(ip, IpProto::tcp);
+  return build_ipv6(spec, build_tcp(ip.src, ip.dst, tcp, payload));
+}
+
+Bytes build_udp_packet(const Ipv6Spec& ip, std::uint16_t src_port,
+                       std::uint16_t dst_port, ByteView payload) {
+  Ipv6Spec spec = ip;
+  spec.next_header = v6_first_next_header(ip, IpProto::udp);
+  return build_ipv6(spec,
+                    build_udp(ip.src, ip.dst, src_port, dst_port, payload));
+}
+
 Bytes wrap_ethernet(ByteView ip_datagram) {
   ByteWriter w(kEthernetHeaderLen + ip_datagram.size());
   static constexpr std::uint8_t kDst[6] = {0x02, 0, 0, 0, 0, 0x02};
   static constexpr std::uint8_t kSrc[6] = {0x02, 0, 0, 0, 0, 0x01};
   w.bytes(ByteView(kDst, 6));
   w.bytes(ByteView(kSrc, 6));
-  w.u16be(kEtherTypeIpv4);
+  const bool v6 = !ip_datagram.empty() && (ip_datagram[0] >> 4) == 6;
+  w.u16be(v6 ? kEtherTypeIpv6 : kEtherTypeIpv4);
   w.bytes(ip_datagram);
   return w.take();
+}
+
+Bytes wrap_vlan(ByteView ethernet_frame, std::uint16_t vlan_id,
+                std::uint16_t tpid) {
+  if (ethernet_frame.size() < kEthernetHeaderLen) {
+    throw InvalidArgument("wrap_vlan: need a whole Ethernet header");
+  }
+  ByteWriter w(ethernet_frame.size() + kVlanTagLen);
+  w.bytes(ethernet_frame.first(12));  // dst + src MAC
+  w.u16be(tpid);
+  w.u16be(static_cast<std::uint16_t>(vlan_id & 0x0fff));  // PCP/DEI zero
+  w.bytes(ethernet_frame.subspan(12));  // original EtherType onward
+  return w.take();
+}
+
+Bytes wrap_vxlan(const Ipv4Spec& outer, std::uint16_t udp_src_port,
+                 std::uint32_t vni, ByteView inner_ethernet_frame) {
+  ByteWriter vx(kVxlanHeaderLen + inner_ethernet_frame.size());
+  vx.u8(kVxlanFlags);  // I flag: VNI valid
+  vx.u8(0);
+  vx.u16be(0);
+  vx.u32be((vni & 0xffffff) << 8);
+  vx.bytes(inner_ethernet_frame);
+  Ipv4Spec spec = outer;
+  spec.protocol = static_cast<std::uint8_t>(IpProto::udp);
+  return build_ipv4(
+      spec, build_udp(outer.src, outer.dst, udp_src_port, kVxlanPort,
+                      vx.view()));
+}
+
+Bytes wrap_gre(const Ipv4Spec& outer, ByteView inner_ip_datagram) {
+  const bool v6 =
+      !inner_ip_datagram.empty() && (inner_ip_datagram[0] >> 4) == 6;
+  ByteWriter gre(kGreMinHeaderLen + inner_ip_datagram.size());
+  gre.u16be(0);  // no C/K/S, version 0
+  gre.u16be(v6 ? kEtherTypeIpv6 : kEtherTypeIpv4);
+  gre.bytes(inner_ip_datagram);
+  Ipv4Spec spec = outer;
+  spec.protocol = static_cast<std::uint8_t>(IpProto::gre);
+  return build_ipv4(spec, gre.view());
 }
 
 std::vector<Bytes> fragment_ipv4(ByteView ip_datagram,
@@ -134,6 +258,61 @@ std::vector<Bytes> fragment_ipv4(ByteView ip_datagram,
     spec.more_fragments = off + n < body.size();
     out.push_back(build_ipv4(spec, body.subspan(off, n)));
   }
+  return out;
+}
+
+std::vector<Bytes> fragment_ipv6(ByteView ip_datagram,
+                                 std::size_t mtu_payload, std::uint32_t id) {
+  if (ip_datagram.size() < kIpv6HeaderLen || (ip_datagram[0] >> 4) != 6) {
+    throw InvalidArgument("fragment_ipv6: need a whole IPv6 datagram");
+  }
+  if (mtu_payload < 8) {
+    throw InvalidArgument("fragment_ipv6: mtu_payload must be >= 8");
+  }
+  // Walk the extension chain; the whole chain stays in the unfragmentable
+  // part (simplification: we never fragment mid-chain).
+  std::size_t nh_off = 6;
+  std::uint8_t nh = ip_datagram[nh_off];
+  std::size_t off = kIpv6HeaderLen;
+  while (nh == kIpv6ExtHopByHop || nh == kIpv6ExtRouting ||
+         nh == kIpv6ExtDestOpts) {
+    if (off + 8 > ip_datagram.size()) {
+      throw InvalidArgument("fragment_ipv6: truncated extension chain");
+    }
+    nh_off = off;
+    nh = ip_datagram[off];
+    off += 8 * (std::size_t{ip_datagram[off + 1]} + 1);
+  }
+  if (nh == kIpv6ExtFragment) {
+    throw InvalidArgument("fragment_ipv6: datagram is already a fragment");
+  }
+  if (off > ip_datagram.size()) {
+    throw InvalidArgument("fragment_ipv6: extension chain overruns datagram");
+  }
+  const ByteView head = ip_datagram.first(off);
+  const ByteView body = ip_datagram.subspan(off);
+
+  const std::size_t step = mtu_payload - (mtu_payload % 8);
+  std::vector<Bytes> out;
+  std::size_t frag_off = 0;
+  do {
+    const std::size_t n = std::min(step, body.size() - frag_off);
+    const bool more = frag_off + n < body.size();
+    ByteWriter w(head.size() + kIpv6FragHeaderLen + n);
+    w.bytes(head);
+    w.u8(nh);  // fragment header: payload protocol
+    w.u8(0);
+    w.u16be(static_cast<std::uint16_t>(frag_off | (more ? 1 : 0)));
+    w.u32be(id);
+    w.bytes(body.subspan(frag_off, n));
+    Bytes frag = w.take();
+    // Re-link the chain through the fragment header and fix the length.
+    frag[nh_off] = kIpv6ExtFragment;
+    wr_u16be(frag, 4,
+             static_cast<std::uint16_t>(frag.size() - kIpv6HeaderLen));
+    out.push_back(std::move(frag));
+    frag_off += n;
+  } while (frag_off < body.size());
   return out;
 }
 

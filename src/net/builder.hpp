@@ -30,6 +30,30 @@ struct Ipv4Spec {
 /// Build an IPv4 datagram around `l4_bytes` (header checksum filled in).
 Bytes build_ipv4(const Ipv4Spec& ip, ByteView l4_bytes);
 
+/// Fields of an IPv6 datagram under construction. Payload length is
+/// computed; extension headers are supplied pre-linked (see build_ipv6_ext).
+struct Ipv6Spec {
+  IpAddr src;
+  IpAddr dst;
+  std::uint8_t next_header = static_cast<std::uint8_t>(IpProto::tcp);
+  std::uint8_t hop_limit = 64;
+  std::uint8_t traffic_class = 0;
+  std::uint32_t flow_label = 0;
+  /// Extension-header blob placed between the base header and `l4_bytes`.
+  /// Its internal next-header chain must already be linked; when non-empty,
+  /// `next_header` should name the FIRST extension header's type and the
+  /// last extension header's next-header byte the L4 protocol.
+  Bytes ext;
+};
+
+/// Build an IPv6 datagram around `l4_bytes`.
+Bytes build_ipv6(const Ipv6Spec& ip, ByteView l4_bytes);
+
+/// One generic extension header (hop-by-hop / routing / destination-options
+/// layout): next-header byte, length byte, zero fill. `units8` is the total
+/// size in 8-byte units (>= 1).
+Bytes build_ipv6_ext(std::uint8_t next_header, std::size_t units8);
+
 /// Fields of a TCP segment under construction.
 struct TcpSpec {
   std::uint16_t src_port = 0;
@@ -49,20 +73,56 @@ struct TcpSpec {
 Bytes build_tcp(Ipv4Addr src, Ipv4Addr dst, const TcpSpec& tcp,
                 ByteView payload);
 
+/// Version-agnostic TCP builder: v4-mapped addresses use the IPv4
+/// pseudo-header, anything else the IPv6 one.
+Bytes build_tcp(IpAddr src, IpAddr dst, const TcpSpec& tcp, ByteView payload);
+
 /// Build a UDP header + payload with a valid checksum.
 Bytes build_udp(Ipv4Addr src, Ipv4Addr dst, std::uint16_t src_port,
+                std::uint16_t dst_port, ByteView payload);
+
+/// Version-agnostic UDP builder (see build_tcp).
+Bytes build_udp(IpAddr src, IpAddr dst, std::uint16_t src_port,
                 std::uint16_t dst_port, ByteView payload);
 
 /// Convenience: full IPv4+TCP datagram.
 Bytes build_tcp_packet(const Ipv4Spec& ip, const TcpSpec& tcp,
                        ByteView payload);
 
+/// Convenience: full IPv6+TCP datagram (extension headers from ip.ext).
+Bytes build_tcp_packet(const Ipv6Spec& ip, const TcpSpec& tcp,
+                       ByteView payload);
+
 /// Convenience: full IPv4+UDP datagram.
 Bytes build_udp_packet(const Ipv4Spec& ip, std::uint16_t src_port,
                        std::uint16_t dst_port, ByteView payload);
 
-/// Wrap an IPv4 datagram in an Ethernet II frame (synthetic MACs).
+/// Convenience: full IPv6+UDP datagram.
+Bytes build_udp_packet(const Ipv6Spec& ip, std::uint16_t src_port,
+                       std::uint16_t dst_port, ByteView payload);
+
+/// Wrap an IP datagram of either version in an Ethernet II frame (synthetic
+/// MACs; the EtherType follows the version nibble).
 Bytes wrap_ethernet(ByteView ip_datagram);
+
+/// Insert one 802.1Q tag into an Ethernet frame, directly after the MAC
+/// addresses. `tpid` is the tag's own EtherType (kEtherTypeVlan for a plain
+/// tag, kEtherTypeQinQ for the outer tag of a double-tagged frame); the
+/// previous EtherType (or inner tag) shifts right. Apply twice for QinQ,
+/// outermost last.
+Bytes wrap_vlan(ByteView ethernet_frame, std::uint16_t vlan_id,
+                std::uint16_t tpid = kEtherTypeVlan);
+
+/// Encapsulate an inner ETHERNET frame in VXLAN: outer IPv4 + UDP (dst port
+/// kVxlanPort) + 8-byte VXLAN header carrying `vni`. The outer spec's
+/// protocol field is forced to UDP.
+Bytes wrap_vxlan(const Ipv4Spec& outer, std::uint16_t udp_src_port,
+                 std::uint32_t vni, ByteView inner_ethernet_frame);
+
+/// Encapsulate an inner IP datagram (either version) in GRE (RFC 2784, no
+/// optional fields): outer IPv4 with protocol 47 + 4-byte GRE header whose
+/// protocol field follows the inner version nibble.
+Bytes wrap_gre(const Ipv4Spec& outer, ByteView inner_ip_datagram);
 
 /// Split an IPv4 datagram into fragments whose payloads are at most
 /// `mtu_payload` bytes (rounded down to a multiple of 8 except the last).
@@ -70,5 +130,12 @@ Bytes wrap_ethernet(ByteView ip_datagram);
 /// Throws InvalidArgument if the datagram is not parseable or mtu_payload < 8.
 std::vector<Bytes> fragment_ipv4(ByteView ip_datagram,
                                  std::size_t mtu_payload);
+
+/// Split an IPv6 datagram into fragments via fragment extension headers,
+/// each carrying at most `mtu_payload` bytes (rounded down to a multiple of
+/// 8 except the last). The whole extension chain is treated as the
+/// unfragmentable part. Throws InvalidArgument on short/odd input.
+std::vector<Bytes> fragment_ipv6(ByteView ip_datagram,
+                                 std::size_t mtu_payload, std::uint32_t id);
 
 }  // namespace sdt::net

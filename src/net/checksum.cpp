@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "net/packet.hpp"
+
 namespace sdt::net {
 
 namespace {
@@ -76,17 +78,54 @@ std::uint16_t checksum(ByteView data) {
   return checksum_finish(checksum_partial(data));
 }
 
-std::uint16_t transport_checksum(Ipv4Addr src, Ipv4Addr dst,
-                                 std::uint8_t proto, ByteView segment) {
+std::uint32_t pseudo_header_sum(Ipv4Addr src, Ipv4Addr dst,
+                                std::uint8_t proto, std::uint32_t length) {
   std::uint32_t sum = 0;
   sum += src.value() >> 16;
   sum += src.value() & 0xffff;
   sum += dst.value() >> 16;
   sum += dst.value() & 0xffff;
   sum += proto;
-  sum += static_cast<std::uint32_t>(segment.size());
+  sum += length >> 16;
+  sum += length & 0xffff;
+  return sum;
+}
+
+std::uint32_t pseudo_header_sum_v6(ByteView src6, ByteView dst6,
+                                   std::uint8_t proto, std::uint32_t length) {
+  std::uint32_t sum = 0;
+  sum = checksum_partial(src6, sum);
+  sum = checksum_partial(dst6, sum);
+  sum += proto;
+  sum += length >> 16;
+  sum += length & 0xffff;
+  return sum;
+}
+
+std::uint16_t transport_checksum(Ipv4Addr src, Ipv4Addr dst,
+                                 std::uint8_t proto, ByteView segment) {
+  std::uint32_t sum = pseudo_header_sum(
+      src, dst, proto, static_cast<std::uint32_t>(segment.size()));
   sum = checksum_partial(segment, sum);
   return checksum_finish(sum);
+}
+
+std::uint16_t transport_checksum_v6(ByteView src6, ByteView dst6,
+                                    std::uint8_t proto, ByteView segment) {
+  std::uint32_t sum = pseudo_header_sum_v6(
+      src6, dst6, proto, static_cast<std::uint32_t>(segment.size()));
+  sum = checksum_partial(segment, sum);
+  return checksum_finish(sum);
+}
+
+std::uint16_t transport_checksum(const PacketView& pv) {
+  if (pv.has_ipv4) {
+    return transport_checksum(pv.ipv4.src(), pv.ipv4.dst(),
+                              pv.ipv4.protocol(), pv.l4_span);
+  }
+  return transport_checksum_v6(pv.ipv6.src_bytes(), pv.ipv6.dst_bytes(),
+                               static_cast<std::uint8_t>(pv.proto),
+                               pv.l4_span);
 }
 
 }  // namespace sdt::net

@@ -25,4 +25,25 @@ std::uint16_t checksum(ByteView data);
 std::uint16_t transport_checksum(Ipv4Addr src, Ipv4Addr dst,
                                  std::uint8_t proto, ByteView segment);
 
+/// IPv6 variant (RFC 8200 §8.1): 16-byte addresses, 32-bit length. `src6`
+/// and `dst6` are the big-endian wire bytes of the addresses.
+std::uint16_t transport_checksum_v6(ByteView src6, ByteView dst6,
+                                    std::uint8_t proto, ByteView segment);
+
+struct PacketView;
+/// Verify the transport checksum of a parsed TCP/UDP packet (v4 or v6
+/// inner header, any encapsulation): result 0 means valid. Requires
+/// pv.has_tcp || pv.has_udp.
+std::uint16_t transport_checksum(const PacketView& pv);
+
+/// The one's-complement sum of a transport pseudo-header alone (not folded,
+/// not complemented) — the RFC 1624 delta between the v4 and v6 forms of
+/// one segment is pseudo_sum_v6 - pseudo_sum_v4 applied to the stored
+/// checksum, which is how the reframer translates packets without touching
+/// deliberately-corrupted checksums' corruptness.
+std::uint32_t pseudo_header_sum(Ipv4Addr src, Ipv4Addr dst,
+                                std::uint8_t proto, std::uint32_t length);
+std::uint32_t pseudo_header_sum_v6(ByteView src6, ByteView dst6,
+                                   std::uint8_t proto, std::uint32_t length);
+
 }  // namespace sdt::net

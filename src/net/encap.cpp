@@ -1,0 +1,157 @@
+#include "net/encap.hpp"
+
+#include "net/builder.hpp"
+#include "net/checksum.hpp"
+#include "util/error.hpp"
+
+namespace sdt::net {
+
+const char* to_string(Framing f) {
+  switch (f) {
+    case Framing::v4:
+      return "v4";
+    case Framing::v6:
+      return "v6";
+    case Framing::vlan:
+      return "vlan";
+    case Framing::qinq:
+      return "qinq";
+    case Framing::vxlan:
+      return "vxlan";
+    case Framing::gre:
+      return "gre";
+  }
+  return "unknown";
+}
+
+Framing framing_from_string(std::string_view name) {
+  for (const Framing f : {Framing::v4, Framing::v6, Framing::vlan,
+                          Framing::qinq, Framing::vxlan, Framing::gre}) {
+    if (name == to_string(f)) return f;
+  }
+  throw InvalidArgument("unknown framing '" + std::string(name) + "'");
+}
+
+IpAddr translate_v6_addr(const EncapSpec& spec, Ipv4Addr a) {
+  // 0x646 ("d46" — draft-style v4-translatable marker) keeps the range
+  // disjoint from v4-mapped ::ffff:0:0/96, so translated flows can never
+  // collide with native-v4 flow keys.
+  return IpAddr::words(spec.v6_prefix_hi,
+                       (std::uint64_t{0x646} << 32) | a.value());
+}
+
+IpAddr untranslate_v6_addr(const EncapSpec& spec, IpAddr a) {
+  if (a.hi() != spec.v6_prefix_hi || (a.lo() >> 32) != 0x646) return a;
+  return IpAddr(Ipv4Addr(static_cast<std::uint32_t>(a.lo() & 0xffffffffu)));
+}
+
+namespace {
+
+std::uint16_t fold16(std::uint32_t sum) {
+  while (sum >> 16) sum = (sum & 0xffff) + (sum >> 16);
+  return static_cast<std::uint16_t>(sum);
+}
+
+/// Translate one IPv4 datagram (whole or fragment) to IPv6: v4-embedded
+/// addresses, fragment header when the v4 header was fragmented, transport
+/// checksum patched by the pseudo-header delta (RFC 1624), so validity —
+/// including deliberate INVALIDITY — is preserved bit for bit.
+Bytes translate_v6(const EncapSpec& spec, ByteView d) {
+  if (d.size() < kIpv4MinHeaderLen || (d[0] >> 4) != 4) {
+    throw InvalidArgument("reframe: need an IPv4 datagram");
+  }
+  const std::size_t ihl = static_cast<std::size_t>(d[0] & 0xf) * 4;
+  if (ihl < kIpv4MinHeaderLen || ihl > d.size()) {
+    throw InvalidArgument("reframe: impossible IHL");
+  }
+  const std::size_t total =
+      std::min<std::size_t>(rd_u16be(d, 2), d.size());
+  const ByteView body = d.subspan(ihl, total > ihl ? total - ihl : 0);
+  const Ipv4Addr src4(rd_u32be(d, 12)), dst4(rd_u32be(d, 16));
+  const std::uint8_t proto = d[9];
+  const std::uint16_t ff = rd_u16be(d, 6);
+  const std::size_t frag_off = static_cast<std::size_t>(ff & 0x1fff) * 8;
+  const bool more = (ff & kIpFlagMf) != 0;
+  const bool is_frag = more || frag_off != 0;
+
+  const IpAddr src6 = translate_v6_addr(spec, src4);
+  const IpAddr dst6 = translate_v6_addr(spec, dst4);
+
+  Ipv6Spec v6;
+  v6.src = src6;
+  v6.dst = dst6;
+  v6.hop_limit = d[8];
+  if (is_frag) {
+    v6.next_header = kIpv6ExtFragment;
+    ByteWriter fh(kIpv6FragHeaderLen);
+    fh.u8(proto);
+    fh.u8(0);
+    fh.u16be(static_cast<std::uint16_t>(frag_off | (more ? 1 : 0)));
+    fh.u32be(rd_u16be(d, 4));  // v4 16-bit id, zero-extended
+    v6.ext = fh.take();
+  } else {
+    v6.next_header = proto;
+  }
+  Bytes out = build_ipv6(v6, body);
+
+  // Pseudo-header checksum delta. The length and protocol terms are
+  // identical on both sides, so the delta is the address sums alone —
+  // which also makes it fragment-safe (the v4 pseudo length of the whole
+  // segment is unknown from one fragment, and does not matter).
+  const bool checksummed =
+      proto == static_cast<std::uint8_t>(IpProto::tcp) ||
+      proto == static_cast<std::uint8_t>(IpProto::udp);
+  if (checksummed && !body.empty()) {
+    const std::size_t csum_off =
+        proto == static_cast<std::uint8_t>(IpProto::tcp) ? 16 : 6;
+    // Does THIS datagram carry the checksum field's two bytes?
+    if (frag_off <= csum_off && csum_off + 2 <= frag_off + body.size()) {
+      std::uint8_t s[16], dd[16];
+      src6.to_bytes(s);
+      dst6.to_bytes(dd);
+      const std::uint16_t a4 = fold16(pseudo_header_sum(src4, dst4, 0, 0));
+      const std::uint16_t a6 = fold16(
+          pseudo_header_sum_v6(ByteView(s, 16), ByteView(dd, 16), 0, 0));
+      const std::size_t field =
+          out.size() - body.size() + (csum_off - frag_off);
+      const std::uint16_t c = rd_u16be(out, field);
+      wr_u16be(out, field,
+               fold16(std::uint32_t{c} + a4 +
+                      static_cast<std::uint16_t>(~a6 & 0xffff)));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Bytes reframe(const EncapSpec& spec, ByteView ipv4_datagram) {
+  switch (spec.framing) {
+    case Framing::v4:
+      return Bytes(ipv4_datagram.begin(), ipv4_datagram.end());
+    case Framing::v6:
+      return translate_v6(spec, ipv4_datagram);
+    case Framing::vlan:
+      return wrap_vlan(wrap_ethernet(ipv4_datagram), spec.vlan_id);
+    case Framing::qinq:
+      return wrap_vlan(
+          wrap_vlan(wrap_ethernet(ipv4_datagram), spec.vlan_id),
+          spec.vlan_outer_id, kEtherTypeQinQ);
+    case Framing::vxlan: {
+      Ipv4Spec outer;
+      outer.src = spec.tunnel_src;
+      outer.dst = spec.tunnel_dst;
+      return wrap_vxlan(outer, spec.vxlan_src_port, spec.vni,
+                        wrap_ethernet(ipv4_datagram));
+    }
+    case Framing::gre: {
+      Ipv4Spec outer;
+      outer.src = spec.tunnel_src;
+      outer.dst = spec.tunnel_dst;
+      return wrap_gre(outer, ipv4_datagram);
+    }
+  }
+  throw InvalidArgument("reframe: unknown framing");
+}
+
+}  // namespace sdt::net

@@ -1,0 +1,78 @@
+// Deterministic re-framing of IPv4 datagrams into the wider traffic
+// universe: IPv6 translation, 802.1Q tagging, VXLAN/GRE tunneling.
+//
+// The evasion library and the fuzz generator both forge raw IPv4 datagrams;
+// reframe() is the post-pass that carries an entire schedule into another
+// encapsulation WITHOUT changing any byte the detection engines reason
+// about. In particular the v4→v6 translation patches the transport checksum
+// by the pseudo-header delta only (RFC 1624 incremental update), so a
+// deliberately corrupted checksum stays exactly as corrupted — same attack
+// bytes, same verdicts, any framing.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "net/addr.hpp"
+#include "net/headers.hpp"
+#include "util/bytes.hpp"
+
+namespace sdt::net {
+
+/// The framings the generator and golden traces exercise. v4 is the
+/// identity; everything else wraps or translates the forged v4 datagram.
+enum class Framing : std::uint8_t {
+  v4 = 0,     // raw IPv4 datagram (the forge's native output)
+  v6 = 1,     // translated to IPv6 (addresses v4-embedded, checksum delta)
+  vlan = 2,   // Ethernet + one 802.1Q tag
+  qinq = 3,   // Ethernet + 802.1ad outer tag + 802.1Q inner tag
+  vxlan = 4,  // inner Ethernet frame inside VXLAN/UDP/IPv4
+  gre = 5,    // inner datagram inside GRE/IPv4
+};
+
+const char* to_string(Framing f);
+
+/// Inverse of to_string; throws InvalidArgument on an unknown name.
+Framing framing_from_string(std::string_view name);
+
+/// Parameters of a re-framing pass. Every field is deterministic state, so
+/// (schedule, spec) reproduces byte-identical traffic.
+struct EncapSpec {
+  Framing framing = Framing::v4;
+  std::uint16_t vlan_id = 100;        // inner (or only) 802.1Q tag
+  std::uint16_t vlan_outer_id = 200;  // outer 802.1ad tag for qinq
+  Ipv4Addr tunnel_src{192, 0, 2, 1};  // outer endpoints for vxlan/gre
+  Ipv4Addr tunnel_dst{192, 0, 2, 2};
+  std::uint32_t vni = 4097;
+  std::uint16_t vxlan_src_port = 49152;
+  /// hi word of translated IPv6 addresses (v6 framing). The low word is
+  /// 0x646 ("d46") shifted | the original v4 address, so translated
+  /// addresses collide with nothing v4-mapped.
+  std::uint64_t v6_prefix_hi = 0x20010db800000000ull;
+
+  /// pcap/dispatcher link type the re-framed traffic needs.
+  LinkType link() const {
+    return (framing == Framing::vlan || framing == Framing::qinq)
+               ? LinkType::ethernet
+               : LinkType::raw_ipv4;
+  }
+};
+
+/// Map a v4 address into the spec's deterministic IPv6 range.
+IpAddr translate_v6_addr(const EncapSpec& spec, Ipv4Addr a);
+
+/// Inverse: an address in the spec's translated range comes back as its
+/// v4-mapped original; anything else returns unchanged. Lets verdict-parity
+/// checks compare v4 and v6 runs of the same schedules key for key.
+IpAddr untranslate_v6_addr(const EncapSpec& spec, IpAddr a);
+
+/// Re-frame one forged IPv4 datagram according to `spec`. The input must be
+/// a raw IPv4 datagram (whole or fragment, hostile headers allowed as long
+/// as the base 20-byte header parses); the output is a frame of
+/// spec.link()'s type. Framing::v4 returns the input unchanged.
+///
+/// Throws InvalidArgument if the input is too broken to carry (shorter than
+/// a base header, IHL lies) — the generator never forges such datagrams.
+Bytes reframe(const EncapSpec& spec, ByteView ipv4_datagram);
+
+}  // namespace sdt::net

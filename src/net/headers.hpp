@@ -17,9 +17,12 @@ enum class IpProto : std::uint8_t {
   icmp = 1,
   tcp = 6,
   udp = 17,
+  gre = 47,
 };
 
 /// pcap link-layer types we understand (values match the pcap spec).
+/// raw_ipv4 (DLT_RAW, 101) carries bare IP datagrams of either version —
+/// the name is historical; the version nibble disambiguates.
 enum class LinkType : std::uint32_t {
   ethernet = 1,
   raw_ipv4 = 101,
@@ -35,9 +38,30 @@ inline constexpr std::uint8_t kTcpUrg = 0x20;
 
 inline constexpr std::size_t kEthernetHeaderLen = 14;
 inline constexpr std::uint16_t kEtherTypeIpv4 = 0x0800;
+inline constexpr std::uint16_t kEtherTypeIpv6 = 0x86dd;
+inline constexpr std::uint16_t kEtherTypeVlan = 0x8100;   // 802.1Q C-tag
+inline constexpr std::uint16_t kEtherTypeQinQ = 0x88a8;   // 802.1ad S-tag
+inline constexpr std::size_t kVlanTagLen = 4;             // TPID + TCI
+/// Deepest 802.1Q stack we deliver; a third tag is treated as non-IP.
+inline constexpr std::size_t kMaxVlanTags = 2;
 inline constexpr std::size_t kIpv4MinHeaderLen = 20;
+inline constexpr std::size_t kIpv6HeaderLen = 40;
+inline constexpr std::size_t kIpv6FragHeaderLen = 8;
+/// Bound on the IPv6 extension-header walk; a longer chain is rejected as
+/// bad_ext_header (evasion surface: unbounded chains stall the parser).
+inline constexpr std::size_t kMaxIpv6ExtHeaders = 8;
+// IPv6 extension-header next-header values we walk through.
+inline constexpr std::uint8_t kIpv6ExtHopByHop = 0;
+inline constexpr std::uint8_t kIpv6ExtRouting = 43;
+inline constexpr std::uint8_t kIpv6ExtFragment = 44;
+inline constexpr std::uint8_t kIpv6ExtDestOpts = 60;
 inline constexpr std::size_t kTcpMinHeaderLen = 20;
 inline constexpr std::size_t kUdpHeaderLen = 8;
+inline constexpr std::uint16_t kVxlanPort = 4789;
+inline constexpr std::size_t kVxlanHeaderLen = 8;
+/// VXLAN flags byte: only the I bit (valid VNI) may be set.
+inline constexpr std::uint8_t kVxlanFlags = 0x08;
+inline constexpr std::size_t kGreMinHeaderLen = 4;
 
 // IPv4 fragmentation bits in the flags/fragment-offset field.
 inline constexpr std::uint16_t kIpFlagDf = 0x4000;
@@ -86,6 +110,26 @@ class Ipv4View {
   ByteView options() const {
     return h_.subspan(kIpv4MinHeaderLen, header_len() - kIpv4MinHeaderLen);
   }
+  ByteView raw() const { return h_; }
+
+ private:
+  ByteView h_;
+};
+
+/// View over the fixed 40-byte IPv6 base header.
+class Ipv6View {
+ public:
+  Ipv6View() = default;
+  explicit Ipv6View(ByteView h) : h_(h) {}
+
+  std::uint8_t version() const { return h_[0] >> 4; }
+  std::uint16_t payload_length() const { return rd_u16be(h_, 4); }
+  std::uint8_t next_header() const { return h_[6]; }
+  std::uint8_t hop_limit() const { return h_[7]; }
+  IpAddr src() const { return IpAddr::v6(h_.data() + 8); }
+  IpAddr dst() const { return IpAddr::v6(h_.data() + 24); }
+  ByteView src_bytes() const { return h_.subspan(8, 16); }
+  ByteView dst_bytes() const { return h_.subspan(24, 16); }
   ByteView raw() const { return h_; }
 
  private:

@@ -8,12 +8,16 @@ const char* to_string(ParseStatus s) {
       return "ok";
     case ParseStatus::truncated_l2:
       return "truncated_l2";
-    case ParseStatus::not_ipv4:
-      return "not_ipv4";
+    case ParseStatus::not_ip:
+      return "not_ip";
     case ParseStatus::truncated_l3:
       return "truncated_l3";
     case ParseStatus::bad_ip_header:
       return "bad_ip_header";
+    case ParseStatus::bad_ext_header:
+      return "bad_ext_header";
+    case ParseStatus::bad_decap:
+      return "bad_decap";
     case ParseStatus::fragment:
       return "fragment";
     case ParseStatus::unsupported_proto:
@@ -24,41 +28,131 @@ const char* to_string(ParseStatus s) {
   return "unknown";
 }
 
-PacketView PacketView::parse(ByteView frame, LinkType lt) {
-  PacketView pv;
-  pv.frame = frame;
+namespace {
 
-  ByteView l3 = frame;
-  if (lt == LinkType::ethernet) {
-    if (frame.size() < kEthernetHeaderLen) {
-      pv.status = ParseStatus::truncated_l2;
-      return pv;
-    }
-    EthernetView eth(frame);
-    if (eth.ether_type() != kEtherTypeIpv4) {
-      pv.status = ParseStatus::not_ipv4;
-      return pv;
-    }
-    l3 = frame.subspan(kEthernetHeaderLen);
-  }
+// Forward declarations: the parse is (shallowly) recursive through tunnel
+// decap. `depth` > 0 disables further decapsulation — exactly one
+// outer→inner re-index per frame, so a tunnel-in-tunnel payload is
+// delivered as the first inner packet (plain UDP / unsupported_proto)
+// rather than walked indefinitely.
+PacketView parse_ip(ByteView datagram, int depth, std::uint8_t expect_version);
+PacketView parse_ethernet(ByteView frame, int depth);
 
-  PacketView inner = parse_ipv4(l3);
-  inner.frame = frame;
+/// VXLAN decap: `outer` is a fully parsed UDP packet with dst port 4789.
+/// The payload must be an 8-byte VXLAN header (flags == 0x08) followed by
+/// an inner Ethernet frame. A non-IP inner ethertype keeps the outer plain
+/// UDP view; a structurally broken tunnel payload rejects the whole frame.
+PacketView decap_vxlan(const PacketView& outer, int depth) {
+  const ByteView p = outer.l4_payload;
+  PacketView bad = outer;
+  bad.status = ParseStatus::bad_decap;
+  if (p.size() < kVxlanHeaderLen + kEthernetHeaderLen) return bad;
+  if (p[0] != kVxlanFlags) return bad;
+  PacketView inner = parse_ethernet(p.subspan(kVxlanHeaderLen), depth + 1);
+  if (inner.status == ParseStatus::not_ip) return outer;
+  if (is_malformed(inner.status)) return bad;
+  inner.frame = outer.frame;
+  inner.vlan_tags = static_cast<std::uint8_t>(inner.vlan_tags + outer.vlan_tags);
+  inner.encap = Encap::vxlan;
+  inner.outer_src = outer.outer_src;
+  inner.outer_dst = outer.outer_dst;
+  inner.outer_hdr = outer.outer_hdr;
+  inner.outer_version = outer.outer_version;
   return inner;
 }
 
-PacketView PacketView::parse_ipv4(ByteView datagram) {
+/// GRE decap (RFC 2784 + the key/sequence extensions of RFC 2890): `outer`
+/// carries IP headers already filled; `l4` is the GRE header + payload.
+/// Version != 0 or the deprecated routing-present bit rejects; a non-IP
+/// protocol field keeps the outer unsupported_proto view (same class the
+/// frame had before GRE decap existed); an inner datagram that contradicts
+/// the declared protocol or is malformed rejects the whole frame.
+PacketView decap_gre(const PacketView& outer, ByteView l4, int depth) {
+  PacketView bad = outer;
+  bad.status = ParseStatus::bad_decap;
+  if (l4.size() < kGreMinHeaderLen) return bad;
+  const std::uint8_t flags = l4[0];
+  if ((l4[1] & 0x07) != 0) return bad;       // version must be 0
+  if ((flags & 0x40) != 0) return bad;       // routing-present: deprecated
+  std::size_t hdr = kGreMinHeaderLen;
+  if ((flags & 0x80) != 0) hdr += 4;         // checksum + reserved
+  if ((flags & 0x20) != 0) hdr += 4;         // key
+  if ((flags & 0x10) != 0) hdr += 4;         // sequence number
+  if (l4.size() < hdr) return bad;
+  const std::uint16_t proto = rd_u16be(l4, 2);
+  if (proto != kEtherTypeIpv4 && proto != kEtherTypeIpv6) {
+    PacketView pv = outer;
+    pv.status = ParseStatus::unsupported_proto;
+    return pv;
+  }
+  PacketView inner = parse_ip(l4.subspan(hdr), depth + 1,
+                              proto == kEtherTypeIpv4 ? 4 : 6);
+  if (inner.status == ParseStatus::not_ip || is_malformed(inner.status)) {
+    return bad;
+  }
+  inner.frame = outer.frame;
+  inner.vlan_tags = outer.vlan_tags;
+  inner.encap = Encap::gre;
+  inner.outer_src = outer.outer_src;
+  inner.outer_dst = outer.outer_dst;
+  inner.outer_hdr = outer.outer_hdr;
+  inner.outer_version = outer.outer_version;
+  return inner;
+}
+
+/// Shared TCP/UDP tail for both IP versions. `pv` has its network layer
+/// filled; `l4` is the transport header + payload slice.
+PacketView parse_transport(PacketView pv, ByteView l4, std::uint8_t proto,
+                           int depth) {
+  switch (proto) {
+    case static_cast<std::uint8_t>(IpProto::tcp): {
+      pv.proto = IpProto::tcp;
+      if (l4.size() < kTcpMinHeaderLen) {
+        pv.status = ParseStatus::truncated_l4;
+        return pv;
+      }
+      const std::size_t doff = static_cast<std::size_t>(l4[12] >> 4) * 4;
+      if (doff < kTcpMinHeaderLen || doff > l4.size()) {
+        pv.status = ParseStatus::truncated_l4;
+        return pv;
+      }
+      pv.tcp = TcpView(l4.subspan(0, doff));
+      pv.l4_span = l4;
+      pv.l4_payload = l4.subspan(doff);
+      pv.has_tcp = true;
+      pv.status = ParseStatus::ok;
+      return pv;
+    }
+    case static_cast<std::uint8_t>(IpProto::udp): {
+      pv.proto = IpProto::udp;
+      if (l4.size() < kUdpHeaderLen) {
+        pv.status = ParseStatus::truncated_l4;
+        return pv;
+      }
+      pv.udp = UdpView(l4.subspan(0, kUdpHeaderLen));
+      pv.l4_span = l4;
+      pv.l4_payload = l4.subspan(kUdpHeaderLen);
+      pv.has_udp = true;
+      pv.status = ParseStatus::ok;
+      if (depth == 0 && pv.udp.dst_port() == kVxlanPort) {
+        return decap_vxlan(pv, depth);
+      }
+      return pv;
+    }
+    case static_cast<std::uint8_t>(IpProto::gre):
+      if (depth == 0) return decap_gre(pv, l4, depth);
+      pv.status = ParseStatus::unsupported_proto;
+      return pv;
+    default:
+      pv.status = ParseStatus::unsupported_proto;
+      return pv;
+  }
+}
+
+PacketView parse_v4(ByteView datagram, int depth) {
   PacketView pv;
   pv.frame = datagram;
 
-  if (datagram.size() < kIpv4MinHeaderLen) {
-    pv.status = ParseStatus::truncated_l3;
-    return pv;
-  }
-  if ((datagram[0] >> 4) != 4) {
-    pv.status = ParseStatus::not_ipv4;
-    return pv;
-  }
   const std::size_t ihl = std::size_t{datagram[0] & 0xfu} * 4;
   if (ihl < kIpv4MinHeaderLen) {
     pv.status = ParseStatus::bad_ip_header;
@@ -77,48 +171,171 @@ PacketView PacketView::parse_ipv4(ByteView datagram) {
   pv.ip_datagram = datagram.subspan(0, total_len);
   pv.ipv4 = Ipv4View(pv.ip_datagram.subspan(0, ihl));
   pv.has_ipv4 = true;
+  pv.outer_src = IpAddr::v4(pv.ipv4.src());
+  pv.outer_dst = IpAddr::v4(pv.ipv4.dst());
+  pv.outer_hdr = pv.ip_datagram.subspan(0, kIpv4MinHeaderLen);
+  pv.outer_version = 4;
 
   if (pv.ipv4.is_fragment()) {
     pv.status = ParseStatus::fragment;
+    pv.frag_id = pv.ipv4.id();
+    pv.frag_offset = static_cast<std::uint32_t>(pv.ipv4.fragment_offset());
+    pv.frag_more = pv.ipv4.more_fragments();
+    pv.frag_proto = pv.ipv4.protocol();
+    pv.frag_head = pv.ipv4.raw();
+    pv.frag_payload = pv.ip_datagram.subspan(ihl);
     return pv;
   }
 
   const ByteView l4 = pv.ip_datagram.subspan(ihl);
-  switch (pv.ipv4.protocol()) {
-    case static_cast<std::uint8_t>(IpProto::tcp): {
-      pv.proto = IpProto::tcp;
-      if (l4.size() < kTcpMinHeaderLen) {
-        pv.status = ParseStatus::truncated_l4;
-        return pv;
-      }
-      const std::size_t doff = static_cast<std::size_t>(l4[12] >> 4) * 4;
-      if (doff < kTcpMinHeaderLen || doff > l4.size()) {
-        pv.status = ParseStatus::truncated_l4;
-        return pv;
-      }
-      pv.tcp = TcpView(l4.subspan(0, doff));
-      pv.l4_payload = l4.subspan(doff);
-      pv.has_tcp = true;
-      break;
-    }
-    case static_cast<std::uint8_t>(IpProto::udp): {
-      pv.proto = IpProto::udp;
-      if (l4.size() < kUdpHeaderLen) {
-        pv.status = ParseStatus::truncated_l4;
-        return pv;
-      }
-      pv.udp = UdpView(l4.subspan(0, kUdpHeaderLen));
-      pv.l4_payload = l4.subspan(kUdpHeaderLen);
-      pv.has_udp = true;
-      break;
-    }
-    default:
-      pv.status = ParseStatus::unsupported_proto;
+  const std::uint8_t proto = pv.ipv4.protocol();
+  return parse_transport(std::move(pv), l4, proto, depth);
+}
+
+PacketView parse_v6(ByteView datagram, int depth) {
+  PacketView pv;
+  pv.frame = datagram;
+
+  if (datagram.size() < kIpv6HeaderLen) {
+    pv.status = ParseStatus::truncated_l3;
+    return pv;
+  }
+  const std::size_t total = kIpv6HeaderLen + rd_u16be(datagram, 4);
+  if (datagram.size() < total) {
+    pv.status = ParseStatus::truncated_l3;
+    return pv;
+  }
+  pv.ip_datagram = datagram.subspan(0, total);
+  pv.ipv6 = Ipv6View(pv.ip_datagram.subspan(0, kIpv6HeaderLen));
+  pv.has_ipv6 = true;
+  pv.outer_src = pv.ipv6.src();
+  pv.outer_dst = pv.ipv6.dst();
+  pv.outer_hdr = pv.ipv6.raw();
+  pv.outer_version = 6;
+
+  // Bounded extension-header walk. Each header advances the offset by at
+  // least 8 bytes; the count cap turns both loops and overlong chains into
+  // bad_ext_header rejections at the edge.
+  const ByteView d = pv.ip_datagram;
+  std::size_t off = kIpv6HeaderLen;
+  std::size_t nh_off = 6;  // offset of the byte naming the current header
+  std::uint8_t nh = pv.ipv6.next_header();
+  std::size_t count = 0;
+  while (nh == kIpv6ExtHopByHop || nh == kIpv6ExtRouting ||
+         nh == kIpv6ExtFragment || nh == kIpv6ExtDestOpts) {
+    if (++count > kMaxIpv6ExtHeaders || off + 8 > d.size()) {
+      pv.status = ParseStatus::bad_ext_header;
       return pv;
+    }
+    if (nh == kIpv6ExtFragment) {
+      const std::uint16_t off_flags = rd_u16be(d, off + 2);
+      const std::uint32_t frag_off = off_flags & 0xfff8u;
+      const bool more = (off_flags & 0x1u) != 0;
+      if (frag_off != 0 || more) {
+        pv.status = ParseStatus::fragment;
+        pv.frag_proto = d[off];
+        pv.frag_offset = frag_off;
+        pv.frag_more = more;
+        pv.frag_id = rd_u32be(d, off + 4);
+        pv.frag_head = d.first(off);
+        pv.frag_nh_off = static_cast<std::uint16_t>(nh_off);
+        pv.frag_payload = d.subspan(off + kIpv6FragHeaderLen);
+        return pv;
+      }
+      // Atomic fragment (offset 0, MF 0): skip the header, keep walking.
+      nh = d[off];
+      nh_off = off;
+      off += kIpv6FragHeaderLen;
+      continue;
+    }
+    const std::size_t ext_len = 8 + std::size_t{d[off + 1]} * 8;
+    if (off + ext_len > d.size()) {
+      pv.status = ParseStatus::bad_ext_header;
+      return pv;
+    }
+    nh = d[off];
+    nh_off = off;
+    off += ext_len;
   }
 
-  pv.status = ParseStatus::ok;
-  return pv;
+  const ByteView l4 = d.subspan(off);
+  return parse_transport(std::move(pv), l4, nh, depth);
+}
+
+PacketView parse_ip(ByteView datagram, int depth,
+                    std::uint8_t expect_version) {
+  // Length floor BEFORE the version nibble: a frame too short to carry any
+  // IP header is truncated_l3 (rejected) even if the nibble is garbage.
+  // peek_lane mirrors this ordering.
+  if (datagram.size() < kIpv4MinHeaderLen) {
+    PacketView pv;
+    pv.frame = datagram;
+    pv.status = ParseStatus::truncated_l3;
+    return pv;
+  }
+  const std::uint8_t ver = datagram[0] >> 4;
+  if ((expect_version != 0 && ver != expect_version) ||
+      (ver != 4 && ver != 6)) {
+    PacketView pv;
+    pv.frame = datagram;
+    pv.status = ParseStatus::not_ip;
+    return pv;
+  }
+  return ver == 4 ? parse_v4(datagram, depth) : parse_v6(datagram, depth);
+}
+
+PacketView parse_ethernet(ByteView frame, int depth) {
+  PacketView pv;
+  pv.frame = frame;
+  if (frame.size() < kEthernetHeaderLen) {
+    pv.status = ParseStatus::truncated_l2;
+    return pv;
+  }
+  // 802.1Q walk: each tag shifts the real EtherType 4 bytes right. Up to
+  // kMaxVlanTags (double-tagged / QinQ); deeper stacks are delivered as
+  // non-IP rather than walked.
+  std::size_t pos = 12;
+  std::uint16_t et = rd_u16be(frame, pos);
+  std::uint8_t tags = 0;
+  while (et == kEtherTypeVlan || et == kEtherTypeQinQ) {
+    if (tags == kMaxVlanTags) {
+      pv.status = ParseStatus::not_ip;
+      pv.vlan_tags = tags;
+      return pv;
+    }
+    pos += kVlanTagLen;
+    if (frame.size() < pos + 2) {
+      pv.status = ParseStatus::truncated_l2;
+      return pv;
+    }
+    et = rd_u16be(frame, pos);
+    ++tags;
+  }
+  if (et != kEtherTypeIpv4 && et != kEtherTypeIpv6) {
+    pv.status = ParseStatus::not_ip;
+    pv.vlan_tags = tags;
+    return pv;
+  }
+  PacketView inner = parse_ip(frame.subspan(pos + 2), depth,
+                              et == kEtherTypeIpv4 ? 4 : 6);
+  inner.frame = frame;
+  inner.vlan_tags = static_cast<std::uint8_t>(inner.vlan_tags + tags);
+  return inner;
+}
+
+}  // namespace
+
+PacketView PacketView::parse(ByteView frame, LinkType lt) {
+  if (lt == LinkType::ethernet) return parse_ethernet(frame, 0);
+  return parse_ip(frame, 0, 0);
+}
+
+PacketView PacketView::parse_l3(ByteView datagram) {
+  return parse_ip(datagram, 0, 0);
+}
+
+PacketView PacketView::parse_ipv4(ByteView datagram) {
+  return parse_ip(datagram, 0, 4);
 }
 
 PacketIndex PacketIndex::index(ByteView frame, LinkType lt) {
@@ -127,26 +344,42 @@ PacketIndex PacketIndex::index(ByteView frame, LinkType lt) {
   ix.status = pv.status;
   ix.proto = pv.proto;
   ix.has_ipv4 = pv.has_ipv4;
+  ix.has_ipv6 = pv.has_ipv6;
   ix.has_tcp = pv.has_tcp;
   ix.has_udp = pv.has_udp;
+  ix.vlan_tags = pv.vlan_tags;
+  ix.encap = pv.encap;
+  ix.outer_version = pv.outer_version;
   const auto off_of = [&](ByteView part) {
     return static_cast<std::uint32_t>(part.data() - frame.data());
   };
-  if (pv.has_ipv4) {
+  if (pv.has_ipv4 || pv.has_ipv6) {
     ix.l3_off = off_of(pv.ip_datagram);
     ix.l3_len = static_cast<std::uint32_t>(pv.ip_datagram.size());
-    ix.ihl = static_cast<std::uint16_t>(pv.ipv4.raw().size());
+    ix.ihl = pv.has_ipv4 ? static_cast<std::uint16_t>(pv.ipv4.raw().size())
+                         : static_cast<std::uint16_t>(kIpv6HeaderLen);
   }
+  if (pv.outer_version != 0) ix.outer_l3_off = off_of(pv.outer_hdr);
   if (pv.has_tcp) {
     ix.l4_off = off_of(pv.tcp.raw());
     ix.l4_hdr_len = static_cast<std::uint16_t>(pv.tcp.raw().size());
   } else if (pv.has_udp) {
-    ix.l4_off = ix.l3_off + ix.ihl;
+    ix.l4_off = off_of(pv.l4_span);
     ix.l4_hdr_len = static_cast<std::uint16_t>(kUdpHeaderLen);
   }
   if (pv.has_tcp || pv.has_udp) {
     ix.payload_off = off_of(pv.l4_payload);
     ix.payload_len = static_cast<std::uint32_t>(pv.l4_payload.size());
+  }
+  if (pv.is_fragment()) {
+    ix.frag_id = pv.frag_id;
+    ix.frag_offset = pv.frag_offset;
+    ix.frag_more = pv.frag_more;
+    ix.frag_proto = pv.frag_proto;
+    ix.frag_head_len = static_cast<std::uint16_t>(pv.frag_head.size());
+    ix.frag_nh_off = pv.frag_nh_off;
+    ix.payload_off = off_of(pv.frag_payload);
+    ix.payload_len = static_cast<std::uint32_t>(pv.frag_payload.size());
   }
   return ix;
 }
@@ -156,10 +389,27 @@ PacketView PacketIndex::view(ByteView frame) const {
   pv.status = status;
   pv.frame = frame;
   pv.proto = proto;
-  if (has_ipv4) {
+  pv.vlan_tags = vlan_tags;
+  pv.encap = encap;
+  pv.outer_version = outer_version;
+  if (has_ipv4 || has_ipv6) {
     pv.ip_datagram = frame.subspan(l3_off, l3_len);
-    pv.ipv4 = Ipv4View(pv.ip_datagram.subspan(0, ihl));
-    pv.has_ipv4 = true;
+    if (has_ipv4) {
+      pv.ipv4 = Ipv4View(pv.ip_datagram.subspan(0, ihl));
+      pv.has_ipv4 = true;
+    } else {
+      pv.ipv6 = Ipv6View(pv.ip_datagram.subspan(0, kIpv6HeaderLen));
+      pv.has_ipv6 = true;
+    }
+  }
+  if (outer_version == 4) {
+    pv.outer_hdr = frame.subspan(outer_l3_off, kIpv4MinHeaderLen);
+    pv.outer_src = IpAddr::v4(Ipv4Addr{rd_u32be(frame, outer_l3_off + 12)});
+    pv.outer_dst = IpAddr::v4(Ipv4Addr{rd_u32be(frame, outer_l3_off + 16)});
+  } else if (outer_version == 6) {
+    pv.outer_hdr = frame.subspan(outer_l3_off, kIpv6HeaderLen);
+    pv.outer_src = IpAddr::v6(frame.data() + outer_l3_off + 8);
+    pv.outer_dst = IpAddr::v6(frame.data() + outer_l3_off + 24);
   }
   if (has_tcp) {
     pv.tcp = TcpView(frame.subspan(l4_off, l4_hdr_len));
@@ -169,7 +419,17 @@ PacketView PacketIndex::view(ByteView frame) const {
     pv.has_udp = true;
   }
   if (has_tcp || has_udp) {
+    pv.l4_span = frame.subspan(l4_off, l3_off + l3_len - l4_off);
     pv.l4_payload = frame.subspan(payload_off, payload_len);
+  }
+  if (status == ParseStatus::fragment) {
+    pv.frag_id = frag_id;
+    pv.frag_offset = frag_offset;
+    pv.frag_more = frag_more;
+    pv.frag_proto = frag_proto;
+    pv.frag_nh_off = frag_nh_off;
+    pv.frag_head = frame.subspan(l3_off, frag_head_len);
+    pv.frag_payload = frame.subspan(payload_off, payload_len);
   }
   return pv;
 }

@@ -4,6 +4,14 @@
 // Parsing returns a status enum rather than throwing: malformed frames are
 // an expected input class for an IPS (and an attack vector), so the fast
 // path must classify them at wire speed, not unwind stacks.
+//
+// The decode is encapsulation-aware: EtherType dispatch for IPv4/IPv6,
+// single and double 802.1Q tags, a bounded IPv6 extension-header walk, and
+// one level of tunnel decapsulation (VXLAN over UDP, GRE). After decap the
+// view describes the INNER packet (ip_datagram, flow addresses, transport),
+// while `outer_src`/`outer_dst` keep the outermost IP pair — that pair is
+// what lane hashing uses, so a header peek that never decapsulates still
+// agrees with the full parse (see runtime::peek_lane).
 #pragma once
 
 #include <cstdint>
@@ -18,23 +26,38 @@ namespace sdt::net {
 enum class ParseStatus : std::uint8_t {
   ok,
   truncated_l2,
-  not_ipv4,           // non-IPv4 ethertype or IP version != 4
-  truncated_l3,       // frame shorter than the IPv4 header claims
+  not_ip,             // non-IP ethertype, >2 VLAN tags, or IP version not 4/6
+  truncated_l3,       // frame shorter than the IP header claims
   bad_ip_header,      // IHL < 20 or > total length
-  fragment,           // valid IPv4 fragment: L4 cannot be parsed here
+  bad_ext_header,     // truncated / overlong IPv6 extension-header chain
+  bad_decap,          // malformed tunnel header or lying inner frame
+  fragment,           // valid IP fragment: L4 cannot be parsed here
   unsupported_proto,  // L4 protocol we do not decode (forwarded untouched)
   truncated_l4,       // transport header runs past the datagram
 };
 
 const char* to_string(ParseStatus s);
 
-/// True for frames that are structurally broken (truncated at some layer or
-/// carrying an impossible IPv4 header) as opposed to merely unhandled
-/// (non-IPv4, unknown transport) or valid-but-partial (fragments).
+/// True for frames that are structurally broken (truncated at some layer,
+/// carrying an impossible IP header, or lying about a tunnel payload) as
+/// opposed to merely unhandled (non-IP, unknown transport) or
+/// valid-but-partial (fragments).
 inline bool is_malformed(ParseStatus s) {
   return s == ParseStatus::truncated_l2 || s == ParseStatus::truncated_l3 ||
-         s == ParseStatus::bad_ip_header || s == ParseStatus::truncated_l4;
+         s == ParseStatus::bad_ip_header || s == ParseStatus::truncated_l4 ||
+         s == ParseStatus::bad_ext_header || s == ParseStatus::bad_decap;
 }
+
+/// Encapsulation the parser saw in front of the inner IP datagram.
+enum class Encap : std::uint8_t {
+  none = 0,
+  vxlan = 1,
+  gre = 2,
+};
+
+/// Sentinel for PacketView::frag_nh_off / PacketIndex::frag_nh_off: no
+/// next-header byte to patch (IPv4 fragments).
+inline constexpr std::uint16_t kNoNhOff = 0xffff;
 
 /// Decoded layers of a single frame. Views alias the original buffer, which
 /// must outlive the PacketView.
@@ -42,23 +65,66 @@ struct PacketView {
   ParseStatus status = ParseStatus::ok;
 
   ByteView frame;        // entire captured frame
-  ByteView ip_datagram;  // IPv4 header + payload (as captured, may be a fragment)
-  Ipv4View ipv4;         // valid when status >= truncated_l3 stages passed
+  ByteView ip_datagram;  // inner IP header + payload (after any decap)
+  Ipv4View ipv4;         // valid when has_ipv4 (inner header)
   bool has_ipv4 = false;
+  Ipv6View ipv6;         // valid when has_ipv6 (inner header)
+  bool has_ipv6 = false;
 
-  IpProto proto = IpProto::tcp;  // meaningful only when has_l4
+  /// Outermost IP address pair — equal to the inner pair unless the frame
+  /// was decapsulated. Lane hashing keys on this pair (a peek cannot see
+  /// through a tunnel; a tunnel cannot split a flow across lanes).
+  IpAddr outer_src;
+  IpAddr outer_dst;
+  ByteView outer_hdr;              // outermost IP header bytes (fixed part)
+  std::uint8_t outer_version = 0;  // 4 or 6; 0 = frame has no IP layer
+
+  std::uint8_t vlan_tags = 0;   // 802.1Q tags stripped (0, 1 or 2)
+  Encap encap = Encap::none;    // tunnel the inner datagram was lifted from
+
+  IpProto proto = IpProto::tcp;  // meaningful only when has_tcp/has_udp
   bool has_tcp = false;
   bool has_udp = false;
   TcpView tcp;
   UdpView udp;
+  ByteView l4_span;     // transport header + payload (checksum coverage)
   ByteView l4_payload;  // TCP/UDP payload bytes
+
+  // Generic fragment description, valid when is_fragment(). v4 fragments
+  // fill it from the IPv4 header; v6 from the fragment extension header.
+  std::uint32_t frag_id = 0;
+  std::uint32_t frag_offset = 0;  // bytes
+  bool frag_more = false;
+  std::uint8_t frag_proto = 0;    // payload protocol of the whole datagram
+  ByteView frag_head;     // unfragmentable part (reassembly header template)
+  ByteView frag_payload;  // this fragment's payload bytes
+  /// v6 only: offset within frag_head of the next-header byte that pointed
+  /// at the fragment header (patched to frag_proto on reassembly).
+  std::uint16_t frag_nh_off = kNoNhOff;
 
   bool ok() const { return status == ParseStatus::ok; }
   /// A fragment parses "successfully" to L3 only.
   bool is_fragment() const { return status == ParseStatus::fragment; }
+  bool has_ip() const { return has_ipv4 || has_ipv6; }
+
+  /// Inner flow addresses, version-agnostic (v4 maps through IpAddr::v4).
+  IpAddr src_ip() const {
+    return has_ipv4 ? IpAddr::v4(ipv4.src()) : ipv6.src();
+  }
+  IpAddr dst_ip() const {
+    return has_ipv4 ? IpAddr::v4(ipv4.dst()) : ipv6.dst();
+  }
+  /// TTL (v4) or hop limit (v6) of the inner header.
+  std::uint8_t ip_ttl() const {
+    return has_ipv4 ? ipv4.ttl() : ipv6.hop_limit();
+  }
 
   /// Decode `frame` captured with link type `lt`.
   static PacketView parse(ByteView frame, LinkType lt);
+
+  /// Decode a bare IP datagram of either version (post-defrag re-parse,
+  /// raw link type). Dispatches on the version nibble.
+  static PacketView parse_l3(ByteView datagram);
 
   /// Decode an IPv4 datagram directly (used after defragmentation).
   static PacketView parse_ipv4(ByteView datagram);
@@ -73,17 +139,32 @@ struct PacketView {
 /// edge, carry the index, reconstruct views for free downstream.
 struct PacketIndex {
   ParseStatus status = ParseStatus::truncated_l2;
-  std::uint32_t l3_off = 0;       // IPv4 datagram offset within the frame
+  std::uint32_t l3_off = 0;       // inner IP datagram offset within the frame
   std::uint32_t l3_len = 0;       // datagram length (padding trimmed)
   std::uint32_t l4_off = 0;       // transport header offset within the frame
-  std::uint32_t payload_off = 0;  // L4 payload offset within the frame
+  std::uint32_t payload_off = 0;  // L4 (or fragment) payload offset
   std::uint32_t payload_len = 0;
-  std::uint16_t ihl = 0;          // IPv4 header length in bytes
+  std::uint16_t ihl = 0;          // inner IP header bytes before L4
   std::uint16_t l4_hdr_len = 0;   // TCP data-offset bytes / 8 for UDP
   IpProto proto = IpProto::tcp;   // meaningful only when has_tcp/has_udp
   bool has_ipv4 = false;
+  bool has_ipv6 = false;
   bool has_tcp = false;
   bool has_udp = false;
+
+  std::uint8_t vlan_tags = 0;
+  Encap encap = Encap::none;
+  std::uint8_t outer_version = 0;  // 0 = no outer IP (== inner for no tunnel)
+  std::uint32_t outer_l3_off = 0;  // outermost IP header offset
+
+  // Fragment description (valid when status == fragment); the payload span
+  // reuses payload_off/payload_len.
+  std::uint32_t frag_id = 0;
+  std::uint32_t frag_offset = 0;
+  bool frag_more = false;
+  std::uint8_t frag_proto = 0;
+  std::uint16_t frag_head_len = 0;  // frag_head = frame[l3_off, +frag_head_len)
+  std::uint16_t frag_nh_off = kNoNhOff;
 
   bool ok() const { return status == ParseStatus::ok; }
   bool malformed() const { return is_malformed(status); }

@@ -8,15 +8,16 @@ namespace sdt::reassembly {
 
 namespace {
 
-/// Defrag contexts are keyed by (src, dst, proto, IP id). We pack that into
-/// a FlowKey directly (no canonicalization — fragments are directional).
-flow::FlowKey defrag_key(const net::Ipv4View& ip) {
+/// Defrag contexts are keyed by (src, dst, proto, fragment id). We pack that
+/// into a FlowKey directly (no canonicalization — fragments are directional).
+/// The v6 fragment id is 32 bits, so it spans both port slots.
+flow::FlowKey defrag_key(const net::PacketView& pv) {
   flow::FlowKey k;
-  k.a_ip = ip.src();
-  k.b_ip = ip.dst();
-  k.a_port = ip.id();
-  k.b_port = 0;
-  k.proto = ip.protocol();
+  k.a_ip = pv.src_ip();
+  k.b_ip = pv.dst_ip();
+  k.a_port = static_cast<std::uint16_t>(pv.frag_id >> 16);
+  k.b_port = static_cast<std::uint16_t>(pv.frag_id & 0xffff);
+  k.proto = pv.frag_proto;
   return k;
 }
 
@@ -30,12 +31,11 @@ IpDefragmenter::IpDefragmenter(IpDefragConfig cfg)
 
 std::optional<Bytes> IpDefragmenter::add(const net::PacketView& pv,
                                          std::uint64_t now_usec) {
-  if (!pv.has_ipv4 || !pv.ipv4.is_fragment()) return std::nullopt;
+  if (!pv.is_fragment()) return std::nullopt;
   ++stats_.fragments_in;
 
-  const net::Ipv4View& ip = pv.ipv4;
-  const std::size_t off = ip.fragment_offset();
-  const ByteView data = pv.ip_datagram.subspan(ip.header_len());
+  const std::size_t off = pv.frag_offset;
+  const ByteView data = pv.frag_payload;
 
   if (off + data.size() > cfg_.max_datagram_bytes) {
     ++stats_.dropped_oversize;
@@ -44,17 +44,18 @@ std::optional<Bytes> IpDefragmenter::add(const net::PacketView& pv,
 
   const bool at_capacity = table_.size() >= cfg_.max_pending_datagrams;
   bool created = false;
-  Pending& p = table_.get_or_create(defrag_key(ip), now_usec, &created);
+  Pending& p = table_.get_or_create(defrag_key(pv), now_usec, &created);
   if (created && at_capacity) ++stats_.dropped_table_full;  // evicted an LRU
 
-  // Keep the offset-zero fragment's header as the rebuild template (fall
-  // back to whichever header arrived first).
+  // Keep the offset-zero fragment's unfragmentable part as the rebuild
+  // template (fall back to whichever header arrived first).
   if (p.header.empty() || off == 0) {
-    ByteView h = pv.ip_datagram.subspan(0, ip.header_len());
-    p.header.assign(h.begin(), h.end());
+    p.header.assign(pv.frag_head.begin(), pv.frag_head.end());
+    p.nh_off = pv.frag_nh_off;
+    p.proto = pv.frag_proto;
   }
 
-  if (!ip.more_fragments()) {
+  if (!pv.frag_more) {
     const std::size_t end = off + data.size();
     if (!p.have_last || cfg_.policy == IpOverlapPolicy::last) {
       p.total_len = end;
@@ -66,7 +67,7 @@ std::optional<Bytes> IpDefragmenter::add(const net::PacketView& pv,
 
   if (complete(p)) {
     Bytes out = assemble(p);
-    table_.erase(defrag_key(ip));
+    table_.erase(defrag_key(pv));
     ++stats_.datagrams_out;
     return out;
   }
@@ -162,18 +163,27 @@ bool IpDefragmenter::complete(const Pending& p) {
 Bytes IpDefragmenter::assemble(Pending& p) const {
   // Rebuild: header template with fragmentation cleared + payload bytes.
   Bytes header = p.header;
-  const std::size_t ihl = static_cast<std::size_t>(header[0] & 0xf) * 4;
-  const std::size_t total = ihl + p.total_len;
-  wr_u16be(header, 2, static_cast<std::uint16_t>(total));
-  // Clear MF and offset, keep DF.
-  const std::uint16_t ff = rd_u16be(header, 6);
-  wr_u16be(header, 6, static_cast<std::uint16_t>(ff & net::kIpFlagDf));
-  wr_u16be(header, 10, 0);
-  const std::uint16_t csum = net::checksum(ByteView(header.data(), ihl));
-  wr_u16be(header, 10, csum);
+  if (p.nh_off == net::kNoNhOff) {
+    // IPv4: patch total length, clear MF and offset (keep DF), re-checksum.
+    const std::size_t ihl = static_cast<std::size_t>(header[0] & 0xf) * 4;
+    wr_u16be(header, 2, static_cast<std::uint16_t>(ihl + p.total_len));
+    const std::uint16_t ff = rd_u16be(header, 6);
+    wr_u16be(header, 6, static_cast<std::uint16_t>(ff & net::kIpFlagDf));
+    wr_u16be(header, 10, 0);
+    const std::uint16_t csum = net::checksum(ByteView(header.data(), ihl));
+    wr_u16be(header, 10, csum);
+  } else {
+    // IPv6: the fragment extension header is not part of the template; link
+    // whatever pointed at it straight to the payload protocol and patch the
+    // payload length (everything after the 40-byte base header).
+    header[p.nh_off] = p.proto;
+    wr_u16be(header, 4,
+             static_cast<std::uint16_t>(header.size() - net::kIpv6HeaderLen +
+                                        p.total_len));
+  }
 
   Bytes out;
-  out.reserve(total);
+  out.reserve(header.size() + p.total_len);
   out.insert(out.end(), header.begin(), header.end());
   std::size_t copied = 0;
   for (const auto& [off, chunk] : p.chunks) {

@@ -1,10 +1,18 @@
-// IPv4 datagram defragmentation with selectable overlap policy.
+// IP datagram defragmentation (IPv4 headers and IPv6 fragment extension
+// headers) with selectable overlap policy.
 //
 // Overlapping fragments are the oldest Ptacek-Newsham ambiguity: different
 // receiving stacks keep different bytes, so an IPS that resolves overlaps
 // differently from the protected host is blind. The policy enum makes the
 // choice explicit; the conventional-IPS slow path defragments with the
 // policy of the protected target.
+//
+// Both versions reduce to the same generic model via PacketView's frag_*
+// fields: a reassembly key (addresses, fragment id, payload protocol), a
+// header template (the unfragmentable part), and offset/MF-driven chunk
+// assembly. Only assemble() differs: v4 patches total-length/flags/checksum,
+// v6 patches payload-length and the next-header byte that pointed at the
+// fragment header.
 #pragma once
 
 #include <cstdint>
@@ -38,14 +46,16 @@ struct IpDefragStats {
   std::uint64_t dropped_table_full = 0;
 };
 
-/// Reassembles IPv4 fragments into whole datagrams.
+/// Reassembles IPv4 and IPv6 fragments into whole datagrams.
 class IpDefragmenter {
  public:
   explicit IpDefragmenter(IpDefragConfig cfg = {});
 
   /// Feed one fragment (pv.is_fragment() must be true). Returns the rebuilt
-  /// whole datagram (fresh IPv4 header, MF=0, offset=0) once the last hole
-  /// closes, otherwise nullopt.
+  /// whole datagram once the last hole closes, otherwise nullopt. For v4 the
+  /// rebuilt header has MF=0, offset=0 and a fresh checksum; for v6 the
+  /// fragment extension header is gone (next-header re-linked, payload
+  /// length patched) — in both cases parse_l3() accepts the result.
   std::optional<Bytes> add(const net::PacketView& pv, std::uint64_t now_usec);
 
   /// Drop reassembly contexts older than the timeout. Returns count dropped.
@@ -63,8 +73,14 @@ class IpDefragmenter {
     std::size_t total_len = 0;  // known once the MF=0 fragment arrives, else 0
     std::size_t byte_count = 0;
     bool have_last = false;
-    // A template of the first fragment's header for rebuilding.
+    // The unfragmentable part of the first fragment (v4: IP header; v6: base
+    // header + any ext headers before the fragment header), the rebuild
+    // template.
     Bytes header;
+    // v6 only: offset in `header` of the next-header byte to re-link to
+    // `proto`; net::kNoNhOff marks a v4 context.
+    std::uint16_t nh_off = net::kNoNhOff;
+    std::uint8_t proto = 0;  // payload protocol of the whole datagram
   };
 
   void insert_chunk(Pending& p, std::size_t off, ByteView data);

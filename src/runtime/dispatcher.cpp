@@ -20,6 +20,18 @@ std::size_t ipv4_pair_lane(std::uint32_t src, std::uint32_t dst,
   return static_cast<std::size_t>(mix64(pair) % lanes);
 }
 
+/// IPv6 pair hash over the big-endian address bytes. Same structure as the
+/// v4 one: per-address mix, commutative combine.
+std::uint64_t ipv6_addr_mix(ByteView addr16) {
+  return mix64(rd_u64be(addr16, 0) ^ mix64(rd_u64be(addr16, 8)));
+}
+
+std::size_t ipv6_pair_lane(ByteView src16, ByteView dst16,
+                           std::size_t lanes) {
+  const std::uint64_t pair = ipv6_addr_mix(src16) ^ ipv6_addr_mix(dst16);
+  return static_cast<std::size_t>(mix64(pair) % lanes);
+}
+
 std::size_t fallback_lane(ByteView frame, std::size_t lanes) {
   // No address pair to hash. Mix the frame length with the leading bytes
   // (enough to cover any L2 addressing fields) so mixed non-IP traffic
@@ -33,8 +45,19 @@ std::size_t fallback_lane(ByteView frame, std::size_t lanes) {
 }  // namespace
 
 std::size_t address_pair_lane(const net::PacketView& pv, std::size_t lanes) {
-  if (!pv.has_ipv4) return fallback_lane(pv.frame, lanes);
-  return ipv4_pair_lane(pv.ipv4.src().value(), pv.ipv4.dst().value(), lanes);
+  // Hash the OUTERMOST address pair: a header peek cannot see through a
+  // tunnel, so the lane assignment must not either — and since every inner
+  // flow of one tunnel shares the outer pair, tunneling cannot split a
+  // flow across lanes (it concentrates them instead; see docs).
+  if (pv.outer_version == 4) {
+    return ipv4_pair_lane(pv.outer_src.to_v4().value(),
+                          pv.outer_dst.to_v4().value(), lanes);
+  }
+  if (pv.outer_version == 6) {
+    return ipv6_pair_lane(pv.outer_hdr.subspan(8, 16),
+                          pv.outer_hdr.subspan(24, 16), lanes);
+  }
+  return fallback_lane(pv.frame, lanes);
 }
 
 std::size_t peek_lane(ByteView frame, net::LinkType lt, std::size_t lanes) {
@@ -42,21 +65,49 @@ std::size_t peek_lane(ByteView frame, net::LinkType lt, std::size_t lanes) {
   // frame would take. Frames parse would reject as malformed may land
   // anywhere (they are rejected wherever they land, so the choice cannot
   // split a flow); every frame parse delivers must hash identically here.
+  // Tunnels never matter: the full parse hashes the outermost pair, which
+  // is exactly what this peek sees.
   ByteView l3 = frame;
+  std::uint8_t expect_version = 0;  // raw link: the version nibble decides
   if (lt == net::LinkType::ethernet) {
     if (frame.size() < net::kEthernetHeaderLen) return 0;  // rejected later
-    if (rd_u16be(frame, 12) != net::kEtherTypeIpv4) {
+    // 802.1Q walk, mirroring parse_ethernet tag for tag.
+    std::size_t pos = 12;
+    std::uint16_t et = rd_u16be(frame, pos);
+    std::size_t tags = 0;
+    while (et == net::kEtherTypeVlan || et == net::kEtherTypeQinQ) {
+      if (tags == net::kMaxVlanTags) {
+        return fallback_lane(frame, lanes);  // 3+ tags: delivered as non_ip
+      }
+      pos += net::kVlanTagLen;
+      if (frame.size() < pos + 2) return 0;  // truncated tag stack: rejected
+      et = rd_u16be(frame, pos);
+      ++tags;
+    }
+    if (et == net::kEtherTypeIpv4) {
+      expect_version = 4;
+    } else if (et == net::kEtherTypeIpv6) {
+      expect_version = 6;
+    } else {
       return fallback_lane(frame, lanes);  // delivered as non_ip
     }
-    l3 = frame.subspan(net::kEthernetHeaderLen);
+    l3 = frame.subspan(pos + 2);
   }
   // parse checks datagram length BEFORE the version nibble: a short frame
-  // is truncated_l3 (rejected) even if it does not look like IPv4 at all.
+  // is truncated_l3 (rejected) even if it does not look like IP at all.
   if (l3.size() < net::kIpv4MinHeaderLen) return 0;  // rejected later
-  if ((l3[0] >> 4) != 4) return fallback_lane(frame, lanes);  // non_ip
-  // Looks like IPv4 and the fixed-position addresses are in bounds: either
-  // parse delivers it with has_ipv4 (same hash), or rejects it (any lane).
-  return ipv4_pair_lane(rd_u32be(l3, 12), rd_u32be(l3, 16), lanes);
+  const std::uint8_t ver = l3[0] >> 4;
+  if ((expect_version != 0 && ver != expect_version) ||
+      (ver != 4 && ver != 6)) {
+    return fallback_lane(frame, lanes);  // delivered as non_ip
+  }
+  if (ver == 4) {
+    // Fixed-position addresses are in bounds: either parse delivers it with
+    // an IPv4 outer header (same hash), or rejects it (any lane).
+    return ipv4_pair_lane(rd_u32be(l3, 12), rd_u32be(l3, 16), lanes);
+  }
+  if (l3.size() < net::kIpv6HeaderLen) return 0;  // rejected later
+  return ipv6_pair_lane(l3.subspan(8, 16), l3.subspan(24, 16), lanes);
 }
 
 FlowDispatcher::FlowDispatcher(std::size_t lanes, net::LinkType lt)
@@ -76,7 +127,7 @@ RouteDecision FlowDispatcher::route(const net::Packet& pkt) const {
     return d;
   }
   const net::PacketView pv = d.idx.view(pkt.frame);
-  d.non_ip = !pv.has_ipv4;
+  d.non_ip = !pv.has_ip();
   d.lane = address_pair_lane(pv, lanes_);
   return d;
 }

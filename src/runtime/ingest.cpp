@@ -50,8 +50,21 @@ void DispatchCore::ingest(net::Packet&& pkt) {
   const RouteDecision d = disp_.route(pkt);
   if (d.reject) {
     counters_.rejected.fetch_add(1, std::memory_order_relaxed);
+    const auto reason = static_cast<std::size_t>(d.idx.status);
+    if (reason < DispatchCounters::kParseStatuses) {
+      counters_.rejected_by[reason].fetch_add(1, std::memory_order_relaxed);
+    }
     counters_.consumed.fetch_add(1, std::memory_order_release);
     return;
+  }
+  if (d.idx.has_ipv6) {
+    counters_.delivered_ipv6.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (d.idx.vlan_tags != 0) {
+    counters_.delivered_vlan.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (d.idx.encap != net::Encap::none) {
+    counters_.delivered_tunneled.fetch_add(1, std::memory_order_relaxed);
   }
   LaneSlot& ls = owned_[owned_index_[d.lane]];
   PacketArena& arena = ls.lane->arena();

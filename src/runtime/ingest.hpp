@@ -57,6 +57,16 @@ struct DispatchCounters {
   std::atomic<std::uint64_t> flushes{0};   ///< pending→ring batch flushes
   std::atomic<std::uint64_t> flush_timeouts{0};  ///< flushes forced by age
   std::atomic<std::uint64_t> busy_ns{0};   ///< shard thread dispatch time
+  /// Rejects by parse status, indexed by net::ParseStatus. Only the
+  /// reject-class statuses (truncated_l2/l3/l4, bad_ip_header,
+  /// bad_ext_header, bad_decap) ever tick; the array sums to `rejected`.
+  static constexpr std::size_t kParseStatuses = 10;
+  std::atomic<std::uint64_t> rejected_by[kParseStatuses]{};
+  // Encapsulation dimensions of DELIVERED frames. These are dimensions,
+  // not a partition: a VLAN-tagged IPv6 frame ticks both.
+  std::atomic<std::uint64_t> delivered_ipv6{0};  ///< inner header was IPv6
+  std::atomic<std::uint64_t> delivered_vlan{0};  ///< ≥1 802.1Q tag stripped
+  std::atomic<std::uint64_t> delivered_tunneled{0};  ///< VXLAN/GRE decapped
 };
 
 /// A lane this core owns: the worker plus its global lane index (the value

@@ -306,11 +306,40 @@ void Runtime::stop() {
   running_ = false;
 }
 
+namespace {
+
+RejectBreakdown read_reject_breakdown(const DispatchCounters& c) {
+  const auto at = [&c](net::ParseStatus st) {
+    return c.rejected_by[static_cast<std::size_t>(st)].load(
+        std::memory_order_relaxed);
+  };
+  RejectBreakdown b;
+  b.truncated_l2 = at(net::ParseStatus::truncated_l2);
+  b.truncated_l3 = at(net::ParseStatus::truncated_l3);
+  b.bad_ip_header = at(net::ParseStatus::bad_ip_header);
+  b.bad_ext_header = at(net::ParseStatus::bad_ext_header);
+  b.bad_decap = at(net::ParseStatus::bad_decap);
+  b.truncated_l4 = at(net::ParseStatus::truncated_l4);
+  return b;
+}
+
+EncapBreakdown read_encap_breakdown(const DispatchCounters& c) {
+  EncapBreakdown e;
+  e.ipv6 = c.delivered_ipv6.load(std::memory_order_relaxed);
+  e.vlan = c.delivered_vlan.load(std::memory_order_relaxed);
+  e.tunneled = c.delivered_tunneled.load(std::memory_order_relaxed);
+  return e;
+}
+
+}  // namespace
+
 StatsSnapshot Runtime::stats() const {
   StatsSnapshot s;
   if (inline_core_) {
     s.rejected = inline_core_->counters().rejected.load(
         std::memory_order_relaxed);
+    s.rejected_by += read_reject_breakdown(inline_core_->counters());
+    s.delivered += read_encap_breakdown(inline_core_->counters());
   }
   s.dispatchers.reserve(shards_.size());
   for (const auto& sh : shards_) {
@@ -327,8 +356,12 @@ StatsSnapshot Runtime::stats() const {
     ds.ring_size = sh->ingest_ring().size();
     ds.ring_high_water = sh->ingest_ring().high_water();
     ds.ring_capacity = sh->ingest_ring().capacity();
+    ds.rejected_by = read_reject_breakdown(c);
+    ds.delivered = read_encap_breakdown(c);
     s.dispatchers.push_back(ds);
     s.rejected += ds.rejected;
+    s.rejected_by += ds.rejected_by;
+    s.delivered += ds.delivered;
   }
   s.lanes.reserve(lanes_.size());
   for (const auto& l : lanes_) {
@@ -392,6 +425,55 @@ void Runtime::register_metrics(telemetry::MetricsRegistry& reg,
                   }
                   return n;
                 });
+  // Per-reason reject counters and per-encap delivered counters, summed
+  // over the inline core and every shard (same single-writer live reads).
+  const auto sum_cores =
+      [this](auto pick) -> std::uint64_t {
+    std::uint64_t n = 0;
+    if (inline_core_) n += pick(inline_core_->counters());
+    for (const auto& sh : shards_) n += pick(sh->core().counters());
+    return n;
+  };
+  struct ReasonGauge {
+    const char* name;
+    net::ParseStatus status;
+  };
+  static constexpr ReasonGauge kReasons[] = {
+      {".rejected_truncated_l2", net::ParseStatus::truncated_l2},
+      {".rejected_truncated_l3", net::ParseStatus::truncated_l3},
+      {".rejected_bad_ip_header", net::ParseStatus::bad_ip_header},
+      {".rejected_bad_ext_header", net::ParseStatus::bad_ext_header},
+      {".rejected_bad_decap", net::ParseStatus::bad_decap},
+      {".rejected_truncated_l4", net::ParseStatus::truncated_l4},
+  };
+  for (const ReasonGauge& r : kReasons) {
+    reg.add_gauge(MetricDesc{prefix + r.name, "packets", "dispatcher"},
+                  [sum_cores, st = r.status] {
+                    return sum_cores([st](const DispatchCounters& c) {
+                      return c.rejected_by[static_cast<std::size_t>(st)].load(
+                          std::memory_order_relaxed);
+                    });
+                  });
+  }
+  reg.add_gauge(MetricDesc{prefix + ".delivered_ipv6", "packets", "dispatcher"},
+                [sum_cores] {
+                  return sum_cores([](const DispatchCounters& c) {
+                    return c.delivered_ipv6.load(std::memory_order_relaxed);
+                  });
+                });
+  reg.add_gauge(MetricDesc{prefix + ".delivered_vlan", "packets", "dispatcher"},
+                [sum_cores] {
+                  return sum_cores([](const DispatchCounters& c) {
+                    return c.delivered_vlan.load(std::memory_order_relaxed);
+                  });
+                });
+  reg.add_gauge(
+      MetricDesc{prefix + ".delivered_tunneled", "packets", "dispatcher"},
+      [sum_cores] {
+        return sum_cores([](const DispatchCounters& c) {
+          return c.delivered_tunneled.load(std::memory_order_relaxed);
+        });
+      });
   reg.add_gauge(MetricDesc{prefix + ".lanes", "", "runtime"},
                 [this] { return static_cast<std::uint64_t>(lanes_.size()); });
   reg.add_gauge(MetricDesc{prefix + ".dispatchers", "", "runtime"}, [this] {

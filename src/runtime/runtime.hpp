@@ -148,6 +148,45 @@ struct LaneSnapshot {
   telemetry::HistogramSnapshot frame_bytes;
 };
 
+/// Why frames were refused at the dispatcher edge, one counter per
+/// reject-class net::ParseStatus. Sums to the dispatcher's `rejected`.
+struct RejectBreakdown {
+  std::uint64_t truncated_l2 = 0;
+  std::uint64_t truncated_l3 = 0;
+  std::uint64_t bad_ip_header = 0;
+  std::uint64_t bad_ext_header = 0;  // IPv6 extension chain lies
+  std::uint64_t bad_decap = 0;       // malformed VXLAN/GRE or lying inner frame
+  std::uint64_t truncated_l4 = 0;
+
+  std::uint64_t total() const {
+    return truncated_l2 + truncated_l3 + bad_ip_header + bad_ext_header +
+           bad_decap + truncated_l4;
+  }
+  RejectBreakdown& operator+=(const RejectBreakdown& o) {
+    truncated_l2 += o.truncated_l2;
+    truncated_l3 += o.truncated_l3;
+    bad_ip_header += o.bad_ip_header;
+    bad_ext_header += o.bad_ext_header;
+    bad_decap += o.bad_decap;
+    truncated_l4 += o.truncated_l4;
+    return *this;
+  }
+};
+
+/// Encapsulation dimensions of delivered frames (dimensions, not a
+/// partition: a VLAN-tagged IPv6 frame counts in both ipv6 and vlan).
+struct EncapBreakdown {
+  std::uint64_t ipv6 = 0;      // inner header was IPv6
+  std::uint64_t vlan = 0;      // at least one 802.1Q tag stripped
+  std::uint64_t tunneled = 0;  // delivered after VXLAN/GRE decap
+  EncapBreakdown& operator+=(const EncapBreakdown& o) {
+    ipv6 += o.ipv6;
+    vlan += o.vlan;
+    tunneled += o.tunneled;
+    return *this;
+  }
+};
+
 /// One ingest shard's live counters + ring state (sharded mode only).
 struct DispatcherSnapshot {
   std::uint64_t ingested = 0;
@@ -159,6 +198,8 @@ struct DispatcherSnapshot {
   std::size_t ring_size = 0;
   std::size_t ring_high_water = 0;
   std::size_t ring_capacity = 0;
+  RejectBreakdown rejected_by;
+  EncapBreakdown delivered;
 };
 
 struct StatsSnapshot {
@@ -170,6 +211,11 @@ struct StatsSnapshot {
   std::uint64_t dropped = 0;
   /// Malformed frames refused at the dispatcher (never fed to any lane).
   std::uint64_t rejected = 0;
+  /// `rejected` split by parse status (truncation, bad header, bad decap…).
+  RejectBreakdown rejected_by;
+  /// Delivered-frame encapsulation dimensions, summed over dispatchers
+  /// (inline mode included).
+  EncapBreakdown delivered;
   std::uint64_t non_ip = 0;
   std::uint64_t bytes = 0;
   std::uint64_t alerts = 0;

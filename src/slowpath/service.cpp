@@ -182,7 +182,7 @@ void SlowPathService::process_one(Shard& sh, core::DivertedPacket&& dp) {
     adopted_flows_.fetch_add(1, std::memory_order_relaxed);
   }
 
-  const net::PacketView pv = net::PacketView::parse_ipv4(dp.datagram);
+  const net::PacketView pv = net::PacketView::parse_l3(dp.datagram);
   const core::ConventionalIpsStats& st = sh.ips.stats();
   const std::uint64_t cost_before = st.bytes_scanned + st.reassembled_bytes;
 

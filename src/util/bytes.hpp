@@ -56,6 +56,10 @@ inline std::uint32_t rd_u32be(ByteView b, std::size_t off) {
          (std::uint32_t{b[off + 2]} << 8) | std::uint32_t{b[off + 3]};
 }
 
+inline std::uint64_t rd_u64be(ByteView b, std::size_t off) {
+  return (std::uint64_t{rd_u32be(b, off)} << 32) | rd_u32be(b, off + 4);
+}
+
 inline void wr_u8(MutableByteView b, std::size_t off, std::uint8_t v) {
   b[off] = v;
 }

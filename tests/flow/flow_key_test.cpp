@@ -45,7 +45,7 @@ TEST(FlowKey, FromPacketView) {
   const Bytes pkt = net::build_tcp_packet(ip, t, to_bytes("x"));
   const auto pv = net::PacketView::parse(pkt, net::LinkType::raw_ipv4);
   const FlowRef ref = make_flow_ref(pv);
-  EXPECT_EQ(ref.key.a_ip, net::Ipv4Addr(10, 0, 0, 1));
+  EXPECT_EQ(ref.key.a_ip, net::IpAddr::v4(net::Ipv4Addr(10, 0, 0, 1)));
   EXPECT_EQ(ref.key.a_port, 4444);
   EXPECT_EQ(ref.key.proto, 6);
   EXPECT_EQ(ref.dir, Direction::a_to_b);

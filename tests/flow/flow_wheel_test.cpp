@@ -102,7 +102,7 @@ TEST(FlowWheel, ErasedFlowNeverFiresEvictCallback) {
   Table t(wheel_cfg());
   std::vector<std::uint32_t> evicted;
   t.set_evict_callback(
-      [&](const FlowKey& k, int&) { evicted.push_back(k.a_ip.value()); });
+      [&](const FlowKey& k, int&) { evicted.push_back(k.a_ip.to_v4().value()); });
   t.get_or_create(key(1), 0);
   ASSERT_TRUE(t.erase(key(1)));
   EXPECT_EQ(t.expire_due(120 * kSec), 0u);

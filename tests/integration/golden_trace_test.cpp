@@ -163,7 +163,8 @@ fuzz::Schedule frag_evasion_trace(const core::SignatureSet& corpus) {
 // ---------------------------------------------------------------------------
 
 std::string render_verdict(const std::vector<net::Packet>& pkts,
-                           const core::SignatureSet& corpus) {
+                           const core::SignatureSet& corpus,
+                           net::LinkType lt = net::LinkType::raw_ipv4) {
   core::SplitDetectEngine engine(corpus);
   core::ConventionalIpsConfig ocfg;
   ocfg.takeover_slack = 0;
@@ -173,8 +174,7 @@ std::string render_verdict(const std::vector<net::Packet>& pkts,
   std::vector<core::Alert> oracle_alerts;
   std::uint64_t forwarded = 0, diverted = 0, alerted = 0;
   for (const net::Packet& p : pkts) {
-    const net::PacketView pv =
-        net::PacketView::parse(p.frame, net::LinkType::raw_ipv4);
+    const net::PacketView pv = net::PacketView::parse(p.frame, lt);
     oracle.process(pv, p.ts_usec, oracle_alerts);
     switch (engine.process(pv, p.ts_usec, engine_alerts)) {
       case core::Action::forward: ++forwarded; break;
@@ -220,12 +220,13 @@ class GoldenTraceTest : public ::testing::Test {
     const std::string pcap_path = data_dir() + "/" + name + ".pcap";
     const std::string json_path = data_dir() + "/" + name + ".expected.json";
     const std::vector<net::Packet> forged = sched.forge();
+    const net::LinkType lt = sched.link_type();
 
     if (regen()) {
-      evasion::write_trace(pcap_path, forged);
+      evasion::write_trace(pcap_path, forged, lt);
       std::ofstream out(json_path, std::ios::binary);
       ASSERT_TRUE(out) << "cannot write " << json_path;
-      out << render_verdict(forged, corpus);
+      out << render_verdict(forged, corpus, lt);
       GTEST_SKIP() << "regenerated " << name;
     }
 
@@ -244,10 +245,17 @@ class GoldenTraceTest : public ::testing::Test {
                     << " (run with SDT_GOLDEN_REGEN=1 to create)";
     std::ostringstream buf;
     buf << in.rdbuf();
-    EXPECT_EQ(render_verdict(stored, corpus), buf.str())
+    EXPECT_EQ(render_verdict(stored, corpus, lt), buf.str())
         << name << ": verdict drifted from golden";
   }
 };
+
+/// Same schedule, wider universe: re-frame a trace without touching one
+/// byte the engines reason about.
+fuzz::Schedule reframed(fuzz::Schedule s, net::Framing f) {
+  s.encap.framing = f;
+  return s;
+}
 
 TEST_F(GoldenTraceTest, Benign) { check("benign", benign_trace()); }
 
@@ -265,13 +273,45 @@ TEST_F(GoldenTraceTest, FragEvasion) {
   check("frag_evasion", frag_evasion_trace(evasion::default_corpus(16)));
 }
 
+// Wider-universe variants: the same attack bytes as their v4 originals,
+// carried as translated IPv6, double-802.1Q-tagged Ethernet, and
+// VXLAN-tunneled frames. Their goldens must encode the same detections.
+
+TEST_F(GoldenTraceTest, InorderAttackV6) {
+  check("inorder_attack_v6",
+        reframed(inorder_attack_trace(evasion::default_corpus(16)),
+                 net::Framing::v6));
+}
+
+TEST_F(GoldenTraceTest, FragEvasionV6) {
+  // v4 fragments translate into IPv6 fragment-extension datagrams: this
+  // golden pins the v6 reassembly path end to end.
+  check("frag_evasion_v6",
+        reframed(frag_evasion_trace(evasion::default_corpus(16)),
+                 net::Framing::v6));
+}
+
+TEST_F(GoldenTraceTest, OverlapEvasionQinq) {
+  check("overlap_evasion_qinq",
+        reframed(overlap_evasion_trace(evasion::default_corpus(16)),
+                 net::Framing::qinq));
+}
+
+TEST_F(GoldenTraceTest, InorderAttackVxlan) {
+  check("inorder_attack_vxlan",
+        reframed(inorder_attack_trace(evasion::default_corpus(16)),
+                 net::Framing::vxlan));
+}
+
 // Sanity on the expectations themselves: the three attack traces must be
 // oracle-detected in their goldens, the benign one clean. Parsing our own
 // goldens keeps the files honest without duplicating numbers here.
 TEST_F(GoldenTraceTest, GoldensEncodeTheRightOutcomes) {
   if (regen()) GTEST_SKIP();
   for (const char* name :
-       {"inorder_attack", "overlap_evasion", "frag_evasion"}) {
+       {"inorder_attack", "overlap_evasion", "frag_evasion",
+        "inorder_attack_v6", "frag_evasion_v6", "overlap_evasion_qinq",
+        "inorder_attack_vxlan"}) {
     std::ifstream in(data_dir() + "/" + std::string(name) + ".expected.json");
     ASSERT_TRUE(in) << name;
     std::ostringstream buf;

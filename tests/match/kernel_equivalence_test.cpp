@@ -19,7 +19,7 @@ std::vector<std::tuple<std::uint32_t, std::uint32_t, std::uint32_t>> alert_set(
     const std::vector<Alert>& alerts) {
   std::vector<std::tuple<std::uint32_t, std::uint32_t, std::uint32_t>> out;
   for (const Alert& a : alerts) {
-    out.emplace_back(a.flow.a_ip.value(), a.flow.a_port, a.signature_id);
+    out.emplace_back(a.flow.a_ip.lo(), a.flow.a_port, a.signature_id);
   }
   std::sort(out.begin(), out.end());
   return out;

@@ -1,0 +1,364 @@
+// The wider traffic universe, proven byte-preserving at the unit level
+// (ctest -L net; scripts/check.sh runs the label under ASan+UBSan):
+//
+//   * reframe() carries a forged IPv4 datagram into every framing without
+//     touching one byte the engines reason about — addresses translate,
+//     payload/ports/flags/checksum-validity do not;
+//   * the v4→v6 translation is RFC 1624 incremental, so a VALID checksum
+//     stays valid and a deliberately CORRUPTED one stays exactly corrupted;
+//   * malformed decap (truncated/overlong extension chains, bad VXLAN
+//     flags, lying inner frames) is rejected at the PacketIndex edge with
+//     the precise ParseStatus, and the runtime counts each reason in
+//     StatsSnapshot::rejected_by without ever enqueuing the frame.
+#include "net/encap.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/builder.hpp"
+#include "net/checksum.hpp"
+#include "net/packet.hpp"
+#include "runtime/runtime.hpp"
+#include "util/error.hpp"
+
+namespace sdt::net {
+namespace {
+
+Bytes sample_tcp_datagram(ByteView payload, bool corrupt_checksum = false) {
+  Ipv4Spec ip{.src = Ipv4Addr(10, 0, 0, 1), .dst = Ipv4Addr(10, 0, 0, 2)};
+  TcpSpec tcp{.src_port = 40000, .dst_port = 80, .seq = 1000, .ack = 2000};
+  Bytes d = build_tcp_packet(ip, tcp, payload);
+  if (corrupt_checksum) d[20 + 16] ^= 0x5a;
+  return d;
+}
+
+TEST(Encap, TranslateUntranslateRoundTrip) {
+  const EncapSpec spec;
+  const Ipv4Addr a(172, 16, 5, 99);
+  const IpAddr t = translate_v6_addr(spec, a);
+  EXPECT_EQ(t.hi(), spec.v6_prefix_hi);
+  EXPECT_EQ(untranslate_v6_addr(spec, t), IpAddr::v4(a));
+  // Addresses outside the translated range pass through untouched —
+  // including v4-mapped ones (the native-v4 flow-key form).
+  EXPECT_EQ(untranslate_v6_addr(spec, IpAddr::v4(a)), IpAddr::v4(a));
+  const IpAddr foreign = IpAddr::words(0x20010db800000001ull, 0x1);
+  EXPECT_EQ(untranslate_v6_addr(spec, foreign), foreign);
+}
+
+TEST(Encap, FramingNamesRoundTrip) {
+  for (const Framing f : {Framing::v4, Framing::v6, Framing::vlan,
+                          Framing::qinq, Framing::vxlan, Framing::gre}) {
+    EXPECT_EQ(framing_from_string(to_string(f)), f);
+  }
+  EXPECT_THROW(framing_from_string("ipip"), InvalidArgument);
+}
+
+TEST(Encap, V6TranslationPreservesTransportBytes) {
+  const Bytes payload = to_bytes("GET /evil HTTP/1.0\r\n");
+  const Bytes v4 = sample_tcp_datagram(payload);
+  EncapSpec spec;
+  spec.framing = Framing::v6;
+  const Bytes v6 = reframe(spec, v4);
+
+  const PacketView a = PacketView::parse(v4, LinkType::raw_ipv4);
+  const PacketView b = PacketView::parse(v6, LinkType::raw_ipv4);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_TRUE(b.has_ipv6);
+  EXPECT_EQ(b.src_ip(), translate_v6_addr(spec, a.ipv4.src()));
+  EXPECT_EQ(b.dst_ip(), translate_v6_addr(spec, a.ipv4.dst()));
+  EXPECT_EQ(untranslate_v6_addr(spec, b.src_ip()), a.src_ip());
+  // The whole transport slice — header, flags, options, payload — must be
+  // byte-identical up to the patched checksum field, and the patch must
+  // keep a valid checksum valid under the v6 pseudo-header.
+  ASSERT_EQ(a.l4_span.size(), b.l4_span.size());
+  for (std::size_t i = 0; i < a.l4_span.size(); ++i) {
+    if (i == 16 || i == 17) continue;  // TCP checksum bytes
+    EXPECT_EQ(a.l4_span[i], b.l4_span[i]) << "l4 byte " << i;
+  }
+  EXPECT_TRUE(equal(a.l4_payload, b.l4_payload));
+  EXPECT_EQ(transport_checksum(a), 0);
+  EXPECT_EQ(transport_checksum(b), 0);
+}
+
+TEST(Encap, V6TranslationPreservesCorruptChecksum) {
+  // A deliberately broken checksum is attack surface (engines must treat
+  // the segment as invalid); the RFC 1624 delta must not "heal" it.
+  const Bytes v4 = sample_tcp_datagram(to_bytes("payload"), true);
+  EncapSpec spec;
+  spec.framing = Framing::v6;
+  const Bytes v6 = reframe(spec, v4);
+  const PacketView a = PacketView::parse(v4, LinkType::raw_ipv4);
+  const PacketView b = PacketView::parse(v6, LinkType::raw_ipv4);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_NE(transport_checksum(a), 0);
+  EXPECT_NE(transport_checksum(b), 0);
+}
+
+TEST(Encap, V6TranslationCarriesFragments) {
+  const Bytes whole = sample_tcp_datagram(Bytes(256, 0x41));
+  EncapSpec spec;
+  spec.framing = Framing::v6;
+  const std::vector<Bytes> frags = fragment_ipv4(whole, 64);
+  ASSERT_GT(frags.size(), 1u);
+  for (const Bytes& f4 : frags) {
+    const Bytes f6 = reframe(spec, f4);
+    const PacketView a = PacketView::parse(f4, LinkType::raw_ipv4);
+    const PacketView b = PacketView::parse(f6, LinkType::raw_ipv4);
+    ASSERT_TRUE(a.is_fragment());
+    ASSERT_TRUE(b.is_fragment());
+    EXPECT_EQ(a.frag_offset, b.frag_offset);
+    EXPECT_EQ(a.frag_more, b.frag_more);
+    EXPECT_EQ(a.frag_proto, b.frag_proto);
+    EXPECT_EQ(a.frag_id, b.frag_id);  // v4 id zero-extends into the v6 field
+    // Payload bytes are identical except the TCP checksum field, which the
+    // fragment carrying it gets patched by the pseudo-header delta.
+    ASSERT_EQ(a.frag_payload.size(), b.frag_payload.size());
+    for (std::size_t i = 0; i < a.frag_payload.size(); ++i) {
+      const std::size_t abs = a.frag_offset + i;
+      if (abs == 16 || abs == 17) continue;
+      EXPECT_EQ(a.frag_payload[i], b.frag_payload[i]) << "payload byte " << i;
+    }
+  }
+}
+
+TEST(Encap, VlanAndQinqPreserveInnerDatagram) {
+  const Bytes v4 = sample_tcp_datagram(to_bytes("tagged"));
+  for (const Framing f : {Framing::vlan, Framing::qinq}) {
+    EncapSpec spec;
+    spec.framing = f;
+    ASSERT_EQ(spec.link(), LinkType::ethernet);
+    const Bytes frame = reframe(spec, v4);
+    const PacketView pv = PacketView::parse(frame, LinkType::ethernet);
+    ASSERT_TRUE(pv.ok()) << to_string(f);
+    EXPECT_EQ(pv.vlan_tags, f == Framing::qinq ? 2 : 1);
+    EXPECT_EQ(pv.encap, Encap::none);
+    EXPECT_TRUE(equal(pv.ip_datagram, v4));
+  }
+}
+
+TEST(Encap, TunnelsPreserveInnerDatagramAndExposeOuterPair) {
+  const Bytes v4 = sample_tcp_datagram(to_bytes("tunneled"));
+  for (const Framing f : {Framing::vxlan, Framing::gre}) {
+    EncapSpec spec;
+    spec.framing = f;
+    const Bytes frame = reframe(spec, v4);
+    const PacketView pv = PacketView::parse(frame, LinkType::raw_ipv4);
+    ASSERT_TRUE(pv.ok()) << to_string(f);
+    EXPECT_EQ(pv.encap, f == Framing::vxlan ? Encap::vxlan : Encap::gre);
+    EXPECT_TRUE(equal(pv.ip_datagram, v4));
+    // Flow identity is the inner pair; lane identity the outer pair.
+    EXPECT_EQ(pv.src_ip(), IpAddr::v4(Ipv4Addr(10, 0, 0, 1)));
+    EXPECT_EQ(pv.outer_src, IpAddr::v4(spec.tunnel_src));
+    EXPECT_EQ(pv.outer_dst, IpAddr::v4(spec.tunnel_dst));
+  }
+}
+
+TEST(Encap, ReframeIsDeterministic) {
+  const Bytes v4 = sample_tcp_datagram(Bytes(64, 0x42));
+  for (const Framing f : {Framing::v4, Framing::v6, Framing::vlan,
+                          Framing::qinq, Framing::vxlan, Framing::gre}) {
+    EncapSpec spec;
+    spec.framing = f;
+    EXPECT_EQ(reframe(spec, v4), reframe(spec, v4)) << to_string(f);
+  }
+}
+
+TEST(Encap, ReframeRejectsNonIpv4Input) {
+  EncapSpec spec;
+  spec.framing = Framing::v6;
+  EXPECT_THROW(reframe(spec, from_hex("450000")), InvalidArgument);
+  Bytes bogus = sample_tcp_datagram({});
+  bogus[0] = 0x60;  // version nibble says 6
+  EXPECT_THROW(reframe(spec, bogus), InvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// Malformed decap at the PacketIndex edge.
+
+Bytes v6_with_ext_chain(std::size_t headers, ByteView l4) {
+  Ipv6Spec v6;
+  v6.src = IpAddr::words(0x20010db8ull << 32, 1);
+  v6.dst = IpAddr::words(0x20010db8ull << 32, 2);
+  Bytes chain;
+  for (std::size_t i = 0; i < headers; ++i) {
+    const std::uint8_t next = i + 1 < headers
+                                  ? kIpv6ExtDestOpts
+                                  : static_cast<std::uint8_t>(IpProto::tcp);
+    const Bytes ext = build_ipv6_ext(next, 1);
+    chain.insert(chain.end(), ext.begin(), ext.end());
+  }
+  v6.next_header = headers != 0 ? kIpv6ExtDestOpts
+                                : static_cast<std::uint8_t>(IpProto::tcp);
+  v6.ext = std::move(chain);
+  return build_ipv6(v6, l4);
+}
+
+Bytes tcp_for_v6(const Bytes& /*unused*/ = {}) {
+  TcpSpec t{.src_port = 1, .dst_port = 2, .seq = 1};
+  return build_tcp(IpAddr::words(0x20010db8ull << 32, 1),
+                   IpAddr::words(0x20010db8ull << 32, 2), t, {});
+}
+
+TEST(EncapReject, TruncatedExtensionChain) {
+  // The base header names a destination-options header that is not there.
+  Bytes d = v6_with_ext_chain(1, tcp_for_v6());
+  d.resize(kIpv6HeaderLen + 4);  // cut mid-extension
+  wr_u16be(d, 4, 4);             // payload length matches the truncation
+  const PacketIndex idx = PacketIndex::index(d, LinkType::raw_ipv4);
+  EXPECT_EQ(idx.status, ParseStatus::bad_ext_header);
+  EXPECT_TRUE(idx.malformed());
+}
+
+TEST(EncapReject, OverlongExtensionChainIsBounded) {
+  // kMaxIpv6ExtHeaders + 1 chained headers: the bounded walk must reject
+  // rather than scan on (the unbounded-walk DoS the cap exists for). The
+  // same cap is what turns a self-referential chain into a rejection.
+  const Bytes ok = v6_with_ext_chain(kMaxIpv6ExtHeaders, tcp_for_v6());
+  EXPECT_EQ(PacketIndex::index(ok, LinkType::raw_ipv4).status,
+            ParseStatus::ok);
+  const Bytes bad = v6_with_ext_chain(kMaxIpv6ExtHeaders + 1, tcp_for_v6());
+  EXPECT_EQ(PacketIndex::index(bad, LinkType::raw_ipv4).status,
+            ParseStatus::bad_ext_header);
+}
+
+TEST(EncapReject, ExtensionLengthLie) {
+  // The extension header's own length byte points past the datagram.
+  Bytes d = v6_with_ext_chain(1, tcp_for_v6());
+  d[kIpv6HeaderLen + 1] = 0xff;
+  EXPECT_EQ(PacketIndex::index(d, LinkType::raw_ipv4).status,
+            ParseStatus::bad_ext_header);
+}
+
+Bytes vxlan_frame(ByteView inner_datagram) {
+  EncapSpec spec;
+  spec.framing = Framing::vxlan;
+  return reframe(spec, inner_datagram);
+}
+
+TEST(EncapReject, BadVxlanFlags) {
+  const Bytes inner = sample_tcp_datagram(to_bytes("x"));
+  Bytes frame = vxlan_frame(inner);
+  // Flags byte is the first VXLAN byte: outer IPv4 (20) + UDP (8).
+  const std::size_t flags_off = frame.size() - inner.size() -
+                                kEthernetHeaderLen - kVxlanHeaderLen;
+  ASSERT_EQ(frame[flags_off], kVxlanFlags);
+  frame[flags_off] = 0x00;
+  EXPECT_EQ(PacketIndex::index(frame, LinkType::raw_ipv4).status,
+            ParseStatus::bad_decap);
+}
+
+TEST(EncapReject, VxlanInnerFrameLengthLie) {
+  // Inner IPv4 claims more bytes than the tunnel delivered: the frame as a
+  // whole is hostile and must be rejected, not forwarded as "outer UDP".
+  Bytes inner = sample_tcp_datagram(to_bytes("abcdefgh"));
+  wr_u16be(inner, 2, static_cast<std::uint16_t>(inner.size() + 64));
+  EXPECT_EQ(PacketIndex::index(vxlan_frame(inner), LinkType::raw_ipv4).status,
+            ParseStatus::bad_decap);
+}
+
+TEST(EncapReject, VxlanRuntTunnelPayload) {
+  const Bytes inner = sample_tcp_datagram({});
+  Bytes frame = vxlan_frame(inner);
+  frame.resize(frame.size() - inner.size() - kEthernetHeaderLen + 2);
+  // Outer lengths still claim the full payload → truncated at L3 before
+  // decap is even attempted; shrink them to match and the decap itself
+  // must reject the runt inner frame.
+  wr_u16be(frame, 2, static_cast<std::uint16_t>(frame.size()));
+  // (outer header checksum now stale — the parser does not verify it)
+  wr_u16be(frame, 20 + 4, static_cast<std::uint16_t>(frame.size() - 20));
+  EXPECT_EQ(PacketIndex::index(frame, LinkType::raw_ipv4).status,
+            ParseStatus::bad_decap);
+}
+
+TEST(EncapReject, GreBadVersionAndLyingInner) {
+  const Bytes inner = sample_tcp_datagram(to_bytes("gre"));
+  EncapSpec spec;
+  spec.framing = Framing::gre;
+  Bytes frame = reframe(spec, inner);
+  Bytes bad_version = frame;
+  bad_version[20 + 1] |= 0x03;  // GRE version must be 0
+  EXPECT_EQ(PacketIndex::index(bad_version, LinkType::raw_ipv4).status,
+            ParseStatus::bad_decap);
+
+  Bytes lying = inner;
+  wr_u16be(lying, 2, static_cast<std::uint16_t>(lying.size() + 8));
+  EXPECT_EQ(PacketIndex::index(reframe(spec, lying),
+                               LinkType::raw_ipv4).status,
+            ParseStatus::bad_decap);
+}
+
+// ---------------------------------------------------------------------------
+// The runtime counts every rejection by reason and never enqueues one.
+
+TEST(EncapReject, RuntimeCountsRejectsByReason) {
+  core::SignatureSet sigs;
+  sigs.add("sig", to_bytes("THIS-SIGNATURE-NEVER-MATCHES"));
+  runtime::RuntimeConfig cfg;
+  cfg.lanes = 2;
+
+  // One frame per reject reason, plus delivered traffic in three encap
+  // dimensions. Same batch through inline and sharded ingest: identical
+  // books either way.
+  std::vector<net::Packet> batch;
+  auto add = [&batch](Bytes frame) {
+    batch.emplace_back(batch.size() * 100, std::move(frame));
+  };
+  add(from_hex("450000"));  // truncated_l3
+  {
+    Bytes b = sample_tcp_datagram({});
+    b[0] = 0x4f;  // IHL 60 > total length
+    add(std::move(b));
+  }
+  {
+    Bytes d = v6_with_ext_chain(1, tcp_for_v6());
+    d[kIpv6HeaderLen + 1] = 0xff;  // bad_ext_header
+    add(std::move(d));
+  }
+  {
+    Bytes inner = sample_tcp_datagram(to_bytes("abcdefgh"));
+    wr_u16be(inner, 2, static_cast<std::uint16_t>(inner.size() + 64));
+    add(vxlan_frame(inner));  // bad_decap
+  }
+  {
+    Bytes b = sample_tcp_datagram({});
+    b.resize(b.size() - 4);  // TCP header runs past the datagram
+    wr_u16be(b, 2, static_cast<std::uint16_t>(b.size()));
+    add(std::move(b));  // truncated_l4
+  }
+  add(sample_tcp_datagram(to_bytes("plain v4")));  // delivered, no dims
+  {
+    EncapSpec spec;
+    spec.framing = Framing::v6;
+    add(reframe(spec, sample_tcp_datagram(to_bytes("v6"))));  // ipv6
+  }
+  add(vxlan_frame(sample_tcp_datagram(to_bytes("tun"))));  // tunneled
+
+  for (const std::size_t dispatchers : {std::size_t{0}, std::size_t{2}}) {
+    cfg.dispatchers = dispatchers;
+    runtime::Runtime rt(sigs, cfg);
+    rt.start();
+    rt.feed(batch);
+    rt.stop();
+    const runtime::StatsSnapshot st = rt.stats();
+    // `fed` counts lane-bound frames only: a reject never reaches a ring.
+    EXPECT_EQ(st.fed + st.rejected, batch.size());
+    EXPECT_EQ(st.rejected, 5u);
+    EXPECT_EQ(st.rejected_by.total(), st.rejected);
+    EXPECT_EQ(st.rejected_by.truncated_l3, 1u);
+    EXPECT_EQ(st.rejected_by.bad_ip_header, 1u);
+    EXPECT_EQ(st.rejected_by.bad_ext_header, 1u);
+    EXPECT_EQ(st.rejected_by.bad_decap, 1u);
+    EXPECT_EQ(st.rejected_by.truncated_l4, 1u);
+    EXPECT_EQ(st.rejected_by.truncated_l2, 0u);
+    // Rejected frames never reach a lane: everything else does.
+    EXPECT_EQ(st.processed, batch.size() - st.rejected);
+    EXPECT_EQ(st.dropped, 0u);
+    EXPECT_EQ(st.delivered.ipv6, 1u);
+    EXPECT_EQ(st.delivered.tunneled, 1u);
+    EXPECT_EQ(st.delivered.vlan, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace sdt::net

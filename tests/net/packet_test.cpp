@@ -40,7 +40,7 @@ TEST(PacketView, RejectsNonIpEthertype) {
   pkt[12] = 0x08;
   pkt[13] = 0x06;  // ARP
   const PacketView pv = PacketView::parse(pkt, LinkType::ethernet);
-  EXPECT_EQ(pv.status, ParseStatus::not_ipv4);
+  EXPECT_EQ(pv.status, ParseStatus::not_ip);
 }
 
 TEST(PacketView, RejectsShortEthernetFrame) {
@@ -57,9 +57,15 @@ TEST(PacketView, RejectsTruncatedIpHeader) {
 
 TEST(PacketView, RejectsWrongIpVersion) {
   Bytes pkt = sample_tcp_packet();
-  pkt[0] = static_cast<std::uint8_t>(0x65);  // version 6
+  pkt[0] = static_cast<std::uint8_t>(0x55);  // version 5: neither 4 nor 6
   EXPECT_EQ(PacketView::parse(pkt, LinkType::raw_ipv4).status,
-            ParseStatus::not_ipv4);
+            ParseStatus::not_ip);
+  // Ethertype claims IPv4 but the version nibble says 6: the layers
+  // disagree, so the frame is delivered as non-IP (never trusted as v6).
+  Bytes eth = wrap_ethernet(sample_tcp_packet());
+  eth[14] = static_cast<std::uint8_t>(0x65);
+  EXPECT_EQ(PacketView::parse(eth, LinkType::ethernet).status,
+            ParseStatus::not_ip);
 }
 
 TEST(PacketView, RejectsBogusIhl) {
@@ -121,7 +127,7 @@ TEST(PacketView, ParsesUdp) {
 TEST(PacketView, UnsupportedProtocolForwarded) {
   Ipv4Spec ip{.src = Ipv4Addr(1, 1, 1, 1),
               .dst = Ipv4Addr(2, 2, 2, 2),
-              .protocol = 47};  // GRE
+              .protocol = 50};  // ESP: opaque to the decoder
   const Bytes pkt = build_ipv4(ip, to_bytes("opaque"));
   EXPECT_EQ(PacketView::parse(pkt, LinkType::raw_ipv4).status,
             ParseStatus::unsupported_proto);

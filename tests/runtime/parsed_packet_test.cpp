@@ -103,11 +103,12 @@ TEST(PacketIndex, ClassifiesMalformedVsUnhandled) {
   EXPECT_TRUE(
       net::PacketIndex::index(bad_ihl, net::LinkType::raw_ipv4).malformed());
   // Unhandled-but-valid: not malformed (delivered, fallback-hashed).
-  Bytes v6 = tcp_packet().frame;
-  v6[0] = 0x60;
-  const auto ix6 = net::PacketIndex::index(v6, net::LinkType::raw_ipv4);
-  EXPECT_EQ(ix6.status, net::ParseStatus::not_ipv4);
-  EXPECT_FALSE(ix6.malformed());
+  // Version 5 is neither 4 nor 6 (6 would now parse as IPv6).
+  Bytes v5 = tcp_packet().frame;
+  v5[0] = 0x50;
+  const auto ix5 = net::PacketIndex::index(v5, net::LinkType::raw_ipv4);
+  EXPECT_EQ(ix5.status, net::ParseStatus::not_ip);
+  EXPECT_FALSE(ix5.malformed());
 }
 
 TEST(ParsedPacket, ViewSurvivesMoveAndRingTransit) {

@@ -69,8 +69,8 @@ verdicts(const std::vector<core::Alert>& alerts) {
   keys.reserve(alerts.size());
   for (const core::Alert& a : alerts) {
     keys.emplace_back(
-        (static_cast<std::uint64_t>(a.flow.a_ip.value()) << 32) |
-            a.flow.b_ip.value(),
+        (a.flow.a_ip.lo() << 32) |
+            a.flow.b_ip.lo(),
         (static_cast<std::uint64_t>(a.flow.a_port) << 32) | a.flow.b_port,
         a.flow.proto, a.signature_id);
   }

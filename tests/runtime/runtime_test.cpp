@@ -55,7 +55,8 @@ TEST(FlowDispatcher, SpreadsNonIpv4AcrossLanes) {
   const FlowDispatcher disp(4, net::LinkType::raw_ipv4);
   std::set<std::size_t> lanes_hit;
   for (std::uint8_t i = 0; i < 64; ++i) {
-    Bytes frame(static_cast<std::size_t>(24) + i, 0x60);  // IPv6-looking
+    // Version-5 nibble: not IP at all (6 would now parse as IPv6).
+    Bytes frame(static_cast<std::size_t>(24) + i, 0x50);
     frame[20] = i;
     const RouteDecision d = disp.route(net::Packet(0, frame));
     EXPECT_FALSE(d.reject);
@@ -175,7 +176,7 @@ TEST(Runtime, CountsNonIpv4PerLane) {
   Runtime rt(sigs, rc);
   rt.start();
   for (std::uint8_t i = 0; i < 40; ++i) {
-    Bytes frame(static_cast<std::size_t>(24) + i, 0x60);
+    Bytes frame(static_cast<std::size_t>(24) + i, 0x50);  // version-5 nibble
     frame[8] = i;
     rt.feed(net::Packet(i, std::move(frame)));
   }
@@ -422,9 +423,10 @@ TEST(FlowDispatcher, PeekLaneMatchesRouteForEveryDeliveredFrame) {
       check(lt == net::LinkType::ethernet ? net::wrap_ethernet(p.frame)
                                           : p.frame);
     }
-    // Non-IPv4 (version-6 nibble) frames of assorted sizes.
+    // Short version-6-nibble frames (now parsed as truncated IPv6) and
+    // version-5 non-IP frames of assorted sizes.
     for (std::uint8_t i = 0; i < 32; ++i) {
-      Bytes frame(static_cast<std::size_t>(24) + i, 0x60);
+      Bytes frame(static_cast<std::size_t>(24) + i, (i & 1) ? 0x60 : 0x50);
       frame[20] = i;
       check(lt == net::LinkType::ethernet ? net::wrap_ethernet(frame) : frame);
     }

@@ -19,8 +19,10 @@
 #include <cstring>
 #include <fstream>
 #include <string>
+#include <vector>
 
 #include "evasion/corpus.hpp"
+#include "net/encap.hpp"
 #include "fuzz/repro.hpp"
 #include "fuzz/runner.hpp"
 #include "telemetry/registry.hpp"
@@ -42,8 +44,12 @@ struct Options {
   bool no_reload_crosscheck = false;
   bool no_flood_crosscheck = false;
   bool no_prefilter_crosscheck = false;
+  bool no_parity_crosscheck = false;
   std::uint64_t reload_swaps = 4;
   double flood_fraction = 0.1;
+  /// Non-v4 framings eligible for re-framing ("mixed" = all of them).
+  std::vector<sdt::net::Framing> framings;
+  double encap_fraction = 0.5;
   double benign_budget = 0.25;
   std::string replay_path;
   std::string repro_dir = "fuzz/repros";
@@ -58,7 +64,9 @@ void usage(const char* argv0) {
                "          [--benign-budget F] [--repro-dir DIR]\n"
                "          [--no-reload-crosscheck] [--reload-swaps N]\n"
                "          [--flood-fraction F] [--no-flood-crosscheck]\n"
-               "          [--no-prefilter-crosscheck]\n"
+               "          [--no-prefilter-crosscheck] [--no-parity-crosscheck]\n"
+               "          [--framing v6|vlan|qinq|vxlan|gre|mixed[,..]]\n"
+               "          [--encap-fraction F]\n"
                "          [--stats-out FILE] [--replay REPRO.json]\n",
                argv0);
 }
@@ -167,6 +175,50 @@ bool parse_args(int argc, char** argv, Options& opt) {
       opt.no_flood_crosscheck = true;
     } else if (a == "--no-prefilter-crosscheck") {
       opt.no_prefilter_crosscheck = true;
+    } else if (a == "--no-parity-crosscheck") {
+      opt.no_parity_crosscheck = true;
+    } else if (a == "--framing") {
+      const char* v = need("--framing");
+      if (!v) return false;
+      std::string list = v;
+      std::size_t pos = 0;
+      while (pos <= list.size()) {
+        const std::size_t comma = list.find(',', pos);
+        const std::string one =
+            list.substr(pos, comma == std::string::npos ? comma : comma - pos);
+        pos = comma == std::string::npos ? list.size() + 1 : comma + 1;
+        if (one.empty()) continue;
+        if (one == "mixed") {
+          for (const auto f :
+               {sdt::net::Framing::v6, sdt::net::Framing::vlan,
+                sdt::net::Framing::qinq, sdt::net::Framing::vxlan,
+                sdt::net::Framing::gre}) {
+            opt.framings.push_back(f);
+          }
+          continue;
+        }
+        try {
+          const sdt::net::Framing f = sdt::net::framing_from_string(one);
+          if (f != sdt::net::Framing::v4) opt.framings.push_back(f);
+        } catch (const sdt::Error&) {
+          std::fprintf(stderr, "sdt_fuzz: unknown framing '%s'\n",
+                       one.c_str());
+          return false;
+        }
+      }
+    } else if (a == "--encap-fraction") {
+      const char* v = need("--encap-fraction");
+      if (!v) return false;
+      char* end = nullptr;
+      opt.encap_fraction = std::strtod(v, &end);
+      if (end == v || *end != '\0' || !(opt.encap_fraction >= 0.0) ||
+          opt.encap_fraction > 1.0) {
+        std::fprintf(stderr,
+                     "sdt_fuzz: --encap-fraction wants a fraction in [0,1], "
+                     "got '%s'\n",
+                     v);
+        return false;
+      }
     } else if (a == "--quick") {
       opt.quick = true;
     } else if (a == "--inject-bug") {
@@ -226,6 +278,9 @@ int run_campaign(const Options& opt) {
   cfg.gen.flood_fraction = opt.flood_fraction;
   cfg.flood_crosscheck_every = opt.no_flood_crosscheck ? 0 : 2048;
   cfg.prefilter_crosscheck_every = opt.no_prefilter_crosscheck ? 0 : 2048;
+  cfg.parity_crosscheck_every = opt.no_parity_crosscheck ? 0 : 2048;
+  cfg.gen.framings = opt.framings;
+  cfg.gen.encap_fraction = opt.framings.empty() ? 0.0 : opt.encap_fraction;
   if (opt.quick) {
     cfg.gen.max_pad = 400;        // shorter streams
     cfg.crosscheck_every = 1024;  // still a few crosschecks per smoke run
@@ -234,6 +289,7 @@ int run_campaign(const Options& opt) {
     if (!opt.no_reload_crosscheck) cfg.reload_crosscheck_every = 1024;
     if (!opt.no_flood_crosscheck) cfg.flood_crosscheck_every = 1024;
     if (!opt.no_prefilter_crosscheck) cfg.prefilter_crosscheck_every = 1024;
+    if (!opt.no_parity_crosscheck) cfg.parity_crosscheck_every = 1024;
   }
 
   sdt::fuzz::FuzzRunner runner(corpus, cfg);
