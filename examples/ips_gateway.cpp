@@ -12,6 +12,24 @@
 //   $ ./ips_gateway capture.pcap --repeat 50      # sustain load (demo/soak)
 //   $ ./ips_gateway capture.pcap 8 my.rules --control-socket /tmp/sdt.sock
 //
+// Wire front-ends (sdt::wire): every packet — offline or live — enters
+// through a CaptureSource, so the replay path in CI is the same code a
+// deployment runs. Live capture (needs the backend compiled in and
+// CAP_NET_RAW):
+//
+//   $ ./ips_gateway --live eth0                   # afpacket if built, else pcap
+//   $ ./ips_gateway --source pcap --live eth0     # force the libpcap backend
+//
+// Inline mode holds each packet until the engine rules on it and releases
+// accept/drop/divert in capture order through a VerdictSink; packets the
+// engine cannot judge inside --latency-budget-us (or past --hold-capacity)
+// are shed per --fail-open / --fail-closed (default fail-closed: unjudged
+// packets do NOT leave the box). The conservation law captured ==
+// accepted + dropped + diverted + shed is asserted at exit.
+//
+//   $ ./ips_gateway capture.pcap --inline --latency-budget-us 20000
+//   $ ./ips_gateway capture.pcap --inline --fail-open --egress-pcap out.pcap
+//
 // Rule lifecycle: signatures are compiled once, off the packet path, into a
 // versioned immutable artifact published through a RuleSetRegistry; every
 // lane adopts new versions at packet boundaries (RCU-style, one atomic
@@ -33,8 +51,10 @@
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
+#include <memory>
 #include <span>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "control/compiler.hpp"
@@ -51,6 +71,9 @@
 #include "telemetry/sink.hpp"
 #include "util/json.hpp"
 #include "util/stats.hpp"
+#include "wire/capture.hpp"
+#include "wire/egress.hpp"
+#include "wire/verdict_router.hpp"
 
 namespace {
 
@@ -58,6 +81,9 @@ namespace {
 // the main thread between feed batches — the handler itself stays
 // async-signal-safe by doing nothing interesting.
 std::atomic<bool> g_sighup{false};
+// SIGINT ends the capture loop cleanly (live sources run until told to
+// stop); verdicts for everything already captured are still collected.
+std::atomic<bool> g_stop{false};
 
 std::string make_demo_capture() {
   using namespace sdt;
@@ -161,6 +187,51 @@ std::string runtime_stats_json(const sdt::runtime::StatsSnapshot& st) {
   return j.str();
 }
 
+std::string capture_stats_json(const sdt::wire::CaptureSource& src) {
+  sdt::JsonWriter j;
+  const sdt::wire::CaptureStats cs = src.stats();
+  j.begin_object();
+  j.field("backend", std::string(src.backend()));
+  j.field("delivered", cs.delivered);
+  j.field("kernel_dropped", cs.kernel_dropped);
+  j.field("truncated", cs.truncated);
+  j.end_object();
+  return j.str();
+}
+
+std::string wire_stats_json(const sdt::wire::VerdictRouter& router) {
+  sdt::JsonWriter j;
+  const sdt::wire::WireStats ws = router.stats();
+  j.begin_object();
+  j.field("policy", std::string(sdt::wire::to_string(router.config().policy)));
+  j.field("latency_budget_us", router.config().latency_budget_us);
+  j.field("captured", ws.captured);
+  j.field("accepted", ws.accepted);
+  j.field("dropped", ws.dropped);
+  j.field("diverted", ws.diverted);
+  j.field("shed", ws.shed);
+  j.field("shed_budget_expired", ws.budget_expired);
+  j.field("shed_hold_overflow", ws.hold_overflow);
+  j.field("shed_overload", ws.overload_shed);
+  j.field("rejected_malformed", ws.rejected_malformed);
+  j.field("capture_kernel_dropped", ws.kernel_dropped);
+  j.field("late_verdicts", ws.late_verdicts);
+  j.field("held_peak", ws.held_peak);
+  j.field("conserved", ws.conserved());
+  {
+    const sdt::telemetry::HistogramSnapshot lat = router.verdict_latency_ns();
+    j.key("verdict_latency_ns").begin_object();
+    j.field("count", lat.count);
+    j.field("p50", lat.p50());
+    j.field("p90", lat.p90());
+    j.field("p99", lat.p99());
+    j.field("max", lat.max);
+    j.end_object();
+  }
+  j.end_object();
+  return j.str();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -173,11 +244,51 @@ int main(int argc, char** argv) {
   double stats_interval_s = 0.0;  // 0 = no live dumps
   std::size_t repeat = 1;
   std::string control_socket;
+  // Wire front-end / inline-verdict options.
+  std::string source_name;  // "", "file", "pcap", "afpacket"
+  std::string live_device;
+  bool inline_mode = false;
+  wire::RouterConfig router_cfg;
+  router_cfg.latency_budget_us = 20000;  // gateway default: 20 ms
+  std::string egress_pcap;
   std::vector<std::string> pos;
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
     if (a == "--json") {
       json = true;
+    } else if (a == "--source" && i + 1 < argc) {
+      source_name = argv[++i];
+      if (source_name != "file" && source_name != "pcap" &&
+          source_name != "afpacket") {
+        std::fprintf(stderr,
+                     "error: --source must be file|pcap|afpacket, got %s\n",
+                     source_name.c_str());
+        return 2;
+      }
+    } else if (a == "--live" && i + 1 < argc) {
+      live_device = argv[++i];
+    } else if (a == "--inline") {
+      inline_mode = true;
+    } else if (a == "--fail-open") {
+      router_cfg.policy = wire::HoldPolicy::fail_open;
+    } else if (a == "--fail-closed") {
+      router_cfg.policy = wire::HoldPolicy::fail_closed;
+    } else if (a == "--latency-budget-us" && i + 1 < argc) {
+      const long n = std::strtol(argv[++i], nullptr, 10);
+      if (n < 1) {
+        std::fprintf(stderr, "error: --latency-budget-us must be >= 1\n");
+        return 2;
+      }
+      router_cfg.latency_budget_us = static_cast<std::uint64_t>(n);
+    } else if (a == "--hold-capacity" && i + 1 < argc) {
+      const long n = std::strtol(argv[++i], nullptr, 10);
+      if (n < 1) {
+        std::fprintf(stderr, "error: --hold-capacity must be >= 1\n");
+        return 2;
+      }
+      router_cfg.hold_capacity = static_cast<std::size_t>(n);
+    } else if (a == "--egress-pcap" && i + 1 < argc) {
+      egress_pcap = argv[++i];
     } else if (a == "--stats-interval" && i + 1 < argc) {
       stats_interval_s = std::atof(argv[++i]);
       if (stats_interval_s <= 0.0) {
@@ -217,14 +328,49 @@ int main(int argc, char** argv) {
     }
   }
 
-  const std::string path = !pos.empty() ? pos[0] : make_demo_capture();
+  // Resolve the capture front-end. --live DEV implies a live backend
+  // (afpacket when built in, else pcap); --source forces one.
+  wire::SourceSpec spec;
+  if (!live_device.empty()) {
+    spec.target = live_device;
+    if (source_name.empty() || source_name == "afpacket") {
+      spec.kind = wire::SourceKind::afpacket;
+      if (source_name.empty() &&
+          !wire::backend_available(wire::SourceKind::afpacket)) {
+        spec.kind = wire::SourceKind::pcap_live;
+      }
+    } else if (source_name == "pcap") {
+      spec.kind = wire::SourceKind::pcap_live;
+    } else {
+      std::fprintf(stderr, "error: --live needs a live --source, not file\n");
+      return 2;
+    }
+  } else {
+    if (!source_name.empty() && source_name != "file") {
+      std::fprintf(stderr, "error: --source %s needs --live <device>\n",
+                   source_name.c_str());
+      return 2;
+    }
+    spec.kind = wire::SourceKind::file;
+    spec.target = !pos.empty() ? pos[0] : make_demo_capture();
+    spec.repeat = repeat;
+  }
   const std::size_t piece_len =
       pos.size() > 1 ? static_cast<std::size_t>(std::atoi(pos[1].c_str())) : 8;
   const std::string rules_path = pos.size() > 2 ? pos[2] : "";
 
+  std::unique_ptr<wire::CaptureSource> source;
+  try {
+    source = wire::open_source(spec);
+  } catch (const Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+
   runtime::RuntimeConfig rc;
   rc.lanes = lanes;
   rc.dispatchers = dispatchers;
+  rc.link = source->link_type();
   rc.engine.fast.piece_len = piece_len;
 
   // Rule lifecycle plumbing. The compiler's options mirror the lane engine
@@ -256,21 +402,27 @@ int main(int argc, char** argv) {
               v1.ruleset->signatures().size(), v1.ruleset->version(),
               piece_len, 2 * piece_len, v1.report.dropped_short);
 
-  // Read the capture up front (the dispatcher is the bottleneck-free part;
-  // this example is offline so file I/O need not interleave with feeding).
-  std::vector<net::Packet> packets;
-  try {
-    const auto reader = pcap::open_capture(path);
-    rc.link = reader->link_type();
-    while (auto pkt = reader->next()) packets.push_back(std::move(*pkt));
-  } catch (const Error& e) {
-    std::fprintf(stderr, "error: %s\n", e.what());
-    return 2;
-  }
-
-  const std::size_t capture_packets = packets.size() * repeat;
   runtime::Runtime rt(registry.current(), rc);
   rt.attach_registry(registry);
+
+  // Inline-mode plumbing: the router is the runtime's VerdictFeedback (it
+  // must be installed before start()) and the wire mirror for stats().
+  wire::CountingSink counting_sink;
+  std::unique_ptr<wire::PcapEgressSink> egress_sink;
+  wire::VerdictSink* sink = &counting_sink;
+  if (!egress_pcap.empty()) {
+    egress_sink = std::make_unique<wire::PcapEgressSink>(
+        egress_pcap, source->link_type(), &counting_sink);
+    sink = egress_sink.get();
+  }
+  std::unique_ptr<wire::RuntimePipe> pipe;
+  std::unique_ptr<wire::VerdictRouter> router;
+  if (inline_mode) {
+    pipe = std::make_unique<wire::RuntimePipe>(rt);
+    router = std::make_unique<wire::VerdictRouter>(*pipe, *sink, router_cfg);
+    rt.set_verdict_feedback(router.get());
+    rt.attach_wire_stats(router.get());
+  }
 
   // Every runtime counter, histogram and gauge, addressable by name — the
   // contract lives in docs/OBSERVABILITY.md. The dumper thread polls the
@@ -280,6 +432,7 @@ int main(int argc, char** argv) {
   rt.register_metrics(metrics, "runtime");
   registry.register_metrics(metrics, "control");
   compiler.register_metrics(metrics, "control");
+  if (router) router->register_metrics(metrics, "wire");
   telemetry::HumanSink live_sink(stderr, /*skip_zero=*/true);
   telemetry::PeriodicDumper dumper(
       metrics, live_sink,
@@ -315,18 +468,54 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "SIGHUP reload: %s\n", resp.c_str());
   };
 
+  std::signal(SIGINT, [](int) { g_stop.store(true); });
+
   rt.start();
-  // Move the capture into the pipeline: frames are parsed once at the
-  // dispatcher and handed to the rings without a deep copy. With --repeat
-  // the capture is replayed N times to sustain load (flow state carries
-  // across repeats; verdicts of the first pass are the ones that matter).
-  // A pending SIGHUP reload is serviced between batches.
-  for (std::size_t r = 1; r < repeat; ++r) {
+  // The one capture loop both modes share: poll the source in batches,
+  // push each batch into the pipeline, service SIGHUP reloads in between.
+  // Tap mode moves whole batches into feed() (no deep copy — frames are
+  // parsed once and arena-copied at the dispatcher). Inline mode submits
+  // each frame through the router, which stamps a ticket, feeds the
+  // runtime a borrowed view, and holds the frame until its verdict comes
+  // back; poll() releases verdicts (and budget-sheds) per batch.
+  constexpr std::size_t kBatch = 256;
+  std::vector<net::Packet> batch;
+  batch.reserve(kBatch);
+  std::uint64_t kernel_drops_seen = 0;
+  while (!g_stop.load(std::memory_order_relaxed) && !source->exhausted()) {
     service_sighup();
-    rt.feed(std::span<const net::Packet>(packets));
+    batch.clear();
+    const std::size_t n = source->poll(batch, kBatch);
+    if (router) {
+      for (auto& pkt : batch) router->submit(std::move(pkt));
+      router->poll();
+      const std::uint64_t kd = source->stats().kernel_dropped;
+      if (kd > kernel_drops_seen) {
+        router->note_kernel_drops(kd - kernel_drops_seen);
+        kernel_drops_seen = kd;
+      }
+    } else if (n > 0) {
+      rt.feed(std::move(batch));
+      batch = std::vector<net::Packet>();
+      batch.reserve(kBatch);
+    }
+    if (n == 0 && !source->exhausted()) {
+      // Live source, momentarily idle: let held verdicts release instead
+      // of spinning the capture syscall.
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+    }
   }
-  service_sighup();
-  rt.feed(std::move(packets));
+  int wire_rc = 0;
+  if (router) {
+    // Collect every outstanding verdict and assert the conservation law;
+    // a breach means the wire layer lost track of a packet — loud exit.
+    try {
+      router->finish();
+    } catch (const Error& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      wire_rc = 3;
+    }
+  }
   rt.stop();
   cp.stop();
   if (stats_interval_s > 0.0) {
@@ -348,12 +537,20 @@ int main(int argc, char** argv) {
                    });
 
   const runtime::StatsSnapshot st = rt.stats();
+  const std::size_t capture_packets = source->stats().delivered;
 
   if (json) {
-    std::printf("{\"alerts\":%s,\"runtime\":%s,\"ruleset\":%s}\n",
+    std::string wire_json;
+    if (router) {
+      wire_json = ",\"wire\":" + wire_stats_json(*router);
+    }
+    std::printf("{\"alerts\":%s,\"runtime\":%s,\"capture\":%s%s,"
+                "\"ruleset\":%s}\n",
                 core::alerts_json(alerts, sigs).c_str(),
                 runtime_stats_json(st).c_str(),
+                capture_stats_json(*source).c_str(), wire_json.c_str(),
                 registry.status_json().c_str());
+    if (wire_rc != 0) return wire_rc;
     return alerts.empty() ? 0 : 1;
   }
 
@@ -388,6 +585,48 @@ int main(int argc, char** argv) {
   } else {
     std::printf("\n=== runtime statistics (%zu lanes, inline dispatch) ===\n",
                 rt.lanes());
+  }
+  {
+    const wire::CaptureStats cs = source->stats();
+    std::printf("capture (%s)            delivered %llu, kernel dropped "
+                "%llu, truncated %llu\n",
+                source->backend(),
+                static_cast<unsigned long long>(cs.delivered),
+                static_cast<unsigned long long>(cs.kernel_dropped),
+                static_cast<unsigned long long>(cs.truncated));
+  }
+  if (router) {
+    const wire::WireStats ws = router->stats();
+    std::printf("inline verdicts (%s)     captured %llu = accepted %llu + "
+                "dropped %llu + diverted %llu + shed %llu%s\n",
+                wire::to_string(router->config().policy),
+                static_cast<unsigned long long>(ws.captured),
+                static_cast<unsigned long long>(ws.accepted),
+                static_cast<unsigned long long>(ws.dropped),
+                static_cast<unsigned long long>(ws.diverted),
+                static_cast<unsigned long long>(ws.shed),
+                ws.conserved() ? "" : "  ** NOT CONSERVED **");
+    std::printf("inline shed breakdown    budget %llu, hold overflow %llu, "
+                "overload %llu (hold peak %llu/%zu)\n",
+                static_cast<unsigned long long>(ws.budget_expired),
+                static_cast<unsigned long long>(ws.hold_overflow),
+                static_cast<unsigned long long>(ws.overload_shed),
+                static_cast<unsigned long long>(ws.held_peak),
+                router->config().hold_capacity);
+    const telemetry::HistogramSnapshot vlat = router->verdict_latency_ns();
+    if (!vlat.empty()) {
+      std::printf("verdict latency          p50=%" PRIu64 " ns  p90=%" PRIu64
+                  "  p99=%" PRIu64 "  max=%" PRIu64 " (budget %" PRIu64
+                  " us)\n",
+                  vlat.p50(), vlat.p90(), vlat.p99(), vlat.max,
+                  router->config().latency_budget_us);
+    }
+    if (egress_sink) {
+      std::printf("egress pcap              %llu forwarded frame(s) -> %s\n",
+                  static_cast<unsigned long long>(
+                      egress_sink->packets_written()),
+                  egress_pcap.c_str());
+    }
   }
   std::printf("packets processed        %llu of %zu captured (fed %llu, "
               "dropped %llu, rejected %llu malformed, non-IP %llu)\n",
@@ -453,5 +692,6 @@ int main(int argc, char** argv) {
                 l.arena.slots, l.fast_max_flows,
                 static_cast<unsigned long long>(l.alerts), l.adopted_version);
   }
+  if (wire_rc != 0) return wire_rc;
   return alerts.empty() ? 0 : 1;
 }

@@ -45,6 +45,9 @@ HEADLINES = [
      "sharded ingest @16 lanes, 2 dispatchers (Gbps)"),
     ("E2_state_memory:flows100000_ooo0.fast_over_conventional",
      "state vs conventional @100k flows (ratio)"),
+    ("E11_inline_soak:inline_soak.verdict_p99_ns",
+     "inline verdict latency p99 (ns)"),
+    ("E11_inline_soak:inline_soak.pps", "inline soak throughput (pkts/s)"),
     ("A5_reload:reload.publish_to_adopted_ns", "rule publish→adopted (ns)"),
 ]
 

@@ -41,6 +41,7 @@ BENCHES=(
   slowpath_load     # E8
   overlap_policies  # E9
   diversion_flood   # E10
+  inline_soak       # E11
   match_kernels     # A1
   phase_ablation    # A2
   lane_scaling      # A3

@@ -4,9 +4,17 @@
 #
 #   1. configure + build + full ctest in ./build        (the tier-1 contract)
 #   2. TSan build of the runtime in ./build-tsan and
-#      ctest -L 'runtime|telemetry|control|slowpath' under it (the
-#      data-race gate: lanes, stats, rule-set hot-reload, and the
-#      lane-threads → slow-path-worker queue boundary)
+#      ctest -L 'runtime|telemetry|control|slowpath|wire' under it (the
+#      data-race gate: lanes, stats, rule-set hot-reload, the
+#      lane-threads → slow-path-worker queue boundary, and the inline
+#      VerdictRouter's verdict rings + conservation ledger)
+#   2b. wire gates: a no-libpcap configure smoke (./build-nopcap with
+#      both live backends forced OFF must still build sdt_wire and
+#      ips_gateway — the file backend and VerdictRouter have no optional
+#      deps), an inline-vs-tap parity check (ips_gateway on a golden
+#      attack trace must emit the identical alert digest in both modes,
+#      with the wire ledger conserved and shed == 0), and a
+#      bench_inline_soak --quick smoke validated against the schema
 #   3. bench_snapshot.sh --quick smoke: the bench suite must produce a
 #      snapshot that validates against the documented schema
 #      (docs/OBSERVABILITY.md), plus a bench_runtime_scaling --quick
@@ -50,9 +58,47 @@ echo "== tsan: configure + build (SDT_SANITIZE=thread) =="
 cmake -B build-tsan -S . -DSDT_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "${JOBS}"
 
-echo "== tsan: ctest -L 'runtime|telemetry|control|slowpath' =="
-(cd build-tsan && ctest -L 'runtime|telemetry|control|slowpath' \
+echo "== tsan: ctest -L 'runtime|telemetry|control|slowpath|wire' =="
+(cd build-tsan && ctest -L 'runtime|telemetry|control|slowpath|wire' \
   --output-on-failure -j "${JOBS}")
+
+echo "== wire: no-libpcap configure smoke (file backend + router only) =="
+cmake -B build-nopcap -S . -DSDT_WITH_PCAP=OFF -DSDT_WITH_AFPACKET=OFF \
+  >/dev/null
+cmake --build build-nopcap -j "${JOBS}" --target sdt_wire ips_gateway \
+  >/dev/null
+
+echo "== wire: inline-vs-tap alert-digest parity (ips_gateway) =="
+PARITY_PCAP=tests/data/inorder_attack.pcap
+# The gateway prints a human preamble line before the JSON and exits 1
+# when it alerts (which this attack trace must), hence tail -1 and ||.
+(./build/examples/ips_gateway "${PARITY_PCAP}" --json || true) \
+  | tail -1 > /tmp/sdt_parity_tap.json
+(./build/examples/ips_gateway "${PARITY_PCAP}" --inline --json || true) \
+  | tail -1 > /tmp/sdt_parity_inline.json
+python3 - <<'EOF'
+import json
+tap = json.load(open('/tmp/sdt_parity_tap.json'))
+inl = json.load(open('/tmp/sdt_parity_inline.json'))
+def digest(doc):
+    return sorted((a.get('signature_id', a.get('signature')),
+                   a['ts_usec'], a['stream_offset']) for a in doc['alerts'])
+assert digest(tap), 'parity trace produced no alerts'
+assert digest(tap) == digest(inl), \
+    f'inline alert digest diverges from tap: {digest(tap)} vs {digest(inl)}'
+w = inl['wire']
+assert w['conserved'], f'inline run not conserved: {w}'
+assert w['shed'] == 0, f'inline parity run shed packets: {w}'
+print(f"parity ok: {len(digest(tap))} alert(s), "
+      f"{w['captured']} captured, conserved")
+EOF
+rm -f /tmp/sdt_parity_tap.json /tmp/sdt_parity_inline.json
+
+echo "== wire: bench_inline_soak --quick smoke =="
+SOAK_JSON="$(mktemp /tmp/sdt_soak_smoke.XXXXXX.json)"
+./build/bench/bench_inline_soak --quick --json "${SOAK_JSON}" >/dev/null
+python3 scripts/validate_bench_json.py "${SOAK_JSON}"
+rm -f "${SOAK_JSON}"
 
 echo "== bench snapshot smoke (--quick) =="
 SMOKE="$(mktemp /tmp/sdt_bench_smoke.XXXXXX.json)"

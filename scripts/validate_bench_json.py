@@ -70,10 +70,14 @@ def check_bench(path, key, b):
 
 # Cross-framing invariants the snapshot must uphold (not just carry):
 # detection recall and the anomaly census are properties of the byte
-# stream, so their encap-parity counters must be exactly zero.
+# stream, so their encap-parity counters must be exactly zero; the inline
+# soak's conservation law and latency-budget gate are pass/fail claims,
+# not trend lines.
 INVARIANT_ZERO = {
     "E1_evasion_matrix": ("encap.divergences", "split_detect.evaded_total"),
     "E7_anomaly_census": ("encap.census_mismatches",),
+    "E11_inline_soak": ("inline_soak.conservation_violations",
+                        "inline_soak.p99_over_budget"),
 }
 
 

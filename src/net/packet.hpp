@@ -180,8 +180,18 @@ struct PacketIndex {
 };
 
 /// An owned packet: capture timestamp (µs since epoch) + frame bytes.
+///
+/// `ticket` is an optional wire-side correlation id: an inline capture
+/// front-end (sdt::wire) stamps each submitted frame so the verdict the
+/// engine eventually produces can be routed back to the held packet. The
+/// default kNoTicket means "nobody is waiting for this packet's verdict";
+/// the pipeline then skips every feedback hook, so trace-driven callers
+/// pay nothing for the field existing.
 struct Packet {
+  static constexpr std::uint64_t kNoTicket = 0xffffffffffffffffull;
+
   std::uint64_t ts_usec = 0;
+  std::uint64_t ticket = kNoTicket;
   Bytes frame;
 
   Packet() = default;

@@ -46,13 +46,24 @@ std::uint32_t DispatchCore::borrow(LaneSlot& ls) {
   }
 }
 
-void DispatchCore::ingest(net::Packet&& pkt) {
+void DispatchCore::ingest(net::Packet&& pkt) { ingest_frame(&pkt, pkt); }
+
+void DispatchCore::ingest_borrowed(const net::Packet& pkt) {
+  ingest_frame(nullptr, pkt);
+}
+
+void DispatchCore::ingest_frame(net::Packet* owner, const net::Packet& pkt) {
   const RouteDecision d = disp_.route(pkt);
   if (d.reject) {
     counters_.rejected.fetch_add(1, std::memory_order_relaxed);
     const auto reason = static_cast<std::size_t>(d.idx.status);
     if (reason < DispatchCounters::kParseStatuses) {
       counters_.rejected_by[reason].fetch_add(1, std::memory_order_relaxed);
+    }
+    // Edge verdict: the frame never reaches an engine, so the wire side
+    // learns its fate (drop-as-malformed) right here.
+    if (feedback_ != nullptr && pkt.ticket != net::Packet::kNoTicket) {
+      feedback_->on_reject(pkt.ticket);
     }
     counters_.consumed.fetch_add(1, std::memory_order_release);
     return;
@@ -71,9 +82,13 @@ void DispatchCore::ingest(net::Packet&& pkt) {
   ParsedPacket pp;
   if (pkt.frame.size() > arena.slab_bytes()) {
     // Jumbo frame: counted heap fallback (the zero-alloc claim is audited
-    // by this counter staying zero, not assumed).
+    // by this counter staying zero, not assumed). Borrowed frames must be
+    // copied — the caller keeps the original.
     arena.count_heap_fallback();
-    pp = ParsedPacket(std::move(pkt), d.idx);
+    pp = owner != nullptr
+             ? ParsedPacket(std::move(*owner), d.idx)
+             : ParsedPacket(net::Packet(pkt.ts_usec, Bytes(pkt.frame)), d.idx);
+    pp.ticket = pkt.ticket;
   } else {
     const std::uint32_t slot = borrow(ls);
     if (slot == PacketArena::kNoSlot) {
@@ -84,6 +99,9 @@ void DispatchCore::ingest(net::Packet&& pkt) {
       c.fed.fetch_add(1, std::memory_order_relaxed);
       if (d.non_ip) c.non_ip.fetch_add(1, std::memory_order_relaxed);
       c.dropped.fetch_add(1, std::memory_order_release);
+      if (feedback_ != nullptr && pkt.ticket != net::Packet::kNoTicket) {
+        feedback_->on_shed(pkt.ticket);
+      }
       counters_.consumed.fetch_add(1, std::memory_order_release);
       return;
     }
@@ -91,6 +109,7 @@ void DispatchCore::ingest(net::Packet&& pkt) {
     std::memcpy(sl.data(), pkt.frame.data(), pkt.frame.size());
     pp = ParsedPacket(ByteView(sl.data(), pkt.frame.size()), d.idx,
                       pkt.ts_usec, slot);
+    pp.ticket = pkt.ticket;
   }
   if (d.non_ip) ++ls.pending_non_ip;
   ls.pending.push_back(std::move(pp));
@@ -125,6 +144,10 @@ void DispatchCore::flush(LaneSlot& ls) {
       // fallbacks just release their storage.
       for (std::size_t i = pushed; i < n; ++i) {
         if (ls.pending[i].in_arena()) ls.spare.push_back(ls.pending[i].slot);
+        if (feedback_ != nullptr &&
+            ls.pending[i].ticket != net::Packet::kNoTicket) {
+          feedback_->on_shed(ls.pending[i].ticket);
+        }
         ls.pending[i] = ParsedPacket();
       }
       c.dropped.fetch_add(n - pushed, std::memory_order_release);

@@ -31,6 +31,7 @@
 
 #include "runtime/dispatcher.hpp"
 #include "runtime/lane_worker.hpp"
+#include "runtime/verdict_feedback.hpp"
 
 namespace sdt::runtime {
 
@@ -89,6 +90,19 @@ class DispatchCore {
   /// ledger advances exactly once per call (rejected, or fed at flush).
   void ingest(net::Packet&& pkt);
 
+  /// Same routing, but the caller KEEPS ownership of the frame: the bytes
+  /// are copied straight into the lane arena (or, for jumbo frames, into a
+  /// counted heap fallback) before this returns, so the caller may reuse or
+  /// free the buffer immediately. This is the inline-verdict hot path: the
+  /// wire router holds the original packet for egress while the engine
+  /// inspects the arena copy — one copy total, same as ingest().
+  void ingest_borrowed(const net::Packet& pkt);
+
+  /// Install the wire-side verdict feedback (edge rejects and overload
+  /// sheds are reported from here; lane verdicts from the LaneWorker).
+  /// Call before any packet flows; null detaches.
+  void set_verdict_feedback(VerdictFeedback* fb) { feedback_ = fb; }
+
   /// Flush every lane's pending batch into its ring. Called at the batch
   /// boundary by feed(), and on idle/timeout by the shard loop.
   void flush_all();
@@ -114,10 +128,14 @@ class DispatchCore {
   /// wait (block) or give up (drop → kNoSlot).
   std::uint32_t borrow(LaneSlot& ls);
   void flush(LaneSlot& ls);
+  /// Shared routing body. `owner` non-null = ingest() (the jumbo fallback
+  /// may steal its buffer); null = ingest_borrowed() (jumbo copies).
+  void ingest_frame(net::Packet* owner, const net::Packet& pkt);
 
   const FlowDispatcher& disp_;
   OverloadPolicy overload_;
   std::size_t batch_;
+  VerdictFeedback* feedback_ = nullptr;
   std::vector<LaneSlot> owned_;
   /// Global lane index → position in owned_ (only owned lanes are valid —
   /// peek_lane routing guarantees a shard only ever sees its own lanes).

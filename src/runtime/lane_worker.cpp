@@ -81,6 +81,7 @@ void LaneWorker::run() {
   net::PacketView views[kBatch];
   std::uint64_t ts[kBatch];
   std::uint32_t done_slots[kBatch];
+  core::Action actions[kBatch];
   std::size_t since_expire = 0;
 
   const auto process_batch = [&](std::size_t n) {
@@ -96,8 +97,8 @@ void LaneWorker::run() {
       views[i] = pps[i].view();
       ts[i] = pps[i].ts_usec;
     }
-    const std::size_t not_forwarded =
-        engine_.process_batch(views, ts, n, alerts_);
+    const std::size_t not_forwarded = engine_.process_batch(
+        views, ts, n, alerts_, feedback_ != nullptr ? actions : nullptr);
     if (not_forwarded != 0) {
       counters_.diverted.fetch_add(not_forwarded, std::memory_order_relaxed);
     }
@@ -131,6 +132,17 @@ void LaneWorker::run() {
       if (pps[i].in_arena()) done_slots[n_slots++] = pps[i].slot;
     }
     arena_.recycle(done_slots, n_slots);
+    // Report verdicts for ticketed packets BEFORE the `processed` release:
+    // a drain() that observes the count then also finds every verdict
+    // already delivered (the wire router relies on exactly this to close
+    // its conservation ledger at finish()).
+    if (feedback_ != nullptr) {
+      for (std::size_t i = 0; i < n; ++i) {
+        if (pps[i].ticket != net::Packet::kNoTicket) {
+          feedback_->on_verdict(lane_index_, pps[i].ticket, actions[i]);
+        }
+      }
+    }
     // `processed` is the drain barrier: release so a thread that observes
     // the count also observes the work (alerts vector growth included).
     counters_.processed.fetch_add(n, std::memory_order_release);

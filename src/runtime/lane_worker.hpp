@@ -22,6 +22,7 @@
 #include "runtime/packet_arena.hpp"
 #include "runtime/parsed_packet.hpp"
 #include "runtime/spsc_ring.hpp"
+#include "runtime/verdict_feedback.hpp"
 #include "telemetry/counter.hpp"
 #include "telemetry/histogram.hpp"
 
@@ -95,6 +96,18 @@ class LaneWorker {
     engine_.set_divert_sink(sink);
   }
 
+  /// Install the wire-side verdict feedback (see verdict_feedback.hpp):
+  /// the worker then asks its engine for per-packet actions and reports
+  /// the verdict of every ticketed packet BEFORE the `processed` release-
+  /// add, so Runtime::drain() returning implies every verdict delivered.
+  /// `lane` is this worker's global lane index. Call before start(); with
+  /// no feedback installed the action array is never requested (zero
+  /// added cost).
+  void set_verdict_feedback(VerdictFeedback* fb, std::size_t lane) {
+    feedback_ = fb;
+    lane_index_ = lane;
+  }
+
   SpscRing<ParsedPacket>& ring() { return ring_; }
   const SpscRing<ParsedPacket>& ring() const { return ring_; }
   /// This lane's frame-slab pool. Borrower: the owning dispatcher (before
@@ -129,6 +142,9 @@ class LaneWorker {
   telemetry::LogHistogram frame_bytes_;
   std::vector<core::Alert> alerts_;
   std::size_t expire_every_;
+  /// Optional wire-side verdict reporting (null = no per-packet actions).
+  VerdictFeedback* feedback_ = nullptr;
+  std::size_t lane_index_ = 0;
   /// Optional version feed (null = fixed rule set, zero added cost).
   control::RuleSetRegistry* registry_ = nullptr;
   std::size_t registry_slot_ = 0;

@@ -32,6 +32,10 @@ struct ParsedPacket {
 
   net::PacketIndex idx;
   std::uint64_t ts_usec = 0;
+  /// Wire-side verdict-correlation id, carried through the ring so the lane
+  /// can report its verdict against the held packet (net::Packet::kNoTicket
+  /// = nobody is waiting).
+  std::uint64_t ticket = net::Packet::kNoTicket;
   const std::uint8_t* data = nullptr;  ///< frame bytes (slab or `heap`)
   std::uint32_t len = 0;
   std::uint32_t slot = kNoSlot;  ///< arena slot id; kNoSlot = heap-owning
@@ -42,7 +46,7 @@ struct ParsedPacket {
   /// Heap-owning shape: take the packet's buffer as-is (oversize fallback
   /// and arena-less callers).
   ParsedPacket(net::Packet p, const net::PacketIndex& i)
-      : idx(i), ts_usec(p.ts_usec), heap(std::move(p.frame)) {
+      : idx(i), ts_usec(p.ts_usec), ticket(p.ticket), heap(std::move(p.frame)) {
     data = heap.data();
     len = static_cast<std::uint32_t>(heap.size());
   }
@@ -76,6 +80,7 @@ struct ParsedPacket {
   void move_from(ParsedPacket&& o) noexcept {
     idx = o.idx;
     ts_usec = o.ts_usec;
+    ticket = o.ticket;
     len = o.len;
     slot = o.slot;
     heap = std::move(o.heap);
@@ -85,6 +90,7 @@ struct ParsedPacket {
     o.data = nullptr;
     o.len = 0;
     o.slot = kNoSlot;
+    o.ticket = net::Packet::kNoTicket;
   }
 };
 

@@ -143,6 +143,17 @@ void Runtime::attach_registry(control::RuleSetRegistry& registry) {
   if (slowpath_) slowpath_->attach_registry(registry);
 }
 
+void Runtime::set_verdict_feedback(VerdictFeedback* fb) {
+  if (running_) {
+    throw Error("Runtime::set_verdict_feedback: install before start()");
+  }
+  if (inline_core_) inline_core_->set_verdict_feedback(fb);
+  for (auto& sh : shards_) sh->core().set_verdict_feedback(fb);
+  for (std::size_t i = 0; i < lanes_.size(); ++i) {
+    lanes_[i]->set_verdict_feedback(fb, i);
+  }
+}
+
 Runtime::~Runtime() { stop(); }
 
 void Runtime::start() {
@@ -216,11 +227,30 @@ void Runtime::feed(net::Packet pkt) {
   inline_core_->flush_all();
 }
 
+void Runtime::feed_borrowed(const net::Packet& pkt) {
+  if (!running_) throw Error("Runtime::feed_borrowed: not started");
+  if (!shards_.empty()) {
+    // The frame must outlive the ingest-ring transit, so a borrowed feed
+    // degrades to a deep copy in sharded mode (tickets travel with it).
+    net::Packet copy(pkt.ts_usec, pkt.frame);
+    copy.ticket = pkt.ticket;
+    push_to_shard(
+        peek_lane(copy.frame, cfg_.link, cfg_.lanes) % shards_.size(),
+        std::move(copy));
+    return;
+  }
+  // Inline dispatch: ingest_borrowed copies the bytes into the lane arena
+  // synchronously — when this returns, the caller's buffer is unreferenced.
+  inline_core_->ingest_borrowed(pkt);
+  inline_core_->flush_all();
+}
+
 void Runtime::feed(std::span<const net::Packet> pkts) {
   if (!running_) throw Error("Runtime::feed: not started");
   if (!shards_.empty()) {
     for (const net::Packet& p : pkts) {
       net::Packet copy(p.ts_usec, p.frame);
+      copy.ticket = p.ticket;
       stage_to_shard(peek_lane(copy.frame, cfg_.link, cfg_.lanes) %
                          shards_.size(),
                      std::move(copy));
@@ -229,7 +259,7 @@ void Runtime::feed(std::span<const net::Packet> pkts) {
     return;
   }
   for (const net::Packet& p : pkts) {
-    inline_core_->ingest(net::Packet(p.ts_usec, p.frame));
+    inline_core_->ingest_borrowed(p);
   }
   inline_core_->flush_all();
 }
@@ -403,6 +433,10 @@ StatsSnapshot Runtime::stats() const {
   if (slowpath_) {
     s.has_external_slowpath = true;
     s.slowpath = slowpath_->stats_snapshot();
+  }
+  if (wire_stats_ != nullptr) {
+    s.has_wire = true;
+    s.wire = wire_stats_->wire_drops();
   }
   return s;
 }

@@ -187,6 +187,37 @@ struct EncapBreakdown {
   }
 };
 
+/// Wire-side (capture/inline) drop reasons, mirrored into StatsSnapshot
+/// the same way `rejected_by` mirrors the dispatcher's parse rejects — so
+/// one snapshot answers "where did packets go" for the whole box, not just
+/// the engine half. All zero unless a wire front-end is attached.
+struct WireDropBreakdown {
+  std::uint64_t kernel_ring = 0;     ///< capture backend/kernel ring drops
+  std::uint64_t budget_expired = 0;  ///< held past the verdict latency budget
+  std::uint64_t hold_overflow = 0;   ///< inline hold buffer full at submit
+  std::uint64_t overload_shed = 0;   ///< runtime shed before any verdict
+
+  std::uint64_t total() const {
+    return kernel_ring + budget_expired + hold_overflow + overload_shed;
+  }
+  WireDropBreakdown& operator+=(const WireDropBreakdown& o) {
+    kernel_ring += o.kernel_ring;
+    budget_expired += o.budget_expired;
+    hold_overflow += o.hold_overflow;
+    overload_shed += o.overload_shed;
+    return *this;
+  }
+};
+
+/// Anything that can report wire-side drops into StatsSnapshot (the wire
+/// router implements this; the runtime only reads it). Must be safe to
+/// call from any thread at any time.
+class WireStatsSource {
+ public:
+  virtual ~WireStatsSource() = default;
+  virtual WireDropBreakdown wire_drops() const = 0;
+};
+
 /// One ingest shard's live counters + ring state (sharded mode only).
 struct DispatcherSnapshot {
   std::uint64_t ingested = 0;
@@ -224,6 +255,10 @@ struct StatsSnapshot {
   /// External slow-path totals (all zero unless external_slowpath is on).
   slowpath::SlowPathStats slowpath;
   bool has_external_slowpath = false;
+  /// Wire-side capture/inline drop reasons (attach_wire_stats); all zero
+  /// without a wire front-end.
+  WireDropBreakdown wire;
+  bool has_wire = false;
 
   /// Lowest rule-set version any lane currently runs (the deployment's
   /// grace horizon as seen from the lanes themselves).
@@ -312,6 +347,16 @@ class Runtime {
   /// must outlive this runtime.
   void attach_registry(control::RuleSetRegistry& registry);
 
+  /// Install the inline-verdict feedback on every dispatching core and
+  /// every lane (see verdict_feedback.hpp for the exactly-once and
+  /// ordering contract). Call before start(); `fb` must outlive the
+  /// worker threads. Ticketless packets never trigger a callback.
+  void set_verdict_feedback(VerdictFeedback* fb);
+
+  /// Let stats() mirror wire-side drop reasons (StatsSnapshot::wire).
+  /// `src` must outlive every stats() call; null detaches.
+  void attach_wire_stats(const WireStatsSource* src) { wire_stats_ = src; }
+
   /// Spawn the lane threads (and dispatcher shards, in sharded mode).
   /// Idempotent.
   void start();
@@ -329,6 +374,13 @@ class Runtime {
   void feed(std::span<const net::Packet> pkts);
   void feed(const std::vector<net::Packet>& pkts);
   void feed(std::vector<net::Packet>&& pkts);
+  /// Inline-verdict hot path: route one frame the caller KEEPS. In inline-
+  /// dispatch mode (dispatchers == 0) the bytes are copied straight into
+  /// the lane arena before this returns — one copy total, and the caller's
+  /// buffer is free for reuse (the wire router holds it for egress). In
+  /// sharded mode the frame must cross the ingest ring, so a deep copy is
+  /// taken here first. Same feeder-thread contract as feed().
+  void feed_borrowed(const net::Packet& pkt);
   /// Block until every fed packet is accounted for (processed or counted
   /// dropped) — in sharded mode, first until every shard consumed its
   /// ingest backlog. Workers stay alive for more feed()s. Feeder thread
@@ -401,6 +453,8 @@ class Runtime {
   std::vector<std::vector<net::Packet>> ingest_stage_;
   /// Shared external slow path (built only when cfg.external_slowpath).
   std::unique_ptr<slowpath::SlowPathService> slowpath_;
+  /// Wire-side drop mirror for stats() (non-owning, may be null).
+  const WireStatsSource* wire_stats_ = nullptr;
   bool running_ = false;
 };
 

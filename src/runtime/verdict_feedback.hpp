@@ -1,0 +1,49 @@
+// VerdictFeedback: the runtime's callback surface for inline (hold-until-
+// verdict) deployments.
+//
+// A wire-side router (sdt::wire::VerdictRouter) stamps each submitted frame
+// with a ticket (net::Packet::ticket) and installs itself here via
+// Runtime::set_verdict_feedback before start(). The pipeline then reports
+// the terminal fate of every *ticketed* packet exactly once:
+//
+//   on_verdict  — the packet went through a lane engine; `action` is the
+//                 engine's per-packet verdict (forward / divert / alert).
+//                 Called on the LANE thread, before the lane's `processed`
+//                 release-add — so a Runtime::drain() that returns has
+//                 every verdict already delivered.
+//   on_reject   — the frame was malformed and refused at the dispatch edge
+//                 (never fed to a lane). Called on whichever thread drives
+//                 the dispatching core: the feed() caller in inline-
+//                 dispatch mode, a shard thread in sharded mode.
+//   on_shed     — the packet was shed by overload policy (arena exhausted
+//                 or lane ring full under OverloadPolicy::drop) and no
+//                 engine will ever see it. Same threads as on_reject.
+//
+// Packets without a ticket (the default) trigger no callback, and the lane
+// only asks the engine for per-packet actions when feedback is installed —
+// trace-driven runs pay nothing.
+//
+// Implementations must be wait-free-ish and must never call back into the
+// Runtime: they run on packet-path threads.
+#pragma once
+
+#include <cstdint>
+
+#include "core/verdict.hpp"
+
+namespace sdt::runtime {
+
+class VerdictFeedback {
+ public:
+  virtual ~VerdictFeedback() = default;
+
+  /// Engine verdict for ticket `ticket`, produced by lane `lane`.
+  virtual void on_verdict(std::size_t lane, std::uint64_t ticket,
+                          core::Action action) = 0;
+  /// Malformed frame refused at the dispatch edge (edge verdict: drop).
+  virtual void on_reject(std::uint64_t ticket) = 0;
+  /// Shed before any engine saw it (OverloadPolicy::drop only).
+  virtual void on_shed(std::uint64_t ticket) = 0;
+};
+
+}  // namespace sdt::runtime

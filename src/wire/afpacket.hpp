@@ -1,0 +1,23 @@
+// sdt::wire — AF_PACKET TPACKET_V3 backend (SDT_WITH_AFPACKET, Linux).
+//
+// The kernel writes frames into a mmap'd block ring; poll() walks the
+// blocks the kernel has handed to userspace, copies each frame once into
+// an owned net::Packet, and releases the block. A block is only returned
+// to the kernel after every frame in it has been copied out, so frames
+// never alias kernel memory past poll(). Kernel drops come from
+// PACKET_STATISTICS (tp_drops, reset-on-read).
+#pragma once
+
+#include <memory>
+
+#include "wire/capture.hpp"
+
+namespace sdt::wire {
+
+/// Open `spec.target` as an AF_PACKET TPACKET_V3 capture. Requires
+/// CAP_NET_RAW; throws IoError (with errno text) when the socket, ring,
+/// or bind fails. Link type is always Ethernet (cooked devices are not
+/// supported).
+std::unique_ptr<CaptureSource> open_afpacket(const SourceSpec& spec);
+
+}  // namespace sdt::wire

@@ -1,0 +1,124 @@
+#include "wire/capture.hpp"
+
+#include <utility>
+
+#include "pcap/pcapng.hpp"
+#include "util/error.hpp"
+
+#if defined(SDT_WITH_PCAP)
+#include "wire/pcap_live.hpp"
+#endif
+#if defined(SDT_WITH_AFPACKET)
+#include "wire/afpacket.hpp"
+#endif
+
+namespace sdt::wire {
+
+const char* to_string(SourceKind k) {
+  switch (k) {
+    case SourceKind::file: return "file";
+    case SourceKind::pcap_live: return "pcap";
+    case SourceKind::afpacket: return "afpacket";
+  }
+  return "?";
+}
+
+bool backend_available(SourceKind k) {
+  switch (k) {
+    case SourceKind::file:
+      return true;
+    case SourceKind::pcap_live:
+#if defined(SDT_WITH_PCAP)
+      return true;
+#else
+      return false;
+#endif
+    case SourceKind::afpacket:
+#if defined(SDT_WITH_AFPACKET)
+      return true;
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+/// Thin ownership shim so capture.hpp need not include pcapng.hpp.
+class FileSourceReader {
+ public:
+  explicit FileSourceReader(std::unique_ptr<pcap::CaptureReader> r)
+      : reader(std::move(r)) {}
+  std::unique_ptr<pcap::CaptureReader> reader;
+};
+
+FileSource::FileSource(std::string path, std::size_t repeat)
+    : path_(std::move(path)), repeats_left_(repeat == 0 ? 1 : repeat) {
+  reopen();
+}
+
+FileSource::FileSource(Bytes capture, std::size_t repeat)
+    : capture_(std::move(capture)), repeats_left_(repeat == 0 ? 1 : repeat) {
+  reopen();
+}
+
+FileSource::~FileSource() = default;
+
+void FileSource::reopen() {
+  auto r = path_.empty() ? pcap::open_capture(capture_)
+                         : pcap::open_capture(path_);
+  link_type_ = r->link_type();
+  reader_ = std::make_unique<FileSourceReader>(std::move(r));
+}
+
+std::size_t FileSource::poll(std::vector<net::Packet>& out, std::size_t max) {
+  std::size_t n = 0;
+  while (n < max && !exhausted_) {
+    std::optional<net::Packet> pkt = reader_->reader->next();
+    if (!pkt) {
+      // End of one pass. A capture truncated mid-file still ends cleanly
+      // (the reader refuses to hand out a partial record) — count it so a
+      // short replay is visible, not silent.
+      if (reader_->reader->truncated()) ++stats_.truncated;
+      if (--repeats_left_ == 0) {
+        exhausted_ = true;
+        reader_.reset();
+        break;
+      }
+      reopen();
+      continue;
+    }
+    out.push_back(std::move(*pkt));
+    ++n;
+  }
+  stats_.delivered += n;
+  return n;
+}
+
+std::unique_ptr<CaptureSource> open_source(const SourceSpec& spec) {
+  switch (spec.kind) {
+    case SourceKind::file:
+      if (spec.target.empty()) {
+        throw InvalidArgument("wire: file source needs a capture path");
+      }
+      return std::make_unique<FileSource>(spec.target, spec.repeat);
+    case SourceKind::pcap_live:
+#if defined(SDT_WITH_PCAP)
+      return open_pcap_live(spec);
+#else
+      throw InvalidArgument(
+          "wire: libpcap backend not in this build "
+          "(reconfigure with -DSDT_WITH_PCAP=ON)");
+#endif
+    case SourceKind::afpacket:
+#if defined(SDT_WITH_AFPACKET)
+      return open_afpacket(spec);
+#else
+      throw InvalidArgument(
+          "wire: AF_PACKET backend not in this build "
+          "(reconfigure with -DSDT_WITH_AFPACKET=ON; Linux only)");
+#endif
+  }
+  throw InvalidArgument("wire: unknown source kind");
+}
+
+}  // namespace sdt::wire

@@ -1,0 +1,117 @@
+// sdt::wire — capture front-ends: the runtime's front door.
+//
+// One interface, three backends:
+//   * file     — offline pcap/pcapng replay (src/pcap/). Always built, so
+//                every test and CI run exercises the exact code path a live
+//                deployment uses — only the poll() producer differs.
+//   * pcap     — libpcap live device (pcap_live.hpp, SDT_WITH_PCAP).
+//   * afpacket — AF_PACKET TPACKET_V3 mmap ring (afpacket.hpp,
+//                SDT_WITH_AFPACKET, Linux only).
+//
+// poll() fills a caller-owned vector with owned net::Packets; the caller
+// moves the batch into Runtime::feed (tap) or submits each frame to the
+// VerdictRouter (inline). Owned packets mean the only further copy is the
+// runtime's arena copy — the file backend hands out the reader's buffers
+// directly, the live backends copy once out of the kernel ring (mandatory:
+// ring frames are released back to the kernel before the engine finishes).
+//
+// Drops are first-class: CaptureStats::kernel_dropped surfaces the
+// backend/kernel ring overruns that a "we saw no attack" claim silently
+// hides — the wire.capture_kernel_dropped metric and the WireDropBreakdown
+// mirror both come from here.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/headers.hpp"
+#include "net/packet.hpp"
+#include "util/bytes.hpp"
+
+namespace sdt::wire {
+
+/// Capture-side ledger, pollable at any time from the polling thread.
+struct CaptureStats {
+  std::uint64_t delivered = 0;       ///< frames handed to the caller
+  std::uint64_t kernel_dropped = 0;  ///< backend/kernel ring overruns
+  std::uint64_t truncated = 0;       ///< snaplen-clipped frames (best effort)
+};
+
+class CaptureSource {
+ public:
+  virtual ~CaptureSource() = default;
+
+  virtual net::LinkType link_type() const = 0;
+  /// Backend name for logs/metrics: "file", "pcap", "afpacket".
+  virtual const char* backend() const = 0;
+
+  /// Append up to `max` packets to `out` (not cleared). Returns how many
+  /// were appended; 0 means idle (live source, nothing buffered right now)
+  /// or exhausted (file source, replay finished) — disambiguate with
+  /// exhausted(). Single polling thread.
+  virtual std::size_t poll(std::vector<net::Packet>& out, std::size_t max) = 0;
+
+  /// True once this source will never produce another packet (file replay
+  /// finished, device closed). Live sources return false while open.
+  virtual bool exhausted() const = 0;
+
+  virtual CaptureStats stats() const = 0;
+};
+
+enum class SourceKind : std::uint8_t { file, pcap_live, afpacket };
+
+const char* to_string(SourceKind k);
+/// Whether this build carries the backend (file is always true; the live
+/// backends depend on SDT_WITH_PCAP / SDT_WITH_AFPACKET).
+bool backend_available(SourceKind k);
+
+/// Everything open_source() needs, for any backend; unused fields are
+/// ignored (e.g. `repeat` for live devices, `promiscuous` for files).
+struct SourceSpec {
+  SourceKind kind = SourceKind::file;
+  /// Capture path (file) or device name (live).
+  std::string target;
+  /// File backend: replay the capture this many times (soak/load shaping).
+  std::size_t repeat = 1;
+  std::uint32_t snaplen = 262144;
+  /// Live backends: kernel ring/buffer budget in bytes.
+  std::size_t buffer_bytes = 4u << 20;
+  bool promiscuous = true;
+};
+
+/// Open the backend `spec` names. Throws util Error subclasses: on missing
+/// files, on devices that cannot be opened, and — with a message naming
+/// the CMake option — on backends compiled out of this build.
+std::unique_ptr<CaptureSource> open_source(const SourceSpec& spec);
+
+/// The always-built offline backend: replays a pcap/pcapng capture from
+/// disk or memory, `repeat` times (each pass re-reads from the start;
+/// timestamps are replayed verbatim).
+class FileSource final : public CaptureSource {
+ public:
+  FileSource(std::string path, std::size_t repeat = 1);
+  /// In-memory capture (tests, benches): no filesystem involved.
+  FileSource(Bytes capture, std::size_t repeat = 1);
+  ~FileSource() override;  // out-of-line: FileSourceReader is incomplete here
+
+  net::LinkType link_type() const override { return link_type_; }
+  const char* backend() const override { return "file"; }
+  std::size_t poll(std::vector<net::Packet>& out, std::size_t max) override;
+  bool exhausted() const override { return exhausted_; }
+  CaptureStats stats() const override { return stats_; }
+
+ private:
+  void reopen();
+
+  std::string path_;   // empty = in-memory
+  Bytes capture_;      // retained for in-memory repeats
+  std::size_t repeats_left_;
+  bool exhausted_ = false;
+  net::LinkType link_type_ = net::LinkType::ethernet;
+  CaptureStats stats_;
+  std::unique_ptr<class FileSourceReader> reader_;
+};
+
+}  // namespace sdt::wire

@@ -1,0 +1,104 @@
+// sdt::wire — the egress side of inline mode: the runtime's back door.
+//
+// The VerdictRouter releases every captured packet exactly once, in
+// capture order, with a terminal WireVerdict; a VerdictSink is what
+// "forward" and "drop" mean for a given deployment (a TX socket, a pcap
+// file, a test's ledger). Sinks run on the router's (feeder) thread.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "net/packet.hpp"
+#include "pcap/pcap.hpp"
+
+namespace sdt::wire {
+
+/// Terminal fate of a captured packet. The conservation buckets map as:
+/// accept → accepted, drop → dropped, divert → diverted, shed_* → shed.
+enum class WireVerdict : std::uint8_t {
+  accept,        ///< engine said forward
+  drop,          ///< engine alerted (or the frame was malformed)
+  divert,        ///< slow path took the flow; packet forwarded post-inspection
+  shed_forward,  ///< no verdict in budget — forwarded unexamined (fail-open)
+  shed_block,    ///< no verdict in budget — blocked (fail-closed)
+};
+
+inline const char* to_string(WireVerdict v) {
+  switch (v) {
+    case WireVerdict::accept: return "accept";
+    case WireVerdict::drop: return "drop";
+    case WireVerdict::divert: return "divert";
+    case WireVerdict::shed_forward: return "shed_forward";
+    case WireVerdict::shed_block: return "shed_block";
+  }
+  return "?";
+}
+
+/// True when the packet leaves the box (what a TX egress must transmit).
+inline bool forwards(WireVerdict v) {
+  return v == WireVerdict::accept || v == WireVerdict::divert ||
+         v == WireVerdict::shed_forward;
+}
+
+class VerdictSink {
+ public:
+  virtual ~VerdictSink() = default;
+  /// Called exactly once per captured packet, in capture order, on the
+  /// router's thread. The packet is only valid for the duration of the
+  /// call (the router recycles/destroys it after).
+  virtual void emit(const net::Packet& pkt, WireVerdict v) = 0;
+};
+
+/// Drop everything on the floor silently (pure-detection runs).
+class NullSink final : public VerdictSink {
+ public:
+  void emit(const net::Packet&, WireVerdict) override {}
+};
+
+/// Per-verdict ledger — the test/bench workhorse, and the gateway's
+/// forwarding accountant.
+class CountingSink final : public VerdictSink {
+ public:
+  void emit(const net::Packet& pkt, WireVerdict v) override {
+    ++counts_[static_cast<std::size_t>(v)];
+    if (forwards(v)) forwarded_bytes_ += pkt.frame.size();
+    ++total_;
+  }
+
+  std::uint64_t count(WireVerdict v) const {
+    return counts_[static_cast<std::size_t>(v)];
+  }
+  std::uint64_t total() const { return total_; }
+  std::uint64_t forwarded_bytes() const { return forwarded_bytes_; }
+
+ private:
+  std::uint64_t counts_[5] = {};
+  std::uint64_t total_ = 0;
+  std::uint64_t forwarded_bytes_ = 0;
+};
+
+/// Write every *forwarded* frame (accept/divert/shed_forward) to a pcap
+/// file — the offline stand-in for a TX interface, and a directly
+/// diffable artifact ("what would this IPS have let through"). Chains to
+/// `next` (if given) so it composes with CountingSink.
+class PcapEgressSink final : public VerdictSink {
+ public:
+  PcapEgressSink(const std::string& path, net::LinkType lt,
+                 VerdictSink* next = nullptr)
+      : writer_(path, lt), next_(next) {}
+
+  void emit(const net::Packet& pkt, WireVerdict v) override {
+    if (forwards(v)) writer_.write(pkt);
+    if (next_ != nullptr) next_->emit(pkt, v);
+  }
+
+  std::uint64_t packets_written() const { return writer_.packets_written(); }
+
+ private:
+  pcap::Writer writer_;
+  VerdictSink* next_;
+};
+
+}  // namespace sdt::wire

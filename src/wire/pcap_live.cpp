@@ -1,0 +1,124 @@
+#include "wire/pcap_live.hpp"
+
+#include <pcap/pcap.h>
+
+#include <string>
+
+#include "util/error.hpp"
+
+namespace sdt::wire {
+
+namespace {
+
+class PcapLiveSource final : public CaptureSource {
+ public:
+  explicit PcapLiveSource(const SourceSpec& spec) {
+    char errbuf[PCAP_ERRBUF_SIZE] = {};
+    pcap_ = pcap_create(spec.target.c_str(), errbuf);
+    if (pcap_ == nullptr) {
+      throw IoError("wire: pcap_create(" + spec.target + "): " + errbuf);
+    }
+    pcap_set_snaplen(pcap_, static_cast<int>(spec.snaplen));
+    pcap_set_promisc(pcap_, spec.promiscuous ? 1 : 0);
+    pcap_set_timeout(pcap_, 1);  // ms; we poll, the timeout just unblocks
+    pcap_set_buffer_size(pcap_, static_cast<int>(spec.buffer_bytes));
+    pcap_set_immediate_mode(pcap_, 1);
+    int rc = pcap_activate(pcap_);
+    if (rc < 0) {
+      std::string msg = pcap_geterr(pcap_);
+      pcap_close(pcap_);
+      pcap_ = nullptr;
+      throw IoError("wire: pcap_activate(" + spec.target + "): " + msg);
+    }
+    if (pcap_setnonblock(pcap_, 1, errbuf) != 0) {
+      pcap_close(pcap_);
+      pcap_ = nullptr;
+      throw IoError("wire: pcap_setnonblock(" + spec.target + "): " + errbuf);
+    }
+    int dlt = pcap_datalink(pcap_);
+    switch (dlt) {
+      case DLT_EN10MB: link_type_ = net::LinkType::ethernet; break;
+      case DLT_RAW: link_type_ = net::LinkType::raw_ipv4; break;
+      default:
+        pcap_close(pcap_);
+        pcap_ = nullptr;
+        throw ParseError("wire: unsupported libpcap link type " +
+                         std::to_string(dlt) + " on " + spec.target);
+    }
+    snaplen_ = spec.snaplen;
+  }
+
+  ~PcapLiveSource() override {
+    if (pcap_ != nullptr) pcap_close(pcap_);
+  }
+
+  PcapLiveSource(const PcapLiveSource&) = delete;
+  PcapLiveSource& operator=(const PcapLiveSource&) = delete;
+
+  net::LinkType link_type() const override { return link_type_; }
+  const char* backend() const override { return "pcap"; }
+  bool exhausted() const override { return false; }
+
+  std::size_t poll(std::vector<net::Packet>& out, std::size_t max) override {
+    DispatchCtx ctx{this, &out, 0};
+    int rc = pcap_dispatch(pcap_, static_cast<int>(max), &on_packet,
+                           reinterpret_cast<u_char*>(&ctx));
+    if (rc < 0 && rc != PCAP_ERROR_BREAK) {
+      throw IoError(std::string("wire: pcap_dispatch: ") + pcap_geterr(pcap_));
+    }
+    stats_.delivered += ctx.appended;
+    refresh_kernel_drops();
+    return ctx.appended;
+  }
+
+  CaptureStats stats() const override { return stats_; }
+
+ private:
+  struct DispatchCtx {
+    PcapLiveSource* self;
+    std::vector<net::Packet>* out;
+    std::size_t appended;
+  };
+
+  static void on_packet(u_char* user, const pcap_pkthdr* hdr,
+                        const u_char* bytes) {
+    auto* ctx = reinterpret_cast<DispatchCtx*>(user);
+    std::uint64_t ts =
+        static_cast<std::uint64_t>(hdr->ts.tv_sec) * 1'000'000ull +
+        static_cast<std::uint64_t>(hdr->ts.tv_usec);
+    // One mandatory copy out of libpcap's buffer, which it reuses after
+    // this callback returns.
+    ctx->out->emplace_back(ts, Bytes(bytes, bytes + hdr->caplen));
+    if (hdr->caplen < hdr->len) ++ctx->self->stats_.truncated;
+    ++ctx->appended;
+  }
+
+  void refresh_kernel_drops() {
+    pcap_stat ps{};
+    if (pcap_stats(pcap_, &ps) == 0) {
+      // ps_drop is a running total since activation.
+      std::uint64_t total = ps.ps_drop;
+      if (total > last_ps_drop_) {
+        stats_.kernel_dropped += total - last_ps_drop_;
+        last_ps_drop_ = total;
+      }
+    }
+  }
+
+  pcap_t* pcap_ = nullptr;
+  net::LinkType link_type_ = net::LinkType::ethernet;
+  std::uint32_t snaplen_ = 0;
+  std::uint64_t last_ps_drop_ = 0;
+  CaptureStats stats_;
+};
+
+}  // namespace
+
+std::unique_ptr<CaptureSource> open_pcap_live(const SourceSpec& spec) {
+  if (spec.target.empty()) {
+    throw InvalidArgument("wire: pcap live source needs a device name");
+  }
+  return std::make_unique<PcapLiveSource>(spec);
+}
+
+}  // namespace sdt::wire

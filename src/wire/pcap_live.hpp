@@ -1,0 +1,20 @@
+// sdt::wire — libpcap live-device backend (SDT_WITH_PCAP builds only).
+//
+// Non-blocking pcap_dispatch() from poll(); each kernel frame is copied
+// once into an owned net::Packet (mandatory — libpcap reuses its buffer
+// between callbacks). Kernel drops come from pcap_stats(ps_drop), which
+// libpcap reports as a running total; we diff against the last reading.
+#pragma once
+
+#include <memory>
+
+#include "wire/capture.hpp"
+
+namespace sdt::wire {
+
+/// Open `spec.target` as a live libpcap device. Throws IoError with
+/// libpcap's own message when the device cannot be opened or activated,
+/// and ParseError when its link type is neither Ethernet nor raw IP.
+std::unique_ptr<CaptureSource> open_pcap_live(const SourceSpec& spec);
+
+}  // namespace sdt::wire

@@ -1,0 +1,297 @@
+#include "wire/verdict_router.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <string>
+
+#include "util/error.hpp"
+
+namespace sdt::wire {
+
+namespace {
+constexpr std::size_t kPollBatch = 256;
+}  // namespace
+
+VerdictRouter::VerdictRouter(InlinePipe& pipe, VerdictSink& sink,
+                             RouterConfig cfg)
+    : pipe_(pipe), sink_(sink), cfg_(std::move(cfg)) {
+  if (cfg_.hold_capacity == 0) {
+    throw InvalidArgument("wire: hold_capacity == 0");
+  }
+  budget_ns_ = cfg_.latency_budget_us * 1000ull;
+  const std::size_t ring_cap =
+      cfg_.hold_capacity + pipe_.in_flight_bound() + cfg_.ring_slack;
+  rings_.reserve(pipe_.lanes());
+  for (std::size_t i = 0; i < pipe_.lanes(); ++i) {
+    rings_.push_back(std::make_unique<runtime::SpscRing<VerdictMsg>>(ring_cap));
+  }
+  edge_scratch_.reserve(64);
+}
+
+VerdictRouter::~VerdictRouter() = default;
+
+std::uint64_t VerdictRouter::clock_ns() const {
+  if (cfg_.now_ns) return cfg_.now_ns();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+// --- producer side (lane / dispatcher threads) -----------------------------
+
+void VerdictRouter::on_verdict(std::size_t lane, std::uint64_t ticket,
+                               core::Action action) {
+  Resolution res = Resolution::drop;
+  switch (action) {
+    case core::Action::forward: res = Resolution::accept; break;
+    case core::Action::divert: res = Resolution::divert; break;
+    case core::Action::alert: res = Resolution::drop; break;
+  }
+  VerdictMsg msg{ticket, res};
+  if (lane < rings_.size() && rings_[lane]->try_push(VerdictMsg(msg))) return;
+  // Ring full (sized so this is exceptional) — the mutex keeps it correct.
+  std::lock_guard<std::mutex> lk(edge_mu_);
+  edge_events_.push_back(msg);
+}
+
+void VerdictRouter::on_reject(std::uint64_t ticket) {
+  std::lock_guard<std::mutex> lk(edge_mu_);
+  edge_events_.push_back(VerdictMsg{ticket, Resolution::reject});
+}
+
+void VerdictRouter::on_shed(std::uint64_t ticket) {
+  std::lock_guard<std::mutex> lk(edge_mu_);
+  edge_events_.push_back(VerdictMsg{ticket, Resolution::overload});
+}
+
+// --- feeder side -----------------------------------------------------------
+
+void VerdictRouter::emit_shed(const net::Packet& pkt) {
+  shed_.fetch_add(1, std::memory_order_relaxed);
+  sink_.emit(pkt, cfg_.policy == HoldPolicy::fail_open
+                      ? WireVerdict::shed_forward
+                      : WireVerdict::shed_block);
+}
+
+void VerdictRouter::update_held_gauges() {
+  const auto depth = static_cast<std::uint64_t>(hold_.size());
+  held_depth_.store(depth, std::memory_order_relaxed);
+  if (depth > held_peak_.load(std::memory_order_relaxed)) {
+    held_peak_.store(depth, std::memory_order_relaxed);
+  }
+}
+
+void VerdictRouter::submit(net::Packet&& pkt) {
+  captured_.fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t ticket = next_ticket_++;
+  pkt.ticket = ticket;
+
+  if (hold_.size() >= cfg_.hold_capacity) {
+    poll();  // verdicts may already be waiting — free the front first
+  }
+  if (hold_.size() >= cfg_.hold_capacity) {
+    hold_overflow_.fetch_add(1, std::memory_order_relaxed);
+    if (cfg_.policy == HoldPolicy::fail_open) {
+      // Forward unexamined, but STILL feed the engine: detection parity —
+      // alerts and flow state must not depend on load. The verdict that
+      // comes back is absorbed via the late-set.
+      late_pending_.insert(ticket);
+      pipe_.feed(pkt);
+    }
+    emit_shed(pkt);
+    return;
+  }
+
+  const std::uint64_t now = clock_ns();
+  pipe_.feed(pkt);  // borrowed: pipe copies, we keep the frame for egress
+  hold_.push_back(Held{ticket, now, now + budget_ns_, Resolution::pending,
+                       std::move(pkt)});
+  update_held_gauges();
+}
+
+void VerdictRouter::resolve(std::uint64_t ticket, Resolution res) {
+  if (auto it = late_pending_.find(ticket); it != late_pending_.end()) {
+    late_pending_.erase(it);
+    late_verdicts_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  if (hold_.empty()) return;  // stray (already released); conservation will tell
+  // Tickets are issued and parked monotonically: binary search.
+  const std::uint64_t base = hold_.front().ticket;
+  if (ticket < base) return;
+  const std::size_t idx = static_cast<std::size_t>(ticket - base);
+  if (idx >= hold_.size() || hold_[idx].ticket != ticket) {
+    // Overflow-shed tickets leave gaps, so the deque is not dense; fall
+    // back to a real binary search.
+    auto it = std::lower_bound(
+        hold_.begin(), hold_.end(), ticket,
+        [](const Held& h, std::uint64_t t) { return h.ticket < t; });
+    if (it == hold_.end() || it->ticket != ticket) return;
+    it->res = res;
+    return;
+  }
+  hold_[idx].res = res;
+}
+
+std::size_t VerdictRouter::release_front(std::uint64_t now) {
+  std::size_t released = 0;
+  while (!hold_.empty()) {
+    Held& h = hold_.front();
+    if (h.res == Resolution::pending) {
+      if (now < h.deadline_ns) break;  // head still inside budget: wait
+      // Budget expired without a verdict. Shed per policy; the engine
+      // still owes a verdict for this ticket — absorb it later.
+      budget_expired_.fetch_add(1, std::memory_order_relaxed);
+      late_pending_.insert(h.ticket);
+      emit_shed(h.pkt);
+      hold_.pop_front();
+      ++released;
+      continue;
+    }
+    switch (h.res) {
+      case Resolution::accept:
+        accepted_.fetch_add(1, std::memory_order_relaxed);
+        verdict_latency_ns_.record(now - h.submit_ns);
+        sink_.emit(h.pkt, WireVerdict::accept);
+        break;
+      case Resolution::drop:
+        dropped_.fetch_add(1, std::memory_order_relaxed);
+        verdict_latency_ns_.record(now - h.submit_ns);
+        sink_.emit(h.pkt, WireVerdict::drop);
+        break;
+      case Resolution::divert:
+        diverted_.fetch_add(1, std::memory_order_relaxed);
+        verdict_latency_ns_.record(now - h.submit_ns);
+        sink_.emit(h.pkt, WireVerdict::divert);
+        break;
+      case Resolution::reject:
+        // Malformed at the parse edge — an inline IPS must not forward
+        // what it cannot parse; this is a drop, not a shed.
+        dropped_.fetch_add(1, std::memory_order_relaxed);
+        rejected_malformed_.fetch_add(1, std::memory_order_relaxed);
+        sink_.emit(h.pkt, WireVerdict::drop);
+        break;
+      case Resolution::overload:
+        // The runtime shed it before any engine saw it: policy decides.
+        overload_shed_.fetch_add(1, std::memory_order_relaxed);
+        emit_shed(h.pkt);
+        break;
+      case Resolution::pending:
+        break;  // unreachable
+    }
+    hold_.pop_front();
+    ++released;
+  }
+  update_held_gauges();
+  return released;
+}
+
+std::size_t VerdictRouter::poll() {
+  // 1. Rare out-of-band events first (rejects happen at submit time, so
+  //    they are usually older than anything in the rings).
+  {
+    std::lock_guard<std::mutex> lk(edge_mu_);
+    edge_scratch_.swap(edge_events_);
+  }
+  for (const VerdictMsg& m : edge_scratch_) resolve(m.ticket, m.res);
+  edge_scratch_.clear();
+
+  // 2. Lane verdict rings, fully drained.
+  VerdictMsg batch[kPollBatch];
+  for (auto& ring : rings_) {
+    std::size_t n;
+    while ((n = ring->try_pop_batch(batch, kPollBatch)) > 0) {
+      for (std::size_t i = 0; i < n; ++i) resolve(batch[i].ticket, batch[i].res);
+    }
+  }
+
+  // 3. Release in ticket order; shed what blew its budget at the front.
+  return release_front(clock_ns());
+}
+
+void VerdictRouter::finish() {
+  pipe_.drain();
+  // Verdict pushes happen-before the runtime's processed-count release,
+  // and drain() acquires that count — so one poll now sees everything.
+  poll();
+  WireStats s = stats();
+  if (!hold_.empty()) {
+    throw Error("wire: conservation breach: " + std::to_string(hold_.size()) +
+                " packets still held after drain (front ticket " +
+                std::to_string(hold_.front().ticket) + ", res pending=" +
+                std::to_string(hold_.front().res == Resolution::pending) +
+                ") — a verdict was lost");
+  }
+  if (!late_pending_.empty()) {
+    throw Error("wire: conservation breach: " +
+                std::to_string(late_pending_.size()) +
+                " shed packets never produced their owed verdict");
+  }
+  if (!s.conserved()) {
+    throw Error("wire: conservation breach: captured=" +
+                std::to_string(s.captured) + " != accepted=" +
+                std::to_string(s.accepted) + " + dropped=" +
+                std::to_string(s.dropped) + " + diverted=" +
+                std::to_string(s.diverted) + " + shed=" +
+                std::to_string(s.shed));
+  }
+}
+
+void VerdictRouter::note_kernel_drops(std::uint64_t n) {
+  kernel_dropped_.fetch_add(n, std::memory_order_relaxed);
+}
+
+WireStats VerdictRouter::stats() const {
+  WireStats s;
+  s.captured = captured_.load(std::memory_order_relaxed);
+  s.accepted = accepted_.load(std::memory_order_relaxed);
+  s.dropped = dropped_.load(std::memory_order_relaxed);
+  s.diverted = diverted_.load(std::memory_order_relaxed);
+  s.shed = shed_.load(std::memory_order_relaxed);
+  s.budget_expired = budget_expired_.load(std::memory_order_relaxed);
+  s.hold_overflow = hold_overflow_.load(std::memory_order_relaxed);
+  s.overload_shed = overload_shed_.load(std::memory_order_relaxed);
+  s.rejected_malformed = rejected_malformed_.load(std::memory_order_relaxed);
+  s.kernel_dropped = kernel_dropped_.load(std::memory_order_relaxed);
+  s.late_verdicts = late_verdicts_.load(std::memory_order_relaxed);
+  s.held = hold_.size();
+  s.held_peak = held_peak_.load(std::memory_order_relaxed);
+  return s;
+}
+
+runtime::WireDropBreakdown VerdictRouter::wire_drops() const {
+  runtime::WireDropBreakdown b;
+  b.kernel_ring = kernel_dropped_.load(std::memory_order_relaxed);
+  b.budget_expired = budget_expired_.load(std::memory_order_relaxed);
+  b.hold_overflow = hold_overflow_.load(std::memory_order_relaxed);
+  b.overload_shed = overload_shed_.load(std::memory_order_relaxed);
+  return b;
+}
+
+void VerdictRouter::register_metrics(telemetry::MetricsRegistry& reg,
+                                     const std::string& prefix) const {
+  auto c = [&](const char* name, const char* unit,
+               const std::atomic<std::uint64_t>* src) {
+    reg.add_counter({prefix + "." + name, unit, "wire", true}, src);
+  };
+  c("captured", "packets", &captured_);
+  c("accepted", "packets", &accepted_);
+  c("dropped", "packets", &dropped_);
+  c("diverted", "packets", &diverted_);
+  c("shed", "packets", &shed_);
+  c("shed_budget_expired", "packets", &budget_expired_);
+  c("shed_hold_overflow", "packets", &hold_overflow_);
+  c("shed_overload", "packets", &overload_shed_);
+  c("rejected_malformed", "packets", &rejected_malformed_);
+  c("capture_kernel_dropped", "packets", &kernel_dropped_);
+  c("late_verdicts", "events", &late_verdicts_);
+  reg.add_gauge({prefix + ".hold_depth", "packets", "wire", true},
+                [this] { return held_depth_.load(std::memory_order_relaxed); });
+  reg.add_gauge({prefix + ".hold_peak", "packets", "wire", true},
+                [this] { return held_peak_.load(std::memory_order_relaxed); });
+  reg.add_histogram({prefix + ".verdict_latency_ns", "ns", "wire", true},
+                    &verdict_latency_ns_);
+}
+
+}  // namespace sdt::wire

@@ -1,0 +1,272 @@
+// sdt::wire::VerdictRouter — the inline verdict path.
+//
+// In tap mode a captured packet is fed to the runtime and forgotten; in
+// inline mode it must be HELD until the engine says forward/divert/alert,
+// because "drop" only means something while the packet has not left yet.
+// The router owns that hold:
+//
+//   submit(pkt) ──► ticket = N, feed pipe (borrowed — one arena copy),
+//                   park {ticket, frame, deadline} in the hold deque
+//   lane thread ──► VerdictFeedback::on_verdict(lane, ticket, action)
+//                   → per-lane SPSC verdict ring (lock-free)
+//   poll()      ──► drain rings + edge events, mark hold entries,
+//                   release from the FRONT only → VerdictSink::emit(...)
+//
+// Ordering: tickets are issued monotonically and released strictly in
+// ticket order (the deque front gates every release), so capture order —
+// and therefore per-flow order — is preserved on egress no matter how
+// lanes interleave.
+//
+// Budget: every held packet carries deadline = submit + latency_budget.
+// When the front entry's deadline passes without a verdict, the router
+// sheds it — forwarding it unexamined (fail-open) or blocking it
+// (fail-closed) — and remembers the ticket in a late-set so the verdict,
+// which WILL still arrive (the packet is in the engine), is absorbed
+// exactly once instead of double-counting.
+//
+// Conservation law, asserted by finish() and checkable any time:
+//   captured == accepted + dropped + diverted + shed.
+// Every captured packet lands in exactly one bucket; shed further splits
+// into budget_expired + hold_overflow + overload_shed (the mirror the
+// runtime's StatsSnapshot::wire shows, plus capture kernel drops).
+//
+// Threads: submit/poll/finish/stats on the single feeder thread (the same
+// thread that may call Runtime::feed). on_verdict arrives on lane
+// threads; on_reject/on_shed on dispatching threads. wire_drops() and the
+// registered metrics are safe from any thread.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <unordered_set>
+#include <vector>
+
+#include "core/verdict.hpp"
+#include "runtime/runtime.hpp"
+#include "runtime/spsc_ring.hpp"
+#include "runtime/verdict_feedback.hpp"
+#include "telemetry/histogram.hpp"
+#include "telemetry/registry.hpp"
+#include "wire/egress.hpp"
+
+namespace sdt::wire {
+
+/// What to do with a packet the engine could not judge in time (hold
+/// buffer full, or latency budget expired): let it through unexamined, or
+/// block it. Security-default is fail_closed; availability-default is
+/// fail_open.
+enum class HoldPolicy : std::uint8_t { fail_open, fail_closed };
+
+inline const char* to_string(HoldPolicy p) {
+  return p == HoldPolicy::fail_open ? "fail-open" : "fail-closed";
+}
+
+struct RouterConfig {
+  /// Max packets parked awaiting a verdict. Beyond this, submits shed.
+  std::size_t hold_capacity = 4096;
+  /// Per-packet verdict deadline; past it the packet is shed (policy).
+  std::uint64_t latency_budget_us = 2000;
+  HoldPolicy policy = HoldPolicy::fail_closed;
+  /// Extra per-lane verdict-ring slots beyond hold_capacity +
+  /// in_flight_bound (the ring overflowing is not a correctness problem —
+  /// there is a mutex fallback — just a slow path).
+  std::size_t ring_slack = 1024;
+  /// Clock seam (tests): monotonic nanoseconds. Null = steady_clock.
+  std::function<std::uint64_t()> now_ns;
+};
+
+/// The router's view of the engine: feed one borrowed frame toward a
+/// verdict, and drain until every fed frame is accounted for. Runtime is
+/// the production implementation (RuntimePipe); tests substitute a fake
+/// to drive verdicts deterministically.
+class InlinePipe {
+ public:
+  virtual ~InlinePipe() = default;
+  virtual std::size_t lanes() const = 0;
+  /// Feed one frame (pkt.ticket already stamped). The callee copies what
+  /// it needs; the caller keeps the buffer. May block (backpressure).
+  virtual void feed(const net::Packet& pkt) = 0;
+  /// Block until every fed frame has produced its feedback callback.
+  virtual void drain() = 0;
+  /// Upper bound on frames inside the pipe (fed, no feedback yet) — sizes
+  /// the verdict rings so lane-side pushes never contend in steady state.
+  virtual std::size_t in_flight_bound() const = 0;
+};
+
+/// Production pipe: an already-configured (not yet started) Runtime.
+/// Install the router with rt.set_verdict_feedback(&router) before
+/// rt.start(); feed_borrowed keeps the copy count at one.
+class RuntimePipe final : public InlinePipe {
+ public:
+  explicit RuntimePipe(runtime::Runtime& rt) : rt_(rt) {}
+  std::size_t lanes() const override { return rt_.lanes(); }
+  void feed(const net::Packet& pkt) override { rt_.feed_borrowed(pkt); }
+  void drain() override { rt_.drain(); }
+  std::size_t in_flight_bound() const override {
+    const auto& c = rt_.config();
+    return rt_.lanes() * (c.ring_capacity + 2 * c.dispatch_batch) +
+           rt_.dispatchers() * c.ingest_capacity + 64;
+  }
+
+ private:
+  runtime::Runtime& rt_;
+};
+
+/// Feeder-thread snapshot of the router's ledger.
+struct WireStats {
+  std::uint64_t captured = 0;
+  std::uint64_t accepted = 0;   ///< engine forward → egressed
+  std::uint64_t dropped = 0;    ///< engine alert or malformed frame
+  std::uint64_t diverted = 0;   ///< slow path examined, then egressed
+  std::uint64_t shed = 0;       ///< no verdict in time (see breakdown)
+  std::uint64_t budget_expired = 0;
+  std::uint64_t hold_overflow = 0;
+  std::uint64_t overload_shed = 0;
+  std::uint64_t rejected_malformed = 0;  ///< subset of dropped
+  std::uint64_t kernel_dropped = 0;      ///< capture-side (outside conservation)
+  std::uint64_t late_verdicts = 0;  ///< verdicts for already-shed tickets
+  std::uint64_t held = 0;           ///< parked right now
+  std::uint64_t held_peak = 0;
+
+  /// The inline conservation law.
+  bool conserved() const {
+    return captured == accepted + dropped + diverted + shed;
+  }
+};
+
+class VerdictRouter final : public runtime::VerdictFeedback,
+                            public runtime::WireStatsSource {
+ public:
+  /// `pipe` and `sink` must outlive the router. Wire the router into the
+  /// runtime (set_verdict_feedback + attach_wire_stats) before start().
+  VerdictRouter(InlinePipe& pipe, VerdictSink& sink, RouterConfig cfg = {});
+  ~VerdictRouter() override;
+
+  VerdictRouter(const VerdictRouter&) = delete;
+  VerdictRouter& operator=(const VerdictRouter&) = delete;
+
+  /// Take ownership of one captured frame, stamp its ticket, feed the
+  /// pipe, and hold it for a verdict. Sheds immediately (per policy) when
+  /// the hold buffer is full even after a poll. Feeder thread.
+  void submit(net::Packet&& pkt);
+
+  /// Drain verdict rings and edge events, resolve hold entries, release
+  /// everything releasable from the front (in ticket order), shed
+  /// past-deadline front entries. Returns packets released to the sink.
+  /// Feeder thread; call at least once per submitted batch.
+  std::size_t poll();
+
+  /// pipe.drain(), then a final poll — after which every submitted packet
+  /// must be accounted for. Throws util Error on a conservation breach or
+  /// an unresolved hold entry (a lost verdict). Feeder thread.
+  void finish();
+
+  /// Fold capture-backend kernel drops into the ledger (outside the
+  /// conservation sum — those packets were never captured). Feeder thread;
+  /// pass deltas, not totals.
+  void note_kernel_drops(std::uint64_t n);
+
+  WireStats stats() const;
+  std::size_t held() const { return hold_.size(); }
+  const RouterConfig& config() const { return cfg_; }
+
+  /// Register the wire.* metric surface (docs/OBSERVABILITY.md): the
+  /// ledger counters, hold-depth gauges, and the verdict-latency
+  /// histogram. All live-safe.
+  void register_metrics(telemetry::MetricsRegistry& reg,
+                        const std::string& prefix = "wire") const;
+
+  /// Latency from submit to verdict release (accept/drop/divert only —
+  /// sheds are excluded so the budget cap does not masquerade as engine
+  /// speed).
+  telemetry::HistogramSnapshot verdict_latency_ns() const {
+    return verdict_latency_ns_.snapshot();
+  }
+
+  // --- runtime::WireStatsSource (any thread) ---
+  runtime::WireDropBreakdown wire_drops() const override;
+
+  // --- runtime::VerdictFeedback (lane / dispatcher threads) ---
+  void on_verdict(std::size_t lane, std::uint64_t ticket,
+                  core::Action action) override;
+  void on_reject(std::uint64_t ticket) override;
+  void on_shed(std::uint64_t ticket) override;
+
+ private:
+  /// How a held packet got resolved (reject/overload arrive as edge
+  /// events; budget expiry is decided locally at the deque front).
+  enum class Resolution : std::uint8_t {
+    pending,
+    accept,
+    drop,
+    divert,
+    reject,    // malformed at the dispatch edge
+    overload,  // runtime shed it before any engine looked
+  };
+
+  struct Held {
+    std::uint64_t ticket = 0;
+    std::uint64_t submit_ns = 0;
+    std::uint64_t deadline_ns = 0;
+    Resolution res = Resolution::pending;
+    net::Packet pkt;
+  };
+
+  struct VerdictMsg {
+    std::uint64_t ticket = 0;
+    Resolution res = Resolution::pending;
+  };
+
+  std::uint64_t clock_ns() const;
+  void resolve(std::uint64_t ticket, Resolution res);
+  std::size_t release_front(std::uint64_t now);
+  void emit_shed(const net::Packet& pkt);
+  void update_held_gauges();
+
+  InlinePipe& pipe_;
+  VerdictSink& sink_;
+  RouterConfig cfg_;
+  std::uint64_t budget_ns_;
+  std::uint64_t next_ticket_ = 0;
+
+  /// Ticket-sorted (submission order) hold buffer. Front gates release.
+  std::deque<Held> hold_;
+  /// Tickets shed from the hold whose verdict is still owed by the pipe;
+  /// the arriving verdict is absorbed (late_verdicts) instead of
+  /// re-counted. Empty after finish() or a verdict was lost.
+  std::unordered_set<std::uint64_t> late_pending_;
+
+  /// Lane thread → feeder thread, lock-free. Sized so steady-state pushes
+  /// cannot fill it; the edge-event mutex is the overflow fallback.
+  std::vector<std::unique_ptr<runtime::SpscRing<VerdictMsg>>> rings_;
+
+  /// Rare out-of-band events (parse rejects, runtime sheds, verdict-ring
+  /// overflow fallback) from any producer thread.
+  std::mutex edge_mu_;
+  std::vector<VerdictMsg> edge_events_;
+  std::vector<VerdictMsg> edge_scratch_;  // feeder-side swap target
+
+  // Ledger. Atomics so registered metrics and wire_drops() are live-safe;
+  // written by the feeder thread only.
+  std::atomic<std::uint64_t> captured_{0};
+  std::atomic<std::uint64_t> accepted_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+  std::atomic<std::uint64_t> diverted_{0};
+  std::atomic<std::uint64_t> shed_{0};
+  std::atomic<std::uint64_t> budget_expired_{0};
+  std::atomic<std::uint64_t> hold_overflow_{0};
+  std::atomic<std::uint64_t> overload_shed_{0};
+  std::atomic<std::uint64_t> rejected_malformed_{0};
+  std::atomic<std::uint64_t> kernel_dropped_{0};
+  std::atomic<std::uint64_t> late_verdicts_{0};
+  std::atomic<std::uint64_t> held_depth_{0};
+  std::atomic<std::uint64_t> held_peak_{0};
+
+  telemetry::LogHistogram verdict_latency_ns_;
+};
+
+}  // namespace sdt::wire

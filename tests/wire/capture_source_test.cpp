@@ -1,0 +1,131 @@
+#include "wire/capture.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "evasion/corpus.hpp"
+#include "evasion/trace_io.hpp"
+#include "evasion/traffic_gen.hpp"
+#include "util/error.hpp"
+
+namespace sdt::wire {
+namespace {
+
+Bytes small_capture(std::size_t flows = 20) {
+  evasion::TrafficConfig tc;
+  tc.flows = flows;
+  tc.seed = 11;
+  evasion::AttackMix mix;
+  mix.attack_fraction = 0.1;
+  mix.kind = evasion::EvasionKind::combo_tiny_ooo;
+  const auto trace =
+      evasion::generate_mixed(tc, evasion::default_corpus(16), mix);
+  return evasion::trace_bytes(trace.packets);
+}
+
+TEST(FileSource, DeliversWholeCaptureThenExhausts) {
+  const Bytes cap = small_capture();
+  FileSource src{Bytes(cap)};
+  EXPECT_EQ(src.link_type(), net::LinkType::raw_ipv4);
+  EXPECT_STREQ(src.backend(), "file");
+  EXPECT_FALSE(src.exhausted());
+
+  std::vector<net::Packet> out;
+  std::size_t polls = 0;
+  while (!src.exhausted()) {
+    src.poll(out, 7);  // odd batch size: exercises partial batches
+    ASSERT_LT(++polls, 10000u);
+  }
+  EXPECT_GT(out.size(), 0u);
+  EXPECT_EQ(src.stats().delivered, out.size());
+  EXPECT_EQ(src.stats().kernel_dropped, 0u);
+  // Exhausted source keeps returning 0 without error.
+  EXPECT_EQ(src.poll(out, 7), 0u);
+}
+
+TEST(FileSource, PollRespectsMaxAndAppends) {
+  FileSource src{small_capture()};
+  std::vector<net::Packet> out;
+  const std::size_t n1 = src.poll(out, 3);
+  EXPECT_EQ(n1, 3u);
+  EXPECT_EQ(out.size(), 3u);
+  const std::size_t n2 = src.poll(out, 3);
+  EXPECT_EQ(n2, 3u);
+  EXPECT_EQ(out.size(), 6u);  // appended, not cleared
+}
+
+TEST(FileSource, RepeatReplaysThePassesVerbatim) {
+  const Bytes cap = small_capture(5);
+  std::vector<net::Packet> one_pass;
+  {
+    FileSource src{Bytes(cap)};
+    while (!src.exhausted()) src.poll(one_pass, 64);
+  }
+  FileSource src{Bytes(cap), 3};
+  std::vector<net::Packet> out;
+  while (!src.exhausted()) src.poll(out, 64);
+  ASSERT_EQ(out.size(), one_pass.size() * 3);
+  EXPECT_EQ(src.stats().delivered, out.size());
+  // Second pass is byte-identical to the first.
+  for (std::size_t i = 0; i < one_pass.size(); ++i) {
+    EXPECT_EQ(out[one_pass.size() + i].frame, one_pass[i].frame) << i;
+    EXPECT_EQ(out[one_pass.size() + i].ts_usec, one_pass[i].ts_usec) << i;
+  }
+}
+
+TEST(FileSource, GoldenPcapFromDiskCarriesLinkType) {
+  FileSource src{std::string(SDT_SOURCE_DIR
+                             "/tests/data/overlap_evasion_qinq.pcap")};
+  EXPECT_EQ(src.link_type(), net::LinkType::ethernet);
+  std::vector<net::Packet> out;
+  while (!src.exhausted()) src.poll(out, 64);
+  EXPECT_GT(out.size(), 0u);
+}
+
+TEST(OpenSource, FileBackendAlwaysAvailable) {
+  EXPECT_TRUE(backend_available(SourceKind::file));
+  EXPECT_STREQ(to_string(SourceKind::file), "file");
+  EXPECT_STREQ(to_string(SourceKind::pcap_live), "pcap");
+  EXPECT_STREQ(to_string(SourceKind::afpacket), "afpacket");
+}
+
+TEST(OpenSource, MissingFilePathThrows) {
+  SourceSpec spec;
+  spec.kind = SourceKind::file;
+  EXPECT_THROW(open_source(spec), InvalidArgument);
+  spec.target = "/nonexistent/never.pcap";
+  EXPECT_THROW(open_source(spec), Error);
+}
+
+TEST(OpenSource, CompiledOutBackendsThrowWithCmakeHint) {
+  for (SourceKind k : {SourceKind::pcap_live, SourceKind::afpacket}) {
+    if (backend_available(k)) continue;  // built in: needs a real device
+    SourceSpec spec;
+    spec.kind = k;
+    spec.target = "eth0";
+    try {
+      open_source(spec);
+      FAIL() << "expected throw for compiled-out backend " << to_string(k);
+    } catch (const InvalidArgument& e) {
+      // The message must tell the operator which option to flip.
+      EXPECT_NE(std::string(e.what()).find("SDT_WITH_"), std::string::npos);
+    }
+  }
+}
+
+TEST(OpenSource, LiveBackendWithBogusDeviceThrows) {
+  // When a live backend IS compiled in, a nonsense device name must fail
+  // loudly at open (no silent fallback to another backend).
+  for (SourceKind k : {SourceKind::pcap_live, SourceKind::afpacket}) {
+    if (!backend_available(k)) continue;
+    SourceSpec spec;
+    spec.kind = k;
+    spec.target = "sdt-no-such-device-0";
+    EXPECT_THROW(open_source(spec), Error) << to_string(k);
+  }
+}
+
+}  // namespace
+}  // namespace sdt::wire

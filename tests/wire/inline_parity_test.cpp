@@ -1,0 +1,139 @@
+// Inline mode must not change WHAT is detected, only WHEN packets leave:
+// for every golden trace, running the capture through the VerdictRouter
+// (hold + ticketed verdicts) must produce exactly the alert digest that
+// plain tap-mode feeding produces, and the sink's accept/drop/divert
+// ledger must mirror the engine's verdicts.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "evasion/corpus.hpp"
+#include "runtime/runtime.hpp"
+#include "wire/capture.hpp"
+#include "wire/egress.hpp"
+#include "wire/verdict_router.hpp"
+
+namespace sdt::wire {
+namespace {
+
+using AlertDigest =
+    std::vector<std::tuple<std::uint32_t, std::uint64_t, std::uint64_t>>;
+
+AlertDigest digest(std::vector<core::Alert> alerts) {
+  AlertDigest d;
+  d.reserve(alerts.size());
+  for (const auto& a : alerts) {
+    d.emplace_back(a.signature_id, a.ts_usec, a.stream_offset);
+  }
+  std::sort(d.begin(), d.end());
+  return d;
+}
+
+runtime::RuntimeConfig config_for(net::LinkType lt) {
+  runtime::RuntimeConfig rc;
+  rc.lanes = 2;
+  rc.link = lt;
+  rc.engine.fast.piece_len = 8;
+  return rc;
+}
+
+const core::SignatureSet& corpus() {
+  static const core::SignatureSet sigs = evasion::default_corpus(16);
+  return sigs;
+}
+
+AlertDigest run_tap(const std::string& path) {
+  FileSource src{path};
+  runtime::Runtime rt(corpus(), config_for(src.link_type()));
+  rt.start();
+  std::vector<net::Packet> batch;
+  while (!src.exhausted()) {
+    batch.clear();
+    src.poll(batch, 64);
+    rt.feed(std::move(batch));
+    batch = std::vector<net::Packet>();
+  }
+  rt.stop();
+  return digest(rt.alerts());
+}
+
+AlertDigest run_inline(const std::string& path, HoldPolicy policy,
+                       CountingSink* ledger = nullptr) {
+  FileSource src{path};
+  runtime::Runtime rt(corpus(), config_for(src.link_type()));
+  RuntimePipe pipe(rt);
+  CountingSink sink;
+  RouterConfig cfg;
+  cfg.policy = policy;
+  cfg.latency_budget_us = 60'000'000;  // generous: CI parity must not shed
+  VerdictRouter router(pipe, sink, cfg);
+  rt.set_verdict_feedback(&router);
+  rt.attach_wire_stats(&router);
+  rt.start();
+  std::vector<net::Packet> batch;
+  while (!src.exhausted()) {
+    batch.clear();
+    src.poll(batch, 64);
+    for (auto& p : batch) router.submit(std::move(p));
+    router.poll();
+  }
+  router.finish();  // throws on any conservation breach
+  rt.stop();
+
+  const WireStats ws = router.stats();
+  EXPECT_TRUE(ws.conserved());
+  EXPECT_EQ(ws.shed, 0u) << path;
+  EXPECT_EQ(ws.captured, src.stats().delivered);
+  // Sink ledger mirrors the router ledger packet for packet.
+  EXPECT_EQ(sink.count(WireVerdict::accept), ws.accepted);
+  EXPECT_EQ(sink.count(WireVerdict::drop), ws.dropped);
+  EXPECT_EQ(sink.count(WireVerdict::divert), ws.diverted);
+  EXPECT_EQ(sink.total(), ws.captured);
+  // StatsSnapshot mirror is wired through.
+  const auto st = rt.stats();
+  EXPECT_TRUE(st.has_wire);
+  EXPECT_EQ(st.wire.total(), 0u) << path;
+  if (ledger != nullptr) *ledger = sink;
+  return digest(rt.alerts());
+}
+
+class InlineParity : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(InlineParity, AlertDigestMatchesTapMode) {
+  const std::string path =
+      std::string(SDT_SOURCE_DIR "/tests/data/") + GetParam();
+  const AlertDigest tap = run_tap(path);
+  EXPECT_EQ(run_inline(path, HoldPolicy::fail_closed), tap) << GetParam();
+  EXPECT_EQ(run_inline(path, HoldPolicy::fail_open), tap) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(GoldenTraces, InlineParity,
+                         ::testing::Values("benign.pcap", "frag_evasion.pcap",
+                                           "frag_evasion_v6.pcap",
+                                           "inorder_attack.pcap",
+                                           "inorder_attack_v6.pcap",
+                                           "inorder_attack_vxlan.pcap",
+                                           "overlap_evasion.pcap",
+                                           "overlap_evasion_qinq.pcap"));
+
+TEST(InlineParity, AttackTraceDropsAtLeastTheAlertingPacket) {
+  CountingSink ledger;
+  run_inline(SDT_SOURCE_DIR "/tests/data/inorder_attack.pcap",
+             HoldPolicy::fail_closed, &ledger);
+  EXPECT_GT(ledger.count(WireVerdict::drop), 0u);
+}
+
+TEST(InlineParity, BenignTraceForwardsEverything) {
+  CountingSink ledger;
+  run_inline(SDT_SOURCE_DIR "/tests/data/benign.pcap", HoldPolicy::fail_closed,
+             &ledger);
+  EXPECT_EQ(ledger.count(WireVerdict::drop), 0u);
+  EXPECT_EQ(ledger.count(WireVerdict::shed_block), 0u);
+}
+
+}  // namespace
+}  // namespace sdt::wire

@@ -1,0 +1,293 @@
+// Deterministic VerdictRouter unit tests: a FakePipe stands in for the
+// runtime, the test plays the lane thread by calling on_verdict directly,
+// and a fake clock drives the latency budget — no threads, no sleeps.
+#include "wire/verdict_router.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "util/error.hpp"
+#include "wire/egress.hpp"
+
+namespace sdt::wire {
+namespace {
+
+class FakePipe final : public InlinePipe {
+ public:
+  std::size_t lanes() const override { return 2; }
+  void feed(const net::Packet& pkt) override { fed.push_back(pkt.ticket); }
+  void drain() override {}
+  std::size_t in_flight_bound() const override { return 64; }
+
+  std::vector<std::uint64_t> fed;
+};
+
+/// Sink that records the exact release order.
+class OrderSink final : public VerdictSink {
+ public:
+  void emit(const net::Packet& pkt, WireVerdict v) override {
+    tickets.push_back(pkt.ticket);
+    verdicts.push_back(v);
+  }
+  std::vector<std::uint64_t> tickets;
+  std::vector<WireVerdict> verdicts;
+};
+
+net::Packet pkt_of(std::uint64_t ts, std::uint8_t fill, std::size_t len = 40) {
+  return net::Packet(ts, Bytes(len, fill));
+}
+
+struct Fixture {
+  explicit Fixture(RouterConfig cfg = {}) {
+    cfg.now_ns = [this] { return now; };
+    router.emplace(pipe, sink, cfg);
+  }
+  std::uint64_t now = 1'000'000;
+  FakePipe pipe;
+  OrderSink sink;
+  std::optional<VerdictRouter> router;
+};
+
+TEST(VerdictRouter, ReleasesInTicketOrderRegardlessOfVerdictOrder) {
+  Fixture f;
+  for (int i = 0; i < 4; ++i) f.router->submit(pkt_of(i, 0xaa));
+  ASSERT_EQ(f.pipe.fed, (std::vector<std::uint64_t>{0, 1, 2, 3}));
+
+  // Lanes answer out of order: 2, 3 first — nothing may leave (0 gates).
+  f.router->on_verdict(0, 2, core::Action::forward);
+  f.router->on_verdict(1, 3, core::Action::alert);
+  EXPECT_EQ(f.router->poll(), 0u);
+  EXPECT_TRUE(f.sink.tickets.empty());
+  EXPECT_EQ(f.router->held(), 4u);
+
+  // 0 arrives: only 0 releases (1 still pending).
+  f.router->on_verdict(0, 0, core::Action::forward);
+  EXPECT_EQ(f.router->poll(), 1u);
+  EXPECT_EQ(f.sink.tickets, (std::vector<std::uint64_t>{0}));
+
+  // 1 arrives: 1, then the already-resolved 2 and 3, in order.
+  f.router->on_verdict(1, 1, core::Action::divert);
+  EXPECT_EQ(f.router->poll(), 3u);
+  EXPECT_EQ(f.sink.tickets, (std::vector<std::uint64_t>{0, 1, 2, 3}));
+  EXPECT_EQ(f.sink.verdicts,
+            (std::vector<WireVerdict>{WireVerdict::accept, WireVerdict::divert,
+                                      WireVerdict::accept, WireVerdict::drop}));
+
+  f.router->finish();
+  const WireStats s = f.router->stats();
+  EXPECT_TRUE(s.conserved());
+  EXPECT_EQ(s.captured, 4u);
+  EXPECT_EQ(s.accepted, 2u);
+  EXPECT_EQ(s.dropped, 1u);
+  EXPECT_EQ(s.diverted, 1u);
+  EXPECT_EQ(s.shed, 0u);
+}
+
+TEST(VerdictRouter, HoldOverflowFailClosedBlocksWithoutFeeding) {
+  RouterConfig cfg;
+  cfg.hold_capacity = 2;
+  cfg.policy = HoldPolicy::fail_closed;
+  Fixture f(cfg);
+  f.router->submit(pkt_of(0, 1));
+  f.router->submit(pkt_of(1, 2));
+  f.router->submit(pkt_of(2, 3));  // overflows: shed_block, NOT fed
+  EXPECT_EQ(f.pipe.fed.size(), 2u);
+  ASSERT_EQ(f.sink.verdicts.size(), 1u);
+  EXPECT_EQ(f.sink.verdicts[0], WireVerdict::shed_block);
+  EXPECT_EQ(f.sink.tickets[0], 2u);
+
+  f.router->on_verdict(0, 0, core::Action::forward);
+  f.router->on_verdict(0, 1, core::Action::forward);
+  f.router->finish();
+  const WireStats s = f.router->stats();
+  EXPECT_TRUE(s.conserved());
+  EXPECT_EQ(s.hold_overflow, 1u);
+  EXPECT_EQ(s.shed, 1u);
+  EXPECT_EQ(s.late_verdicts, 0u);  // never fed — no verdict owed
+}
+
+TEST(VerdictRouter, HoldOverflowFailOpenForwardsButStillFeeds) {
+  RouterConfig cfg;
+  cfg.hold_capacity = 2;
+  cfg.policy = HoldPolicy::fail_open;
+  Fixture f(cfg);
+  f.router->submit(pkt_of(0, 1));
+  f.router->submit(pkt_of(1, 2));
+  f.router->submit(pkt_of(2, 3));  // overflows: shed_forward, but FED
+  EXPECT_EQ(f.pipe.fed.size(), 3u);  // detection parity under overflow
+  ASSERT_EQ(f.sink.verdicts.size(), 1u);
+  EXPECT_EQ(f.sink.verdicts[0], WireVerdict::shed_forward);
+
+  // Its verdict still comes back — absorbed exactly once, not re-counted.
+  f.router->on_verdict(0, 2, core::Action::alert);
+  f.router->on_verdict(0, 0, core::Action::forward);
+  f.router->on_verdict(0, 1, core::Action::forward);
+  f.router->finish();
+  const WireStats s = f.router->stats();
+  EXPECT_TRUE(s.conserved());
+  EXPECT_EQ(s.captured, 3u);
+  EXPECT_EQ(s.accepted, 2u);
+  EXPECT_EQ(s.shed, 1u);
+  EXPECT_EQ(s.hold_overflow, 1u);
+  EXPECT_EQ(s.late_verdicts, 1u);
+  EXPECT_EQ(s.dropped, 0u);  // the late alert must NOT count as a drop
+}
+
+TEST(VerdictRouter, BudgetExpiryShedsExactlyOnceAndAbsorbsLateVerdict) {
+  RouterConfig cfg;
+  cfg.latency_budget_us = 1000;  // 1 ms
+  cfg.policy = HoldPolicy::fail_closed;
+  Fixture f(cfg);
+  f.router->submit(pkt_of(0, 1));
+  f.router->submit(pkt_of(1, 2));
+
+  // Inside budget: nothing happens.
+  f.now += 999'000;
+  EXPECT_EQ(f.router->poll(), 0u);
+  EXPECT_EQ(f.router->held(), 2u);
+
+  // Past the deadline: both shed (policy), exactly once.
+  f.now += 2'000;
+  EXPECT_EQ(f.router->poll(), 2u);
+  EXPECT_EQ(f.sink.verdicts,
+            (std::vector<WireVerdict>{WireVerdict::shed_block,
+                                      WireVerdict::shed_block}));
+  EXPECT_EQ(f.router->held(), 0u);
+  EXPECT_EQ(f.router->stats().budget_expired, 2u);
+
+  // The engine still rules on them later; no double release, no recount.
+  f.router->on_verdict(0, 0, core::Action::alert);
+  f.router->on_verdict(1, 1, core::Action::forward);
+  EXPECT_EQ(f.router->poll(), 0u);
+  f.router->finish();
+  const WireStats s = f.router->stats();
+  EXPECT_TRUE(s.conserved());
+  EXPECT_EQ(s.captured, 2u);
+  EXPECT_EQ(s.shed, 2u);
+  EXPECT_EQ(s.late_verdicts, 2u);
+  EXPECT_EQ(s.accepted, 0u);
+  EXPECT_EQ(s.dropped, 0u);
+  EXPECT_EQ(f.sink.tickets.size(), 2u);  // nothing released twice
+}
+
+TEST(VerdictRouter, BudgetExpiryFailOpenForwardsUnexamined) {
+  RouterConfig cfg;
+  cfg.latency_budget_us = 1000;
+  cfg.policy = HoldPolicy::fail_open;
+  Fixture f(cfg);
+  f.router->submit(pkt_of(0, 1));
+  f.now += 1'000'001;
+  EXPECT_EQ(f.router->poll(), 1u);
+  EXPECT_EQ(f.sink.verdicts,
+            (std::vector<WireVerdict>{WireVerdict::shed_forward}));
+  f.router->on_verdict(0, 0, core::Action::forward);
+  f.router->finish();
+  EXPECT_TRUE(f.router->stats().conserved());
+}
+
+TEST(VerdictRouter, RejectedFramesAreDropsNotSheds) {
+  Fixture f;
+  f.router->submit(pkt_of(0, 1));
+  f.router->on_reject(0);  // dispatch edge refused to parse it
+  EXPECT_EQ(f.router->poll(), 1u);
+  EXPECT_EQ(f.sink.verdicts, (std::vector<WireVerdict>{WireVerdict::drop}));
+  f.router->finish();
+  const WireStats s = f.router->stats();
+  EXPECT_TRUE(s.conserved());
+  EXPECT_EQ(s.dropped, 1u);
+  EXPECT_EQ(s.rejected_malformed, 1u);
+  EXPECT_EQ(s.shed, 0u);
+}
+
+TEST(VerdictRouter, RuntimeShedFollowsPolicy) {
+  for (HoldPolicy policy : {HoldPolicy::fail_open, HoldPolicy::fail_closed}) {
+    RouterConfig cfg;
+    cfg.policy = policy;
+    Fixture f(cfg);
+    f.router->submit(pkt_of(0, 1));
+    f.router->on_shed(0);  // runtime dropped it before any engine saw it
+    EXPECT_EQ(f.router->poll(), 1u);
+    EXPECT_EQ(f.sink.verdicts[0], policy == HoldPolicy::fail_open
+                                      ? WireVerdict::shed_forward
+                                      : WireVerdict::shed_block);
+    f.router->finish();
+    const WireStats s = f.router->stats();
+    EXPECT_TRUE(s.conserved());
+    EXPECT_EQ(s.overload_shed, 1u);
+    EXPECT_EQ(s.shed, 1u);
+  }
+}
+
+TEST(VerdictRouter, FinishThrowsWhenAVerdictWasLost) {
+  RouterConfig cfg;
+  cfg.latency_budget_us = 60'000'000;  // far future: no budget bail-out
+  Fixture f(cfg);
+  f.router->submit(pkt_of(0, 1));
+  // The pipe never answers — the conservation check must refuse to pass.
+  EXPECT_THROW(f.router->finish(), Error);
+}
+
+TEST(VerdictRouter, KernelDropsStayOutsideConservation) {
+  Fixture f;
+  f.router->note_kernel_drops(7);
+  f.router->submit(pkt_of(0, 1));
+  f.router->on_verdict(0, 0, core::Action::forward);
+  f.router->finish();
+  const WireStats s = f.router->stats();
+  EXPECT_TRUE(s.conserved());  // kernel drops were never captured
+  EXPECT_EQ(s.kernel_dropped, 7u);
+  const auto wd = f.router->wire_drops();
+  EXPECT_EQ(wd.kernel_ring, 7u);
+  EXPECT_EQ(wd.total(), 7u);
+}
+
+TEST(VerdictRouter, VerdictLatencyHistogramTracksEngineOnly) {
+  RouterConfig cfg;
+  cfg.latency_budget_us = 1000;
+  Fixture f(cfg);
+  f.router->submit(pkt_of(0, 1));
+  f.router->submit(pkt_of(1, 2));
+  f.now += 500'000;  // 500 us
+  f.router->on_verdict(0, 0, core::Action::forward);
+  f.router->poll();
+  f.now += 600'000;  // ticket 1 blows its budget (1.1 ms)
+  f.router->poll();
+  f.router->on_verdict(0, 1, core::Action::forward);
+  f.router->finish();
+  const auto lat = f.router->verdict_latency_ns();
+  EXPECT_EQ(lat.count, 1u);  // the shed is excluded
+  EXPECT_GE(lat.max, 500'000u);
+  EXPECT_LT(lat.max, 600'000u);
+}
+
+TEST(VerdictRouter, MetricsSurfaceRegisters) {
+  Fixture f;
+  f.router->submit(pkt_of(0, 1));
+  f.router->on_verdict(0, 0, core::Action::forward);
+  f.router->finish();
+
+  telemetry::MetricsRegistry reg;
+  f.router->register_metrics(reg, "wire");
+  const auto snap = reg.snapshot();
+  bool found = false;
+  EXPECT_EQ(snap.value("wire.captured", &found), 1u);
+  EXPECT_TRUE(found);
+  EXPECT_EQ(snap.value("wire.accepted", &found), 1u);
+  EXPECT_TRUE(found);
+  ASSERT_NE(snap.histogram("wire.verdict_latency_ns"), nullptr);
+  EXPECT_EQ(snap.histogram("wire.verdict_latency_ns")->hist.count, 1u);
+}
+
+TEST(VerdictRouter, RejectsZeroHoldCapacity) {
+  FakePipe pipe;
+  NullSink sink;
+  RouterConfig cfg;
+  cfg.hold_capacity = 0;
+  EXPECT_THROW(VerdictRouter(pipe, sink, cfg), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace sdt::wire
